@@ -1,0 +1,255 @@
+// Command cisgraph answers a pairwise query over a streaming graph
+// end-to-end: it loads or generates a dataset, splits it into an initial
+// snapshot plus update batches (the paper's §IV-A methodology), runs the
+// selected engine, and reports the answer, response time and work counters
+// after every batch.
+//
+// Examples:
+//
+//	cisgraph -dataset OR -algo PPSP -engine ciso -batches 4
+//	cisgraph -file graph.el -algo PPWP -engine accel -s 3 -d 99
+//	cisgraph -dataset UK -algo Reach -engine all -batches 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/exp"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/hw/accel"
+	"cisgraph/internal/stream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cisgraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataset  = flag.String("dataset", "OR", "stand-in dataset: OR, LJ or UK (ignored when -file is set)")
+		file     = flag.String("file", "", "load a dataset from an edge-list file (.el text, .bel binary)")
+		scale    = flag.Int("scale", 12, "stand-in dataset scale (log2 base vertex count)")
+		algoName = flag.String("algo", "PPSP", "algorithm: PPSP, PPWP, PPNP, Viterbi or Reach")
+		engName  = flag.String("engine", "ciso", "engine: cs, inc, sgraph, pnp, ciso, accel, or all")
+		src      = flag.Int("s", -1, "source vertex (random pair when negative)")
+		dst      = flag.Int("d", -1, "destination vertex (random pair when negative)")
+		batches  = flag.Int("batches", 3, "number of update batches to stream")
+		trace    = flag.String("trace", "", "replay batches from a saved trace file instead of generating them")
+		hwTrace  = flag.String("hwtrace", "", "write a Chrome/Perfetto trace of the accelerator's units to this file (engine accel only)")
+		saveTo   = flag.String("save", "", "write a CISO checkpoint to this file after the last batch (engine ciso only)")
+		loadFrom = flag.String("load", "", "resume a CISO engine from a checkpoint instead of computing from scratch")
+		seed     = flag.Int64("seed", 42, "deterministic seed")
+		verbose  = flag.Bool("v", false, "print per-batch counters")
+	)
+	flag.Parse()
+
+	a, err := algo.ByName(*algoName)
+	if err != nil {
+		return err
+	}
+
+	var el *graph.EdgeList
+	if *file != "" {
+		if el, err = graph.LoadFile(*file); err != nil {
+			return err
+		}
+	} else {
+		switch graph.StandIn(*dataset) {
+		case graph.StandInOR, graph.StandInLJ, graph.StandInUK:
+			el = graph.StandIn(*dataset).Build(*scale, *seed)
+		default:
+			return fmt.Errorf("unknown dataset %q (want OR, LJ or UK)", *dataset)
+		}
+	}
+	fmt.Printf("dataset %s: %d vertices, %d edges (avg degree %.1f)\n",
+		el.Name, el.N, len(el.Arcs), el.AvgDegree())
+
+	w, err := stream.New(el, stream.DefaultConfig(len(el.Arcs), *seed))
+	if err != nil {
+		return err
+	}
+	q := core.Query{}
+	if *src >= 0 && *dst >= 0 {
+		if *src >= el.N || *dst >= el.N || *src == *dst {
+			return fmt.Errorf("invalid query pair %d→%d for N=%d", *src, *dst, el.N)
+		}
+		q.S, q.D = graph.VertexID(*src), graph.VertexID(*dst)
+	} else {
+		p := w.QueryPairs(1)[0]
+		q.S, q.D = p[0], p[1]
+	}
+	fmt.Printf("query Q(%d→%d), algorithm %s\n\n", q.S, q.D, a.Name())
+
+	engines, err := makeEngines(*engName)
+	if err != nil {
+		return err
+	}
+	if *loadFrom != "" {
+		if *engName != "ciso" {
+			return fmt.Errorf("-load requires -engine ciso")
+		}
+		f, err := os.Open(*loadFrom)
+		if err != nil {
+			return err
+		}
+		restored, err := core.LoadCISO(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		engines = []core.Engine{restored}
+		fmt.Printf("resumed from %s: answer %v\n", *loadFrom, restored.Answer())
+	}
+	var tracer *accel.Tracer
+	if *hwTrace != "" {
+		tracer = &accel.Tracer{}
+		attached := false
+		for _, e := range engines {
+			if hw, ok := e.(*accel.Accel); ok {
+				hw.AttachTracer(tracer)
+				attached = true
+			}
+		}
+		if !attached {
+			return fmt.Errorf("-hwtrace requires the accel engine")
+		}
+	}
+	init := w.Initial()
+	for _, e := range engines {
+		if *loadFrom != "" {
+			break // the restored engine carries its own state
+		}
+		e.Reset(init.Clone(), a, q)
+		fmt.Printf("%-10s initial answer: %v\n", e.Name(), e.Answer())
+	}
+	var replay [][]graph.Update
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			return err
+		}
+		replay, err = stream.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if len(replay) < *batches {
+			*batches = len(replay)
+		}
+	}
+	defer func() {
+		if tracer == nil {
+			return
+		}
+		f, err := os.Create(*hwTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cisgraph: hwtrace:", err)
+			return
+		}
+		defer f.Close()
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cisgraph: hwtrace:", err)
+			return
+		}
+		fmt.Printf("wrote %d trace events to %s\n", tracer.Len(), *hwTrace)
+	}()
+	defer func() {
+		if *saveTo == "" {
+			return
+		}
+		ciso, ok := engines[len(engines)-1].(*core.CISO)
+		if !ok {
+			for _, e := range engines {
+				if c, isC := e.(*core.CISO); isC {
+					ciso, ok = c, true
+				}
+			}
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "cisgraph: -save requires a ciso engine")
+			return
+		}
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cisgraph: save:", err)
+			return
+		}
+		defer f.Close()
+		if err := ciso.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cisgraph: save:", err)
+			return
+		}
+		fmt.Printf("checkpoint written to %s\n", *saveTo)
+	}()
+	for bi := 0; bi < *batches; bi++ {
+		var batch []graph.Update
+		if replay != nil {
+			batch = replay[bi]
+		} else {
+			batch = w.NextBatch()
+		}
+		if len(batch) == 0 && replay == nil {
+			fmt.Println("stream exhausted")
+			break
+		}
+		fmt.Printf("batch %d (%d updates):\n", bi, len(batch))
+		for _, e := range engines {
+			res := e.ApplyBatch(batch)
+			fmt.Printf("  %-10s answer=%-12v response=%-14v converged=%v\n",
+				e.Name(), res.Answer, res.Response, res.Converged)
+			if *verbose {
+				for _, name := range []string{"relax", "activation", "tagged",
+					"update_valuable", "update_delayed", "update_useless", "update_promoted"} {
+					if v, ok := res.Counters[name]; ok && v != 0 {
+						fmt.Printf("    %s=%d", name, v)
+					}
+				}
+				fmt.Println()
+				if hw, ok := e.(*accel.Accel); ok {
+					for _, line := range strings.Split(hw.Report().String(), "\n") {
+						fmt.Println("   ", line)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func makeEngines(name string) ([]core.Engine, error) {
+	mk := map[string]func() core.Engine{
+		"cs":     func() core.Engine { return core.NewColdStart() },
+		"inc":    func() core.Engine { return core.NewIncremental() },
+		"sgraph": func() core.Engine { return core.NewSGraph(core.DefaultHubCount) },
+		"pnp":    func() core.Engine { return core.NewPnP() },
+		"ciso":   func() core.Engine { return core.NewCISO() },
+		"accel":  func() core.Engine { return accel.New(scaledAccel()) },
+	}
+	if name == "all" {
+		order := []string{"cs", "inc", "sgraph", "pnp", "ciso", "accel"}
+		var out []core.Engine
+		for _, n := range order {
+			out = append(out, mk[n]())
+		}
+		return out, nil
+	}
+	f, ok := mk[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown engine %q (want cs, inc, sgraph, pnp, ciso, accel or all)", name)
+	}
+	return []core.Engine{f()}, nil
+}
+
+// scaledAccel mirrors the experiment harness's default accelerator
+// configuration (paper Table I with the SPM scaled to the reduced data).
+func scaledAccel() accel.Config {
+	return exp.Options{}.WithDefaults().HWConfig()
+}

@@ -1,0 +1,120 @@
+// Command datagen generates the synthetic stand-in datasets (or custom
+// R-MAT / uniform / crawl / grid graphs) and writes them as edge-list files
+// that cmd/cisgraph can load, optionally together with the streaming
+// workload split (initial snapshot + batch trace).
+//
+// Examples:
+//
+//	datagen -standin OR -scale 14 -out or.bel
+//	datagen -gen rmat -scale 12 -edges 100000 -out social.el
+//	datagen -standin UK -scale 12 -out uk.bel -split -batches 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		standin = flag.String("standin", "", "paper stand-in dataset: OR, LJ or UK")
+		gen     = flag.String("gen", "", "custom generator: rmat, uniform, crawl or grid")
+		scale   = flag.Int("scale", 12, "log2 vertex count (grid: side length)")
+		edges   = flag.Int("edges", 0, "edge count for custom generators (default: 16 per vertex)")
+		maxW    = flag.Int("maxw", graph.MaxRawWeight, "maximum integer edge weight")
+		seed    = flag.Int64("seed", 42, "deterministic seed")
+		out     = flag.String("out", "", "output path (.el text, anything else binary); required")
+		split   = flag.Bool("split", false, "also write <out>.initial and a batch trace per the paper's §IV-A split")
+		show    = flag.Bool("stats", false, "print a structural profile of the generated dataset")
+		batches = flag.Int("batches", 4, "number of batches to emit with -split")
+	)
+	flag.Parse()
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	var el *graph.EdgeList
+	switch {
+	case *standin != "":
+		s := graph.StandIn(strings.ToUpper(*standin))
+		switch s {
+		case graph.StandInOR, graph.StandInLJ, graph.StandInUK:
+			el = s.Build(*scale, *seed)
+		default:
+			return fmt.Errorf("unknown stand-in %q", *standin)
+		}
+	case *gen != "":
+		n := 1 << *scale
+		m := *edges
+		if m == 0 {
+			m = 16 * n
+		}
+		switch *gen {
+		case "rmat":
+			el = graph.RMAT("rmat", *scale, m, graph.DefaultRMAT, *maxW, *seed)
+		case "uniform":
+			el = graph.Uniform("uniform", n, m, *maxW, *seed)
+		case "crawl":
+			el = graph.Crawl("crawl", *scale, m, 64, 0.6, *maxW, *seed)
+		case "grid":
+			el = graph.Grid("grid", *scale, *scale, *maxW, *seed)
+		default:
+			return fmt.Errorf("unknown generator %q", *gen)
+		}
+	default:
+		return fmt.Errorf("one of -standin or -gen is required")
+	}
+
+	if err := graph.SaveFile(*out, el); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges (avg degree %.1f)\n",
+		*out, el.N, len(el.Arcs), el.AvgDegree())
+	if *show {
+		fmt.Println(graph.Analyze(el))
+	}
+
+	if !*split {
+		return nil
+	}
+	w, err := stream.New(el, stream.DefaultConfig(len(el.Arcs), *seed))
+	if err != nil {
+		return err
+	}
+	initPath := *out + ".initial"
+	if err := graph.SaveFile(initPath, w.InitialEdgeList()); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d edges (50%% initial load)\n", initPath, w.Loaded())
+	tracePath := *out + ".batches"
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bs := w.Batches(*batches)
+	if err := stream.WriteTrace(f, bs); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	total := 0
+	for _, b := range bs {
+		total += len(b)
+	}
+	fmt.Printf("wrote %s: %d updates across %d batches\n", tracePath, total, len(bs))
+	return nil
+}

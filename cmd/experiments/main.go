@@ -1,0 +1,182 @@
+// Command experiments regenerates every table and figure of the CISGraph
+// paper's evaluation on the synthetic stand-in datasets, plus the ablations
+// from DESIGN.md, and prints them as text or Markdown.
+//
+// Usage:
+//
+//	experiments [-scale N] [-pairs N] [-batches N] [-seed N] [-md]
+//	            [-only fig2,table4,fig5a,fig5b,config,ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cisgraph/internal/exp"
+)
+
+func main() {
+	var (
+		scale    = flag.Int("scale", 12, "base log2 vertex count of the OR stand-in (LJ = scale+1, UK = scale+2)")
+		pairs    = flag.Int("pairs", 3, "random query pairs per measurement (paper: 10)")
+		batches  = flag.Int("batches", 2, "update batches per pair")
+		seed     = flag.Int64("seed", 42, "deterministic seed for datasets, workloads and pairs")
+		markdown = flag.Bool("md", false, "emit GitHub-flavored Markdown tables")
+		extra    = flag.Bool("extra", false, "add the Incremental and PnP baselines to Table IV")
+		randomP  = flag.Bool("randompairs", false, "sample query pairs uniformly instead of connected pairs")
+		only     = flag.String("only", "", "comma-separated subset: config,fig2,table4,fig5a,fig5b,energy,sensitivity,ablations")
+		svgDir   = flag.String("svgdir", "", "also write each experiment's figure(s) as SVG files into this directory")
+	)
+	flag.Parse()
+
+	opts := exp.Options{Scale: *scale, Seed: *seed, Pairs: *pairs, Batches: *batches, ExtraEngines: *extra, RandomPairs: *randomP}
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(s)] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	runners := []struct {
+		name string
+		run  func(exp.Options) (exp.Renderer, error)
+	}{
+		{"config", func(o exp.Options) (exp.Renderer, error) { return exp.RunConfigTables(o) }},
+		{"fig2", func(o exp.Options) (exp.Renderer, error) { return exp.RunFig2(o) }},
+		{"table4", func(o exp.Options) (exp.Renderer, error) { return exp.RunTable4(o) }},
+		{"fig5a", func(o exp.Options) (exp.Renderer, error) { return exp.RunFig5a(o) }},
+		{"fig5b", func(o exp.Options) (exp.Renderer, error) { return exp.RunFig5b(o) }},
+		{"energy", func(o exp.Options) (exp.Renderer, error) { return exp.RunEnergy(o) }},
+		{"sensitivity", runSensitivity},
+		{"ablations", runAblations},
+	}
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	out := io.Writer(os.Stdout)
+	for _, r := range runners {
+		if !want(r.name) {
+			continue
+		}
+		start := time.Now()
+		res, err := r.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		if err := res.Render(out, *markdown); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: render %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		if *svgDir != "" {
+			if err := writeSVGs(*svgDir, r.name, res); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: svg %s: %v\n", r.name, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeSVGs saves the figures of every Charter inside res (multiRenderers
+// are unpacked, one file per chart).
+func writeSVGs(dir, name string, res exp.Renderer) error {
+	var charters []exp.Charter
+	switch v := res.(type) {
+	case multiRenderer:
+		for _, r := range v {
+			if ch, ok := r.(exp.Charter); ok {
+				charters = append(charters, ch)
+			}
+		}
+	case exp.Charter:
+		charters = append(charters, v)
+	}
+	for i, ch := range charters {
+		suffix := ""
+		if len(charters) > 1 {
+			suffix = fmt.Sprintf("-%d", i+1)
+		}
+		path := filepath.Join(dir, name+suffix+".svg")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := ch.Chart().WriteSVG(f, 720, 420); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
+	}
+	return nil
+}
+
+// multiRenderer renders several results in sequence.
+type multiRenderer []exp.Renderer
+
+func (m multiRenderer) Render(w io.Writer, markdown bool) error {
+	for _, r := range m {
+		if err := r.Render(w, markdown); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runSensitivity(o exp.Options) (exp.Renderer, error) {
+	var all multiRenderer
+	s1, err := exp.RunSensitivityBatchSize(o)
+	if err != nil {
+		return nil, err
+	}
+	all = append(all, s1)
+	s2, err := exp.RunSensitivityAdversarial(o)
+	if err != nil {
+		return nil, err
+	}
+	all = append(all, s2)
+	return all, nil
+}
+
+func runAblations(o exp.Options) (exp.Renderer, error) {
+	var all multiRenderer
+	a1, err := exp.RunAblationScheduling(o)
+	if err != nil {
+		return nil, err
+	}
+	all = append(all, a1)
+	a2, err := exp.RunAblationPipelines(o)
+	if err != nil {
+		return nil, err
+	}
+	all = append(all, a2)
+	a3, err := exp.RunAblationSPM(o)
+	if err != nil {
+		return nil, err
+	}
+	all = append(all, a3)
+	a4, err := exp.RunAblationChannels(o)
+	if err != nil {
+		return nil, err
+	}
+	all = append(all, a4)
+	a5, err := exp.RunAblationPrefetchSlots(o)
+	if err != nil {
+		return nil, err
+	}
+	all = append(all, a5)
+	return all, nil
+}

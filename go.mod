@@ -1,0 +1,3 @@
+module cisgraph
+
+go 1.22

@@ -1,0 +1,171 @@
+// Package algo defines the monotonic path-algorithm plugin layer of
+// CISGraph: the ⊕ (propagate) and ⊗ (select) operators of paper Table II,
+// instantiated for the five evaluated algorithms — Point-to-Point Shortest
+// Path (PPSP), Widest Path (PPWP), Narrowest Path (PPNP), Viterbi and
+// Reachability (Reach).
+//
+// Every engine and the hardware model are generic over Algorithm, so adding
+// a sixth monotonic algorithm requires only a new implementation of this
+// interface.
+package algo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is a vertex state. All five paper algorithms fit in a float64:
+// distances, widths, probabilities and reachability flags.
+type Value = float64
+
+// Algorithm captures a monotonic pairwise graph algorithm in the paper's
+// ⊕/⊗ decomposition (Table II). For an edge u→v with weight w:
+//
+//	candidate T = Propagate(state[u], Weight(w))   // ⊕
+//	state[v]    = T      if Better(T, state[v])    // ⊗ keeps the extreme
+//	              state[v] otherwise
+//
+// Monotonicity contract: Propagate never produces a value Better than its
+// input state (paths only get worse as they lengthen), so repeated
+// relaxation converges. Engines rely on this to terminate.
+type Algorithm interface {
+	// Name returns the paper's abbreviation (e.g. "PPSP").
+	Name() string
+	// Init is the state of every non-source vertex before any relaxation
+	// (the "unreached" value, e.g. +Inf for PPSP).
+	Init() Value
+	// Source is the state pinned at the query source (e.g. 0 for PPSP).
+	Source() Value
+	// Weight maps a raw dataset weight (an integer in [1,64] stored as
+	// float64) into this algorithm's weight domain. All engines must apply
+	// it consistently so classification equality tests are exact.
+	Weight(raw float64) float64
+	// Propagate is ⊕: the candidate state of v given u's state and the
+	// (already mapped) edge weight.
+	Propagate(u Value, w float64) Value
+	// Better is the strict preference behind ⊗: Better(a,b) reports that a
+	// would replace b. It is a strict ordering: Better(x,x) == false.
+	Better(a, b Value) bool
+	// Join concatenates two path scores: the score of an s→x→d walk is
+	// Join(score(s→x), score(x→d)). Source() is its identity. SGraph's
+	// hub-witness bounds are built from Join (a via-hub path is a real
+	// walk, so its Join score bounds the answer from the feasible side).
+	Join(a, b Value) Value
+}
+
+// Reduce applies ⊗: it returns the preferred of candidate and current.
+func Reduce(a Algorithm, candidate, current Value) Value {
+	if a.Better(candidate, current) {
+		return candidate
+	}
+	return current
+}
+
+// Reached reports whether v's state differs from the unreached Init value,
+// i.e. some path from the source reaches it.
+func Reached(a Algorithm, v Value) bool { return v != a.Init() }
+
+// ByName returns the algorithm with the given paper abbreviation
+// (case-sensitive) or an error listing the valid names.
+func ByName(name string) (Algorithm, error) {
+	for _, a := range All() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	for _, a := range Extensions() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("algo: unknown algorithm %q (valid: PPSP, PPWP, PPNP, Viterbi, Reach, MinHop)", name)
+}
+
+// All returns the five paper algorithms in Table II order.
+func All() []Algorithm {
+	return []Algorithm{PPSP{}, PPWP{}, PPNP{}, Viterbi{}, Reach{}}
+}
+
+// PPSP is Point-to-Point Shortest Path: ⊕ T = u.state + w, ⊗ MIN.
+type PPSP struct{}
+
+func (PPSP) Name() string                       { return "PPSP" }
+func (PPSP) Init() Value                        { return math.Inf(1) }
+func (PPSP) Source() Value                      { return 0 }
+func (PPSP) Weight(raw float64) float64         { return raw }
+func (PPSP) Propagate(u Value, w float64) Value { return u + w }
+func (PPSP) Better(a, b Value) bool             { return a < b }
+func (PPSP) Join(a, b Value) Value              { return a + b }
+
+// PPWP is Point-to-Point Widest Path (maximum bottleneck): ⊕ T =
+// min(u.state, w), ⊗ MAX. The source has infinite width.
+type PPWP struct{}
+
+func (PPWP) Name() string                       { return "PPWP" }
+func (PPWP) Init() Value                        { return 0 }
+func (PPWP) Source() Value                      { return math.Inf(1) }
+func (PPWP) Weight(raw float64) float64         { return raw }
+func (PPWP) Propagate(u Value, w float64) Value { return math.Min(u, w) }
+func (PPWP) Better(a, b Value) bool             { return a > b }
+func (PPWP) Join(a, b Value) Value              { return math.Min(a, b) }
+
+// PPNP is Point-to-Point Narrowest Path (minimum over paths of the maximum
+// edge weight): ⊕ T = max(u.state, w), ⊗ MIN. The source contributes no
+// edge yet, so its state is 0 (the identity of max over positive weights).
+type PPNP struct{}
+
+func (PPNP) Name() string                       { return "PPNP" }
+func (PPNP) Init() Value                        { return math.Inf(1) }
+func (PPNP) Source() Value                      { return 0 }
+func (PPNP) Weight(raw float64) float64         { return raw }
+func (PPNP) Propagate(u Value, w float64) Value { return math.Max(u, w) }
+func (PPNP) Better(a, b Value) bool             { return a < b }
+func (PPNP) Join(a, b Value) Value              { return math.Max(a, b) }
+
+// Viterbi finds the most probable path in a graph with probabilistic
+// transitions: ⊗ MAX over path probability products. Paper Table II writes
+// ⊕ as u.state / w with integer weights w ≥ 1; dividing by a weight ≥ 1 is
+// exactly multiplying by a transition probability p = 1/w ≤ 1, so we map
+// raw weights to probabilities once in Weight and multiply — the standard
+// max-product formulation with identical semantics (DESIGN.md §3.1).
+type Viterbi struct{}
+
+func (Viterbi) Name() string                       { return "Viterbi" }
+func (Viterbi) Init() Value                        { return 0 }
+func (Viterbi) Source() Value                      { return 1 }
+func (Viterbi) Weight(raw float64) float64         { return 1 / raw }
+func (Viterbi) Propagate(u Value, w float64) Value { return u * w }
+func (Viterbi) Better(a, b Value) bool             { return a > b }
+func (Viterbi) Join(a, b Value) Value              { return a * b }
+
+// Reach is point-to-point reachability via BFS-style flooding: ⊕ T =
+// u.state (weights are ignored), ⊗ MAX over {0,1}.
+type Reach struct{}
+
+func (Reach) Name() string                       { return "Reach" }
+func (Reach) Init() Value                        { return 0 }
+func (Reach) Source() Value                      { return 1 }
+func (Reach) Weight(raw float64) float64         { return raw }
+func (Reach) Propagate(u Value, _ float64) Value { return u }
+func (Reach) Better(a, b Value) bool             { return a > b }
+func (Reach) Join(a, b Value) Value              { return math.Min(a, b) }
+
+// Extensions returns additional monotonic algorithms implemented beyond the
+// paper's Table II, demonstrating the plugin layer. They run on every
+// engine and the accelerator unchanged.
+func Extensions() []Algorithm {
+	return []Algorithm{MinHop{}}
+}
+
+// MinHop is point-to-point minimum hop count: PPSP over unit weights
+// (⊕ T = u.state + 1, ⊗ MIN). It is the BFS-distance query navigation
+// systems use when edge costs are unknown or uniform.
+type MinHop struct{}
+
+func (MinHop) Name() string                       { return "MinHop" }
+func (MinHop) Init() Value                        { return math.Inf(1) }
+func (MinHop) Source() Value                      { return 0 }
+func (MinHop) Weight(raw float64) float64         { return 1 }
+func (MinHop) Propagate(u Value, w float64) Value { return u + w }
+func (MinHop) Better(a, b Value) bool             { return a < b }
+func (MinHop) Join(a, b Value) Value              { return a + b }

@@ -1,0 +1,269 @@
+package algo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIISemantics(t *testing.T) {
+	// Spot-check each algorithm's ⊕/⊗ against the paper's Table II.
+	cases := []struct {
+		a        Algorithm
+		u, raw   float64
+		wantProp Value // ⊕ applied to (u, Weight(raw))
+	}{
+		{PPSP{}, 3, 4, 7}, // T = u + w
+		{PPWP{}, 3, 4, 3}, // T = min(u, w)
+		{PPWP{}, 5, 4, 4},
+		{PPNP{}, 3, 4, 4}, // T = max(u, w)
+		{PPNP{}, 5, 4, 5},
+		{Viterbi{}, 0.5, 4, 0.125}, // T = u / w  (≡ u · 1/w)
+		{Reach{}, 1, 99, 1},        // T = u, weight ignored
+	}
+	for _, tc := range cases {
+		got := tc.a.Propagate(tc.u, tc.a.Weight(tc.raw))
+		if math.Abs(got-tc.wantProp) > 1e-12 {
+			t.Errorf("%s.Propagate(%v, Weight(%v)) = %v, want %v",
+				tc.a.Name(), tc.u, tc.raw, got, tc.wantProp)
+		}
+	}
+}
+
+func TestSelectDirection(t *testing.T) {
+	// ⊗ is MIN for PPSP/PPNP, MAX for PPWP/Viterbi/Reach.
+	minAlgos := []Algorithm{PPSP{}, PPNP{}}
+	maxAlgos := []Algorithm{PPWP{}, Viterbi{}, Reach{}}
+	for _, a := range minAlgos {
+		if !a.Better(1, 2) || a.Better(2, 1) {
+			t.Errorf("%s: want MIN preference", a.Name())
+		}
+	}
+	for _, a := range maxAlgos {
+		if !a.Better(2, 1) || a.Better(1, 2) {
+			t.Errorf("%s: want MAX preference", a.Name())
+		}
+	}
+}
+
+func TestBetterIsStrict(t *testing.T) {
+	for _, a := range All() {
+		for _, v := range []Value{a.Init(), a.Source(), 1, 2.5} {
+			if a.Better(v, v) {
+				t.Errorf("%s.Better(%v,%v) = true; must be strict", a.Name(), v, v)
+			}
+		}
+	}
+}
+
+func TestInitIsWorstSourceIsReached(t *testing.T) {
+	for _, a := range All() {
+		if a.Better(a.Init(), a.Source()) {
+			t.Errorf("%s: Init must not beat Source", a.Name())
+		}
+		if !Reached(a, a.Source()) {
+			t.Errorf("%s: Source state must count as reached", a.Name())
+		}
+		if Reached(a, a.Init()) {
+			t.Errorf("%s: Init state must count as unreached", a.Name())
+		}
+	}
+}
+
+// Monotonicity: propagating along an edge never yields a state better than
+// the tail's state, for any reachable state and any raw weight in [1, 64].
+// This is what guarantees engine convergence.
+func TestPropagateMonotone(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		f := func(uRaw float64, wSeed uint8) bool {
+			u := math.Abs(uRaw)
+			if math.IsNaN(u) || math.IsInf(u, 0) {
+				return true
+			}
+			if a.Name() == "Viterbi" || a.Name() == "Reach" {
+				// Probability-like domains live in [0, 1].
+				u = math.Mod(u, 1)
+			}
+			raw := float64(1 + int(wSeed)%64)
+			T := a.Propagate(u, a.Weight(raw))
+			return !a.Better(T, u)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", a.Name(), err)
+		}
+	}
+}
+
+// Reduce must be idempotent and always return the preferred operand.
+func TestReduceProperties(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		f := func(x, y float64) bool {
+			if math.IsNaN(x) || math.IsNaN(y) {
+				return true
+			}
+			r := Reduce(a, x, y)
+			if r != x && r != y {
+				return false
+			}
+			if a.Better(x, r) || a.Better(y, r) {
+				return false // something beat the reduction result
+			}
+			return Reduce(a, r, r) == r
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", a.Name(), err)
+		}
+	}
+}
+
+func TestViterbiWeightIsProbability(t *testing.T) {
+	v := Viterbi{}
+	for raw := 1.0; raw <= 64; raw++ {
+		p := v.Weight(raw)
+		if p <= 0 || p > 1 {
+			t.Fatalf("Weight(%v) = %v, want (0,1]", raw, p)
+		}
+	}
+	// Paper form u.state/w equals our u.state·Weight(w).
+	if got, want := v.Propagate(0.8, v.Weight(5)), 0.8/5; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Viterbi ⊕ = %v, want %v", got, want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		got, err := ByName(a.Name())
+		if err != nil || got.Name() != a.Name() {
+			t.Fatalf("ByName(%q) = %v, %v", a.Name(), got, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	want := []string{"PPSP", "PPWP", "PPNP", "Viterbi", "Reach"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d algorithms", len(all))
+	}
+	for i, a := range all {
+		if a.Name() != want[i] {
+			t.Fatalf("All()[%d] = %s, want %s (Table II order)", i, a.Name(), want[i])
+		}
+	}
+}
+
+// Join properties: Source is the identity of path composition, and a
+// composed walk is never better than either leg (for MIN-algebras the walk
+// is at least as long as each leg, for MAX-algebras at most as wide).
+func TestJoinIdentityIsSource(t *testing.T) {
+	// Identity only holds over each algebra's value domain: path scores are
+	// sums/widths for the weight algebras, probabilities in [0,1] for
+	// Viterbi, and {0,1} for Reach.
+	domains := map[string][]Value{
+		"PPSP":    {0.25, 1, 7, 33},
+		"PPWP":    {0.25, 1, 7, 33},
+		"PPNP":    {0.25, 1, 7, 33},
+		"Viterbi": {0, 0.25, 0.5, 1},
+		"Reach":   {0, 1},
+	}
+	for _, a := range All() {
+		for _, x := range domains[a.Name()] {
+			if got := a.Join(a.Source(), x); got != x {
+				t.Errorf("%s: Join(Source, %v) = %v, want %v", a.Name(), x, got, x)
+			}
+		}
+	}
+}
+
+func TestJoinNeverBetterThanLegs(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		f := func(xr, yr float64) bool {
+			x, y := math.Abs(xr), math.Abs(yr)
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				return true
+			}
+			if a.Name() == "Viterbi" || a.Name() == "Reach" {
+				x, y = math.Mod(x, 1), math.Mod(y, 1)
+			}
+			j := a.Join(x, y)
+			return !a.Better(j, x) && !a.Better(j, y) ||
+				// PPNP's max-composition can't beat the WORSE leg but can
+				// equal the better one; allow equality handled above. For
+				// MIN-bottleneck algebras the same. Strictness only:
+				j == x || j == y
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", a.Name(), err)
+		}
+	}
+}
+
+// Join must be associative: composing three walks is order-independent.
+func TestJoinAssociative(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		f := func(xr, yr, zr float64) bool {
+			x, y, z := math.Abs(xr), math.Abs(yr), math.Abs(zr)
+			for _, v := range []float64{x, y, z} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v > 1e12 {
+					return true
+				}
+			}
+			l := a.Join(a.Join(x, y), z)
+			r := a.Join(x, a.Join(y, z))
+			if math.IsNaN(l) || math.IsNaN(r) {
+				return true
+			}
+			return math.Abs(l-r) <= 1e-9*(1+math.Abs(l))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", a.Name(), err)
+		}
+	}
+}
+
+func TestMinHopExtension(t *testing.T) {
+	m, err := ByName("MinHop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit weights regardless of the raw value.
+	if m.Weight(37) != 1 {
+		t.Fatalf("Weight(37) = %v", m.Weight(37))
+	}
+	if got := m.Propagate(3, m.Weight(99)); got != 4 {
+		t.Fatalf("Propagate = %v, want 4", got)
+	}
+	if !m.Better(2, 3) || m.Better(3, 2) {
+		t.Fatal("MinHop must prefer fewer hops")
+	}
+	if len(Extensions()) != 1 {
+		t.Fatalf("Extensions = %v", Extensions())
+	}
+	// All() stays paper-faithful: exactly Table II's five.
+	if len(All()) != 5 {
+		t.Fatal("All() must remain the paper's five algorithms")
+	}
+}
+
+func TestMinHopFullInterface(t *testing.T) {
+	m := MinHop{}
+	if !math.IsInf(m.Init(), 1) {
+		t.Fatalf("Init = %v", m.Init())
+	}
+	if m.Source() != 0 {
+		t.Fatalf("Source = %v", m.Source())
+	}
+	if m.Join(2, 3) != 5 {
+		t.Fatalf("Join = %v", m.Join(2, 3))
+	}
+	if Reached(m, m.Init()) || !Reached(m, 3) {
+		t.Fatal("Reached semantics broken for MinHop")
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+)
+
+// Checkpointing captures a CISO engine mid-stream — the exact topology and
+// the converged per-vertex state — so a long-running query can be persisted
+// and resumed without replaying every batch. The format is self-contained
+// (gob with a versioned header) and includes the dependency tree, so the
+// restored engine repairs deletions exactly like the original.
+
+// checkpointVersion guards against format drift.
+const checkpointVersion = 1
+
+// checkpointDTO is the serialised form. All fields exported for gob.
+type checkpointDTO struct {
+	Version int
+	Algo    string
+	Query   Query
+	Graph   *graph.EdgeList
+	Val     []algo.Value
+	Parent  []graph.VertexID
+}
+
+// Save writes the engine's full state (topology, converged values,
+// dependency tree, query binding) to w. The engine must be between
+// ApplyBatch calls (it always is from the caller's perspective).
+func (c *CISO) Save(w io.Writer) error {
+	if c.st == nil {
+		return fmt.Errorf("checkpoint: engine not armed (call Reset first)")
+	}
+	dto := checkpointDTO{
+		Version: checkpointVersion,
+		Algo:    c.st.a.Name(),
+		Query:   c.st.q,
+		Graph:   c.st.g.EdgeList("checkpoint"),
+		Val:     c.st.val,
+		Parent:  c.st.parent,
+	}
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// LoadCISO reconstructs a CISO engine from a checkpoint written by Save.
+// The restored engine answers identically to the original and continues
+// the stream from the checkpointed snapshot. Counters start fresh.
+func LoadCISO(r io.Reader, opts ...CISOOption) (*CISO, error) {
+	var dto checkpointDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	if dto.Version != checkpointVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", dto.Version)
+	}
+	a, err := algo.ByName(dto.Algo)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if dto.Graph == nil {
+		return nil, fmt.Errorf("checkpoint: missing graph")
+	}
+	if err := dto.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	n := dto.Graph.N
+	if len(dto.Val) != n || len(dto.Parent) != n {
+		return nil, fmt.Errorf("checkpoint: state arrays (%d/%d values) do not match %d vertices",
+			len(dto.Val), len(dto.Parent), n)
+	}
+	if int(dto.Query.S) >= n || int(dto.Query.D) >= n {
+		return nil, fmt.Errorf("checkpoint: query %v out of range N=%d", dto.Query, n)
+	}
+	g := graph.FromEdgeList(dto.Graph)
+	c := NewCISO(opts...)
+	c.st = newState(g, a, dto.Query, c.cnt)
+	c.onPath = make([]bool, n)
+	copy(c.st.val, dto.Val)
+	copy(c.st.parent, dto.Parent)
+	// Restore must be internally consistent: every parent edge must exist
+	// and supply its child's value (the invariant every recovery relies on).
+	if err := c.st.verifyInvariant(); err != nil {
+		return nil, fmt.Errorf("checkpoint: corrupt state: %w", err)
+	}
+	return c, nil
+}
+
+// verifyInvariant checks the dependency-tree invariant over the whole state
+// (used by checkpoint restore; tests use their own checker).
+func (st *state) verifyInvariant() error {
+	if st.val[st.q.S] != st.a.Source() {
+		return fmt.Errorf("source state %v != %v", st.val[st.q.S], st.a.Source())
+	}
+	for v := range st.val {
+		p := st.parent[v]
+		if p == graph.NoVertex {
+			continue
+		}
+		if int(p) >= len(st.val) {
+			return fmt.Errorf("vertex %d: parent %d out of range", v, p)
+		}
+		w, ok := st.g.HasEdge(p, graph.VertexID(v))
+		if !ok {
+			return fmt.Errorf("vertex %d: parent edge %d->%d missing", v, p, v)
+		}
+		if got := st.a.Propagate(st.val[p], st.a.Weight(w)); got != st.val[v] {
+			return fmt.Errorf("vertex %d: value %v unsupported by parent %d (edge gives %v)",
+				v, st.val[v], p, got)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stream"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, a := range algo.All() {
+		ds := graph.RMAT("ckpt", 7, 800, graph.DefaultRMAT, 16, 19)
+		w, _ := stream.New(ds, stream.Config{
+			LoadFraction: 0.5, AddsPerBatch: 30, DelsPerBatch: 30, Seed: 19,
+		})
+		p := w.QueryPairs(1)[0]
+		q := Query{S: p[0], D: p[1]}
+		orig := NewCISO()
+		orig.Reset(w.Initial(), a, q)
+		// Advance two batches, checkpoint, advance two more on both copies.
+		orig.ApplyBatch(w.NextBatch())
+		orig.ApplyBatch(w.NextBatch())
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", a.Name(), err)
+		}
+		restored, err := LoadCISO(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", a.Name(), err)
+		}
+		if restored.Answer() != orig.Answer() {
+			t.Fatalf("%s: restored answer %v, want %v", a.Name(), restored.Answer(), orig.Answer())
+		}
+		for i := 0; i < 2; i++ {
+			batch := w.NextBatch()
+			ro := orig.ApplyBatch(batch)
+			rr := restored.ApplyBatch(batch)
+			if ro.Answer != rr.Answer {
+				t.Fatalf("%s batch %d after restore: %v vs %v", a.Name(), i, rr.Answer, ro.Answer)
+			}
+		}
+		checkInvariant(t, restored.st)
+	}
+}
+
+func TestCheckpointUnarmedEngine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewCISO().Save(&buf); err == nil {
+		t.Fatal("saving an unarmed engine must fail")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := LoadCISO(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCheckpointRejectsCorruptState(t *testing.T) {
+	g := graph.NewDynamic(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	c := NewCISO()
+	c.Reset(g, algo.PPSP{}, Query{S: 0, D: 2})
+	// Corrupt a value so the invariant check must fire on load.
+	c.st.val[2] = 99
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCISO(&buf); err == nil {
+		t.Fatal("corrupt state accepted")
+	}
+}
+
+func TestCheckpointPreservesOptions(t *testing.T) {
+	g := graph.NewDynamic(2)
+	g.AddEdge(0, 1, 1)
+	c := NewCISO()
+	c.Reset(g, algo.PPSP{}, Query{S: 0, D: 1})
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadCISO(&buf, WithFIFO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "CISO-fifo" {
+		t.Fatalf("options not applied: %s", r.Name())
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+)
+
+// Class is the contribution level Algorithm 1 assigns to a graph update.
+type Class int
+
+// Contribution levels, in scheduling-priority order.
+const (
+	// ClassUseless updates cannot change any converged state; they are
+	// dropped (their topology change still applies).
+	ClassUseless Class = iota
+	// ClassDelayed deletions change their head vertex's state but lie off
+	// the global key path: they cannot change the current answer, only
+	// future ones, so they are processed after the response.
+	ClassDelayed
+	// ClassValuable updates change converged state on (or feeding) the
+	// query; they are processed with the highest priority.
+	ClassValuable
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassUseless:
+		return "useless"
+	case ClassDelayed:
+		return "delayed"
+	case ClassValuable:
+		return "valuable"
+	default:
+		return "invalid"
+	}
+}
+
+// ClassifyAddition implements Algorithm 1 lines 3–9: an addition u→v is
+// valuable iff the triangle check ⊕(state[u], w) improves on state[v] —
+// i.e. the new edge supplies a better path to v. Otherwise a better path
+// already exists and the update is useless.
+func ClassifyAddition(a algo.Algorithm, stateU, stateV algo.Value, rawW float64) Class {
+	if a.Better(a.Propagate(stateU, a.Weight(rawW)), stateV) {
+		return ClassValuable
+	}
+	return ClassUseless
+}
+
+// ClassifyDeletion implements Algorithm 1 lines 10–20: a deletion u→v is
+// potentially valuable iff the deleted edge currently supplies v's state
+// (⊕(state[u], w) == state[v], the triangle equality). Among those, the
+// deletion is non-delayed valuable when the edge lies on the global key
+// path (onKeyPath), because then the current answer depends on it; other
+// suppliers are delayed. Non-suppliers are useless.
+func ClassifyDeletion(a algo.Algorithm, stateU, stateV algo.Value, rawW float64, onKeyPath bool) Class {
+	if !algo.Reached(a, stateV) {
+		// An unreached head has nothing to lose; this also keeps the
+		// (possibly huge) unreached region's edges — where the paper's
+		// literal equality test degenerates to Init == Init — out of the
+		// delayed queue.
+		return ClassUseless
+	}
+	if a.Propagate(stateU, a.Weight(rawW)) != stateV {
+		return ClassUseless
+	}
+	if onKeyPath {
+		return ClassValuable
+	}
+	return ClassDelayed
+}
+
+// keyPath returns the global key path of the query as the parent chain
+// d → … → s in source-to-destination order, or nil when d is unreached.
+// The second return reports per-vertex membership marks written into
+// onPath, which must be N-long; previous marks are cleared.
+func (st *state) keyPath(onPath []bool) []graph.VertexID {
+	for i := range onPath {
+		onPath[i] = false
+	}
+	if !algo.Reached(st.a, st.val[st.q.D]) {
+		return nil
+	}
+	var rev []graph.VertexID
+	v := st.q.D
+	for {
+		rev = append(rev, v)
+		onPath[v] = true
+		if v == st.q.S {
+			break
+		}
+		p := st.parent[v]
+		if p == graph.NoVertex || len(rev) > len(st.val) {
+			// d reached without a complete chain to s: defensive — should
+			// be impossible under the parent invariant.
+			for i := range onPath {
+				onPath[i] = false
+			}
+			return nil
+		}
+		v = p
+	}
+	// Reverse to s→…→d order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// edgeOnKeyPath reports whether edge u→v lies on the current key path, i.e.
+// v is on the path and u supplies v. onPath must hold the marks produced by
+// keyPath.
+func (st *state) edgeOnKeyPath(onPath []bool, u, v graph.VertexID) bool {
+	return onPath[v] && st.parent[v] == u
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+)
+
+// ColdStart is the paper's CS baseline: it applies each batch to the
+// topology and then recomputes the query from the initial state, reusing
+// nothing. Every comparison in Table IV is normalised to it.
+type ColdStart struct {
+	st  *state
+	cnt *stats.Counters
+}
+
+// NewColdStart returns an unarmed ColdStart engine; call Reset before use.
+func NewColdStart() *ColdStart { return &ColdStart{cnt: stats.NewCounters()} }
+
+// Name implements Engine.
+func (c *ColdStart) Name() string { return "CS" }
+
+// Reset implements Engine: take ownership of g and fully compute.
+func (c *ColdStart) Reset(g *graph.Dynamic, a algo.Algorithm, q Query) {
+	c.st = newState(g, a, q, c.cnt)
+	c.st.fullCompute()
+}
+
+// ApplyBatch implements Engine: mutate the topology, then recompute from
+// scratch — the defining behaviour of the cold-start baseline.
+func (c *ColdStart) ApplyBatch(batch []graph.Update) Result {
+	before := c.cnt.Snapshot()
+	d := timed(func() {
+		c.st.g.Apply(batch)
+		c.st.fullCompute()
+	})
+	return Result{
+		Answer:    c.st.answer(),
+		Response:  d,
+		Converged: d,
+		Counters:  c.cnt.Diff(before),
+	}
+}
+
+// Answer implements Engine.
+func (c *ColdStart) Answer() algo.Value { return c.st.answer() }
+
+// Counters implements Engine.
+func (c *ColdStart) Counters() *stats.Counters { return c.cnt }
+
+// StateForTest exposes the converged state array for cross-model debugging
+// in tests.
+func (c *ColdStart) StateForTest() []algo.Value { return c.st.val }

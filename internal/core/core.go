@@ -1,0 +1,70 @@
+// Package core implements the paper's primary contribution — the
+// contribution-aware incremental workflow (classification, priority
+// scheduling, delayed processing, key-path tracking) — together with the
+// pairwise streaming-graph query engines it is evaluated against:
+//
+//   - ColdStart (CS): full recomputation per snapshot — the normalisation
+//     baseline of Table IV.
+//   - Incremental: contribution-independent incremental processing with
+//     dependency-tree (KickStarter-style) deletion recovery — the substrate
+//     the paper's Fig. 2 redundancy measurement runs on.
+//   - SGraph: the state-of-the-art software comparator — hub-vertex bound
+//     maintenance plus goal-directed pruned search.
+//   - CISO (CISGraph-O): the paper's contribution-aware workflow in
+//     software — triangle-inequality classification (Algorithm 1), priority
+//     scheduling of valuable updates, delayed processing of
+//     possibly-valuable deletions, early query response.
+//
+// All engines are generic over algo.Algorithm and return answers that must
+// agree with ColdStart after every batch; the cross-engine tests enforce it.
+package core
+
+import (
+	"time"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+)
+
+// Query is a pairwise query Q(s→d).
+type Query struct {
+	S, D graph.VertexID
+}
+
+// Result reports one batch application.
+type Result struct {
+	// Answer is the query result on the new snapshot (state of d).
+	Answer algo.Value
+	// Response is the time until the engine could answer the query.
+	// For CISO this excludes delayed-update processing (the paper's
+	// response-time metric); for every other engine it equals Converged.
+	Response time.Duration
+	// Converged is the time until the engine's state fully converged on
+	// the new snapshot.
+	Converged time.Duration
+	// Counters holds this batch's counter deltas (relaxations, activations,
+	// classification outcomes, ...).
+	Counters map[string]int64
+}
+
+// Engine is a pairwise streaming query engine. Reset gives the engine
+// ownership of g (engines mutate their graph when applying batches), runs
+// the initial full computation, and arms the query; ApplyBatch ingests one
+// batch of updates and returns the refreshed answer.
+type Engine interface {
+	Name() string
+	Reset(g *graph.Dynamic, a algo.Algorithm, q Query)
+	ApplyBatch(batch []graph.Update) Result
+	// Answer returns the current query answer.
+	Answer() algo.Value
+	// Counters exposes the engine's cumulative counters.
+	Counters() *stats.Counters
+}
+
+// timed runs f and returns its wall-clock duration.
+func timed(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stream"
+)
+
+// TestViterbiUnitWeightsBehaveLikeReach: with every transition probability
+// exactly 1 (raw weight 1), Viterbi's max-product degenerates to pure
+// reachability — the tie-heaviest configuration possible, stressing the
+// non-descendance certificates of the repair path.
+func TestViterbiUnitWeightsBehaveLikeReach(t *testing.T) {
+	ds := graph.Uniform("unit", 60, 400, 1, 9) // maxW=1 → all weights 1
+	w, _ := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 25, DelsPerBatch: 25, Seed: 9,
+	})
+	p := w.QueryPairs(1)[0]
+	q := Query{S: p[0], D: p[1]}
+	init := w.Initial()
+	vit := NewCISO()
+	reach := NewCISO()
+	csVit := NewColdStart()
+	vit.Reset(init.Clone(), algo.Viterbi{}, q)
+	reach.Reset(init.Clone(), algo.Reach{}, q)
+	csVit.Reset(init.Clone(), algo.Viterbi{}, q)
+	for bi := 0; bi < 4; bi++ {
+		batch := w.NextBatch()
+		v := vit.ApplyBatch(batch).Answer
+		r := reach.ApplyBatch(batch).Answer
+		want := csVit.ApplyBatch(batch).Answer
+		if v != want {
+			t.Fatalf("batch %d: Viterbi CISO=%v CS=%v", bi, v, want)
+		}
+		if v != r {
+			t.Fatalf("batch %d: unit-weight Viterbi %v != Reach %v", bi, v, r)
+		}
+	}
+}
+
+// TestQueryToUnreachableThenConnected: a destination that starts unreachable
+// must report Init, then pick up the answer the moment an addition connects
+// it, then lose it again on disconnection.
+func TestQueryToUnreachableThenConnected(t *testing.T) {
+	for _, a := range algo.All() {
+		g := graph.NewDynamic(4)
+		g.AddEdge(0, 1, 2)
+		// Island: 2→3, unreachable from 0.
+		g.AddEdge(2, 3, 2)
+		e := NewCISO()
+		e.Reset(g, a, Query{S: 0, D: 3})
+		if algo.Reached(a, e.Answer()) {
+			t.Fatalf("%s: unreachable start got %v", a.Name(), e.Answer())
+		}
+		res := e.ApplyBatch([]graph.Update{graph.Add(1, 2, 2)})
+		if !algo.Reached(a, res.Answer) {
+			t.Fatalf("%s: still unreached after bridging", a.Name())
+		}
+		res = e.ApplyBatch([]graph.Update{graph.Del(1, 2, 2)})
+		if algo.Reached(a, res.Answer) {
+			t.Fatalf("%s: still reached after cutting the bridge: %v", a.Name(), res.Answer)
+		}
+	}
+}
+
+// TestAdjacentSourceDestination: the minimal query — d is a direct neighbor
+// of s — including deleting that one edge.
+func TestAdjacentSourceDestination(t *testing.T) {
+	for _, a := range algo.All() {
+		g := graph.NewDynamic(3)
+		g.AddEdge(0, 1, 4)
+		g.AddEdge(0, 2, 1)
+		g.AddEdge(2, 1, 1)
+		e := NewCISO()
+		cs := NewColdStart()
+		e.Reset(g.Clone(), a, Query{S: 0, D: 1})
+		cs.Reset(g.Clone(), a, Query{S: 0, D: 1})
+		if e.Answer() != cs.Answer() {
+			t.Fatalf("%s: initial %v vs %v", a.Name(), e.Answer(), cs.Answer())
+		}
+		batch := []graph.Update{graph.Del(0, 1, 4)}
+		want := cs.ApplyBatch(batch).Answer
+		if got := e.ApplyBatch(batch).Answer; got != want {
+			t.Fatalf("%s: after deleting the direct edge %v vs %v", a.Name(), got, want)
+		}
+	}
+}
+
+// TestRepeatedBatchIsIdempotent: re-applying a batch whose edges are
+// already present/absent must change nothing (all updates are no-ops).
+func TestRepeatedBatchIsIdempotent(t *testing.T) {
+	ds := graph.RMAT("idem", 7, 800, graph.DefaultRMAT, 8, 91)
+	w, _ := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 30, DelsPerBatch: 30, Seed: 91,
+	})
+	p := w.QueryPairsConnected(1)[0]
+	e := NewCISO()
+	e.Reset(w.Initial(), algo.PPSP{}, Query{S: p[0], D: p[1]})
+	batch := w.NextBatch()
+	first := e.ApplyBatch(batch).Answer
+	again := e.ApplyBatch(batch) // all additions duplicate, deletions absent
+	if again.Answer != first {
+		t.Fatalf("idempotent re-application changed the answer: %v → %v", first, again.Answer)
+	}
+	if got := again.Counters["state_update"]; got != 0 {
+		t.Fatalf("no-op batch wrote %d states", got)
+	}
+}
+
+// TestSelfLoopUpdatesHarmless: engines must tolerate self-loop updates in a
+// batch (the generators never emit them, but user batches might).
+func TestSelfLoopUpdatesHarmless(t *testing.T) {
+	g := graph.NewDynamic(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	e := NewCISO()
+	cs := NewColdStart()
+	e.Reset(g.Clone(), algo.PPSP{}, Query{S: 0, D: 2})
+	cs.Reset(g.Clone(), algo.PPSP{}, Query{S: 0, D: 2})
+	batch := []graph.Update{graph.Add(1, 1, 5), graph.Del(1, 1, 5), graph.Add(0, 2, 9)}
+	want := cs.ApplyBatch(batch).Answer
+	if got := e.ApplyBatch(batch).Answer; got != want {
+		t.Fatalf("self-loop batch: %v vs %v", got, want)
+	}
+}
+
+// TestMinHopExtensionOnEngines: the extension algorithm must run on every
+// engine (and the hop count must lower-bound no path longer than PPSP's
+// edge count on the same graph).
+func TestMinHopExtensionOnEngines(t *testing.T) {
+	m, err := algo.ByName("MinHop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := graph.RMAT("hop", 7, 800, graph.DefaultRMAT, 8, 101)
+	w, _ := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 30, DelsPerBatch: 30, Seed: 101,
+	})
+	p := w.QueryPairsConnected(1)[0]
+	q := Query{S: p[0], D: p[1]}
+	engines := []Engine{NewColdStart(), NewIncremental(), NewCISO(), NewSGraph(4), NewPnP()}
+	init := w.Initial()
+	for _, e := range engines {
+		e.Reset(init.Clone(), m, q)
+	}
+	for bi := 0; bi < 3; bi++ {
+		batch := w.NextBatch()
+		want := engines[0].ApplyBatch(batch).Answer
+		for _, e := range engines[1:] {
+			if got := e.ApplyBatch(batch).Answer; got != want {
+				t.Fatalf("batch %d: %s=%v CS=%v", bi, e.Name(), got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+)
+
+// fig3Graph builds the paper's Figure 3 left snapshot: Q(v0→v5) answered by
+// the direct edge v0→v5 of weight 5, with v0→v2 (1) and v1→v4 (1) present,
+// v1 and v3 unreached.
+func fig3Graph() *graph.Dynamic {
+	g := graph.NewDynamic(6)
+	g.AddEdge(0, 5, 5)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 4, 1)
+	return g
+}
+
+func TestCISOFig3Scenario(t *testing.T) {
+	e := NewCISO()
+	e.Reset(fig3Graph(), algo.PPSP{}, Query{S: 0, D: 5})
+	if e.Answer() != 5 {
+		t.Fatalf("initial answer %v, want 5", e.Answer())
+	}
+	// Addition v0→v1 (1) changes v1's state, so Algorithm 1 processes it
+	// (valuable by the triangle test) — but the answer stays 5.
+	res := e.ApplyBatch([]graph.Update{graph.Add(0, 1, 1)})
+	if res.Answer != 5 {
+		t.Fatalf("answer after v0→v1 = %v, want 5", res.Answer)
+	}
+	if res.Counters[stats.CntUpdateValuable] != 1 {
+		t.Fatalf("v0→v1 should pass the triangle test: %v", res.Counters)
+	}
+	// Addition v2→v5 (1) is the paper's valuable update: answer drops to 2.
+	res = e.ApplyBatch([]graph.Update{graph.Add(2, 5, 1)})
+	if res.Answer != 2 {
+		t.Fatalf("answer after v2→v5 = %v, want 2 (paper's timely result)", res.Answer)
+	}
+	path := e.KeyPath()
+	want := []graph.VertexID{0, 2, 5}
+	if len(path) != 3 || path[0] != want[0] || path[1] != want[1] || path[2] != want[2] {
+		t.Fatalf("key path = %v, want %v (the paper's global key path)", path, want)
+	}
+	// A worse parallel route is useless and dropped.
+	res = e.ApplyBatch([]graph.Update{graph.Add(1, 5, 9)})
+	if res.Counters[stats.CntUpdateUseless] != 1 {
+		t.Fatalf("worse addition should be dropped: %v", res.Counters)
+	}
+	if res.Answer != 2 {
+		t.Fatalf("useless addition changed the answer to %v", res.Answer)
+	}
+}
+
+func TestCISOFig1bDeletion(t *testing.T) {
+	// Figure 1(b): after deleting v0→v3 the answer must converge to 9, not
+	// stay at the stale 5.
+	g := graph.NewDynamic(5)
+	g.AddEdge(0, 3, 2)
+	g.AddEdge(3, 4, 3)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 4, 3)
+	for _, mk := range []func() Engine{
+		func() Engine { return NewColdStart() },
+		func() Engine { return NewIncremental() },
+		func() Engine { return NewCISO() },
+		func() Engine { return NewCISO(WithNoDrop()) },
+		func() Engine { return NewCISO(WithFIFO()) },
+		func() Engine { return NewSGraph(2) },
+	} {
+		e := mk()
+		e.Reset(g.Clone(), algo.PPSP{}, Query{S: 0, D: 4})
+		if e.Answer() != 5 {
+			t.Fatalf("%s: initial answer %v, want 5", e.Name(), e.Answer())
+		}
+		res := e.ApplyBatch([]graph.Update{graph.Del(0, 3, 2)})
+		if res.Answer != 9 {
+			t.Fatalf("%s: answer after deletion = %v, want 9", e.Name(), res.Answer)
+		}
+	}
+}
+
+func TestCISODeletionClasses(t *testing.T) {
+	// Key-path deletion → valuable; off-path supplier → delayed;
+	// non-supplier → useless.
+	g := graph.NewDynamic(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1) // key path 0-1-2 (answer 2)
+	g.AddEdge(0, 2, 9) // backup, much worse
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(3, 4, 1) // off-path chain supplying 4
+	e := NewCISO()
+	e.Reset(g, algo.PPSP{}, Query{S: 0, D: 2})
+	if e.Answer() != 2 {
+		t.Fatalf("initial answer %v", e.Answer())
+	}
+
+	// Off-path supplier deletion: delayed, answer unchanged.
+	res := e.ApplyBatch([]graph.Update{graph.Del(3, 4, 1)})
+	if res.Counters[stats.CntUpdateDelayed] != 1 {
+		t.Fatalf("off-path supplier should be delayed: %v", res.Counters)
+	}
+	if res.Answer != 2 {
+		t.Fatalf("answer changed to %v", res.Answer)
+	}
+
+	// Key-path deletion: valuable, answer falls back to the backup edge.
+	res = e.ApplyBatch([]graph.Update{graph.Del(1, 2, 1)})
+	if res.Counters[stats.CntUpdateValuable] != 1 {
+		t.Fatalf("key-path deletion should be valuable: %v", res.Counters)
+	}
+	if res.Answer != 9 {
+		t.Fatalf("answer = %v, want 9", res.Answer)
+	}
+
+	// Deleting an edge that never supplied anything: useless.
+	res = e.ApplyBatch([]graph.Update{graph.Del(0, 1, 1)})
+	if res.Counters[stats.CntUpdateUseless]+res.Counters[stats.CntUpdateDelayed] == 0 {
+		t.Fatalf("counters: %v", res.Counters)
+	}
+	if res.Answer != 9 {
+		t.Fatalf("answer = %v, want 9", res.Answer)
+	}
+}
+
+func TestCISOPromotion(t *testing.T) {
+	// Two deletions: one on the key path, one on the backup path. After the
+	// key-path deletion reroutes the query onto the backup, the pending
+	// delayed deletion must be promoted so the early answer stays exact.
+	g := graph.NewDynamic(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 4, 1) // primary path, cost 2
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 4, 2) // backup path, cost 4
+	g.AddEdge(0, 3, 5)
+	g.AddEdge(3, 4, 5) // last resort, cost 10
+	e := NewCISO()
+	e.Reset(g, algo.PPSP{}, Query{S: 0, D: 4})
+	if e.Answer() != 2 {
+		t.Fatalf("initial answer %v", e.Answer())
+	}
+	res := e.ApplyBatch([]graph.Update{
+		graph.Del(0, 2, 2), // supplies v2, off the key path → delayed
+		graph.Del(1, 4, 1), // key path → valuable
+	})
+	// Processing Del(1,4) reroutes the key path onto 0→2→4, which the
+	// pending delayed Del(0,2) supplies — it must be promoted, pushing the
+	// answer to the last resort 0→3→4 = 10 before the response.
+	if res.Answer != 10 {
+		t.Fatalf("answer = %v, want 10 — delayed deletion must be promoted", res.Answer)
+	}
+	if res.Counters[stats.CntUpdatePromoted] != 1 {
+		t.Fatalf("expected exactly one promotion: %v", res.Counters)
+	}
+}
+
+func TestCISOResponseNotAfterConverged(t *testing.T) {
+	g := fig3Graph()
+	e := NewCISO()
+	e.Reset(g, algo.PPSP{}, Query{S: 0, D: 5})
+	res := e.ApplyBatch([]graph.Update{
+		graph.Add(0, 1, 1),
+		graph.Del(0, 2, 1),
+	})
+	if res.Response > res.Converged {
+		t.Fatalf("response %v after convergence %v", res.Response, res.Converged)
+	}
+}
+
+func TestColdStartRecomputesEachBatch(t *testing.T) {
+	g := lineGraph(2, 2)
+	e := NewColdStart()
+	e.Reset(g, algo.PPSP{}, Query{S: 0, D: 2})
+	if e.Answer() != 4 {
+		t.Fatalf("initial %v", e.Answer())
+	}
+	res := e.ApplyBatch([]graph.Update{graph.Add(0, 2, 1)})
+	if res.Answer != 1 {
+		t.Fatalf("after shortcut %v", res.Answer)
+	}
+	res = e.ApplyBatch([]graph.Update{graph.Del(0, 2, 1)})
+	if res.Answer != 4 {
+		t.Fatalf("after removing shortcut %v", res.Answer)
+	}
+}
+
+func TestIncrementalTraceAttribution(t *testing.T) {
+	g := fig3Graph()
+	e := NewIncremental()
+	e.Reset(g, algo.PPSP{}, Query{S: 0, D: 5})
+	var traces []UpdateTrace
+	e.OnUpdate = func(tr UpdateTrace) { traces = append(traces, tr) }
+	e.ApplyBatch([]graph.Update{
+		graph.Add(0, 1, 1), // changes v1 (and v4) but not the answer
+		graph.Add(2, 5, 1), // changes the answer to 2
+		graph.Add(1, 5, 9), // changes nothing at all
+	})
+	if len(traces) != 3 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	if traces[0].ChangedAnswer || !traces[0].ChangedState {
+		t.Fatalf("trace 0: %+v", traces[0])
+	}
+	if !traces[1].ChangedAnswer {
+		t.Fatalf("trace 1 should change the answer: %+v", traces[1])
+	}
+	if traces[2].ChangedState || traces[2].ChangedAnswer {
+		t.Fatalf("trace 2 should be inert: %+v", traces[2])
+	}
+	if traces[0].Relaxations == 0 {
+		t.Fatal("relaxations must be attributed")
+	}
+	if e.Answer() != 2 {
+		t.Fatalf("final answer %v", e.Answer())
+	}
+}
+
+func TestSGraphHubSelectionAndAnswer(t *testing.T) {
+	g := graph.NewDynamic(6)
+	// Star around 0 plus a chain; vertex 0 has max degree.
+	for v := graph.VertexID(1); v <= 4; v++ {
+		g.AddEdge(0, v, float64(v))
+	}
+	g.AddEdge(4, 5, 1)
+	e := NewSGraph(2)
+	e.Reset(g, algo.PPSP{}, Query{S: 1, D: 5})
+	hubs := e.Hubs()
+	if len(hubs) != 2 || hubs[0] != 0 {
+		t.Fatalf("hubs = %v, want highest-degree first (0)", hubs)
+	}
+	if !math.IsInf(e.Answer(), 1) {
+		t.Fatalf("1 cannot reach 5 initially: %v", e.Answer())
+	}
+	res := e.ApplyBatch([]graph.Update{graph.Add(1, 4, 2)})
+	if res.Answer != 3 {
+		t.Fatalf("answer = %v, want 3 (1→4→5)", res.Answer)
+	}
+}
+
+func TestSGraphChargesHubMaintenance(t *testing.T) {
+	g := lineGraph(1, 1, 1, 1)
+	e := NewSGraph(2)
+	e.Reset(g, algo.PPSP{}, Query{S: 0, D: 4})
+	res := e.ApplyBatch([]graph.Update{graph.Add(0, 4, 1), graph.Del(1, 2, 1)})
+	if res.Counters[stats.CntHubRelax] == 0 {
+		t.Fatalf("hub maintenance must be charged: %v", res.Counters)
+	}
+	if res.Answer != 1 {
+		t.Fatalf("answer = %v", res.Answer)
+	}
+}
+
+func TestSGraphWitnessBoundAnswersViaHub(t *testing.T) {
+	// s→h and h→d exist; the witness bound alone yields the answer even
+	// though pruning may cut the search.
+	g := graph.NewDynamic(4)
+	g.AddEdge(0, 1, 2) // s→h
+	g.AddEdge(1, 2, 2) // h→d
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(3, 1, 1) // make 1 the top-degree hub
+	e := NewSGraph(1)
+	e.Reset(g, algo.PPSP{}, Query{S: 0, D: 2})
+	if hubs := e.Hubs(); hubs[0] != 1 {
+		t.Fatalf("hub = %v", hubs)
+	}
+	if e.Answer() != 4 {
+		t.Fatalf("answer = %v, want 4", e.Answer())
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	names := map[string]Engine{
+		"CS":               NewColdStart(),
+		"Inc":              NewIncremental(),
+		"CISO":             NewCISO(),
+		"CISO-nodrop":      NewCISO(WithNoDrop()),
+		"CISO-fifo":        NewCISO(WithFIFO()),
+		"CISO-nodrop-fifo": NewCISO(WithNoDrop(), WithFIFO()),
+		"SGraph":           NewSGraph(0),
+	}
+	for want, e := range names {
+		if e.Name() != want {
+			t.Fatalf("Name() = %q, want %q", e.Name(), want)
+		}
+	}
+}

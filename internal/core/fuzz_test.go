@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+)
+
+// FuzzNormalizeBatch checks the batch-normalization invariants against a
+// brute-force sequential application: the net effect must reproduce exactly
+// the topology that applying the raw sequence produces, for arbitrary
+// update sequences (including duplicates, absent-edge deletions and
+// re-add/re-delete churn).
+func FuzzNormalizeBatch(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 0, 1}, uint8(3))
+	f.Add([]byte{}, uint8(2))
+	f.Add([]byte{5, 5, 5, 5}, uint8(4))
+	f.Fuzz(func(t *testing.T, ops []byte, nSeed uint8) {
+		n := int(nSeed%6) + 2
+		base := graph.NewDynamic(n)
+		base.AddEdge(0, 1, 3) // one pre-existing edge to exercise reweights
+		// Decode the fuzz bytes into an update sequence.
+		var batch []graph.Update
+		for i := 0; i+2 < len(ops) && len(batch) < 64; i += 3 {
+			u := graph.VertexID(int(ops[i]) % n)
+			v := graph.VertexID(int(ops[i+1]) % n)
+			if u == v {
+				continue
+			}
+			w := float64(int(ops[i+2])%9 + 1)
+			if ops[i+2]%2 == 0 {
+				batch = append(batch, graph.Add(u, v, w))
+			} else {
+				batch = append(batch, graph.Del(u, v, w))
+			}
+		}
+		// Reference: raw sequential application.
+		ref := base.Clone()
+		ref.Apply(batch)
+		// Normalized application.
+		nb := NormalizeBatch(base, batch)
+		norm := base.Clone()
+		for _, up := range nb.Adds {
+			if !norm.AddEdge(up.From, up.To, up.W) {
+				t.Fatalf("normalized addition %v already present", up)
+			}
+		}
+		for _, rw := range nb.Reweights {
+			if _, ok := norm.RemoveEdge(rw.From, rw.To); !ok {
+				t.Fatalf("reweight of absent edge %v", rw)
+			}
+			norm.AddEdge(rw.From, rw.To, rw.NewW)
+		}
+		for _, up := range nb.Dels {
+			if _, ok := norm.RemoveEdge(up.From, up.To); !ok {
+				t.Fatalf("normalized deletion %v absent", up)
+			}
+		}
+		// Topologies must match exactly.
+		if norm.NumEdges() != ref.NumEdges() {
+			t.Fatalf("edge counts: normalized %d, sequential %d", norm.NumEdges(), ref.NumEdges())
+		}
+		for u := 0; u < n; u++ {
+			for _, e := range ref.Out(graph.VertexID(u)) {
+				w, ok := norm.HasEdge(graph.VertexID(u), e.To)
+				if !ok || w != e.W {
+					t.Fatalf("edge %d->%d: normalized (%v,%v) vs sequential %v",
+						u, e.To, w, ok, e.W)
+				}
+			}
+		}
+	})
+}
+
+// FuzzEngineAgreement drives CISO and ColdStart with fuzz-shaped batches —
+// any divergence is a correctness bug.
+func FuzzEngineAgreement(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(0))
+	f.Add([]byte{0, 1, 1, 1, 0, 1, 0, 1, 0}, uint8(7))
+	f.Fuzz(func(t *testing.T, ops []byte, seed uint8) {
+		el := graph.Uniform("fz", 12, 40, 6, int64(seed))
+		g := graph.FromEdgeList(el)
+		q := Query{S: 0, D: 11}
+		cs, ciso := NewColdStart(), NewCISO()
+		cs.Reset(g.Clone(), algo.PPSP{}, q)
+		ciso.Reset(g.Clone(), algo.PPSP{}, q)
+		var batch []graph.Update
+		for i := 0; i+2 < len(ops) && len(batch) < 32; i += 3 {
+			u := graph.VertexID(int(ops[i]) % 12)
+			v := graph.VertexID(int(ops[i+1]) % 12)
+			if u == v {
+				continue
+			}
+			w := float64(int(ops[i+2])%6 + 1)
+			if ops[i+2]%2 == 0 {
+				batch = append(batch, graph.Add(u, v, w))
+			} else if cw, ok := g.HasEdge(u, v); ok {
+				batch = append(batch, graph.Del(u, v, cw))
+			}
+		}
+		want := cs.ApplyBatch(batch).Answer
+		if got := ciso.ApplyBatch(batch).Answer; got != want {
+			t.Fatalf("CISO=%v CS=%v for batch %v", got, want, batch)
+		}
+	})
+}

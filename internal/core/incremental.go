@@ -1,0 +1,105 @@
+package core
+
+import (
+	"time"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+)
+
+// UpdateTrace describes the processing of a single update inside an
+// Incremental batch, used by the Fig. 2 redundancy measurement to attribute
+// computation and time to individual updates.
+type UpdateTrace struct {
+	Index  int
+	Update graph.Update
+	// Relaxations and Tagged are the counter deltas attributable to this
+	// update's processing.
+	Relaxations int64
+	Tagged      int64
+	// Elapsed is the wall time spent processing this update.
+	Elapsed time.Duration
+	// ChangedAnswer reports whether the query answer (state of d) changed
+	// while this update was processed — the measurement proxy for "this
+	// update contributed to the result".
+	ChangedAnswer bool
+	// ChangedState reports whether any vertex state changed.
+	ChangedState bool
+}
+
+// Incremental is the contribution-independent incremental baseline: it
+// processes every update of a batch in arrival order — additions are
+// relaxed and propagated, deletions unconditionally re-derive the head
+// vertex and run dependency-tagged recovery when it worsens. This is the
+// KickStarter-class workflow the paper's Fig. 2 measures redundancy on.
+type Incremental struct {
+	st  *state
+	cnt *stats.Counters
+
+	// OnUpdate, when set, receives a trace entry after each update is
+	// processed. Used by the experiment harness; nil otherwise.
+	OnUpdate func(UpdateTrace)
+}
+
+// NewIncremental returns an unarmed Incremental engine; call Reset first.
+func NewIncremental() *Incremental { return &Incremental{cnt: stats.NewCounters()} }
+
+// Name implements Engine.
+func (e *Incremental) Name() string { return "Inc" }
+
+// Reset implements Engine.
+func (e *Incremental) Reset(g *graph.Dynamic, a algo.Algorithm, q Query) {
+	e.st = newState(g, a, q, e.cnt)
+	e.st.fullCompute()
+}
+
+// ApplyBatch implements Engine: sequential, contribution-independent
+// processing. Each update's topology change is applied immediately before
+// the update is processed, so the state array is exactly converged for the
+// intermediate snapshot after every step.
+func (e *Incremental) ApplyBatch(batch []graph.Update) Result {
+	st := e.st
+	before := e.cnt.Snapshot()
+	total := timed(func() {
+		for i, up := range batch {
+			prevAns := st.answer()
+			prevRelax := e.cnt.Get(stats.CntRelax)
+			prevTag := e.cnt.Get(stats.CntTagged)
+			t0 := time.Now()
+			var changed bool
+			if up.Del {
+				if _, ok := st.g.RemoveEdge(up.From, up.To); ok {
+					// Contribution-independent: always pay the head-vertex
+					// re-derivation, recover if it worsened.
+					changed = st.repairVertex(up.To)
+				}
+			} else if st.g.AddEdge(up.From, up.To, up.W) {
+				changed = st.processAddition(up.From, up.To, up.W)
+			}
+			if e.OnUpdate != nil {
+				e.OnUpdate(UpdateTrace{
+					Index:         i,
+					Update:        up,
+					Relaxations:   e.cnt.Get(stats.CntRelax) - prevRelax,
+					Tagged:        e.cnt.Get(stats.CntTagged) - prevTag,
+					Elapsed:       time.Since(t0),
+					ChangedAnswer: st.answer() != prevAns,
+					ChangedState:  changed,
+				})
+			}
+		}
+	})
+	return Result{
+		Answer:    st.answer(),
+		Response:  total,
+		Converged: total,
+		Counters:  e.cnt.Diff(before),
+	}
+}
+
+// Answer implements Engine.
+func (e *Incremental) Answer() algo.Value { return e.st.answer() }
+
+// Counters implements Engine.
+func (e *Incremental) Counters() *stats.Counters { return e.cnt }

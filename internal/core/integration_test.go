@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stream"
+)
+
+// TestAllEnginesAgree is the load-bearing correctness test: for every
+// algorithm, several graph families and seeds, all engines must report the
+// same answer as ColdStart after every batch of a streaming workload, and
+// the incremental engines' dependency trees must stay consistent.
+func TestAllEnginesAgree(t *testing.T) {
+	type genFn func(seed int64) *graph.EdgeList
+	gens := map[string]genFn{
+		"rmat": func(seed int64) *graph.EdgeList {
+			return graph.RMAT("rmat", 7, 900, graph.DefaultRMAT, 16, seed)
+		},
+		"uniform": func(seed int64) *graph.EdgeList {
+			return graph.Uniform("uniform", 100, 800, 16, seed)
+		},
+		"crawl": func(seed int64) *graph.EdgeList {
+			return graph.Crawl("crawl", 7, 900, 16, 0.6, 16, seed)
+		},
+	}
+	for _, a := range algo.All() {
+		for genName, gen := range gens {
+			for seed := int64(1); seed <= 3; seed++ {
+				a, gen, genName, seed := a, gen, genName, seed
+				name := fmt.Sprintf("%s/%s/seed%d", a.Name(), genName, seed)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					runAgreement(t, a, gen(seed), seed)
+				})
+			}
+		}
+	}
+}
+
+func runAgreement(t *testing.T, a algo.Algorithm, ds *graph.EdgeList, seed int64) {
+	w, err := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 40, DelsPerBatch: 40, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := w.QueryPairs(2)
+	batches := w.Batches(4)
+	for _, p := range pairs {
+		q := Query{S: p[0], D: p[1]}
+		engines := []Engine{
+			NewColdStart(),
+			NewIncremental(),
+			NewCISO(),
+			NewCISO(WithNoDrop()),
+			NewCISO(WithFIFO()),
+			NewSGraph(4),
+		}
+		init := w.Initial()
+		for _, e := range engines {
+			e.Reset(init.Clone(), a, q)
+		}
+		ref := engines[0]
+		for _, e := range engines[1:] {
+			if e.Answer() != ref.Answer() {
+				t.Fatalf("initial answer: %s=%v, CS=%v (q=%v)",
+					e.Name(), e.Answer(), ref.Answer(), q)
+			}
+		}
+		for bi, batch := range batches {
+			want := ref.ApplyBatch(batch).Answer
+			for _, e := range engines[1:] {
+				got := e.ApplyBatch(batch).Answer
+				if got != want {
+					t.Fatalf("batch %d: %s=%v, CS=%v (algo=%s q=%v seed=%d)",
+						bi, e.Name(), got, want, a.Name(), q, seed)
+				}
+			}
+			// White-box: the incremental engines' dependency trees must
+			// satisfy the supplier invariant between batches.
+			checkInvariant(t, engines[1].(*Incremental).st)
+			checkInvariant(t, engines[2].(*CISO).st)
+		}
+	}
+}
+
+// TestLongStreamStability runs many small batches to stress repeated
+// recovery on the same engine instances.
+func TestLongStreamStability(t *testing.T) {
+	ds := graph.RMAT("long", 6, 500, graph.DefaultRMAT, 8, 99)
+	w, err := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 10, DelsPerBatch: 10, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{S: w.QueryPairs(1)[0][0], D: w.QueryPairs(1)[0][1]}
+	cs, ciso := NewColdStart(), NewCISO()
+	init := w.Initial()
+	cs.Reset(init.Clone(), algo.PPSP{}, q)
+	ciso.Reset(init.Clone(), algo.PPSP{}, q)
+	for bi := 0; bi < 12; bi++ {
+		batch := w.NextBatch()
+		if len(batch) == 0 {
+			break
+		}
+		want := cs.ApplyBatch(batch).Answer
+		got := ciso.ApplyBatch(batch).Answer
+		if got != want {
+			t.Fatalf("batch %d: CISO=%v CS=%v", bi, got, want)
+		}
+		checkInvariant(t, ciso.st)
+	}
+}
+
+// TestDeletionHeavyStream exercises the recovery path hard: delete-only
+// batches until the graph drains.
+func TestDeletionHeavyStream(t *testing.T) {
+	for _, a := range algo.All() {
+		ds := graph.Uniform("drain", 40, 300, 8, 5)
+		w, err := stream.New(ds, stream.Config{
+			LoadFraction: 1.0, AddsPerBatch: 0, DelsPerBatch: 30, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := Query{S: 0, D: 7}
+		cs, ciso, inc := NewColdStart(), NewCISO(), NewIncremental()
+		cs.Reset(w.Initial(), a, q)
+		ciso.Reset(w.Initial(), a, q)
+		inc.Reset(w.Initial(), a, q)
+		for bi := 0; bi < 10; bi++ {
+			batch := w.NextBatch()
+			if len(batch) == 0 {
+				break
+			}
+			want := cs.ApplyBatch(batch).Answer
+			if got := ciso.ApplyBatch(batch).Answer; got != want {
+				t.Fatalf("%s batch %d: CISO=%v CS=%v", a.Name(), bi, got, want)
+			}
+			if got := inc.ApplyBatch(batch).Answer; got != want {
+				t.Fatalf("%s batch %d: Inc=%v CS=%v", a.Name(), bi, got, want)
+			}
+		}
+		if ciso.Answer() != a.Init() {
+			t.Fatalf("%s: fully drained graph should leave d unreached, got %v",
+				a.Name(), ciso.Answer())
+		}
+	}
+}
+
+// TestAdditionOnlyGrowth mirrors Kineograph-style growing graphs.
+func TestAdditionOnlyGrowth(t *testing.T) {
+	ds := graph.RMAT("grow", 6, 600, graph.DefaultRMAT, 8, 13)
+	w, err := stream.New(ds, stream.Config{
+		LoadFraction: 0.2, AddsPerBatch: 60, DelsPerBatch: 0, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{S: w.QueryPairs(1)[0][0], D: w.QueryPairs(1)[0][1]}
+	for _, a := range algo.All() {
+		cs, ciso := NewColdStart(), NewCISO()
+		cs.Reset(w.Initial(), a, q)
+		ciso.Reset(w.Initial(), a, q)
+		w2, _ := stream.New(ds, stream.Config{
+			LoadFraction: 0.2, AddsPerBatch: 60, DelsPerBatch: 0, Seed: 13,
+		})
+		for bi := 0; bi < 5; bi++ {
+			batch := w2.NextBatch()
+			want := cs.ApplyBatch(batch).Answer
+			if got := ciso.ApplyBatch(batch).Answer; got != want {
+				t.Fatalf("%s batch %d: CISO=%v CS=%v", a.Name(), bi, got, want)
+			}
+			// Monotone growth: answers only improve or stay equal.
+			_ = bi
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stream"
+)
+
+// inverse returns the batch that undoes b: it deletes what b added and
+// re-adds what b deleted.
+func inverse(b []graph.Update) []graph.Update {
+	out := make([]graph.Update, 0, len(b))
+	for _, up := range b {
+		if up.Del {
+			out = append(out, graph.Add(up.From, up.To, up.W))
+		} else {
+			out = append(out, graph.Del(up.From, up.To, up.W))
+		}
+	}
+	return out
+}
+
+// TestBatchInverseRestoresAnswer: applying a batch and then its inverse
+// must restore the original answer on every engine — the metamorphic
+// "undo" property.
+func TestBatchInverseRestoresAnswer(t *testing.T) {
+	for _, a := range algo.All() {
+		ds := graph.RMAT("inv", 7, 900, graph.DefaultRMAT, 8, 71)
+		w, _ := stream.New(ds, stream.Config{
+			LoadFraction: 0.5, AddsPerBatch: 40, DelsPerBatch: 40, Seed: 71,
+		})
+		p := w.QueryPairsConnected(1)[0]
+		q := Query{S: p[0], D: p[1]}
+		engines := []Engine{NewColdStart(), NewIncremental(), NewCISO(), NewSGraph(4)}
+		init := w.Initial()
+		batch := w.NextBatch()
+		for _, e := range engines {
+			e.Reset(init.Clone(), a, q)
+			original := e.Answer()
+			e.ApplyBatch(batch)
+			res := e.ApplyBatch(inverse(batch))
+			if res.Answer != original {
+				t.Fatalf("%s/%s: undo gave %v, original was %v",
+					a.Name(), e.Name(), res.Answer, original)
+			}
+		}
+	}
+}
+
+// TestBatchPermutationInvariance: the converged answer of a batch must not
+// depend on the arrival order of its updates (the snapshot is a set).
+func TestBatchPermutationInvariance(t *testing.T) {
+	ds := graph.RMAT("perm", 7, 900, graph.DefaultRMAT, 8, 73)
+	w, _ := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 40, DelsPerBatch: 40, Seed: 73,
+	})
+	p := w.QueryPairsConnected(1)[0]
+	q := Query{S: p[0], D: p[1]}
+	init := w.Initial()
+	batch := w.NextBatch()
+	for _, a := range algo.All() {
+		ref := NewCISO()
+		ref.Reset(init.Clone(), a, q)
+		want := ref.ApplyBatch(batch).Answer
+		rng := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 3; trial++ {
+			shuffled := append([]graph.Update(nil), batch...)
+			rng.Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			e := NewCISO()
+			e.Reset(init.Clone(), a, q)
+			if got := e.ApplyBatch(shuffled).Answer; got != want {
+				t.Fatalf("%s trial %d: shuffled answer %v, want %v", a.Name(), trial, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchSplittingInvariance: applying one big batch or the same updates
+// as several smaller batches must converge to the same answer (batching is
+// an efficiency choice, not a semantic one — paper §II-A).
+func TestBatchSplittingInvariance(t *testing.T) {
+	ds := graph.RMAT("split", 7, 900, graph.DefaultRMAT, 8, 79)
+	w, _ := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 60, DelsPerBatch: 60, Seed: 79,
+	})
+	p := w.QueryPairsConnected(1)[0]
+	q := Query{S: p[0], D: p[1]}
+	init := w.Initial()
+	batch := w.NextBatch()
+	for _, a := range algo.All() {
+		whole := NewCISO()
+		whole.Reset(init.Clone(), a, q)
+		want := whole.ApplyBatch(batch).Answer
+
+		pieces := NewCISO()
+		pieces.Reset(init.Clone(), a, q)
+		var got algo.Value
+		for i := 0; i < len(batch); i += 13 {
+			end := i + 13
+			if end > len(batch) {
+				end = len(batch)
+			}
+			got = pieces.ApplyBatch(batch[i:end]).Answer
+		}
+		if got != want {
+			t.Fatalf("%s: split answer %v, whole-batch answer %v", a.Name(), got, want)
+		}
+	}
+}
+
+// TestMonotoneGrowthImprovesAnswers: with additions only, answers never get
+// worse batch over batch (the paper's "edge additions are always safe").
+func TestMonotoneGrowthImprovesAnswers(t *testing.T) {
+	ds := graph.RMAT("grow2", 7, 900, graph.DefaultRMAT, 8, 83)
+	w, _ := stream.New(ds, stream.Config{
+		LoadFraction: 0.3, AddsPerBatch: 60, DelsPerBatch: 0, Seed: 83,
+	})
+	p := w.QueryPairsConnected(1)[0]
+	q := Query{S: p[0], D: p[1]}
+	for _, a := range algo.All() {
+		w2, _ := stream.New(ds, stream.Config{
+			LoadFraction: 0.3, AddsPerBatch: 60, DelsPerBatch: 0, Seed: 83,
+		})
+		e := NewCISO()
+		e.Reset(w2.Initial(), a, q)
+		prev := e.Answer()
+		for bi := 0; bi < 5; bi++ {
+			cur := e.ApplyBatch(w2.NextBatch()).Answer
+			if a.Better(prev, cur) {
+				t.Fatalf("%s batch %d: answer worsened %v → %v under pure growth",
+					a.Name(), bi, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stream"
+)
+
+// TestMultiCISOMatchesIndependentEngines is the multi-query correctness
+// anchor: shared-topology processing must be answer-identical to Q
+// independent CISO engines on the same stream.
+func TestMultiCISOMatchesIndependentEngines(t *testing.T) {
+	for _, a := range algo.All() {
+		ds := graph.RMAT("multi", 7, 900, graph.DefaultRMAT, 16, 31)
+		w, err := stream.New(ds, stream.Config{
+			LoadFraction: 0.5, AddsPerBatch: 40, DelsPerBatch: 40, Seed: 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qs []Query
+		for _, p := range w.QueryPairs(4) {
+			qs = append(qs, Query{S: p[0], D: p[1]})
+		}
+		init := w.Initial()
+		multi := NewMultiCISO()
+		multi.Reset(init.Clone(), a, qs)
+		singles := make([]*CISO, len(qs))
+		for i, q := range qs {
+			singles[i] = NewCISO()
+			singles[i].Reset(init.Clone(), a, q)
+		}
+		for bi := 0; bi < 3; bi++ {
+			batch := w.NextBatch()
+			rs := multi.ApplyBatch(batch)
+			if len(rs) != len(qs) {
+				t.Fatalf("%s: %d results for %d queries", a.Name(), len(rs), len(qs))
+			}
+			for i, q := range qs {
+				want := singles[i].ApplyBatch(batch).Answer
+				if rs[i].Answer != want {
+					t.Fatalf("%s batch %d query %v: multi=%v single=%v",
+						a.Name(), bi, q, rs[i].Answer, want)
+				}
+				checkInvariant(t, multi.states[i])
+			}
+		}
+	}
+}
+
+func TestMultiCISOAgainstColdStart(t *testing.T) {
+	ds := graph.Uniform("multics", 80, 600, 8, 17)
+	w, _ := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 30, DelsPerBatch: 30, Seed: 17,
+	})
+	var qs []Query
+	for _, p := range w.QueryPairs(3) {
+		qs = append(qs, Query{S: p[0], D: p[1]})
+	}
+	init := w.Initial()
+	multi := NewMultiCISO()
+	multi.Reset(init.Clone(), algo.PPSP{}, qs)
+	refs := make([]*ColdStart, len(qs))
+	for i, q := range qs {
+		refs[i] = NewColdStart()
+		refs[i].Reset(init.Clone(), algo.PPSP{}, q)
+	}
+	for bi := 0; bi < 4; bi++ {
+		batch := w.NextBatch()
+		rs := multi.ApplyBatch(batch)
+		for i := range qs {
+			want := refs[i].ApplyBatch(batch).Answer
+			if rs[i].Answer != want {
+				t.Fatalf("batch %d query %d: multi=%v cs=%v", bi, i, rs[i].Answer, want)
+			}
+		}
+	}
+}
+
+func TestMultiCISOReweights(t *testing.T) {
+	el := graph.Grid("mrw", 6, 6, 9, 2)
+	qs := []Query{{S: 0, D: 35}, {S: 5, D: 30}}
+	multi := NewMultiCISO()
+	multi.Reset(graph.FromEdgeList(el), algo.PPSP{}, qs)
+	batch := []graph.Update{
+		graph.Del(el.Arcs[0].From, el.Arcs[0].To, el.Arcs[0].W),
+		graph.Add(el.Arcs[0].From, el.Arcs[0].To, 1),
+	}
+	el.Arcs[0].W = 1
+	rs := multi.ApplyBatch(batch)
+	for i, q := range qs {
+		cs := NewColdStart()
+		cs.Reset(graph.FromEdgeList(el), algo.PPSP{}, q)
+		if rs[i].Answer != cs.Answer() {
+			t.Fatalf("query %d: multi=%v cs=%v", i, rs[i].Answer, cs.Answer())
+		}
+	}
+}
+
+func TestMultiCISOAccessors(t *testing.T) {
+	g := graph.NewDynamic(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	m := NewMultiCISO()
+	m.Reset(g, algo.PPSP{}, []Query{{S: 0, D: 2}, {S: 0, D: 1}})
+	if m.Name() != "MultiCISO" {
+		t.Fatal("name")
+	}
+	if len(m.Queries()) != 2 {
+		t.Fatal("queries")
+	}
+	ans := m.Answers()
+	if ans[0] != 2 || ans[1] != 1 {
+		t.Fatalf("answers = %v", ans)
+	}
+	rs := m.ApplyBatch(nil)
+	if len(rs) != 2 || rs[0].Answer != 2 {
+		t.Fatalf("empty batch results = %v", rs)
+	}
+}
+
+func TestMultiCISOResponseBeforeConverged(t *testing.T) {
+	ds := graph.RMAT("mrc", 7, 800, graph.DefaultRMAT, 8, 3)
+	w, _ := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 30, DelsPerBatch: 30, Seed: 3,
+	})
+	var qs []Query
+	for _, p := range w.QueryPairs(2) {
+		qs = append(qs, Query{S: p[0], D: p[1]})
+	}
+	m := NewMultiCISO()
+	m.Reset(w.Initial(), algo.PPSP{}, qs)
+	for _, r := range m.ApplyBatch(w.NextBatch()) {
+		if r.Response > r.Converged {
+			t.Fatalf("response %v after converged %v", r.Response, r.Converged)
+		}
+	}
+}
+
+// TestMultiCISOParallelMatchesSerial runs the same stream in both execution
+// modes; answers must match exactly (run under -race in CI).
+func TestMultiCISOParallelMatchesSerial(t *testing.T) {
+	ds := graph.RMAT("mpar", 7, 900, graph.DefaultRMAT, 16, 77)
+	w, _ := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 40, DelsPerBatch: 40, Seed: 77,
+	})
+	var qs []Query
+	for _, p := range w.QueryPairs(6) {
+		qs = append(qs, Query{S: p[0], D: p[1]})
+	}
+	init := w.Initial()
+	serial := NewMultiCISO()
+	par := NewMultiCISO(WithParallelQueries())
+	serial.Reset(init.Clone(), algo.PPSP{}, qs)
+	par.Reset(init.Clone(), algo.PPSP{}, qs)
+	for bi := 0; bi < 3; bi++ {
+		batch := w.NextBatch()
+		rs := serial.ApplyBatch(batch)
+		rp := par.ApplyBatch(batch)
+		for i := range qs {
+			if rs[i].Answer != rp[i].Answer {
+				t.Fatalf("batch %d query %d: serial=%v parallel=%v",
+					bi, i, rs[i].Answer, rp[i].Answer)
+			}
+		}
+	}
+	// Merged counters must agree on deterministic totals.
+	if serial.Counters().Get("relax") != par.Counters().Get("relax") {
+		t.Fatalf("relax counters diverge: %d vs %d",
+			serial.Counters().Get("relax"), par.Counters().Get("relax"))
+	}
+}

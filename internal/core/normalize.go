@@ -1,0 +1,87 @@
+package core
+
+import "cisgraph/internal/graph"
+
+// NormalizedBatch is a batch reduced to its net per-edge effect against a
+// concrete topology. Engines that process additions and deletions in
+// separate phases (CISO, SGraph, the accelerator) must not naively reorder
+// a batch: a deletion followed by an addition of the same edge is a
+// re-weighting, and swapping the phases would first reject the addition as
+// a duplicate and then remove the edge altogether.
+//
+// Normalization simulates each edge's update subsequence and emits:
+//
+//   - Adds: edges absent before the batch and present after (final weight);
+//   - Dels: edges present before and absent after (original weight);
+//   - Reweights: edges present before and after with a changed weight —
+//     handled as an addition event at the new weight (phase A, catches
+//     improvements) plus a deletion event at the old weight (phase B,
+//     catches a dethroned supplier), both against the final topology.
+//
+// Batches produced by stream.Workload contain no same-edge sequences, so
+// for them normalization is the identity (at O(batch) cost).
+type NormalizedBatch struct {
+	Adds []graph.Update
+	Dels []graph.Update
+	// Reweights records (From, To, W=new weight) with OldW the weight the
+	// edge had before the batch.
+	Reweights []Reweight
+}
+
+// Reweight is a present→present weight change.
+type Reweight struct {
+	From, To   graph.VertexID
+	OldW, NewW float64
+}
+
+// NormalizeBatch computes the net effect of batch against g (which must be
+// the pre-batch topology; it is not modified).
+func NormalizeBatch(g *graph.Dynamic, batch []graph.Update) NormalizedBatch {
+	type track struct {
+		present0, present bool
+		w0, w             float64
+		order             int
+	}
+	touched := make(map[uint64]*track, len(batch))
+	key := func(u, v graph.VertexID) uint64 { return uint64(u)<<32 | uint64(v) }
+	var keys []uint64
+	for _, up := range batch {
+		k := key(up.From, up.To)
+		tr, ok := touched[k]
+		if !ok {
+			w0, present0 := g.HasEdge(up.From, up.To)
+			tr = &track{present0: present0, present: present0, w0: w0, w: w0}
+			touched[k] = tr
+			keys = append(keys, k)
+		}
+		if up.Del {
+			if tr.present {
+				tr.present = false
+			}
+		} else if !tr.present {
+			tr.present = true
+			tr.w = up.W
+		}
+	}
+	var out NormalizedBatch
+	for _, k := range keys {
+		tr := touched[k]
+		u := graph.VertexID(k >> 32)
+		v := graph.VertexID(k & 0xffffffff)
+		switch {
+		case !tr.present0 && tr.present:
+			out.Adds = append(out.Adds, graph.Add(u, v, tr.w))
+		case tr.present0 && !tr.present:
+			out.Dels = append(out.Dels, graph.Del(u, v, tr.w0))
+		case tr.present0 && tr.present && tr.w != tr.w0:
+			out.Reweights = append(out.Reweights, Reweight{From: u, To: v, OldW: tr.w0, NewW: tr.w})
+		}
+	}
+	return out
+}
+
+// Size returns the number of net update events the batch carries
+// (a reweight counts as two: its addition and deletion halves).
+func (n NormalizedBatch) Size() int {
+	return len(n.Adds) + len(n.Dels) + 2*len(n.Reweights)
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stream"
+)
+
+// bruteForceBest enumerates every simple path s→d by DFS and returns the
+// best Join-composed score — an oracle that shares no code with the
+// engines' relaxation machinery. Exponential, so graphs stay tiny.
+func bruteForceBest(g *graph.Dynamic, a algo.Algorithm, s, d graph.VertexID) algo.Value {
+	best := a.Init()
+	onPath := make([]bool, g.NumVertices())
+	var dfs func(v graph.VertexID, score algo.Value)
+	dfs = func(v graph.VertexID, score algo.Value) {
+		if v == d {
+			if a.Better(score, best) {
+				best = score
+			}
+			return
+		}
+		onPath[v] = true
+		for _, e := range g.Out(v) {
+			if !onPath[e.To] {
+				dfs(e.To, a.Propagate(score, a.Weight(e.W)))
+			}
+		}
+		onPath[v] = false
+	}
+	dfs(s, a.Source())
+	return best
+}
+
+// TestEnginesMatchBruteForceOracle checks every engine against exhaustive
+// path enumeration on small random graphs, before and after a batch.
+// Unlike the cross-engine tests (which could all share a bug), the oracle
+// derives answers purely from the ⊕/Join algebra over explicit paths.
+func TestEnginesMatchBruteForceOracle(t *testing.T) {
+	for _, a := range algo.All() {
+		for seed := int64(1); seed <= 4; seed++ {
+			ds := graph.Uniform("oracle", 10, 30, 6, seed)
+			w, err := stream.New(ds, stream.Config{
+				LoadFraction: 0.6, AddsPerBatch: 6, DelsPerBatch: 6, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := Query{S: 0, D: 9}
+			engines := []Engine{NewColdStart(), NewIncremental(), NewCISO(), NewSGraph(2), NewPnP()}
+			init := w.Initial()
+			truth := bruteForceBest(init, a, q.S, q.D)
+			for _, e := range engines {
+				e.Reset(init.Clone(), a, q)
+				if got := e.Answer(); got != truth {
+					t.Fatalf("%s/%s seed %d initial: %v, oracle %v",
+						a.Name(), e.Name(), seed, got, truth)
+				}
+			}
+			for bi := 0; bi < 3; bi++ {
+				batch := w.NextBatch()
+				init.Apply(batch)
+				truth = bruteForceBest(init, a, q.S, q.D)
+				for _, e := range engines {
+					if got := e.ApplyBatch(batch).Answer; got != truth {
+						t.Fatalf("%s/%s seed %d batch %d: %v, oracle %v",
+							a.Name(), e.Name(), seed, bi, got, truth)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAnswerIsAchievablePathScore: on any graph, the engine's key path must
+// re-derive exactly the reported answer when scored edge by edge.
+func TestAnswerIsAchievablePathScore(t *testing.T) {
+	for _, a := range algo.All() {
+		ds := graph.RMAT("score", 7, 900, graph.DefaultRMAT, 8, 67)
+		w, _ := stream.New(ds, stream.Config{
+			LoadFraction: 0.5, AddsPerBatch: 30, DelsPerBatch: 30, Seed: 67,
+		})
+		p := w.QueryPairsConnected(1)[0]
+		q := Query{S: p[0], D: p[1]}
+		e := NewCISO()
+		g := w.Initial()
+		e.Reset(g, a, q)
+		for bi := 0; bi < 3; bi++ {
+			e.ApplyBatch(w.NextBatch())
+			path := e.KeyPath()
+			if path == nil {
+				if algo.Reached(a, e.Answer()) {
+					t.Fatalf("%s: reached answer %v without a key path", a.Name(), e.Answer())
+				}
+				continue
+			}
+			score := a.Source()
+			for i := 0; i+1 < len(path); i++ {
+				wgt, ok := g.HasEdge(path[i], path[i+1])
+				if !ok {
+					t.Fatalf("%s: key path edge %d→%d missing", a.Name(), path[i], path[i+1])
+				}
+				score = a.Propagate(score, a.Weight(wgt))
+			}
+			if score != e.Answer() {
+				t.Fatalf("%s batch %d: key path scores %v, answer %v", a.Name(), bi, score, e.Answer())
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+	"cisgraph/internal/stream"
+)
+
+func TestPnPAgreesWithColdStart(t *testing.T) {
+	for _, a := range algo.All() {
+		ds := graph.RMAT("pnp", 7, 800, graph.DefaultRMAT, 16, 11)
+		w, err := stream.New(ds, stream.Config{
+			LoadFraction: 0.5, AddsPerBatch: 40, DelsPerBatch: 40, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := w.QueryPairs(1)[0]
+		q := Query{S: p[0], D: p[1]}
+		cs, pnp := NewColdStart(), NewPnP()
+		init := w.Initial()
+		cs.Reset(init.Clone(), a, q)
+		pnp.Reset(init.Clone(), a, q)
+		if cs.Answer() != pnp.Answer() {
+			t.Fatalf("%s initial: PnP=%v CS=%v", a.Name(), pnp.Answer(), cs.Answer())
+		}
+		for bi := 0; bi < 3; bi++ {
+			b := w.NextBatch()
+			want := cs.ApplyBatch(b).Answer
+			if got := pnp.ApplyBatch(b).Answer; got != want {
+				t.Fatalf("%s batch %d: PnP=%v CS=%v", a.Name(), bi, got, want)
+			}
+		}
+	}
+}
+
+func TestPnPPrunes(t *testing.T) {
+	// A hub-and-spoke where most of the graph is beyond the destination's
+	// distance: the pruned search must expand fewer vertices than a full
+	// convergence relaxes.
+	g := graph.NewDynamic(100)
+	g.AddEdge(0, 1, 1) // the query path: trivially short
+	for v := graph.VertexID(2); v < 100; v++ {
+		g.AddEdge(0, v, 50)  // expensive spokes
+		g.AddEdge(v, v-1, 1) // spoke interconnect
+	}
+	q := Query{S: 0, D: 1}
+	pnp := NewPnP()
+	pnp.Reset(g.Clone(), algo.PPSP{}, q)
+	if pnp.Answer() != 1 {
+		t.Fatalf("answer = %v", pnp.Answer())
+	}
+	cs := NewColdStart()
+	cs.Reset(g.Clone(), algo.PPSP{}, q)
+	if pr, cr := pnp.Counters().Get(stats.CntRelax), cs.Counters().Get(stats.CntRelax); pr >= cr {
+		t.Fatalf("PnP relaxed %d, CS %d — pruning ineffective", pr, cr)
+	}
+}
+
+func TestPnPName(t *testing.T) {
+	if NewPnP().Name() != "PnP" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+	"cisgraph/internal/stream"
+)
+
+// TestCISOCountersPartitionBatch: Algorithm 1's outcomes must partition the
+// normalized batch exactly — every event is valuable, delayed or useless,
+// and nothing is counted twice.
+func TestCISOCountersPartitionBatch(t *testing.T) {
+	for _, a := range algo.All() {
+		ds := graph.RMAT("part", 7, 800, graph.DefaultRMAT, 8, 41)
+		w, _ := stream.New(ds, stream.Config{
+			LoadFraction: 0.5, AddsPerBatch: 35, DelsPerBatch: 35, Seed: 41,
+		})
+		p := w.QueryPairs(1)[0]
+		e := NewCISO()
+		e.Reset(w.Initial(), a, Query{S: p[0], D: p[1]})
+		for bi := 0; bi < 3; bi++ {
+			batch := w.NextBatch()
+			nb := NormalizeBatch(e.st.g, batch)
+			res := e.ApplyBatch(batch)
+			classified := res.Counters[stats.CntUpdateValuable] +
+				res.Counters[stats.CntUpdateDelayed] +
+				res.Counters[stats.CntUpdateUseless]
+			if classified != int64(nb.Size()) {
+				t.Fatalf("%s batch %d: classified %d of %d events",
+					a.Name(), bi, classified, nb.Size())
+			}
+			// Promotions can never exceed the delayed population.
+			if res.Counters[stats.CntUpdatePromoted] > res.Counters[stats.CntUpdateDelayed] {
+				t.Fatalf("%s batch %d: %d promotions from %d delayed",
+					a.Name(), bi, res.Counters[stats.CntUpdatePromoted],
+					res.Counters[stats.CntUpdateDelayed])
+			}
+		}
+	}
+}
+
+// TestSGraphWitnessIsAchievable: the hub witness bound must never be better
+// than the true answer (it corresponds to a real walk).
+func TestSGraphWitnessIsAchievable(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := graph.RMAT("wit", 6, 400, graph.DefaultRMAT, 8, seed)
+		w, err := stream.New(ds, stream.Config{
+			LoadFraction: 0.7, AddsPerBatch: 10, DelsPerBatch: 10, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		p := w.QueryPairs(1)[0]
+		q := Query{S: p[0], D: p[1]}
+		for _, a := range []algo.Algorithm{algo.PPSP{}, algo.PPWP{}, algo.Reach{}} {
+			sg := NewSGraph(4)
+			cs := NewColdStart()
+			init := w.Initial()
+			sg.Reset(init.Clone(), a, q)
+			cs.Reset(init.Clone(), a, q)
+			truth := cs.Answer()
+			if a.Better(sg.witnessBound(), truth) {
+				return false // a "witness" better than the optimum is impossible
+			}
+			if sg.Answer() != truth {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSGraphLandmarkLBAdmissible: for PPSP the ALT-style lower bound must
+// never exceed the true remaining distance.
+func TestSGraphLandmarkLBAdmissible(t *testing.T) {
+	ds := graph.RMAT("alt", 7, 900, graph.DefaultRMAT, 8, 13)
+	w, _ := stream.New(ds, stream.Config{
+		LoadFraction: 0.8, AddsPerBatch: 1, DelsPerBatch: 1, Seed: 13,
+	})
+	p := w.QueryPairs(1)[0]
+	q := Query{S: p[0], D: p[1]}
+	sg := NewSGraph(4)
+	init := w.Initial()
+	sg.Reset(init.Clone(), algo.PPSP{}, q)
+	// Ground truth: distances from every vertex to d on the reversed graph.
+	rev := reverse(init)
+	truth := newState(rev, algo.PPSP{}, Query{S: q.D, D: q.D}, stats.NewCounters())
+	truth.fullCompute()
+	for v := 0; v < init.NumVertices(); v++ {
+		lb := sg.landmarkLB(graph.VertexID(v))
+		if lb > truth.val[v]+1e-9 {
+			t.Fatalf("vertex %d: lower bound %v exceeds true distance %v", v, lb, truth.val[v])
+		}
+	}
+}
+
+// TestFIFOAndPriorityConvergeIdentically: scheduling policy must never
+// change the converged state, only the response timing.
+func TestFIFOAndPriorityConvergeIdentically(t *testing.T) {
+	ds := graph.RMAT("fifoeq", 7, 800, graph.DefaultRMAT, 8, 53)
+	w, _ := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 40, DelsPerBatch: 40, Seed: 53,
+	})
+	p := w.QueryPairs(1)[0]
+	q := Query{S: p[0], D: p[1]}
+	pri := NewCISO()
+	fifo := NewCISO(WithFIFO())
+	init := w.Initial()
+	pri.Reset(init.Clone(), algo.PPSP{}, q)
+	fifo.Reset(init.Clone(), algo.PPSP{}, q)
+	for bi := 0; bi < 4; bi++ {
+		batch := w.NextBatch()
+		a1 := pri.ApplyBatch(batch).Answer
+		a2 := fifo.ApplyBatch(batch).Answer
+		if a1 != a2 {
+			t.Fatalf("batch %d: priority=%v fifo=%v", bi, a1, a2)
+		}
+		// Full state equality, not just the answer.
+		for v := range pri.st.val {
+			if pri.st.val[v] != fifo.st.val[v] {
+				t.Fatalf("batch %d vertex %d: %v vs %v", bi, v, pri.st.val[v], fifo.st.val[v])
+			}
+		}
+	}
+}
+
+// TestRelaxationsNonNegativeAndBounded: per batch, relaxations are bounded
+// by a polynomial of the work actually performed (no runaway loops).
+func TestRelaxationsBounded(t *testing.T) {
+	ds := graph.RMAT("bound", 7, 800, graph.DefaultRMAT, 8, 61)
+	w, _ := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 30, DelsPerBatch: 30, Seed: 61,
+	})
+	p := w.QueryPairs(1)[0]
+	e := NewCISO()
+	e.Reset(w.Initial(), algo.PPSP{}, Query{S: p[0], D: p[1]})
+	edges := int64(w.Initial().NumEdges())
+	for bi := 0; bi < 4; bi++ {
+		res := e.ApplyBatch(w.NextBatch())
+		relax := res.Counters[stats.CntRelax]
+		if relax < 0 {
+			t.Fatalf("negative relax count %d", relax)
+		}
+		// Loose sanity cap: a batch cannot relax more than every edge a
+		// few dozen times (values strictly improve per vertex per level).
+		if relax > 64*edges {
+			t.Fatalf("batch %d: %d relaxations for %d edges — runaway", bi, relax, edges)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stream"
+)
+
+// TestSoakLargeStream is the long-haul agreement check: a bigger graph,
+// many batches, every engine. Skipped under -short.
+func TestSoakLargeStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped with -short")
+	}
+	ds := graph.StandInOR.Build(11, 5)
+	w, err := stream.New(ds, stream.DefaultConfig(len(ds.Arcs), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.QueryPairsConnected(2)
+	for _, pair := range p {
+		q := Query{S: pair[0], D: pair[1]}
+		engines := []Engine{
+			NewColdStart(), NewIncremental(), NewSGraph(8), NewPnP(), NewCISO(),
+		}
+		w2, _ := stream.New(ds, stream.DefaultConfig(len(ds.Arcs), 5))
+		init := w2.Initial()
+		for _, e := range engines {
+			e.Reset(init.Clone(), algo.PPSP{}, q)
+		}
+		for bi := 0; bi < 10; bi++ {
+			batch := w2.NextBatch()
+			if len(batch) == 0 {
+				break
+			}
+			want := engines[0].ApplyBatch(batch).Answer
+			for _, e := range engines[1:] {
+				if got := e.ApplyBatch(batch).Answer; got != want {
+					t.Fatalf("batch %d: %s=%v CS=%v (q=%v)", bi, e.Name(), got, want, q)
+				}
+			}
+			checkInvariant(t, engines[4].(*CISO).st)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"container/heap"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+)
+
+// state is the shared incremental-computation core: per-vertex values, the
+// dependency tree (parent pointers: which in-neighbor supplies each value),
+// monotonic best-first propagation, and KickStarter-style deletion recovery.
+//
+// Invariant maintained between operations: for every vertex x ≠ source with
+// parent[x] != NoVertex, the edge parent[x]→x exists and
+// val[x] == ⊕(val[parent[x]], Weight(w(parent[x]→x))). The source is pinned
+// at Source() with no parent. This invariant is what makes parent-based
+// deletion tagging exact (DESIGN.md §3.2); tests assert it.
+type state struct {
+	g      *graph.Dynamic
+	a      algo.Algorithm
+	q      Query
+	val    []algo.Value
+	parent []graph.VertexID
+	cnt    *stats.Counters
+
+	wl      worklist
+	scratch []graph.VertexID // reusable buffer for tagging
+	inSet   []bool           // reusable membership marks, len N, all false between uses
+}
+
+func newState(g *graph.Dynamic, a algo.Algorithm, q Query, cnt *stats.Counters) *state {
+	n := g.NumVertices()
+	st := &state{
+		g:      g,
+		a:      a,
+		q:      q,
+		val:    make([]algo.Value, n),
+		parent: make([]graph.VertexID, n),
+		cnt:    cnt,
+		inSet:  make([]bool, n),
+	}
+	st.wl.a = a
+	st.resetAll()
+	return st
+}
+
+// resetAll puts every vertex back to the unreached state with the source
+// pinned.
+func (st *state) resetAll() {
+	initV := st.a.Init()
+	for i := range st.val {
+		st.val[i] = initV
+		st.parent[i] = graph.NoVertex
+	}
+	st.val[st.q.S] = st.a.Source()
+}
+
+// answer returns the current query answer: the destination's state.
+func (st *state) answer() algo.Value { return st.val[st.q.D] }
+
+// fullCompute converges from scratch on the current topology.
+func (st *state) fullCompute() {
+	st.resetAll()
+	st.wl.reset()
+	st.wl.push(st.q.S, st.val[st.q.S])
+	st.drain()
+}
+
+// relaxEdge applies ⊕/⊗ to edge u→v with raw weight w. It returns whether
+// v improved (in which case v's new value has been pushed for propagation).
+// The source vertex is pinned and never updated.
+func (st *state) relaxEdge(u, v graph.VertexID, w float64) bool {
+	st.cnt.Inc(stats.CntRelax)
+	if v == st.q.S {
+		return false
+	}
+	t := st.a.Propagate(st.val[u], st.a.Weight(w))
+	if !st.a.Better(t, st.val[v]) {
+		return false
+	}
+	st.val[v] = t
+	st.parent[v] = u
+	st.cnt.Inc(stats.CntStateUpdate)
+	st.cnt.Inc(stats.CntActivation)
+	st.wl.push(v, t)
+	return true
+}
+
+// drain runs best-first propagation until the worklist empties. Stale
+// entries (value no longer current) are skipped lazily.
+func (st *state) drain() {
+	for st.wl.len() > 0 {
+		v, score := st.wl.pop()
+		if st.val[v] != score {
+			continue // superseded by a better value
+		}
+		for _, e := range st.g.Out(v) {
+			st.relaxEdge(v, e.To, e.W)
+		}
+	}
+}
+
+// processAddition ingests an addition whose topology change has already
+// been applied: relax the new edge and propagate any improvement. It
+// reports whether any state changed — note that the relaxation's Better
+// test is exactly Algorithm 1's valuable-addition check.
+func (st *state) processAddition(u, v graph.VertexID, w float64) bool {
+	if st.relaxEdge(u, v, w) {
+		st.drain()
+		return true
+	}
+	return false
+}
+
+// recomputeVertex re-derives v's value from its current in-edges, refreshing
+// val[v] and parent[v]. It returns the recomputed value.
+func (st *state) recomputeVertex(v graph.VertexID) algo.Value {
+	if v == st.q.S {
+		st.val[v] = st.a.Source()
+		st.parent[v] = graph.NoVertex
+		return st.val[v]
+	}
+	best := st.a.Init()
+	bestParent := graph.NoVertex
+	for _, e := range st.g.In(v) {
+		st.cnt.Inc(stats.CntRelax)
+		t := st.a.Propagate(st.val[e.To], st.a.Weight(e.W))
+		if st.a.Better(t, best) {
+			best = t
+			bestParent = e.To
+		}
+	}
+	st.val[v] = best
+	st.parent[v] = bestParent
+	return best
+}
+
+// repairVertex re-derives v after one of its in-edges was deleted.
+//
+// A cheap shortcut applies when some live in-edge still supplies exactly
+// the old value and its tail is provably not a dependent of v (adopting a
+// dependent would create a self-supporting island). Two certificates are
+// used, in cost order:
+//
+//   - the tail's score is strictly better than v's — a vertex deriving
+//     from v can never score strictly better (monotone ⊕);
+//   - the tail's parent chain reaches the source without passing v — the
+//     chain IS its current derivation. For algebras with massive ties
+//     (Reach: every reached vertex scores 1) this is what keeps supplier
+//     deletions from degenerating into whole-subtree re-computations.
+//
+// Otherwise the region transitively derived from v is tagged through parent
+// pointers, reset, re-seeded from its unaffected boundary and re-converged —
+// the KickStarter-style tagging overhead the paper attributes to deletions.
+// It reports whether any state changed.
+func (st *state) repairVertex(v graph.VertexID) bool {
+	if v == st.q.S {
+		return false // the source is pinned
+	}
+	old := st.val[v]
+	if !algo.Reached(st.a, old) {
+		return false // nothing to lose
+	}
+	best := st.a.Init()
+	for _, e := range st.g.In(v) {
+		st.cnt.Inc(stats.CntRelax)
+		if t := st.a.Propagate(st.val[e.To], st.a.Weight(e.W)); st.a.Better(t, best) {
+			best = t
+		}
+	}
+	if best == old {
+		for _, e := range st.g.In(v) {
+			y := e.To
+			if st.a.Propagate(st.val[y], st.a.Weight(e.W)) != old {
+				continue
+			}
+			if st.a.Better(st.val[y], old) || !st.chainPasses(y, v) {
+				st.parent[v] = y
+				return false
+			}
+		}
+	}
+	// Full repair with adoption trimming: tag the dependence closure, then
+	// let every region vertex that still derives its exact old value from a
+	// supplier OUTSIDE the region adopt that supplier in place (an outside
+	// vertex's chain provably avoids the whole region — if it passed any
+	// member it would pass v and be a member itself). Only the remaining
+	// broken vertices are reset, re-seeded from the safe boundary and
+	// re-propagated. The region walk runs in dependence (BFS) order, so an
+	// adopted parent is already unmarked when its children are examined and
+	// keeps whole subtrees out of the reset.
+	region := st.tagDependents(v)
+	broken := region[:0:0]
+	for _, x := range region {
+		oldX := st.val[x]
+		bestX := st.a.Init()
+		bestParent := graph.NoVertex
+		for _, e := range st.g.In(x) {
+			if st.inSet[e.To] {
+				continue // still-suspect supplier
+			}
+			st.cnt.Inc(stats.CntRelax)
+			if t := st.a.Propagate(st.val[e.To], st.a.Weight(e.W)); st.a.Better(t, bestX) {
+				bestX = t
+				bestParent = e.To
+			}
+		}
+		if bestX == oldX {
+			st.parent[x] = bestParent
+			st.inSet[x] = false // adopted: value survives untouched
+			continue
+		}
+		broken = append(broken, x)
+	}
+	initV := st.a.Init()
+	for _, x := range broken {
+		st.val[x] = initV
+		st.parent[x] = graph.NoVertex
+		st.inSet[x] = false
+	}
+	st.wl.reset()
+	for _, x := range broken {
+		if st.recomputeVertex(x); algo.Reached(st.a, st.val[x]) {
+			st.cnt.Inc(stats.CntActivation)
+			st.wl.push(x, st.val[x])
+		}
+	}
+	st.drain()
+	return st.val[v] != old
+}
+
+// chainPasses reports whether y's parent chain passes through v (i.e. y's
+// current value derives from v). The walk is bounded by the vertex count;
+// an anomalous overflow is conservatively treated as "passes".
+func (st *state) chainPasses(y, v graph.VertexID) bool {
+	for hops := 0; hops <= len(st.val); hops++ {
+		if y == v {
+			return true
+		}
+		y = st.parent[y]
+		if y == graph.NoVertex {
+			return false
+		}
+	}
+	return true
+}
+
+// tagDependents collects v plus every vertex whose value transitively
+// depends on v through parent pointers. It marks the region in st.inSet
+// (callers must clear the marks) and counts tagged vertices.
+func (st *state) tagDependents(v graph.VertexID) []graph.VertexID {
+	st.scratch = st.scratch[:0]
+	st.scratch = append(st.scratch, v)
+	st.inSet[v] = true
+	for i := 0; i < len(st.scratch); i++ {
+		x := st.scratch[i]
+		st.cnt.Inc(stats.CntTagged)
+		for _, e := range st.g.Out(x) {
+			if !st.inSet[e.To] && st.parent[e.To] == x {
+				st.inSet[e.To] = true
+				st.scratch = append(st.scratch, e.To)
+			}
+		}
+	}
+	return st.scratch
+}
+
+// worklist is a lazy best-first priority queue over (vertex, score) pairs.
+// Best-first order makes propagation label-setting for monotone algorithms
+// (a generic Dijkstra); stale entries are skipped at pop time.
+type worklist struct {
+	a     algo.Algorithm
+	items []wlItem
+}
+
+type wlItem struct {
+	v     graph.VertexID
+	score algo.Value
+}
+
+func (w *worklist) reset()   { w.items = w.items[:0] }
+func (w *worklist) len() int { return len(w.items) }
+func (w *worklist) Len() int { return len(w.items) }
+func (w *worklist) Less(i, j int) bool {
+	return w.a.Better(w.items[i].score, w.items[j].score)
+}
+func (w *worklist) Swap(i, j int) { w.items[i], w.items[j] = w.items[j], w.items[i] }
+func (w *worklist) Push(x any)    { w.items = append(w.items, x.(wlItem)) }
+func (w *worklist) Pop() any {
+	old := w.items
+	n := len(old)
+	it := old[n-1]
+	w.items = old[:n-1]
+	return it
+}
+
+func (w *worklist) push(v graph.VertexID, score algo.Value) {
+	heap.Push(w, wlItem{v: v, score: score})
+}
+
+func (w *worklist) pop() (graph.VertexID, algo.Value) {
+	it := heap.Pop(w).(wlItem)
+	return it.v, it.score
+}

@@ -1,0 +1,205 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/hw/accel"
+	"cisgraph/internal/stats"
+)
+
+// SchedulingAblationResult isolates the paper's two software mechanisms —
+// useless-update dropping and priority scheduling — by disabling each in
+// CISGraph-O (DESIGN.md A1).
+type SchedulingAblationResult struct {
+	Dataset graph.StandIn
+	// Response / Converged per variant name.
+	Response  map[string]time.Duration
+	Converged map[string]time.Duration
+	Variants  []string
+}
+
+// RunAblationScheduling measures CISO, CISO without dropping, CISO without
+// priority scheduling, and both off (≈ the plain incremental baseline).
+func RunAblationScheduling(o Options) (*SchedulingAblationResult, error) {
+	o = o.WithDefaults()
+	res := &SchedulingAblationResult{
+		Dataset:   graph.StandInOR,
+		Response:  map[string]time.Duration{},
+		Converged: map[string]time.Duration{},
+		Variants:  []string{"CISO", "CISO-fifo", "CISO-nodrop", "CISO-nodrop-fifo"},
+	}
+	w, err := o.workloadFor(res.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	init := w.Initial()
+	batches := w.Batches(o.Batches)
+	a := algo.PPSP{}
+	for _, q := range o.queries(w, o.Pairs) {
+		mk := map[string]func() core.Engine{
+			"CISO":             func() core.Engine { return core.NewCISO() },
+			"CISO-fifo":        func() core.Engine { return core.NewCISO(core.WithFIFO()) },
+			"CISO-nodrop":      func() core.Engine { return core.NewCISO(core.WithNoDrop()) },
+			"CISO-nodrop-fifo": func() core.Engine { return core.NewCISO(core.WithNoDrop(), core.WithFIFO()) },
+		}
+		for _, name := range res.Variants {
+			e := mk[name]()
+			e.Reset(init.Clone(), a, q)
+			for _, b := range batches {
+				r := e.ApplyBatch(b)
+				res.Response[name] += r.Response
+				res.Converged[name] += r.Converged
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *SchedulingAblationResult) Render(w io.Writer, markdown bool) error {
+	t := stats.NewTable(
+		fmt.Sprintf("Ablation A1 — scheduling policy (%s, PPSP)", r.Dataset),
+		"Variant", "Total response", "Total converged", "Response vs CISO")
+	base := r.Response["CISO"]
+	for _, v := range r.Variants {
+		t.AddRow(v, r.Response[v].String(), r.Converged[v].String(),
+			fmt.Sprintf("%.2f×", stats.Ratio(float64(r.Response[v]), float64(base))))
+	}
+	return renderTable(w, t, markdown)
+}
+
+// SweepPoint is one configuration of a hardware sweep.
+type SweepPoint struct {
+	Label  string
+	Cycles int64
+}
+
+// SweepResult is a hardware parameter sweep (A2: pipelines, A3: SPM size).
+type SweepResult struct {
+	Title  string
+	Points []SweepPoint
+}
+
+// RunAblationPipelines sweeps the pipeline count (paper: 4).
+func RunAblationPipelines(o Options) (*SweepResult, error) {
+	o = o.WithDefaults()
+	res := &SweepResult{Title: "Ablation A2 — pipeline count sweep (OR, PPSP, batch cycles)"}
+	for _, pipes := range []int{1, 2, 4, 8} {
+		cfg := o.HWConfig()
+		cfg.Pipelines = pipes
+		cycles, err := runAccelCycles(o, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, SweepPoint{
+			Label:  fmt.Sprintf("%d pipelines", pipes),
+			Cycles: cycles,
+		})
+	}
+	return res, nil
+}
+
+// RunAblationSPM sweeps the scratchpad capacity (scaled with the reduced
+// datasets; the paper's 32 MB : 500 MB graph ratio is preserved around the
+// middle points).
+func RunAblationSPM(o Options) (*SweepResult, error) {
+	o = o.WithDefaults()
+	res := &SweepResult{Title: "Ablation A3 — scratchpad capacity sweep (OR, PPSP, batch cycles)"}
+	for _, kb := range []int{16, 64, 256, 1024} {
+		cfg := o.HWConfig()
+		cfg.SPM.SizeBytes = kb << 10
+		cycles, err := runAccelCycles(o, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, SweepPoint{
+			Label:  fmt.Sprintf("%d KB SPM", kb),
+			Cycles: cycles,
+		})
+	}
+	return res, nil
+}
+
+// RunAblationChannels sweeps the DRAM channel count (paper: 8 × DDR4-3200).
+// Bandwidth sensitivity is the memory-intensity fingerprint of streaming
+// graph analytics.
+func RunAblationChannels(o Options) (*SweepResult, error) {
+	o = o.WithDefaults()
+	res := &SweepResult{Title: "Ablation A4 — DRAM channel sweep (OR, PPSP, batch cycles)"}
+	for _, ch := range []int{1, 2, 4, 8} {
+		cfg := o.HWConfig()
+		cfg.DRAM.Channels = ch
+		cycles, err := runAccelCycles(o, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, SweepPoint{
+			Label:  fmt.Sprintf("%d channels", ch),
+			Cycles: cycles,
+		})
+	}
+	return res, nil
+}
+
+// RunAblationPrefetchSlots sweeps the per-pipeline outstanding-request
+// bound (MSHR-style memory-level parallelism; 0 = unlimited, the paper's
+// idealised prefetchers).
+func RunAblationPrefetchSlots(o Options) (*SweepResult, error) {
+	o = o.WithDefaults()
+	res := &SweepResult{Title: "Ablation A5 — prefetch-slot (MLP) sweep (OR, PPSP, batch cycles)"}
+	for _, slots := range []int{1, 2, 4, 0} {
+		cfg := o.HWConfig()
+		cfg.PrefetchSlots = slots
+		cycles, err := runAccelCycles(o, cfg)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%d slots", slots)
+		if slots == 0 {
+			label = "unlimited"
+		}
+		res.Points = append(res.Points, SweepPoint{Label: label, Cycles: cycles})
+	}
+	return res, nil
+}
+
+// runAccelCycles runs the accelerator on the OR/PPSP workload and returns
+// the batch-processing cycles (excluding the initial convergence).
+func runAccelCycles(o Options, cfg accel.Config) (int64, error) {
+	w, err := o.workloadFor(graph.StandInOR)
+	if err != nil {
+		return 0, err
+	}
+	init := w.Initial()
+	batches := w.Batches(o.Batches)
+	var total int64
+	for _, q := range o.queries(w, o.Pairs) {
+		hw := accel.New(cfg)
+		hw.Reset(init.Clone(), algo.PPSP{}, q)
+		start := hw.Cycles()
+		for _, b := range batches {
+			hw.ApplyBatch(b)
+		}
+		total += int64(hw.Cycles() - start)
+	}
+	return total, nil
+}
+
+// Render implements Renderer.
+func (r *SweepResult) Render(w io.Writer, markdown bool) error {
+	t := stats.NewTable(r.Title, "Configuration", "Cycles", "vs first")
+	if len(r.Points) == 0 {
+		return renderTable(w, t, markdown)
+	}
+	base := float64(r.Points[0].Cycles)
+	for _, p := range r.Points {
+		t.AddRow(p.Label, fmt.Sprintf("%d", p.Cycles),
+			fmt.Sprintf("%.2f×", stats.Ratio(float64(p.Cycles), base)))
+	}
+	return renderTable(w, t, markdown)
+}

@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"fmt"
+
+	"cisgraph/internal/plot"
+)
+
+// Charter is implemented by experiment results that can render themselves
+// as an SVG figure (cmd/experiments -svgdir).
+type Charter interface {
+	Chart() *plot.Chart
+}
+
+// Chart renders Table IV's geometric-mean speedups as grouped bars on a log
+// axis — the figure form of the paper's headline table.
+func (r *Table4Result) Chart() *plot.Chart {
+	engines := []string{"SGraph", "CISGraph-O", "CISGraph"}
+	c := &plot.Chart{
+		Title:   "Table IV — GMean speedup over Cold-Start",
+		YLabel:  "speedup (×, log)",
+		XLabels: r.AlgoOrder,
+		YLog:    true,
+	}
+	for _, e := range engines {
+		s := plot.Series{Label: e}
+		for _, an := range r.AlgoOrder {
+			s.Values = append(s.Values, r.GMean[an][e])
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// Chart renders Figure 2's per-query redundancy bars.
+func (r *Fig2Result) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:   fmt.Sprintf("Figure 2 — update redundancy (%s, %s)", r.Dataset, r.Algo),
+		YLabel:  "% of batch",
+		XLabels: nil,
+		Series: []plot.Series{
+			{Label: "useless updates"},
+			{Label: "redundant compute"},
+			{Label: "wasted time"},
+		},
+	}
+	for _, row := range r.Rows {
+		c.XLabels = append(c.XLabels, fmt.Sprintf("%d→%d", row.Query.S, row.Query.D))
+		c.Series[0].Values = append(c.Series[0].Values, row.UselessUpdatePct)
+		c.Series[1].Values = append(c.Series[1].Values, row.RedundantComputePct)
+		c.Series[2].Values = append(c.Series[2].Values, row.WastefulTimePct)
+	}
+	return c
+}
+
+// Chart renders Figure 5(a): computations normalised to CS.
+func (r *Fig5aResult) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("Figure 5(a) — computations normalised to CS (%s)", r.Dataset),
+		YLabel: "CISGraph ÷ CS",
+		Series: []plot.Series{{Label: "CISGraph"}},
+	}
+	for _, row := range r.Rows {
+		c.XLabels = append(c.XLabels, row.Algo)
+		c.Series[0].Values = append(c.Series[0].Values, row.Normalized)
+	}
+	return c
+}
+
+// Chart renders Figure 5(b): add vs pre-response deletion activations.
+func (r *Fig5bResult) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  "Figure 5(b) — activations by phase",
+		YLabel: "activated vertices (log)",
+		YLog:   true,
+		Series: []plot.Series{
+			{Label: "additions"},
+			{Label: "deletions (pre-response)"},
+		},
+	}
+	for _, row := range r.Rows {
+		c.XLabels = append(c.XLabels, fmt.Sprintf("%s/%s", row.Algo, row.Dataset))
+		c.Series[0].Values = append(c.Series[0].Values, float64(row.AddActivations))
+		c.Series[1].Values = append(c.Series[1].Values, float64(row.DelActivations))
+	}
+	return c
+}
+
+// Chart renders a hardware sweep (A2/A3/A4).
+func (r *SweepResult) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  r.Title,
+		YLabel: "batch cycles",
+		Series: []plot.Series{{Label: "cycles"}},
+	}
+	for _, p := range r.Points {
+		c.XLabels = append(c.XLabels, p.Label)
+		c.Series[0].Values = append(c.Series[0].Values, float64(p.Cycles))
+	}
+	return c
+}
+
+// Chart renders ablation A1's response times.
+func (r *SchedulingAblationResult) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("Ablation A1 — scheduling policy (%s, PPSP)", r.Dataset),
+		YLabel: "total response (µs)",
+		Series: []plot.Series{{Label: "response"}, {Label: "converged"}},
+	}
+	for _, v := range r.Variants {
+		c.XLabels = append(c.XLabels, v)
+		c.Series[0].Values = append(c.Series[0].Values, float64(r.Response[v].Microseconds()))
+		c.Series[1].Values = append(c.Series[1].Values, float64(r.Converged[v].Microseconds()))
+	}
+	return c
+}
+
+// Chart renders the S1 batch-size sweep speedups.
+func (r *BatchSizeResult) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("Sensitivity S1 — batch-size sweep (%s, PPSP)", r.Dataset),
+		YLabel: "CISGraph-O speedup over CS (×)",
+		Series: []plot.Series{{Label: "speedup"}},
+	}
+	for _, p := range r.Points {
+		c.XLabels = append(c.XLabels, fmt.Sprintf("%d", p.UpdatesPerBatch))
+		c.Series[0].Values = append(c.Series[0].Values, p.Speedup)
+	}
+	return c
+}
+
+// Chart renders the S2 adversarial sweep.
+func (r *AdversarialResult) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("Sensitivity S2 — adversarial targeting (%s, PPSP)", r.Dataset),
+		YLabel: "%",
+		Series: []plot.Series{
+			{Label: "valuable %"},
+			{Label: "speedup vs CS (×)"},
+		},
+	}
+	for _, p := range r.Points {
+		c.XLabels = append(c.XLabels, fmt.Sprintf("%.0f%% targeted", 100*p.Fraction))
+		c.Series[0].Values = append(c.Series[0].Values, p.ValuablePct)
+		c.Series[1].Values = append(c.Series[1].Values, p.Speedup)
+	}
+	return c
+}
+
+// Chart renders the E6 energy breakdown (stacked as grouped bars).
+func (r *EnergyResult) Chart() *plot.Chart {
+	c := &plot.Chart{
+		Title:  fmt.Sprintf("Extension E6 — energy per stream (%s)", r.Dataset),
+		YLabel: "energy (nJ)",
+		Series: []plot.Series{
+			{Label: "SPM"}, {Label: "DRAM"}, {Label: "compute"}, {Label: "static"},
+		},
+	}
+	for _, row := range r.Rows {
+		c.XLabels = append(c.XLabels, row.Algo)
+		c.Series[0].Values = append(c.Series[0].Values, row.Energy.SPM)
+		c.Series[1].Values = append(c.Series[1].Values, row.Energy.DRAM)
+		c.Series[2].Values = append(c.Series[2].Values, row.Energy.Compute)
+		c.Series[3].Values = append(c.Series[3].Values, row.Energy.Static)
+	}
+	return c
+}

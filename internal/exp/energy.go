@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"cisgraph/internal/graph"
+	"cisgraph/internal/hw/accel"
+	"cisgraph/internal/stats"
+)
+
+// EnergyRow is one algorithm's per-batch energy estimate on the OR
+// stand-in.
+type EnergyRow struct {
+	Algo   string
+	Energy accel.Energy // cumulative over the run
+	// PerUpdateNJ is total energy divided by processed updates.
+	PerUpdateNJ float64
+}
+
+// EnergyResult is the extension experiment E6: an energy breakdown of the
+// accelerator per algorithm (the paper reports no energy figures; this
+// model follows the usual DATE practice of constant-per-event estimation —
+// see accel.EnergyConfig).
+type EnergyResult struct {
+	Dataset graph.StandIn
+	Config  accel.EnergyConfig
+	Rows    []EnergyRow
+}
+
+// RunEnergy measures the accelerator's energy on the OR workload for every
+// algorithm.
+func RunEnergy(o Options) (*EnergyResult, error) {
+	o = o.WithDefaults()
+	res := &EnergyResult{Dataset: graph.StandInOR, Config: accel.DefaultEnergy()}
+	w, err := o.workloadFor(res.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	init := w.Initial()
+	batches := w.Batches(o.Batches)
+	updates := 0
+	for _, b := range batches {
+		updates += len(b)
+	}
+	qs := o.queries(w, o.Pairs)
+	for _, a := range o.Algorithms {
+		var sum accel.Energy
+		for _, q := range qs {
+			hw := accel.New(o.HWConfig())
+			hw.Reset(init.Clone(), a, q)
+			preBatch := hw.Energy(res.Config)
+			for _, b := range batches {
+				hw.ApplyBatch(b)
+			}
+			e := hw.Energy(res.Config)
+			sum.SPM += e.SPM - preBatch.SPM
+			sum.DRAM += e.DRAM - preBatch.DRAM
+			sum.Compute += e.Compute - preBatch.Compute
+			sum.Static += e.Static - preBatch.Static
+		}
+		n := float64(len(qs))
+		row := EnergyRow{
+			Algo: a.Name(),
+			Energy: accel.Energy{
+				SPM: sum.SPM / n, DRAM: sum.DRAM / n,
+				Compute: sum.Compute / n, Static: sum.Static / n,
+			},
+		}
+		if updates > 0 {
+			row.PerUpdateNJ = row.Energy.Total() / float64(updates)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *EnergyResult) Render(w io.Writer, markdown bool) error {
+	t := stats.NewTable(
+		fmt.Sprintf("Extension E6 — accelerator energy per batch stream (%s; constants: SPM %.0f pJ/access, DRAM %.0f pJ/B, ALU %.0f pJ/op, static %.0f mW)",
+			r.Dataset, r.Config.SPMAccessPJ, r.Config.DRAMBytePJ, r.Config.ALUOpPJ, r.Config.StaticMW),
+		"Algorithm", "SPM nJ", "DRAM nJ", "Compute nJ", "Static nJ", "Total nJ", "nJ/update")
+	for _, row := range r.Rows {
+		t.AddRow(row.Algo,
+			fmt.Sprintf("%.1f", row.Energy.SPM),
+			fmt.Sprintf("%.1f", row.Energy.DRAM),
+			fmt.Sprintf("%.1f", row.Energy.Compute),
+			fmt.Sprintf("%.1f", row.Energy.Static),
+			fmt.Sprintf("%.1f", row.Energy.Total()),
+			fmt.Sprintf("%.2f", row.PerUpdateNJ))
+	}
+	return renderTable(w, t, markdown)
+}

@@ -1,0 +1,358 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/hw/accel"
+)
+
+// tinyOptions keeps experiment smoke tests fast.
+func tinyOptions() Options {
+	return Options{Scale: 8, Seed: 7, Pairs: 2, Batches: 1}
+}
+
+func renderBoth(t *testing.T, r Renderer) (text, md string) {
+	t.Helper()
+	var b1, b2 bytes.Buffer
+	if err := r.Render(&b1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Render(&b2, true); err != nil {
+		t.Fatal(err)
+	}
+	return b1.String(), b2.String()
+}
+
+func TestRunFig2(t *testing.T) {
+	r, err := RunFig2(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.UselessUpdatePct < 0 || row.UselessUpdatePct > 100 {
+			t.Fatalf("useless%% out of range: %v", row.UselessUpdatePct)
+		}
+	}
+	// The headline claim at any scale: most updates do not contribute.
+	if r.AvgUseless < 50 {
+		t.Fatalf("average useless %.1f%%, expected a clear majority", r.AvgUseless)
+	}
+	text, md := renderBoth(t, r)
+	if !strings.Contains(text, "Figure 2") || !strings.Contains(md, "| Query |") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRunTable4Shape(t *testing.T) {
+	o := tinyOptions()
+	// A focused slice keeps the smoke test quick.
+	o.Algorithms = []algo.Algorithm{algo.PPSP{}}
+	o.Datasets = []graph.StandIn{graph.StandInOR}
+	r, err := RunTable4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := r.Cells["PPSP"]
+	if cells["CS"][graph.StandInOR].Speedup != 1 {
+		t.Fatalf("CS must normalise to 1×, got %v", cells["CS"][graph.StandInOR].Speedup)
+	}
+	for _, e := range Table4Engines {
+		c := cells[e][graph.StandInOR]
+		if c.Response <= 0 {
+			t.Fatalf("%s: non-positive response %v", e, c.Response)
+		}
+		if c.Speedup <= 0 {
+			t.Fatalf("%s: non-positive speedup", e)
+		}
+	}
+	text, _ := renderBoth(t, r)
+	if !strings.Contains(text, "Table IV") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRunFig5a(t *testing.T) {
+	o := tinyOptions()
+	o.Algorithms = []algo.Algorithm{algo.PPSP{}, algo.Reach{}}
+	r, err := RunFig5a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.CSRelax == 0 {
+			t.Fatalf("%s: CS did no work", row.Algo)
+		}
+		// The headline shape: incremental classification computes less
+		// than cold start.
+		if row.Normalized >= 1 {
+			t.Fatalf("%s: CISGraph (%d) not below CS (%d)", row.Algo, row.CISRelax, row.CSRelax)
+		}
+	}
+	text, _ := renderBoth(t, r)
+	if !strings.Contains(text, "Figure 5(a)") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRunFig5b(t *testing.T) {
+	o := tinyOptions()
+	o.Algorithms = []algo.Algorithm{algo.PPSP{}}
+	o.Datasets = []graph.StandIn{graph.StandInOR}
+	r, err := RunFig5b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	text, _ := renderBoth(t, r)
+	if !strings.Contains(text, "Figure 5(b)") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRunConfigTables(t *testing.T) {
+	r, err := RunConfigTables(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, md := renderBoth(t, r)
+	for _, want := range []string{"Table I", "Table II", "Table III", "PPSP", "OR"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text missing %q", want)
+		}
+	}
+	if !strings.Contains(md, "| Algorithm |") {
+		t.Fatal("markdown broken")
+	}
+}
+
+func TestRunAblationScheduling(t *testing.T) {
+	r, err := RunAblationScheduling(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r.Variants {
+		if r.Response[v] <= 0 || r.Converged[v] < r.Response[v] {
+			t.Fatalf("%s: response %v converged %v", v, r.Response[v], r.Converged[v])
+		}
+	}
+	text, _ := renderBoth(t, r)
+	if !strings.Contains(text, "Ablation A1") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRunAblationSweeps(t *testing.T) {
+	o := tinyOptions()
+	p, err := RunAblationPipelines(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Points) != 4 {
+		t.Fatalf("pipeline sweep points = %d", len(p.Points))
+	}
+	// More pipelines must not be slower (tolerance for tiny workloads).
+	first, last := float64(p.Points[0].Cycles), float64(p.Points[len(p.Points)-1].Cycles)
+	if last > 1.15*first {
+		t.Fatalf("8 pipelines (%v) slower than 1 (%v)", last, first)
+	}
+	s, err := RunAblationSPM(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bigger SPM must not be slower.
+	if s.Points[len(s.Points)-1].Cycles > s.Points[0].Cycles {
+		t.Fatalf("SPM sweep not monotone: %+v", s.Points)
+	}
+	text, _ := renderBoth(t, s)
+	if !strings.Contains(text, "Ablation A3") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.Scale == 0 || o.Pairs == 0 || len(o.Algorithms) != 5 || len(o.Datasets) != 3 {
+		t.Fatalf("defaults incomplete: %+v", o)
+	}
+	if o.HWConfig().Pipelines != 4 {
+		t.Fatalf("default HW should be the paper's 4 pipelines")
+	}
+}
+
+func TestRunEnergy(t *testing.T) {
+	o := tinyOptions()
+	o.Algorithms = []algo.Algorithm{algo.PPSP{}, algo.Reach{}}
+	r, err := RunEnergy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Energy.Total() <= 0 {
+			t.Fatalf("%s: non-positive energy", row.Algo)
+		}
+		if row.PerUpdateNJ <= 0 {
+			t.Fatalf("%s: per-update energy missing", row.Algo)
+		}
+	}
+	text, _ := renderBoth(t, r)
+	if !strings.Contains(text, "Extension E6") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRunAblationChannels(t *testing.T) {
+	r, err := RunAblationChannels(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// More channels must not be slower.
+	if r.Points[3].Cycles > r.Points[0].Cycles {
+		t.Fatalf("8 channels slower than 1: %+v", r.Points)
+	}
+	text, _ := renderBoth(t, r)
+	if !strings.Contains(text, "Ablation A4") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRunSensitivityBatchSize(t *testing.T) {
+	r, err := RunSensitivityBatchSize(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.Speedup <= 0 || p.CSResponse <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	// Batch sizes must actually grow across the sweep.
+	if r.Points[3].UpdatesPerBatch <= r.Points[0].UpdatesPerBatch {
+		t.Fatal("sweep did not grow the batch")
+	}
+	text, _ := renderBoth(t, r)
+	if !strings.Contains(text, "Sensitivity S1") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRunSensitivityAdversarial(t *testing.T) {
+	r, err := RunSensitivityAdversarial(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.ValuablePct < 0 || p.ValuablePct > 100 || p.UselessPct < 0 || p.UselessPct > 100 {
+			t.Fatalf("percentages out of range: %+v", p)
+		}
+		if p.Speedup <= 0 {
+			t.Fatalf("bad speedup: %+v", p)
+		}
+	}
+	text, _ := renderBoth(t, r)
+	if !strings.Contains(text, "Sensitivity S2") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestChartsRenderable(t *testing.T) {
+	o := tinyOptions()
+	o.Algorithms = []algo.Algorithm{algo.PPSP{}}
+	o.Datasets = []graph.StandIn{graph.StandInOR}
+	t4, err := RunTable4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := RunFig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5a, err := RunFig5a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	charts := []Charter{t4, f2, f5a}
+	for _, c := range charts {
+		var buf bytes.Buffer
+		if err := c.Chart().WriteSVG(&buf, 640, 400); err != nil {
+			t.Fatalf("%T: %v", c, err)
+		}
+		if !strings.Contains(buf.String(), "<svg") {
+			t.Fatalf("%T produced no SVG", c)
+		}
+	}
+}
+
+func TestRunAblationPrefetchSlots(t *testing.T) {
+	r, err := RunAblationPrefetchSlots(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Unlimited must not be slower than a single slot.
+	if r.Points[3].Cycles > r.Points[0].Cycles {
+		t.Fatalf("unlimited slower than 1 slot: %+v", r.Points)
+	}
+	text, _ := renderBoth(t, r)
+	if !strings.Contains(text, "Ablation A5") {
+		t.Fatal("rendering broken")
+	}
+}
+
+// TestAllChartersSynthetic drives every Chart() implementation from
+// synthetic results (no experiment runs needed) and validates the SVG.
+func TestAllChartersSynthetic(t *testing.T) {
+	sweep := &SweepResult{Title: "Ablation A9 — test", Points: []SweepPoint{
+		{Label: "a", Cycles: 100}, {Label: "b", Cycles: 50},
+	}}
+	f5b := &Fig5bResult{Rows: []Fig5bRow{
+		{Algo: "PPSP", Dataset: graph.StandInOR, AddActivations: 10, DelActivations: 2, Ratio: 5},
+	}}
+	a1 := &SchedulingAblationResult{
+		Dataset:   graph.StandInOR,
+		Variants:  []string{"CISO", "CISO-fifo"},
+		Response:  map[string]time.Duration{"CISO": time.Millisecond, "CISO-fifo": 2 * time.Millisecond},
+		Converged: map[string]time.Duration{"CISO": time.Millisecond, "CISO-fifo": 2 * time.Millisecond},
+	}
+	s1 := &BatchSizeResult{Dataset: graph.StandInOR, Points: []BatchSizePoint{
+		{UpdatesPerBatch: 10, Speedup: 20}, {UpdatesPerBatch: 80, Speedup: 5},
+	}}
+	s2 := &AdversarialResult{Dataset: graph.StandInOR, Points: []AdversarialPoint{
+		{Fraction: 0, ValuablePct: 5, UselessPct: 90, Speedup: 30},
+	}}
+	e6 := &EnergyResult{Dataset: graph.StandInOR, Rows: []EnergyRow{
+		{Algo: "PPSP", Energy: accel.Energy{SPM: 1, DRAM: 2, Compute: 3, Static: 4}, PerUpdateNJ: 1},
+	}}
+	for _, c := range []Charter{sweep, f5b, a1, s1, s2, e6} {
+		var buf bytes.Buffer
+		if err := c.Chart().WriteSVG(&buf, 500, 300); err != nil {
+			t.Fatalf("%T: %v", c, err)
+		}
+		if !strings.Contains(buf.String(), "</svg>") {
+			t.Fatalf("%T: incomplete SVG", c)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+	"cisgraph/internal/stream"
+)
+
+// Fig5aRow is one algorithm's computation comparison on the OR dataset.
+type Fig5aRow struct {
+	Algo string
+	// CSRelax and CISRelax are total ⊕ applications per engine across the
+	// run; Normalized is CISGraph ÷ CS (paper Fig. 5a; average 0.33, i.e. a
+	// 67% reduction).
+	CSRelax, CISRelax int64
+	Normalized        float64
+}
+
+// Fig5aResult reproduces Figure 5(a): computations in CISGraph and CS on
+// the OR dataset, normalised to CS.
+type Fig5aResult struct {
+	Dataset graph.StandIn
+	Rows    []Fig5aRow
+	// AvgReductionPct is the mean computation reduction (paper: 67%).
+	AvgReductionPct float64
+}
+
+// RunFig5a counts relaxations in the accelerator and the CS baseline.
+func RunFig5a(o Options) (*Fig5aResult, error) {
+	o = o.WithDefaults()
+	res := &Fig5aResult{Dataset: graph.StandInOR}
+	w, err := o.workloadFor(res.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	init := w.Initial()
+	batches := w.Batches(o.Batches)
+	qs := o.queries(w, o.Pairs)
+	for _, a := range o.Algorithms {
+		var csRelax, cisRelax int64
+		for _, q := range qs {
+			cs := core.NewColdStart()
+			cis := newAccel(o)
+			cs.Reset(init.Clone(), a, q)
+			cis.Reset(init.Clone(), a, q)
+			for _, b := range batches {
+				csRelax += cs.ApplyBatch(b).Counters[stats.CntRelax]
+				cisRelax += cis.ApplyBatch(b).Counters[stats.CntRelax]
+			}
+		}
+		res.Rows = append(res.Rows, Fig5aRow{
+			Algo:       a.Name(),
+			CSRelax:    csRelax,
+			CISRelax:   cisRelax,
+			Normalized: stats.Ratio(float64(cisRelax), float64(csRelax)),
+		})
+	}
+	var norm []float64
+	for _, r := range res.Rows {
+		norm = append(norm, r.Normalized)
+	}
+	res.AvgReductionPct = 100 * (1 - stats.Mean(norm))
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *Fig5aResult) Render(w io.Writer, markdown bool) error {
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 5(a) — computations normalised to CS (%s; paper: 67%% average reduction)", r.Dataset),
+		"Algorithm", "CS ⊕ ops", "CISGraph ⊕ ops", "Normalised")
+	for _, row := range r.Rows {
+		t.AddRow(row.Algo,
+			fmt.Sprintf("%d", row.CSRelax),
+			fmt.Sprintf("%d", row.CISRelax),
+			fmt.Sprintf("%.2f", row.Normalized))
+	}
+	t.AddRow("avg reduction", fmt.Sprintf("%.0f%%", r.AvgReductionPct), "", "")
+	return renderTable(w, t, markdown)
+}
+
+// Fig5bRow is one (algorithm, dataset) activation comparison.
+type Fig5bRow struct {
+	Algo    string
+	Dataset graph.StandIn
+	// AddActivations counts vertices activated while processing edge
+	// additions; DelActivations counts activations from non-delayed
+	// deletions before the response. Ratio is Add ÷ Del (paper Fig. 5b;
+	// average 2.92× more activations for additions).
+	AddActivations, DelActivations int64
+	Ratio                          float64
+}
+
+// Fig5bResult reproduces Figure 5(b): activated vertices of edge additions
+// relative to edge deletions before the response.
+type Fig5bResult struct {
+	Rows []Fig5bRow
+	// AvgRatio across rows with activity (paper: 2.92×).
+	AvgRatio float64
+}
+
+// RunFig5b measures per-phase activations on the accelerator. It uses 4×
+// the default batch size: pre-response deletion activations only occur when
+// a batch hits the (single) key path, so the sample needs enough deletions
+// per batch to observe the paper's ratio at reduced scale.
+func RunFig5b(o Options) (*Fig5bResult, error) {
+	o = o.WithDefaults()
+	res := &Fig5bResult{}
+	for _, ds := range o.Datasets {
+		el := ds.Build(o.Scale, o.Seed)
+		cfg := stream.DefaultConfig(len(el.Arcs), o.Seed)
+		cfg.AddsPerBatch *= 4
+		cfg.DelsPerBatch *= 4
+		w, err := stream.New(el, cfg)
+		if err != nil {
+			return nil, err
+		}
+		init := w.Initial()
+		batches := w.Batches(o.Batches)
+		qs := o.queries(w, o.Pairs)
+		for _, a := range o.Algorithms {
+			var add, del int64
+			for _, q := range qs {
+				cis := newAccel(o)
+				cis.Reset(init.Clone(), a, q)
+				for _, b := range batches {
+					c := cis.ApplyBatch(b).Counters
+					add += c[core.CntActivationAdd]
+					del += c[core.CntActivationDel]
+				}
+			}
+			res.Rows = append(res.Rows, Fig5bRow{
+				Algo: a.Name(), Dataset: ds,
+				AddActivations: add, DelActivations: del,
+				Ratio: stats.Ratio(float64(add), float64(del)),
+			})
+		}
+	}
+	var ratios []float64
+	for _, r := range res.Rows {
+		if r.DelActivations > 0 {
+			ratios = append(ratios, r.Ratio)
+		}
+	}
+	res.AvgRatio = stats.GeoMean(ratios)
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *Fig5bResult) Render(w io.Writer, markdown bool) error {
+	t := stats.NewTable(
+		"Figure 5(b) — activations: additions vs non-delayed deletions (paper: 2.92× average)",
+		"Algorithm", "Dataset", "Add activations", "Del activations (pre-response)", "Add ÷ Del")
+	for _, row := range r.Rows {
+		ratio := "—"
+		if row.DelActivations > 0 {
+			ratio = fmt.Sprintf("%.2f×", row.Ratio)
+		}
+		t.AddRow(row.Algo, string(row.Dataset),
+			fmt.Sprintf("%d", row.AddActivations),
+			fmt.Sprintf("%d", row.DelActivations), ratio)
+	}
+	t.AddRow("average", "", "", "", fmt.Sprintf("%.2f×", r.AvgRatio))
+	return renderTable(w, t, markdown)
+}

@@ -1,0 +1,21 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"cisgraph/internal/stats"
+)
+
+// renderTable writes a stats.Table in the requested flavour followed by a
+// blank separator line.
+func renderTable(w io.Writer, t *stats.Table, markdown bool) error {
+	var s string
+	if markdown {
+		s = t.Markdown()
+	} else {
+		s = t.String()
+	}
+	_, err := fmt.Fprintln(w, s)
+	return err
+}

@@ -1,0 +1,184 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+	"cisgraph/internal/stream"
+)
+
+// BatchSizePoint is one batch-size measurement.
+type BatchSizePoint struct {
+	UpdatesPerBatch int
+	CSResponse      time.Duration
+	CISOResponse    time.Duration
+	Speedup         float64
+}
+
+// BatchSizeResult is the S1 sensitivity study: how the contribution-driven
+// advantage scales with the batching threshold (the paper buffers ~100K
+// updates per batch, §II-A). Cold-Start pays a full recompute regardless of
+// batch size, so its per-batch cost is flat; CISGraph-O's cost grows with
+// the batch, shrinking the speedup as batches grow — the crossover logic
+// behind choosing a batching threshold.
+type BatchSizeResult struct {
+	Dataset graph.StandIn
+	Points  []BatchSizePoint
+}
+
+// RunSensitivityBatchSize sweeps the updates-per-batch knob on OR/PPSP.
+func RunSensitivityBatchSize(o Options) (*BatchSizeResult, error) {
+	o = o.WithDefaults()
+	res := &BatchSizeResult{Dataset: graph.StandInOR}
+	el := res.Dataset.Build(o.Scale, o.Seed)
+	base := stream.DefaultConfig(len(el.Arcs), o.Seed)
+	a := algo.PPSP{}
+	for _, mult := range []int{1, 2, 4, 8} {
+		cfg := base
+		cfg.AddsPerBatch *= mult
+		cfg.DelsPerBatch *= mult
+		w, err := stream.New(el, cfg)
+		if err != nil {
+			return nil, err
+		}
+		init := w.Initial()
+		batches := w.Batches(o.Batches)
+		var csT, cisoT time.Duration
+		for _, q := range o.queries(w, o.Pairs) {
+			cs := core.NewColdStart()
+			ciso := core.NewCISO()
+			cs.Reset(init.Clone(), a, q)
+			ciso.Reset(init.Clone(), a, q)
+			for _, b := range batches {
+				csT += cs.ApplyBatch(b).Response
+				cisoT += ciso.ApplyBatch(b).Response
+			}
+		}
+		res.Points = append(res.Points, BatchSizePoint{
+			UpdatesPerBatch: cfg.AddsPerBatch + cfg.DelsPerBatch,
+			CSResponse:      csT,
+			CISOResponse:    cisoT,
+			Speedup:         stats.Ratio(float64(csT), float64(cisoT)),
+		})
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *BatchSizeResult) Render(w io.Writer, markdown bool) error {
+	t := stats.NewTable(
+		fmt.Sprintf("Sensitivity S1 — batch-size sweep (%s, PPSP)", r.Dataset),
+		"Updates/batch", "CS total response", "CISGraph-O total response", "Speedup")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%d", p.UpdatesPerBatch),
+			p.CSResponse.String(), p.CISOResponse.String(),
+			stats.FormatSpeedup(p.Speedup))
+	}
+	return renderTable(w, t, markdown)
+}
+
+// AdversarialPoint is one targeting-fraction measurement.
+type AdversarialPoint struct {
+	Fraction     float64
+	ValuablePct  float64
+	UselessPct   float64
+	CISOResponse time.Duration
+	Speedup      float64 // over CS on the same stream
+}
+
+// AdversarialResult is the S2 sensitivity study: batches increasingly
+// targeted at the query's own key-path neighborhood. The outcome is a
+// robustness result: topical concentration does NOT inflate the valuable
+// share — an update is valuable when it improves or supplied a state, and
+// the region around an optimal path is exactly where improvements are
+// hardest to find — so the contribution-driven advantage survives even
+// heavily skewed streams (EXPERIMENTS.md).
+type AdversarialResult struct {
+	Dataset graph.StandIn
+	Points  []AdversarialPoint
+}
+
+// RunSensitivityAdversarial sweeps the targeting fraction on OR/PPSP,
+// focusing the stream on the query key path's BFS neighborhood.
+func RunSensitivityAdversarial(o Options) (*AdversarialResult, error) {
+	o = o.WithDefaults()
+	res := &AdversarialResult{Dataset: graph.StandInOR}
+	el := res.Dataset.Build(o.Scale, o.Seed)
+	a := algo.PPSP{}
+	for _, fraction := range []float64{0, 0.5, 0.9} {
+		w, err := stream.New(el, stream.DefaultConfig(len(el.Arcs), o.Seed))
+		if err != nil {
+			return nil, err
+		}
+		q := o.queries(w, 1)[0]
+		init := w.Initial()
+		// Focus region: the query's key path and its immediate out-frontier
+		// — the edges whose updates actually stand a chance of being
+		// valuable for Q(s→d).
+		probe := core.NewCISO()
+		probe.Reset(init.Clone(), a, q)
+		focus := make([]bool, init.NumVertices())
+		for _, v := range probe.KeyPath() {
+			focus[v] = true
+			for _, e := range init.Out(v) {
+				focus[e.To] = true
+			}
+		}
+		if probe.KeyPath() == nil {
+			// Unreachable pair (possible under -randompairs): fall back to
+			// the source's reachable set.
+			focus = graph.ReachableFrom(init, q.S)
+		}
+		var batches [][]graph.Update
+		for i := 0; i < o.Batches; i++ {
+			batches = append(batches, w.NextTargetedBatch(focus, fraction))
+		}
+		cs := core.NewColdStart()
+		ciso := core.NewCISO()
+		cs.Reset(init.Clone(), a, q)
+		ciso.Reset(init.Clone(), a, q)
+		var csT, cisoT time.Duration
+		var valuable, delayed, useless int64
+		for _, b := range batches {
+			csT += cs.ApplyBatch(b).Response
+			r := ciso.ApplyBatch(b)
+			cisoT += r.Response
+			valuable += r.Counters[stats.CntUpdateValuable]
+			delayed += r.Counters[stats.CntUpdateDelayed]
+			useless += r.Counters[stats.CntUpdateUseless]
+			if cs.Answer() != ciso.Answer() {
+				return nil, fmt.Errorf("adversarial stream broke agreement: CS=%v CISO=%v",
+					cs.Answer(), ciso.Answer())
+			}
+		}
+		total := float64(valuable + delayed + useless)
+		res.Points = append(res.Points, AdversarialPoint{
+			Fraction:     fraction,
+			ValuablePct:  stats.Percent(float64(valuable), total),
+			UselessPct:   stats.Percent(float64(useless), total),
+			CISOResponse: cisoT,
+			Speedup:      stats.Ratio(float64(csT), float64(cisoT)),
+		})
+	}
+	return res, nil
+}
+
+// Render implements Renderer.
+func (r *AdversarialResult) Render(w io.Writer, markdown bool) error {
+	t := stats.NewTable(
+		fmt.Sprintf("Sensitivity S2 — adversarial targeting sweep (%s, PPSP)", r.Dataset),
+		"Targeted fraction", "Valuable updates", "Useless updates", "CISGraph-O response", "Speedup vs CS")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%.0f%%", 100*p.Fraction),
+			fmt.Sprintf("%.1f%%", p.ValuablePct),
+			fmt.Sprintf("%.1f%%", p.UselessPct),
+			p.CISOResponse.String(),
+			stats.FormatSpeedup(p.Speedup))
+	}
+	return renderTable(w, t, markdown)
+}

@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"io"
+	"time"
+
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/hw/accel"
+	"cisgraph/internal/stats"
+)
+
+// Table4Engines lists the compared systems in the paper's row order.
+var Table4Engines = []string{"CS", "SGraph", "CISGraph-O", "CISGraph"}
+
+// table4ExtraEngines are the additional baselines measured with
+// Options.ExtraEngines.
+var table4ExtraEngines = []string{"Inc", "PnP"}
+
+// Table4Cell is one (algorithm, engine, dataset) measurement.
+type Table4Cell struct {
+	// Response is the mean per-batch response time across query pairs.
+	Response time.Duration
+	// Speedup is CS response ÷ this engine's response (paper Table IV).
+	Speedup float64
+}
+
+// Table4Result reproduces Table IV: execution speedup of SGraph, CISGraph-O
+// and CISGraph over the CS baseline for every algorithm and dataset, plus
+// the per-algorithm geometric mean.
+type Table4Result struct {
+	Datasets []graph.StandIn
+	// Engines holds the measured engine names in row order.
+	Engines []string
+	// Cells[algoName][engineName][dataset abbreviation].
+	Cells map[string]map[string]map[graph.StandIn]Table4Cell
+	// GMean[algoName][engineName] across datasets.
+	GMean map[string]map[string]float64
+	// AlgoOrder preserves Table II ordering for rendering.
+	AlgoOrder []string
+}
+
+// RunTable4 measures every engine on every algorithm × dataset combination.
+// Software engines are timed on the host wall clock; CISGraph's times come
+// from the simulated 1 GHz clock — the same cross-domain comparison the
+// paper makes (DESIGN.md §3.4).
+func RunTable4(o Options) (*Table4Result, error) {
+	o = o.WithDefaults()
+	engineNames := Table4Engines
+	if o.ExtraEngines {
+		engineNames = append(append([]string{}, Table4Engines...), table4ExtraEngines...)
+	}
+	res := &Table4Result{
+		Datasets: o.Datasets,
+		Engines:  engineNames,
+		Cells:    make(map[string]map[string]map[graph.StandIn]Table4Cell),
+		GMean:    make(map[string]map[string]float64),
+	}
+	for _, a := range o.Algorithms {
+		res.AlgoOrder = append(res.AlgoOrder, a.Name())
+		res.Cells[a.Name()] = make(map[string]map[graph.StandIn]Table4Cell)
+		res.GMean[a.Name()] = make(map[string]float64)
+		for _, e := range engineNames {
+			res.Cells[a.Name()][e] = make(map[graph.StandIn]Table4Cell)
+		}
+	}
+
+	for _, ds := range o.Datasets {
+		w, err := o.workloadFor(ds)
+		if err != nil {
+			return nil, err
+		}
+		init := w.Initial()
+		batches := w.Batches(o.Batches)
+		qs := o.queries(w, o.Pairs)
+		for _, a := range o.Algorithms {
+			perEngine := map[string]time.Duration{}
+			for _, q := range qs {
+				engines := map[string]core.Engine{
+					"CS":         core.NewColdStart(),
+					"SGraph":     core.NewSGraph(core.DefaultHubCount),
+					"CISGraph-O": core.NewCISO(),
+					"CISGraph":   newAccel(o),
+				}
+				if o.ExtraEngines {
+					engines["Inc"] = core.NewIncremental()
+					engines["PnP"] = core.NewPnP()
+				}
+				for name, e := range engines {
+					e.Reset(init.Clone(), a, q)
+					for _, b := range batches {
+						perEngine[name] += e.ApplyBatch(b).Response
+					}
+				}
+			}
+			div := time.Duration(len(qs) * len(batches))
+			cs := perEngine["CS"] / div
+			for _, name := range engineNames {
+				mean := perEngine[name] / div
+				res.Cells[a.Name()][name][ds] = Table4Cell{
+					Response: mean,
+					Speedup:  stats.Ratio(float64(cs), float64(mean)),
+				}
+			}
+		}
+	}
+	for _, a := range o.Algorithms {
+		for _, e := range engineNames {
+			var sp []float64
+			for _, ds := range o.Datasets {
+				sp = append(sp, res.Cells[a.Name()][e][ds].Speedup)
+			}
+			res.GMean[a.Name()][e] = stats.GeoMean(sp)
+		}
+	}
+	return res, nil
+}
+
+func newAccel(o Options) core.Engine { return accel.New(o.HWConfig()) }
+
+// Render implements Renderer, printing the paper's Table IV layout.
+func (r *Table4Result) Render(w io.Writer, markdown bool) error {
+	headers := []string{"Algorithm", "Engine"}
+	for _, ds := range r.Datasets {
+		headers = append(headers, string(ds))
+	}
+	headers = append(headers, "GMean")
+	t := stats.NewTable("Table IV — execution speedup over the CS baseline", headers...)
+	rows := r.Engines
+	if len(rows) == 0 {
+		rows = Table4Engines
+	}
+	for _, an := range r.AlgoOrder {
+		for _, en := range rows {
+			row := []string{an, en}
+			for _, ds := range r.Datasets {
+				row = append(row, stats.FormatSpeedup(r.Cells[an][en][ds].Speedup))
+			}
+			row = append(row, stats.FormatSpeedup(r.GMean[an][en]))
+			t.AddRow(row...)
+		}
+	}
+	return renderTable(w, t, markdown)
+}
+
+// PaperGMeans are the paper's Table IV geometric-mean speedups, used by
+// EXPERIMENTS.md and the shape checks in tests.
+var PaperGMeans = map[string]map[string]float64{
+	"PPSP":    {"SGraph": 6.7, "CISGraph-O": 17.4, "CISGraph": 75.6},
+	"PPWP":    {"SGraph": 13.2, "CISGraph-O": 96.7, "CISGraph": 379.5},
+	"PPNP":    {"SGraph": 1.3, "CISGraph-O": 14.5, "CISGraph": 57.3},
+	"Viterbi": {"SGraph": 1.9, "CISGraph-O": 6.2, "CISGraph": 23.4},
+	"Reach":   {"SGraph": 0.4, "CISGraph-O": 8.4, "CISGraph": 25.8},
+}

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profile summarises a dataset's structure; cmd/datagen -stats prints it
+// and tests use it to sanity-check the stand-in generators against the
+// paper's Table III shapes.
+type Profile struct {
+	Name                string
+	Vertices, Edges     int
+	AvgDegree           float64
+	MaxOutDeg, MaxInDeg int
+	Isolated            int // vertices with no edges at all
+	// WeaklyConnected is the number of weakly connected components, and
+	// LargestWCC the vertex count of the biggest one.
+	WeaklyConnected int
+	LargestWCC      int
+	// DegreeP50/P90/P99 are out-degree percentiles (skew fingerprints).
+	DegreeP50, DegreeP90, DegreeP99 int
+}
+
+// Analyze computes a Profile for the dataset.
+func Analyze(e *EdgeList) Profile {
+	p := Profile{Name: e.Name, Vertices: e.N, Edges: len(e.Arcs), AvgDegree: e.AvgDegree()}
+	outDeg := make([]int, e.N)
+	inDeg := make([]int, e.N)
+	uf := newUnionFind(e.N)
+	for _, a := range e.Arcs {
+		outDeg[a.From]++
+		inDeg[a.To]++
+		uf.union(int(a.From), int(a.To))
+	}
+	for v := 0; v < e.N; v++ {
+		if outDeg[v] > p.MaxOutDeg {
+			p.MaxOutDeg = outDeg[v]
+		}
+		if inDeg[v] > p.MaxInDeg {
+			p.MaxInDeg = inDeg[v]
+		}
+		if outDeg[v] == 0 && inDeg[v] == 0 {
+			p.Isolated++
+		}
+	}
+	sizes := map[int]int{}
+	for v := 0; v < e.N; v++ {
+		sizes[uf.find(v)]++
+	}
+	p.WeaklyConnected = len(sizes)
+	for _, s := range sizes {
+		if s > p.LargestWCC {
+			p.LargestWCC = s
+		}
+	}
+	sorted := append([]int(nil), outDeg...)
+	sort.Ints(sorted)
+	pct := func(q float64) int {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	p.DegreeP50, p.DegreeP90, p.DegreeP99 = pct(0.50), pct(0.90), pct(0.99)
+	return p
+}
+
+func (p Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d vertices, %d edges (avg degree %.1f)\n", p.Name, p.Vertices, p.Edges, p.AvgDegree)
+	fmt.Fprintf(&b, "  degrees: max out %d, max in %d, p50/p90/p99 out %d/%d/%d\n",
+		p.MaxOutDeg, p.MaxInDeg, p.DegreeP50, p.DegreeP90, p.DegreeP99)
+	fmt.Fprintf(&b, "  structure: %d weakly connected components (largest %d), %d isolated vertices",
+		p.WeaklyConnected, p.LargestWCC, p.Isolated)
+	return b.String()
+}
+
+// unionFind is a standard path-halving union-find over vertex IDs.
+type unionFind struct {
+	parent []int32
+	rank   []int8
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for int(u.parent[x]) != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = int(u.parent[x])
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = int32(ra)
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// ReachableFrom returns the set of vertices reachable from s over directed
+// edges in g, as a bitmap indexed by vertex.
+func ReachableFrom(g *Dynamic, s VertexID) []bool {
+	seen := make([]bool, g.NumVertices())
+	seen[s] = true
+	queue := []VertexID{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Out(v) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeSmallGraph(t *testing.T) {
+	el := &EdgeList{Name: "tiny", N: 6, Arcs: []Arc{
+		{From: 0, To: 1, W: 1},
+		{From: 1, To: 2, W: 1},
+		{From: 3, To: 4, W: 1},
+		// vertex 5 isolated
+	}}
+	p := Analyze(el)
+	if p.Vertices != 6 || p.Edges != 3 {
+		t.Fatalf("shape: %+v", p)
+	}
+	if p.WeaklyConnected != 3 {
+		t.Fatalf("WCC = %d, want 3 ({0,1,2},{3,4},{5})", p.WeaklyConnected)
+	}
+	if p.LargestWCC != 3 {
+		t.Fatalf("largest WCC = %d, want 3", p.LargestWCC)
+	}
+	if p.Isolated != 1 {
+		t.Fatalf("isolated = %d, want 1", p.Isolated)
+	}
+	if p.MaxOutDeg != 1 || p.MaxInDeg != 1 {
+		t.Fatalf("degrees: %+v", p)
+	}
+	s := p.String()
+	for _, want := range []string{"tiny", "6 vertices", "3 weakly connected"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAnalyzeRMATSkew(t *testing.T) {
+	el := RMAT("skew", 10, 8*(1<<10), DefaultRMAT, 8, 3)
+	p := Analyze(el)
+	// Power-law fingerprint: p99 well above p50, and the max far above p99.
+	if p.DegreeP99 <= p.DegreeP50 {
+		t.Fatalf("no skew: p50=%d p99=%d", p.DegreeP50, p.DegreeP99)
+	}
+	if p.MaxOutDeg <= 2*p.DegreeP99 {
+		t.Fatalf("missing heavy tail: max=%d p99=%d", p.MaxOutDeg, p.DegreeP99)
+	}
+	// R-MAT at this density leaves one dominant component.
+	if p.LargestWCC < el.N/2 {
+		t.Fatalf("largest WCC %d of %d — giant component expected", p.LargestWCC, el.N)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := newUnionFind(6)
+	u.union(0, 1)
+	u.union(1, 2)
+	u.union(4, 5)
+	if u.find(0) != u.find(2) {
+		t.Fatal("0 and 2 should be connected")
+	}
+	if u.find(0) == u.find(4) {
+		t.Fatal("0 and 4 should be separate")
+	}
+	if u.find(3) != 3 {
+		t.Fatal("singleton should be its own root")
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := NewDynamic(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 0, 1) // 3 reaches 0 but not vice versa
+	seen := ReachableFrom(g, 0)
+	want := []bool{true, true, true, false, false}
+	for v, w := range want {
+		if seen[v] != w {
+			t.Fatalf("reach[%d] = %v, want %v", v, seen[v], w)
+		}
+	}
+}
+
+func TestAnalyzeEmptyGraph(t *testing.T) {
+	p := Analyze(&EdgeList{Name: "empty", N: 0})
+	if p.Vertices != 0 || p.WeaklyConnected != 0 {
+		t.Fatalf("%+v", p)
+	}
+	_ = p.String() // must not panic
+}

@@ -1,0 +1,75 @@
+package graph
+
+// CSR is an immutable Compressed Sparse Row snapshot of a graph. The
+// accelerator model consumes CSR because the paper's prefetcher relies on
+// its layout: the whole edge list of a vertex is one contiguous region, so a
+// single (start address, length) memory request fetches it (§III-B).
+type CSR struct {
+	N       int
+	Offsets []uint64 // len N+1; edges of v are Targets[Offsets[v]:Offsets[v+1]]
+	Targets []VertexID
+	Weights []float64
+}
+
+// BuildCSR freezes the current topology of g into a CSR snapshot.
+func BuildCSR(g *Dynamic) *CSR {
+	n := g.NumVertices()
+	c := &CSR{
+		N:       n,
+		Offsets: make([]uint64, n+1),
+		Targets: make([]VertexID, 0, g.NumEdges()),
+		Weights: make([]float64, 0, g.NumEdges()),
+	}
+	for v := 0; v < n; v++ {
+		c.Offsets[v] = uint64(len(c.Targets))
+		for _, e := range g.Out(VertexID(v)) {
+			c.Targets = append(c.Targets, e.To)
+			c.Weights = append(c.Weights, e.W)
+		}
+	}
+	c.Offsets[n] = uint64(len(c.Targets))
+	return c
+}
+
+// CSRFromEdgeList builds a CSR directly from an edge list without the
+// Dynamic intermediate (used by the Cold-Start full-compute path).
+func CSRFromEdgeList(e *EdgeList) *CSR {
+	n := e.N
+	deg := make([]uint64, n+1)
+	for _, a := range e.Arcs {
+		deg[a.From+1]++
+	}
+	for i := 1; i <= n; i++ {
+		deg[i] += deg[i-1]
+	}
+	c := &CSR{
+		N:       n,
+		Offsets: deg,
+		Targets: make([]VertexID, len(e.Arcs)),
+		Weights: make([]float64, len(e.Arcs)),
+	}
+	cursor := make([]uint64, n)
+	copy(cursor, deg[:n])
+	for _, a := range e.Arcs {
+		i := cursor[a.From]
+		c.Targets[i] = a.To
+		c.Weights[i] = a.W
+		cursor[a.From]++
+	}
+	return c
+}
+
+// NumEdges returns the edge count of the snapshot.
+func (c *CSR) NumEdges() int { return len(c.Targets) }
+
+// Degree returns the out-degree of v.
+func (c *CSR) Degree(v VertexID) int {
+	return int(c.Offsets[v+1] - c.Offsets[v])
+}
+
+// Neighbors returns the targets and weights of v's out-edges. The returned
+// slices alias the snapshot and must not be modified.
+func (c *CSR) Neighbors(v VertexID) ([]VertexID, []float64) {
+	lo, hi := c.Offsets[v], c.Offsets[v+1]
+	return c.Targets[lo:hi], c.Weights[lo:hi]
+}

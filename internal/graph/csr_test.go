@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildCSRSmall(t *testing.T) {
+	g := NewDynamic(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 3, 3)
+	c := BuildCSR(g)
+	if c.N != 4 || c.NumEdges() != 3 {
+		t.Fatalf("CSR shape N=%d M=%d", c.N, c.NumEdges())
+	}
+	if c.Degree(0) != 2 || c.Degree(1) != 0 || c.Degree(2) != 1 {
+		t.Fatalf("degrees %d %d %d", c.Degree(0), c.Degree(1), c.Degree(2))
+	}
+	ts, ws := c.Neighbors(0)
+	if len(ts) != 2 || ts[0] != 1 || ws[1] != 2 {
+		t.Fatalf("neighbors of 0: %v %v", ts, ws)
+	}
+	if c.Offsets[4] != 3 {
+		t.Fatalf("final offset %d", c.Offsets[4])
+	}
+}
+
+func TestCSRFromEdgeListMatchesBuildCSR(t *testing.T) {
+	f := func(seed int64) bool {
+		el := Uniform("p", 20, 60, 9, seed)
+		a := BuildCSR(FromEdgeList(el))
+		b := CSRFromEdgeList(el)
+		if a.N != b.N || a.NumEdges() != b.NumEdges() {
+			return false
+		}
+		// Same per-vertex edge *sets* (order within a vertex may differ).
+		for v := 0; v < a.N; v++ {
+			at, aw := a.Neighbors(VertexID(v))
+			bt, bw := b.Neighbors(VertexID(v))
+			if len(at) != len(bt) {
+				return false
+			}
+			am := map[VertexID]float64{}
+			for i := range at {
+				am[at[i]] = aw[i]
+			}
+			for i := range bt {
+				if am[bt[i]] != bw[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRNeighborsCoverAllEdges(t *testing.T) {
+	el := RMAT("cover", 7, 400, DefaultRMAT, 16, 3)
+	c := CSRFromEdgeList(el)
+	count := 0
+	for v := 0; v < c.N; v++ {
+		ts, _ := c.Neighbors(VertexID(v))
+		count += len(ts)
+	}
+	if count != len(el.Arcs) {
+		t.Fatalf("neighbors cover %d edges, want %d", count, len(el.Arcs))
+	}
+}

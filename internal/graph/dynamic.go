@@ -1,0 +1,187 @@
+package graph
+
+import "fmt"
+
+// Dynamic is the mutable streaming graph: per-vertex out- and in-adjacency
+// lists supporting single-edge additions and deletions, the operations a
+// batch of updates is made of. At most one edge may exist per (u,v) pair —
+// the paper's batch methodology (additions drawn from absent edges,
+// deletions from present ones) never produces parallel edges.
+//
+// Both directions are maintained because deletion recovery must recompute a
+// vertex's state from its *in*-neighbors (DESIGN.md §3.2), while propagation
+// walks *out*-neighbors.
+type Dynamic struct {
+	out [][]Edge // out[u] = edges u→·
+	in  [][]Edge // in[v]  = edges ·→v, stored as Edge{To: from, W: w}
+	m   int      // current edge count
+}
+
+// NewDynamic returns an empty graph with n vertices.
+func NewDynamic(n int) *Dynamic {
+	return &Dynamic{out: make([][]Edge, n), in: make([][]Edge, n)}
+}
+
+// FromEdgeList builds a Dynamic containing every arc of e.
+// Duplicate (from,to) pairs keep the first weight.
+func FromEdgeList(e *EdgeList) *Dynamic {
+	g := NewDynamic(e.N)
+	for _, a := range e.Arcs {
+		g.AddEdge(a.From, a.To, a.W)
+	}
+	return g
+}
+
+// NumVertices returns the vertex count.
+func (g *Dynamic) NumVertices() int { return len(g.out) }
+
+// NumEdges returns the current edge count.
+func (g *Dynamic) NumEdges() int { return g.m }
+
+// Out returns the out-adjacency of u. The returned slice is owned by the
+// graph and must not be mutated; it is invalidated by the next AddEdge or
+// RemoveEdge touching u.
+func (g *Dynamic) Out(u VertexID) []Edge { return g.out[u] }
+
+// In returns the in-adjacency of v: Edge.To holds the *source* vertex of
+// each in-edge. Same aliasing rules as Out.
+func (g *Dynamic) In(v VertexID) []Edge { return g.in[v] }
+
+// OutDegree returns len(Out(u)).
+func (g *Dynamic) OutDegree(u VertexID) int { return len(g.out[u]) }
+
+// InDegree returns len(In(v)).
+func (g *Dynamic) InDegree(v VertexID) int { return len(g.in[v]) }
+
+// HasEdge reports whether u→v exists and returns its weight.
+func (g *Dynamic) HasEdge(u, v VertexID) (w float64, ok bool) {
+	for _, e := range g.out[u] {
+		if e.To == v {
+			return e.W, true
+		}
+	}
+	return 0, false
+}
+
+// AddEdge inserts u→v with weight w. It reports whether the edge was newly
+// inserted; an existing edge is left untouched (and false returned), keeping
+// the graph free of parallel edges.
+func (g *Dynamic) AddEdge(u, v VertexID, w float64) bool {
+	if _, ok := g.HasEdge(u, v); ok {
+		return false
+	}
+	g.out[u] = append(g.out[u], Edge{To: v, W: w})
+	g.in[v] = append(g.in[v], Edge{To: u, W: w})
+	g.m++
+	return true
+}
+
+// RemoveEdge deletes u→v, returning its weight and whether it existed.
+func (g *Dynamic) RemoveEdge(u, v VertexID) (w float64, ok bool) {
+	outs := g.out[u]
+	for i, e := range outs {
+		if e.To == v {
+			w = e.W
+			outs[i] = outs[len(outs)-1]
+			g.out[u] = outs[:len(outs)-1]
+			ins := g.in[v]
+			for j, f := range ins {
+				if f.To == u {
+					ins[j] = ins[len(ins)-1]
+					g.in[v] = ins[:len(ins)-1]
+					break
+				}
+			}
+			g.m--
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// Apply performs a whole batch of updates on the topology: additions insert,
+// deletions remove. It returns the number of updates that actually changed
+// the graph. This is the paper's "modify graph topology to generate a
+// snapshot" step, which precedes classification.
+func (g *Dynamic) Apply(batch []Update) int {
+	changed := 0
+	for _, up := range batch {
+		if up.Del {
+			if _, ok := g.RemoveEdge(up.From, up.To); ok {
+				changed++
+			}
+		} else if g.AddEdge(up.From, up.To, up.W) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// Clone returns a deep copy of the graph. Engines that must not disturb the
+// shared snapshot (e.g. Cold-Start re-runs) clone before mutating.
+func (g *Dynamic) Clone() *Dynamic {
+	c := &Dynamic{
+		out: make([][]Edge, len(g.out)),
+		in:  make([][]Edge, len(g.in)),
+		m:   g.m,
+	}
+	for i, es := range g.out {
+		if len(es) > 0 {
+			c.out[i] = append([]Edge(nil), es...)
+		}
+	}
+	for i, es := range g.in {
+		if len(es) > 0 {
+			c.in[i] = append([]Edge(nil), es...)
+		}
+	}
+	return c
+}
+
+// EdgeList materialises the current topology as an edge list (arcs ordered
+// by source vertex, then insertion order).
+func (g *Dynamic) EdgeList(name string) *EdgeList {
+	el := &EdgeList{Name: name, N: len(g.out), Arcs: make([]Arc, 0, g.m)}
+	for u, es := range g.out {
+		for _, e := range es {
+			el.Arcs = append(el.Arcs, Arc{From: VertexID(u), To: e.To, W: e.W})
+		}
+	}
+	return el
+}
+
+// TopDegreeVertices returns the k vertices with the highest out+in degree,
+// highest first (ties broken by lower ID). SGraph uses the 16 highest-degree
+// vertices as hubs.
+func (g *Dynamic) TopDegreeVertices(k int) []VertexID {
+	n := g.NumVertices()
+	if k > n {
+		k = n
+	}
+	// Selection via a simple partial sort: n is at most a few hundred
+	// thousand and k is tiny (16), so k passes are cheap and allocation-free.
+	deg := func(v int) int { return len(g.out[v]) + len(g.in[v]) }
+	picked := make(map[int]bool, k)
+	res := make([]VertexID, 0, k)
+	for len(res) < k {
+		best, bestDeg := -1, -1
+		for v := 0; v < n; v++ {
+			if picked[v] {
+				continue
+			}
+			if d := deg(v); d > bestDeg {
+				best, bestDeg = v, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		picked[best] = true
+		res = append(res, VertexID(best))
+	}
+	return res
+}
+
+func (g *Dynamic) String() string {
+	return fmt.Sprintf("Dynamic{V=%d E=%d}", g.NumVertices(), g.NumEdges())
+}

@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := NewDynamic(4)
+	if !g.AddEdge(0, 1, 2.5) {
+		t.Fatal("first AddEdge should insert")
+	}
+	if g.AddEdge(0, 1, 9) {
+		t.Fatal("duplicate AddEdge should be rejected")
+	}
+	if w, ok := g.HasEdge(0, 1); !ok || w != 2.5 {
+		t.Fatalf("HasEdge = %v,%v; want 2.5,true", w, ok)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if w, ok := g.RemoveEdge(0, 1); !ok || w != 2.5 {
+		t.Fatalf("RemoveEdge = %v,%v", w, ok)
+	}
+	if _, ok := g.RemoveEdge(0, 1); ok {
+		t.Fatal("double remove should fail")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges after remove = %d", g.NumEdges())
+	}
+}
+
+func TestInOutAdjacencyMirrored(t *testing.T) {
+	g := NewDynamic(5)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(2, 3, 7)
+	if g.InDegree(2) != 2 || g.OutDegree(2) != 1 {
+		t.Fatalf("degrees of 2: in=%d out=%d", g.InDegree(2), g.OutDegree(2))
+	}
+	srcs := map[VertexID]float64{}
+	for _, e := range g.In(2) {
+		srcs[e.To] = e.W
+	}
+	if srcs[0] != 1 || srcs[1] != 3 {
+		t.Fatalf("in-adjacency of 2 = %v", srcs)
+	}
+	g.RemoveEdge(1, 2)
+	if g.InDegree(2) != 1 || g.In(2)[0].To != 0 {
+		t.Fatal("in-adjacency not updated by RemoveEdge")
+	}
+}
+
+func TestApplyBatch(t *testing.T) {
+	g := NewDynamic(4)
+	g.AddEdge(0, 1, 1)
+	batch := []Update{
+		Add(1, 2, 5),
+		Del(0, 1, 1),
+		Add(1, 2, 5),  // duplicate: no-op
+		Del(3, 2, 10), // absent: no-op
+	}
+	if changed := g.Apply(batch); changed != 2 {
+		t.Fatalf("Apply changed = %d, want 2", changed)
+	}
+	if _, ok := g.HasEdge(0, 1); ok {
+		t.Fatal("deleted edge still present")
+	}
+	if _, ok := g.HasEdge(1, 2); !ok {
+		t.Fatal("added edge missing")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := NewDynamic(3)
+	g.AddEdge(0, 1, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2, 2)
+	c.RemoveEdge(0, 1)
+	if _, ok := g.HasEdge(0, 1); !ok {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if g.NumEdges() != 1 || c.NumEdges() != 1 {
+		t.Fatalf("edge counts g=%d c=%d", g.NumEdges(), c.NumEdges())
+	}
+}
+
+func TestEdgeListRoundTripThroughDynamic(t *testing.T) {
+	el := RMAT("rt", 6, 200, DefaultRMAT, 8, 7)
+	g := FromEdgeList(el)
+	back := g.EdgeList("rt")
+	if back.N != el.N || len(back.Arcs) != len(el.Arcs) {
+		t.Fatalf("round trip size: N %d->%d, M %d->%d", el.N, back.N, len(el.Arcs), len(back.Arcs))
+	}
+	want := map[uint64]float64{}
+	for _, a := range el.Arcs {
+		want[key(a.From, a.To)] = a.W
+	}
+	for _, a := range back.Arcs {
+		if want[key(a.From, a.To)] != a.W {
+			t.Fatalf("arc %v weight mismatch", a)
+		}
+	}
+}
+
+func TestTopDegreeVertices(t *testing.T) {
+	g := NewDynamic(5)
+	// Vertex 2: degree 4 (2 out + 2 in); vertex 0: 2 out; others less.
+	g.AddEdge(2, 0, 1)
+	g.AddEdge(2, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 3, 1)
+	top := g.TopDegreeVertices(2)
+	if len(top) != 2 || top[0] != 2 {
+		t.Fatalf("top = %v, want [2 0]", top)
+	}
+	if top[1] != 0 {
+		t.Fatalf("second hub = %d, want 0", top[1])
+	}
+	if got := g.TopDegreeVertices(100); len(got) != 5 {
+		t.Fatalf("k>n should clamp: got %d", len(got))
+	}
+}
+
+// Property: after a random sequence of adds/removes, Dynamic matches a naive
+// map-based reference for membership, weights and degree sums.
+func TestDynamicMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 12
+		g := NewDynamic(n)
+		ref := map[uint64]float64{}
+		for op := 0; op < 300; op++ {
+			u := VertexID(rng.Intn(n))
+			v := VertexID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				w := float64(1 + rng.Intn(9))
+				added := g.AddEdge(u, v, w)
+				_, existed := ref[key(u, v)]
+				if added == existed {
+					return false
+				}
+				if !existed {
+					ref[key(u, v)] = w
+				}
+			} else {
+				w, removed := g.RemoveEdge(u, v)
+				refW, existed := ref[key(u, v)]
+				if removed != existed {
+					return false
+				}
+				if existed {
+					if w != refW {
+						return false
+					}
+					delete(ref, key(u, v))
+				}
+			}
+		}
+		if g.NumEdges() != len(ref) {
+			return false
+		}
+		outSum, inSum := 0, 0
+		for v := 0; v < n; v++ {
+			outSum += g.OutDegree(VertexID(v))
+			inSum += g.InDegree(VertexID(v))
+		}
+		return outSum == len(ref) && inSum == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicString(t *testing.T) {
+	g := NewDynamic(3)
+	g.AddEdge(0, 1, 1)
+	if got := g.String(); got != "Dynamic{V=3 E=1}" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadText hardens the text edge-list parser: arbitrary input must
+// either parse into a valid list or return an error — never panic — and
+// valid output must survive a write/read round trip.
+func FuzzReadText(f *testing.F) {
+	var seed bytes.Buffer
+	el := RMAT("seed", 5, 60, DefaultRMAT, 8, 1)
+	if err := WriteText(&seed, el); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("# cisgraph g 2 1\n0 1 3\n"))
+	f.Add([]byte("# cisgraph g 0 0\n"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if vErr := got.Validate(); vErr != nil {
+			t.Fatalf("parser returned invalid list: %v", vErr)
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, got); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+		if again.N != got.N || len(again.Arcs) != len(got.Arcs) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}
+
+// FuzzReadBinary hardens the binary parser the same way.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	el := RMAT("seed", 5, 60, DefaultRMAT, 8, 2)
+	if err := WriteBinary(&seed, el); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("CISG"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if vErr := got.Validate(); vErr != nil {
+			t.Fatalf("parser returned invalid list: %v", vErr)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The paper evaluates on Orkut (2.6M vertices, 41.6M edges, avg degree 16),
+// LiveJournal (4.8M / 68.5M, deg 14) and UK-2002 (18.5M / 261.8M, deg 14) —
+// public crawls that cannot be redistributed inside this offline module.
+// The generators below produce seeded synthetic stand-ins with the same
+// average degree and the structural property each original contributes:
+// heavy-tailed degree skew for the social networks (R-MAT) and host-level
+// locality for the web crawl (Crawl). DESIGN.md §3.4 records the
+// substitution rationale.
+
+// RMATParams configures the recursive-matrix generator.
+type RMATParams struct {
+	A, B, C float64 // quadrant probabilities; D = 1-A-B-C
+}
+
+// DefaultRMAT is the classic Graph500 parameterisation producing a
+// power-law degree distribution similar to social networks.
+var DefaultRMAT = RMATParams{A: 0.57, B: 0.19, C: 0.19}
+
+// RMAT generates a directed weighted R-MAT graph with n = 2^scale vertices
+// and (approximately) m distinct edges, deterministic in seed. Self-loops
+// and duplicate edges are rejected and redrawn; if the space is too small to
+// host m distinct edges the generator stops early rather than spinning.
+// Weights are uniform integers in [1, maxW].
+func RMAT(name string, scale, m int, p RMATParams, maxW int, seed int64) *EdgeList {
+	n := 1 << scale
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]bool, m)
+	el := &EdgeList{Name: name, N: n, Arcs: make([]Arc, 0, m)}
+	maxAttempts := 20 * m
+	for len(el.Arcs) < m && maxAttempts > 0 {
+		maxAttempts--
+		u, v := rmatPick(rng, scale, p)
+		if u == v || seen[key(u, v)] {
+			continue
+		}
+		seen[key(u, v)] = true
+		el.Arcs = append(el.Arcs, Arc{From: u, To: v, W: randWeight(rng, maxW)})
+	}
+	return el
+}
+
+func rmatPick(rng *rand.Rand, scale int, p RMATParams) (u, v VertexID) {
+	for bit := 0; bit < scale; bit++ {
+		r := rng.Float64()
+		switch {
+		case r < p.A:
+			// top-left: no bits set
+		case r < p.A+p.B:
+			v |= 1 << bit
+		case r < p.A+p.B+p.C:
+			u |= 1 << bit
+		default:
+			u |= 1 << bit
+			v |= 1 << bit
+		}
+	}
+	return u, v
+}
+
+// Uniform generates an Erdős–Rényi-style directed graph with n vertices and
+// m distinct edges, deterministic in seed.
+func Uniform(name string, n, m, maxW int, seed int64) *EdgeList {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]bool, m)
+	el := &EdgeList{Name: name, N: n, Arcs: make([]Arc, 0, m)}
+	maxAttempts := 20 * m
+	for len(el.Arcs) < m && maxAttempts > 0 {
+		maxAttempts--
+		u := VertexID(rng.Intn(n))
+		v := VertexID(rng.Intn(n))
+		if u == v || seen[key(u, v)] {
+			continue
+		}
+		seen[key(u, v)] = true
+		el.Arcs = append(el.Arcs, Arc{From: u, To: v, W: randWeight(rng, maxW)})
+	}
+	return el
+}
+
+// Crawl generates a web-crawl-like graph: vertices are grouped into "hosts"
+// of hostSize consecutive IDs; with probability locality an edge stays
+// inside its host (short-range, high clustering), otherwise it follows an
+// R-MAT pick across the whole ID space. This mimics UK-2002's lexicographic
+// host locality, which gives the accelerator's edge-list prefetches high
+// row-buffer hit rates.
+func Crawl(name string, scale, m, hostSize int, locality float64, maxW int, seed int64) *EdgeList {
+	n := 1 << scale
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]bool, m)
+	el := &EdgeList{Name: name, N: n, Arcs: make([]Arc, 0, m)}
+	maxAttempts := 20 * m
+	for len(el.Arcs) < m && maxAttempts > 0 {
+		maxAttempts--
+		var u, v VertexID
+		if rng.Float64() < locality {
+			host := rng.Intn((n + hostSize - 1) / hostSize)
+			base := host * hostSize
+			span := hostSize
+			if base+span > n {
+				span = n - base
+			}
+			u = VertexID(base + rng.Intn(span))
+			v = VertexID(base + rng.Intn(span))
+		} else {
+			u, v = rmatPick(rng, scale, DefaultRMAT)
+		}
+		if u == v || seen[key(u, v)] {
+			continue
+		}
+		seen[key(u, v)] = true
+		el.Arcs = append(el.Arcs, Arc{From: u, To: v, W: randWeight(rng, maxW)})
+	}
+	return el
+}
+
+// Grid generates a rows×cols 4-neighbour grid with edges in both directions,
+// the road-network-like workload used by the navigation example. Weights are
+// uniform integers in [1, maxW].
+func Grid(name string, rows, cols, maxW int, seed int64) *EdgeList {
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	el := &EdgeList{Name: name, N: n}
+	id := func(r, c int) VertexID { return VertexID(r*cols + c) }
+	addBoth := func(a, b VertexID) {
+		el.Arcs = append(el.Arcs,
+			Arc{From: a, To: b, W: randWeight(rng, maxW)},
+			Arc{From: b, To: a, W: randWeight(rng, maxW)})
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				addBoth(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				addBoth(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return el
+}
+
+func randWeight(rng *rand.Rand, maxW int) float64 {
+	if maxW <= 1 {
+		return 1
+	}
+	return float64(1 + rng.Intn(maxW))
+}
+
+// StandIn names the three paper datasets and builds their synthetic
+// stand-ins at a configurable scale. scale is the log2 vertex count of the
+// smallest graph (OR); LJ uses scale+1 and UK scale+2, mirroring the
+// paper's relative sizes. Average degrees match Table III (16, 14, 14).
+type StandIn string
+
+// Stand-in dataset names (paper Table III abbreviations).
+const (
+	StandInOR StandIn = "OR" // Orkut: social, deg 16, heavy skew
+	StandInLJ StandIn = "LJ" // LiveJournal: social, deg 14
+	StandInUK StandIn = "UK" // UK-2002: web crawl, deg 14, host locality
+)
+
+// AllStandIns lists the paper's three datasets in Table III order.
+var AllStandIns = []StandIn{StandInOR, StandInLJ, StandInUK}
+
+// MaxRawWeight is the weight range used by all stand-in datasets.
+const MaxRawWeight = 64
+
+// Build constructs the stand-in dataset at the given base scale with a
+// deterministic seed derived from the dataset identity.
+func (s StandIn) Build(scale int, seed int64) *EdgeList {
+	switch s {
+	case StandInOR:
+		n := 1 << scale
+		return RMAT("OR", scale, 16*n, DefaultRMAT, MaxRawWeight, seed+1)
+	case StandInLJ:
+		n := 1 << (scale + 1)
+		return RMAT("LJ", scale+1, 14*n, RMATParams{A: 0.55, B: 0.2, C: 0.2}, MaxRawWeight, seed+2)
+	case StandInUK:
+		n := 1 << (scale + 2)
+		return Crawl("UK", scale+2, 14*n, 64, 0.6, MaxRawWeight, seed+3)
+	default:
+		panic(fmt.Sprintf("unknown stand-in dataset %q", string(s)))
+	}
+}

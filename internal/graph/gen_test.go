@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT("a", 8, 1000, DefaultRMAT, 64, 42)
+	b := RMAT("b", 8, 1000, DefaultRMAT, 64, 42)
+	if len(a.Arcs) != len(b.Arcs) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Arcs), len(b.Arcs))
+	}
+	for i := range a.Arcs {
+		if a.Arcs[i] != b.Arcs[i] {
+			t.Fatalf("arc %d differs: %v vs %v", i, a.Arcs[i], b.Arcs[i])
+		}
+	}
+	c := RMAT("c", 8, 1000, DefaultRMAT, 64, 43)
+	same := true
+	for i := range a.Arcs {
+		if i >= len(c.Arcs) || a.Arcs[i] != c.Arcs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATValidAndDistinct(t *testing.T) {
+	el := RMAT("v", 9, 4000, DefaultRMAT, 64, 7)
+	if err := el.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, a := range el.Arcs {
+		if seen[key(a.From, a.To)] {
+			t.Fatalf("duplicate edge %v", a)
+		}
+		seen[key(a.From, a.To)] = true
+		if a.W < 1 || a.W > 64 {
+			t.Fatalf("weight %v out of [1,64]", a.W)
+		}
+	}
+	if len(el.Arcs) != 4000 {
+		t.Fatalf("requested 4000 edges, got %d", len(el.Arcs))
+	}
+}
+
+func TestRMATDegreeSkew(t *testing.T) {
+	// R-MAT must be much more skewed than uniform: compare the max degree.
+	n := 1 << 10
+	rm := RMAT("rm", 10, 8*n, DefaultRMAT, 4, 11)
+	un := Uniform("un", n, 8*n, 4, 11)
+	maxDeg := func(el *EdgeList) int {
+		d := make([]int, el.N)
+		for _, a := range el.Arcs {
+			d[a.From]++
+		}
+		sort.Ints(d)
+		return d[len(d)-1]
+	}
+	if mr, mu := maxDeg(rm), maxDeg(un); mr < 2*mu {
+		t.Fatalf("R-MAT max degree %d not clearly more skewed than uniform %d", mr, mu)
+	}
+}
+
+func TestUniformSaturatesSmallSpace(t *testing.T) {
+	// 4 vertices → at most 12 distinct directed non-loop edges; asking for
+	// more must terminate with at most 12.
+	el := Uniform("sat", 4, 100, 2, 1)
+	if len(el.Arcs) > 12 {
+		t.Fatalf("got %d edges in a 12-edge space", len(el.Arcs))
+	}
+	if err := el.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrawlLocality(t *testing.T) {
+	el := Crawl("cw", 10, 8000, 64, 0.7, 8, 5)
+	if err := el.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	intra := 0
+	for _, a := range el.Arcs {
+		if a.From/64 == a.To/64 {
+			intra++
+		}
+	}
+	// With locality 0.7 the intra-host share must be clearly majority.
+	if frac := float64(intra) / float64(len(el.Arcs)); frac < 0.5 {
+		t.Fatalf("intra-host fraction %.2f, want > 0.5", frac)
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	el := Grid("g", 3, 4, 9, 2)
+	if el.N != 12 {
+		t.Fatalf("N = %d", el.N)
+	}
+	// Edges: horizontal 3*3*2 + vertical 2*4*2 = 34.
+	if len(el.Arcs) != 34 {
+		t.Fatalf("M = %d, want 34", len(el.Arcs))
+	}
+	if err := el.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandInsBuild(t *testing.T) {
+	for _, s := range AllStandIns {
+		el := s.Build(8, 99)
+		if err := el.Validate(); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if el.AvgDegree() < 8 {
+			t.Fatalf("%s: average degree %.1f too low", s, el.AvgDegree())
+		}
+		if el.Name != string(s) {
+			t.Fatalf("%s: name %q", s, el.Name)
+		}
+	}
+	// Relative sizes: UK > LJ > OR, as in Table III.
+	or := StandInOR.Build(8, 1)
+	lj := StandInLJ.Build(8, 1)
+	uk := StandInUK.Build(8, 1)
+	if !(uk.N > lj.N && lj.N > or.N) {
+		t.Fatalf("sizes OR=%d LJ=%d UK=%d not increasing", or.N, lj.N, uk.N)
+	}
+}
+
+func TestValidateCatchesBadLists(t *testing.T) {
+	bad := &EdgeList{N: 2, Arcs: []Arc{{From: 0, To: 5, W: 1}}}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range arc accepted")
+	}
+	loop := &EdgeList{N: 2, Arcs: []Arc{{From: 1, To: 1, W: 1}}}
+	if loop.Validate() == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestUpdateString(t *testing.T) {
+	if got := Add(1, 2, 3).String(); got != "+1->2(3)" {
+		t.Fatalf("Add.String = %q", got)
+	}
+	if got := Del(1, 2, 3).String(); got != "-1->2(3)" {
+		t.Fatalf("Del.String = %q", got)
+	}
+}
+
+func TestWeightOneGenerators(t *testing.T) {
+	// maxW ≤ 1 must yield all-unit weights across generators.
+	for _, el := range []*EdgeList{
+		RMAT("w1", 6, 200, DefaultRMAT, 1, 3),
+		Uniform("w1", 40, 200, 0, 3),
+		Grid("w1", 3, 3, 1, 3),
+	} {
+		for _, a := range el.Arcs {
+			if a.W != 1 {
+				t.Fatalf("%s: weight %v, want 1", el.Name, a.W)
+			}
+		}
+	}
+}

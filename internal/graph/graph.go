@@ -1,0 +1,95 @@
+// Package graph provides the streaming-graph substrate shared by every
+// CISGraph engine and by the hardware model: a mutable adjacency structure
+// (Dynamic) that absorbs batched edge additions and deletions, immutable CSR
+// snapshots consumed by the accelerator model, deterministic synthetic
+// dataset generators standing in for the paper's Orkut / LiveJournal /
+// UK-2002 crawls, and simple edge-list I/O.
+package graph
+
+import "fmt"
+
+// VertexID identifies a vertex. Graphs are dense: vertices are 0..N-1.
+type VertexID = uint32
+
+// NoVertex is a sentinel "no such vertex" value (used e.g. for absent
+// dependency-tree parents).
+const NoVertex VertexID = ^VertexID(0)
+
+// Edge is an out-edge as stored in adjacency lists: the target vertex and
+// the raw (dataset) weight. Algorithms map raw weights into their own weight
+// domain, so a single stored weight serves PPSP, PPWP, PPNP, Viterbi and
+// Reach alike.
+type Edge struct {
+	To VertexID
+	W  float64
+}
+
+// Arc is a fully specified directed edge, used by edge lists, generators and
+// update batches.
+type Arc struct {
+	From, To VertexID
+	W        float64
+}
+
+// Update is one streaming graph mutation: an edge addition or deletion.
+// Vertex additions/deletions are expressed as a series of edge updates, as
+// in the paper (§II-A).
+type Update struct {
+	Arc
+	Del bool // false = addition, true = deletion
+}
+
+// Add returns an addition update for u→v with weight w.
+func Add(u, v VertexID, w float64) Update {
+	return Update{Arc: Arc{From: u, To: v, W: w}}
+}
+
+// Del returns a deletion update for u→v with weight w.
+func Del(u, v VertexID, w float64) Update {
+	return Update{Arc: Arc{From: u, To: v, W: w}, Del: true}
+}
+
+func (u Update) String() string {
+	op := "+"
+	if u.Del {
+		op = "-"
+	}
+	return fmt.Sprintf("%s%d->%d(%g)", op, u.From, u.To, u.W)
+}
+
+// EdgeList is a dataset: a vertex count and a list of directed weighted
+// edges. It is the interchange form between generators, files and engines.
+type EdgeList struct {
+	Name string
+	N    int // number of vertices (IDs are 0..N-1)
+	Arcs []Arc
+}
+
+// Validate checks that every endpoint is in range and that no self-loops are
+// present. Generators and loaders produce valid lists; Validate is the guard
+// for hand-built ones.
+func (e *EdgeList) Validate() error {
+	if e.N < 0 {
+		return fmt.Errorf("graph %q: negative vertex count %d", e.Name, e.N)
+	}
+	for i, a := range e.Arcs {
+		if int(a.From) >= e.N || int(a.To) >= e.N {
+			return fmt.Errorf("graph %q: arc %d (%d->%d) out of range N=%d", e.Name, i, a.From, a.To, e.N)
+		}
+		if a.From == a.To {
+			return fmt.Errorf("graph %q: arc %d is a self-loop at %d", e.Name, i, a.From)
+		}
+	}
+	return nil
+}
+
+// AvgDegree returns the average out-degree |E|/|V| (0 for an empty graph).
+func (e *EdgeList) AvgDegree() float64 {
+	if e.N == 0 {
+		return 0
+	}
+	return float64(len(e.Arcs)) / float64(e.N)
+}
+
+// key packs a (from, to) pair into a single comparable value for dedup maps.
+func key(u, v VertexID) uint64 { return uint64(u)<<32 | uint64(v) }

@@ -1,0 +1,354 @@
+package accel
+
+import (
+	"time"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/hw/dram"
+	"cisgraph/internal/hw/sim"
+	"cisgraph/internal/hw/spm"
+	"cisgraph/internal/stats"
+)
+
+// Accel is one simulated CISGraph instance bound to a query. It implements
+// core.Engine, so the experiment harness treats it like any software
+// engine; Response/Converged come from the simulated clock instead of the
+// host's.
+type Accel struct {
+	cfg Config
+	cnt *stats.Counters
+	a   algo.Algorithm
+	q   core.Query
+
+	k   *sim.Kernel
+	mem *spm.SPM
+
+	g      *graph.Dynamic
+	val    []algo.Value
+	parent []graph.VertexID
+	onPath []bool
+	outOff []uint64 // CSR offsets for address computation (per phase)
+	inOff  []uint64
+	lay    layout
+
+	pipes    []*pipeline
+	queued   []bool // propagate-task coalescing bits
+	inRegion []bool // scratch marks for repair tagging
+	scratch  []graph.VertexID
+
+	tracer      *Tracer
+	phase       int // phaseIdle / phaseAdd / phaseDel
+	outstanding int // queued or running identify items + tasks
+	critical    int // outstanding critical work (gates the response)
+	onQuiesce   func()
+	responseAt  sim.Cycle
+	responseSet bool
+}
+
+const (
+	phaseIdle = iota
+	phaseAdd
+	phaseDel
+)
+
+// New returns an unarmed accelerator model; call Reset before use.
+func New(cfg Config) *Accel {
+	return &Accel{cfg: cfg.normalised(), cnt: stats.NewCounters()}
+}
+
+// Name implements core.Engine.
+func (x *Accel) Name() string { return "CISGraph" }
+
+// Counters implements core.Engine.
+func (x *Accel) Counters() *stats.Counters { return x.cnt }
+
+// Answer implements core.Engine.
+func (x *Accel) Answer() algo.Value { return x.val[x.q.D] }
+
+// Cycles returns the total simulated cycles so far.
+func (x *Accel) Cycles() sim.Cycle { return x.k.Now() }
+
+// Reset implements core.Engine: build the memory system, lay out the
+// graph, and run the initial full computation on the accelerator (charged
+// to the simulated clock like any other propagation).
+func (x *Accel) Reset(g *graph.Dynamic, a algo.Algorithm, q core.Query) {
+	n := g.NumVertices()
+	x.a, x.q, x.g = a, q, g
+	x.k = &sim.Kernel{}
+	dr := dram.New(x.k, x.cfg.DRAM, x.cnt)
+	x.mem = spm.New(x.k, dr, x.cfg.SPM, x.cnt)
+	x.val = make([]algo.Value, n)
+	x.parent = make([]graph.VertexID, n)
+	x.onPath = make([]bool, n)
+	x.queued = make([]bool, n)
+	x.inRegion = make([]bool, n)
+	// Reserve address space for the dataset plus all future additions; the
+	// stand-in datasets at most double the initial snapshot.
+	x.lay = newLayout(n, 2*g.NumEdges()+1024)
+	x.pipes = make([]*pipeline, x.cfg.Pipelines)
+	for i := range x.pipes {
+		x.pipes[i] = newPipeline(i, x.cfg.PropUnitsPerPipe, x.cfg.PrefetchSlots)
+	}
+	for i := range x.val {
+		x.val[i] = a.Init()
+		x.parent[i] = graph.NoVertex
+	}
+	x.val[q.S] = a.Source()
+	x.rebuildOffsets()
+
+	// Initial convergence: seed a propagate task for the source and drain.
+	x.phase = phaseAdd
+	x.onQuiesce = func() { x.phase = phaseIdle }
+	x.spawnPropagate(q.S, false)
+	x.k.Run()
+}
+
+// ApplyBatch implements core.Engine: run the paper's three-phase workflow
+// on the simulated clock and report simulated response/convergence times.
+func (x *Accel) ApplyBatch(batch []graph.Update) core.Result {
+	before := x.cnt.Snapshot()
+	start := x.k.Now()
+	x.responseSet = false
+	x.responseAt = start
+
+	// Net per-edge effects, so the phase split cannot reorder a same-edge
+	// delete+add (re-weighting) into an edge loss — see core.NormalizeBatch.
+	nb := core.NormalizeBatch(x.g, batch)
+
+	// Phase A — additions and re-weights: mutate topology, then the
+	// identification stage feeds valuable addition events into propagation
+	// (same ordering as CISO, §IV-A).
+	addEvents := nb.Adds
+	for _, up := range nb.Adds {
+		x.g.AddEdge(up.From, up.To, up.W)
+	}
+	for _, rw := range nb.Reweights {
+		x.g.RemoveEdge(rw.From, rw.To)
+		x.g.AddEdge(rw.From, rw.To, rw.NewW)
+		addEvents = append(addEvents, graph.Add(rw.From, rw.To, rw.NewW))
+	}
+	delEvents := nb.Dels
+	for _, rw := range nb.Reweights {
+		delEvents = append(delEvents, graph.Del(rw.From, rw.To, rw.OldW))
+	}
+	x.rebuildOffsets()
+	x.phase = phaseAdd
+	x.tracer.Add(TraceEvent{Name: "batch: addition phase", Cat: "phase", Start: x.k.Now(), TID: 0})
+	x.onQuiesce = func() { x.startDeletionPhase(nb.Dels, delEvents) }
+	if len(addEvents) == 0 {
+		quiesced := x.onQuiesce
+		x.k.After(1, func() {
+			if x.outstanding == 0 {
+				quiesced()
+			}
+		})
+	}
+	for i, up := range addEvents {
+		x.enqueueIdentify(i, up)
+	}
+	converged := x.k.Run()
+
+	resp := x.responseAt - start
+	if !x.responseSet {
+		resp = converged - start
+	}
+	cycleToDur := func(c sim.Cycle) time.Duration {
+		return time.Duration(float64(c) / x.cfg.FreqGHz * float64(time.Nanosecond))
+	}
+	x.cnt.Set("cycles", int64(x.k.Now()))
+	return core.Result{
+		Answer:    x.Answer(),
+		Response:  cycleToDur(resp),
+		Converged: cycleToDur(converged - start),
+		Counters:  x.cnt.Diff(before),
+	}
+}
+
+// startDeletionPhase applies deletion topology (topoDels only — the
+// deletion halves of re-weights keep their edge, now at the new weight),
+// recomputes the key path, and queues every deletion event for
+// identification. The response is recorded by the critical-work
+// bookkeeping (see unitDone / checkResponse).
+func (x *Accel) startDeletionPhase(topoDels, events []graph.Update) {
+	x.phase = phaseDel
+	x.tracer.Add(TraceEvent{Name: "batch: deletion phase", Cat: "phase", Start: x.k.Now(), TID: 0})
+	x.onQuiesce = nil // converged when the kernel drains
+	for _, up := range topoDels {
+		x.g.RemoveEdge(up.From, up.To)
+	}
+	x.rebuildOffsets()
+	x.recomputeKeyPath()
+	// The key-path walk is pointer chasing through the parent array: one
+	// dependent 4-byte read per hop, charged as a serial chain.
+	x.chargeKeyPathWalk(func() {
+		if len(events) == 0 {
+			x.checkResponse()
+			return
+		}
+		for i, up := range events {
+			x.enqueueIdentify(i, up)
+		}
+	})
+}
+
+// rebuildOffsets refreshes the CSR offset arrays used for address
+// computation from the current topology.
+func (x *Accel) rebuildOffsets() {
+	n := x.g.NumVertices()
+	if x.outOff == nil {
+		x.outOff = make([]uint64, n+1)
+		x.inOff = make([]uint64, n+1)
+	}
+	var accOut, accIn uint64
+	for v := 0; v < n; v++ {
+		x.outOff[v] = accOut
+		x.inOff[v] = accIn
+		accOut += uint64(x.g.OutDegree(graph.VertexID(v)))
+		accIn += uint64(x.g.InDegree(graph.VertexID(v)))
+	}
+	x.outOff[n] = accOut
+	x.inOff[n] = accIn
+}
+
+func (x *Accel) outListAddr(v graph.VertexID) (uint64, int) {
+	deg := x.g.OutDegree(v)
+	return x.lay.outEdge + x.outOff[v]*edgeBytes, deg * edgeBytes
+}
+
+func (x *Accel) inListAddr(v graph.VertexID) (uint64, int) {
+	deg := x.g.InDegree(v)
+	return x.lay.inEdge + x.inOff[v]*edgeBytes, deg * edgeBytes
+}
+
+// recomputeKeyPath refreshes the on-path marks from the parent chain.
+func (x *Accel) recomputeKeyPath() {
+	for i := range x.onPath {
+		x.onPath[i] = false
+	}
+	if !algo.Reached(x.a, x.val[x.q.D]) {
+		return
+	}
+	v := x.q.D
+	for hops := 0; hops <= len(x.val); hops++ {
+		x.onPath[v] = true
+		if v == x.q.S {
+			return
+		}
+		p := x.parent[v]
+		if p == graph.NoVertex {
+			break
+		}
+		v = p
+	}
+	// Incomplete chain (defensive): clear the marks.
+	for i := range x.onPath {
+		x.onPath[i] = false
+	}
+}
+
+// chargeKeyPathWalk issues the serial parent-pointer reads of the key-path
+// walk, then runs done.
+func (x *Accel) chargeKeyPathWalk(done func()) {
+	var hops []graph.VertexID
+	if algo.Reached(x.a, x.val[x.q.D]) {
+		v := x.q.D
+		for hops = append(hops, v); v != x.q.S && x.parent[v] != graph.NoVertex && len(hops) <= len(x.val); {
+			v = x.parent[v]
+			hops = append(hops, v)
+		}
+	}
+	x.outstanding++
+	i := 0
+	var step func()
+	step = func() {
+		if i >= len(hops) {
+			x.unitDone(false)
+			done()
+			return
+		}
+		addr := x.lay.parentAddr(hops[i])
+		i++
+		x.mem.Read(addr, parentBytes, step)
+	}
+	step()
+}
+
+// ---- functional core (mirrors engine/state.go semantics) ----
+
+// relax applies ⊕/⊗ to edge u→v; on improvement it writes the new value,
+// re-points the parent and reports true. Activation accounting happens in
+// spawnPropagate, after buffer coalescing — the paper's buffers hold one
+// entry per affected vertex (§III-B), so "activated vertices" counts
+// insertions, not raw improvements.
+func (x *Accel) relax(u, v graph.VertexID, w float64) bool {
+	x.cnt.Inc(stats.CntRelax)
+	if v == x.q.S {
+		return false
+	}
+	t := x.a.Propagate(x.val[u], x.a.Weight(w))
+	if !x.a.Better(t, x.val[v]) {
+		return false
+	}
+	x.val[v] = t
+	x.parent[v] = u
+	x.cnt.Inc(stats.CntStateUpdate)
+	return true
+}
+
+// recompute re-derives v from its in-edges (counting relaxations) and
+// returns the previous value.
+func (x *Accel) recompute(v graph.VertexID) (old algo.Value) {
+	old = x.val[v]
+	if v == x.q.S {
+		return old
+	}
+	best := x.a.Init()
+	bestParent := graph.NoVertex
+	for _, e := range x.g.In(v) {
+		x.cnt.Inc(stats.CntRelax)
+		t := x.a.Propagate(x.val[e.To], x.a.Weight(e.W))
+		if x.a.Better(t, best) {
+			best = t
+			bestParent = e.To
+		}
+	}
+	x.val[v] = best
+	x.parent[v] = bestParent
+	return old
+}
+
+// chainPasses reports whether y's parent chain passes through v, and how
+// many hops the walk took (for charging the reads).
+func (x *Accel) chainPasses(y, v graph.VertexID) (bool, int) {
+	for hops := 0; hops <= len(x.val); hops++ {
+		if y == v {
+			return true, hops
+		}
+		y = x.parent[y]
+		if y == graph.NoVertex {
+			return false, hops
+		}
+	}
+	return true, len(x.val)
+}
+
+// tagDependents collects v plus everything transitively derived from it via
+// parent pointers (marks left in x.inRegion; caller clears).
+func (x *Accel) tagDependents(v graph.VertexID) []graph.VertexID {
+	x.scratch = x.scratch[:0]
+	x.scratch = append(x.scratch, v)
+	x.inRegion[v] = true
+	for i := 0; i < len(x.scratch); i++ {
+		y := x.scratch[i]
+		x.cnt.Inc(stats.CntTagged)
+		for _, e := range x.g.Out(y) {
+			if !x.inRegion[e.To] && x.parent[e.To] == y {
+				x.inRegion[e.To] = true
+				x.scratch = append(x.scratch, e.To)
+			}
+		}
+	}
+	return x.scratch
+}

@@ -1,0 +1,270 @@
+package accel
+
+import (
+	"fmt"
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+	"cisgraph/internal/stream"
+)
+
+// smallConfig keeps simulations quick and exercises the memory hierarchy
+// (the SPM is small enough to miss).
+func smallConfig() Config {
+	cfg := PaperConfig()
+	cfg.SPM.SizeBytes = 64 << 10
+	return cfg
+}
+
+func TestAccelMatchesSoftwareEngines(t *testing.T) {
+	for _, a := range algo.All() {
+		for seed := int64(1); seed <= 2; seed++ {
+			a, seed := a, seed
+			t.Run(fmt.Sprintf("%s/seed%d", a.Name(), seed), func(t *testing.T) {
+				t.Parallel()
+				ds := graph.RMAT("acc", 7, 800, graph.DefaultRMAT, 16, seed)
+				w, err := stream.New(ds, stream.Config{
+					LoadFraction: 0.5, AddsPerBatch: 30, DelsPerBatch: 30, Seed: seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := w.QueryPairs(1)[0]
+				q := core.Query{S: p[0], D: p[1]}
+				cs := core.NewColdStart()
+				ciso := core.NewCISO()
+				hw := New(smallConfig())
+				init := w.Initial()
+				cs.Reset(init.Clone(), a, q)
+				ciso.Reset(init.Clone(), a, q)
+				hw.Reset(init.Clone(), a, q)
+				if hw.Answer() != cs.Answer() {
+					t.Fatalf("initial: hw=%v cs=%v", hw.Answer(), cs.Answer())
+				}
+				for bi := 0; bi < 4; bi++ {
+					batch := w.NextBatch()
+					want := cs.ApplyBatch(batch).Answer
+					soft := ciso.ApplyBatch(batch).Answer
+					got := hw.ApplyBatch(batch).Answer
+					if soft != want {
+						t.Fatalf("batch %d: CISO=%v CS=%v", bi, soft, want)
+					}
+					if got != want {
+						t.Fatalf("batch %d: accel=%v CS=%v", bi, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestAccelFig1bDeletion(t *testing.T) {
+	g := graph.NewDynamic(5)
+	g.AddEdge(0, 3, 2)
+	g.AddEdge(3, 4, 3)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 4, 3)
+	hw := New(smallConfig())
+	hw.Reset(g, algo.PPSP{}, core.Query{S: 0, D: 4})
+	if hw.Answer() != 5 {
+		t.Fatalf("initial answer %v", hw.Answer())
+	}
+	res := hw.ApplyBatch([]graph.Update{graph.Del(0, 3, 2)})
+	if res.Answer != 9 {
+		t.Fatalf("answer = %v, want 9", res.Answer)
+	}
+	if res.Converged <= 0 {
+		t.Fatal("simulated time must advance")
+	}
+}
+
+func TestAccelResponseBeforeConvergence(t *testing.T) {
+	// A batch whose only valuable work is additions plus one delayed
+	// deletion: the response must not wait for the delayed repair.
+	g := graph.NewDynamic(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1) // key path 0-1-2
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(3, 4, 1) // off-path chain
+	g.AddEdge(4, 5, 1)
+	hw := New(smallConfig())
+	hw.Reset(g, algo.PPSP{}, core.Query{S: 0, D: 2})
+	res := hw.ApplyBatch([]graph.Update{graph.Del(3, 4, 1)})
+	if res.Answer != 2 {
+		t.Fatalf("answer = %v", res.Answer)
+	}
+	if res.Response > res.Converged {
+		t.Fatalf("response %v after convergence %v", res.Response, res.Converged)
+	}
+	if res.Counters[stats.CntUpdateDelayed] != 1 {
+		t.Fatalf("expected a delayed deletion: %v", res.Counters)
+	}
+	if res.Response >= res.Converged {
+		t.Fatalf("delayed repair should run after the response: resp=%v conv=%v",
+			res.Response, res.Converged)
+	}
+}
+
+func TestAccelPromotion(t *testing.T) {
+	g := graph.NewDynamic(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 4, 1)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 4, 2)
+	g.AddEdge(0, 3, 5)
+	g.AddEdge(3, 4, 5)
+	hw := New(smallConfig())
+	hw.Reset(g, algo.PPSP{}, core.Query{S: 0, D: 4})
+	res := hw.ApplyBatch([]graph.Update{
+		graph.Del(0, 2, 2),
+		graph.Del(1, 4, 1),
+	})
+	if res.Answer != 10 {
+		t.Fatalf("answer = %v, want 10", res.Answer)
+	}
+	if res.Counters[stats.CntUpdatePromoted] != 1 {
+		t.Fatalf("want one promotion: %v", res.Counters)
+	}
+}
+
+func TestAccelDeterministic(t *testing.T) {
+	run := func() (float64, int64, int64) {
+		ds := graph.RMAT("det", 6, 400, graph.DefaultRMAT, 8, 3)
+		w, _ := stream.New(ds, stream.Config{
+			LoadFraction: 0.5, AddsPerBatch: 20, DelsPerBatch: 20, Seed: 3,
+		})
+		p := w.QueryPairs(1)[0]
+		hw := New(smallConfig())
+		hw.Reset(w.Initial(), algo.PPSP{}, core.Query{S: p[0], D: p[1]})
+		hw.ApplyBatch(w.NextBatch())
+		return hw.Answer(), int64(hw.Cycles()), hw.Counters().Get(stats.CntRelax)
+	}
+	a1, c1, r1 := run()
+	a2, c2, r2 := run()
+	if a1 != a2 || c1 != c2 || r1 != r2 {
+		t.Fatalf("nondeterministic: (%v,%d,%d) vs (%v,%d,%d)", a1, c1, r1, a2, c2, r2)
+	}
+}
+
+func TestAccelMorePipelinesNotSlower(t *testing.T) {
+	run := func(pipes int) int64 {
+		ds := graph.RMAT("pipes", 7, 1200, graph.DefaultRMAT, 8, 7)
+		w, _ := stream.New(ds, stream.Config{
+			LoadFraction: 0.5, AddsPerBatch: 60, DelsPerBatch: 60, Seed: 7,
+		})
+		p := w.QueryPairs(1)[0]
+		cfg := smallConfig()
+		cfg.Pipelines = pipes
+		hw := New(cfg)
+		hw.Reset(w.Initial(), algo.PPSP{}, core.Query{S: p[0], D: p[1]})
+		start := hw.Cycles()
+		for i := 0; i < 2; i++ {
+			hw.ApplyBatch(w.NextBatch())
+		}
+		return int64(hw.Cycles() - start)
+	}
+	one, four := run(1), run(4)
+	// Parallel propagation must not be slower; allow equality for tiny
+	// workloads plus a small tolerance for scheduling noise.
+	if float64(four) > 1.10*float64(one) {
+		t.Fatalf("4 pipelines (%d cycles) slower than 1 (%d cycles)", four, one)
+	}
+}
+
+func TestAccelCountsMemoryTraffic(t *testing.T) {
+	g := graph.NewDynamic(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	hw := New(smallConfig())
+	hw.Reset(g, algo.PPSP{}, core.Query{S: 0, D: 3})
+	c := hw.Counters()
+	if c.Get(stats.CntSPMHit)+c.Get(stats.CntSPMMiss) == 0 {
+		t.Fatal("no SPM traffic recorded")
+	}
+	if c.Get(stats.CntDRAMRead) == 0 {
+		t.Fatal("no DRAM traffic recorded")
+	}
+	if c.Get(stats.CntRelax) == 0 {
+		t.Fatal("no relaxations recorded")
+	}
+}
+
+func TestAccelSmallerSPMNotFaster(t *testing.T) {
+	run := func(spmBytes int) int64 {
+		ds := graph.RMAT("spm", 7, 1200, graph.DefaultRMAT, 8, 11)
+		w, _ := stream.New(ds, stream.Config{
+			LoadFraction: 0.5, AddsPerBatch: 50, DelsPerBatch: 50, Seed: 11,
+		})
+		p := w.QueryPairs(1)[0]
+		cfg := PaperConfig()
+		cfg.SPM.SizeBytes = spmBytes
+		hw := New(cfg)
+		hw.Reset(w.Initial(), algo.PPSP{}, core.Query{S: p[0], D: p[1]})
+		start := hw.Cycles()
+		hw.ApplyBatch(w.NextBatch())
+		return int64(hw.Cycles() - start)
+	}
+	tiny, big := run(4<<10), run(4<<20)
+	if big > tiny {
+		t.Fatalf("bigger SPM slower: 4KB=%d cycles, 4MB=%d cycles", tiny, big)
+	}
+}
+
+func TestAccelEmptyBatch(t *testing.T) {
+	g := graph.NewDynamic(3)
+	g.AddEdge(0, 1, 1)
+	hw := New(smallConfig())
+	hw.Reset(g, algo.PPSP{}, core.Query{S: 0, D: 1})
+	res := hw.ApplyBatch(nil)
+	if res.Answer != 1 {
+		t.Fatalf("answer = %v", res.Answer)
+	}
+}
+
+func TestAccelImplementsEngine(t *testing.T) {
+	var _ core.Engine = New(PaperConfig())
+}
+
+func TestConfigNormalised(t *testing.T) {
+	hw := New(Config{}) // zero config must be usable
+	g := graph.NewDynamic(2)
+	g.AddEdge(0, 1, 1)
+	hw.Reset(g, algo.PPSP{}, core.Query{S: 0, D: 1})
+	if hw.Answer() != 1 {
+		t.Fatalf("zero-config accel answer %v", hw.Answer())
+	}
+	cfg := hw.cfg
+	if cfg.Pipelines < 1 || cfg.PropUnitsPerPipe < 1 || cfg.ALUWidth < 1 || cfg.FreqGHz <= 0 {
+		t.Fatalf("config not normalised: %+v", cfg)
+	}
+}
+
+func TestAccelManyBatchesStable(t *testing.T) {
+	ds := graph.RMAT("many", 7, 800, graph.DefaultRMAT, 8, 44)
+	w, _ := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 15, DelsPerBatch: 15, Seed: 44,
+	})
+	p := w.QueryPairs(1)[0]
+	q := core.Query{S: p[0], D: p[1]}
+	hw := New(smallConfig())
+	cs := core.NewColdStart()
+	hw.Reset(w.Initial(), algo.PPWP{}, q)
+	cs.Reset(w.Initial(), algo.PPWP{}, q)
+	prevCycles := hw.Cycles()
+	for bi := 0; bi < 8; bi++ {
+		batch := w.NextBatch()
+		want := cs.ApplyBatch(batch).Answer
+		if got := hw.ApplyBatch(batch).Answer; got != want {
+			t.Fatalf("batch %d: %v vs %v", bi, got, want)
+		}
+		if hw.Cycles() <= prevCycles {
+			t.Fatalf("batch %d: clock did not advance", bi)
+		}
+		prevCycles = hw.Cycles()
+	}
+}

@@ -1,0 +1,117 @@
+// Package accel is the cycle-level model of the CISGraph accelerator
+// (paper §III-B): parallel pipelines, each with state/neighbor prefetchers,
+// an identification-and-scheduling stage with a priority output buffer, and
+// propagation units, all sharing a scratchpad-cached memory system.
+//
+// Functional semantics and timing are decoupled the way DESIGN.md §3.3
+// describes: every task carries vertex IDs only and performs its functional
+// reads/writes atomically at event execution (so the monotone-propagation
+// confluence argument of the software engines carries over unchanged),
+// while its cost is charged as a staged chain of SPM/DRAM accesses on the
+// executing unit. Tests assert the accelerator's answers equal CISGraph-O's
+// and ColdStart's on randomized streams.
+package accel
+
+import (
+	"cisgraph/internal/hw/dram"
+	"cisgraph/internal/hw/spm"
+)
+
+// Config describes one CISGraph instance.
+type Config struct {
+	// Pipelines is the number of parallel pipelines; updates and activated
+	// vertices are distributed by vertex ID modulo Pipelines (paper: 4).
+	Pipelines int
+	// PropUnitsPerPipe is the number of propagation modules per pipeline,
+	// added "to offset the speed gap between identification and
+	// propagation" (§III-B).
+	PropUnitsPerPipe int
+	// ALUWidth is the number of ⊕/⊗ operations a unit retires per cycle.
+	ALUWidth int
+	// PrefetchSlots bounds each pipeline's outstanding memory requests
+	// (MSHR-style memory-level parallelism). 0 means unlimited — the
+	// default, matching the paper's idealised prefetchers; the A5 ablation
+	// sweeps it to show MLP sensitivity.
+	PrefetchSlots int
+	// FreqGHz converts cycles to seconds (paper: 1 GHz).
+	FreqGHz float64
+	// SPM and DRAM configure the memory system (paper Table I).
+	SPM  spm.Config
+	DRAM dram.Config
+}
+
+// PaperConfig is Table I: 4 pipelines at 1 GHz, 32 MB eDRAM scratchpad,
+// 8× DDR4-3200 channels at 12 GB/s.
+func PaperConfig() Config {
+	return Config{
+		Pipelines:        4,
+		PropUnitsPerPipe: 2,
+		ALUWidth:         4,
+		FreqGHz:          1.0,
+		SPM:              spm.Paper32MB(),
+		DRAM:             dram.DDR4_3200x8(),
+	}
+}
+
+func (c Config) normalised() Config {
+	if c.Pipelines < 1 {
+		c.Pipelines = 1
+	}
+	if c.PropUnitsPerPipe < 1 {
+		c.PropUnitsPerPipe = 1
+	}
+	if c.ALUWidth < 1 {
+		c.ALUWidth = 1
+	}
+	if c.FreqGHz <= 0 {
+		c.FreqGHz = 1.0
+	}
+	return c
+}
+
+// Element sizes of the in-memory layout (bytes).
+const (
+	stateBytes  = 8  // float64 vertex state
+	parentBytes = 4  // uint32 dependency-tree parent
+	offsetBytes = 8  // CSR offset
+	edgeBytes   = 12 // 4 B target + 8 B weight
+	updateBytes = 16 // packed update record
+)
+
+// layout maps the functional arrays onto the simulated address space; the
+// prefetchers compute request addresses from it exactly as the paper's CSR
+// assumption dictates (one contiguous (start, length) request per edge
+// list, fine-grained random state reads).
+type layout struct {
+	state, parent   uint64
+	outOff, inOff   uint64
+	outEdge, inEdge uint64
+	update          uint64
+}
+
+func newLayout(n, maxEdges int) layout {
+	var l layout
+	next := uint64(0)
+	alloc := func(sz int) uint64 {
+		base := next
+		next += uint64(sz)
+		// Keep regions line-aligned so cross-region accesses never share a
+		// cache line.
+		next = (next + 63) &^ 63
+		return base
+	}
+	l.state = alloc(n * stateBytes)
+	l.parent = alloc(n * parentBytes)
+	l.outOff = alloc((n + 1) * offsetBytes)
+	l.inOff = alloc((n + 1) * offsetBytes)
+	l.outEdge = alloc(maxEdges * edgeBytes)
+	l.inEdge = alloc(maxEdges * edgeBytes)
+	l.update = alloc(1 << 20)
+	return l
+}
+
+func (l layout) stateAddr(v uint32) uint64  { return l.state + uint64(v)*stateBytes }
+func (l layout) parentAddr(v uint32) uint64 { return l.parent + uint64(v)*parentBytes }
+func (l layout) outOffAddr(v uint32) uint64 { return l.outOff + uint64(v)*offsetBytes }
+func (l layout) inOffAddr(v uint32) uint64  { return l.inOff + uint64(v)*offsetBytes }
+func (l layout) updateAddr(i int) uint64    { return l.update + uint64(i)*updateBytes }

@@ -1,0 +1,80 @@
+package accel
+
+import (
+	"fmt"
+
+	"cisgraph/internal/stats"
+)
+
+// EnergyConfig holds per-event energy constants for the accelerator's
+// components, in picojoules. The defaults are representative published
+// figures for the paper's technology points (eDRAM scratchpad, DDR4,
+// simple fixed-point datapath at 1 GHz); like the paper's CACTI usage,
+// the constants parameterise the model rather than being derived in it.
+type EnergyConfig struct {
+	// SPMAccessPJ is the energy of one scratchpad line access (read or
+	// write). eDRAM at ~0.2 pJ/byte × 64 B line.
+	SPMAccessPJ float64
+	// DRAMBytePJ is the energy per byte moved on a DDR4 channel
+	// (~15 pJ/byte including I/O).
+	DRAMBytePJ float64
+	// ALUOpPJ is the energy of one ⊕/⊗ operation.
+	ALUOpPJ float64
+	// StaticMW is the constant leakage+clock power of the whole
+	// accelerator in milliwatts, charged per simulated cycle.
+	StaticMW float64
+	// FreqGHz converts cycles to time for the static charge.
+	FreqGHz float64
+}
+
+// DefaultEnergy returns the representative constants described above.
+func DefaultEnergy() EnergyConfig {
+	return EnergyConfig{
+		SPMAccessPJ: 13,  // 0.2 pJ/B × 64 B
+		DRAMBytePJ:  15,  // DDR4 incl. PHY
+		ALUOpPJ:     1,   // fixed-point compare/add
+		StaticMW:    50,  // leakage + clock tree
+		FreqGHz:     1.0, // paper Table I
+	}
+}
+
+// Energy is a per-component energy breakdown in nanojoules.
+type Energy struct {
+	SPM, DRAM, Compute, Static float64 // nJ
+}
+
+// Total returns the summed energy in nanojoules.
+func (e Energy) Total() float64 { return e.SPM + e.DRAM + e.Compute + e.Static }
+
+func (e Energy) String() string {
+	return fmt.Sprintf("total %.1f nJ (SPM %.1f, DRAM %.1f, compute %.1f, static %.1f)",
+		e.Total(), e.SPM, e.DRAM, e.Compute, e.Static)
+}
+
+// EnergyFromCounters folds a counter snapshot (e.g. one batch's Result
+// counters or the accelerator's cumulative set) into an energy estimate.
+func EnergyFromCounters(c map[string]int64, cfg EnergyConfig) Energy {
+	spmAccesses := float64(c[stats.CntSPMHit] + c[stats.CntSPMMiss])
+	dramBytes := float64(c[stats.CntDRAMBytes])
+	aluOps := float64(c[stats.CntRelax])
+	cycles := float64(c["cycles"])
+	const pJtoNJ = 1e-3
+	seconds := 0.0
+	if cfg.FreqGHz > 0 {
+		seconds = cycles / (cfg.FreqGHz * 1e9)
+	}
+	return Energy{
+		SPM:     spmAccesses * cfg.SPMAccessPJ * pJtoNJ,
+		DRAM:    dramBytes * cfg.DRAMBytePJ * pJtoNJ,
+		Compute: aluOps * cfg.ALUOpPJ * pJtoNJ,
+		Static:  cfg.StaticMW * 1e-3 * seconds * 1e9, // W × s → nJ
+	}
+}
+
+// Energy reports the accelerator's cumulative energy under cfg. Per-batch
+// breakdowns come from EnergyFromCounters on a Result's counter deltas
+// (note the "cycles" entry in deltas is cumulative, so per-batch static
+// energy should be derived from the batch's Converged duration instead).
+func (x *Accel) Energy(cfg EnergyConfig) Energy {
+	return EnergyFromCounters(x.cnt.Snapshot(), cfg)
+}

@@ -1,0 +1,112 @@
+package accel
+
+import (
+	"strings"
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+)
+
+func TestEnergyBreakdown(t *testing.T) {
+	g := graph.NewDynamic(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	hw := New(smallConfig())
+	hw.Reset(g, algo.PPSP{}, core.Query{S: 0, D: 3})
+	hw.ApplyBatch([]graph.Update{graph.Add(0, 3, 2)})
+	e := hw.Energy(DefaultEnergy())
+	if e.SPM <= 0 || e.DRAM <= 0 || e.Compute <= 0 || e.Static <= 0 {
+		t.Fatalf("all components must be positive: %+v", e)
+	}
+	if e.Total() <= e.SPM {
+		t.Fatal("total must exceed any single component")
+	}
+	if !strings.Contains(e.String(), "nJ") {
+		t.Fatalf("String() = %q", e.String())
+	}
+}
+
+func TestEnergyScalesWithWork(t *testing.T) {
+	run := func(m int) float64 {
+		ds := graph.RMAT("e", 8, m, graph.DefaultRMAT, 8, 4)
+		g := graph.FromEdgeList(ds)
+		hw := New(smallConfig())
+		hw.Reset(g, algo.PPSP{}, core.Query{S: 0, D: 200})
+		return hw.Energy(DefaultEnergy()).Total()
+	}
+	small, large := run(500), run(4000)
+	if large <= small {
+		t.Fatalf("8× work should cost more energy: %v vs %v", small, large)
+	}
+}
+
+func TestEnergyZeroFrequencyNoStatic(t *testing.T) {
+	cfg := DefaultEnergy()
+	cfg.FreqGHz = 0
+	e := EnergyFromCounters(map[string]int64{"cycles": 100, stats.CntRelax: 10}, cfg)
+	if e.Static != 0 {
+		t.Fatalf("static = %v, want 0 with zero frequency", e.Static)
+	}
+	if e.Compute <= 0 {
+		t.Fatal("compute must still be counted")
+	}
+}
+
+func TestDRAMBytesCounted(t *testing.T) {
+	g := graph.NewDynamic(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	hw := New(smallConfig())
+	hw.Reset(g, algo.PPSP{}, core.Query{S: 0, D: 2})
+	if hw.Counters().Get(stats.CntDRAMBytes) == 0 {
+		t.Fatal("DRAM byte counter never incremented")
+	}
+}
+
+func TestPropUtilizationTracked(t *testing.T) {
+	ds := graph.RMAT("util", 8, 2000, graph.DefaultRMAT, 8, 6)
+	hw := New(smallConfig())
+	hw.Reset(graph.FromEdgeList(ds), algo.PPSP{}, core.Query{S: 0, D: 100})
+	busy := hw.Counters().Get(stats.CntPropBusyCycles)
+	if busy == 0 {
+		t.Fatal("no busy cycles recorded")
+	}
+	total := int64(hw.Cycles()) * int64(hw.cfg.Pipelines*hw.cfg.PropUnitsPerPipe)
+	if busy > total {
+		t.Fatalf("busy %d exceeds capacity %d", busy, total)
+	}
+}
+
+func TestReport(t *testing.T) {
+	ds := graph.RMAT("rep", 8, 2000, graph.DefaultRMAT, 8, 8)
+	hw := New(smallConfig())
+	hw.Reset(graph.FromEdgeList(ds), algo.PPSP{}, core.Query{S: 0, D: 100})
+	hw.ApplyBatch([]graph.Update{
+		graph.Add(0, 200, 1),
+		graph.Del(ds.Arcs[0].From, ds.Arcs[0].To, ds.Arcs[0].W),
+	})
+	r := hw.Report()
+	if r.Cycles <= 0 || r.Relaxations <= 0 {
+		t.Fatalf("empty report: %+v", r)
+	}
+	if r.PropUtilization <= 0 || r.PropUtilization > 1 {
+		t.Fatalf("utilization out of range: %v", r.PropUtilization)
+	}
+	if r.SPMHitRate <= 0 || r.SPMHitRate > 1 {
+		t.Fatalf("SPM hit rate out of range: %v", r.SPMHitRate)
+	}
+	sum := r.ValuablePct + r.DelayedPct + r.UselessPct
+	if sum < 99.9 || sum > 100.1 {
+		t.Fatalf("classification shares sum to %v", sum)
+	}
+	s := r.String()
+	for _, want := range []string{"utilization", "SPM hit rate", "valuable"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package accel
+
+import (
+	"fmt"
+	"strings"
+
+	"cisgraph/internal/stats"
+)
+
+// Report summarises an accelerator's cumulative behaviour: how busy the
+// propagation units were, how the memory hierarchy performed, and how the
+// classifier divided the stream — the quantities an architect reads first
+// when sizing the design (pipeline count, SPM capacity, §III-B).
+type Report struct {
+	Cycles int64
+	// PropUtilization is busy-cycles ÷ (cycles × units), in [0,1].
+	PropUtilization float64
+	// SPMHitRate and DRAMRowHitRate are in [0,1].
+	SPMHitRate     float64
+	DRAMRowHitRate float64
+	// Relaxations, Activations are the functional work totals.
+	Relaxations, Activations int64
+	// ValuablePct / DelayedPct / UselessPct divide the classified updates.
+	ValuablePct, DelayedPct, UselessPct float64
+}
+
+// Report builds the summary from the accelerator's cumulative counters.
+func (x *Accel) Report() Report {
+	c := x.cnt.Snapshot()
+	r := Report{
+		Cycles:      int64(x.k.Now()),
+		Relaxations: c[stats.CntRelax],
+		Activations: c[stats.CntActivation],
+	}
+	units := int64(x.cfg.Pipelines * x.cfg.PropUnitsPerPipe)
+	if cap := r.Cycles * units; cap > 0 {
+		r.PropUtilization = float64(c[stats.CntPropBusyCycles]) / float64(cap)
+	}
+	if acc := c[stats.CntSPMHit] + c[stats.CntSPMMiss]; acc > 0 {
+		r.SPMHitRate = float64(c[stats.CntSPMHit]) / float64(acc)
+	}
+	if acc := c[stats.CntRowHit] + c[stats.CntRowMiss]; acc > 0 {
+		r.DRAMRowHitRate = float64(c[stats.CntRowHit]) / float64(acc)
+	}
+	if classified := c[stats.CntUpdateValuable] + c[stats.CntUpdateDelayed] + c[stats.CntUpdateUseless]; classified > 0 {
+		r.ValuablePct = 100 * float64(c[stats.CntUpdateValuable]) / float64(classified)
+		r.DelayedPct = 100 * float64(c[stats.CntUpdateDelayed]) / float64(classified)
+		r.UselessPct = 100 * float64(c[stats.CntUpdateUseless]) / float64(classified)
+	}
+	return r
+}
+
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles %d, prop-unit utilization %.1f%%\n", r.Cycles, 100*r.PropUtilization)
+	fmt.Fprintf(&b, "SPM hit rate %.1f%%, DRAM row-hit rate %.1f%%\n", 100*r.SPMHitRate, 100*r.DRAMRowHitRate)
+	fmt.Fprintf(&b, "work: %d relaxations, %d activations\n", r.Relaxations, r.Activations)
+	fmt.Fprintf(&b, "updates: %.1f%% valuable, %.1f%% delayed, %.1f%% useless",
+		r.ValuablePct, r.DelayedPct, r.UselessPct)
+	return b.String()
+}

@@ -1,0 +1,41 @@
+package accel
+
+import (
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+)
+
+// TestAccelReweightBatches mirrors the engine-level regression: re-weighting
+// batches (same-edge delete+add) must keep the accelerator exact.
+func TestAccelReweightBatches(t *testing.T) {
+	for _, a := range []algo.Algorithm{algo.PPSP{}, algo.PPWP{}} {
+		el := graph.Grid("rw", 8, 8, 9, 3)
+		q := core.Query{S: 0, D: 63}
+		cs := core.NewColdStart()
+		cs.Reset(graph.FromEdgeList(el), a, q)
+		hw := New(smallConfig())
+		hw.Reset(graph.FromEdgeList(el), a, q)
+		for wave := 0; wave < 3; wave++ {
+			var batch []graph.Update
+			for i := wave; i < len(el.Arcs); i += 7 {
+				arc := &el.Arcs[i]
+				newW := float64((i+wave)%9 + 1)
+				if newW == arc.W {
+					continue
+				}
+				batch = append(batch,
+					graph.Del(arc.From, arc.To, arc.W),
+					graph.Add(arc.From, arc.To, newW))
+				arc.W = newW
+			}
+			want := cs.ApplyBatch(batch).Answer
+			if got := hw.ApplyBatch(batch).Answer; got != want {
+				t.Fatalf("%s wave %d: accel=%v cs=%v", a.Name(), wave, got, want)
+			}
+			checkParentInvariant(t, hw, a.Name())
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package accel
+
+import (
+	"fmt"
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stream"
+)
+
+// TestAccelFullStateAgreement is stricter than answer agreement: after
+// every batch the accelerator's entire state array must equal a fresh
+// ColdStart convergence on the same snapshot, and every parent pointer must
+// reference a live supplying edge. This is what caught the task-install
+// atomicity bug (see kickProp).
+func TestAccelFullStateAgreement(t *testing.T) {
+	for _, a := range algo.All() {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			t.Parallel()
+			ds := graph.RMAT("fsa", 7, 900, graph.DefaultRMAT, 16, 21)
+			w, err := stream.New(ds, stream.Config{
+				LoadFraction: 0.5, AddsPerBatch: 40, DelsPerBatch: 40, Seed: 21,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := w.QueryPairs(1)[0]
+			q := core.Query{S: p[0], D: p[1]}
+			hw := New(smallConfig())
+			hw.Reset(w.Initial(), a, q)
+			for bi := 0; bi < 4; bi++ {
+				batch := w.NextBatch()
+				hw.ApplyBatch(batch)
+				cs := core.NewColdStart()
+				cs.Reset(hw.g.Clone(), a, q)
+				ref := cs.StateForTest()
+				for v := range hw.val {
+					if hw.val[v] != ref[v] {
+						t.Fatalf("batch %d vertex %d: accel=%v ref=%v", bi, v, hw.val[v], ref[v])
+					}
+				}
+				checkParentInvariant(t, hw, fmt.Sprintf("batch %d", bi))
+			}
+		})
+	}
+}
+
+func checkParentInvariant(t *testing.T, x *Accel, ctx string) {
+	t.Helper()
+	for v := range x.val {
+		pv := x.parent[v]
+		if pv == graph.NoVertex {
+			continue
+		}
+		w, ok := x.g.HasEdge(pv, graph.VertexID(v))
+		if !ok {
+			t.Fatalf("%s: vertex %d has dangling parent %d", ctx, v, pv)
+		}
+		if got := x.a.Propagate(x.val[pv], x.a.Weight(w)); got != x.val[v] {
+			t.Fatalf("%s: vertex %d val %v unsupported by parent %d (edge gives %v)",
+				ctx, v, x.val[v], pv, got)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package accel
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"cisgraph/internal/hw/sim"
+)
+
+// TraceEvent is one unit-occupancy span or marker in the simulated
+// timeline.
+type TraceEvent struct {
+	Name  string    // e.g. "identify +3->7", "propagate v12", "repair v9"
+	Cat   string    // "identify", "propagate", "repair", "phase"
+	Start sim.Cycle // begin cycle
+	Dur   sim.Cycle // span length (0 for instant markers)
+	TID   int       // lane: pipeline/unit identity
+}
+
+// Tracer records accelerator activity for visual inspection. Attach one
+// with Accel.AttachTracer before Reset/ApplyBatch, then export with
+// WriteChromeTrace — the JSON loads in chrome://tracing or Perfetto, with
+// one row per identification stage and propagation unit.
+type Tracer struct {
+	events []TraceEvent
+	// Cap bounds memory for very long simulations; 0 means unlimited.
+	Cap int
+}
+
+// Add appends one event (no-op once Cap is reached).
+func (t *Tracer) Add(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	if t.Cap > 0 && len(t.events) >= t.Cap {
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Len reports the number of recorded events.
+func (t *Tracer) Len() int { return len(t.events) }
+
+// Events returns the recorded events (shared slice; treat as read-only).
+func (t *Tracer) Events() []TraceEvent { return t.events }
+
+// WriteChromeTrace emits the Chrome/Perfetto trace-event JSON array.
+// Cycles map to microseconds 1:1000 (a 1 GHz cycle is a nanosecond).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i, ev := range t.events {
+		sep := ","
+		if i == len(t.events)-1 {
+			sep = ""
+		}
+		phase := "X"
+		durField := fmt.Sprintf(`,"dur":%.3f`, float64(ev.Dur)/1000)
+		if ev.Dur == 0 {
+			phase = "i"
+			durField = `,"s":"t"`
+		}
+		if _, err := fmt.Fprintf(bw,
+			`{"name":%q,"cat":%q,"ph":%q,"ts":%.3f%s,"pid":1,"tid":%d}%s`+"\n",
+			ev.Name, ev.Cat, phase, float64(ev.Start)/1000, durField, ev.TID, sep); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// AttachTracer starts recording unit activity into tr (nil detaches).
+func (x *Accel) AttachTracer(tr *Tracer) { x.tracer = tr }
+
+// laneIdentify returns the trace lane of a pipeline's identification stage.
+func laneIdentify(pipe int) int { return pipe*100 + 1 }
+
+// lanePropUnit returns the trace lane of a propagation unit.
+func lanePropUnit(pipe, unit int) int { return pipe*100 + 10 + unit }

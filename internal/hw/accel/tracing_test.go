@@ -1,0 +1,99 @@
+package accel
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+)
+
+func tracedRun(t *testing.T) *Tracer {
+	t.Helper()
+	g := graph.NewDynamic(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 4, 2)
+	hw := New(smallConfig())
+	tr := &Tracer{}
+	hw.AttachTracer(tr)
+	hw.Reset(g, algo.PPSP{}, core.Query{S: 0, D: 3})
+	hw.ApplyBatch([]graph.Update{
+		graph.Add(4, 3, 1),
+		graph.Del(1, 2, 1),
+	})
+	return tr
+}
+
+func TestTracerRecordsAllCategories(t *testing.T) {
+	tr := tracedRun(t)
+	if tr.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	cats := map[string]int{}
+	for _, ev := range tr.Events() {
+		cats[ev.Cat]++
+	}
+	for _, want := range []string{"identify", "propagate", "phase"} {
+		if cats[want] == 0 {
+			t.Fatalf("no %q events (got %v)", want, cats)
+		}
+	}
+}
+
+func TestTracerChromeJSONWellFormed(t *testing.T) {
+	tr := tracedRun(t)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != tr.Len() {
+		t.Fatalf("JSON has %d events, tracer %d", len(events), tr.Len())
+	}
+	for _, ev := range events {
+		if ev["name"] == "" || ev["ph"] == "" {
+			t.Fatalf("malformed event %v", ev)
+		}
+	}
+}
+
+func TestTracerCap(t *testing.T) {
+	tr := &Tracer{Cap: 3}
+	for i := 0; i < 10; i++ {
+		tr.Add(TraceEvent{Name: "x", Cat: "propagate"})
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("cap ignored: %d events", tr.Len())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Add(TraceEvent{Name: "ignored"}) // must not panic
+	// Untraced accelerators (tracer == nil) must keep working.
+	g := graph.NewDynamic(2)
+	g.AddEdge(0, 1, 1)
+	hw := New(smallConfig())
+	hw.Reset(g, algo.PPSP{}, core.Query{S: 0, D: 1})
+	if hw.Answer() != 1 {
+		t.Fatal("untraced run broken")
+	}
+}
+
+func TestTracerLanesSeparateUnits(t *testing.T) {
+	tr := tracedRun(t)
+	lanes := map[int]bool{}
+	for _, ev := range tr.Events() {
+		lanes[ev.TID] = true
+	}
+	if len(lanes) < 2 {
+		t.Fatalf("expected multiple lanes, got %v", lanes)
+	}
+}

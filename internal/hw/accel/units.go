@@ -1,0 +1,590 @@
+package accel
+
+import (
+	"fmt"
+
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/hw/sim"
+	"cisgraph/internal/stats"
+)
+
+// taskKind selects a propagation-unit job.
+type taskKind uint8
+
+const (
+	// taskPropagate broadcasts a vertex's current state to its
+	// out-neighbors (the two-step propagation of §III-B).
+	taskPropagate taskKind = iota
+	// taskRepair re-derives the head vertex of a valuable/delayed deletion
+	// and recovers its dependent region if it worsened.
+	taskRepair
+)
+
+// task is one scheduling-buffer entry. Tasks carry vertex IDs only; all
+// value reads happen at execution time.
+type task struct {
+	kind     taskKind
+	u, v     graph.VertexID // repair: deleted edge u→v; propagate: v only
+	critical bool           // gates the query response
+}
+
+// identItem is an update queued for the identification stage.
+type identItem struct {
+	idx int
+	up  graph.Update
+}
+
+// pipeline is one of the parallel CISGraph pipelines: an identification
+// unit (pipelined, one update issued per cycle), a priority scheduling
+// buffer (valuable work at the front), and PropUnits propagation modules.
+type pipeline struct {
+	idx      int // pipeline index (trace lanes, diagnostics)
+	idQueue  []identItem
+	idIssue  sim.Window // II=1 issue slot of the identification stage
+	deque    []task
+	idleProp []int     // identities of idle propagation units
+	slots    *slotGate // outstanding-request limiter (nil = unlimited)
+}
+
+func newPipeline(idx, propUnits, prefetchSlots int) *pipeline {
+	p := &pipeline{idx: idx}
+	for u := propUnits - 1; u >= 0; u-- {
+		p.idleProp = append(p.idleProp, u)
+	}
+	if prefetchSlots > 0 {
+		p.slots = &slotGate{free: prefetchSlots}
+	}
+	return p
+}
+
+// slotGate limits a pipeline's outstanding memory requests: an issue thunk
+// runs immediately when a slot is free, otherwise it queues FIFO until a
+// completion releases one. A nil gate is unlimited.
+type slotGate struct {
+	free    int
+	waiting []func()
+}
+
+func (g *slotGate) acquire(issue func()) {
+	if g == nil {
+		issue()
+		return
+	}
+	if g.free > 0 {
+		g.free--
+		issue()
+		return
+	}
+	g.waiting = append(g.waiting, issue)
+}
+
+func (g *slotGate) release() {
+	if g == nil {
+		return
+	}
+	if len(g.waiting) > 0 {
+		next := g.waiting[0]
+		g.waiting = g.waiting[1:]
+		next()
+		return
+	}
+	g.free++
+}
+
+func (x *Accel) pipe(v graph.VertexID) *pipeline {
+	return x.pipes[int(v)%len(x.pipes)]
+}
+
+// unitDone retires one outstanding work item and drives phase/response
+// bookkeeping.
+func (x *Accel) unitDone(critical bool) {
+	x.outstanding--
+	if critical {
+		x.critical--
+		if x.critical == 0 && x.phase == phaseDel {
+			x.checkResponse()
+		}
+	}
+	if x.outstanding == 0 && x.onQuiesce != nil {
+		f := x.onQuiesce
+		f()
+	}
+}
+
+// checkResponse runs when no critical work remains: it re-derives the key
+// path and promotes any pending delayed repair the new path depends on
+// (DESIGN.md §3.2). If nothing is promoted the answer is final and the
+// response cycle is recorded.
+func (x *Accel) checkResponse() {
+	x.recomputeKeyPath()
+	promoted := 0
+	for _, p := range x.pipes {
+		for i := range p.deque {
+			t := &p.deque[i]
+			if t.kind == taskRepair && !t.critical &&
+				x.onPath[t.v] && x.parent[t.v] == t.u {
+				t.critical = true
+				x.critical++
+				promoted++
+				x.cnt.Inc(stats.CntUpdatePromoted)
+				// Move the promoted task to the front of its buffer.
+				pr := *t
+				copy(p.deque[1:i+1], p.deque[:i])
+				p.deque[0] = pr
+			}
+		}
+		if promoted > 0 {
+			x.kickProp(p)
+		}
+	}
+	if promoted == 0 && !x.responseSet {
+		x.responseSet = true
+		x.responseAt = x.k.Now()
+		x.tracer.Add(TraceEvent{Name: "response ready", Cat: "phase", Start: x.k.Now(), TID: 0})
+		// Release the held-back delayed work.
+		for _, p := range x.pipes {
+			x.kickProp(p)
+		}
+	}
+}
+
+// enqueueIdentify routes an update to its pipeline's identification queue
+// (i = v mod pipelines, §III-B).
+func (x *Accel) enqueueIdentify(idx int, up graph.Update) {
+	p := x.pipe(up.To)
+	x.outstanding++
+	if up.Del {
+		x.critical++ // unclassified deletions gate the response
+	}
+	p.idQueue = append(p.idQueue, identItem{idx: idx, up: up})
+	x.kickIdentify(p)
+}
+
+// kickIdentify drains the identification queue at one update per cycle;
+// each update's read chain (update record → u/v states → 1-cycle check)
+// completes out of order while the stage keeps issuing.
+func (x *Accel) kickIdentify(p *pipeline) {
+	for len(p.idQueue) > 0 {
+		item := p.idQueue[0]
+		p.idQueue = p.idQueue[1:]
+		issue := p.idIssue.Reserve(x.k.Now(), 1)
+		x.k.At(issue, func() { x.identChain(p, item) })
+	}
+}
+
+// identChain charges the identification reads, then classifies.
+func (x *Accel) identChain(p *pipeline, item identItem) {
+	up := item.up
+	start := x.k.Now()
+	readGated := func(addr uint64, size int, cb func()) {
+		p.slots.acquire(func() {
+			x.mem.Read(addr, size, func() {
+				p.slots.release()
+				cb()
+			})
+		})
+	}
+	readGated(x.lay.updateAddr(item.idx), updateBytes, func() {
+		remaining := 2
+		oneRead := func() {
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			x.k.After(1, func() { // the 1-cycle ⊕ check
+				x.tracer.Add(TraceEvent{
+					Name:  "identify " + up.String(),
+					Cat:   "identify",
+					Start: start,
+					Dur:   x.k.Now() - start,
+					TID:   laneIdentify(p.idx),
+				})
+				x.identify(p, up)
+			})
+		}
+		readGated(x.lay.stateAddr(up.From), stateBytes, oneRead)
+		readGated(x.lay.stateAddr(up.To), stateBytes, oneRead)
+	})
+}
+
+// identify applies Algorithm 1 to one update. The topology write (the CSR
+// slot the snapshot generation touched) is charged fire-and-forget.
+func (x *Accel) identify(p *pipeline, up graph.Update) {
+	addr, _ := x.outListAddr(up.From)
+	x.mem.Write(addr, edgeBytes, nil)
+	if !up.Del {
+		if x.relax(up.From, up.To, up.W) {
+			x.cnt.Inc(stats.CntUpdateValuable)
+			// The identification stage wrote the improved state; charge it.
+			x.mem.Write(x.lay.stateAddr(up.To), stateBytes+parentBytes, nil)
+			x.spawnPropagate(up.To, false)
+		} else {
+			x.cnt.Inc(stats.CntUpdateUseless)
+		}
+		x.unitDone(false)
+		return
+	}
+	class := x.classifyDeletion(up)
+	switch class {
+	case core.ClassValuable:
+		x.cnt.Inc(stats.CntUpdateValuable)
+		x.spawnRepair(up.From, up.To, true)
+	case core.ClassDelayed:
+		x.cnt.Inc(stats.CntUpdateDelayed)
+		x.spawnRepair(up.From, up.To, false)
+	default:
+		x.cnt.Inc(stats.CntUpdateUseless)
+	}
+	x.unitDone(true)
+}
+
+// classifyDeletion is Algorithm 1's deletion test, evaluated against the
+// dependency-tree parent instead of the raw value equality: identification
+// here runs concurrently with repairs (the pipelines overlap), so the
+// equality test can read a tail state another repair already moved and
+// silently drop a still-dangling supplier. Under quiescent states the
+// parent test and the equality test coincide (core.state invariant); the
+// parent array is already part of the accelerator's memory image.
+// Equality ties that are not the parent cannot change any state; they are
+// queued as delayed no-op repairs to keep the scheduling-buffer occupancy
+// faithful to the paper's classifier.
+func (x *Accel) classifyDeletion(up graph.Update) core.Class {
+	if !algoReached(x, up.To) {
+		return core.ClassUseless
+	}
+	if x.parent[up.To] == up.From {
+		if x.onPath[up.To] {
+			return core.ClassValuable
+		}
+		return core.ClassDelayed
+	}
+	if x.a.Propagate(x.val[up.From], x.a.Weight(up.W)) == x.val[up.To] {
+		return core.ClassDelayed
+	}
+	return core.ClassUseless
+}
+
+// spawnPropagate queues a broadcast of v's state. Non-critical activations
+// of an already-queued vertex coalesce (the buffer stores one entry per
+// affected vertex, §III-B); the queued task reads the newest value when it
+// runs.
+func (x *Accel) spawnPropagate(v graph.VertexID, critical bool) {
+	if x.queued[v] && !critical {
+		return
+	}
+	x.queued[v] = true
+	x.cnt.Inc(stats.CntActivation)
+	switch {
+	case x.phase == phaseAdd:
+		x.cnt.Inc(core.CntActivationAdd)
+	case critical:
+		x.cnt.Inc(core.CntActivationDel)
+	default:
+		x.cnt.Inc(core.CntActivationDelayed)
+	}
+	x.outstanding++
+	if critical {
+		x.critical++
+	}
+	p := x.pipe(v)
+	p.deque = append(p.deque, task{kind: taskPropagate, v: v, critical: critical})
+	x.kickProp(p)
+}
+
+// spawnRepair queues a deletion repair: valuable repairs are prepended
+// (highest priority), delayed ones appended — the paper's scheduling rule.
+func (x *Accel) spawnRepair(u, v graph.VertexID, critical bool) {
+	x.outstanding++
+	if critical {
+		x.critical++
+	}
+	p := x.pipe(v)
+	t := task{kind: taskRepair, u: u, v: v, critical: critical}
+	if critical {
+		p.deque = append([]task{t}, p.deque...)
+	} else {
+		p.deque = append(p.deque, t)
+	}
+	x.kickProp(p)
+}
+
+// kickProp hands buffered tasks to idle propagation units, front first.
+// During the deletion phase, delayed (non-critical) work is held back until
+// the response has been given — the paper overlaps it with the next batch's
+// update gathering (§III-B) — so a promotion can still reprioritise it.
+func (x *Accel) kickProp(p *pipeline) {
+	for len(p.idleProp) > 0 {
+		idx := -1
+		for i := range p.deque {
+			if x.phase != phaseDel || x.responseSet || p.deque[i].critical {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		t := p.deque[idx]
+		p.deque = append(p.deque[:idx], p.deque[idx+1:]...)
+		unit := p.idleProp[len(p.idleProp)-1]
+		p.idleProp = p.idleProp[:len(p.idleProp)-1]
+		// Execute in a fresh event, never synchronously: kickProp is called
+		// from inside task installs (spawn → kick), and running the next
+		// task's functional install mid-install would break the atomicity
+		// that makes interleaved propagation confluent.
+		x.k.After(0, func() { x.executeTask(p, unit, t) })
+	}
+}
+
+// executeTask installs the task's functional effect atomically now, derives
+// the memory-access chain it implies, and charges it on this unit; the unit
+// frees when the chain completes.
+func (x *Accel) executeTask(p *pipeline, unit int, t task) {
+	var ch chain
+	name := "propagate"
+	switch t.kind {
+	case taskPropagate:
+		x.runPropagate(t, &ch)
+	case taskRepair:
+		name = "repair"
+		x.runRepair(t, &ch)
+	}
+	start := x.k.Now()
+	x.runChain(&ch, p.slots, func() {
+		x.cnt.Add(stats.CntPropBusyCycles, int64(x.k.Now()-start))
+		x.tracer.Add(TraceEvent{
+			Name:  fmt.Sprintf("%s v%d", name, t.v),
+			Cat:   name,
+			Start: start,
+			Dur:   x.k.Now() - start,
+			TID:   lanePropUnit(p.idx, unit),
+		})
+		p.idleProp = append(p.idleProp, unit)
+		x.unitDone(t.critical)
+		x.kickProp(p)
+	})
+}
+
+// runPropagate is the two-step propagation of §III-B: fetch the edge list
+// (one contiguous request), fetch out-neighbor states, compute candidates,
+// select, write changed states, activate.
+func (x *Accel) runPropagate(t task, ch *chain) {
+	v := t.v
+	x.queued[v] = false
+	ch.read(x.lay.outOffAddr(v), 2*offsetBytes)
+	ch.next()
+	listAddr, listSize := x.outListAddr(v)
+	if listSize > 0 {
+		ch.read(listAddr, listSize)
+	}
+	ch.next()
+	outs := x.g.Out(v)
+	for _, e := range outs {
+		ch.read(x.lay.stateAddr(e.To), stateBytes)
+	}
+	ch.next()
+	ch.compute += len(outs)
+	for _, e := range outs {
+		if x.relax(v, e.To, e.W) {
+			ch.write(x.lay.stateAddr(e.To), stateBytes)
+			ch.write(x.lay.parentAddr(e.To), parentBytes)
+			x.spawnPropagate(e.To, t.critical)
+		}
+	}
+}
+
+// runRepair mirrors core.state.repairVertex: re-derive the head vertex
+// from its in-edges; adopt a provably-safe tie supplier when one exists;
+// otherwise tag the dependent region through parent pointers, reset it,
+// reseed it from its boundary and activate the reseeded vertices.
+func (x *Accel) runRepair(t task, ch *chain) {
+	v := t.v
+	if v == x.q.S || !algoReached(x, v) {
+		return
+	}
+	old := x.val[v]
+	x.chargeInRead(v, ch)
+	best := x.a.Init()
+	for _, e := range x.g.In(v) {
+		x.cnt.Inc(stats.CntRelax)
+		if c := x.a.Propagate(x.val[e.To], x.a.Weight(e.W)); x.a.Better(c, best) {
+			best = c
+		}
+	}
+	ch.compute += x.g.InDegree(v)
+	if best == old {
+		// Adopt a tie supplier that provably does not derive from v (see
+		// core.state.repairVertex); the non-descendance certificate walks
+		// the candidate's parent chain, charged as dependent 4-byte reads.
+		for _, e := range x.g.In(v) {
+			y := e.To
+			if x.a.Propagate(x.val[y], x.a.Weight(e.W)) != old {
+				continue
+			}
+			safe := x.a.Better(x.val[y], old)
+			if !safe {
+				passes, hops := x.chainPasses(y, v)
+				for h := 0; h < hops; h++ {
+					ch.read(x.lay.parentAddr(v), parentBytes)
+					ch.next()
+				}
+				safe = !passes
+			}
+			if safe {
+				x.parent[v] = y
+				ch.write(x.lay.parentAddr(v), parentBytes)
+				return
+			}
+		}
+	}
+	// Full recovery with adoption trimming (mirrors
+	// core.state.repairVertex): tag the dependence closure, adopt every
+	// member that still derives its old value from a supplier outside the
+	// region, then reset, reseed and re-propagate only the broken rest.
+	region := x.tagDependents(v)
+	for _, y := range region {
+		// The tag walk scans y's out-edges and checks each child's parent.
+		ch.read(x.lay.outOffAddr(y), 2*offsetBytes)
+		addr, size := x.outListAddr(y)
+		if size > 0 {
+			ch.read(addr, size)
+		}
+		ch.next()
+		for _, e := range x.g.Out(y) {
+			ch.read(x.lay.parentAddr(e.To), parentBytes)
+		}
+		ch.next()
+	}
+	broken := region[:0:0]
+	for _, y := range region {
+		oldY := x.val[y]
+		bestY := x.a.Init()
+		bestParent := graph.NoVertex
+		x.chargeInRead(y, ch)
+		ch.compute += x.g.InDegree(y)
+		for _, e := range x.g.In(y) {
+			if x.inRegion[e.To] {
+				continue
+			}
+			x.cnt.Inc(stats.CntRelax)
+			if c := x.a.Propagate(x.val[e.To], x.a.Weight(e.W)); x.a.Better(c, bestY) {
+				bestY = c
+				bestParent = e.To
+			}
+		}
+		if bestY == oldY {
+			x.parent[y] = bestParent
+			x.inRegion[y] = false // adopted in place
+			ch.write(x.lay.parentAddr(y), parentBytes)
+			continue
+		}
+		broken = append(broken, y)
+	}
+	initV := x.a.Init()
+	for _, y := range broken {
+		x.val[y] = initV
+		x.parent[y] = graph.NoVertex
+		x.inRegion[y] = false
+	}
+	for _, y := range broken {
+		x.chargeInRead(y, ch)
+		x.recompute(y)
+		ch.compute += x.g.InDegree(y)
+		ch.write(x.lay.stateAddr(y), stateBytes)
+		ch.write(x.lay.parentAddr(y), parentBytes)
+		ch.next()
+		if algoReached(x, y) {
+			x.spawnPropagate(y, t.critical)
+		}
+	}
+}
+
+func algoReached(x *Accel, v graph.VertexID) bool {
+	return x.val[v] != x.a.Init()
+}
+
+// chargeInRead charges fetching v's in-offsets, in-edge list and
+// in-neighbor states (the reverse-CSR traffic of deletion repair).
+func (x *Accel) chargeInRead(v graph.VertexID, ch *chain) {
+	ch.read(x.lay.inOffAddr(v), 2*offsetBytes)
+	ch.next()
+	addr, size := x.inListAddr(v)
+	if size > 0 {
+		ch.read(addr, size)
+	}
+	ch.next()
+	for _, e := range x.g.In(v) {
+		ch.read(x.lay.stateAddr(e.To), stateBytes)
+	}
+	ch.next()
+}
+
+// ---- charged access chains ----
+
+// memOp is one charged memory access.
+type memOp struct {
+	addr  uint64
+	size  int
+	write bool
+}
+
+// chain is a staged access plan: ops within a stage issue in parallel, and
+// a stage starts only when its predecessor has fully completed. compute is
+// the total ⊕/⊗ operation count, retired at ALUWidth per cycle at the end.
+type chain struct {
+	stages  [][]memOp
+	cur     []memOp
+	compute int
+}
+
+func (c *chain) read(addr uint64, size int) { c.cur = append(c.cur, memOp{addr: addr, size: size}) }
+func (c *chain) write(addr uint64, size int) {
+	c.cur = append(c.cur, memOp{addr: addr, size: size, write: true})
+}
+
+// next seals the current stage (empty stages are dropped).
+func (c *chain) next() {
+	if len(c.cur) > 0 {
+		c.stages = append(c.stages, c.cur)
+		c.cur = nil
+	}
+}
+
+// runChain executes the chain's stages on the memory system and calls done
+// after the final stage plus the compute cycles. When the pipeline has a
+// slot gate, each access occupies one outstanding-request slot for its
+// whole flight.
+func (x *Accel) runChain(c *chain, gate *slotGate, done func()) {
+	c.next()
+	computeCycles := sim.Cycle((c.compute + x.cfg.ALUWidth - 1) / x.cfg.ALUWidth)
+	i := 0
+	var runStage func()
+	runStage = func() {
+		if i >= len(c.stages) {
+			x.k.After(computeCycles, done)
+			return
+		}
+		stage := c.stages[i]
+		i++
+		remaining := len(stage)
+		oneDone := func() {
+			gate.release()
+			remaining--
+			if remaining == 0 {
+				runStage()
+			}
+		}
+		for _, op := range stage {
+			op := op
+			gate.acquire(func() {
+				if op.write {
+					x.mem.Write(op.addr, op.size, oneDone)
+				} else {
+					x.mem.Read(op.addr, op.size, oneDone)
+				}
+			})
+		}
+	}
+	runStage()
+}

@@ -1,0 +1,182 @@
+// Package dram models the accelerator's off-chip memory: DDR4 channels
+// with per-bank row-buffer state, closed/open-row timing and per-channel
+// bandwidth, in accelerator clock cycles. It substitutes for DRAMsim3 in
+// the paper's methodology (DESIGN.md §3.4): the experiments are sensitive
+// to channel parallelism, bandwidth and row locality, all of which this
+// model captures; per-command DDR minutiae (refresh, ZQ calibration) shift
+// absolute latency, not the comparisons.
+package dram
+
+import (
+	"cisgraph/internal/hw/sim"
+	"cisgraph/internal/stats"
+)
+
+// Config describes the memory system. All timings are in accelerator
+// cycles; the defaults assume the paper's 1 GHz accelerator clock, so 1
+// cycle = 1 ns.
+type Config struct {
+	// Channels is the number of independent DDR channels (paper: 8).
+	Channels int
+	// BanksPerChannel is the number of banks per channel (DDR4: 16).
+	BanksPerChannel int
+	// RowBytes is the row-buffer size per bank (typical: 8 KiB per chip
+	// presented as 8 KiB per rank here).
+	RowBytes int
+	// LineBytes is the interleaving granularity across channels (64 B).
+	LineBytes int
+	// TRCD, TRP, TCL are activate, precharge and CAS latencies in cycles
+	// (DDR4-3200: ~14 ns each at 1 GHz ⇒ 14 cycles).
+	TRCD, TRP, TCL sim.Cycle
+	// BytesPerCycle is the per-channel data-bus bandwidth (paper: 12 GB/s
+	// per channel at 1 GHz ⇒ 12 B/cycle).
+	BytesPerCycle float64
+	// ClosedPage selects the auto-precharge row policy: every access pays
+	// activate+CAS but never a precharge-on-conflict. Open-page (default)
+	// wins on streaming edge lists, closed-page on random state access —
+	// the classic trade-off graph accelerators navigate.
+	ClosedPage bool
+}
+
+// DDR4_3200x8 is the paper's Table I configuration: 8 channels of
+// DDR4-3200 at 12 GB/s each.
+func DDR4_3200x8() Config {
+	return Config{
+		Channels:        8,
+		BanksPerChannel: 16,
+		RowBytes:        8192,
+		LineBytes:       64,
+		TRCD:            14,
+		TRP:             14,
+		TCL:             14,
+		BytesPerCycle:   12,
+	}
+}
+
+type bank struct {
+	openRow uint64
+	valid   bool
+}
+
+type channel struct {
+	bus   sim.Window // serialised command+data bus
+	banks []bank
+}
+
+// DRAM is the timing model. It schedules request completions on the shared
+// kernel; it holds no payload data (the functional state lives in the
+// accelerator model).
+type DRAM struct {
+	k   *sim.Kernel
+	cfg Config
+	ch  []channel
+	cnt *stats.Counters
+}
+
+// New builds a DRAM model on the given kernel, counting row hits/misses and
+// read/write requests into cnt.
+func New(k *sim.Kernel, cfg Config, cnt *stats.Counters) *DRAM {
+	if cfg.Channels < 1 {
+		cfg.Channels = 1
+	}
+	if cfg.BanksPerChannel < 1 {
+		cfg.BanksPerChannel = 1
+	}
+	if cfg.LineBytes < 1 {
+		cfg.LineBytes = 64
+	}
+	if cfg.RowBytes < cfg.LineBytes {
+		cfg.RowBytes = cfg.LineBytes
+	}
+	if cfg.BytesPerCycle <= 0 {
+		cfg.BytesPerCycle = 12
+	}
+	d := &DRAM{k: k, cfg: cfg, cnt: cnt, ch: make([]channel, cfg.Channels)}
+	for i := range d.ch {
+		d.ch[i].banks = make([]bank, cfg.BanksPerChannel)
+	}
+	return d
+}
+
+// Config returns the model's (normalised) configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Read schedules a read of size bytes at addr; done runs when the last
+// beat of data has been returned. Requests spanning multiple interleave
+// lines are split across channels and complete when every chunk has.
+func (d *DRAM) Read(addr uint64, size int, done func()) {
+	d.cnt.Inc(stats.CntDRAMRead)
+	d.access(addr, size, done)
+}
+
+// Write schedules a write of size bytes at addr; done (which may be nil)
+// runs when the write has been accepted by the last channel.
+func (d *DRAM) Write(addr uint64, size int, done func()) {
+	d.cnt.Inc(stats.CntDRAMWrite)
+	if done == nil {
+		done = func() {}
+	}
+	d.access(addr, size, done)
+}
+
+func (d *DRAM) access(addr uint64, size int, done func()) {
+	if size < 1 {
+		size = 1
+	}
+	line := uint64(d.cfg.LineBytes)
+	first := addr / line
+	last := (addr + uint64(size) - 1) / line
+	finish := d.k.Now()
+	for ln := first; ln <= last; ln++ {
+		if c := d.serveLine(ln); c > finish {
+			finish = c
+		}
+	}
+	d.k.At(finish, done)
+}
+
+// serveLine services one interleave line and returns its completion cycle.
+func (d *DRAM) serveLine(lineIdx uint64) sim.Cycle {
+	cfg := &d.cfg
+	chIdx := int(lineIdx % uint64(cfg.Channels))
+	ch := &d.ch[chIdx]
+	// Bank and row from the line address above the channel bits.
+	local := lineIdx / uint64(cfg.Channels)
+	linesPerRow := uint64(cfg.RowBytes / cfg.LineBytes)
+	row := local / linesPerRow
+	bankIdx := int(row % uint64(cfg.BanksPerChannel))
+	b := &ch.banks[bankIdx]
+
+	d.cnt.Add(stats.CntDRAMBytes, int64(cfg.LineBytes))
+	var access sim.Cycle
+	if cfg.ClosedPage {
+		// Auto-precharge: constant activate+CAS, no row state to manage.
+		d.cnt.Inc(stats.CntRowMiss)
+		transfer := sim.Cycle(float64(cfg.LineBytes)/cfg.BytesPerCycle + 0.999999)
+		if transfer < 1 {
+			transfer = 1
+		}
+		start := ch.bus.Reserve(d.k.Now(), transfer)
+		return start + cfg.TRCD + cfg.TCL + transfer
+	}
+	if b.valid && b.openRow == row {
+		d.cnt.Inc(stats.CntRowHit)
+		access = cfg.TCL
+	} else {
+		if b.valid {
+			d.cnt.Inc(stats.CntRowMiss)
+			access = cfg.TRP + cfg.TRCD + cfg.TCL // precharge + activate + CAS
+		} else {
+			d.cnt.Inc(stats.CntRowMiss)
+			access = cfg.TRCD + cfg.TCL // first activate
+		}
+		b.valid = true
+		b.openRow = row
+	}
+	transfer := sim.Cycle(float64(cfg.LineBytes)/cfg.BytesPerCycle + 0.999999)
+	if transfer < 1 {
+		transfer = 1
+	}
+	start := ch.bus.Reserve(d.k.Now(), transfer)
+	return start + access + transfer
+}

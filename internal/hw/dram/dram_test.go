@@ -1,0 +1,187 @@
+package dram
+
+import (
+	"testing"
+
+	"cisgraph/internal/hw/sim"
+	"cisgraph/internal/stats"
+)
+
+func newTestDRAM() (*sim.Kernel, *DRAM, *stats.Counters) {
+	k := &sim.Kernel{}
+	cnt := stats.NewCounters()
+	return k, New(k, DDR4_3200x8(), cnt), cnt
+}
+
+// readLatency measures the completion cycle of a single read issued at 0.
+func readLatency(t *testing.T, d *DRAM, k *sim.Kernel, addr uint64, size int) sim.Cycle {
+	t.Helper()
+	var doneAt sim.Cycle
+	fired := false
+	d.Read(addr, size, func() { doneAt = k.Now(); fired = true })
+	k.Run()
+	if !fired {
+		t.Fatal("read never completed")
+	}
+	return doneAt
+}
+
+func TestColdReadLatency(t *testing.T) {
+	k, d, _ := newTestDRAM()
+	got := readLatency(t, d, k, 0, 64)
+	// First access: activate (14) + CAS (14) + transfer ceil(64/12)=6.
+	if want := sim.Cycle(14 + 14 + 6); got != want {
+		t.Fatalf("cold read latency %d, want %d", got, want)
+	}
+}
+
+func TestRowHitFasterThanRowMiss(t *testing.T) {
+	k, d, cnt := newTestDRAM()
+	var t1, t2, t3 sim.Cycle
+	d.Read(0, 64, func() { t1 = k.Now() })
+	k.Run()
+	// Same row, same channel (next line on this channel is +8*64).
+	d.Read(8*64, 64, func() { t2 = k.Now() })
+	k.Run()
+	hitLat := t2 - t1
+	// Different row, same channel and bank: force a precharge.
+	rowStride := uint64(8192 * 8 * 16) // row bytes × channels × banks
+	d.Read(rowStride, 64, func() { t3 = k.Now() })
+	k.Run()
+	missLat := t3 - t2
+	if hitLat >= missLat {
+		t.Fatalf("row hit (%d) not faster than row miss (%d)", hitLat, missLat)
+	}
+	if cnt.Get(stats.CntRowHit) != 1 {
+		t.Fatalf("row hits = %d, want 1", cnt.Get(stats.CntRowHit))
+	}
+	if cnt.Get(stats.CntRowMiss) != 2 {
+		t.Fatalf("row misses = %d, want 2", cnt.Get(stats.CntRowMiss))
+	}
+}
+
+func TestLargeReadSplitsAcrossChannels(t *testing.T) {
+	k, d, _ := newTestDRAM()
+	// 512 B spans 8 lines → all 8 channels once: transfers run in parallel,
+	// so completion is far below 8× the single-line time.
+	par := readLatency(t, d, k, 0, 512)
+	k2 := &sim.Kernel{}
+	d2 := New(k2, Config{
+		Channels: 1, BanksPerChannel: 16, RowBytes: 8192, LineBytes: 64,
+		TRCD: 14, TRP: 14, TCL: 14, BytesPerCycle: 12,
+	}, stats.NewCounters())
+	var serAt sim.Cycle
+	d2.Read(0, 512, func() { serAt = k2.Now() })
+	k2.Run()
+	if par >= serAt {
+		t.Fatalf("8-channel read (%d) not faster than 1-channel (%d)", par, serAt)
+	}
+}
+
+func TestBandwidthCap(t *testing.T) {
+	// Saturate one channel: n back-to-back same-row reads must take at
+	// least n × transfer cycles on the bus.
+	k := &sim.Kernel{}
+	d := New(k, Config{
+		Channels: 1, BanksPerChannel: 1, RowBytes: 1 << 20, LineBytes: 64,
+		TRCD: 14, TRP: 14, TCL: 14, BytesPerCycle: 12,
+	}, stats.NewCounters())
+	const n = 50
+	var last sim.Cycle
+	for i := 0; i < n; i++ {
+		d.Read(uint64(i*64), 64, func() { last = k.Now() })
+	}
+	k.Run()
+	transfer := sim.Cycle(6) // ceil(64/12)
+	if min := sim.Cycle(n) * transfer; last < min {
+		t.Fatalf("%d reads finished at %d, bandwidth cap demands ≥ %d", n, last, min)
+	}
+}
+
+func TestWriteCompletesAndCounts(t *testing.T) {
+	k, d, cnt := newTestDRAM()
+	fired := false
+	d.Write(128, 64, func() { fired = true })
+	d.Write(256, 8, nil) // nil done must not panic
+	k.Run()
+	if !fired {
+		t.Fatal("write completion not delivered")
+	}
+	if cnt.Get(stats.CntDRAMWrite) != 2 {
+		t.Fatalf("writes = %d", cnt.Get(stats.CntDRAMWrite))
+	}
+}
+
+func TestZeroSizeClamped(t *testing.T) {
+	k, d, _ := newTestDRAM()
+	fired := false
+	d.Read(0, 0, func() { fired = true })
+	k.Run()
+	if !fired {
+		t.Fatal("zero-size read must still complete")
+	}
+}
+
+func TestConfigNormalisation(t *testing.T) {
+	k := &sim.Kernel{}
+	d := New(k, Config{}, stats.NewCounters())
+	cfg := d.Config()
+	if cfg.Channels < 1 || cfg.LineBytes < 1 || cfg.BytesPerCycle <= 0 {
+		t.Fatalf("config not normalised: %+v", cfg)
+	}
+}
+
+func TestStreamingFavoursRowHits(t *testing.T) {
+	// A long sequential stream must be mostly row hits (edge-list streaming
+	// is the access pattern the paper's neighbor prefetcher exploits).
+	k, d, cnt := newTestDRAM()
+	done := 0
+	for i := 0; i < 128; i++ {
+		d.Read(uint64(i*64), 64, func() { done++ })
+	}
+	k.Run()
+	if done != 128 {
+		t.Fatalf("completed %d/128", done)
+	}
+	hits, misses := cnt.Get(stats.CntRowHit), cnt.Get(stats.CntRowMiss)
+	if hits <= 3*misses {
+		t.Fatalf("streaming hits=%d misses=%d, want hit-dominated", hits, misses)
+	}
+}
+
+func TestClosedPagePolicy(t *testing.T) {
+	mk := func(closed bool) (*sim.Kernel, *DRAM) {
+		k := &sim.Kernel{}
+		cfg := DDR4_3200x8()
+		cfg.Channels = 1
+		cfg.ClosedPage = closed
+		return k, New(k, cfg, stats.NewCounters())
+	}
+	// Streaming (same-row) reads: open page must win (row hits).
+	stream := func(closed bool) sim.Cycle {
+		k, d := mk(closed)
+		var last sim.Cycle
+		for i := 0; i < 16; i++ {
+			d.Read(uint64(i*64), 64, func() { last = k.Now() })
+			k.Run()
+		}
+		return last
+	}
+	if o, c := stream(false), stream(true); o >= c {
+		t.Fatalf("open page (%d) should beat closed (%d) on streaming", o, c)
+	}
+	// Row-conflict ping-pong: closed page must win (no precharge penalty).
+	conflict := func(closed bool) sim.Cycle {
+		k, d := mk(closed)
+		rowStride := uint64(8192 * 16) // next row, same bank (1 channel)
+		var last sim.Cycle
+		for i := 0; i < 16; i++ {
+			d.Read(uint64(i%2)*rowStride, 64, func() { last = k.Now() })
+			k.Run()
+		}
+		return last
+	}
+	if o, c := conflict(false), conflict(true); c >= o {
+		t.Fatalf("closed page (%d) should beat open (%d) on row ping-pong", c, o)
+	}
+}

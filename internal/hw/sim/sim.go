@@ -1,0 +1,139 @@
+// Package sim provides the discrete-event simulation kernel underneath the
+// CISGraph hardware model: an event queue ordered by integer cycle
+// timestamps (FIFO among same-cycle events), plus small building blocks for
+// modelling contended resources (ports, serialised service windows).
+//
+// This is the substitute for the authors' in-house cycle-accurate simulator
+// core (DESIGN.md §3.3): every memory request, buffer operation and compute
+// step in the accelerator model is an event with an explicit cycle time, and
+// structural hazards are modelled by resource reservations on the shared
+// cycle clock.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, in accelerator clock cycles.
+type Cycle = uint64
+
+type event struct {
+	when Cycle
+	seq  uint64 // insertion order, for deterministic FIFO tie-breaking
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the event queue and clock. The zero value is ready to use.
+type Kernel struct {
+	now Cycle
+	seq uint64
+	pq  eventHeap
+}
+
+// Now returns the current simulated cycle.
+func (k *Kernel) Now() Cycle { return k.now }
+
+// At schedules fn to run at cycle c. Scheduling in the past is clamped to
+// the present (the event runs at the current cycle, after pending
+// same-cycle events).
+func (k *Kernel) At(c Cycle, fn func()) {
+	if c < k.now {
+		c = k.now
+	}
+	k.seq++
+	heap.Push(&k.pq, event{when: c, seq: k.seq, fn: fn})
+}
+
+// After schedules fn d cycles from now.
+func (k *Kernel) After(d Cycle, fn func()) { k.At(k.now+d, fn) }
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	if len(k.pq) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.pq).(event)
+	k.now = e.when
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the final cycle.
+func (k *Kernel) Run() Cycle {
+	for k.Step() {
+	}
+	return k.now
+}
+
+// Pending reports the number of scheduled events.
+func (k *Kernel) Pending() int { return len(k.pq) }
+
+// Ports models a bank of identical single-occupancy service ports (e.g.
+// SPM read ports): a request occupies one port for a fixed number of cycles
+// and is granted the earliest slot on the least-loaded port.
+type Ports struct {
+	free []Cycle // earliest cycle each port is available again
+}
+
+// NewPorts returns a bank of n ports, all free at cycle 0.
+func NewPorts(n int) *Ports {
+	if n < 1 {
+		n = 1
+	}
+	return &Ports{free: make([]Cycle, n)}
+}
+
+// Reserve books the earliest available port at or after cycle at for
+// occupancy cycles, returning the grant (service start) cycle.
+func (p *Ports) Reserve(at Cycle, occupancy Cycle) Cycle {
+	best := 0
+	for i, f := range p.free[1:] {
+		if f < p.free[best] {
+			best = i + 1
+		}
+	}
+	start := at
+	if p.free[best] > start {
+		start = p.free[best]
+	}
+	p.free[best] = start + occupancy
+	return start
+}
+
+// Window models a fully serialised resource (e.g. a DRAM channel's data
+// bus): each reservation occupies the whole resource for a duration.
+type Window struct {
+	free Cycle
+}
+
+// Reserve books the resource at or after cycle at for occupancy cycles and
+// returns the grant cycle.
+func (w *Window) Reserve(at Cycle, occupancy Cycle) Cycle {
+	start := at
+	if w.free > start {
+		start = w.free
+	}
+	w.free = start + occupancy
+	return start
+}
+
+// FreeAt returns the cycle at which the resource next becomes free.
+func (w *Window) FreeAt() Cycle { return w.free }

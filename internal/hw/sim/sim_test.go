@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var k Kernel
+	var order []int
+	k.At(10, func() { order = append(order, 2) })
+	k.At(5, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 3) })
+	end := k.Run()
+	if end != 20 {
+		t.Fatalf("final cycle %d, want 20", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	var k Kernel
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.At(7, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-cycle events reordered: %v", order)
+		}
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	var k Kernel
+	hits := 0
+	k.At(1, func() {
+		k.After(4, func() {
+			hits++
+			if k.Now() != 5 {
+				t.Errorf("nested event at %d, want 5", k.Now())
+			}
+		})
+	})
+	k.Run()
+	if hits != 1 {
+		t.Fatal("nested event did not run")
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	var k Kernel
+	ran := false
+	k.At(10, func() {
+		k.At(3, func() { // in the past: must run "now", not rewind time
+			ran = true
+			if k.Now() != 10 {
+				t.Errorf("past event ran at %d, want 10", k.Now())
+			}
+		})
+	})
+	k.Run()
+	if !ran {
+		t.Fatal("clamped event skipped")
+	}
+}
+
+func TestClockNeverRewinds(t *testing.T) {
+	f := func(delays []uint8) bool {
+		var k Kernel
+		last := Cycle(0)
+		ok := true
+		for _, d := range delays {
+			d := Cycle(d)
+			k.After(d, func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		k.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepAndPending(t *testing.T) {
+	var k Kernel
+	k.At(1, func() {})
+	k.At(2, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d", k.Pending())
+	}
+	if !k.Step() || k.Now() != 1 {
+		t.Fatal("first step")
+	}
+	if !k.Step() || k.Now() != 2 {
+		t.Fatal("second step")
+	}
+	if k.Step() {
+		t.Fatal("step on empty queue should report false")
+	}
+}
+
+func TestPortsContention(t *testing.T) {
+	p := NewPorts(2)
+	// Three 1-cycle requests at cycle 0 on 2 ports: grants 0, 0, 1.
+	g1 := p.Reserve(0, 1)
+	g2 := p.Reserve(0, 1)
+	g3 := p.Reserve(0, 1)
+	if g1 != 0 || g2 != 0 || g3 != 1 {
+		t.Fatalf("grants %d %d %d, want 0 0 1", g1, g2, g3)
+	}
+	// A later request does not wait.
+	if g := p.Reserve(10, 1); g != 10 {
+		t.Fatalf("idle-port grant %d, want 10", g)
+	}
+}
+
+func TestPortsMinimumOne(t *testing.T) {
+	p := NewPorts(0)
+	if g := p.Reserve(0, 3); g != 0 {
+		t.Fatalf("grant %d", g)
+	}
+	if g := p.Reserve(0, 1); g != 3 {
+		t.Fatalf("grant %d, want 3 (single port)", g)
+	}
+}
+
+func TestWindowSerialises(t *testing.T) {
+	var w Window
+	if g := w.Reserve(0, 5); g != 0 {
+		t.Fatalf("grant %d", g)
+	}
+	if g := w.Reserve(2, 5); g != 5 {
+		t.Fatalf("grant %d, want 5", g)
+	}
+	if w.FreeAt() != 10 {
+		t.Fatalf("free at %d, want 10", w.FreeAt())
+	}
+}
+
+// Property: total port throughput is capped at one request per port per
+// cycle window.
+func TestPortsThroughputCap(t *testing.T) {
+	f := func(n uint8) bool {
+		reqs := int(n%64) + 1
+		p := NewPorts(4)
+		var last Cycle
+		for i := 0; i < reqs; i++ {
+			last = p.Reserve(0, 1)
+		}
+		// With 4 ports and unit occupancy, request i is granted at i/4.
+		return last == Cycle((reqs-1)/4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package spm models CISGraph's on-chip scratchpad memory. The paper
+// organises the 32 MB eDRAM scratchpad "as cache to enable evictions"
+// (§III-B), so the model is a set-associative, write-back, LRU cache with a
+// fixed access latency (the CACTI-derived constant from Table I) and a
+// limited number of access ports, backed by the DRAM model for misses.
+package spm
+
+import (
+	"cisgraph/internal/hw/dram"
+	"cisgraph/internal/hw/sim"
+	"cisgraph/internal/stats"
+)
+
+// Config describes the scratchpad.
+type Config struct {
+	// SizeBytes is the total capacity (paper: 32 MB).
+	SizeBytes int
+	// LineBytes is the cache-line size (64 B).
+	LineBytes int
+	// Ways is the set associativity.
+	Ways int
+	// HitLatency is the access latency in accelerator cycles. The paper's
+	// eDRAM runs at 2 GHz with 0.8 ns access ⇒ 1 cycle at the 1 GHz core.
+	HitLatency sim.Cycle
+	// Ports is the number of concurrent accesses per cycle.
+	Ports int
+}
+
+// Paper32MB is the Table I scratchpad: 32 MB eDRAM, 1-cycle access as seen
+// from the 1 GHz core, 16-way, 4 ports.
+func Paper32MB() Config {
+	return Config{SizeBytes: 32 << 20, LineBytes: 64, Ways: 16, HitLatency: 1, Ports: 4}
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU stamp
+}
+
+// SPM is the scratchpad model. Like the DRAM model it carries timing and
+// occupancy only; payload data lives in the accelerator's functional state.
+type SPM struct {
+	k     *sim.Kernel
+	d     *dram.DRAM
+	cfg   Config
+	sets  [][]line
+	ports *sim.Ports
+	tick  uint64
+	cnt   *stats.Counters
+}
+
+// New builds an SPM on the kernel, backed by d for misses and write-backs.
+func New(k *sim.Kernel, d *dram.DRAM, cfg Config, cnt *stats.Counters) *SPM {
+	if cfg.LineBytes < 1 {
+		cfg.LineBytes = 64
+	}
+	if cfg.Ways < 1 {
+		cfg.Ways = 1
+	}
+	if cfg.SizeBytes < cfg.LineBytes*cfg.Ways {
+		cfg.SizeBytes = cfg.LineBytes * cfg.Ways
+	}
+	if cfg.HitLatency < 1 {
+		cfg.HitLatency = 1
+	}
+	if cfg.Ports < 1 {
+		cfg.Ports = 1
+	}
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	if numSets < 1 {
+		numSets = 1
+	}
+	s := &SPM{
+		k:     k,
+		d:     d,
+		cfg:   cfg,
+		sets:  make([][]line, numSets),
+		ports: sim.NewPorts(cfg.Ports),
+		cnt:   cnt,
+	}
+	for i := range s.sets {
+		s.sets[i] = make([]line, cfg.Ways)
+	}
+	return s
+}
+
+// Config returns the (normalised) configuration.
+func (s *SPM) Config() Config { return s.cfg }
+
+// Read schedules a read of size bytes at addr through the cache; done runs
+// when all touched lines are resident and the data has been returned.
+func (s *SPM) Read(addr uint64, size int, done func()) {
+	s.access(addr, size, false, done)
+}
+
+// Write schedules a write of size bytes at addr (write-back, write-allocate);
+// done may be nil.
+func (s *SPM) Write(addr uint64, size int, done func()) {
+	if done == nil {
+		done = func() {}
+	}
+	s.access(addr, size, true, done)
+}
+
+func (s *SPM) access(addr uint64, size int, write bool, done func()) {
+	if size < 1 {
+		size = 1
+	}
+	lb := uint64(s.cfg.LineBytes)
+	first := addr / lb
+	last := (addr + uint64(size) - 1) / lb
+	outstanding := int(last-first) + 1
+	var latest sim.Cycle
+	finishOne := func() {
+		if s.k.Now() > latest {
+			latest = s.k.Now()
+		}
+		outstanding--
+		if outstanding == 0 {
+			s.k.At(latest, done)
+		}
+	}
+	for ln := first; ln <= last; ln++ {
+		s.accessLine(ln, write, finishOne)
+	}
+}
+
+// accessLine serves one cache line: port arbitration, then hit latency, or
+// a miss with optional dirty write-back followed by a fill from DRAM.
+func (s *SPM) accessLine(lineIdx uint64, write bool, done func()) {
+	grant := s.ports.Reserve(s.k.Now(), 1)
+	s.k.At(grant, func() {
+		set := s.sets[lineIdx%uint64(len(s.sets))]
+		tag := lineIdx / uint64(len(s.sets))
+		s.tick++
+		// Hit?
+		for i := range set {
+			if set[i].valid && set[i].tag == tag {
+				s.cnt.Inc(stats.CntSPMHit)
+				set[i].used = s.tick
+				if write {
+					set[i].dirty = true
+				}
+				s.k.After(s.cfg.HitLatency, done)
+				return
+			}
+		}
+		// Miss: evict LRU (write back if dirty), then fill.
+		s.cnt.Inc(stats.CntSPMMiss)
+		victim := 0
+		for i := range set {
+			if !set[i].valid {
+				victim = i
+				break
+			}
+			if set[i].used < set[victim].used {
+				victim = i
+			}
+		}
+		addr := lineIdx * uint64(s.cfg.LineBytes)
+		fill := func() {
+			s.d.Read(addr, s.cfg.LineBytes, func() {
+				set[victim] = line{tag: tag, valid: true, dirty: write, used: s.tick}
+				s.k.After(s.cfg.HitLatency, done)
+			})
+		}
+		if set[victim].valid && set[victim].dirty {
+			victimAddr := (set[victim].tag*uint64(len(s.sets)) + lineIdx%uint64(len(s.sets))) * uint64(s.cfg.LineBytes)
+			set[victim].valid = false
+			s.d.Write(victimAddr, s.cfg.LineBytes, fill)
+		} else {
+			fill()
+		}
+	})
+}

@@ -1,0 +1,222 @@
+// Package plot renders experiment results as standalone SVG charts using
+// only the standard library, so `cmd/experiments -svgdir` can regenerate
+// the paper's figures as figures, not just tables. The output is a single
+// self-contained <svg> element (grouped bar charts with axes, tick labels
+// and a legend) suitable for embedding in documents or browsers.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named group of bar values, one value per X category.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Chart is a grouped bar chart over categorical X labels.
+type Chart struct {
+	Title   string
+	YLabel  string
+	XLabels []string
+	Series  []Series
+	// YLog draws a log10 axis — the natural scale for speedup comparisons
+	// spanning orders of magnitude.
+	YLog bool
+}
+
+// Palette: colorblind-safe categorical colors.
+var palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb",
+}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 20.0
+	marginTop    = 46.0
+	marginBottom = 64.0
+)
+
+// WriteSVG renders the chart at the given pixel size.
+func (c *Chart) WriteSVG(w io.Writer, width, height int) error {
+	if len(c.XLabels) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("plot: empty chart %q", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.XLabels) {
+			return fmt.Errorf("plot: series %q has %d values for %d categories",
+				s.Label, len(s.Values), len(c.XLabels))
+		}
+	}
+	fw, fh := float64(width), float64(height)
+	plotW := fw - marginLeft - marginRight
+	plotH := fh - marginTop - marginBottom
+
+	lo, hi := c.valueRange()
+	scaleY := func(v float64) float64 {
+		var frac float64
+		if c.YLog {
+			frac = (math.Log10(v) - math.Log10(lo)) / (math.Log10(hi) - math.Log10(lo))
+		} else {
+			frac = (v - lo) / (hi - lo)
+		}
+		if math.IsNaN(frac) || frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return marginTop + plotH*(1-frac)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%g" y="24" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginLeft, esc(c.Title))
+
+	// Y axis, gridlines and ticks.
+	for _, tick := range c.ticks(lo, hi) {
+		y := scaleY(tick)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			marginLeft, y, fw-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" text-anchor="end" fill="#333333">%s</text>`+"\n",
+			marginLeft-6, y+4, formatTick(tick))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%g" font-size="12" fill="#333333" transform="rotate(-90 14 %g)" text-anchor="middle">%s</text>`+"\n",
+			marginTop+plotH/2, marginTop+plotH/2, esc(c.YLabel))
+	}
+
+	// Bars.
+	groupW := plotW / float64(len(c.XLabels))
+	barW := groupW * 0.8 / float64(len(c.Series))
+	baseY := scaleY(lo)
+	for xi, xl := range c.XLabels {
+		gx := marginLeft + groupW*float64(xi) + groupW*0.1
+		for si, s := range c.Series {
+			v := s.Values[xi]
+			y := scaleY(clampLog(v, lo, c.YLog))
+			x := gx + barW*float64(si)
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"><title>%s %s: %g</title></rect>`+"\n",
+				x, y, barW*0.92, baseY-y, palette[si%len(palette)], esc(s.Label), esc(xl), v)
+		}
+		fmt.Fprintf(&b, `<text x="%.2f" y="%g" font-size="11" text-anchor="middle" fill="#333333">%s</text>`+"\n",
+			gx+groupW*0.4, fh-marginBottom+16, esc(xl))
+	}
+	// X axis line.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333333"/>`+"\n",
+		marginLeft, baseY, fw-marginRight, baseY)
+
+	// Legend.
+	lx := marginLeft
+	ly := fh - 18
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="12" height="12" fill="%s"/>`+"\n",
+			lx, ly-10, palette[si%len(palette)])
+		fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" font-size="12" fill="#333333">%s</text>`+"\n",
+			lx+16, ly, esc(s.Label))
+		lx += 24 + 8*float64(len(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// valueRange picks the plotted range: [0, max] linear, [minPositive/2, max]
+// log.
+func (c *Chart) valueRange() (lo, hi float64) {
+	hi = math.Inf(-1)
+	minPos := math.Inf(1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > hi {
+				hi = v
+			}
+			if v > 0 && v < minPos {
+				minPos = v
+			}
+		}
+	}
+	if math.IsInf(hi, -1) || hi <= 0 {
+		hi = 1
+	}
+	if c.YLog {
+		if math.IsInf(minPos, 1) {
+			minPos = 0.1
+		}
+		lo = math.Pow(10, math.Floor(math.Log10(minPos)))
+		hi = math.Pow(10, math.Ceil(math.Log10(hi)))
+		if lo == hi {
+			hi = lo * 10
+		}
+		return lo, hi
+	}
+	return 0, hi * 1.05
+}
+
+// ticks returns axis tick values.
+func (c *Chart) ticks(lo, hi float64) []float64 {
+	var out []float64
+	if c.YLog {
+		for v := lo; v <= hi*1.0001; v *= 10 {
+			out = append(out, v)
+		}
+		return out
+	}
+	step := niceStep(hi - lo)
+	for v := lo; v <= hi+step/2; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func niceStep(span float64) float64 {
+	if span <= 0 {
+		return 1
+	}
+	raw := span / 5
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	switch {
+	case raw/mag < 1.5:
+		return mag
+	case raw/mag < 3.5:
+		return 2 * mag
+	case raw/mag < 7.5:
+		return 5 * mag
+	default:
+		return 10 * mag
+	}
+}
+
+func clampLog(v, lo float64, log bool) float64 {
+	if log && v < lo {
+		return lo
+	}
+	return v
+}
+
+func formatTick(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000000:
+		return fmt.Sprintf("%.0fM", v/1e6)
+	case v >= 1000:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case v >= 1:
+		return fmt.Sprintf("%g", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

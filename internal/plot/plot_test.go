@@ -1,0 +1,170 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func demoChart() *Chart {
+	return &Chart{
+		Title:   "Speedup over CS",
+		YLabel:  "speedup (×)",
+		XLabels: []string{"PPSP", "PPWP", "Reach"},
+		Series: []Series{
+			{Label: "SGraph", Values: []float64{1.1, 1.0, 0.4}},
+			{Label: "CISGraph-O", Values: []float64{32, 36, 11}},
+			{Label: "CISGraph", Values: []float64{11700, 16019, 8880}},
+		},
+		YLog: true,
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoChart().WriteSVG(&buf, 640, 400); err != nil {
+		t.Fatal(err)
+	}
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, buf.String())
+		}
+	}
+	s := buf.String()
+	for _, want := range []string{"<svg", "Speedup over CS", "CISGraph-O", "PPWP", "</svg>"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// One bar per (series, category).
+	if got := strings.Count(s, "<rect"); got < 9 {
+		t.Fatalf("only %d rects for 9 bars", got)
+	}
+}
+
+func TestWriteSVGLinearScale(t *testing.T) {
+	c := &Chart{
+		Title:   "Linear",
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Label: "s", Values: []float64{3, 7}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf, 400, 300); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ">0<") {
+		t.Fatal("linear axis should start at 0")
+	}
+}
+
+func TestWriteSVGRejectsBadShapes(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &Chart{Title: "x"}
+	if err := empty.WriteSVG(&buf, 100, 100); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	ragged := &Chart{
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Label: "s", Values: []float64{1}}},
+	}
+	if err := ragged.WriteSVG(&buf, 100, 100); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &Chart{
+		Title:   `<script>"&"</script>`,
+		XLabels: []string{"a<b"},
+		Series:  []Series{{Label: "x&y", Values: []float64{1}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf, 300, 200); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>") {
+		t.Fatal("unescaped markup in SVG")
+	}
+}
+
+func TestLogScaleHandlesZeros(t *testing.T) {
+	c := &Chart{
+		Title:   "zeros",
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Label: "s", Values: []float64{0, 100}}},
+		YLog:    true,
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf, 300, 200); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked into SVG coordinates")
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := map[float64]float64{10: 2, 100: 20, 7: 1, 0.5: 0.1}
+	for span, want := range cases {
+		if got := niceStep(span); got != want {
+			t.Errorf("niceStep(%v) = %v, want %v", span, got, want)
+		}
+	}
+	if niceStep(0) <= 0 {
+		t.Fatal("degenerate span must yield positive step")
+	}
+}
+
+func TestFormatTickRanges(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		2_000_000: "2M",
+		5000:     "5k",
+		42:       "42",
+		0.25:     "0.25",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestNiceStepLargeRatios(t *testing.T) {
+	// Exercise the 5×/10× branches: raw = span/5 compared against mag.
+	if got := niceStep(30); got != 5 { // raw 6 → 5×mag
+		t.Fatalf("niceStep(30) = %v, want 5", got)
+	}
+	if got := niceStep(40); got != 10 { // raw 8 → 10×mag
+		t.Fatalf("niceStep(40) = %v, want 10", got)
+	}
+	if got := niceStep(45); got != 10 { // raw 9 → 10×mag
+		t.Fatalf("niceStep(45) = %v, want 10", got)
+	}
+}
+
+func TestValueRangeDegenerate(t *testing.T) {
+	// All-zero values: linear range must stay sane, log must not collapse.
+	c := &Chart{XLabels: []string{"a"}, Series: []Series{{Label: "s", Values: []float64{0}}}}
+	lo, hi := c.valueRange()
+	if lo != 0 || hi <= 0 {
+		t.Fatalf("linear degenerate range = [%v,%v]", lo, hi)
+	}
+	c.YLog = true
+	lo, hi = c.valueRange()
+	if lo <= 0 || hi <= lo {
+		t.Fatalf("log degenerate range = [%v,%v]", lo, hi)
+	}
+	// Single log decade widens to avoid zero span.
+	c2 := &Chart{XLabels: []string{"a"}, Series: []Series{{Label: "s", Values: []float64{5}}}, YLog: true}
+	lo, hi = c2.valueRange()
+	if hi <= lo {
+		t.Fatalf("single-decade range = [%v,%v]", lo, hi)
+	}
+}

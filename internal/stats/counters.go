@@ -1,0 +1,175 @@
+// Package stats provides the measurement substrate shared by the CISGraph
+// engines, the hardware model, and the experiment harness: named event
+// counters, stopwatch-style timers, and summary math (geometric means,
+// ratios) used to render the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter names used across the engines and the hardware model. Engines are
+// free to define additional names; these are the ones the experiment harness
+// interprets.
+const (
+	// CntRelax counts ⊕ applications (edge relaxation attempts). This is
+	// the paper's notion of "computations" (Fig. 5a).
+	CntRelax = "relax"
+	// CntActivation counts vertex activations: a vertex whose state changed
+	// and which was enqueued for propagation (Fig. 5b).
+	CntActivation = "activation"
+	// CntStateUpdate counts committed vertex-state writes.
+	CntStateUpdate = "state_update"
+	// CntUpdateValuable / CntUpdateDelayed / CntUpdateUseless count the
+	// classification outcome of batch updates (Algorithm 1).
+	CntUpdateValuable = "update_valuable"
+	CntUpdateDelayed  = "update_delayed"
+	CntUpdateUseless  = "update_useless"
+	// CntUpdatePromoted counts delayed deletions promoted to non-delayed
+	// because a key-path change rerouted the query through them.
+	CntUpdatePromoted = "update_promoted"
+	// CntTagged counts vertices visited by deletion-recovery tagging.
+	CntTagged = "tagged"
+	// CntHubRelax counts relaxations spent maintaining SGraph hub distances
+	// (the paper's "boundary maintaining" overhead).
+	CntHubRelax = "hub_relax"
+	// CntPruned counts vertices pruned by SGraph's bound test.
+	CntPruned = "pruned"
+
+	// Hardware-side counters.
+	CntSPMHit    = "spm_hit"
+	CntSPMMiss   = "spm_miss"
+	CntDRAMRead  = "dram_read"
+	CntDRAMWrite = "dram_write"
+	CntRowHit    = "dram_row_hit"
+	CntRowMiss   = "dram_row_miss"
+	// CntDRAMBytes counts bytes moved on the DRAM channels (energy model).
+	CntDRAMBytes = "dram_bytes"
+	// CntPropBusyCycles accumulates propagation-unit busy time
+	// (utilization = busy ÷ (cycles × units)).
+	CntPropBusyCycles = "prop_busy_cycles"
+)
+
+// Counters is a set of named monotonically increasing event counters.
+// The zero value is ready to use. Counters is safe for concurrent use:
+// values are atomics and the name table is guarded by a read-write lock, so
+// the hot path (incrementing an existing counter) takes only a read lock.
+type Counters struct {
+	mu sync.RWMutex
+	m  map[string]*atomic.Int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]*atomic.Int64)}
+}
+
+func (c *Counters) cell(name string) *atomic.Int64 {
+	c.mu.RLock()
+	v, ok := c.m[name]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]*atomic.Int64)
+	}
+	if v, ok = c.m[name]; !ok {
+		v = new(atomic.Int64)
+		c.m[name] = v
+	}
+	return v
+}
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta int64) { c.cell(name).Add(delta) }
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.cell(name).Add(1) }
+
+// Get returns the current value of the named counter (zero if untouched).
+func (c *Counters) Get(name string) int64 {
+	c.mu.RLock()
+	v, ok := c.m[name]
+	c.mu.RUnlock()
+	if ok {
+		return v.Load()
+	}
+	return 0
+}
+
+// Set overwrites the named counter. Intended for importing values measured
+// elsewhere (e.g. simulated cycles).
+func (c *Counters) Set(name string, v int64) { c.cell(name).Store(v) }
+
+// Reset zeroes every counter but keeps the names.
+func (c *Counters) Reset() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, v := range c.m {
+		v.Store(0)
+	}
+}
+
+// Names returns the touched counter names in sorted order.
+func (c *Counters) Names() []string {
+	c.mu.RLock()
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	c.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a plain map copy of the current values.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v.Load()
+	}
+	return out
+}
+
+// AddAll merges other into c (c += other).
+func (c *Counters) AddAll(other *Counters) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.Snapshot() {
+		c.Add(k, v)
+	}
+}
+
+// Diff returns c - prev as a fresh map; counters absent from prev are taken
+// as zero. Useful for per-phase attribution.
+func (c *Counters) Diff(prev map[string]int64) map[string]int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v.Load() - prev[k]
+	}
+	return out
+}
+
+// String renders the counters as "name=value" pairs, sorted by name.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, n := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, c.Get(n))
+	}
+	return b.String()
+}

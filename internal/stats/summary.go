@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// GeoMean returns the geometric mean of xs. Non-positive entries are clamped
+// to a small epsilon so a single zero sample (e.g. a degenerate speedup)
+// does not annihilate the mean; NaNs are skipped. An empty input yields 0.
+//
+// The paper reports GMean speedups in Table IV; this matches that usage.
+func GeoMean(xs []float64) float64 {
+	const eps = 1e-12
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		if x < eps {
+			x = eps
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median of xs (0 for empty input). xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// MinMax returns the smallest and largest values of xs.
+// Both are 0 for empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Ratio returns a/b, or 0 when b == 0. Used for normalised comparisons
+// (e.g. computations normalised to CS in Fig. 5a).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Percent returns 100*part/total, or 0 when total == 0.
+func Percent(part, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * part / total
+}

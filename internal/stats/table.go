@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them as aligned plain text or GitHub
+// Markdown. The experiment harness uses it to print the paper's tables and
+// the tabular form of its figures.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond len(Headers) are kept, shorter rows are
+// padded with empty cells at render time.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends a row built from fmt verbs, one per column.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// NumRows reports the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+func (t *Table) widths() []int {
+	n := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	for i, h := range t.Headers {
+		w[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	w := t.widths()
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, width := range w {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(w))
+	for i, width := range w {
+		sep[i] = strings.Repeat("-", width)
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored Markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	row := func(cells []string, n int) {
+		b.WriteByte('|')
+		for i := 0; i < n; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			b.WriteByte(' ')
+			b.WriteString(c)
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	n := len(t.widths())
+	row(t.Headers, n)
+	sep := make([]string, n)
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep, n)
+	for _, r := range t.rows {
+		row(r, n)
+	}
+	return b.String()
+}
+
+// FormatSpeedup renders a speedup multiplier the way the paper prints it:
+// one decimal place with a trailing ×, switching to two decimals below 1.
+func FormatSpeedup(x float64) string {
+	if x < 1 {
+		return fmt.Sprintf("%.2f×", x)
+	}
+	return fmt.Sprintf("%.1f×", x)
+}

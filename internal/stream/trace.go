@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"cisgraph/internal/graph"
+)
+
+// Batch-trace file format: a reproducible record of a workload's update
+// batches, so an experiment can be replayed without regenerating it.
+//
+//	# batch <index> <numUpdates>
+//	+ <from> <to> <weight>
+//	- <from> <to> <weight>
+//	...
+//
+// Lines starting with '#' open a new batch; '+' is an addition, '-' a
+// deletion.
+
+// WriteTrace writes batches in the trace format.
+func WriteTrace(w io.Writer, batches [][]graph.Update) error {
+	bw := bufio.NewWriter(w)
+	for i, b := range batches {
+		if _, err := fmt.Fprintf(bw, "# batch %d %d\n", i, len(b)); err != nil {
+			return err
+		}
+		for _, up := range b {
+			op := "+"
+			if up.Del {
+				op = "-"
+			}
+			if _, err := fmt.Fprintf(bw, "%s %d %d %g\n", op, up.From, up.To, up.W); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace file back into batches.
+func ReadTrace(r io.Reader) ([][]graph.Update, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var batches [][]graph.Update
+	var cur []graph.Update
+	flush := func() {
+		if cur != nil {
+			batches = append(batches, cur)
+			cur = nil
+		}
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			flush()
+			cur = []graph.Update{}
+			continue
+		}
+		var op string
+		var from, to graph.VertexID
+		var w float64
+		if _, err := fmt.Sscan(line, &op, &from, &to, &w); err != nil {
+			return nil, fmt.Errorf("trace line %d: %q: %w", lineNo, line, err)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("trace line %d: update before any batch header", lineNo)
+		}
+		switch op {
+		case "+":
+			cur = append(cur, graph.Add(from, to, w))
+		case "-":
+			cur = append(cur, graph.Del(from, to, w))
+		default:
+			return nil, fmt.Errorf("trace line %d: unknown op %q", lineNo, op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return batches, nil
+}

@@ -1,0 +1,103 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cisgraph/internal/graph"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	ds := graph.RMAT("trace", 7, 600, graph.DefaultRMAT, 8, 9)
+	w, err := New(ds, Config{LoadFraction: 0.5, AddsPerBatch: 20, DelsPerBatch: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := w.Batches(3)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, batches); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batches) {
+		t.Fatalf("round trip: %d batches, want %d", len(got), len(batches))
+	}
+	for i := range batches {
+		if len(got[i]) != len(batches[i]) {
+			t.Fatalf("batch %d: %d updates, want %d", i, len(got[i]), len(batches[i]))
+		}
+		for j := range batches[i] {
+			if got[i][j] != batches[i][j] {
+				t.Fatalf("batch %d update %d: %v vs %v", i, j, got[i][j], batches[i][j])
+			}
+		}
+	}
+}
+
+func TestTraceEmptyBatchPreserved(t *testing.T) {
+	batches := [][]graph.Update{{graph.Add(0, 1, 2)}, {}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, batches); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[1]) != 0 {
+		t.Fatalf("got %d batches (%v)", len(got), got)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"+ 0 1 2\n",              // update before header
+		"# batch 0 1\n? 0 1 2\n", // unknown op
+		"# batch 0 1\n+ x y z\n", // non-numeric
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}
+
+func TestReadTraceSkipsBlankLines(t *testing.T) {
+	in := "# batch 0 2\n\n+ 0 1 2\n\n- 1 2 3\n"
+	got, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0]) != 2 || !got[0][1].Del {
+		t.Fatalf("parsed %v", got)
+	}
+}
+
+// FuzzReadTrace hardens the batch-trace parser: arbitrary input either
+// parses (and then survives a write/read round trip) or errors — no panics.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("# batch 0 2\n+ 0 1 2\n- 1 2 3\n")
+	f.Add("+ 0 1 2\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadTrace(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, got); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+		if len(again) != len(got) {
+			t.Fatalf("round trip changed batch count %d→%d", len(got), len(again))
+		}
+	})
+}
