@@ -34,6 +34,7 @@ import (
 	"cisgraph/internal/core"
 	"cisgraph/internal/graph"
 	"cisgraph/internal/hw/accel"
+	"cisgraph/internal/resilience"
 	"cisgraph/internal/stats"
 	"cisgraph/internal/stream"
 )
@@ -209,6 +210,84 @@ var (
 	// ClassifyAddition / ClassifyDeletion expose Algorithm 1 directly.
 	ClassifyAddition = core.ClassifyAddition
 	ClassifyDeletion = core.ClassifyDeletion
+)
+
+// Resilience layer: validated ingestion, durable streams and guarded
+// engines (see DESIGN.md "Resilience & recovery").
+type (
+	// Guard wraps an Engine with sanitization, panic recovery, periodic
+	// invariant audits, WAL logging and checkpoint-based rebuilds.
+	Guard = resilience.Guard
+	// GuardOption configures a Guard.
+	GuardOption = resilience.GuardOption
+	// SanitizePolicy selects how invalid updates are handled.
+	SanitizePolicy = resilience.Policy
+	// Sanitizer validates update batches against a topology.
+	Sanitizer = resilience.Sanitizer
+	// SanitizeReport breaks a batch's drops down by reason.
+	SanitizeReport = resilience.Report
+	// WAL is an append-only, checksummed write-ahead log of batches.
+	WAL = resilience.WAL
+	// WALRecord is one replayed log entry (index + batch).
+	WALRecord = resilience.Record
+	// FaultInjector mangles batches deterministically for resilience tests.
+	FaultInjector = resilience.Injector
+	// FaultConfig sets the injector's per-update fault probabilities.
+	FaultConfig = resilience.InjectorConfig
+	// PanicAlgorithm wraps an Algorithm with a deterministic injected panic.
+	PanicAlgorithm = resilience.PanicAlgorithm
+	// RecoveryConfig names the durable artefacts Recover rebuilds from.
+	RecoveryConfig = resilience.RecoveryConfig
+)
+
+// Sanitize policies.
+const (
+	// SanitizeDrop drops invalid updates and counts them (the default).
+	SanitizeDrop = resilience.PolicyDrop
+	// SanitizeReject rejects any batch containing an invalid update.
+	SanitizeReject = resilience.PolicyReject
+	// SanitizeStrict fails fast on the first invalid update.
+	SanitizeStrict = resilience.PolicyStrict
+)
+
+// Resilience counter names (Result.Counters / Engine.Counters()).
+const (
+	CntPanicRecovered    = stats.CntPanicRecovered
+	CntAuditFailed       = stats.CntAuditFailed
+	CntRecoverCheckpoint = stats.CntRecoverCheckpoint
+	CntRecoverColdStart  = stats.CntRecoverColdStart
+	CntBatchRejected     = stats.CntBatchRejected
+)
+
+var (
+	// NewGuard wraps an engine with the resilience envelope.
+	NewGuard = resilience.NewGuard
+	// Guard options.
+	WithSanitizePolicy  = resilience.WithPolicy
+	WithAuditEvery      = resilience.WithAuditEvery
+	WithCheckpointEvery = resilience.WithCheckpointEvery
+	WithCheckpointFile  = resilience.WithCheckpointFile
+	WithWAL             = resilience.WithWAL
+	WithEngineFactory   = resilience.WithEngineFactory
+	WithRestore         = resilience.WithRestore
+	// NewSanitizer builds a standalone batch validator; ValidateBatch is the
+	// one-shot strict check; ParseSanitizePolicy parses a policy name.
+	NewSanitizer        = resilience.NewSanitizer
+	ValidateBatch       = resilience.ValidateBatch
+	ParseSanitizePolicy = resilience.ParsePolicy
+	// CreateWAL / OpenWAL / ReplayWAL manage write-ahead logs; OpenWAL
+	// truncates a torn tail before appending.
+	CreateWAL = resilience.CreateWAL
+	OpenWAL   = resilience.OpenWAL
+	ReplayWAL = resilience.ReplayWAL
+	// Recover rebuilds a CISO engine from checkpoint + WAL after a crash.
+	Recover = resilience.Recover
+	// NewFaultInjector / NewPanicAlgorithm are the deterministic fault
+	// models used by the resilience tests.
+	NewFaultInjector  = resilience.NewInjector
+	NewPanicAlgorithm = resilience.NewPanicAlgorithm
+	// LoadCISOFile reads a checkpoint file written by CISO.SaveFile.
+	LoadCISOFile = core.LoadCISOFile
 )
 
 // Accelerator model (paper §III-B).

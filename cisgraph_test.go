@@ -2,6 +2,7 @@ package cisgraph_test
 
 import (
 	"bytes"
+	"path/filepath"
 	"testing"
 
 	"cisgraph"
@@ -88,7 +89,7 @@ func TestFacadeGraphIO(t *testing.T) {
 // TestFacadeStandIns checks the Table III stand-in builders.
 func TestFacadeStandIns(t *testing.T) {
 	for _, s := range []cisgraph.StandIn{cisgraph.StandInOR, cisgraph.StandInLJ, cisgraph.StandInUK} {
-		el := s.Build(8, 1)
+		el := s.MustBuild(8, 1)
 		if el.N == 0 || len(el.Arcs) == 0 {
 			t.Fatalf("%s: empty stand-in", s)
 		}
@@ -143,5 +144,66 @@ func TestFacadeEnergyAndReport(t *testing.T) {
 	}
 	if r := hw.Report(); r.Cycles <= 0 {
 		t.Fatalf("report %+v", r)
+	}
+}
+
+// TestFacadeResilience exercises the resilience surface through the public
+// API: guard wrapping, sanitize policies, WAL round trip and crash recovery.
+func TestFacadeResilience(t *testing.T) {
+	el := cisgraph.Uniform("facade-res", 64, 300, 8, 5)
+	w, err := cisgraph.NewWorkload(el, cisgraph.StreamConfig{
+		LoadFraction: 0.5, AddsPerBatch: 10, DelsPerBatch: 10, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cisgraph.Query{S: 0, D: 63}
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "s.wal")
+	ckptPath := filepath.Join(dir, "s.ckpt")
+
+	wal, err := cisgraph.CreateWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := cisgraph.NewFaultInjector(cisgraph.FaultConfig{Seed: 3, CorruptP: 0.5})
+	g := cisgraph.NewGuard(cisgraph.NewCISO(),
+		cisgraph.WithSanitizePolicy(cisgraph.SanitizeDrop),
+		cisgraph.WithAuditEvery(1),
+		cisgraph.WithCheckpointEvery(2),
+		cisgraph.WithCheckpointFile(ckptPath),
+		cisgraph.WithWAL(wal))
+	g.Reset(w.Initial(), cisgraph.PPSP(), q)
+	var want cisgraph.Value
+	for i := 0; i < 4; i++ {
+		res := g.ApplyBatch(inj.Mangle(el.N, w.NextBatch()))
+		if res.Err != nil {
+			t.Fatalf("batch %d: %v", i, res.Err)
+		}
+		want = res.Answer
+	}
+	wal.Close()
+
+	eng, through, err := cisgraph.Recover(cisgraph.RecoveryConfig{
+		WALPath: walPath, CheckpointPath: ckptPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if through != 4 || eng.Answer() != want {
+		t.Fatalf("recovered through=%d answer=%v, want 4 / %v", through, eng.Answer(), want)
+	}
+
+	// Standalone sanitizer + policy parsing.
+	p, err := cisgraph.ParseSanitizePolicy("strict")
+	if err != nil || p != cisgraph.SanitizeStrict {
+		t.Fatalf("ParseSanitizePolicy: %v %v", p, err)
+	}
+	bad := []cisgraph.Update{cisgraph.AddEdgeUpdate(1, 1, 1)}
+	if err := cisgraph.ValidateBatch(w.Initial(), bad); err == nil {
+		t.Fatal("self-loop accepted by ValidateBatch")
+	}
+	if recs, err := cisgraph.ReplayWAL(walPath); err != nil || len(recs) != 4 {
+		t.Fatalf("replay: %d records, err %v", len(recs), err)
 	}
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"cisgraph/internal/exp"
 	"cisgraph/internal/graph"
 	"cisgraph/internal/hw/accel"
+	"cisgraph/internal/resilience"
 	"cisgraph/internal/stream"
 )
 
@@ -48,6 +50,11 @@ func run() error {
 		loadFrom = flag.String("load", "", "resume a CISO engine from a checkpoint instead of computing from scratch")
 		seed     = flag.Int64("seed", 42, "deterministic seed")
 		verbose  = flag.Bool("v", false, "print per-batch counters")
+
+		sanitize   = flag.String("sanitize", "", "validate every batch before it reaches the engine: drop, reject or strict (enables the resilience guard)")
+		walPath    = flag.String("wal", "", "append every sanitized batch to this write-ahead log, fsynced, before applying it (single engine only; enables the resilience guard)")
+		auditEvery = flag.Int("audit-every", 0, "audit the engine's invariants every N batches, rebuilding on corruption (0 disables; enables the resilience guard)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "persist a recovery checkpoint to the -save path every N batches (engine ciso only; enables the resilience guard)")
 	)
 	flag.Parse()
 
@@ -61,13 +68,8 @@ func run() error {
 		if el, err = graph.LoadFile(*file); err != nil {
 			return err
 		}
-	} else {
-		switch graph.StandIn(*dataset) {
-		case graph.StandInOR, graph.StandInLJ, graph.StandInUK:
-			el = graph.StandIn(*dataset).Build(*scale, *seed)
-		default:
-			return fmt.Errorf("unknown dataset %q (want OR, LJ or UK)", *dataset)
-		}
+	} else if el, err = graph.StandIn(*dataset).Build(*scale, *seed); err != nil {
+		return err
 	}
 	fmt.Printf("dataset %s: %d vertices, %d edges (avg degree %.1f)\n",
 		el.Name, el.N, len(el.Arcs), el.AvgDegree())
@@ -88,25 +90,67 @@ func run() error {
 	}
 	fmt.Printf("query Q(%d→%d), algorithm %s\n\n", q.S, q.D, a.Name())
 
-	engines, err := makeEngines(*engName)
+	engines, factories, err := makeEngines(*engName)
 	if err != nil {
 		return err
 	}
+	var restored *core.CISO
 	if *loadFrom != "" {
 		if *engName != "ciso" {
 			return fmt.Errorf("-load requires -engine ciso")
 		}
-		f, err := os.Open(*loadFrom)
-		if err != nil {
-			return err
-		}
-		restored, err := core.LoadCISO(f)
-		f.Close()
-		if err != nil {
+		if restored, err = loadAnyCheckpoint(*loadFrom); err != nil {
 			return err
 		}
 		engines = []core.Engine{restored}
+		factories = []func() core.Engine{func() core.Engine { return core.NewCISO() }}
 		fmt.Printf("resumed from %s: answer %v\n", *loadFrom, restored.Answer())
+	}
+
+	// Resilience guard: any of the four flags wraps every engine.
+	guarded := *sanitize != "" || *walPath != "" || *auditEvery > 0 || *ckptEvery > 0
+	var wal *resilience.WAL
+	if guarded {
+		policy := resilience.PolicyDrop
+		if *sanitize != "" {
+			if policy, err = resilience.ParsePolicy(*sanitize); err != nil {
+				return err
+			}
+		}
+		if *walPath != "" {
+			if len(engines) != 1 {
+				return fmt.Errorf("-wal logs one stream: pick a single engine, not %q", *engName)
+			}
+			if wal, err = resilience.OpenWAL(*walPath); err != nil {
+				return err
+			}
+			defer wal.Close()
+		}
+		if *ckptEvery > 0 {
+			if *saveTo == "" {
+				return fmt.Errorf("-checkpoint-every needs -save to name the checkpoint file")
+			}
+			if *engName != "ciso" {
+				return fmt.Errorf("-checkpoint-every requires -engine ciso")
+			}
+		}
+		for i := range engines {
+			opts := []resilience.GuardOption{
+				resilience.WithPolicy(policy),
+				resilience.WithAuditEvery(*auditEvery),
+				resilience.WithEngineFactory(factories[i]),
+			}
+			if wal != nil {
+				opts = append(opts, resilience.WithWAL(wal))
+			}
+			if *ckptEvery > 0 {
+				opts = append(opts, resilience.WithCheckpointEvery(*ckptEvery),
+					resilience.WithCheckpointFile(*saveTo))
+			}
+			engines[i] = resilience.NewGuard(engines[i], opts...)
+		}
+		fmt.Printf("resilience guard on: policy=%s wal=%q audit-every=%d checkpoint-every=%d\n",
+			policy, *walPath, *auditEvery, *ckptEvery)
 	}
 	var tracer *accel.Tracer
 	if *hwTrace != "" {
@@ -125,7 +169,16 @@ func run() error {
 	init := w.Initial()
 	for _, e := range engines {
 		if *loadFrom != "" {
-			break // the restored engine carries its own state
+			// The restored engine carries its own state; a guard wrapped
+			// around it resumes rather than resetting.
+			if g, ok := e.(*resilience.Guard); ok {
+				var absorbed uint64
+				if wal != nil {
+					absorbed = wal.NextIndex()
+				}
+				g.Resume(restored.Topology(), a, q, absorbed)
+			}
+			break
 		}
 		e.Reset(init.Clone(), a, q)
 		fmt.Printf("%-10s initial answer: %v\n", e.Name(), e.Answer())
@@ -162,28 +215,23 @@ func run() error {
 		fmt.Printf("wrote %d trace events to %s\n", tracer.Len(), *hwTrace)
 	}()
 	defer func() {
-		if *saveTo == "" {
-			return
+		if *saveTo == "" || *ckptEvery > 0 {
+			return // periodic checkpoints already own the -save path
 		}
-		ciso, ok := engines[len(engines)-1].(*core.CISO)
-		if !ok {
-			for _, e := range engines {
-				if c, isC := e.(*core.CISO); isC {
-					ciso, ok = c, true
-				}
+		var ciso *core.CISO
+		for _, e := range engines {
+			if g, isG := e.(*resilience.Guard); isG {
+				e = g.Inner()
+			}
+			if c, isC := e.(*core.CISO); isC {
+				ciso = c
 			}
 		}
-		if !ok {
+		if ciso == nil {
 			fmt.Fprintln(os.Stderr, "cisgraph: -save requires a ciso engine")
 			return
 		}
-		f, err := os.Create(*saveTo)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cisgraph: save:", err)
-			return
-		}
-		defer f.Close()
-		if err := ciso.Save(f); err != nil {
+		if err := ciso.SaveFile(*saveTo); err != nil {
 			fmt.Fprintln(os.Stderr, "cisgraph: save:", err)
 			return
 		}
@@ -205,6 +253,9 @@ func run() error {
 			res := e.ApplyBatch(batch)
 			fmt.Printf("  %-10s answer=%-12v response=%-14v converged=%v\n",
 				e.Name(), res.Answer, res.Response, res.Converged)
+			if res.Err != nil {
+				fmt.Printf("  %-10s degraded: %v\n", "", res.Err)
+			}
 			if *verbose {
 				for _, name := range []string{"relax", "activation", "tagged",
 					"update_valuable", "update_delayed", "update_useless", "update_promoted"} {
@@ -224,7 +275,10 @@ func run() error {
 	return nil
 }
 
-func makeEngines(name string) ([]core.Engine, error) {
+// makeEngines builds the selected engines and, for each, the factory that
+// recreates it — the resilience guard's ColdStart rebuild path needs a
+// constructor matching the wrapped engine's type.
+func makeEngines(name string) ([]core.Engine, []func() core.Engine, error) {
 	mk := map[string]func() core.Engine{
 		"cs":     func() core.Engine { return core.NewColdStart() },
 		"inc":    func() core.Engine { return core.NewIncremental() },
@@ -233,19 +287,31 @@ func makeEngines(name string) ([]core.Engine, error) {
 		"ciso":   func() core.Engine { return core.NewCISO() },
 		"accel":  func() core.Engine { return accel.New(scaledAccel()) },
 	}
+	names := []string{name}
 	if name == "all" {
-		order := []string{"cs", "inc", "sgraph", "pnp", "ciso", "accel"}
-		var out []core.Engine
-		for _, n := range order {
-			out = append(out, mk[n]())
+		names = []string{"cs", "inc", "sgraph", "pnp", "ciso", "accel"}
+	}
+	var out []core.Engine
+	var factories []func() core.Engine
+	for _, n := range names {
+		f, ok := mk[n]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown engine %q (want cs, inc, sgraph, pnp, ciso, accel or all)", n)
 		}
-		return out, nil
+		out = append(out, f())
+		factories = append(factories, f)
 	}
-	f, ok := mk[name]
-	if !ok {
-		return nil, fmt.Errorf("unknown engine %q (want cs, inc, sgraph, pnp, ciso, accel or all)", name)
+	return out, factories, nil
+}
+
+// loadAnyCheckpoint reads either a plain CISO checkpoint (written by -save)
+// or a guard recovery checkpoint (written by -checkpoint-every, which wraps
+// the same payload in a positioned envelope).
+func loadAnyCheckpoint(path string) (*core.CISO, error) {
+	if _, payload, err := resilience.ReadCheckpointFile(path); err == nil {
+		return core.LoadCISO(bytes.NewReader(payload))
 	}
-	return []core.Engine{f()}, nil
+	return core.LoadCISOFile(path)
 }
 
 // scaledAccel mirrors the experiment harness's default accelerator

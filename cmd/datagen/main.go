@@ -49,11 +49,9 @@ func run() error {
 	switch {
 	case *standin != "":
 		s := graph.StandIn(strings.ToUpper(*standin))
-		switch s {
-		case graph.StandInOR, graph.StandInLJ, graph.StandInUK:
-			el = s.Build(*scale, *seed)
-		default:
-			return fmt.Errorf("unknown stand-in %q", *standin)
+		var err error
+		if el, err = s.Build(*scale, *seed); err != nil {
+			return err
 		}
 	case *gen != "":
 		n := 1 << *scale

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	social := cisgraph.StandInOR.Build(11, 3) // Orkut-like power-law stand-in
+	social := cisgraph.StandInOR.MustBuild(11, 3) // Orkut-like power-law stand-in
 	fmt.Printf("social graph: %d accounts, %d follow edges\n", social.N, len(social.Arcs))
 
 	w, err := cisgraph.NewWorkload(social, cisgraph.DefaultStreamConfig(len(social.Arcs), 3))

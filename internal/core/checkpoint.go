@@ -1,9 +1,14 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"cisgraph/internal/algo"
 	"cisgraph/internal/graph"
@@ -11,12 +16,22 @@ import (
 
 // Checkpointing captures a CISO engine mid-stream — the exact topology and
 // the converged per-vertex state — so a long-running query can be persisted
-// and resumed without replaying every batch. The format is self-contained
-// (gob with a versioned header) and includes the dependency tree, so the
-// restored engine repairs deletions exactly like the original.
+// and resumed without replaying every batch. The on-disk format is a
+// checksummed envelope around a gob payload:
+//
+//	magic "CGCK" | uint32 version | uint64 payload length | uint32 CRC-32
+//	(IEEE, of the payload) | payload (gob-encoded checkpointDTO)
+//
+// all integers little-endian. The checksum turns truncation and bit flips
+// into clean load errors instead of gob decode confusion or silently wrong
+// state; LoadCISO additionally re-verifies the dependency-tree invariant.
+// Version-1 checkpoints (bare gob, no envelope) are still readable.
 
-// checkpointVersion guards against format drift.
-const checkpointVersion = 1
+// checkpointVersion guards against format drift. Version 2 added the
+// checksummed envelope.
+const checkpointVersion = 2
+
+var checkpointMagic = [4]byte{'C', 'G', 'C', 'K'}
 
 // checkpointDTO is the serialised form. All fields exported for gob.
 type checkpointDTO struct {
@@ -43,19 +58,97 @@ func (c *CISO) Save(w io.Writer) error {
 		Val:     c.st.val,
 		Parent:  c.st.parent,
 	}
-	return gob.NewEncoder(w).Encode(&dto)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&dto); err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	if _, err := w.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:4], checkpointVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
+}
+
+// SaveFile writes the checkpoint to path atomically: the bytes go to a
+// temporary file in the same directory which is fsynced and renamed over
+// path, so a crash mid-write never leaves a truncated checkpoint where a
+// good one (or nothing) used to be.
+func (c *CISO) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := c.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // LoadCISO reconstructs a CISO engine from a checkpoint written by Save.
 // The restored engine answers identically to the original and continues
 // the stream from the checkpointed snapshot. Counters start fresh.
+// Truncated or bit-flipped files fail the envelope checksum; files that
+// pass it are still re-verified against the dependency-tree invariant.
 func LoadCISO(r io.Reader, opts ...CISOOption) (*CISO, error) {
 	var dto checkpointDTO
-	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
-		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("checkpoint: read header: %w", err)
 	}
-	if dto.Version != checkpointVersion {
-		return nil, fmt.Errorf("checkpoint: unsupported version %d", dto.Version)
+	if bytes.Equal(head, checkpointMagic[:]) {
+		hdr := make([]byte, 16)
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return nil, fmt.Errorf("checkpoint: truncated header: %w", err)
+		}
+		version := binary.LittleEndian.Uint32(hdr[0:4])
+		if version != checkpointVersion {
+			return nil, fmt.Errorf("checkpoint: unsupported version %d", version)
+		}
+		plen := binary.LittleEndian.Uint64(hdr[4:12])
+		want := binary.LittleEndian.Uint32(hdr[12:16])
+		const maxPayload = 1 << 32
+		if plen > maxPayload {
+			return nil, fmt.Errorf("checkpoint: implausible payload length %d", plen)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("checkpoint: truncated payload: %w", err)
+		}
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, fmt.Errorf("checkpoint: payload checksum mismatch (got %08x, want %08x): file corrupt", got, want)
+		}
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&dto); err != nil {
+			return nil, fmt.Errorf("checkpoint: decode: %w", err)
+		}
+		if dto.Version != checkpointVersion {
+			return nil, fmt.Errorf("checkpoint: envelope/payload version mismatch (%d)", dto.Version)
+		}
+	} else {
+		// Legacy version-1 checkpoint: bare gob stream, no envelope.
+		dec := gob.NewDecoder(io.MultiReader(bytes.NewReader(head), r))
+		if err := dec.Decode(&dto); err != nil {
+			return nil, fmt.Errorf("checkpoint: decode: %w", err)
+		}
+		if dto.Version != 1 {
+			return nil, fmt.Errorf("checkpoint: unsupported version %d", dto.Version)
+		}
 	}
 	a, err := algo.ByName(dto.Algo)
 	if err != nil {
@@ -89,8 +182,38 @@ func LoadCISO(r io.Reader, opts ...CISOOption) (*CISO, error) {
 	return c, nil
 }
 
+// LoadCISOFile reads a checkpoint file written by SaveFile (or Save).
+func LoadCISOFile(path string, opts ...CISOOption) (*CISO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCISO(f, opts...)
+}
+
+// CheckInvariants implements InvariantChecker: it audits the dependency-tree
+// invariant over the engine's whole state. A non-nil error means the state
+// is corrupt and answers can no longer be trusted.
+func (c *CISO) CheckInvariants() error {
+	if c.st == nil {
+		return fmt.Errorf("ciso: engine not armed")
+	}
+	return c.st.verifyInvariant()
+}
+
+// CheckInvariants implements InvariantChecker for the Incremental engine,
+// which maintains the same dependency-tree invariant.
+func (e *Incremental) CheckInvariants() error {
+	if e.st == nil {
+		return fmt.Errorf("incremental: engine not armed")
+	}
+	return e.st.verifyInvariant()
+}
+
 // verifyInvariant checks the dependency-tree invariant over the whole state
-// (used by checkpoint restore; tests use their own checker).
+// (used by checkpoint restore and the guard audit; tests use their own
+// checker).
 func (st *state) verifyInvariant() error {
 	if st.val[st.q.S] != st.a.Source() {
 		return fmt.Errorf("source state %v != %v", st.val[st.q.S], st.a.Source())

@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"cisgraph/internal/algo"
@@ -72,6 +75,116 @@ func TestCheckpointRejectsCorruptState(t *testing.T) {
 	}
 	if _, err := LoadCISO(&buf); err == nil {
 		t.Fatal("corrupt state accepted")
+	}
+}
+
+// armedCISO returns a small armed engine plus its serialised checkpoint.
+func armedCISO(t *testing.T) (*CISO, []byte) {
+	t.Helper()
+	g := graph.NewDynamic(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 4)
+	c := NewCISO()
+	c.Reset(g, algo.PPSP{}, Query{S: 0, D: 3})
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return c, buf.Bytes()
+}
+
+// TestCheckpointRejectsTruncation cuts the envelope at every plausible
+// boundary: all must fail with an error, never a panic or a silent success.
+func TestCheckpointRejectsTruncation(t *testing.T) {
+	_, data := armedCISO(t)
+	for _, cut := range []int{0, 2, 4, 10, 19, 20, len(data) / 2, len(data) - 1} {
+		if cut >= len(data) {
+			continue
+		}
+		if _, err := LoadCISO(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d accepted", cut, len(data))
+		}
+	}
+}
+
+// TestCheckpointRejectsBitFlips flips a byte at several payload offsets; the
+// CRC must catch every one with a clear corruption error.
+func TestCheckpointRejectsBitFlips(t *testing.T) {
+	_, data := armedCISO(t)
+	for _, off := range []int{20, 21, len(data) / 2, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x10
+		if _, err := LoadCISO(bytes.NewReader(bad)); err == nil {
+			t.Errorf("bit flip at offset %d accepted", off)
+		}
+	}
+}
+
+func TestCheckpointRejectsBadVersion(t *testing.T) {
+	_, data := armedCISO(t)
+	bad := append([]byte(nil), data...)
+	bad[4] = 99 // version field, little-endian low byte
+	if _, err := LoadCISO(bytes.NewReader(bad)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+// TestCheckpointLegacyV1 writes a version-1 checkpoint (bare gob, no
+// envelope) and checks it still loads.
+func TestCheckpointLegacyV1(t *testing.T) {
+	c, _ := armedCISO(t)
+	dto := checkpointDTO{
+		Version: 1,
+		Algo:    c.st.a.Name(),
+		Query:   c.st.q,
+		Graph:   c.st.g.EdgeList("legacy"),
+		Val:     c.st.val,
+		Parent:  c.st.parent,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&dto); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadCISO(&buf)
+	if err != nil {
+		t.Fatalf("legacy v1 checkpoint rejected: %v", err)
+	}
+	if r.Answer() != c.Answer() {
+		t.Fatalf("legacy restore answer %v, want %v", r.Answer(), c.Answer())
+	}
+}
+
+// TestSaveFileAtomic checks the temp-file + rename protocol: the target is
+// either the complete new checkpoint or (on interrupted write) the old one,
+// and no temp files leak.
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "engine.ckpt")
+	c, want := armedCISO(t)
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("SaveFile bytes differ from Save bytes")
+	}
+	if _, err := LoadCISOFile(path); err != nil {
+		t.Fatalf("LoadCISOFile: %v", err)
+	}
+	// Overwrite in place must replace the old checkpoint completely.
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "engine.ckpt" {
+		t.Fatalf("temp file leaked: %v", ents)
 	}
 }
 

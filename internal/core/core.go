@@ -46,6 +46,11 @@ type Result struct {
 	// Counters holds this batch's counter deltas (relaxations, activations,
 	// classification outcomes, ...).
 	Counters map[string]int64
+	// Err is non-nil when the engine degraded while producing this result —
+	// a recovered per-query panic in MultiCISO, a rejected batch or a
+	// recovery event in resilience.Guard. The Answer is the engine's best
+	// current value; it may be stale until the next clean batch.
+	Err error
 }
 
 // Engine is a pairwise streaming query engine. Reset gives the engine
@@ -60,6 +65,16 @@ type Engine interface {
 	Answer() algo.Value
 	// Counters exposes the engine's cumulative counters.
 	Counters() *stats.Counters
+}
+
+// InvariantChecker is implemented by engines that can audit their internal
+// state for corruption. resilience.Guard calls it periodically and rebuilds
+// the engine when the audit fails.
+type InvariantChecker interface {
+	// CheckInvariants returns a non-nil error when the engine's state is
+	// internally inconsistent (e.g. a dependency-tree edge that no longer
+	// exists or no longer supplies its child's value).
+	CheckInvariants() error
 }
 
 // timed runs f and returns its wall-clock duration.

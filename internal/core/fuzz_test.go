@@ -16,6 +16,12 @@ func FuzzNormalizeBatch(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 1, 0, 1}, uint8(3))
 	f.Add([]byte{}, uint8(2))
 	f.Add([]byte{5, 5, 5, 5}, uint8(4))
+	// Malformed-stream shapes the resilience layer guards against: duplicate
+	// additions of the same edge, delete/re-add/delete churn on one edge, and
+	// a deletion of the pre-existing edge followed by its re-add.
+	f.Add([]byte{0, 1, 2, 0, 1, 2, 0, 1, 4}, uint8(5))
+	f.Add([]byte{0, 1, 3, 0, 1, 2, 0, 1, 3, 0, 1, 2}, uint8(3))
+	f.Add([]byte{0, 1, 1, 0, 1, 2, 1, 0, 2}, uint8(2))
 	f.Fuzz(func(t *testing.T, ops []byte, nSeed uint8) {
 		n := int(nSeed%6) + 2
 		base := graph.NewDynamic(n)
@@ -78,6 +84,10 @@ func FuzzNormalizeBatch(f *testing.F) {
 func FuzzEngineAgreement(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(0))
 	f.Add([]byte{0, 1, 1, 1, 0, 1, 0, 1, 0}, uint8(7))
+	// Churn-heavy seeds mirroring the sanitizer's duplicate/absent-delete
+	// fault corpus: repeated identical updates and immediate add/del flips.
+	f.Add([]byte{2, 3, 4, 2, 3, 4, 2, 3, 4, 2, 3, 4}, uint8(1))
+	f.Add([]byte{0, 1, 2, 0, 1, 3, 1, 0, 2, 1, 0, 3}, uint8(9))
 	f.Fuzz(func(t *testing.T, ops []byte, seed uint8) {
 		el := graph.Uniform("fz", 12, 40, 6, int64(seed))
 		g := graph.FromEdgeList(el)

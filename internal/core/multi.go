@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -99,9 +100,16 @@ func (m *MultiCISO) Counters() *stats.Counters { return m.cnt }
 // query (Reset order). Each query's Response covers the shared
 // normalization/topology span (paid once, needed by every answer) plus that
 // query's own classification, scheduling and recovery phases.
+//
+// A panic inside one query's processing (a buggy algorithm plugin, injected
+// fault, ...) never crashes the process or deadlocks the other queries: it
+// is recovered per query, the query's state is recomputed from scratch on
+// the shared (still consistent) topology, and the result carries the panic
+// as Result.Err. The other queries' results are unaffected.
 func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 	results := make([]Result, len(m.states))
 	befores := make([]map[string]int64, len(m.states))
+	errs := make([]error, len(m.states))
 
 	// Shared, once: normalization and topology for the addition phase.
 	t0 := time.Now()
@@ -119,7 +127,7 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 	// Phase A per query (parallel when configured: the topology is
 	// read-only from here until the shared deletion pass).
 	addSpans := make([]time.Duration, len(m.states))
-	m.forEachQuery(func(i int) {
+	m.forEachQuery(errs, func(i int) {
 		befores[i] = m.cnts[i].Snapshot()
 		tq := time.Now()
 		for _, up := range addEvents {
@@ -138,7 +146,7 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 	sharedSpan := addTopoSpan + delTopoSpan
 
 	// Phases B–D per query: classify, prioritise, promote, answer, delayed.
-	m.forEachQuery(func(i int) {
+	m.forEachQuery(errs, func(i int) {
 		st := m.states[i]
 		cnt := m.cnts[i]
 		tq := time.Now()
@@ -189,29 +197,71 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 			Counters:  cnt.Diff(befores[i]),
 		}
 	})
+	// Degraded queries: recover their state and surface the panic.
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		m.cnts[i].Inc(stats.CntQueryPanic)
+		m.repairState(i)
+		results[i] = Result{
+			Answer:   m.states[i].answer(),
+			Err:      err,
+			Counters: m.cnts[i].Diff(befores[i]),
+		}
+	}
 	m.mergeCounters()
 	return results
 }
 
-// forEachQuery runs f(i) for every query, on goroutines when parallel mode
-// is enabled. Each query touches only its own state/counters; the shared
-// topology is read-only inside f.
-func (m *MultiCISO) forEachQuery(f func(i int)) {
+// forEachQuery runs f(i) for every query whose errs entry is still nil, on
+// goroutines when parallel mode is enabled. Each query touches only its own
+// state/counters; the shared topology is read-only inside f. A panic inside
+// f is recovered into errs[i]; the WaitGroup always drains.
+func (m *MultiCISO) forEachQuery(errs []error, f func(i int)) {
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("multiciso: query %d %v panicked: %v", i, m.queries[i], r)
+			}
+		}()
+		f(i)
+	}
 	if !m.parallel || len(m.states) == 1 {
 		for i := range m.states {
-			f(i)
+			if errs[i] == nil {
+				run(i)
+			}
 		}
 		return
 	}
 	var wg sync.WaitGroup
 	for i := range m.states {
+		if errs[i] != nil {
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			f(i)
+			run(i)
 		}(i)
 	}
 	wg.Wait()
+}
+
+// repairState restores query i to a consistent converged state after a
+// recovered panic interrupted its processing mid-propagation: scratch marks
+// are cleared and the query recomputes from scratch against the shared
+// topology (which only mutates on the caller's goroutine, outside the
+// per-query phases, so it is always consistent here). If the recompute
+// itself panics the state stays degraded; the error remains on the result.
+func (m *MultiCISO) repairState(i int) {
+	defer func() { _ = recover() }()
+	st := m.states[i]
+	for j := range st.inSet {
+		st.inSet[j] = false
+	}
+	st.fullCompute()
 }
 
 func reweightAdds(nb NormalizedBatch) []graph.Update {

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"cisgraph/internal/algo"
 	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
 	"cisgraph/internal/stream"
 )
 
@@ -170,5 +173,107 @@ func TestMultiCISOParallelMatchesSerial(t *testing.T) {
 	if serial.Counters().Get("relax") != par.Counters().Get("relax") {
 		t.Fatalf("relax counters diverge: %d vs %d",
 			serial.Counters().Get("relax"), par.Counters().Get("relax"))
+	}
+}
+
+// panicOnceAlgo wraps an algorithm and panics exactly once, on the n-th
+// Propagate call after arming, from whichever query's goroutine gets there
+// first. It is the in-package stand-in for resilience.PanicAlgorithm (which
+// cannot be imported here without a cycle).
+type panicOnceAlgo struct {
+	algo.Algorithm
+	calls atomic.Int64
+	after int64
+	armed atomic.Bool
+}
+
+func (p *panicOnceAlgo) Propagate(u algo.Value, w float64) algo.Value {
+	if p.armed.Load() && p.calls.Add(1) >= p.after && p.armed.CompareAndSwap(true, false) {
+		panic("multi_test: injected query panic")
+	}
+	return p.Algorithm.Propagate(u, w)
+}
+
+// TestMultiCISOQueryPanicRecovery injects a panic into one query's
+// processing, in both serial and parallel modes: the process must not crash,
+// the WaitGroup must not deadlock, exactly one result carries the error, the
+// panicked query's state is recomputed (so its answer is still correct), and
+// the other queries are untouched.
+func TestMultiCISOQueryPanicRecovery(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		name := "serial"
+		if parallel {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			ds := graph.Uniform("mpanic", 100, 700, 8, 23)
+			w, err := stream.New(ds, stream.Config{
+				LoadFraction: 0.5, AddsPerBatch: 30, DelsPerBatch: 30, Seed: 23,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var qs []Query
+			for _, p := range w.QueryPairs(4) {
+				qs = append(qs, Query{S: p[0], D: p[1]})
+			}
+			init := w.Initial()
+			batches := w.Batches(4)
+
+			pa := &panicOnceAlgo{Algorithm: algo.PPSP{}}
+			var m *MultiCISO
+			if parallel {
+				m = NewMultiCISO(WithParallelQueries())
+			} else {
+				m = NewMultiCISO()
+			}
+			m.Reset(init.Clone(), pa, qs)
+			singles := make([]*CISO, len(qs))
+			for i, q := range qs {
+				singles[i] = NewCISO()
+				singles[i].Reset(init.Clone(), algo.PPSP{}, q)
+			}
+
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for bi, batch := range batches {
+					if bi == 2 {
+						pa.after = 1
+						pa.calls.Store(0)
+						pa.armed.Store(true)
+					}
+					rs := m.ApplyBatch(batch)
+					nErr := 0
+					for i := range qs {
+						want := singles[i].ApplyBatch(batch).Answer
+						if rs[i].Err != nil {
+							nErr++
+						}
+						// Even the panicked query must answer correctly: its
+						// state is recomputed on the shared topology.
+						if rs[i].Answer != want {
+							t.Errorf("%s batch %d query %d: answer %v, want %v (err=%v)",
+								name, bi, i, rs[i].Answer, want, rs[i].Err)
+						}
+						checkInvariant(t, m.states[i])
+					}
+					if bi == 2 && nErr != 1 {
+						t.Errorf("%s: %d errored results on the panic batch, want 1", name, nErr)
+					}
+					if bi != 2 && nErr != 0 {
+						t.Errorf("%s batch %d: unexpected errors (%d)", name, bi, nErr)
+					}
+				}
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("ApplyBatch deadlocked after an injected panic")
+			}
+			if got := m.Counters().Get(stats.CntQueryPanic); got != 1 {
+				t.Fatalf("%s: query_panic=%d, want 1", name, got)
+			}
+		})
 	}
 }

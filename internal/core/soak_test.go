@@ -14,7 +14,7 @@ func TestSoakLargeStream(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped with -short")
 	}
-	ds := graph.StandInOR.Build(11, 5)
+	ds := graph.StandInOR.MustBuild(11, 5)
 	w, err := stream.New(ds, stream.DefaultConfig(len(ds.Arcs), 5))
 	if err != nil {
 		t.Fatal(err)

@@ -22,7 +22,11 @@ func RunConfigTables(o Options) (*ConfigResult, error) {
 	o = o.WithDefaults()
 	res := &ConfigResult{opts: o}
 	for _, ds := range o.Datasets {
-		res.datasets = append(res.datasets, ds.Build(o.Scale, o.Seed))
+		el, err := ds.Build(o.Scale, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.datasets = append(res.datasets, el)
 	}
 	return res, nil
 }

@@ -57,7 +57,10 @@ func RunFig2(o Options) (*Fig2Result, error) {
 	// Use an 8×-dense batch: at reduced scale a single paper-ratio batch
 	// rarely touches the one s→d path at all, which collapses every row to
 	// 100%; a denser batch recovers the paper's resolution.
-	el := res.Dataset.Build(o.Scale, o.Seed)
+	el, err := res.Dataset.Build(o.Scale, o.Seed)
+	if err != nil {
+		return nil, err
+	}
 	cfg := stream.DefaultConfig(len(el.Arcs), o.Seed)
 	cfg.AddsPerBatch *= 8
 	cfg.DelsPerBatch *= 8

@@ -110,7 +110,10 @@ func RunFig5b(o Options) (*Fig5bResult, error) {
 	o = o.WithDefaults()
 	res := &Fig5bResult{}
 	for _, ds := range o.Datasets {
-		el := ds.Build(o.Scale, o.Seed)
+		el, err := ds.Build(o.Scale, o.Seed)
+		if err != nil {
+			return nil, err
+		}
 		cfg := stream.DefaultConfig(len(el.Arcs), o.Seed)
 		cfg.AddsPerBatch *= 4
 		cfg.DelsPerBatch *= 4

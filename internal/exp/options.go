@@ -89,7 +89,10 @@ func (o Options) HWConfig() accel.Config {
 
 // workloadFor builds the streaming workload for one dataset.
 func (o Options) workloadFor(ds graph.StandIn) (*stream.Workload, error) {
-	el := ds.Build(o.Scale, o.Seed)
+	el, err := ds.Build(o.Scale, o.Seed)
+	if err != nil {
+		return nil, err
+	}
 	return stream.New(el, stream.DefaultConfig(len(el.Arcs), o.Seed))
 }
 

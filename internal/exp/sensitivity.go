@@ -35,7 +35,10 @@ type BatchSizeResult struct {
 func RunSensitivityBatchSize(o Options) (*BatchSizeResult, error) {
 	o = o.WithDefaults()
 	res := &BatchSizeResult{Dataset: graph.StandInOR}
-	el := res.Dataset.Build(o.Scale, o.Seed)
+	el, err := res.Dataset.Build(o.Scale, o.Seed)
+	if err != nil {
+		return nil, err
+	}
 	base := stream.DefaultConfig(len(el.Arcs), o.Seed)
 	a := algo.PPSP{}
 	for _, mult := range []int{1, 2, 4, 8} {
@@ -108,7 +111,10 @@ type AdversarialResult struct {
 func RunSensitivityAdversarial(o Options) (*AdversarialResult, error) {
 	o = o.WithDefaults()
 	res := &AdversarialResult{Dataset: graph.StandInOR}
-	el := res.Dataset.Build(o.Scale, o.Seed)
+	el, err := res.Dataset.Build(o.Scale, o.Seed)
+	if err != nil {
+		return nil, err
+	}
 	a := algo.PPSP{}
 	for _, fraction := range []float64{0, 0.5, 0.9} {
 		w, err := stream.New(el, stream.DefaultConfig(len(el.Arcs), o.Seed))

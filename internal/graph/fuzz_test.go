@@ -18,6 +18,14 @@ func FuzzReadText(f *testing.F) {
 	f.Add([]byte("# cisgraph g 2 1\n0 1 3\n"))
 	f.Add([]byte("# cisgraph g 0 0\n"))
 	f.Add([]byte("garbage"))
+	// Malformed-edge seeds matching the resilience sanitizer's taxonomy:
+	// out-of-range endpoint, self-loop, NaN / infinite / negative weights.
+	f.Add([]byte("# cisgraph g 2 1\n0 5 3\n"))
+	f.Add([]byte("# cisgraph g 2 1\n1 1 3\n"))
+	f.Add([]byte("# cisgraph g 2 1\n0 1 NaN\n"))
+	f.Add([]byte("# cisgraph g 2 1\n0 1 +Inf\n"))
+	f.Add([]byte("# cisgraph g 2 1\n0 1 -4\n"))
+	f.Add([]byte("# cisgraph g 2 2\n0 1 3\n0 1 7\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadText(bytes.NewReader(data))
 		if err != nil {
@@ -50,6 +58,10 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte("CISG"))
 	f.Add([]byte{})
+	// Truncated-envelope seeds: a valid prefix cut mid-header and mid-record,
+	// the shapes a crashed writer leaves behind.
+	f.Add(seed.Bytes()[:8])
+	f.Add(seed.Bytes()[:len(seed.Bytes())-3])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {

@@ -173,19 +173,34 @@ var AllStandIns = []StandIn{StandInOR, StandInLJ, StandInUK}
 const MaxRawWeight = 64
 
 // Build constructs the stand-in dataset at the given base scale with a
-// deterministic seed derived from the dataset identity.
-func (s StandIn) Build(scale int, seed int64) *EdgeList {
+// deterministic seed derived from the dataset identity. An unknown dataset
+// name or a non-positive scale is an error, never a panic, so callers can
+// route untrusted input (CLI flags, config files) straight through.
+func (s StandIn) Build(scale int, seed int64) (*EdgeList, error) {
+	if scale < 1 || scale > 30 {
+		return nil, fmt.Errorf("graph: stand-in scale %d out of range [1,30]", scale)
+	}
 	switch s {
 	case StandInOR:
 		n := 1 << scale
-		return RMAT("OR", scale, 16*n, DefaultRMAT, MaxRawWeight, seed+1)
+		return RMAT("OR", scale, 16*n, DefaultRMAT, MaxRawWeight, seed+1), nil
 	case StandInLJ:
 		n := 1 << (scale + 1)
-		return RMAT("LJ", scale+1, 14*n, RMATParams{A: 0.55, B: 0.2, C: 0.2}, MaxRawWeight, seed+2)
+		return RMAT("LJ", scale+1, 14*n, RMATParams{A: 0.55, B: 0.2, C: 0.2}, MaxRawWeight, seed+2), nil
 	case StandInUK:
 		n := 1 << (scale + 2)
-		return Crawl("UK", scale+2, 14*n, 64, 0.6, MaxRawWeight, seed+3)
+		return Crawl("UK", scale+2, 14*n, 64, 0.6, MaxRawWeight, seed+3), nil
 	default:
-		panic(fmt.Sprintf("unknown stand-in dataset %q", string(s)))
+		return nil, fmt.Errorf("graph: unknown stand-in dataset %q (want OR, LJ or UK)", string(s))
 	}
+}
+
+// MustBuild is the panicking shim over Build for call sites with
+// compile-time-known dataset names (tests, the experiment harness).
+func (s StandIn) MustBuild(scale int, seed int64) *EdgeList {
+	el, err := s.Build(scale, seed)
+	if err != nil {
+		panic(err)
+	}
+	return el
 }

@@ -112,7 +112,7 @@ func TestGridShape(t *testing.T) {
 
 func TestStandInsBuild(t *testing.T) {
 	for _, s := range AllStandIns {
-		el := s.Build(8, 99)
+		el := s.MustBuild(8, 99)
 		if err := el.Validate(); err != nil {
 			t.Fatalf("%s: %v", s, err)
 		}
@@ -124,9 +124,9 @@ func TestStandInsBuild(t *testing.T) {
 		}
 	}
 	// Relative sizes: UK > LJ > OR, as in Table III.
-	or := StandInOR.Build(8, 1)
-	lj := StandInLJ.Build(8, 1)
-	uk := StandInUK.Build(8, 1)
+	or := StandInOR.MustBuild(8, 1)
+	lj := StandInLJ.MustBuild(8, 1)
+	uk := StandInUK.MustBuild(8, 1)
 	if !(uk.N > lj.N && lj.N > or.N) {
 		t.Fatalf("sizes OR=%d LJ=%d UK=%d not increasing", or.N, lj.N, uk.N)
 	}

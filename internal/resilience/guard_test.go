@@ -1,0 +1,248 @@
+package resilience
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+	"cisgraph/internal/stream"
+)
+
+// guardWorkload builds a small deterministic stream: initial snapshot, k
+// clean batches, and a query pair.
+func guardWorkload(t *testing.T, k int) (*graph.Dynamic, [][]graph.Update, core.Query) {
+	t.Helper()
+	el := graph.Uniform("guard", 128, 900, 8, 21)
+	w, err := stream.New(el, stream.Config{LoadFraction: 0.5, AddsPerBatch: 25, DelsPerBatch: 25, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := w.QueryPairsConnected(1)
+	if len(pairs) == 0 {
+		t.Fatal("no connected query pair")
+	}
+	return w.Initial(), w.Batches(k), core.Query{S: pairs[0][0], D: pairs[0][1]}
+}
+
+// runClean applies batches to a bare CISO and returns the answer after each.
+func runClean(init *graph.Dynamic, a algo.Algorithm, q core.Query, batches [][]graph.Update) []algo.Value {
+	eng := core.NewCISO()
+	eng.Reset(init.Clone(), a, q)
+	out := make([]algo.Value, len(batches))
+	for i, b := range batches {
+		out[i] = eng.ApplyBatch(b).Answer
+	}
+	return out
+}
+
+func TestGuardMatchesUnguardedOnCleanStream(t *testing.T) {
+	init, batches, q := guardWorkload(t, 8)
+	want := runClean(init, algo.PPSP{}, q, batches)
+
+	g := NewGuard(core.NewCISO(), WithAuditEvery(2), WithCheckpointEvery(3))
+	g.Reset(init.Clone(), algo.PPSP{}, q)
+	for i, b := range batches {
+		res := g.ApplyBatch(b)
+		if res.Err != nil {
+			t.Fatalf("batch %d: unexpected error %v", i, res.Err)
+		}
+		if res.Answer != want[i] {
+			t.Fatalf("batch %d: guard answer %v, clean %v", i, res.Answer, want[i])
+		}
+	}
+	c := g.GuardCounters()
+	for _, name := range []string{stats.CntPanicRecovered, stats.CntAuditFailed, stats.CntRecoverCheckpoint, stats.CntRecoverColdStart} {
+		if c.Get(name) != 0 {
+			t.Errorf("clean stream incremented %s=%d", name, c.Get(name))
+		}
+	}
+}
+
+// TestGuardRecoversPanicColdStart arms an injected panic with no checkpoints
+// configured: the guard must survive, rebuild via the ColdStart path, and
+// keep matching the clean run afterwards.
+func TestGuardRecoversPanicColdStart(t *testing.T) {
+	init, batches, q := guardWorkload(t, 8)
+	want := runClean(init, algo.PPSP{}, q, batches)
+
+	pa := NewPanicAlgorithm(algo.PPSP{})
+	g := NewGuard(core.NewCISO())
+	g.Reset(init.Clone(), pa, q)
+	for i, b := range batches {
+		if i == 3 {
+			pa.Arm(1)
+		}
+		res := g.ApplyBatch(b)
+		if i == 3 {
+			if pa.Fired() != 1 {
+				t.Fatal("injected panic did not fire")
+			}
+			if res.Err == nil || !strings.Contains(res.Err.Error(), "recovered") {
+				t.Fatalf("batch 3: want recovered error, got %v", res.Err)
+			}
+		} else if res.Err != nil {
+			t.Fatalf("batch %d: %v", i, res.Err)
+		}
+		if res.Answer != want[i] {
+			t.Fatalf("batch %d: answer %v, clean %v", i, res.Answer, want[i])
+		}
+	}
+	c := g.GuardCounters()
+	if c.Get(stats.CntPanicRecovered) != 1 || c.Get(stats.CntRecoverColdStart) != 1 {
+		t.Fatalf("counters: panic=%d coldstart=%d", c.Get(stats.CntPanicRecovered), c.Get(stats.CntRecoverColdStart))
+	}
+}
+
+// TestGuardRecoversPanicViaCheckpoint enables periodic in-memory checkpoints:
+// the rebuild after a panic must use the checkpoint+replay fast path.
+func TestGuardRecoversPanicViaCheckpoint(t *testing.T) {
+	init, batches, q := guardWorkload(t, 8)
+	want := runClean(init, algo.PPSP{}, q, batches)
+
+	pa := NewPanicAlgorithm(algo.PPSP{})
+	g := NewGuard(core.NewCISO(), WithCheckpointEvery(2))
+	g.Reset(init.Clone(), pa, q)
+	for i, b := range batches {
+		if i == 5 {
+			pa.Arm(1)
+		}
+		res := g.ApplyBatch(b)
+		if res.Answer != want[i] {
+			t.Fatalf("batch %d: answer %v, clean %v", i, res.Answer, want[i])
+		}
+	}
+	c := g.GuardCounters()
+	if c.Get(stats.CntRecoverCheckpoint) != 1 {
+		t.Fatalf("want checkpoint rebuild, counters: %v", c.Snapshot())
+	}
+	if c.Get(stats.CntRecoverColdStart) != 0 {
+		t.Fatal("checkpoint rebuild fell back to cold start")
+	}
+}
+
+// flakyEngine wraps CISO and fails its invariant audit once on demand.
+type flakyEngine struct {
+	*core.CISO
+	failAudit bool
+}
+
+func (f *flakyEngine) CheckInvariants() error {
+	if f.failAudit {
+		f.failAudit = false
+		return errors.New("synthetic corruption")
+	}
+	return f.CISO.CheckInvariants()
+}
+
+// TestGuardAuditTriggersRebuild injects an invariant-audit failure; the
+// guard must count it, rebuild the engine, and keep answering correctly.
+func TestGuardAuditTriggersRebuild(t *testing.T) {
+	init, batches, q := guardWorkload(t, 6)
+	want := runClean(init, algo.PPSP{}, q, batches)
+
+	fe := &flakyEngine{CISO: core.NewCISO()}
+	g := NewGuard(fe, WithAuditEvery(2))
+	g.Reset(init.Clone(), algo.PPSP{}, q)
+	for i, b := range batches {
+		if i == 3 {
+			fe.failAudit = true // next audit (after batch 4, 1-indexed) fails
+		}
+		res := g.ApplyBatch(b)
+		if res.Answer != want[i] {
+			t.Fatalf("batch %d: answer %v, clean %v", i, res.Answer, want[i])
+		}
+	}
+	c := g.GuardCounters()
+	if c.Get(stats.CntAuditFailed) != 1 {
+		t.Fatalf("audit_failed=%d, want 1", c.Get(stats.CntAuditFailed))
+	}
+	if c.Get(stats.CntRecoverColdStart) != 1 {
+		t.Fatalf("recover_coldstart=%d, want 1 (no snapshot configured)", c.Get(stats.CntRecoverColdStart))
+	}
+	if _, ok := g.Inner().(*flakyEngine); ok {
+		t.Fatal("rebuild did not replace the flaky engine")
+	}
+}
+
+// TestGuardRejectPolicy checks that a rejected batch leaves all state (inner
+// engine, shadow, WAL position) untouched and surfaces the rejection.
+func TestGuardRejectPolicy(t *testing.T) {
+	init, batches, q := guardWorkload(t, 3)
+
+	g := NewGuard(core.NewCISO(), WithPolicy(PolicyReject))
+	g.Reset(init.Clone(), algo.PPSP{}, q)
+	r0 := g.ApplyBatch(batches[0])
+	if r0.Err != nil {
+		t.Fatalf("clean batch rejected: %v", r0.Err)
+	}
+
+	dirty := append(append([]graph.Update(nil), batches[1]...), graph.Add(7, 7, 1))
+	res := g.ApplyBatch(dirty)
+	if res.Err == nil {
+		t.Fatal("dirty batch accepted under reject policy")
+	}
+	if res.Answer != r0.Answer {
+		t.Fatalf("rejected batch changed the answer: %v -> %v", r0.Answer, res.Answer)
+	}
+	if g.Batches() != 1 {
+		t.Fatalf("rejected batch advanced the batch count: %d", g.Batches())
+	}
+	if g.GuardCounters().Get(stats.CntBatchRejected) != 1 {
+		t.Fatal("batch_rejected not counted")
+	}
+
+	// The same batch, cleaned, still applies.
+	if res := g.ApplyBatch(batches[1]); res.Err != nil {
+		t.Fatalf("clean retry failed: %v", res.Err)
+	}
+}
+
+// TestGuardDropPolicySanitizesFaultyStream runs a guard over an injected
+// faulty stream (corrupt/dup/reorder, no drops) and checks the answers stay
+// identical to the unguarded clean run — the sanitizer neutralises every
+// injected fault.
+func TestGuardDropPolicySanitizesFaultyStream(t *testing.T) {
+	init, batches, q := guardWorkload(t, 10)
+	want := runClean(init, algo.PPSP{}, q, batches)
+
+	inj := NewInjector(InjectorConfig{Seed: 99, CorruptP: 0.4, DupP: 0.3, ReorderP: 0.5})
+	g := NewGuard(core.NewCISO())
+	g.Reset(init.Clone(), algo.PPSP{}, q)
+	n := init.NumVertices()
+	for i, b := range batches {
+		res := g.ApplyBatch(inj.Mangle(n, b))
+		if res.Err != nil {
+			t.Fatalf("batch %d: %v", i, res.Err)
+		}
+		if res.Answer != want[i] {
+			t.Fatalf("batch %d: answer %v, clean %v (faults %v)", i, res.Answer, want[i], inj.Faults())
+		}
+	}
+	f := inj.Faults()
+	if f["corrupt"] == 0 || f["duplicate"] == 0 || f["reorder"] == 0 {
+		t.Fatalf("injector produced no faults: %v", f)
+	}
+	c := g.GuardCounters()
+	dropped := c.Get(DropOutOfRange) + c.Get(DropSelfLoop) + c.Get(DropBadWeight) + c.Get(DropDupAdd) + c.Get(DropAbsentDel)
+	if dropped == 0 {
+		t.Fatal("sanitizer dropped nothing on a faulty stream")
+	}
+}
+
+func TestGuardNameAndCounters(t *testing.T) {
+	init, batches, q := guardWorkload(t, 2)
+	g := NewGuard(core.NewCISO())
+	g.Reset(init, algo.PPSP{}, q)
+	if g.Name() != "Guard(CISO)" {
+		t.Fatalf("name = %q", g.Name())
+	}
+	g.ApplyBatch(batches[0])
+	// Counters merge guard events with the inner engine's counters.
+	if len(g.Counters().Snapshot()) == 0 {
+		t.Fatal("merged counters empty after a batch")
+	}
+}

@@ -1,0 +1,16 @@
+// Package resilience is the production-hardening layer around the CISGraph
+// engines: validated ingestion (a sanitizer that keeps malformed updates out
+// of every engine), durable streams (a checksummed write-ahead log plus
+// atomic checkpoints, so a crashed run recovers by replaying the WAL suffix
+// over the latest good checkpoint), guarded execution (a core.Engine wrapper
+// that recovers panics, audits invariants and degrades gracefully by
+// rebuilding from a checkpoint or a full recompute), and deterministic fault
+// injection used by the tests to prove all of the above.
+//
+// The paper's workload generator (§IV-A) only ever emits well-formed
+// batches; a deployment ingesting real update streams cannot assume that.
+// RisGraph (Feng et al., SIGMOD'21) and the streaming-graph survey of Besta
+// et al. both identify durable, validated ingestion as a defining
+// requirement of production streaming-graph systems — this package is that
+// layer for CISGraph.
+package resilience

@@ -1,0 +1,216 @@
+package resilience
+
+import (
+	"fmt"
+	"math"
+
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+)
+
+// Policy selects what the sanitizer does when a batch contains invalid
+// updates.
+type Policy int
+
+const (
+	// PolicyDrop removes invalid updates from the batch and counts each
+	// removal by reason; the cleaned remainder proceeds. This is the
+	// availability-first default for long-running streams.
+	PolicyDrop Policy = iota
+	// PolicyReject refuses the whole batch when any update is invalid: the
+	// error reports every offending update and nothing reaches the engine.
+	PolicyReject
+	// PolicyStrict fails fast on the first invalid update. Use it when a
+	// malformed update indicates an upstream bug that must stop the run.
+	PolicyStrict
+)
+
+// String returns the CLI spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyDrop:
+		return "drop"
+	case PolicyReject:
+		return "reject"
+	case PolicyStrict:
+		return "strict"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy resolves a CLI spelling ("drop", "reject", "strict").
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "drop":
+		return PolicyDrop, nil
+	case "reject":
+		return PolicyReject, nil
+	case "strict":
+		return PolicyStrict, nil
+	default:
+		return 0, fmt.Errorf("resilience: unknown sanitize policy %q (want drop, reject or strict)", s)
+	}
+}
+
+// Drop reasons, doubling as the stats counter names the sanitizer
+// increments.
+const (
+	DropOutOfRange = stats.CntDropOutOfRange // endpoint ≥ vertex count
+	DropSelfLoop   = stats.CntDropSelfLoop   // From == To
+	DropBadWeight  = stats.CntDropBadWeight  // NaN, ±Inf or negative weight
+	DropDupAdd     = stats.CntDropDupAdd     // addition of a present edge
+	DropAbsentDel  = stats.CntDropAbsentDel  // deletion of an absent edge
+)
+
+// Report summarises one sanitizer pass over a batch.
+type Report struct {
+	// Kept is the number of updates that survived.
+	Kept int
+	// Dropped maps a drop-reason counter name to the number of updates
+	// removed for that reason (nil when the batch was fully clean).
+	Dropped map[string]int
+}
+
+// Total returns the total number of dropped updates.
+func (r Report) Total() int {
+	n := 0
+	for _, v := range r.Dropped {
+		n += v
+	}
+	return n
+}
+
+// Clean reports whether the batch needed no intervention.
+func (r Report) Clean() bool { return len(r.Dropped) == 0 }
+
+func (r *Report) drop(reason string) {
+	if r.Dropped == nil {
+		r.Dropped = make(map[string]int)
+	}
+	r.Dropped[reason]++
+}
+
+// Sanitizer validates update batches against a concrete topology before
+// they reach any engine. It catches exactly the malformed shapes that
+// corrupt engine state downstream: out-of-range vertex IDs (index panics in
+// Dynamic.AddEdge), self-loops (the substrate assumes none), NaN/±Inf/
+// negative weights (NaN poisons the triangle-inequality classifier — every
+// comparison with NaN is false, so a NaN-weighted edge mis-classifies
+// forever), duplicate additions and deletions of absent edges (both violate
+// the no-parallel-edges batch methodology engines rely on).
+type Sanitizer struct {
+	policy Policy
+	cnt    *stats.Counters
+}
+
+// NewSanitizer returns a sanitizer with the given policy. Per-reason drop
+// counts are accumulated on cnt (pass nil to skip counting).
+func NewSanitizer(policy Policy, cnt *stats.Counters) *Sanitizer {
+	return &Sanitizer{policy: policy, cnt: cnt}
+}
+
+// Policy returns the configured policy.
+func (s *Sanitizer) Policy() Policy { return s.policy }
+
+// check classifies a single update against the tracked edge presence,
+// returning the drop-reason counter name ("" = valid). present reports
+// whether the update's edge currently exists (only consulted for valid
+// endpoints).
+func check(up graph.Update, n int, present bool) string {
+	if int(up.From) >= n || int(up.To) >= n {
+		return DropOutOfRange
+	}
+	if up.From == up.To {
+		return DropSelfLoop
+	}
+	if math.IsNaN(up.W) || math.IsInf(up.W, 0) || up.W < 0 {
+		return DropBadWeight
+	}
+	if up.Del {
+		if !present {
+			return DropAbsentDel
+		}
+	} else if present {
+		return DropDupAdd
+	}
+	return ""
+}
+
+// Sanitize validates batch against g's current topology (g is the pre-batch
+// snapshot; it is not modified). Presence is tracked through the batch, so
+// an addition made valid by an earlier in-batch deletion (and vice versa)
+// is accepted, while the second of two identical additions is a duplicate.
+//
+// Under PolicyDrop the cleaned batch and a per-reason report are returned
+// with a nil error. Under PolicyReject and PolicyStrict an invalid update
+// yields a nil batch and a non-nil error (listing every offender for
+// reject, the first for strict); the report still carries the counts.
+func (s *Sanitizer) Sanitize(g *graph.Dynamic, batch []graph.Update) ([]graph.Update, Report, error) {
+	var rep Report
+	n := g.NumVertices()
+	present := make(map[uint64]bool, len(batch))
+	tracked := make(map[uint64]bool, len(batch))
+	presence := func(u, v graph.VertexID) bool {
+		k := uint64(u)<<32 | uint64(v)
+		if !tracked[k] {
+			_, ok := g.HasEdge(u, v)
+			present[k], tracked[k] = ok, true
+		}
+		return present[k]
+	}
+	clean := batch[:0:0]
+	var errs []error
+	for i, up := range batch {
+		inRange := int(up.From) < n && int(up.To) < n
+		reason := check(up, n, inRange && presence(up.From, up.To))
+		if reason == "" {
+			clean = append(clean, up)
+			// The update takes effect for subsequent presence checks.
+			present[uint64(up.From)<<32|uint64(up.To)] = !up.Del
+			continue
+		}
+		rep.drop(reason)
+		if s.cnt != nil {
+			s.cnt.Inc(reason)
+		}
+		switch s.policy {
+		case PolicyStrict:
+			if s.cnt != nil {
+				s.cnt.Inc(stats.CntBatchRejected)
+			}
+			return nil, rep, fmt.Errorf("resilience: update %d (%v) invalid: %s", i, up, reason)
+		case PolicyReject:
+			errs = append(errs, fmt.Errorf("update %d (%v): %s", i, up, reason))
+		}
+	}
+	rep.Kept = len(clean)
+	if len(errs) > 0 {
+		if s.cnt != nil {
+			s.cnt.Inc(stats.CntBatchRejected)
+		}
+		return nil, rep, fmt.Errorf("resilience: batch rejected, %d invalid update(s): %w", len(errs), joinErrs(errs))
+	}
+	return clean, rep, nil
+}
+
+// ValidateBatch checks batch against g without modifying anything and
+// returns the first validation error (nil when the batch is fully clean) —
+// the strict-policy check as a standalone predicate.
+func ValidateBatch(g *graph.Dynamic, batch []graph.Update) error {
+	_, _, err := NewSanitizer(PolicyStrict, nil).Sanitize(g, batch)
+	return err
+}
+
+// joinErrs flattens a short error list into one error (errors.Join keeps
+// newlines; a single line reads better in logs and CLI output).
+func joinErrs(errs []error) error {
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	msg := errs[0].Error()
+	for _, e := range errs[1:] {
+		msg += "; " + e.Error()
+	}
+	return fmt.Errorf("%s", msg)
+}

@@ -1,0 +1,225 @@
+package resilience
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+)
+
+// testGraph returns a small deterministic graph with a few known edges.
+func testGraph(t *testing.T) *graph.Dynamic {
+	t.Helper()
+	el := graph.Uniform("san", 16, 40, 8, 5)
+	return graph.FromEdgeList(el)
+}
+
+// anEdge returns an edge present in g and one absent (both with in-range,
+// distinct endpoints).
+func anEdge(t *testing.T, g *graph.Dynamic) (present, absent graph.Arc) {
+	t.Helper()
+	foundP := false
+	for u := 0; u < g.NumVertices() && !foundP; u++ {
+		for _, e := range g.Out(graph.VertexID(u)) {
+			present = graph.Arc{From: graph.VertexID(u), To: e.To, W: e.W}
+			foundP = true
+			break
+		}
+	}
+	if !foundP {
+		t.Fatal("test graph has no edges")
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			if u == v {
+				continue
+			}
+			if _, ok := g.HasEdge(graph.VertexID(u), graph.VertexID(v)); !ok {
+				absent = graph.Arc{From: graph.VertexID(u), To: graph.VertexID(v), W: 3}
+				return present, absent
+			}
+		}
+	}
+	t.Fatal("test graph is complete")
+	return
+}
+
+func TestSanitizeDropReasons(t *testing.T) {
+	g := testGraph(t)
+	pres, abs := anEdge(t, g)
+	n := graph.VertexID(g.NumVertices())
+	cases := []struct {
+		name   string
+		up     graph.Update
+		reason string // "" = must be kept
+	}{
+		{"valid add", graph.Add(abs.From, abs.To, 2), ""},
+		{"valid del", graph.Del(pres.From, pres.To, pres.W), ""},
+		{"from out of range", graph.Add(n, 1, 2), DropOutOfRange},
+		{"to out of range", graph.Add(0, n+7, 2), DropOutOfRange},
+		{"both out of range", graph.Del(n, n+1, 2), DropOutOfRange},
+		{"self loop", graph.Add(4, 4, 2), DropSelfLoop},
+		{"nan weight", graph.Add(abs.From, abs.To, math.NaN()), DropBadWeight},
+		{"+inf weight", graph.Add(abs.From, abs.To, math.Inf(1)), DropBadWeight},
+		{"-inf weight", graph.Add(abs.From, abs.To, math.Inf(-1)), DropBadWeight},
+		{"negative weight", graph.Add(abs.From, abs.To, -1), DropBadWeight},
+		{"duplicate add (edge present)", graph.Add(pres.From, pres.To, 9), DropDupAdd},
+		{"absent-edge delete", graph.Del(abs.From, abs.To, 1), DropAbsentDel},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cnt := stats.NewCounters()
+			s := NewSanitizer(PolicyDrop, cnt)
+			clean, rep, err := s.Sanitize(g, []graph.Update{tc.up})
+			if err != nil {
+				t.Fatalf("drop policy returned error: %v", err)
+			}
+			if tc.reason == "" {
+				if len(clean) != 1 || !rep.Clean() {
+					t.Fatalf("valid update dropped: clean=%v report=%+v", clean, rep)
+				}
+				return
+			}
+			if len(clean) != 0 {
+				t.Fatalf("invalid update kept: %v", clean)
+			}
+			if rep.Dropped[tc.reason] != 1 {
+				t.Fatalf("want 1 drop for %s, got %+v", tc.reason, rep.Dropped)
+			}
+			if cnt.Get(tc.reason) != 1 {
+				t.Fatalf("counter %s not incremented", tc.reason)
+			}
+		})
+	}
+}
+
+// TestSanitizeTracksPresenceThroughBatch checks in-batch presence tracking:
+// delete-then-re-add is legal, add-then-add is a duplicate, add-then-delete
+// of a previously absent edge is legal.
+func TestSanitizeTracksPresenceThroughBatch(t *testing.T) {
+	g := testGraph(t)
+	pres, abs := anEdge(t, g)
+	s := NewSanitizer(PolicyDrop, nil)
+
+	batch := []graph.Update{
+		graph.Del(pres.From, pres.To, pres.W), // ok
+		graph.Add(pres.From, pres.To, 5),      // ok: re-add after delete
+		graph.Add(abs.From, abs.To, 2),        // ok
+		graph.Add(abs.From, abs.To, 2),        // dup: just added
+		graph.Del(abs.From, abs.To, 2),        // ok: present in-batch
+		graph.Del(abs.From, abs.To, 2),        // absent: just deleted
+	}
+	clean, rep, err := s.Sanitize(g, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != 4 {
+		t.Fatalf("want 4 kept, got %d (%v)", len(clean), clean)
+	}
+	if rep.Dropped[DropDupAdd] != 1 || rep.Dropped[DropAbsentDel] != 1 {
+		t.Fatalf("unexpected drops: %+v", rep.Dropped)
+	}
+}
+
+func TestSanitizePolicies(t *testing.T) {
+	g := testGraph(t)
+	_, abs := anEdge(t, g)
+	dirty := []graph.Update{
+		graph.Add(abs.From, abs.To, 2),
+		graph.Add(9999, 1, 2),
+		graph.Add(3, 3, 2),
+	}
+	t.Run("reject", func(t *testing.T) {
+		cnt := stats.NewCounters()
+		clean, rep, err := NewSanitizer(PolicyReject, cnt).Sanitize(g, dirty)
+		if err == nil || clean != nil {
+			t.Fatalf("reject policy accepted dirty batch: %v", clean)
+		}
+		// Reject reports every offender.
+		if !strings.Contains(err.Error(), "2 invalid") {
+			t.Fatalf("error does not count offenders: %v", err)
+		}
+		if rep.Total() != 2 || cnt.Get(stats.CntBatchRejected) != 1 {
+			t.Fatalf("report %+v rejected=%d", rep, cnt.Get(stats.CntBatchRejected))
+		}
+	})
+	t.Run("strict", func(t *testing.T) {
+		_, _, err := NewSanitizer(PolicyStrict, nil).Sanitize(g, dirty)
+		if err == nil || !strings.Contains(err.Error(), "update 1") {
+			t.Fatalf("strict policy should fail on first offender: %v", err)
+		}
+	})
+	t.Run("clean batch passes all policies", func(t *testing.T) {
+		okBatch := []graph.Update{graph.Add(abs.From, abs.To, 2)}
+		for _, p := range []Policy{PolicyDrop, PolicyReject, PolicyStrict} {
+			clean, _, err := NewSanitizer(p, nil).Sanitize(g, okBatch)
+			if err != nil || len(clean) != 1 {
+				t.Fatalf("policy %v rejected clean batch: %v", p, err)
+			}
+		}
+	})
+}
+
+func TestValidateBatch(t *testing.T) {
+	g := testGraph(t)
+	_, abs := anEdge(t, g)
+	if err := ValidateBatch(g, []graph.Update{graph.Add(abs.From, abs.To, 1)}); err != nil {
+		t.Fatalf("clean batch: %v", err)
+	}
+	if err := ValidateBatch(g, []graph.Update{graph.Add(1, 1, 1)}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+// TestMalformedBatchesThroughEveryEngine feeds a dirty batch through the
+// sanitizer into every engine and checks (a) nothing panics, (b) every
+// engine's answer equals ColdStart on the equivalent clean batch. Without
+// the sanitizer, the out-of-range IDs in these batches would panic
+// Dynamic.AddEdge inside every engine.
+func TestMalformedBatchesThroughEveryEngine(t *testing.T) {
+	el := graph.Uniform("mal", 32, 140, 8, 11)
+	base := graph.FromEdgeList(el)
+	q := core.Query{S: 0, D: 29}
+	n := graph.VertexID(base.NumVertices())
+
+	_, abs := anEdge(t, base)
+	pres, _ := anEdge(t, base)
+	dirty := []graph.Update{
+		graph.Add(abs.From, abs.To, 4),
+		graph.Add(n + 3, 1, 2),               // out of range
+		graph.Add(5, 5, 1),                   // self-loop
+		graph.Add(abs.To, abs.From, math.NaN()), // NaN weight
+		graph.Del(pres.From, pres.To, pres.W),
+		graph.Del(pres.From, pres.To, pres.W), // absent after first del
+		graph.Add(abs.From, abs.To, 4),        // dup of first add
+	}
+
+	for _, a := range []algo.Algorithm{algo.PPSP{}, algo.PPWP{}, algo.Reach{}} {
+		clean, _, err := NewSanitizer(PolicyDrop, nil).Sanitize(base, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := core.NewColdStart()
+		ref.Reset(base.Clone(), a, q)
+		want := ref.ApplyBatch(clean).Answer
+
+		engines := []core.Engine{
+			core.NewColdStart(),
+			core.NewIncremental(),
+			core.NewSGraph(core.DefaultHubCount),
+			core.NewPnP(),
+			core.NewCISO(),
+		}
+		for _, e := range engines {
+			e.Reset(base.Clone(), a, q)
+			got := e.ApplyBatch(clean).Answer
+			if got != want {
+				t.Errorf("%s/%s: answer %v, want %v", a.Name(), e.Name(), got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"cisgraph/internal/graph"
+)
+
+// Write-ahead log for update batches. Appending a batch before applying it
+// makes the stream durable: after a crash, the surviving state is the latest
+// checkpoint plus the WAL suffix, and replaying that suffix reproduces the
+// exact pre-crash engine.
+//
+// File layout (all integers little-endian):
+//
+//	header  "CGWALOG1" (8 bytes)
+//	record  uint64 index | uint32 payload length | uint32 CRC-32 (IEEE, of
+//	        the payload) | payload
+//	payload uint32 count, then per update: uint8 op (0 add, 1 del) |
+//	        uint32 from | uint32 to | uint64 weight bits (IEEE-754)
+//
+// Records carry consecutive batch indices starting at 0. Every append is
+// fsynced before it returns, so an acknowledged batch survives a crash. A
+// torn or bit-flipped record fails its checksum; readers treat the first
+// bad record as the end of the log (the standard redo-log recovery rule),
+// and OpenWAL truncates such a tail before appending.
+
+var walHeader = []byte("CGWALOG1")
+
+// maxWALRecord bounds a single record's payload (17 bytes per update plus
+// the count; 1<<28 ≈ 15.8M updates) so a corrupt length field cannot drive
+// a huge allocation.
+const maxWALRecord = 1 << 28
+
+// Record is one WAL entry: a batch and its position in the stream.
+type Record struct {
+	Index uint64
+	Batch []graph.Update
+}
+
+// WAL is an append-only write-ahead log of update batches.
+type WAL struct {
+	f    *os.File
+	path string
+	next uint64 // index the next Append will use
+}
+
+// CreateWAL creates (or truncates) a WAL at path.
+func CreateWAL(path string) (*WAL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(walHeader); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: write header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sync: %w", err)
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+// OpenWAL opens an existing WAL for appending, creating it when absent. The
+// valid record prefix is scanned to find the next index; a torn or corrupt
+// tail (from a crash mid-append) is truncated away first.
+func OpenWAL(path string) (*WAL, error) {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return CreateWAL(path)
+	}
+	recs, good, err := scanWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	w := &WAL{f: f, path: path}
+	if len(recs) > 0 {
+		w.next = recs[len(recs)-1].Index + 1
+	}
+	return w, nil
+}
+
+// Append encodes batch as the next record, writes and fsyncs it, and
+// returns the record's index. An empty batch is a valid (empty) record.
+func (w *WAL) Append(batch []graph.Update) (uint64, error) {
+	if w.f == nil {
+		return 0, fmt.Errorf("wal: closed")
+	}
+	payload := encodeBatch(batch)
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint64(hdr[0:8], w.next)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(hdr); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return 0, fmt.Errorf("wal: sync: %w", err)
+	}
+	idx := w.next
+	w.next++
+	return idx, nil
+}
+
+// NextIndex returns the index the next Append will use (== the number of
+// durable records).
+func (w *WAL) NextIndex() uint64 { return w.next }
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Close flushes and closes the log file.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// ReplayWAL reads every valid record from the log at path, in order. The
+// first torn or checksum-failing record ends the replay silently — that is
+// the crash-recovery contract, not an error. A missing file yields no
+// records; a file without a valid header is an error (it is not a WAL).
+func ReplayWAL(path string) ([]Record, error) {
+	recs, _, err := scanWAL(path)
+	return recs, err
+}
+
+// scanWAL parses the valid record prefix and returns it together with the
+// file offset where the valid prefix ends.
+func scanWAL(path string) ([]Record, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	if len(data) < len(walHeader) || !bytes.Equal(data[:len(walHeader)], walHeader) {
+		return nil, 0, fmt.Errorf("wal: %s: bad header (not a WAL file)", path)
+	}
+	var recs []Record
+	off := int64(len(walHeader))
+	rest := data[len(walHeader):]
+	for len(rest) >= 16 {
+		idx := binary.LittleEndian.Uint64(rest[0:8])
+		plen := binary.LittleEndian.Uint32(rest[8:12])
+		want := binary.LittleEndian.Uint32(rest[12:16])
+		if plen > maxWALRecord || len(rest) < 16+int(plen) {
+			break // torn tail
+		}
+		payload := rest[16 : 16+plen]
+		if crc32.ChecksumIEEE(payload) != want {
+			break // bit flip: end of trustworthy log
+		}
+		batch, ok := decodeBatch(payload)
+		if !ok {
+			break
+		}
+		if len(recs) > 0 && idx != recs[len(recs)-1].Index+1 {
+			break // non-contiguous index: treat as corruption
+		}
+		recs = append(recs, Record{Index: idx, Batch: batch})
+		rest = rest[16+plen:]
+		off += 16 + int64(plen)
+	}
+	return recs, off, nil
+}
+
+func encodeBatch(batch []graph.Update) []byte {
+	buf := make([]byte, 4, 4+17*len(batch))
+	binary.LittleEndian.PutUint32(buf, uint32(len(batch)))
+	var rec [17]byte
+	for _, up := range batch {
+		rec[0] = 0
+		if up.Del {
+			rec[0] = 1
+		}
+		binary.LittleEndian.PutUint32(rec[1:5], up.From)
+		binary.LittleEndian.PutUint32(rec[5:9], up.To)
+		binary.LittleEndian.PutUint64(rec[9:17], math.Float64bits(up.W))
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+func decodeBatch(payload []byte) ([]graph.Update, bool) {
+	if len(payload) < 4 {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(payload)
+	if uint64(len(payload)) != 4+17*uint64(n) {
+		return nil, false
+	}
+	batch := make([]graph.Update, 0, n)
+	rest := payload[4:]
+	for i := uint32(0); i < n; i++ {
+		rec := rest[17*i : 17*i+17]
+		up := graph.Update{Del: rec[0] == 1}
+		up.From = binary.LittleEndian.Uint32(rec[1:5])
+		up.To = binary.LittleEndian.Uint32(rec[5:9])
+		up.W = math.Float64frombits(binary.LittleEndian.Uint64(rec[9:17]))
+		batch = append(batch, up)
+	}
+	return batch, true
+}
+
+// Guard checkpoint files pair an engine snapshot with the WAL position it
+// covers, in a checksummed envelope:
+//
+//	magic "CGRC" | uint32 version | uint64 through (number of batches the
+//	snapshot includes — recovery replays WAL records with index ≥ through) |
+//	uint32 payload length | uint32 CRC-32 of the payload | payload
+const guardCkptVersion = 1
+
+var guardCkptMagic = []byte("CGRC")
+
+// WriteCheckpointFile atomically persists an engine snapshot covering the
+// first `through` batches: the envelope goes to a temp file in the same
+// directory, is fsynced, and renamed over path, so a crash mid-write never
+// destroys the previous good checkpoint.
+func WriteCheckpointFile(path string, through uint64, payload []byte) error {
+	var buf bytes.Buffer
+	buf.Write(guardCkptMagic)
+	hdr := make([]byte, 20)
+	binary.LittleEndian.PutUint32(hdr[0:4], guardCkptVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], through)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(payload))
+	buf.Write(hdr)
+	buf.Write(payload)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadCheckpointFile loads a checkpoint written by WriteCheckpointFile,
+// returning the covered batch count and the engine snapshot bytes. Any
+// truncation or bit flip is a clean error.
+func ReadCheckpointFile(path string) (through uint64, payload []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) < len(guardCkptMagic)+20 || !bytes.Equal(data[:4], guardCkptMagic) {
+		return 0, nil, fmt.Errorf("checkpoint: %s: bad header", path)
+	}
+	hdr := data[4:24]
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != guardCkptVersion {
+		return 0, nil, fmt.Errorf("checkpoint: unsupported version %d", v)
+	}
+	through = binary.LittleEndian.Uint64(hdr[4:12])
+	plen := binary.LittleEndian.Uint32(hdr[12:16])
+	want := binary.LittleEndian.Uint32(hdr[16:20])
+	payload = data[24:]
+	if uint64(len(payload)) != uint64(plen) {
+		return 0, nil, fmt.Errorf("checkpoint: truncated (payload %d bytes, header says %d)", len(payload), plen)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return 0, nil, fmt.Errorf("checkpoint: payload checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return through, payload, nil
+}

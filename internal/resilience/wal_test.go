@@ -1,0 +1,247 @@
+package resilience
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cisgraph/internal/graph"
+)
+
+func sampleBatches() [][]graph.Update {
+	return [][]graph.Update{
+		{graph.Add(1, 2, 3.5), graph.Del(4, 5, 6)},
+		{}, // empty batches are valid records
+		{graph.Add(0, 7, math.MaxFloat64)},
+		{graph.Del(2, 1, 0.125), graph.Add(9, 3, 1), graph.Add(3, 9, 2)},
+	}
+}
+
+func writeWAL(t *testing.T, path string, batches [][]graph.Update) {
+	t.Helper()
+	w, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range batches {
+		idx, err := w.Append(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != uint64(i) {
+			t.Fatalf("append %d got index %d", i, idx)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.wal")
+	batches := sampleBatches()
+	writeWAL(t, path, batches)
+
+	recs, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(batches) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(batches))
+	}
+	for i, rec := range recs {
+		if rec.Index != uint64(i) {
+			t.Errorf("record %d has index %d", i, rec.Index)
+		}
+		want := batches[i]
+		if len(rec.Batch) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(rec.Batch, want) {
+			t.Errorf("record %d: got %v want %v", i, rec.Batch, want)
+		}
+	}
+}
+
+func TestWALReopenAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.wal")
+	batches := sampleBatches()
+	writeWAL(t, path, batches[:2])
+
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NextIndex() != 2 {
+		t.Fatalf("reopened NextIndex = %d, want 2", w.NextIndex())
+	}
+	for _, b := range batches[2:] {
+		if _, err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	recs, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(batches) {
+		t.Fatalf("replayed %d records after reopen, want %d", len(recs), len(batches))
+	}
+}
+
+// TestWALTornTail simulates a crash mid-append: garbage after the last good
+// record. Replay must stop at the last good record, and OpenWAL must truncate
+// the tail so appending resumes cleanly.
+func TestWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.wal")
+	batches := sampleBatches()
+	writeWAL(t, path, batches)
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A plausible-looking partial record header plus a few payload bytes.
+	f.Write([]byte{4, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff})
+	f.Close()
+
+	recs, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(batches) {
+		t.Fatalf("torn tail: replayed %d records, want %d", len(recs), len(batches))
+	}
+
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NextIndex() != uint64(len(batches)) {
+		t.Fatalf("NextIndex after torn-tail reopen = %d, want %d", w.NextIndex(), len(batches))
+	}
+	if _, err := w.Append([]graph.Update{graph.Add(1, 3, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	recs, err = ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(batches)+1 {
+		t.Fatalf("after truncate+append: %d records, want %d", len(recs), len(batches)+1)
+	}
+}
+
+// TestWALBitFlip flips one payload byte in the middle of the log; replay must
+// keep everything before the damaged record and nothing after it.
+func TestWALBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.wal")
+	batches := sampleBatches()
+	writeWAL(t, path, batches)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 0 payload starts after the 8-byte file header and the 16-byte
+	// record header. Flip a byte inside it.
+	off := len(walHeader) + 16 + 5
+	data[off] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReplayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("bit flip in record 0: replayed %d records, want 0", len(recs))
+	}
+}
+
+func TestWALRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-wal")
+	if err := os.WriteFile(path, []byte("hello, world: definitely not a log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayWAL(path); err == nil {
+		t.Fatal("replay accepted a non-WAL file")
+	}
+}
+
+func TestWALMissingFile(t *testing.T) {
+	recs, err := ReplayWAL(filepath.Join(t.TempDir(), "absent.wal"))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("missing WAL should replay empty: recs=%v err=%v", recs, err)
+	}
+}
+
+func TestGuardCheckpointFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "guard.ckpt")
+	payload := []byte("engine snapshot bytes go here")
+	if err := WriteCheckpointFile(path, 42, payload); err != nil {
+		t.Fatal(err)
+	}
+	through, got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if through != 42 || string(got) != string(payload) {
+		t.Fatalf("round trip: through=%d payload=%q", through, got)
+	}
+
+	// Overwrite must be atomic and replace the old contents.
+	if err := WriteCheckpointFile(path, 43, []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	through, got, _ = ReadCheckpointFile(path)
+	if through != 43 || string(got) != "newer" {
+		t.Fatalf("overwrite: through=%d payload=%q", through, got)
+	}
+	// No stray temp files left behind.
+	ents, _ := os.ReadDir(filepath.Dir(path))
+	if len(ents) != 1 {
+		t.Fatalf("temp file leaked: %v", ents)
+	}
+}
+
+func TestGuardCheckpointFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "guard.ckpt")
+	if err := WriteCheckpointFile(path, 7, []byte("snapshot payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+
+	t.Run("bit flip", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[len(bad)-3] ^= 0x01
+		p := filepath.Join(dir, "flip.ckpt")
+		os.WriteFile(p, bad, 0o644)
+		if _, _, err := ReadCheckpointFile(p); err == nil {
+			t.Fatal("bit-flipped checkpoint accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		p := filepath.Join(dir, "trunc.ckpt")
+		os.WriteFile(p, data[:len(data)-5], 0o644)
+		if _, _, err := ReadCheckpointFile(p); err == nil {
+			t.Fatal("truncated checkpoint accepted")
+		}
+	})
+	t.Run("wrong magic", func(t *testing.T) {
+		p := filepath.Join(dir, "magic.ckpt")
+		bad := append([]byte(nil), data...)
+		bad[0] = 'X'
+		os.WriteFile(p, bad, 0o644)
+		if _, _, err := ReadCheckpointFile(p); err == nil {
+			t.Fatal("foreign magic accepted")
+		}
+	})
+}

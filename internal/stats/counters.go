@@ -40,6 +40,28 @@ const (
 	// CntPruned counts vertices pruned by SGraph's bound test.
 	CntPruned = "pruned"
 
+	// Resilience counters (internal/resilience): per-reason drop counts from
+	// the ingestion sanitizer and recovery events from the engine guard.
+	CntDropOutOfRange = "drop_out_of_range"
+	CntDropSelfLoop   = "drop_self_loop"
+	CntDropBadWeight  = "drop_bad_weight"
+	CntDropDupAdd     = "drop_dup_add"
+	CntDropAbsentDel  = "drop_absent_del"
+	// CntBatchRejected counts whole batches refused under the reject/strict
+	// sanitize policies.
+	CntBatchRejected = "batch_rejected"
+	// CntPanicRecovered counts engine panics caught by resilience.Guard.
+	CntPanicRecovered = "panic_recovered"
+	// CntAuditFailed counts periodic invariant audits that detected
+	// corruption.
+	CntAuditFailed = "audit_failed"
+	// CntQueryPanic counts per-query panics recovered inside MultiCISO.
+	CntQueryPanic = "query_panic"
+	// CntRecoverCheckpoint / CntRecoverColdStart count guard recoveries by
+	// mechanism: checkpoint restore + replay vs full recompute.
+	CntRecoverCheckpoint = "recover_checkpoint"
+	CntRecoverColdStart  = "recover_coldstart"
+
 	// Hardware-side counters.
 	CntSPMHit    = "spm_hit"
 	CntSPMMiss   = "spm_miss"
