@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-smoke experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/resilience/
+
+vet:
+	$(GO) vet ./...
+
+## bench: full benchmark-regression suite; writes BENCH_<date>.json.
+bench:
+	$(GO) run ./cmd/bench
+
+## bench-smoke: CI smoke mode — micro suite only, reduced benchtime,
+## fixed output name for artifact upload.
+bench-smoke:
+	$(GO) run ./cmd/bench -quick -benchtime 10ms -out bench-smoke.json
+
+experiments:
+	$(GO) run ./cmd/experiments

@@ -1,0 +1,113 @@
+// Command bench runs the benchmark-regression suite (internal/bench) and
+// emits a machine-readable BENCH_<date>.json baseline: ns/op, B/op,
+// allocs/op and every custom metric of each case. Typical invocations:
+//
+//	go run ./cmd/bench                  # full suite, 1s per case
+//	go run ./cmd/bench -quick \
+//	    -benchtime 10ms -out smoke.json # CI smoke mode
+//	go run ./cmd/bench -run Worklist    # one family while iterating
+//
+// Compare two baselines by diffing their JSON; the committed BENCH_*.json
+// files record the measured history of the hot-path substrate (DESIGN.md
+// §9).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"cisgraph/internal/bench"
+)
+
+type record struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Benchtime string   `json:"benchtime"`
+	Quick     bool     `json:"quick"`
+	Results   []record `json:"results"`
+}
+
+func main() {
+	benchtime := flag.String("benchtime", "1s", "per-case time budget (testing -benchtime syntax)")
+	quick := flag.Bool("quick", false, "skip the end-to-end experiment benches (CI smoke mode)")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	match := flag.String("run", "", "only run cases whose name contains this substring")
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: *benchtime,
+		Quick:     *quick,
+	}
+	for _, c := range bench.Suite() {
+		if *quick && c.Experiment {
+			continue
+		}
+		if *match != "" && !strings.Contains(c.Name, *match) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "bench %-22s", c.Name)
+		r := testing.Benchmark(c.Bench)
+		if r.N == 0 {
+			fmt.Fprintln(os.Stderr, " (no iterations)")
+			continue
+		}
+		rec := record{
+			Name:        c.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			rec.Metrics = r.Extra
+		}
+		fmt.Fprintf(os.Stderr, " %14.2f ns/op %8d B/op %6d allocs/op\n",
+			rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+		rep.Results = append(rep.Results, rec)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no cases matched")
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", rep.Date)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(rep.Results))
+}

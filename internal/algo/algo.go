@@ -53,6 +53,21 @@ type Algorithm interface {
 	Join(a, b Value) Value
 }
 
+// Plateau is an optional capability: an algorithm implements it (returning
+// true) when every reachable state carries the same score — ⊕ propagates the
+// source value unchanged, so all live worklist entries tie. Engines may then
+// drop priority ordering entirely (FIFO is best-first when everything ties).
+// Reach is the paper's plateau algebra: every reached vertex scores 1.
+type Plateau interface {
+	Plateau() bool
+}
+
+// IsPlateau reports whether a declares the plateau property.
+func IsPlateau(a Algorithm) bool {
+	p, ok := a.(Plateau)
+	return ok && p.Plateau()
+}
+
 // Reduce applies ⊗: it returns the preferred of candidate and current.
 func Reduce(a Algorithm, candidate, current Value) Value {
 	if a.Better(candidate, current) {
@@ -149,6 +164,7 @@ func (Reach) Weight(raw float64) float64         { return raw }
 func (Reach) Propagate(u Value, _ float64) Value { return u }
 func (Reach) Better(a, b Value) bool             { return a > b }
 func (Reach) Join(a, b Value) Value              { return math.Min(a, b) }
+func (Reach) Plateau() bool                      { return true }
 
 // Extensions returns additional monotonic algorithms implemented beyond the
 // paper's Table II, demonstrating the plugin layer. They run on every

@@ -28,6 +28,13 @@ type CISO struct {
 	cnt    *stats.Counters
 	onPath []bool
 
+	// Per-update classification counters, pre-resolved once (DESIGN.md §9).
+	hValuable stats.Handle
+	hUseless  stats.Handle
+	hDelayed  stats.Handle
+	hPromoted stats.Handle
+	hAct      stats.Handle
+
 	noDrop bool // ablation: process useless updates too
 	fifo   bool // ablation: no priority scheduling, respond only when converged
 }
@@ -45,7 +52,15 @@ func WithFIFO() CISOOption { return func(c *CISO) { c.fifo = true } }
 
 // NewCISO returns an unarmed CISGraph-O engine; call Reset before use.
 func NewCISO(opts ...CISOOption) *CISO {
-	c := &CISO{cnt: stats.NewCounters()}
+	cnt := stats.NewCounters()
+	c := &CISO{
+		cnt:       cnt,
+		hValuable: cnt.Handle(stats.CntUpdateValuable),
+		hUseless:  cnt.Handle(stats.CntUpdateUseless),
+		hDelayed:  cnt.Handle(stats.CntUpdateDelayed),
+		hPromoted: cnt.Handle(stats.CntUpdatePromoted),
+		hAct:      cnt.Handle(stats.CntActivation),
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -108,25 +123,25 @@ func (c *CISO) ApplyBatch(batch []graph.Update) Result {
 	// converged for a snapshot the deleted edges still belong to.
 	// A re-weighted edge takes its new weight now; its improvement half is
 	// an addition event, its dethroning half a deletion event in phase B.
-	actPhaseStart := c.cnt.Get(stats.CntActivation)
+	actPhaseStart := c.hAct.Value()
 	for _, up := range nb.Adds {
 		st.g.AddEdge(up.From, up.To, up.W)
 		if st.processAddition(up.From, up.To, up.W) {
-			c.cnt.Inc(stats.CntUpdateValuable)
+			c.hValuable.Inc()
 		} else {
-			c.cnt.Inc(stats.CntUpdateUseless)
+			c.hUseless.Inc()
 		}
 	}
 	for _, rw := range nb.Reweights {
 		st.g.RemoveEdge(rw.From, rw.To)
 		st.g.AddEdge(rw.From, rw.To, rw.NewW)
 		if st.processAddition(rw.From, rw.To, rw.NewW) {
-			c.cnt.Inc(stats.CntUpdateValuable)
+			c.hValuable.Inc()
 		} else {
-			c.cnt.Inc(stats.CntUpdateUseless)
+			c.hUseless.Inc()
 		}
 	}
-	c.cnt.Add(CntActivationAdd, c.cnt.Get(stats.CntActivation)-actPhaseStart)
+	c.cnt.Add(CntActivationAdd, c.hAct.Value()-actPhaseStart)
 
 	// Phase B — apply the deletion topology, then classify every deletion
 	// event against the post-addition converged states and the global key
@@ -156,13 +171,13 @@ func (c *CISO) ApplyBatch(batch []graph.Update) Result {
 		pd := pendingDeletion{u: up.From, v: up.To, w: up.W}
 		switch class {
 		case ClassValuable:
-			c.cnt.Inc(stats.CntUpdateValuable)
+			c.hValuable.Inc()
 			valuable = append(valuable, pd)
 		case ClassDelayed:
-			c.cnt.Inc(stats.CntUpdateDelayed)
+			c.hDelayed.Inc()
 			delayed = append(delayed, pd)
 		default:
-			c.cnt.Inc(stats.CntUpdateUseless)
+			c.hUseless.Inc()
 		}
 	}
 
@@ -174,7 +189,7 @@ func (c *CISO) ApplyBatch(batch []graph.Update) Result {
 		pd.done = true
 		st.repairVertex(pd.v)
 	}
-	actPhaseStart = c.cnt.Get(stats.CntActivation)
+	actPhaseStart = c.hAct.Value()
 	if c.fifo {
 		// Ablation: arrival order, no early answer.
 		for i := range valuable {
@@ -183,7 +198,7 @@ func (c *CISO) ApplyBatch(batch []graph.Update) Result {
 		for i := range delayed {
 			processOne(&delayed[i])
 		}
-		c.cnt.Add(CntActivationDel, c.cnt.Get(stats.CntActivation)-actPhaseStart)
+		c.cnt.Add(CntActivationDel, c.hAct.Value()-actPhaseStart)
 		total := time.Since(t0)
 		return c.result(before, total, total)
 	}
@@ -194,23 +209,23 @@ func (c *CISO) ApplyBatch(batch []graph.Update) Result {
 			pd := &delayed[j]
 			if !pd.done && st.edgeOnKeyPath(c.onPath, pd.u, pd.v) {
 				pd.done = true
-				c.cnt.Inc(stats.CntUpdatePromoted)
+				c.hPromoted.Inc()
 				valuable = append(valuable, *pd)
 			}
 		}
 	}
-	c.cnt.Add(CntActivationDel, c.cnt.Get(stats.CntActivation)-actPhaseStart)
+	c.cnt.Add(CntActivationDel, c.hAct.Value()-actPhaseStart)
 	response := time.Since(t0)
 
 	// Phase D — delayed deletions restore full convergence after the
 	// response (overlapped with update gathering in hardware).
-	actPhaseStart = c.cnt.Get(stats.CntActivation)
+	actPhaseStart = c.hAct.Value()
 	for i := range delayed {
 		if !delayed[i].done {
 			processOne(&delayed[i])
 		}
 	}
-	c.cnt.Add(CntActivationDelayed, c.cnt.Get(stats.CntActivation)-actPhaseStart)
+	c.cnt.Add(CntActivationDelayed, c.hAct.Value()-actPhaseStart)
 	return c.result(before, response, time.Since(t0))
 }
 

@@ -37,13 +37,25 @@ type Incremental struct {
 	st  *state
 	cnt *stats.Counters
 
+	// Per-update trace attribution reads these every update; handles make
+	// the reads lock-free.
+	hRelax  stats.Handle
+	hTagged stats.Handle
+
 	// OnUpdate, when set, receives a trace entry after each update is
 	// processed. Used by the experiment harness; nil otherwise.
 	OnUpdate func(UpdateTrace)
 }
 
 // NewIncremental returns an unarmed Incremental engine; call Reset first.
-func NewIncremental() *Incremental { return &Incremental{cnt: stats.NewCounters()} }
+func NewIncremental() *Incremental {
+	cnt := stats.NewCounters()
+	return &Incremental{
+		cnt:     cnt,
+		hRelax:  cnt.Handle(stats.CntRelax),
+		hTagged: cnt.Handle(stats.CntTagged),
+	}
+}
 
 // Name implements Engine.
 func (e *Incremental) Name() string { return "Inc" }
@@ -64,8 +76,8 @@ func (e *Incremental) ApplyBatch(batch []graph.Update) Result {
 	total := timed(func() {
 		for i, up := range batch {
 			prevAns := st.answer()
-			prevRelax := e.cnt.Get(stats.CntRelax)
-			prevTag := e.cnt.Get(stats.CntTagged)
+			prevRelax := e.hRelax.Value()
+			prevTag := e.hTagged.Value()
 			t0 := time.Now()
 			var changed bool
 			if up.Del {
@@ -81,8 +93,8 @@ func (e *Incremental) ApplyBatch(batch []graph.Update) Result {
 				e.OnUpdate(UpdateTrace{
 					Index:         i,
 					Update:        up,
-					Relaxations:   e.cnt.Get(stats.CntRelax) - prevRelax,
-					Tagged:        e.cnt.Get(stats.CntTagged) - prevTag,
+					Relaxations:   e.hRelax.Value() - prevRelax,
+					Tagged:        e.hTagged.Value() - prevTag,
 					Elapsed:       time.Since(t0),
 					ChangedAnswer: st.answer() != prevAns,
 					ChangedState:  changed,

@@ -31,8 +31,16 @@ type MultiCISO struct {
 	states   []*state
 	onPath   [][]bool
 	cnts     []*stats.Counters // one per query (keeps parallel runs raceless)
-	cnt      *stats.Counters   // merged view
+	ch       []classHandles    // per-query classification handles
+	cnt      *stats.Counters   // merged view, maintained from per-batch deltas
 	parallel bool
+}
+
+// classHandles pre-resolves the per-deletion-event classification counters
+// of one query (DESIGN.md §9): classification runs per update event per
+// query, so these increments sit squarely on the multi-query hot path.
+type classHandles struct {
+	valuable, delayed, useless, promoted stats.Handle
 }
 
 // MultiOption configures a MultiCISO engine.
@@ -64,8 +72,15 @@ func (m *MultiCISO) Reset(g *graph.Dynamic, a algo.Algorithm, queries []Query) {
 	m.states = make([]*state, len(queries))
 	m.onPath = make([][]bool, len(queries))
 	m.cnts = make([]*stats.Counters, len(queries))
+	m.ch = make([]classHandles, len(queries))
 	for i, q := range queries {
 		m.cnts[i] = stats.NewCounters()
+		m.ch[i] = classHandles{
+			valuable: m.cnts[i].Handle(stats.CntUpdateValuable),
+			delayed:  m.cnts[i].Handle(stats.CntUpdateDelayed),
+			useless:  m.cnts[i].Handle(stats.CntUpdateUseless),
+			promoted: m.cnts[i].Handle(stats.CntUpdatePromoted),
+		}
 		m.states[i] = newState(g, a, q, m.cnts[i])
 		m.states[i].fullCompute()
 		m.onPath[i] = make([]bool, g.NumVertices())
@@ -73,7 +88,10 @@ func (m *MultiCISO) Reset(g *graph.Dynamic, a algo.Algorithm, queries []Query) {
 	m.mergeCounters()
 }
 
-// mergeCounters refreshes the combined counter view.
+// mergeCounters rebuilds the combined view from every query's totals — paid
+// only at Reset. ApplyBatch keeps the view current by folding in each
+// query's per-batch delta instead, so steady-state bookkeeping no longer
+// scales with total-counter-count × batches.
 func (m *MultiCISO) mergeCounters() {
 	m.cnt.Reset()
 	for _, c := range m.cnts {
@@ -110,6 +128,13 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 	results := make([]Result, len(m.states))
 	befores := make([]map[string]int64, len(m.states))
 	errs := make([]error, len(m.states))
+	// Snapshot every query's counters on the caller's goroutine, before any
+	// phase runs: the per-batch deltas derived from these drive both the
+	// result attribution and the merged-view maintenance below, so they must
+	// exist even for a query that panics in its first phase.
+	for i := range m.states {
+		befores[i] = m.cnts[i].Snapshot()
+	}
 
 	// Shared, once: normalization and topology for the addition phase.
 	t0 := time.Now()
@@ -128,7 +153,6 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 	// read-only from here until the shared deletion pass).
 	addSpans := make([]time.Duration, len(m.states))
 	m.forEachQuery(errs, func(i int) {
-		befores[i] = m.cnts[i].Snapshot()
 		tq := time.Now()
 		for _, up := range addEvents {
 			m.states[i].processAddition(up.From, up.To, up.W)
@@ -148,6 +172,7 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 	// Phases B–D per query: classify, prioritise, promote, answer, delayed.
 	m.forEachQuery(errs, func(i int) {
 		st := m.states[i]
+		ch := m.ch[i]
 		cnt := m.cnts[i]
 		tq := time.Now()
 		st.keyPath(m.onPath[i])
@@ -158,13 +183,13 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 			pd := pendingDeletion{u: up.From, v: up.To, w: up.W}
 			switch class {
 			case ClassValuable:
-				cnt.Inc(stats.CntUpdateValuable)
+				ch.valuable.Inc()
 				valuable = append(valuable, pd)
 			case ClassDelayed:
-				cnt.Inc(stats.CntUpdateDelayed)
+				ch.delayed.Inc()
 				delayed = append(delayed, pd)
 			default:
-				cnt.Inc(stats.CntUpdateUseless)
+				ch.useless.Inc()
 			}
 		}
 		for j := 0; j < len(valuable); j++ {
@@ -175,7 +200,7 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 				pd := &delayed[k]
 				if !pd.done && st.edgeOnKeyPath(m.onPath[i], pd.u, pd.v) {
 					pd.done = true
-					cnt.Inc(stats.CntUpdatePromoted)
+					ch.promoted.Inc()
 					valuable = append(valuable, *pd)
 				}
 			}
@@ -210,7 +235,17 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 			Counters: m.cnts[i].Diff(befores[i]),
 		}
 	}
-	m.mergeCounters()
+	// Fold each query's per-batch delta into the merged view. Every counter
+	// movement of this batch — recovery recomputes included — is captured in
+	// the result deltas, so this is equivalent to (but much cheaper than) a
+	// full reset-and-re-add across all queries.
+	for i := range results {
+		for k, v := range results[i].Counters {
+			if v != 0 {
+				m.cnt.Add(k, v)
+			}
+		}
+	}
 	return results
 }
 

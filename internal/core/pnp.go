@@ -21,16 +21,20 @@ import (
 // and the gap to the incremental engines is the lack of state reuse — the
 // contrast the paper's classification approach is motivated by.
 type PnP struct {
-	cnt *stats.Counters
-	a   algo.Algorithm
-	q   Query
-	g   *graph.Dynamic
-	st  *state
-	ans algo.Value
+	cnt     *stats.Counters
+	hPruned stats.Handle // per-popped-vertex increment on the search path
+	a       algo.Algorithm
+	q       Query
+	g       *graph.Dynamic
+	st      *state
+	ans     algo.Value
 }
 
 // NewPnP returns an unarmed PnP engine; call Reset before use.
-func NewPnP() *PnP { return &PnP{cnt: stats.NewCounters()} }
+func NewPnP() *PnP {
+	cnt := stats.NewCounters()
+	return &PnP{cnt: cnt, hPruned: cnt.Handle(stats.CntPruned)}
+}
 
 // Name implements Engine.
 func (p *PnP) Name() string { return "PnP" }
@@ -75,7 +79,7 @@ func (p *PnP) prunedSearch() algo.Value {
 		}
 		// Upper-bound pruning against the best destination estimate so far.
 		if !p.a.Better(st.val[v], st.val[p.q.D]) {
-			p.cnt.Inc(stats.CntPruned)
+			p.hPruned.Inc()
 			continue
 		}
 		for _, e := range p.g.Out(v) {

@@ -34,6 +34,7 @@ const DefaultHubCount = 16
 // erratic in Table IV (it can lose to CS, e.g. on Reach).
 type SGraph struct {
 	cnt     *stats.Counters
+	hPruned stats.Handle // per-popped-vertex increment in boundedSearch
 	hubCnt  *stats.Counters
 	a       algo.Algorithm
 	q       Query
@@ -53,8 +54,10 @@ func NewSGraph(numHubs int) *SGraph {
 	if numHubs <= 0 {
 		numHubs = DefaultHubCount
 	}
+	cnt := stats.NewCounters()
 	return &SGraph{
-		cnt:     stats.NewCounters(),
+		cnt:     cnt,
+		hPruned: cnt.Handle(stats.CntPruned),
 		hubCnt:  stats.NewCounters(),
 		numHubs: numHubs,
 	}
@@ -205,7 +208,7 @@ func (s *SGraph) boundedSearch() algo.Value {
 			break
 		}
 		if s.pruned(v, bound) {
-			s.cnt.Inc(stats.CntPruned)
+			s.hPruned.Inc()
 			continue
 		}
 		for _, e := range s.g.Out(v) {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"cisgraph/internal/algo"
 	"cisgraph/internal/graph"
 	"cisgraph/internal/stats"
@@ -25,6 +23,14 @@ type state struct {
 	parent []graph.VertexID
 	cnt    *stats.Counters
 
+	// Pre-resolved counter handles: the relax/state-update/activation/tagged
+	// increments sit on the per-⊕ hot path, so each must be a single atomic
+	// add (DESIGN.md §9), not a lock + map probe.
+	hRelax  stats.Handle
+	hState  stats.Handle
+	hAct    stats.Handle
+	hTagged stats.Handle
+
 	wl      worklist
 	scratch []graph.VertexID // reusable buffer for tagging
 	inSet   []bool           // reusable membership marks, len N, all false between uses
@@ -33,15 +39,19 @@ type state struct {
 func newState(g *graph.Dynamic, a algo.Algorithm, q Query, cnt *stats.Counters) *state {
 	n := g.NumVertices()
 	st := &state{
-		g:      g,
-		a:      a,
-		q:      q,
-		val:    make([]algo.Value, n),
-		parent: make([]graph.VertexID, n),
-		cnt:    cnt,
-		inSet:  make([]bool, n),
+		g:       g,
+		a:       a,
+		q:       q,
+		val:     make([]algo.Value, n),
+		parent:  make([]graph.VertexID, n),
+		cnt:     cnt,
+		hRelax:  cnt.Handle(stats.CntRelax),
+		hState:  cnt.Handle(stats.CntStateUpdate),
+		hAct:    cnt.Handle(stats.CntActivation),
+		hTagged: cnt.Handle(stats.CntTagged),
+		inSet:   make([]bool, n),
 	}
-	st.wl.a = a
+	st.wl.arm(a)
 	st.resetAll()
 	return st
 }
@@ -72,7 +82,7 @@ func (st *state) fullCompute() {
 // v improved (in which case v's new value has been pushed for propagation).
 // The source vertex is pinned and never updated.
 func (st *state) relaxEdge(u, v graph.VertexID, w float64) bool {
-	st.cnt.Inc(stats.CntRelax)
+	st.hRelax.Inc()
 	if v == st.q.S {
 		return false
 	}
@@ -82,8 +92,8 @@ func (st *state) relaxEdge(u, v graph.VertexID, w float64) bool {
 	}
 	st.val[v] = t
 	st.parent[v] = u
-	st.cnt.Inc(stats.CntStateUpdate)
-	st.cnt.Inc(stats.CntActivation)
+	st.hState.Inc()
+	st.hAct.Inc()
 	st.wl.push(v, t)
 	return true
 }
@@ -125,7 +135,7 @@ func (st *state) recomputeVertex(v graph.VertexID) algo.Value {
 	best := st.a.Init()
 	bestParent := graph.NoVertex
 	for _, e := range st.g.In(v) {
-		st.cnt.Inc(stats.CntRelax)
+		st.hRelax.Inc()
 		t := st.a.Propagate(st.val[e.To], st.a.Weight(e.W))
 		if st.a.Better(t, best) {
 			best = t
@@ -165,7 +175,7 @@ func (st *state) repairVertex(v graph.VertexID) bool {
 	}
 	best := st.a.Init()
 	for _, e := range st.g.In(v) {
-		st.cnt.Inc(stats.CntRelax)
+		st.hRelax.Inc()
 		if t := st.a.Propagate(st.val[e.To], st.a.Weight(e.W)); st.a.Better(t, best) {
 			best = t
 		}
@@ -201,7 +211,7 @@ func (st *state) repairVertex(v graph.VertexID) bool {
 			if st.inSet[e.To] {
 				continue // still-suspect supplier
 			}
-			st.cnt.Inc(stats.CntRelax)
+			st.hRelax.Inc()
 			if t := st.a.Propagate(st.val[e.To], st.a.Weight(e.W)); st.a.Better(t, bestX) {
 				bestX = t
 				bestParent = e.To
@@ -223,7 +233,7 @@ func (st *state) repairVertex(v graph.VertexID) bool {
 	st.wl.reset()
 	for _, x := range broken {
 		if st.recomputeVertex(x); algo.Reached(st.a, st.val[x]) {
-			st.cnt.Inc(stats.CntActivation)
+			st.hAct.Inc()
 			st.wl.push(x, st.val[x])
 		}
 	}
@@ -256,7 +266,7 @@ func (st *state) tagDependents(v graph.VertexID) []graph.VertexID {
 	st.inSet[v] = true
 	for i := 0; i < len(st.scratch); i++ {
 		x := st.scratch[i]
-		st.cnt.Inc(stats.CntTagged)
+		st.hTagged.Inc()
 		for _, e := range st.g.Out(x) {
 			if !st.inSet[e.To] && st.parent[e.To] == x {
 				st.inSet[e.To] = true
@@ -270,9 +280,21 @@ func (st *state) tagDependents(v graph.VertexID) []graph.VertexID {
 // worklist is a lazy best-first priority queue over (vertex, score) pairs.
 // Best-first order makes propagation label-setting for monotone algorithms
 // (a generic Dijkstra); stale entries are skipped at pop time.
+//
+// The queue is a monomorphic binary heap over []wlItem — sift-up/sift-down
+// written against the concrete element type, so pushes and pops never box
+// through an interface and the backing array is reused across reset cycles
+// (zero allocations at steady state; tests assert this).
+//
+// For plateau algebras (algo.IsPlateau: every live score ties, e.g. Reach)
+// the heap degenerates to a FIFO ring over the same backing array: when all
+// scores are equal, arrival order IS best-first order, and push/pop become
+// pointer bumps.
 type worklist struct {
 	a     algo.Algorithm
+	fifo  bool
 	items []wlItem
+	head  int // FIFO mode: index of the next pop; always 0 in heap mode
 }
 
 type wlItem struct {
@@ -280,27 +302,76 @@ type wlItem struct {
 	score algo.Value
 }
 
-func (w *worklist) reset()   { w.items = w.items[:0] }
-func (w *worklist) len() int { return len(w.items) }
-func (w *worklist) Len() int { return len(w.items) }
-func (w *worklist) Less(i, j int) bool {
-	return w.a.Better(w.items[i].score, w.items[j].score)
-}
-func (w *worklist) Swap(i, j int) { w.items[i], w.items[j] = w.items[j], w.items[i] }
-func (w *worklist) Push(x any)    { w.items = append(w.items, x.(wlItem)) }
-func (w *worklist) Pop() any {
-	old := w.items
-	n := len(old)
-	it := old[n-1]
-	w.items = old[:n-1]
-	return it
+// arm binds the worklist to an algorithm and selects the plateau fast path.
+func (w *worklist) arm(a algo.Algorithm) {
+	w.a = a
+	w.fifo = algo.IsPlateau(a)
+	w.reset()
 }
 
+func (w *worklist) reset() {
+	w.items = w.items[:0]
+	w.head = 0
+}
+
+func (w *worklist) len() int { return len(w.items) - w.head }
+
 func (w *worklist) push(v graph.VertexID, score algo.Value) {
-	heap.Push(w, wlItem{v: v, score: score})
+	w.items = append(w.items, wlItem{v: v, score: score})
+	if !w.fifo {
+		w.siftUp(len(w.items) - 1)
+	}
 }
 
 func (w *worklist) pop() (graph.VertexID, algo.Value) {
-	it := heap.Pop(w).(wlItem)
+	if w.fifo {
+		it := w.items[w.head]
+		w.head++
+		if w.head == len(w.items) {
+			w.items = w.items[:0]
+			w.head = 0
+		}
+		return it.v, it.score
+	}
+	it := w.items[0]
+	last := len(w.items) - 1
+	w.items[0] = w.items[last]
+	w.items = w.items[:last]
+	if last > 1 {
+		w.siftDown(0)
+	}
 	return it.v, it.score
+}
+
+func (w *worklist) siftUp(i int) {
+	item := w.items[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !w.a.Better(item.score, w.items[p].score) {
+			break
+		}
+		w.items[i] = w.items[p]
+		i = p
+	}
+	w.items[i] = item
+}
+
+func (w *worklist) siftDown(i int) {
+	n := len(w.items)
+	item := w.items[i]
+	for {
+		best := 2*i + 1
+		if best >= n {
+			break
+		}
+		if r := best + 1; r < n && w.a.Better(w.items[r].score, w.items[best].score) {
+			best = r
+		}
+		if !w.a.Better(w.items[best].score, item.score) {
+			break
+		}
+		w.items[i] = w.items[best]
+		i = best
+	}
+	w.items[i] = item
 }

@@ -232,7 +232,7 @@ func TestCountersTrackRelaxAndActivation(t *testing.T) {
 
 func TestWorklistBestFirst(t *testing.T) {
 	var wl worklist
-	wl.a = algo.PPSP{}
+	wl.arm(algo.PPSP{})
 	wl.push(1, 5)
 	wl.push(2, 1)
 	wl.push(3, 3)
@@ -240,12 +240,120 @@ func TestWorklistBestFirst(t *testing.T) {
 	if v != 2 || s != 1 {
 		t.Fatalf("pop = %d,%v; want best-first 2,1", v, s)
 	}
-	wl.a = algo.PPWP{}
-	wl.reset()
+	wl.arm(algo.PPWP{})
 	wl.push(1, 5)
 	wl.push(2, 9)
 	v, s = wl.pop()
 	if v != 2 || s != 9 {
 		t.Fatalf("MAX-algebra pop = %d,%v; want 2,9", v, s)
+	}
+}
+
+// The heap must drain in exact best-first order for a MIN algebra against a
+// sort reference, across interleaved push/pop sequences.
+func TestWorklistHeapMatchesSortedOrder(t *testing.T) {
+	var wl worklist
+	wl.arm(algo.PPSP{})
+	scores := []float64{9, 4, 7, 1, 8, 2, 6, 3, 5, 0, 11, 10}
+	for i, s := range scores {
+		wl.push(graph.VertexID(i), s)
+	}
+	prev := math.Inf(-1)
+	for wl.len() > 0 {
+		_, s := wl.pop()
+		if s < prev {
+			t.Fatalf("heap popped %v after %v", s, prev)
+		}
+		prev = s
+	}
+	// Interleaved: pop the minimum seen so far at every step.
+	wl.push(1, 5)
+	wl.push(2, 3)
+	if _, s := wl.pop(); s != 3 {
+		t.Fatalf("interleaved pop = %v, want 3", s)
+	}
+	wl.push(3, 1)
+	wl.push(4, 4)
+	if _, s := wl.pop(); s != 1 {
+		t.Fatalf("interleaved pop = %v, want 1", s)
+	}
+}
+
+// Plateau algebras (Reach) must select the FIFO fast path and preserve
+// arrival order; non-plateau algebras must not.
+func TestWorklistPlateauFIFO(t *testing.T) {
+	var wl worklist
+	wl.arm(algo.Reach{})
+	if !wl.fifo {
+		t.Fatal("Reach must select the FIFO fast path")
+	}
+	for i := 0; i < 5; i++ {
+		wl.push(graph.VertexID(10+i), 1)
+	}
+	for i := 0; i < 5; i++ {
+		v, s := wl.pop()
+		if v != graph.VertexID(10+i) || s != 1 {
+			t.Fatalf("FIFO pop %d = %d,%v", i, v, s)
+		}
+	}
+	if wl.len() != 0 {
+		t.Fatalf("len = %d after drain", wl.len())
+	}
+	// Drained ring must have rewound so the backing array is reused.
+	wl.push(1, 1)
+	if wl.head != 0 || len(wl.items) != 1 {
+		t.Fatalf("ring did not rewind: head=%d len=%d", wl.head, len(wl.items))
+	}
+	wl.arm(algo.PPSP{})
+	if wl.fifo {
+		t.Fatal("PPSP must use the heap")
+	}
+}
+
+// Steady-state worklist cycles must not allocate once the backing array has
+// grown to the working-set size — the zero-allocation guarantee DESIGN.md §9
+// claims for both the heap and the FIFO fast path.
+func TestWorklistZeroAllocSteadyState(t *testing.T) {
+	for _, a := range []algo.Algorithm{algo.PPSP{}, algo.Reach{}} {
+		var wl worklist
+		wl.arm(a)
+		cycle := func() {
+			for j := 0; j < 64; j++ {
+				wl.push(graph.VertexID(j), a.Source())
+			}
+			for wl.len() > 0 {
+				wl.pop()
+			}
+		}
+		cycle() // warm up the backing array
+		if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+			t.Fatalf("%s: worklist cycle allocates %v/run", a.Name(), allocs)
+		}
+	}
+}
+
+// The steady-state relax path (counter increments included) must be
+// allocation-free: a non-improving relax is a compare plus one atomic add,
+// and an improving relax adds only a worklist push into a warmed array.
+func TestRelaxPathZeroAllocSteadyState(t *testing.T) {
+	g := lineGraph(1, 1)
+	g.AddEdge(0, 2, 9) // permanent non-improving alternative into 2
+	st := newState(g, algo.PPSP{}, Query{S: 0, D: 2}, stats.NewCounters())
+	st.fullCompute()
+	if allocs := testing.AllocsPerRun(200, func() {
+		st.relaxEdge(0, 2, 9) // useless: classification-only path
+	}); allocs != 0 {
+		t.Fatalf("non-improving relax allocates %v/run", allocs)
+	}
+	// Improving + re-worsening cycle: push, drain, push back.
+	if allocs := testing.AllocsPerRun(200, func() {
+		st.val[2] = 99 // pretend 2 worsened
+		st.relaxEdge(1, 2, 1)
+		st.drain()
+	}); allocs != 0 {
+		t.Fatalf("improving relax+drain allocates %v/run", allocs)
+	}
+	if st.val[2] != 2 {
+		t.Fatalf("val[2] = %v after drain, want 2", st.val[2])
 	}
 }

@@ -11,15 +11,33 @@ import "fmt"
 // Both directions are maintained because deletion recovery must recompute a
 // vertex's state from its *in*-neighbors (DESIGN.md §3.2), while propagation
 // walks *out*-neighbors.
+//
+// A per-edge position index (idx) makes HasEdge, AddEdge and RemoveEdge
+// O(1) amortized instead of O(degree): idx maps the packed (u,v) pair to
+// the edge's slot in out[u] and in[v]. Deletion swap-deletes both adjacency
+// slots and repairs the index entry of whichever edge was moved into the
+// hole, so the index never needs a rebuild (DESIGN.md §9).
 type Dynamic struct {
-	out [][]Edge // out[u] = edges u→·
-	in  [][]Edge // in[v]  = edges ·→v, stored as Edge{To: from, W: w}
-	m   int      // current edge count
+	out [][]Edge           // out[u] = edges u→·
+	in  [][]Edge           // in[v]  = edges ·→v, stored as Edge{To: from, W: w}
+	idx map[uint64]edgePos // key(u,v) → adjacency slots of edge u→v
+	m   int                // current edge count
+}
+
+// edgePos locates one edge in both adjacency directions. int32 slots keep
+// the entry at 8 bytes; a single vertex would need 2^31 incident edges to
+// overflow, far beyond the dense-ID graphs the substrate targets.
+type edgePos struct {
+	out, in int32
 }
 
 // NewDynamic returns an empty graph with n vertices.
 func NewDynamic(n int) *Dynamic {
-	return &Dynamic{out: make([][]Edge, n), in: make([][]Edge, n)}
+	return &Dynamic{
+		out: make([][]Edge, n),
+		in:  make([][]Edge, n),
+		idx: make(map[uint64]edgePos),
+	}
 }
 
 // FromEdgeList builds a Dynamic containing every arc of e.
@@ -55,48 +73,61 @@ func (g *Dynamic) InDegree(v VertexID) int { return len(g.in[v]) }
 
 // HasEdge reports whether u→v exists and returns its weight.
 func (g *Dynamic) HasEdge(u, v VertexID) (w float64, ok bool) {
-	for _, e := range g.out[u] {
-		if e.To == v {
-			return e.W, true
-		}
+	pos, ok := g.idx[key(u, v)]
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return g.out[u][pos.out].W, true
 }
 
 // AddEdge inserts u→v with weight w. It reports whether the edge was newly
 // inserted; an existing edge is left untouched (and false returned), keeping
 // the graph free of parallel edges.
 func (g *Dynamic) AddEdge(u, v VertexID, w float64) bool {
-	if _, ok := g.HasEdge(u, v); ok {
+	k := key(u, v)
+	if _, ok := g.idx[k]; ok {
 		return false
 	}
+	g.idx[k] = edgePos{out: int32(len(g.out[u])), in: int32(len(g.in[v]))}
 	g.out[u] = append(g.out[u], Edge{To: v, W: w})
 	g.in[v] = append(g.in[v], Edge{To: u, W: w})
 	g.m++
 	return true
 }
 
-// RemoveEdge deletes u→v, returning its weight and whether it existed.
+// RemoveEdge deletes u→v, returning its weight and whether it existed. Both
+// adjacency slots are filled by swapping in the last element; the moved
+// edge's index entry is repaired in place.
 func (g *Dynamic) RemoveEdge(u, v VertexID) (w float64, ok bool) {
-	outs := g.out[u]
-	for i, e := range outs {
-		if e.To == v {
-			w = e.W
-			outs[i] = outs[len(outs)-1]
-			g.out[u] = outs[:len(outs)-1]
-			ins := g.in[v]
-			for j, f := range ins {
-				if f.To == u {
-					ins[j] = ins[len(ins)-1]
-					g.in[v] = ins[:len(ins)-1]
-					break
-				}
-			}
-			g.m--
-			return w, true
-		}
+	k := key(u, v)
+	pos, ok := g.idx[k]
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	outs := g.out[u]
+	w = outs[pos.out].W
+	if last := int32(len(outs) - 1); pos.out != last {
+		moved := outs[last]
+		outs[pos.out] = moved
+		mp := g.idx[key(u, moved.To)]
+		mp.out = pos.out
+		g.idx[key(u, moved.To)] = mp
+	}
+	g.out[u] = outs[:len(outs)-1]
+
+	ins := g.in[v]
+	if last := int32(len(ins) - 1); pos.in != last {
+		moved := ins[last] // moved.To is the source of the moved in-edge
+		ins[pos.in] = moved
+		mp := g.idx[key(moved.To, v)]
+		mp.in = pos.in
+		g.idx[key(moved.To, v)] = mp
+	}
+	g.in[v] = ins[:len(ins)-1]
+
+	delete(g.idx, k)
+	g.m--
+	return w, true
 }
 
 // Apply performs a whole batch of updates on the topology: additions insert,
@@ -119,21 +150,40 @@ func (g *Dynamic) Apply(batch []Update) int {
 
 // Clone returns a deep copy of the graph. Engines that must not disturb the
 // shared snapshot (e.g. Cold-Start re-runs) clone before mutating.
+//
+// All edges are copied into two contiguous arenas (one per direction) and
+// the per-vertex adjacencies are sub-sliced from them, so the allocation
+// count is independent of the vertex count — cold-start engines clone per
+// batch, so this matters. The sub-slices are capacity-clipped: an AddEdge on
+// the clone re-allocates that vertex's slice instead of growing into its
+// arena neighbor.
 func (g *Dynamic) Clone() *Dynamic {
 	c := &Dynamic{
 		out: make([][]Edge, len(g.out)),
 		in:  make([][]Edge, len(g.in)),
+		idx: make(map[uint64]edgePos, len(g.idx)),
 		m:   g.m,
 	}
+	outArena := make([]Edge, 0, g.m)
 	for i, es := range g.out {
-		if len(es) > 0 {
-			c.out[i] = append([]Edge(nil), es...)
+		if len(es) == 0 {
+			continue
 		}
+		start := len(outArena)
+		outArena = append(outArena, es...)
+		c.out[i] = outArena[start:len(outArena):len(outArena)]
 	}
+	inArena := make([]Edge, 0, g.m)
 	for i, es := range g.in {
-		if len(es) > 0 {
-			c.in[i] = append([]Edge(nil), es...)
+		if len(es) == 0 {
+			continue
 		}
+		start := len(inArena)
+		inArena = append(inArena, es...)
+		c.in[i] = inArena[start:len(inArena):len(inArena)]
+	}
+	for k, pos := range g.idx {
+		c.idx[k] = pos // slots are copied verbatim, so positions carry over
 	}
 	return c
 }
@@ -153,31 +203,67 @@ func (g *Dynamic) EdgeList(name string) *EdgeList {
 // TopDegreeVertices returns the k vertices with the highest out+in degree,
 // highest first (ties broken by lower ID). SGraph uses the 16 highest-degree
 // vertices as hubs.
+//
+// Selection is a single O(n log k) pass over a k-sized min-heap ordered
+// worst-kept-first: a vertex displaces the heap root when it beats it under
+// the (degree desc, ID asc) order. The heap is the only allocation.
 func (g *Dynamic) TopDegreeVertices(k int) []VertexID {
 	n := g.NumVertices()
 	if k > n {
 		k = n
 	}
-	// Selection via a simple partial sort: n is at most a few hundred
-	// thousand and k is tiny (16), so k passes are cheap and allocation-free.
+	if k <= 0 {
+		return nil
+	}
+	// beats reports that vertex a ranks ahead of vertex b in the result
+	// order: higher degree first, lower ID on ties.
 	deg := func(v int) int { return len(g.out[v]) + len(g.in[v]) }
-	picked := make(map[int]bool, k)
-	res := make([]VertexID, 0, k)
-	for len(res) < k {
-		best, bestDeg := -1, -1
-		for v := 0; v < n; v++ {
-			if picked[v] {
-				continue
+	beats := func(a, b int) bool {
+		da, db := deg(a), deg(b)
+		return da > db || (da == db && a < b)
+	}
+	// h is a min-heap under beats: h[0] is the weakest kept vertex.
+	h := make([]int, 0, k)
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(h) && beats(h[min], h[l]) {
+				min = l
 			}
-			if d := deg(v); d > bestDeg {
-				best, bestDeg = v, d
+			if r < len(h) && beats(h[min], h[r]) {
+				min = r
 			}
+			if min == i {
+				return
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
 		}
-		if best < 0 {
-			break
+	}
+	for v := 0; v < n; v++ {
+		if len(h) < k {
+			h = append(h, v)
+			for i := len(h) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !beats(h[p], h[i]) {
+					break
+				}
+				h[i], h[p] = h[p], h[i]
+				i = p
+			}
+		} else if beats(v, h[0]) {
+			h[0] = v
+			down(0)
 		}
-		picked[best] = true
-		res = append(res, VertexID(best))
+	}
+	// Drain weakest-first into the tail of the result.
+	res := make([]VertexID, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		res[i] = VertexID(h[0])
+		h[0] = h[len(h)-1]
+		h = h[:len(h)-1]
+		down(0)
 	}
 	return res
 }

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -174,6 +175,244 @@ func TestDynamicMatchesReference(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// naiveGraph is a reference implementation of the Dynamic contract backed by
+// a plain map — no index, no swap-delete — used to differentially test the
+// indexed topology.
+type naiveGraph struct {
+	n int
+	m map[uint64]float64
+}
+
+func (ng *naiveGraph) addEdge(u, v VertexID, w float64) bool {
+	if _, ok := ng.m[key(u, v)]; ok {
+		return false
+	}
+	ng.m[key(u, v)] = w
+	return true
+}
+
+func (ng *naiveGraph) removeEdge(u, v VertexID) (float64, bool) {
+	w, ok := ng.m[key(u, v)]
+	if ok {
+		delete(ng.m, key(u, v))
+	}
+	return w, ok
+}
+
+// checkAgainstReference asserts that g and ref agree on membership, weights,
+// degrees, and that g's adjacency lists are internally consistent (mirrored
+// in/out, no duplicates) — the properties the swap-delete index repair must
+// preserve.
+func checkAgainstReference(t *testing.T, g *Dynamic, ref *naiveGraph) {
+	t.Helper()
+	if g.NumEdges() != len(ref.m) {
+		t.Fatalf("edge count %d, reference %d", g.NumEdges(), len(ref.m))
+	}
+	seen := map[uint64]float64{}
+	for u := 0; u < ref.n; u++ {
+		for _, e := range g.Out(VertexID(u)) {
+			k := key(VertexID(u), e.To)
+			if _, dup := seen[k]; dup {
+				t.Fatalf("duplicate out-edge %d->%d", u, e.To)
+			}
+			seen[k] = e.W
+			if w, ok := g.HasEdge(VertexID(u), e.To); !ok || w != e.W {
+				t.Fatalf("HasEdge(%d,%d) = %v,%v; adjacency says %v", u, e.To, w, ok, e.W)
+			}
+		}
+	}
+	for k, w := range ref.m {
+		if seen[k] != w {
+			t.Fatalf("edge %d->%d: weight %v, reference %v", k>>32, k&0xffffffff, seen[k], w)
+		}
+		delete(seen, k)
+	}
+	if len(seen) != 0 {
+		t.Fatalf("%d edges present but absent from reference", len(seen))
+	}
+	inCount := map[uint64]int{}
+	for v := 0; v < ref.n; v++ {
+		for _, e := range g.In(VertexID(v)) {
+			k := key(e.To, VertexID(v))
+			inCount[k]++
+			if w, ok := ref.m[k]; !ok || w != e.W {
+				t.Fatalf("in-edge %d->%d (w=%v) disagrees with reference (%v,%v)", e.To, v, e.W, w, ok)
+			}
+		}
+	}
+	for k := range ref.m {
+		if inCount[k] != 1 {
+			t.Fatalf("edge %d->%d has %d in-adjacency entries", k>>32, k&0xffffffff, inCount[k])
+		}
+	}
+}
+
+// Property: the indexed Dynamic behaves identically to a naive reference
+// under random add/remove/Apply/Clone sequences, including the swap-delete +
+// index-repair interaction on high-degree vertices.
+func TestDynamicDifferentialAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 10 // small: plenty of repeated (u,v) collisions
+		g := NewDynamic(n)
+		ref := &naiveGraph{n: n, m: map[uint64]float64{}}
+		randPair := func() (VertexID, VertexID) {
+			for {
+				u, v := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+				if u != v {
+					return u, v
+				}
+			}
+		}
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // single add
+				u, v := randPair()
+				w := float64(1 + rng.Intn(9))
+				if g.AddEdge(u, v, w) != ref.addEdge(u, v, w) {
+					t.Logf("seed %d op %d: AddEdge(%d,%d) disagreement", seed, op, u, v)
+					return false
+				}
+			case 4, 5, 6, 7: // single remove
+				u, v := randPair()
+				gw, gok := g.RemoveEdge(u, v)
+				rw, rok := ref.removeEdge(u, v)
+				if gok != rok || (gok && gw != rw) {
+					t.Logf("seed %d op %d: RemoveEdge(%d,%d) = %v,%v want %v,%v", seed, op, u, v, gw, gok, rw, rok)
+					return false
+				}
+			case 8: // whole batch through Apply (duplicates and absents included)
+				var batch []Update
+				for i := 0; i < 1+rng.Intn(8); i++ {
+					u, v := randPair()
+					if rng.Intn(2) == 0 {
+						batch = append(batch, Add(u, v, float64(1+rng.Intn(9))))
+					} else {
+						batch = append(batch, Del(u, v, 0))
+					}
+				}
+				changed := 0
+				for _, up := range batch {
+					if up.Del {
+						if _, ok := ref.removeEdge(up.From, up.To); ok {
+							changed++
+						}
+					} else if ref.addEdge(up.From, up.To, up.W) {
+						changed++
+					}
+				}
+				if g.Apply(batch) != changed {
+					t.Logf("seed %d op %d: Apply changed-count disagreement", seed, op)
+					return false
+				}
+			case 9: // continue on a clone; the original must be untouched
+				before := g.NumEdges()
+				c := g.Clone()
+				u, v := randPair()
+				if _, ok := c.HasEdge(u, v); !ok {
+					c.AddEdge(u, v, 1)
+					c.RemoveEdge(u, v)
+				}
+				if g.NumEdges() != before {
+					t.Logf("seed %d op %d: clone mutation leaked", seed, op)
+					return false
+				}
+				g = c.Clone() // and the clone-of-clone must behave identically
+			}
+		}
+		checkAgainstReference(t, g, ref)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The arena Clone's allocation count must not scale with the vertex count:
+// every non-empty vertex used to cost two appends; now the whole topology is
+// four slice allocations plus the index map.
+func TestCloneAllocationIndependentOfVertexCount(t *testing.T) {
+	const n = 2048
+	g := NewDynamic(n)
+	for v := 0; v < n-1; v++ {
+		g.AddEdge(VertexID(v), VertexID(v+1), float64(v%7+1))
+	}
+	var c *Dynamic
+	allocs := testing.AllocsPerRun(10, func() { c = g.Clone() })
+	// 4 slice allocations + map buckets; far below the ~2·n of the naive
+	// per-vertex copy. The bound is loose to stay robust across Go versions.
+	if allocs > 64 {
+		t.Fatalf("Clone allocations = %v, want O(1) (seed behaviour was ~%d)", allocs, 2*n)
+	}
+	if c.NumEdges() != g.NumEdges() {
+		t.Fatalf("clone edge count %d, want %d", c.NumEdges(), g.NumEdges())
+	}
+	// Appending to a cloned vertex's adjacency must not clobber the arena
+	// neighbor (capacity-clipped sub-slices).
+	c.AddEdge(0, 5, 9)
+	if w, ok := c.HasEdge(1, 2); !ok || w != 2 {
+		t.Fatalf("arena neighbor corrupted by post-clone AddEdge: %v %v", w, ok)
+	}
+}
+
+func TestTopDegreeTieBreakAndOrder(t *testing.T) {
+	// All vertices degree 2 except 4 and 7 (degree 4): ties must resolve to
+	// lower IDs, result ordered highest-degree-first.
+	g := NewDynamic(8)
+	for v := 0; v < 7; v++ {
+		g.AddEdge(VertexID(v), VertexID(v+1), 1)
+	}
+	g.AddEdge(7, 0, 1)
+	g.AddEdge(4, 1, 1)
+	g.AddEdge(7, 2, 1)
+	g.AddEdge(0, 4, 1)
+	g.AddEdge(3, 7, 1)
+	top := g.TopDegreeVertices(4)
+	want := []VertexID{4, 7, 0, 1}
+	if len(top) != 4 {
+		t.Fatalf("top = %v", top)
+	}
+	for i, v := range want {
+		if top[i] != v {
+			t.Fatalf("top = %v, want %v", top, want)
+		}
+	}
+	if got := g.TopDegreeVertices(0); got != nil {
+		t.Fatalf("k=0 should be empty, got %v", got)
+	}
+}
+
+// TopDegreeVertices must agree with a full-sort reference on random graphs.
+func TestTopDegreeMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		g := NewDynamic(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+			if u != v {
+				g.AddEdge(u, v, 1)
+			}
+		}
+		k := 1 + rng.Intn(n)
+		got := g.TopDegreeVertices(k)
+		ids := make([]VertexID, n)
+		for v := range ids {
+			ids[v] = VertexID(v)
+		}
+		deg := func(v VertexID) int { return g.OutDegree(v) + g.InDegree(v) }
+		sort.Slice(ids, func(i, j int) bool {
+			di, dj := deg(ids[i]), deg(ids[j])
+			return di > dj || (di == dj && ids[i] < ids[j])
+		})
+		for i := 0; i < k; i++ {
+			if got[i] != ids[i] {
+				t.Fatalf("trial %d k=%d: got %v, want prefix of %v", trial, k, got, ids[:k])
+			}
+		}
 	}
 }
 

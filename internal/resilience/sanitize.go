@@ -102,12 +102,53 @@ func (r *Report) drop(reason string) {
 type Sanitizer struct {
 	policy Policy
 	cnt    *stats.Counters
+
+	// Drop-reason counters are incremented per invalid update — a per-update
+	// path under a misbehaving upstream — so each reason's handle is
+	// resolved once at construction (DESIGN.md §9).
+	hOutOfRange stats.Handle
+	hSelfLoop   stats.Handle
+	hBadWeight  stats.Handle
+	hDupAdd     stats.Handle
+	hAbsentDel  stats.Handle
+	hRejected   stats.Handle
 }
 
 // NewSanitizer returns a sanitizer with the given policy. Per-reason drop
 // counts are accumulated on cnt (pass nil to skip counting).
 func NewSanitizer(policy Policy, cnt *stats.Counters) *Sanitizer {
-	return &Sanitizer{policy: policy, cnt: cnt}
+	s := &Sanitizer{policy: policy, cnt: cnt}
+	if cnt != nil {
+		s.hOutOfRange = cnt.Handle(DropOutOfRange)
+		s.hSelfLoop = cnt.Handle(DropSelfLoop)
+		s.hBadWeight = cnt.Handle(DropBadWeight)
+		s.hDupAdd = cnt.Handle(DropDupAdd)
+		s.hAbsentDel = cnt.Handle(DropAbsentDel)
+		s.hRejected = cnt.Handle(stats.CntBatchRejected)
+	}
+	return s
+}
+
+// count increments the handled counter for a drop reason (no-op without a
+// counter set).
+func (s *Sanitizer) count(reason string) {
+	if s.cnt == nil {
+		return
+	}
+	switch reason {
+	case DropOutOfRange:
+		s.hOutOfRange.Inc()
+	case DropSelfLoop:
+		s.hSelfLoop.Inc()
+	case DropBadWeight:
+		s.hBadWeight.Inc()
+	case DropDupAdd:
+		s.hDupAdd.Inc()
+	case DropAbsentDel:
+		s.hAbsentDel.Inc()
+	default:
+		s.cnt.Inc(reason)
+	}
 }
 
 // Policy returns the configured policy.
@@ -171,13 +212,11 @@ func (s *Sanitizer) Sanitize(g *graph.Dynamic, batch []graph.Update) ([]graph.Up
 			continue
 		}
 		rep.drop(reason)
-		if s.cnt != nil {
-			s.cnt.Inc(reason)
-		}
+		s.count(reason)
 		switch s.policy {
 		case PolicyStrict:
 			if s.cnt != nil {
-				s.cnt.Inc(stats.CntBatchRejected)
+				s.hRejected.Inc()
 			}
 			return nil, rep, fmt.Errorf("resilience: update %d (%v) invalid: %s", i, up, reason)
 		case PolicyReject:
@@ -187,7 +226,7 @@ func (s *Sanitizer) Sanitize(g *graph.Dynamic, batch []graph.Update) ([]graph.Up
 	rep.Kept = len(clean)
 	if len(errs) > 0 {
 		if s.cnt != nil {
-			s.cnt.Inc(stats.CntBatchRejected)
+			s.hRejected.Inc()
 		}
 		return nil, rep, fmt.Errorf("resilience: batch rejected, %d invalid update(s): %w", len(errs), joinErrs(errs))
 	}

@@ -79,15 +79,61 @@ const (
 // Counters is a set of named monotonically increasing event counters.
 // The zero value is ready to use. Counters is safe for concurrent use:
 // values are atomics and the name table is guarded by a read-write lock, so
-// the hot path (incrementing an existing counter) takes only a read lock.
+// the string-keyed hot path (incrementing an existing counter) takes only a
+// read lock — and a Handle resolved once skips the table entirely.
+//
+// Cells are allocated from contiguous arena chunks in registration order, so
+// the counters an engine touches together sit on the same cache lines.
 type Counters struct {
-	mu sync.RWMutex
-	m  map[string]*atomic.Int64
+	mu  sync.RWMutex
+	m   map[string]*atomic.Int64
+	ids map[string]int32 // dense id per name, assigned in registration order
+
+	arena []atomic.Int64 // current chunk; full chunks stay alive via m
+	used  int
 }
+
+// arenaChunk is the cell-arena growth quantum. Chunks are never moved or
+// freed once a cell has been handed out, so Handle pointers stay valid.
+const arenaChunk = 64
 
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters {
 	return &Counters{m: make(map[string]*atomic.Int64)}
+}
+
+// Handle is a pre-resolved counter: a dense small-integer id plus a direct
+// pointer to the counter's arena cell. Resolving once per name with
+// Counters.Handle and incrementing through the handle turns each hot-path
+// count into a single atomic add — no lock, no map probe, no string hash.
+// The zero Handle is invalid; methods on it panic.
+type Handle struct {
+	id   int32
+	cell *atomic.Int64
+}
+
+// ID returns the handle's dense id (registration order within its Counters).
+func (h Handle) ID() int32 { return h.id }
+
+// Inc increments the handled counter by one.
+func (h Handle) Inc() { h.cell.Add(1) }
+
+// Add increments the handled counter by delta.
+func (h Handle) Add(delta int64) { h.cell.Add(delta) }
+
+// Value returns the handled counter's current value.
+func (h Handle) Value() int64 { return h.cell.Load() }
+
+// Handle resolves (registering if needed) the named counter and returns its
+// handle. The handle stays valid for the lifetime of c — cells survive Reset
+// (which zeroes values but keeps names) — and observes exactly the same cell
+// as the string-keyed API, so Get/Snapshot/Diff/checkpoint output is
+// unchanged no matter which face incremented.
+func (c *Counters) Handle(name string) Handle {
+	cell := c.cell(name)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Handle{id: c.ids[name], cell: cell}
 }
 
 func (c *Counters) cell(name string) *atomic.Int64 {
@@ -103,7 +149,16 @@ func (c *Counters) cell(name string) *atomic.Int64 {
 		c.m = make(map[string]*atomic.Int64)
 	}
 	if v, ok = c.m[name]; !ok {
-		v = new(atomic.Int64)
+		if c.used == len(c.arena) {
+			c.arena = make([]atomic.Int64, arenaChunk)
+			c.used = 0
+		}
+		v = &c.arena[c.used]
+		c.used++
+		if c.ids == nil {
+			c.ids = make(map[string]int32)
+		}
+		c.ids[name] = int32(len(c.m))
 		c.m[name] = v
 	}
 	return v

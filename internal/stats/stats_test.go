@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -28,6 +29,98 @@ func TestCountersZeroValueUsable(t *testing.T) {
 	c.Inc("x")
 	if c.Get("x") != 1 {
 		t.Fatal("zero-value Counters not usable")
+	}
+}
+
+func TestCountersHandleSharesCellWithStringAPI(t *testing.T) {
+	c := NewCounters()
+	h := c.Handle(CntRelax)
+	h.Inc()
+	h.Add(4)
+	if got := c.Get(CntRelax); got != 5 {
+		t.Fatalf("string view after handle increments = %d, want 5", got)
+	}
+	c.Inc(CntRelax)
+	if got := h.Value(); got != 6 {
+		t.Fatalf("handle view after string increment = %d, want 6", got)
+	}
+	if snap := c.Snapshot(); snap[CntRelax] != 6 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if h2 := c.Handle(CntRelax); h2.ID() != h.ID() {
+		t.Fatalf("re-resolved handle id %d != %d", h2.ID(), h.ID())
+	}
+}
+
+func TestCountersHandleIDsDense(t *testing.T) {
+	c := NewCounters()
+	names := []string{"z", "a", "m", "q"}
+	for i, n := range names {
+		if id := c.Handle(n).ID(); id != int32(i) {
+			t.Fatalf("handle %q id = %d, want registration order %d", n, id, i)
+		}
+	}
+	// Re-resolution must not mint new ids.
+	if id := c.Handle("a").ID(); id != 1 {
+		t.Fatalf("re-resolved id = %d, want 1", id)
+	}
+}
+
+func TestCountersHandleSurvivesReset(t *testing.T) {
+	c := NewCounters()
+	h := c.Handle("x")
+	h.Add(7)
+	c.Reset()
+	if h.Value() != 0 {
+		t.Fatal("Reset must zero the handled cell")
+	}
+	h.Inc()
+	if c.Get("x") != 1 {
+		t.Fatal("handle detached from cell after Reset")
+	}
+}
+
+func TestCountersHandleManyCellsSpanChunks(t *testing.T) {
+	// More names than one arena chunk: every handle must keep its own cell.
+	c := NewCounters()
+	const n = 3 * arenaChunk / 2
+	hs := make([]Handle, n)
+	for i := range hs {
+		hs[i] = c.Handle(string(rune('A'+i%26)) + string(rune('0'+i/26)))
+		hs[i].Add(int64(i))
+	}
+	for i, h := range hs {
+		if h.Value() != int64(i) {
+			t.Fatalf("cell %d = %d, want %d (arena chunk moved?)", i, h.Value(), i)
+		}
+	}
+}
+
+func TestCountersHandleZeroAllocSteadyState(t *testing.T) {
+	c := NewCounters()
+	h := c.Handle(CntRelax)
+	if allocs := testing.AllocsPerRun(200, func() { h.Inc(); h.Add(2) }); allocs != 0 {
+		t.Fatalf("handle increments allocate: %v allocs/op", allocs)
+	}
+}
+
+func TestCountersHandleConcurrent(t *testing.T) {
+	c := NewCounters()
+	h := c.Handle("hot")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Inc()
+				c.Inc("hot") // string facade races against the handle safely
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("hot"); got != 16000 {
+		t.Fatalf("concurrent total = %d, want 16000", got)
 	}
 }
 
