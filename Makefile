@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke experiments
+.PHONY: build test race vet bench bench-smoke serve-smoke experiments
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/resilience/
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,12 @@ bench:
 ## fixed output name for artifact upload.
 bench-smoke:
 	$(GO) run ./cmd/bench -quick -benchtime 10ms -out bench-smoke.json
+
+## serve-smoke: end-to-end serving check — cisgraphd + loadgen over a small
+## generated stream, with a SIGTERM drain and checkpoint/WAL resume in the
+## middle, verified against an offline engine.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 experiments:
 	$(GO) run ./cmd/experiments

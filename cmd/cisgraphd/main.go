@@ -1,0 +1,190 @@
+// Command cisgraphd serves a streaming pairwise-analytics graph over HTTP:
+// clients POST edge updates, register pairwise queries Q(s→d), and read the
+// continuously maintained answers. Updates are gathered into time-or-size
+// bounded batches (the paper's ingestion model) and applied through a
+// sharded multi-query pool; every batch is validated by the resilience
+// sanitizer and, when configured, logged to a WAL and checkpointed, so a
+// SIGTERM drain (or a crash) can be resumed with -resume.
+//
+// Examples:
+//
+//	cisgraphd -standin OR -scale 10 -algo PPSP -addr :8372
+//	cisgraphd -file graph.el.initial -wal srv.wal -checkpoint srv.ckpt
+//	cisgraphd -resume -file graph.el.initial -wal srv.wal -checkpoint srv.ckpt
+//
+// API:
+//
+//	POST /v1/updates  {"updates":[{"op":"add","from":0,"to":9,"w":1.5}, ...]}
+//	POST /v1/query    {"s":0,"d":9}
+//	GET  /v1/answers[?id=N]
+//	GET  /healthz
+//	GET  /metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/resilience"
+	"cisgraph/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cisgraphd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8372", "HTTP listen address")
+		file    = flag.String("file", "", "initial snapshot edge-list file (.el text, .bel binary)")
+		standin = flag.String("standin", "", "serve a generated stand-in dataset instead of -file: OR, LJ or UK")
+		scale   = flag.Int("scale", 10, "stand-in dataset scale (log2 base vertex count)")
+		algoStr = flag.String("algo", "PPSP", "algorithm: PPSP, PPWP, PPNP, Viterbi or Reach")
+		seed    = flag.Int64("seed", 42, "deterministic seed for -standin")
+
+		batchSize = flag.Int("batch-size", 512, "cut a batch at this many updates")
+		batchWait = flag.Duration("batch-wait", 25*time.Millisecond, "cut a non-empty batch after this long")
+		queueCap  = flag.Int("queue", 65536, "ingest queue capacity (updates)")
+		onFull    = flag.String("on-full", "reject", "queue-full policy: reject (429) or shed (drop oldest)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request handler timeout")
+		shards    = flag.Int("shards", 1, "query-pool shards")
+		parallelQ = flag.Bool("parallel-queries", false, "process each shard's queries on their own goroutines")
+		maxQ      = flag.Int("max-queries", 1024, "registered-query admission limit")
+
+		sanitize  = flag.String("sanitize", "drop", "ingestion sanitize policy: drop, reject or strict")
+		walPath   = flag.String("wal", "", "append every sanitized batch to this write-ahead log")
+		ckptPath  = flag.String("checkpoint", "", "write drain (and periodic) checkpoints to this file")
+		ckptEvery = flag.Int("checkpoint-every", 0, "also checkpoint every N applied batches (0 = drain only)")
+		resume    = flag.Bool("resume", false, "restore from -checkpoint and replay the -wal suffix before serving")
+
+		queries = flag.String("queries", "", "pre-register comma-separated s:d query pairs (e.g. 3:99,0:7)")
+	)
+	flag.Parse()
+
+	a, err := algo.ByName(*algoStr)
+	if err != nil {
+		return err
+	}
+	policy, err := resilience.ParsePolicy(*sanitize)
+	if err != nil {
+		return err
+	}
+	overflow, err := server.ParseOverflowPolicy(*onFull)
+	if err != nil {
+		return err
+	}
+	cfg := server.Config{
+		BatchMaxSize:    *batchSize,
+		BatchMaxWait:    *batchWait,
+		QueueCapacity:   *queueCap,
+		OnFull:          overflow,
+		RequestTimeout:  *timeout,
+		Shards:          *shards,
+		ParallelQueries: *parallelQ,
+		MaxQueries:      *maxQ,
+		Policy:          policy,
+		WALPath:         *walPath,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+	}
+
+	initTopo := func() (*graph.Dynamic, error) {
+		switch {
+		case *file != "":
+			el, err := graph.LoadFile(*file)
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("loaded %s: %d vertices, %d edges", el.Name, el.N, len(el.Arcs))
+			return graph.FromEdgeList(el), nil
+		case *standin != "":
+			el, err := graph.StandIn(strings.ToUpper(*standin)).Build(*scale, *seed)
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("generated %s: %d vertices, %d edges", el.Name, el.N, len(el.Arcs))
+			return graph.FromEdgeList(el), nil
+		default:
+			return nil, errors.New("one of -file or -standin is required")
+		}
+	}
+
+	var srv *server.Server
+	if *resume {
+		if *ckptPath == "" && *walPath == "" {
+			return errors.New("-resume needs -checkpoint and/or -wal to restore from")
+		}
+		if srv, err = server.Restore(a, cfg, initTopo); err != nil {
+			return err
+		}
+		log.Printf("resumed: %d batches absorbed, %d queries re-armed",
+			srv.Applied(), srv.Pool().NumQueries())
+	} else {
+		g, err := initTopo()
+		if err != nil {
+			return err
+		}
+		if srv, err = server.New(g, a, cfg); err != nil {
+			return err
+		}
+	}
+	for _, pair := range strings.Split(*queries, ",") {
+		if pair == "" {
+			continue
+		}
+		var s, d graph.VertexID
+		if _, err := fmt.Sscanf(pair, "%d:%d", &s, &d); err != nil {
+			return fmt.Errorf("bad -queries entry %q (want s:d): %w", pair, err)
+		}
+		id, ans := srv.Pool().Register(core.Query{S: s, D: d})
+		log.Printf("query %d: Q(%d->%d) initial answer %v", id, s, d, ans)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("cisgraphd serving %s (%s) on %s: batch window %d/%v, queue %d (%s), %d shard(s)",
+			a.Name(), *sanitize, *addr, *batchSize, *batchWait, *queueCap, overflow, *shards)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		log.Printf("%v: draining (flushing ingest window, closing WAL, writing final checkpoint)", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Drain(); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Printf("drained: %d batches applied, %d queries, final answers durable", srv.Applied(), srv.Pool().NumQueries())
+	return nil
+}

@@ -1,0 +1,459 @@
+// Command loadgen replays a datagen batch trace against a running cisgraphd
+// and reports ingest throughput plus update/query latency percentiles. With
+// -verify it also runs the same stream through an offline MultiCISO engine
+// and asserts the daemon's served answers are identical — the end-to-end
+// correctness check for the serving layer.
+//
+// Updates are posted in order on a single connection (streaming-graph
+// updates are ordered: a deletion must not overtake its addition), while
+// -readers concurrent pollers hammer GET /v1/answers to measure read
+// latency under write load.
+//
+// Examples:
+//
+//	datagen -standin OR -scale 10 -out or.bel -split -batches 8
+//	cisgraphd -file or.bel.initial &
+//	loadgen -addr http://localhost:8372 -initial or.bel.initial \
+//	        -trace or.bel.batches -queries 4 -rate 50000 -verify
+//
+// A drain/restart window can be exercised with -offset/-limit: replay the
+// first half, SIGTERM the daemon, restart it with -resume, then replay the
+// rest with -offset and -verify (verification always covers updates
+// [0, offset+limit)).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/resilience"
+	"cisgraph/internal/server"
+	"cisgraph/internal/stream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "http://localhost:8372", "cisgraphd base URL")
+		trace    = flag.String("trace", "", "batch trace file to replay (datagen -split output); required")
+		initial  = flag.String("initial", "", "initial snapshot edge list (required for -verify and -queries)")
+		postSize = flag.Int("post-size", 64, "updates per POST /v1/updates request")
+		rate     = flag.Float64("rate", 0, "target update rate in updates/s (0 = as fast as possible)")
+		offset   = flag.Int("offset", 0, "skip the first N trace updates (already replayed by a previous run)")
+		limit    = flag.Int("limit", 0, "replay at most N updates after -offset (0 = rest of trace)")
+		queries  = flag.Int("queries", 0, "register N deterministic query pairs before replaying")
+		readers  = flag.Int("readers", 2, "concurrent GET /v1/answers pollers during replay")
+		seed     = flag.Int64("seed", 42, "seed for query-pair selection")
+		algoStr  = flag.String("algo", "PPSP", "algorithm the daemon runs (for -verify)")
+		verify   = flag.Bool("verify", false, "compare served answers against an offline engine on the same stream")
+		sanitize = flag.String("sanitize", "drop", "sanitize policy the daemon uses (for -verify parity)")
+		waitFor  = flag.Duration("quiesce-timeout", 30*time.Second, "how long to wait for the daemon to quiesce")
+		jsonOut  = flag.String("json", "", "also write the report as JSON to this file")
+	)
+	flag.Parse()
+	if *trace == "" {
+		return fmt.Errorf("-trace is required")
+	}
+
+	f, err := os.Open(*trace)
+	if err != nil {
+		return err
+	}
+	batches, err := stream.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var updates []graph.Update
+	for _, b := range batches {
+		updates = append(updates, b...)
+	}
+	if *offset > len(updates) {
+		return fmt.Errorf("-offset %d beyond trace length %d", *offset, len(updates))
+	}
+	replay := updates[*offset:]
+	if *limit > 0 && *limit < len(replay) {
+		replay = replay[:*limit]
+	}
+	covered := updates[:*offset+len(replay)] // what -verify replays offline
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := waitHealthy(client, *addr, 10*time.Second); err != nil {
+		return err
+	}
+
+	// Register queries: deterministic pairs over the initial snapshot so a
+	// daemon restart (or the offline verifier) picks the same set.
+	var pairs [][2]graph.VertexID
+	if *queries > 0 {
+		if *initial == "" {
+			return fmt.Errorf("-queries needs -initial to pick pairs from")
+		}
+		el, err := graph.LoadFile(*initial)
+		if err != nil {
+			return err
+		}
+		pairs = pickPairs(el, *queries, *seed)
+		for _, p := range pairs {
+			if _, err := registerQuery(client, *addr, p[0], p[1]); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("registered %d queries\n", len(pairs))
+	}
+
+	// Replay, paced to -rate, with concurrent answer pollers.
+	var (
+		postLat    []time.Duration
+		queryLat   latRecorder
+		stopRead   = make(chan struct{})
+		readerErrs atomic.Int64
+		wg         sync.WaitGroup
+	)
+	for i := 0; i < *readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopRead:
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := getAnswers(client, *addr); err != nil {
+					readerErrs.Add(1)
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+				queryLat.add(time.Since(t0))
+			}
+		}()
+	}
+
+	start := time.Now()
+	posted, rejected := 0, 0
+	for at := 0; at < len(replay); at += *postSize {
+		end := at + *postSize
+		if end > len(replay) {
+			end = len(replay)
+		}
+		if *rate > 0 {
+			// Pace: sleep until this chunk's scheduled send time.
+			due := start.Add(time.Duration(float64(at) / *rate * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		t0 := time.Now()
+		status, err := postUpdates(client, *addr, replay[at:end])
+		if err != nil {
+			return fmt.Errorf("posting updates %d..%d: %w", at, end, err)
+		}
+		postLat = append(postLat, time.Since(t0))
+		switch status {
+		case http.StatusAccepted:
+			posted += end - at
+		case http.StatusTooManyRequests:
+			// Backpressure: retry the same chunk after a beat.
+			rejected++
+			at -= *postSize
+			time.Sleep(20 * time.Millisecond)
+		default:
+			return fmt.Errorf("POST /v1/updates: unexpected status %d", status)
+		}
+	}
+	if err := waitQuiesced(client, *addr, *waitFor); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	close(stopRead)
+	wg.Wait()
+
+	rep := report{
+		Updates:      posted,
+		Elapsed:      elapsed.Seconds(),
+		UpdatesPerS:  float64(posted) / elapsed.Seconds(),
+		Backpressure: rejected,
+		ReaderErrors: int(readerErrs.Load()),
+		PostP50Ms:    ms(percentile(postLat, 0.50)),
+		PostP90Ms:    ms(percentile(postLat, 0.90)),
+		PostP99Ms:    ms(percentile(postLat, 0.99)),
+		QueryReads:   queryLat.count(),
+		QueryP50Ms:   ms(queryLat.percentile(0.50)),
+		QueryP90Ms:   ms(queryLat.percentile(0.90)),
+		QueryP99Ms:   ms(queryLat.percentile(0.99)),
+	}
+	fmt.Printf("replayed %d updates in %.2fs (%.0f updates/s), %d backpressure retries\n",
+		rep.Updates, rep.Elapsed, rep.UpdatesPerS, rep.Backpressure)
+	fmt.Printf("update POST latency: p50=%.2fms p90=%.2fms p99=%.2fms (%d posts)\n",
+		rep.PostP50Ms, rep.PostP90Ms, rep.PostP99Ms, len(postLat))
+	fmt.Printf("answer GET latency:  p50=%.2fms p90=%.2fms p99=%.2fms (%d reads)\n",
+		rep.QueryP50Ms, rep.QueryP90Ms, rep.QueryP99Ms, rep.QueryReads)
+
+	if *verify {
+		if *initial == "" {
+			return fmt.Errorf("-verify needs -initial to rebuild the offline baseline")
+		}
+		n, err := verifyAnswers(client, *addr, *initial, *algoStr, *sanitize, covered, *postSize)
+		if err != nil {
+			return err
+		}
+		rep.Verified = n
+		fmt.Printf("verify: %d served answers identical to the offline engine\n", n)
+	}
+	if *jsonOut != "" {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type report struct {
+	Updates      int     `json:"updates"`
+	Elapsed      float64 `json:"elapsed_s"`
+	UpdatesPerS  float64 `json:"updates_per_s"`
+	Backpressure int     `json:"backpressure_retries"`
+	ReaderErrors int     `json:"reader_errors"`
+	PostP50Ms    float64 `json:"post_p50_ms"`
+	PostP90Ms    float64 `json:"post_p90_ms"`
+	PostP99Ms    float64 `json:"post_p99_ms"`
+	QueryReads   int     `json:"query_reads"`
+	QueryP50Ms   float64 `json:"query_p50_ms"`
+	QueryP90Ms   float64 `json:"query_p90_ms"`
+	QueryP99Ms   float64 `json:"query_p99_ms"`
+	Verified     int     `json:"verified,omitempty"`
+}
+
+// latRecorder accumulates durations from several goroutines.
+type latRecorder struct {
+	mu   sync.Mutex
+	durs []time.Duration
+}
+
+func (l *latRecorder) add(d time.Duration) {
+	l.mu.Lock()
+	l.durs = append(l.durs, d)
+	l.mu.Unlock()
+}
+
+func (l *latRecorder) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.durs)
+}
+
+func (l *latRecorder) percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return percentile(l.durs, p)
+}
+
+func percentile(durs []time.Duration, p float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), durs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// pickPairs mirrors stream.Workload.QueryPairs: deterministic distinct
+// (s,d) pairs over the dataset's vertex range.
+func pickPairs(el *graph.EdgeList, k int, seed int64) [][2]graph.VertexID {
+	rng := rand.New(rand.NewSource(seed ^ 0x5ee0))
+	pairs := make([][2]graph.VertexID, 0, k)
+	for len(pairs) < k {
+		s := graph.VertexID(rng.Intn(el.N))
+		d := graph.VertexID(rng.Intn(el.N))
+		if s == d {
+			continue
+		}
+		pairs = append(pairs, [2]graph.VertexID{s, d})
+	}
+	return pairs
+}
+
+// ---- HTTP plumbing ----
+
+type updateJSON struct {
+	Op   string  `json:"op"`
+	From uint32  `json:"from"`
+	To   uint32  `json:"to"`
+	W    float64 `json:"w"`
+}
+
+func postUpdates(c *http.Client, addr string, ups []graph.Update) (int, error) {
+	wire := make([]updateJSON, len(ups))
+	for i, u := range ups {
+		op := "add"
+		if u.Del {
+			op = "del"
+		}
+		wire[i] = updateJSON{Op: op, From: u.From, To: u.To, W: u.W}
+	}
+	body, _ := json.Marshal(map[string]any{"updates": wire})
+	resp, err := c.Post(addr+"/v1/updates", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func registerQuery(c *http.Client, addr string, s, d graph.VertexID) (int, error) {
+	body, _ := json.Marshal(map[string]any{"s": s, "d": d})
+	resp, err := c.Post(addr+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return 0, fmt.Errorf("POST /v1/query: status %d: %s", resp.StatusCode, msg)
+	}
+	var out struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.ID, nil
+}
+
+type answersPayload struct {
+	Batches  uint64 `json:"batches"`
+	Quiesced bool   `json:"quiesced"`
+	Answers  []struct {
+		ID    int              `json:"id"`
+		S     uint32           `json:"s"`
+		D     uint32           `json:"d"`
+		Value server.WireValue `json:"value"`
+	} `json:"answers"`
+}
+
+func getAnswers(c *http.Client, addr string) (*answersPayload, error) {
+	resp, err := c.Get(addr + "/v1/answers")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/answers: status %d", resp.StatusCode)
+	}
+	var out answersPayload
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func waitHealthy(c *http.Client, addr string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		resp, err := c.Get(addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not healthy after %v: %v", addr, d, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func waitQuiesced(c *http.Client, addr string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		a, err := getAnswers(c, addr)
+		if err == nil && a.Quiesced {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon did not quiesce within %v", d)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// verifyAnswers replays updates[0:n] through an offline MultiCISO — batched
+// and sanitized exactly like the daemon's pipeline — and compares every
+// served answer. The batch split does not affect the converged fixpoint
+// (the engines' cross-agreement guarantee), so the daemon's internal window
+// boundaries don't need to match the offline ones.
+func verifyAnswers(c *http.Client, addr, initial, algoStr, sanitize string, updates []graph.Update, batchSize int) (int, error) {
+	served, err := getAnswers(c, addr)
+	if err != nil {
+		return 0, err
+	}
+	a, err := algo.ByName(algoStr)
+	if err != nil {
+		return 0, err
+	}
+	policy, err := resilience.ParsePolicy(sanitize)
+	if err != nil {
+		return 0, err
+	}
+	el, err := graph.LoadFile(initial)
+	if err != nil {
+		return 0, err
+	}
+	g := graph.FromEdgeList(el)
+	var qs []core.Query
+	for _, ans := range served.Answers {
+		qs = append(qs, core.Query{S: ans.S, D: ans.D})
+	}
+	eng := core.NewMultiCISO()
+	eng.Reset(g.Clone(), a, qs)
+	san := resilience.NewSanitizer(policy, nil)
+	shadow := g
+	for at := 0; at < len(updates); at += batchSize {
+		end := at + batchSize
+		if end > len(updates) {
+			end = len(updates)
+		}
+		clean, _, err := san.Sanitize(shadow, updates[at:end])
+		if err != nil {
+			return 0, fmt.Errorf("offline sanitize: %w", err)
+		}
+		shadow.Apply(clean)
+		eng.ApplyBatch(clean)
+	}
+	want := eng.Answers()
+	for i, ans := range served.Answers {
+		if float64(ans.Value) != want[i] {
+			return 0, fmt.Errorf("verify FAILED: query %d Q(%d->%d): served %v, offline %v",
+				ans.ID, ans.S, ans.D, float64(ans.Value), want[i])
+		}
+	}
+	return len(served.Answers), nil
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/server"
+)
+
+// benchDaemon builds a serving stack — engine pool, batcher, HTTP handler —
+// over a scale-9 RMAT graph with the given registered queries, fronted by an
+// httptest server so the measured path is the real wire path.
+func benchDaemon(b *testing.B, queries int) (*server.Server, *httptest.Server) {
+	b.Helper()
+	g := graph.FromEdgeList(graph.RMAT("srv", 9, 16*(1<<9), graph.DefaultRMAT, 64, 42))
+	srv, err := server.New(g, algo.PPSP{}, server.Config{
+		BatchMaxSize:  64,
+		BatchMaxWait:  time.Millisecond,
+		QueueCapacity: 1 << 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < queries; i++ {
+		srv.Pool().Register(core.Query{S: uint32(i), D: uint32(i + 64)})
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		srv.Drain()
+	})
+	return srv, ts
+}
+
+// updatesBody pre-renders a POST /v1/updates payload.
+func updatesBody(b *testing.B, ups []graph.Update) []byte {
+	b.Helper()
+	type wire struct {
+		Op   string  `json:"op"`
+		From uint32  `json:"from"`
+		To   uint32  `json:"to"`
+		W    float64 `json:"w"`
+	}
+	out := make([]wire, len(ups))
+	for i, u := range ups {
+		op := "add"
+		if u.Del {
+			op = "del"
+		}
+		out[i] = wire{Op: op, From: u.From, To: u.To, W: u.W}
+	}
+	body, err := json.Marshal(map[string]any{"updates": out})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+// ServerIngest measures the serving-layer ingest pipeline end to end: one
+// 64-update POST through decode → admission → batch window → sanitize →
+// engine apply, with a registered query maintained throughout. Alternating
+// delete/re-add chunks keep every update valid on every iteration, so the
+// engines do real work each batch. Reports sustained updates/s.
+func ServerIngest(b *testing.B) {
+	srv, ts := benchDaemon(b, 1)
+
+	// A fixed 64-edge slice of the initial topology, deleted and re-added.
+	ds := graph.RMAT("srv", 9, 16*(1<<9), graph.DefaultRMAT, 64, 42)
+	const chunk = 64
+	dels := make([]graph.Update, chunk)
+	adds := make([]graph.Update, chunk)
+	for i, a := range ds.Arcs[:chunk] {
+		dels[i] = graph.Del(a.From, a.To, a.W)
+		adds[i] = graph.Add(a.From, a.To, a.W)
+	}
+	bodies := [2][]byte{updatesBody(b, dels), updatesBody(b, adds)}
+
+	client := ts.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/updates", "application/json", bytes.NewReader(bodies[i%2]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("POST /v1/updates: status %d", resp.StatusCode)
+		}
+	}
+	for !srv.Quiesced() {
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*chunk)/b.Elapsed().Seconds(), "upd/s")
+}
+
+// ServerAnswers measures read-side latency: GET /v1/answers against the
+// published snapshot (8 registered queries) while a background writer keeps
+// applying batches, so reads are measured under the single-writer contention
+// they see in production. Reports p50/p99 in microseconds.
+func ServerAnswers(b *testing.B) {
+	srv, ts := benchDaemon(b, 8)
+
+	ds := graph.RMAT("srv", 9, 16*(1<<9), graph.DefaultRMAT, 64, 42)
+	const chunk = 64
+	dels := make([]graph.Update, chunk)
+	adds := make([]graph.Update, chunk)
+	for i, a := range ds.Arcs[:chunk] {
+		dels[i] = graph.Del(a.From, a.To, a.W)
+		adds[i] = graph.Add(a.From, a.To, a.W)
+	}
+	bodies := [2][]byte{updatesBody(b, dels), updatesBody(b, adds)}
+	client := ts.Client()
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := client.Post(ts.URL+"/v1/updates", "application/json", bytes.NewReader(bodies[i%2]))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		resp, err := client.Get(ts.URL + "/v1/answers")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("GET /v1/answers: status %d", resp.StatusCode)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	close(stop)
+	<-writerDone
+	for !srv.Quiesced() {
+		time.Sleep(100 * time.Microsecond)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	us := func(p float64) float64 {
+		return float64(lat[int(p*float64(len(lat)-1))]) / float64(time.Microsecond)
+	}
+	b.ReportMetric(us(0.50), "p50-us")
+	b.ReportMetric(us(0.99), "p99-us")
+}

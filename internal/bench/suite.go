@@ -44,6 +44,8 @@ func Suite() []Case {
 		{Name: "DynamicClone", Bench: DynamicClone},
 		{Name: "TopDegree", Bench: TopDegree},
 		{Name: "ApplyBatch", Bench: ApplyBatch},
+		{Name: "ServerIngest", Bench: ServerIngest},
+		{Name: "ServerAnswers", Bench: ServerAnswers},
 		{Name: "Fig2_UpdateBreakdown", Experiment: true, Bench: Fig2},
 		{Name: "Table4_PPSP", Experiment: true, Bench: Table4PPSP},
 	}

@@ -24,7 +24,17 @@ import (
 // tests): the phase logic is the same, with one benign reordering — all
 // addition edges are inserted before any is relaxed, which converges to the
 // same fixpoint under monotone ⊕.
+//
+// Concurrency contract (relied on by internal/server): Reset, ApplyBatch and
+// AddQuery are writers and serialize on an internal lock; Answers, AnswerOf,
+// Queries, NumQueries and Counters are readers and may be called from any
+// goroutine, including while a writer runs — a reader observes either the
+// pre-batch or the post-batch state, never a torn intermediate. Writers must
+// still come from one goroutine at a time per the single-writer discipline
+// (the lock enforces safety either way, but interleaved writers make answer
+// attribution meaningless).
 type MultiCISO struct {
+	mu       sync.RWMutex
 	g        *graph.Dynamic
 	a        algo.Algorithm
 	queries  []Query
@@ -65,8 +75,11 @@ func NewMultiCISO(opts ...MultiOption) *MultiCISO {
 func (m *MultiCISO) Name() string { return "MultiCISO" }
 
 // Reset takes ownership of g, arms every query and runs each query's
-// initial full computation.
+// initial full computation. An empty query list is valid: queries can be
+// registered later with AddQuery.
 func (m *MultiCISO) Reset(g *graph.Dynamic, a algo.Algorithm, queries []Query) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.g, m.a = g, a
 	m.queries = append([]Query(nil), queries...)
 	m.states = make([]*state, len(queries))
@@ -88,6 +101,32 @@ func (m *MultiCISO) Reset(g *graph.Dynamic, a algo.Algorithm, queries []Query) {
 	m.mergeCounters()
 }
 
+// AddQuery registers one more query against the current topology, runs its
+// initial full computation, and returns its index (stable: answers keep
+// Reset-then-AddQuery order) together with its initial answer. It is a
+// writer under the concurrency contract — safe to call between batches
+// while readers are active.
+func (m *MultiCISO) AddQuery(q Query) (int, algo.Value) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := len(m.queries)
+	cnt := stats.NewCounters()
+	m.queries = append(m.queries, q)
+	m.cnts = append(m.cnts, cnt)
+	m.ch = append(m.ch, classHandles{
+		valuable: cnt.Handle(stats.CntUpdateValuable),
+		delayed:  cnt.Handle(stats.CntUpdateDelayed),
+		useless:  cnt.Handle(stats.CntUpdateUseless),
+		promoted: cnt.Handle(stats.CntUpdatePromoted),
+	})
+	st := newState(m.g, m.a, q, cnt)
+	st.fullCompute()
+	m.states = append(m.states, st)
+	m.onPath = append(m.onPath, make([]bool, m.g.NumVertices()))
+	m.cnt.AddAll(cnt) // fold the initial compute into the merged view
+	return i, st.answer()
+}
+
 // mergeCounters rebuilds the combined view from every query's totals — paid
 // only at Reset. ApplyBatch keeps the view current by folding in each
 // query's per-batch delta instead, so steady-state bookkeeping no longer
@@ -99,11 +138,26 @@ func (m *MultiCISO) mergeCounters() {
 	}
 }
 
-// Queries returns the armed queries.
-func (m *MultiCISO) Queries() []Query { return m.queries }
+// Queries returns a copy of the armed queries (registration order).
+func (m *MultiCISO) Queries() []Query {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]Query(nil), m.queries...)
+}
 
-// Answers returns the current answer of every query, in Reset order.
+// NumQueries returns the number of armed queries.
+func (m *MultiCISO) NumQueries() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.queries)
+}
+
+// Answers returns the current answer of every query, in registration order.
+// Safe to call while ApplyBatch runs: it observes the pre- or post-batch
+// answers, never a torn intermediate.
 func (m *MultiCISO) Answers() []algo.Value {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]algo.Value, len(m.states))
 	for i, st := range m.states {
 		out[i] = st.answer()
@@ -111,8 +165,22 @@ func (m *MultiCISO) Answers() []algo.Value {
 	return out
 }
 
-// Counters exposes the cumulative counters (shared across queries).
-func (m *MultiCISO) Counters() *stats.Counters { return m.cnt }
+// AnswerOf returns the current answer of query i (registration order).
+func (m *MultiCISO) AnswerOf(i int) algo.Value {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.states[i].answer()
+}
+
+// Counters exposes the cumulative counters (shared across queries). The
+// returned set is internally synchronized (atomic cells), so reading it
+// while ApplyBatch runs is safe; individual values may reflect a batch in
+// flight.
+func (m *MultiCISO) Counters() *stats.Counters {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cnt
+}
 
 // ApplyBatch ingests one batch for every query and returns one Result per
 // query (Reset order). Each query's Response covers the shared
@@ -125,6 +193,8 @@ func (m *MultiCISO) Counters() *stats.Counters { return m.cnt }
 // the shared (still consistent) topology, and the result carries the panic
 // as Result.Err. The other queries' results are unaffected.
 func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	results := make([]Result, len(m.states))
 	befores := make([]map[string]int64, len(m.states))
 	errs := make([]error, len(m.states))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -275,5 +276,121 @@ func TestMultiCISOQueryPanicRecovery(t *testing.T) {
 				t.Fatalf("%s: query_panic=%d, want 1", name, got)
 			}
 		})
+	}
+}
+
+// TestMultiCISOAddQuery registers queries dynamically and checks each
+// matches an independent CISO engine, before and after further batches.
+func TestMultiCISOAddQuery(t *testing.T) {
+	ds := graph.RMAT("addq", 7, 900, graph.DefaultRMAT, 16, 91)
+	w, err := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 40, DelsPerBatch: 40, Seed: 91,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := w.QueryPairs(4)
+	init := w.Initial()
+	m := NewMultiCISO()
+	m.Reset(init.Clone(), algo.PPSP{}, nil)
+	if m.NumQueries() != 0 {
+		t.Fatalf("NumQueries=%d after empty Reset", m.NumQueries())
+	}
+
+	var singles []*CISO
+	addQuery := func(p [2]graph.VertexID, topo *graph.Dynamic) {
+		q := Query{S: p[0], D: p[1]}
+		s := NewCISO()
+		s.Reset(topo.Clone(), algo.PPSP{}, q)
+		singles = append(singles, s)
+		id, ans := m.AddQuery(q)
+		if id != len(singles)-1 {
+			t.Fatalf("AddQuery id=%d, want %d", id, len(singles)-1)
+		}
+		if ans != s.Answer() {
+			t.Fatalf("AddQuery(%v) initial answer %v, want %v", q, ans, s.Answer())
+		}
+	}
+	addQuery(pairs[0], init)
+	addQuery(pairs[1], init)
+
+	topo := init.Clone() // tracks the stream for late-registration baselines
+	for bi := 0; bi < 3; bi++ {
+		batch := w.NextBatch()
+		topo.Apply(batch)
+		m.ApplyBatch(batch)
+		for i, s := range singles {
+			s.ApplyBatch(batch)
+			if got, want := m.AnswerOf(i), s.Answer(); got != want {
+				t.Fatalf("batch %d query %d: multi=%v single=%v", bi, i, got, want)
+			}
+		}
+		if bi == 0 {
+			// Register mid-stream: the new query sees the current topology.
+			addQuery(pairs[2], topo)
+		}
+	}
+	if got := len(m.Answers()); got != 3 {
+		t.Fatalf("Answers length %d, want 3", got)
+	}
+}
+
+// TestMultiCISOConcurrentReaders hammers the reader API from many
+// goroutines while batches apply and queries register — the locking
+// contract internal/server relies on. Run under -race this is the
+// enforcement test for DESIGN.md §10's snapshot discipline.
+func TestMultiCISOConcurrentReaders(t *testing.T) {
+	ds := graph.RMAT("race", 7, 900, graph.DefaultRMAT, 16, 7)
+	w, err := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 30, DelsPerBatch: 30, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs []Query
+	for _, p := range w.QueryPairs(3) {
+		qs = append(qs, Query{S: p[0], D: p[1]})
+	}
+	m := NewMultiCISO(WithParallelQueries())
+	m.Reset(w.Initial(), algo.PPSP{}, qs)
+
+	stop := make(chan struct{})
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ans := m.Answers()
+				if n := m.NumQueries(); len(ans) != n {
+					// Both sides are taken under the same read lock per
+					// call, so lengths may differ between calls — but each
+					// individually must be consistent.
+					_ = n
+				}
+				m.Counters().Get(stats.CntRelax)
+				m.AnswerOf(0)
+				_ = m.Queries()
+				reads.Add(1)
+			}
+		}()
+	}
+	for bi := 0; bi < 6; bi++ {
+		m.ApplyBatch(w.NextBatch())
+		if bi == 2 {
+			p := w.QueryPairs(4)[3]
+			m.AddQuery(Query{S: p[0], D: p[1]})
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if reads.Load() == 0 {
+		t.Fatal("reader goroutines made no progress")
 	}
 }

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+)
+
+// Server checkpoint payload: the authoritative (shadow) topology plus the
+// registered queries. It rides inside the PR 1 checkpoint envelope
+// (resilience.WriteCheckpointFile: atomic temp-file+rename, CRC, covered
+// batch count), so the drain/restart path reuses the exact recovery
+// machinery the offline engines use. Answers are deliberately *not*
+// persisted: on restore every query recomputes from the topology, which is
+// always answer-identical (the engines' cross-agreement guarantee) and
+// keeps the payload small and version-stable.
+//
+// Layout (little-endian):
+//
+//	header  "CGSRVS1\n" (8 bytes)
+//	uint32  vertex count N
+//	uint64  edge count M
+//	M ×     uint32 from | uint32 to | uint64 weight bits (IEEE-754)
+//	uint32  query count Q
+//	Q ×     uint32 source | uint32 destination
+
+var srvStateHeader = []byte("CGSRVS1\n")
+
+// encodeState serializes the shadow topology and query set.
+func encodeState(g *graph.Dynamic, queries []core.Query) []byte {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	w.Write(srvStateHeader)
+	var scratch [16]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(g.NumVertices()))
+	w.Write(scratch[:4])
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(g.NumEdges()))
+	w.Write(scratch[:8])
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, e := range g.Out(graph.VertexID(u)) {
+			binary.LittleEndian.PutUint32(scratch[0:4], uint32(u))
+			binary.LittleEndian.PutUint32(scratch[4:8], e.To)
+			binary.LittleEndian.PutUint64(scratch[8:16], math.Float64bits(e.W))
+			w.Write(scratch[:16])
+		}
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(queries)))
+	w.Write(scratch[:4])
+	for _, q := range queries {
+		binary.LittleEndian.PutUint32(scratch[0:4], q.S)
+		binary.LittleEndian.PutUint32(scratch[4:8], q.D)
+		w.Write(scratch[:8])
+	}
+	w.Flush()
+	return buf.Bytes()
+}
+
+// decodeState parses a payload written by encodeState.
+func decodeState(payload []byte) (*graph.Dynamic, []core.Query, error) {
+	r := bytes.NewReader(payload)
+	header := make([]byte, len(srvStateHeader))
+	if _, err := io.ReadFull(r, header); err != nil || !bytes.Equal(header, srvStateHeader) {
+		return nil, nil, fmt.Errorf("server: checkpoint payload: bad header")
+	}
+	var scratch [16]byte
+	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+		return nil, nil, fmt.Errorf("server: checkpoint payload: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(scratch[:4]))
+	if _, err := io.ReadFull(r, scratch[:8]); err != nil {
+		return nil, nil, fmt.Errorf("server: checkpoint payload: %w", err)
+	}
+	m := binary.LittleEndian.Uint64(scratch[:8])
+	if m > uint64(r.Len())/16 {
+		return nil, nil, fmt.Errorf("server: checkpoint payload: edge count %d exceeds payload", m)
+	}
+	g := graph.NewDynamic(n)
+	for i := uint64(0); i < m; i++ {
+		if _, err := io.ReadFull(r, scratch[:16]); err != nil {
+			return nil, nil, fmt.Errorf("server: checkpoint payload: edge %d: %w", i, err)
+		}
+		from := binary.LittleEndian.Uint32(scratch[0:4])
+		to := binary.LittleEndian.Uint32(scratch[4:8])
+		w := math.Float64frombits(binary.LittleEndian.Uint64(scratch[8:16]))
+		if int(from) >= n || int(to) >= n {
+			return nil, nil, fmt.Errorf("server: checkpoint payload: edge %d (%d->%d) out of range N=%d", i, from, to, n)
+		}
+		g.AddEdge(from, to, w)
+	}
+	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+		return nil, nil, fmt.Errorf("server: checkpoint payload: %w", err)
+	}
+	nq := int(binary.LittleEndian.Uint32(scratch[:4]))
+	if nq > r.Len()/8 {
+		return nil, nil, fmt.Errorf("server: checkpoint payload: query count %d exceeds payload", nq)
+	}
+	queries := make([]core.Query, 0, nq)
+	for i := 0; i < nq; i++ {
+		if _, err := io.ReadFull(r, scratch[:8]); err != nil {
+			return nil, nil, fmt.Errorf("server: checkpoint payload: query %d: %w", i, err)
+		}
+		q := core.Query{
+			S: binary.LittleEndian.Uint32(scratch[0:4]),
+			D: binary.LittleEndian.Uint32(scratch[4:8]),
+		}
+		if int(q.S) >= n || int(q.D) >= n {
+			return nil, nil, fmt.Errorf("server: checkpoint payload: query %d (%d->%d) out of range N=%d", i, q.S, q.D, n)
+		}
+		queries = append(queries, q)
+	}
+	return g, queries, nil
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"cisgraph/internal/resilience"
+)
+
+// OverflowPolicy selects what Offer does when the bounded ingest queue is
+// full.
+type OverflowPolicy int
+
+const (
+	// OverflowReject refuses the incoming updates (HTTP 429): nothing
+	// already queued is lost, the client is asked to back off.
+	OverflowReject OverflowPolicy = iota
+	// OverflowShed drops the *oldest* queued updates to make room for the
+	// incoming ones — load shedding that favors fresh data. Every dropped
+	// update is counted (CntShedUpdates).
+	OverflowShed
+)
+
+// String returns the CLI spelling of the policy.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case OverflowReject:
+		return "reject"
+	case OverflowShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+	}
+}
+
+// ParseOverflowPolicy resolves a CLI spelling ("reject", "shed").
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "reject":
+		return OverflowReject, nil
+	case "shed":
+		return OverflowShed, nil
+	default:
+		return 0, fmt.Errorf("server: unknown overflow policy %q (want reject or shed)", s)
+	}
+}
+
+// Config tunes the serving layer. The zero value is usable: WithDefaults
+// fills every unset field with the documented default.
+type Config struct {
+	// BatchMaxSize cuts a batch as soon as this many updates are gathered
+	// (the paper's assigned ingestion threshold, §II-A). Default 512.
+	BatchMaxSize int
+	// BatchMaxWait cuts a non-empty batch after this long even if the size
+	// threshold was not reached, bounding staleness under a trickle of
+	// updates. Default 25ms.
+	BatchMaxWait time.Duration
+	// QueueCapacity bounds the ingest queue (admission control). Default
+	// 65536 updates.
+	QueueCapacity int
+	// OnFull selects the backpressure behaviour when the queue is full
+	// (default OverflowReject).
+	OnFull OverflowPolicy
+	// RequestTimeout bounds each HTTP request's handler time (default 10s).
+	RequestTimeout time.Duration
+	// Shards is the number of query-pool shards; registered queries are
+	// spread across them and each shard applies batches on its own
+	// goroutine. Default 1.
+	Shards int
+	// ParallelQueries additionally processes each shard's queries on their
+	// own goroutines (core.WithParallelQueries).
+	ParallelQueries bool
+	// MaxQueries caps registered queries across all shards (admission
+	// control; default 1024).
+	MaxQueries int
+	// Policy is the ingestion sanitize policy (default resilience.PolicyDrop).
+	// Every batch is validated against the server's shadow topology before
+	// any engine sees it.
+	Policy resilience.Policy
+	// WALPath appends every sanitized batch to a write-ahead log before it
+	// is applied ("" disables durability).
+	WALPath string
+	// CheckpointPath is where drain (and, with CheckpointEvery, periodic)
+	// checkpoints are written ("" disables).
+	CheckpointPath string
+	// CheckpointEvery writes a checkpoint every N applied batches (0 = only
+	// at drain). Requires CheckpointPath.
+	CheckpointEvery int
+}
+
+// WithDefaults returns a copy of c with every unset field defaulted.
+func (c Config) WithDefaults() Config {
+	if c.BatchMaxSize <= 0 {
+		c.BatchMaxSize = 512
+	}
+	if c.BatchMaxWait <= 0 {
+		c.BatchMaxWait = 25 * time.Millisecond
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 65536
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.MaxQueries <= 0 {
+		c.MaxQueries = 1024
+	}
+	return c
+}
+
+// Validate rejects configurations the server cannot honor.
+func (c Config) Validate() error {
+	if c.CheckpointEvery > 0 && c.CheckpointPath == "" {
+		return fmt.Errorf("server: CheckpointEvery set without CheckpointPath")
+	}
+	if c.BatchMaxSize > c.QueueCapacity {
+		return fmt.Errorf("server: BatchMaxSize %d exceeds QueueCapacity %d",
+			c.BatchMaxSize, c.QueueCapacity)
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+)
+
+// QueryPool spreads pairwise queries across a fixed set of MultiCISO
+// shards, each with its own topology clone, and publishes answers through
+// an immutable snapshot so reads never block on batch application.
+//
+// Write path (single writer — the batcher's applier goroutine): ApplyBatch
+// fans the sanitized batch out to every shard in parallel; each shard
+// serializes on its own lock, so a concurrent Register only delays the one
+// shard it lands on. After the fan-out joins, a fresh Snapshot is built and
+// swapped in atomically.
+//
+// Read path: Answers loads the current Snapshot pointer — no lock shared
+// with the writer, so queries are served at memory speed even while a batch
+// (including its delayed work) is being applied.
+type QueryPool struct {
+	a      algo.Algorithm
+	shards []*poolShard
+
+	mu      sync.Mutex // registration bookkeeping + snapshot rebuilds
+	refs    []qref     // global query id → shard/local position
+	queries []core.Query
+
+	snap    atomic.Pointer[Snapshot]
+	batches atomic.Uint64
+}
+
+type poolShard struct {
+	mu  sync.Mutex
+	eng *core.MultiCISO
+}
+
+type qref struct{ shard, local int }
+
+// Snapshot is one immutable published view of every registered query's
+// answer. Readers share it; nothing in it is ever mutated after Publish.
+type Snapshot struct {
+	// Batches counts the update batches applied when the snapshot was taken.
+	Batches uint64
+	// Queries and Values are parallel, in registration order.
+	Queries []core.Query
+	Values  []algo.Value
+}
+
+// NewQueryPool builds a pool of `shards` MultiCISO engines, each owning a
+// clone of g. Queries are registered later with Register.
+func NewQueryPool(g *graph.Dynamic, a algo.Algorithm, shards int, parallel bool) *QueryPool {
+	if shards < 1 {
+		shards = 1
+	}
+	p := &QueryPool{a: a, shards: make([]*poolShard, shards)}
+	var opts []core.MultiOption
+	if parallel {
+		opts = append(opts, core.WithParallelQueries())
+	}
+	for i := range p.shards {
+		eng := core.NewMultiCISO(opts...)
+		eng.Reset(g.Clone(), a, nil)
+		p.shards[i] = &poolShard{eng: eng}
+	}
+	p.snap.Store(&Snapshot{})
+	return p
+}
+
+// NumShards returns the shard count.
+func (p *QueryPool) NumShards() int { return len(p.shards) }
+
+// NumQueries returns the number of registered queries.
+func (p *QueryPool) NumQueries() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.refs)
+}
+
+// Register arms q on the least-loaded shard (ties to the lowest index),
+// runs its initial computation against that shard's current topology, and
+// publishes a refreshed snapshot. The returned id is stable for the pool's
+// lifetime.
+func (p *QueryPool) Register(q core.Query) (id int, ans algo.Value) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Least-loaded keeps per-shard work balanced as queries come and go.
+	load := make([]int, len(p.shards))
+	for _, r := range p.refs {
+		load[r.shard]++
+	}
+	best := 0
+	for i := 1; i < len(load); i++ {
+		if load[i] < load[best] {
+			best = i
+		}
+	}
+	sh := p.shards[best]
+	sh.mu.Lock()
+	local, ans := sh.eng.AddQuery(q)
+	sh.mu.Unlock()
+	id = len(p.refs)
+	p.refs = append(p.refs, qref{shard: best, local: local})
+	p.queries = append(p.queries, q)
+	p.publishLocked()
+	return id, ans
+}
+
+// ApplyBatch applies one sanitized batch to every shard in parallel and
+// publishes the refreshed snapshot. The returned error joins any per-query
+// degradations (recovered panics inside a shard engine); answers stay
+// correct — the degraded query recomputed on the shard's consistent
+// topology — so the batch still counts as applied.
+func (p *QueryPool) ApplyBatch(batch []graph.Update) error {
+	errs := make([]error, len(p.shards))
+	var wg sync.WaitGroup
+	for i, sh := range p.shards {
+		wg.Add(1)
+		go func(i int, sh *poolShard) {
+			defer wg.Done()
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			for _, r := range sh.eng.ApplyBatch(batch) {
+				if r.Err != nil {
+					errs[i] = joinNonNil(errs[i], r.Err)
+				}
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	p.batches.Add(1)
+	p.mu.Lock()
+	p.publishLocked()
+	p.mu.Unlock()
+	var err error
+	for _, e := range errs {
+		err = joinNonNil(err, e)
+	}
+	return err
+}
+
+// publishLocked rebuilds and swaps in the answer snapshot. Callers hold
+// p.mu, which orders publications from the applier and from Register.
+func (p *QueryPool) publishLocked() {
+	s := &Snapshot{
+		Batches: p.batches.Load(),
+		Queries: append([]core.Query(nil), p.queries...),
+		Values:  make([]algo.Value, len(p.refs)),
+	}
+	// One Answers() call per shard, not per query.
+	perShard := make([][]algo.Value, len(p.shards))
+	for i, sh := range p.shards {
+		perShard[i] = sh.eng.Answers()
+	}
+	for id, r := range p.refs {
+		s.Values[id] = perShard[r.shard][r.local]
+	}
+	p.snap.Store(s)
+}
+
+// Answers returns the current published snapshot. The result is shared and
+// immutable; callers must not modify it.
+func (p *QueryPool) Answers() *Snapshot { return p.snap.Load() }
+
+// Batches returns the number of batches applied.
+func (p *QueryPool) Batches() uint64 { return p.batches.Load() }
+
+// Counters returns a merged copy of every shard's engine counters.
+func (p *QueryPool) Counters() *stats.Counters {
+	merged := stats.NewCounters()
+	for _, sh := range p.shards {
+		merged.AddAll(sh.eng.Counters())
+	}
+	return merged
+}
+
+// QueriesSnapshot returns a copy of the registered queries in id order.
+func (p *QueryPool) QueriesSnapshot() []core.Query {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]core.Query(nil), p.queries...)
+}
+
+// joinNonNil combines two possibly-nil errors.
+func joinNonNil(a, b error) error {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return fmt.Errorf("%w; %w", a, b)
+	}
+}

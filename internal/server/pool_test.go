@@ -1,0 +1,144 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stream"
+)
+
+func testWorkload(t *testing.T) *stream.Workload {
+	t.Helper()
+	ds := graph.RMAT("srv", 8, 2400, graph.DefaultRMAT, 16, 99)
+	w, err := stream.New(ds, stream.DefaultConfig(len(ds.Arcs), 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func testAlgo(t *testing.T) algo.Algorithm {
+	t.Helper()
+	a, err := algo.ByName("PPSP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// A sharded pool must publish exactly the answers a single MultiCISO over the
+// same stream computes, regardless of which shard each query landed on.
+func TestQueryPoolMatchesSingleEngine(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		w := testWorkload(t)
+		a := testAlgo(t)
+		var qs []core.Query
+		for _, p := range w.QueryPairsConnected(6) {
+			qs = append(qs, core.Query{S: p[0], D: p[1]})
+		}
+
+		ref := core.NewMultiCISO()
+		ref.Reset(w.Initial(), a, qs)
+
+		pool := NewQueryPool(w.Initial(), a, shards, false)
+		for _, q := range qs {
+			pool.Register(q)
+		}
+		if got := pool.NumShards(); got != shards {
+			t.Fatalf("NumShards=%d, want %d", got, shards)
+		}
+
+		for i := 0; i < 10; i++ {
+			batch := w.NextBatch()
+			ref.ApplyBatch(batch)
+			if err := pool.ApplyBatch(batch); err != nil {
+				t.Fatalf("shards=%d batch %d: %v", shards, i, err)
+			}
+		}
+		snap := pool.Answers()
+		if snap.Batches != 10 {
+			t.Errorf("shards=%d: snapshot batches=%d, want 10", shards, snap.Batches)
+		}
+		want := ref.Answers()
+		for i := range qs {
+			if snap.Values[i] != want[i] {
+				t.Errorf("shards=%d query %d Q(%d->%d): pool=%v ref=%v",
+					shards, i, qs[i].S, qs[i].D, snap.Values[i], want[i])
+			}
+		}
+	}
+}
+
+// Registration spreads queries across shards (least-loaded placement).
+func TestQueryPoolBalancesShards(t *testing.T) {
+	w := testWorkload(t)
+	pool := NewQueryPool(w.Initial(), testAlgo(t), 4, false)
+	for _, p := range w.QueryPairs(8) {
+		pool.Register(core.Query{S: p[0], D: p[1]})
+	}
+	load := make(map[int]int)
+	for _, r := range pool.refs {
+		load[r.shard]++
+	}
+	for sh := 0; sh < 4; sh++ {
+		if load[sh] != 2 {
+			t.Errorf("shard %d holds %d queries, want 2 (load %v)", sh, load[sh], load)
+		}
+	}
+}
+
+// Readers must always observe a coherent snapshot while the single writer
+// applies batches and new queries register. Run with -race.
+func TestQueryPoolSnapshotUnderLoad(t *testing.T) {
+	w := testWorkload(t)
+	pool := NewQueryPool(w.Initial(), testAlgo(t), 2, false)
+	pairs := w.QueryPairs(6)
+	for _, p := range pairs[:4] {
+		pool.Register(core.Query{S: p[0], D: p[1]})
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := pool.Answers()
+				if len(snap.Queries) != len(snap.Values) {
+					t.Error("torn snapshot: queries and values lengths differ")
+					return
+				}
+				pool.Counters()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := pool.ApplyBatch(w.NextBatch()); err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			pool.Register(core.Query{S: pairs[4][0], D: pairs[4][1]})
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := pool.NumQueries(); got != 5 {
+		t.Fatalf("NumQueries=%d, want 5", got)
+	}
+	if got := len(pool.QueriesSnapshot()); got != 5 {
+		t.Fatalf("QueriesSnapshot len=%d, want 5", got)
+	}
+	if got := pool.Batches(); got != 8 {
+		t.Fatalf("Batches=%d, want 8", got)
+	}
+}

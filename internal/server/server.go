@@ -1,0 +1,618 @@
+// Package server turns the CISGraph engine library into a long-running
+// network service: an HTTP/JSON API over a sharded multi-query pool, fed by
+// a batched ingestion pipeline that mirrors the paper's batch-gathering
+// model, wrapped in the PR 1 resilience envelope (sanitized ingest, WAL,
+// atomic checkpoints, graceful drain). DESIGN.md §10 documents the
+// architecture.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/resilience"
+	"cisgraph/internal/stats"
+)
+
+// Server-side counter names, rendered by GET /metrics alongside the merged
+// engine counters.
+const (
+	// CntUpdatesAccepted counts updates admitted into the ingest queue.
+	CntUpdatesAccepted = "srv_updates_accepted"
+	// CntUpdatesShed counts queued updates dropped by OverflowShed.
+	CntUpdatesShed = "srv_updates_shed"
+	// CntPostsRejected counts POST /v1/updates requests refused by
+	// backpressure (queue full under OverflowReject) or during drain.
+	CntPostsRejected = "srv_posts_rejected"
+	// CntBatchesApplied counts batches that went through the full
+	// sanitize→WAL→apply pipeline.
+	CntBatchesApplied = "srv_batches_applied"
+	// CntUpdatesApplied counts sanitized updates applied to the engines.
+	CntUpdatesApplied = "srv_updates_applied"
+	// CntCutSize / CntCutTimer / CntCutDrain count batch cuts by window
+	// trigger.
+	CntCutSize  = "srv_batch_cut_size"
+	CntCutTimer = "srv_batch_cut_timer"
+	CntCutDrain = "srv_batch_cut_drain"
+	// CntQueriesRegistered counts POST /v1/query registrations.
+	CntQueriesRegistered = "srv_queries_registered"
+	// CntBatchDegraded counts batches during which at least one query
+	// degraded (recovered panic) inside a shard engine.
+	CntBatchDegraded = "srv_batch_degraded"
+	// CntCheckpoints counts checkpoints written (periodic + drain).
+	CntCheckpoints = "srv_checkpoints"
+)
+
+// Server is the cisgraphd serving core: it owns the shadow topology, the
+// ingestion pipeline and the query pool, and exposes them over HTTP.
+//
+// Concurrency model (single-writer/many-reader): the batcher's applier
+// goroutine is the only writer of the shadow topology and the shard
+// engines; HTTP readers consume the pool's atomic answer snapshot and the
+// server's atomic gauges, so GET paths never contend with batch
+// application. Query registration is the one cross-cutting write; it
+// serializes against the applier per shard, between batches.
+type Server struct {
+	cfg  Config
+	a    algo.Algorithm
+	pool *QueryPool
+	bat  *Batcher
+	san  *resilience.Sanitizer
+	wal  *resilience.WAL
+
+	// shadow is the authoritative topology, mutated only by the applier
+	// goroutine (and by Restore before the batcher starts).
+	shadow *graph.Dynamic
+
+	cnt *stats.Counters
+	h   srvHandles
+
+	applied  atomic.Uint64 // sanitized batches applied (incl. restored)
+	edges    atomic.Int64  // shadow edge count, published after each batch
+	draining atomic.Bool
+	lastErr  atomic.Pointer[string]
+
+	ckptMu sync.Mutex // serializes periodic and drain checkpoints
+	mux    *http.ServeMux
+}
+
+// srvHandles pre-resolves the serving hot-path counters (DESIGN.md §9):
+// accepted/applied move per update, the rest per batch or per request.
+type srvHandles struct {
+	accepted, shed, rejected    stats.Handle
+	batches, updates            stats.Handle
+	cutSize, cutTimer, cutDrain stats.Handle
+	registered, degraded, ckpts stats.Handle
+}
+
+// New builds a server over an initial topology. The server takes its own
+// clones of g; the caller keeps ownership. With cfg.WALPath set, a fresh
+// WAL is created (truncating any previous one — use Restore to continue a
+// previous stream).
+func New(g *graph.Dynamic, a algo.Algorithm, cfg Config) (*Server, error) {
+	return build(g, a, nil, 0, cfg, false)
+}
+
+// Restore rebuilds a server from the durable artefacts of a previous run —
+// the drain (or periodic) checkpoint plus the WAL suffix it does not cover
+// — via the PR 1 recovery path. init supplies the initial topology when no
+// usable checkpoint exists (nil init makes a missing checkpoint fatal).
+// Registered queries come back armed; their answers recompute from the
+// restored topology and are identical to the pre-restart ones.
+func Restore(a algo.Algorithm, cfg Config, init func() (*graph.Dynamic, error)) (*Server, error) {
+	cfg = cfg.WithDefaults()
+	var (
+		g       *graph.Dynamic
+		queries []core.Query
+		through uint64
+	)
+	if cfg.CheckpointPath != "" {
+		covered, payload, err := resilience.ReadCheckpointFile(cfg.CheckpointPath)
+		switch {
+		case err == nil:
+			if g, queries, err = decodeState(payload); err != nil {
+				return nil, err
+			}
+			through = covered
+		case os.IsNotExist(err) && init != nil:
+			// Fall through to init below.
+		default:
+			if init == nil {
+				return nil, fmt.Errorf("server: restore: %w", err)
+			}
+		}
+	}
+	if g == nil {
+		if init == nil {
+			return nil, errors.New("server: restore: no usable checkpoint and no init topology")
+		}
+		var err error
+		if g, err = init(); err != nil {
+			return nil, err
+		}
+		through = 0
+	}
+	// Replay the WAL suffix the checkpoint does not cover, exactly like
+	// resilience.Recover: indices below `through` are already inside the
+	// restored topology.
+	var replay [][]graph.Update
+	if cfg.WALPath != "" {
+		recs, err := resilience.ReplayWAL(cfg.WALPath)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("server: restore: %w", err)
+		}
+		for _, rec := range recs {
+			if rec.Index < through {
+				continue
+			}
+			if rec.Index != through+uint64(len(replay)) {
+				return nil, fmt.Errorf("server: restore: WAL gap (record %d, expected %d)",
+					rec.Index, through+uint64(len(replay)))
+			}
+			replay = append(replay, rec.Batch)
+		}
+	}
+	s, err := build(g, a, queries, through, cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	// WAL-replayed batches were already sanitized by the pre-crash run;
+	// they go straight through the shadow and the pool.
+	for _, b := range replay {
+		s.shadow.Apply(b)
+		if perr := s.pool.ApplyBatch(b); perr != nil {
+			s.setLastErr(perr)
+		}
+		s.applied.Add(1)
+	}
+	s.edges.Store(int64(s.shadow.NumEdges()))
+	return s, nil
+}
+
+// build assembles the server around an already-positioned topology.
+// resumeWAL keeps an existing WAL and appends to it (the Restore path —
+// truncating would discard the very records just replayed); a fresh start
+// truncates.
+func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uint64, cfg Config, resumeWAL bool) (*Server, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cnt := stats.NewCounters()
+	s := &Server{
+		cfg:    cfg,
+		a:      a,
+		pool:   NewQueryPool(g, a, cfg.Shards, cfg.ParallelQueries),
+		san:    resilience.NewSanitizer(cfg.Policy, cnt),
+		shadow: g.Clone(),
+		cnt:    cnt,
+		h: srvHandles{
+			accepted:   cnt.Handle(CntUpdatesAccepted),
+			shed:       cnt.Handle(CntUpdatesShed),
+			rejected:   cnt.Handle(CntPostsRejected),
+			batches:    cnt.Handle(CntBatchesApplied),
+			updates:    cnt.Handle(CntUpdatesApplied),
+			cutSize:    cnt.Handle(CntCutSize),
+			cutTimer:   cnt.Handle(CntCutTimer),
+			cutDrain:   cnt.Handle(CntCutDrain),
+			registered: cnt.Handle(CntQueriesRegistered),
+			degraded:   cnt.Handle(CntBatchDegraded),
+			ckpts:      cnt.Handle(CntCheckpoints),
+		},
+	}
+	s.applied.Store(through)
+	s.edges.Store(int64(g.NumEdges()))
+	for _, q := range queries {
+		s.pool.Register(q)
+		s.h.registered.Inc()
+	}
+	if cfg.WALPath != "" {
+		var (
+			wal *resilience.WAL
+			err error
+		)
+		if resumeWAL {
+			wal, err = resilience.OpenWAL(cfg.WALPath)
+		} else {
+			wal, err = resilience.CreateWAL(cfg.WALPath)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.wal = wal
+	}
+	s.bat = NewBatcher(cfg.BatchMaxSize, cfg.BatchMaxWait, cfg.QueueCapacity, cfg.OnFull, s.applyBatch)
+	s.routes()
+	return s, nil
+}
+
+// applyBatch is the single-writer pipeline stage: sanitize against the
+// shadow, append to the WAL, mutate the shadow, fan out to the pool, and
+// checkpoint on schedule. It runs on the batcher's applier goroutine only.
+func (s *Server) applyBatch(batch []graph.Update, reason CutReason) {
+	switch reason {
+	case CutSize:
+		s.h.cutSize.Inc()
+	case CutTimer:
+		s.h.cutTimer.Inc()
+	case CutDrain:
+		s.h.cutDrain.Inc()
+	}
+	clean, _, err := s.san.Sanitize(s.shadow, batch)
+	if err != nil {
+		// Reject/strict policy refused the whole batch: nothing reaches the
+		// engines; the rejection is visible via metrics and lastError.
+		s.setLastErr(err)
+		return
+	}
+	if len(clean) == 0 {
+		return
+	}
+	if s.wal != nil {
+		if _, werr := s.wal.Append(clean); werr != nil {
+			// Availability over durability, as in resilience.Guard: keep
+			// serving, surface the failure.
+			s.setLastErr(fmt.Errorf("server: wal append failed (batch applied without durability): %w", werr))
+		}
+	}
+	s.shadow.Apply(clean)
+	if perr := s.pool.ApplyBatch(clean); perr != nil {
+		s.h.degraded.Inc()
+		s.setLastErr(perr)
+	}
+	applied := s.applied.Add(1)
+	s.edges.Store(int64(s.shadow.NumEdges()))
+	s.h.batches.Inc()
+	s.h.updates.Add(int64(len(clean)))
+	if s.cfg.CheckpointEvery > 0 && applied%uint64(s.cfg.CheckpointEvery) == 0 {
+		if cerr := s.writeCheckpoint(); cerr != nil {
+			s.setLastErr(cerr)
+		}
+	}
+}
+
+// writeCheckpoint persists the shadow topology + query set through the PR 1
+// atomic checkpoint envelope, positioned at the applied batch count.
+func (s *Server) writeCheckpoint() error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	payload := encodeState(s.shadow, s.pool.QueriesSnapshot())
+	if err := resilience.WriteCheckpointFile(s.cfg.CheckpointPath, s.applied.Load(), payload); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.h.ckpts.Inc()
+	return nil
+}
+
+// Drain is the SIGTERM path: stop admitting updates and queries, flush the
+// remaining ingestion window through the engines, fsync-close the WAL, and
+// write the final checkpoint. After Drain returns, published answers cover
+// every accepted update and a Restore from the artefacts reproduces them
+// exactly. Idempotent.
+func (s *Server) Drain() error {
+	s.draining.Store(true)
+	s.bat.Drain()
+	var err error
+	if werr := s.writeCheckpoint(); werr != nil {
+		err = joinNonNil(err, werr)
+	}
+	if s.wal != nil {
+		if cerr := s.wal.Close(); cerr != nil {
+			err = joinNonNil(err, fmt.Errorf("server: wal close: %w", cerr))
+		}
+		s.wal = nil
+	}
+	return err
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Quiesced reports that every accepted update is reflected in the published
+// answers (empty queue, no batch in flight).
+func (s *Server) Quiesced() bool { return s.bat.Quiesced() }
+
+// Pool exposes the query pool (read-side: snapshots, counters).
+func (s *Server) Pool() *QueryPool { return s.pool }
+
+// Counters exposes the server's own counters (ingest, batching, lifecycle).
+func (s *Server) Counters() *stats.Counters { return s.cnt }
+
+// Applied returns the number of sanitized batches applied since the stream
+// began (including batches restored from checkpoint/WAL).
+func (s *Server) Applied() uint64 { return s.applied.Load() }
+
+func (s *Server) setLastErr(err error) {
+	msg := err.Error()
+	s.lastErr.Store(&msg)
+}
+
+// LastError returns the most recent degradation message ("" when clean).
+func (s *Server) LastError() string {
+	if p := s.lastErr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// ---- HTTP API ----
+
+// Handler returns the server's HTTP handler with the configured per-request
+// timeout applied.
+func (s *Server) Handler() http.Handler {
+	return http.TimeoutHandler(s.mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/updates", s.handleUpdates)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/answers", s.handleAnswers)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// WireValue carries an algo.Value through JSON. Pairwise algorithms use
+// ±Inf as the "unreached" answer, which bare JSON numbers cannot express;
+// those (and NaN) travel as the strings "+Inf", "-Inf" and "NaN".
+type WireValue float64
+
+// MarshalJSON implements json.Marshaler.
+func (v WireValue) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	switch {
+	case math.IsInf(f, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(f, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(f):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(f)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *WireValue) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"+Inf"`:
+		*v = WireValue(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*v = WireValue(math.Inf(-1))
+		return nil
+	case `"NaN"`:
+		*v = WireValue(math.NaN())
+		return nil
+	}
+	return json.Unmarshal(data, (*float64)(v))
+}
+
+// updateJSON is the wire form of one update.
+type updateJSON struct {
+	Op   string  `json:"op"` // "add" or "del"
+	From uint32  `json:"from"`
+	To   uint32  `json:"to"`
+	W    float64 `json:"w"`
+}
+
+type updatesRequest struct {
+	Updates []updateJSON `json:"updates"`
+}
+
+type updatesResponse struct {
+	Accepted int `json:"accepted"`
+	Shed     int `json:"shed,omitempty"`
+	Pending  int `json:"pending"`
+}
+
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	var req updatesRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	batch := make([]graph.Update, 0, len(req.Updates))
+	for i, u := range req.Updates {
+		switch u.Op {
+		case "add":
+			batch = append(batch, graph.Add(u.From, u.To, u.W))
+		case "del":
+			batch = append(batch, graph.Del(u.From, u.To, u.W))
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("update %d: unknown op %q (want add or del)", i, u.Op))
+			return
+		}
+	}
+	accepted, shed, err := s.bat.Offer(batch)
+	switch {
+	case errors.Is(err, ErrDraining):
+		s.h.rejected.Inc()
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, ErrQueueFull):
+		s.h.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
+	s.h.accepted.Add(int64(accepted))
+	s.h.shed.Add(int64(shed))
+	writeJSON(w, http.StatusAccepted, updatesResponse{
+		Accepted: accepted,
+		Shed:     shed,
+		Pending:  s.bat.Pending(),
+	})
+}
+
+type queryRequest struct {
+	S uint32 `json:"s"`
+	D uint32 `json:"d"`
+}
+
+type queryResponse struct {
+	ID      int       `json:"id"`
+	S       uint32    `json:"s"`
+	D       uint32    `json:"d"`
+	Answer  WireValue `json:"answer"`
+	Batches uint64    `json:"batches"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining, not accepting queries")
+		return
+	}
+	var req queryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	n := uint32(s.shadowVertices())
+	if req.S >= n || req.D >= n {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("query %d->%d out of range N=%d", req.S, req.D, n))
+		return
+	}
+	if req.S == req.D {
+		httpError(w, http.StatusBadRequest, "query source equals destination")
+		return
+	}
+	if s.pool.NumQueries() >= s.cfg.MaxQueries {
+		httpError(w, http.StatusTooManyRequests, fmt.Sprintf("query limit %d reached", s.cfg.MaxQueries))
+		return
+	}
+	id, ans := s.pool.Register(core.Query{S: req.S, D: req.D})
+	s.h.registered.Inc()
+	writeJSON(w, http.StatusOK, queryResponse{
+		ID: id, S: req.S, D: req.D, Answer: WireValue(ans), Batches: s.pool.Batches(),
+	})
+}
+
+type answerJSON struct {
+	ID    int       `json:"id"`
+	S     uint32    `json:"s"`
+	D     uint32    `json:"d"`
+	Value WireValue `json:"value"`
+}
+
+type answersResponse struct {
+	Batches  uint64       `json:"batches"`
+	Quiesced bool         `json:"quiesced"`
+	Answers  []answerJSON `json:"answers"`
+}
+
+func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
+	snap := s.pool.Answers()
+	resp := answersResponse{Batches: snap.Batches, Quiesced: s.Quiesced()}
+	if idStr := r.URL.Query().Get("id"); idStr != "" {
+		id, err := strconv.Atoi(idStr)
+		if err != nil || id < 0 || id >= len(snap.Values) {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("unknown query id %q", idStr))
+			return
+		}
+		q := snap.Queries[id]
+		resp.Answers = []answerJSON{{ID: id, S: q.S, D: q.D, Value: WireValue(snap.Values[id])}}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp.Answers = make([]answerJSON, len(snap.Values))
+	for i, q := range snap.Queries {
+		resp.Answers[i] = answerJSON{ID: i, S: q.S, D: q.D, Value: WireValue(snap.Values[i])}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type healthzResponse struct {
+	Status    string `json:"status"` // "ok" or "draining"
+	Batches   uint64 `json:"batches"`
+	Pending   int    `json:"pending"`
+	Quiesced  bool   `json:"quiesced"`
+	Queries   int    `json:"queries"`
+	Edges     int64  `json:"edges"`
+	Algorithm string `json:"algorithm"`
+	Shards    int    `json:"shards"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:    status,
+		Batches:   s.applied.Load(),
+		Pending:   s.bat.Pending(),
+		Quiesced:  s.Quiesced(),
+		Queries:   s.pool.NumQueries(),
+		Edges:     s.edges.Load(),
+		Algorithm: s.a.Name(),
+		Shards:    s.pool.NumShards(),
+		LastError: s.LastError(),
+	})
+}
+
+// handleMetrics renders every counter — the server's own stats.Handle cells
+// plus the merged shard-engine counters — in Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP cisgraph_counter Cumulative event counters (server + merged engines).\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_counter counter\n")
+	writeCounterFamily(w, "server", s.cnt.Snapshot())
+	writeCounterFamily(w, "engine", s.pool.Counters().Snapshot())
+	fmt.Fprintf(w, "# HELP cisgraph_ingest_pending Updates queued but not yet applied.\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_ingest_pending gauge\n")
+	fmt.Fprintf(w, "cisgraph_ingest_pending %d\n", s.bat.Pending())
+	fmt.Fprintf(w, "# HELP cisgraph_batches_applied Sanitized batches applied since stream start.\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_batches_applied counter\n")
+	fmt.Fprintf(w, "cisgraph_batches_applied %d\n", s.applied.Load())
+	fmt.Fprintf(w, "# HELP cisgraph_edges Current edge count of the authoritative topology.\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_edges gauge\n")
+	fmt.Fprintf(w, "cisgraph_edges %d\n", s.edges.Load())
+	fmt.Fprintf(w, "# HELP cisgraph_queries Registered pairwise queries.\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_queries gauge\n")
+	fmt.Fprintf(w, "cisgraph_queries %d\n", s.pool.NumQueries())
+}
+
+func writeCounterFamily(w http.ResponseWriter, layer string, snap map[string]int64) {
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "cisgraph_counter{layer=%q,name=%q} %d\n", layer, name, snap[name])
+	}
+}
+
+// shadowVertices reads the vertex count — immutable after construction, so
+// safe from any goroutine.
+func (s *Server) shadowVertices() int { return s.shadow.NumVertices() }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

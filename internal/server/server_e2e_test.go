@@ -1,0 +1,344 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/resilience"
+)
+
+// testServerConfig keeps windows small so e2e streams exercise multiple
+// size and timer cuts.
+func testServerConfig() Config {
+	return Config{
+		BatchMaxSize:  64,
+		BatchMaxWait:  5 * time.Millisecond,
+		QueueCapacity: 4096,
+		Shards:        2,
+	}
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func postUpdatesHTTP(t *testing.T, client *http.Client, base string, batch []graph.Update) {
+	t.Helper()
+	wire := make([]updateJSON, len(batch))
+	for i, u := range batch {
+		op := "add"
+		if u.Del {
+			op = "del"
+		}
+		wire[i] = updateJSON{Op: op, From: u.From, To: u.To, W: u.W}
+	}
+	resp, body := postJSON(t, client, base+"/v1/updates", updatesRequest{Updates: wire})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/updates: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func waitQuiescedSrv(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.Quiesced() {
+		if time.Now().After(deadline) {
+			t.Fatal("server did not quiesce")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// End-to-end: answers served over HTTP after a streamed update sequence are
+// identical to an offline MultiCISO run over the same stream, then survive a
+// drain + restore-from-checkpoint/WAL round trip mid-stream.
+func TestServerEndToEndMatchesOfflineAcrossRestart(t *testing.T) {
+	w := testWorkload(t)
+	a := testAlgo(t)
+	dir := t.TempDir()
+	cfg := testServerConfig()
+	cfg.WALPath = filepath.Join(dir, "srv.wal")
+	cfg.CheckpointPath = filepath.Join(dir, "srv.ckpt")
+
+	srv, err := New(w.Initial(), a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	// Offline reference over the same initial topology and query set.
+	var qs []core.Query
+	for _, p := range w.QueryPairsConnected(5) {
+		qs = append(qs, core.Query{S: p[0], D: p[1]})
+	}
+	ref := core.NewMultiCISO()
+	ref.Reset(w.Initial(), a, qs)
+
+	for _, q := range qs {
+		resp, body := postJSON(t, client, ts.URL+"/v1/query", queryRequest{S: q.S, D: q.D})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /v1/query: status %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	// First half of the stream over HTTP; the server cuts its own windows,
+	// which need not match the workload's batch boundaries — the converged
+	// answers are boundary-independent.
+	var replayed [][]graph.Update
+	for i := 0; i < 6; i++ {
+		b := w.NextBatch()
+		replayed = append(replayed, b)
+		postUpdatesHTTP(t, client, ts.URL, b)
+	}
+	waitQuiescedSrv(t, srv)
+	for _, b := range replayed {
+		ref.ApplyBatch(b)
+	}
+	checkAnswers(t, client, ts.URL, qs, ref.Answers(), "pre-restart")
+
+	// SIGTERM path: stop HTTP, drain (flush window + final checkpoint + WAL
+	// close), then restore a fresh server from the durable artefacts alone.
+	ts.Close()
+	if err := srv.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, _, err := resilience.ReadCheckpointFile(cfg.CheckpointPath); err != nil {
+		t.Fatalf("drain left no readable checkpoint: %v", err)
+	}
+
+	srv2, err := Restore(a, cfg, nil) // nil init: the checkpoint must carry everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.Pool().NumQueries() != len(qs) {
+		t.Fatalf("restore re-armed %d queries, want %d", srv2.Pool().NumQueries(), len(qs))
+	}
+	if srv2.Applied() != srv.Applied() {
+		t.Fatalf("restore at batch %d, drained server at %d", srv2.Applied(), srv.Applied())
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	client2 := ts2.Client()
+	checkAnswers(t, client2, ts2.URL, qs, ref.Answers(), "post-restart")
+
+	// Second half of the stream against the restored server.
+	for i := 0; i < 6; i++ {
+		b := w.NextBatch()
+		ref.ApplyBatch(b)
+		postUpdatesHTTP(t, client2, ts2.URL, b)
+	}
+	waitQuiescedSrv(t, srv2)
+	checkAnswers(t, client2, ts2.URL, qs, ref.Answers(), "post-restart stream")
+	if err := srv2.Drain(); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+}
+
+func checkAnswers(t *testing.T, client *http.Client, base string, qs []core.Query, want []algo.Value, phase string) {
+	t.Helper()
+	var resp answersResponse
+	if r := getJSON(t, client, base+"/v1/answers", &resp); r.StatusCode != http.StatusOK {
+		t.Fatalf("%s: GET /v1/answers status %d", phase, r.StatusCode)
+	}
+	if len(resp.Answers) != len(qs) {
+		t.Fatalf("%s: served %d answers, want %d", phase, len(resp.Answers), len(qs))
+	}
+	for i, ans := range resp.Answers {
+		if ans.S != qs[i].S || ans.D != qs[i].D {
+			t.Fatalf("%s: answer %d is Q(%d->%d), want Q(%d->%d)", phase, i, ans.S, ans.D, qs[i].S, qs[i].D)
+		}
+		if float64(ans.Value) != want[i] {
+			t.Errorf("%s: Q(%d->%d): served %v, offline %v", phase, ans.S, ans.D, float64(ans.Value), want[i])
+		}
+	}
+}
+
+// The HTTP surface: validation errors, admission control, health and metrics.
+func TestServerAPISurface(t *testing.T) {
+	w := testWorkload(t)
+	cfg := testServerConfig()
+	cfg.MaxQueries = 2
+	srv, err := New(w.Initial(), testAlgo(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	n := uint32(w.NumVertices())
+
+	// Query validation.
+	for _, tc := range []struct {
+		req  queryRequest
+		want int
+	}{
+		{queryRequest{S: 0, D: n + 5}, http.StatusBadRequest}, // out of range
+		{queryRequest{S: 3, D: 3}, http.StatusBadRequest},     // s == d
+		{queryRequest{S: 0, D: 1}, http.StatusOK},
+		{queryRequest{S: 1, D: 2}, http.StatusOK},
+		{queryRequest{S: 2, D: 3}, http.StatusTooManyRequests}, // MaxQueries
+	} {
+		resp, body := postJSON(t, client, ts.URL+"/v1/query", tc.req)
+		if resp.StatusCode != tc.want {
+			t.Errorf("query %+v: status %d, want %d (%s)", tc.req, resp.StatusCode, tc.want, body)
+		}
+	}
+
+	// Update validation.
+	resp, _ := postJSON(t, client, ts.URL+"/v1/updates", map[string]any{
+		"updates": []map[string]any{{"op": "frob", "from": 0, "to": 1, "w": 1}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad op: status %d, want 400", resp.StatusCode)
+	}
+
+	// Answer by id, and an unknown id.
+	var one answersResponse
+	if r := getJSON(t, client, ts.URL+"/v1/answers?id=1", &one); r.StatusCode != http.StatusOK {
+		t.Errorf("answers?id=1: status %d", r.StatusCode)
+	} else if len(one.Answers) != 1 || one.Answers[0].ID != 1 {
+		t.Errorf("answers?id=1: got %+v", one.Answers)
+	}
+	if r := getJSON(t, client, ts.URL+"/v1/answers?id=99", nil); r.StatusCode != http.StatusNotFound {
+		t.Errorf("answers?id=99: status %d, want 404", r.StatusCode)
+	}
+
+	// Health reflects the live state.
+	var hz healthzResponse
+	getJSON(t, client, ts.URL+"/healthz", &hz)
+	if hz.Status != "ok" || hz.Queries != 2 || hz.Shards != 2 || hz.Algorithm == "" {
+		t.Errorf("healthz: %+v", hz)
+	}
+
+	// Metrics render both counter layers and the gauges.
+	mresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		fmt.Sprintf("cisgraph_counter{layer=\"server\",name=%q}", CntQueriesRegistered),
+		"cisgraph_counter{layer=\"engine\"",
+		"cisgraph_ingest_pending",
+		"cisgraph_edges",
+		"cisgraph_queries 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Draining refuses new work.
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = postJSON(t, client, ts.URL+"/v1/query", queryRequest{S: 4, D: 5})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("query while draining: status %d, want 503", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, client, ts.URL+"/v1/updates", updatesRequest{
+		Updates: []updateJSON{{Op: "add", From: 0, To: 1, W: 1}},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("updates while draining: status %d, want 503", resp.StatusCode)
+	}
+	getJSON(t, client, ts.URL+"/healthz", &hz)
+	if hz.Status != "draining" {
+		t.Errorf("healthz status %q while draining, want draining", hz.Status)
+	}
+}
+
+// Backpressure: a tiny queue under OverflowReject turns POSTs into 429s with
+// Retry-After; under OverflowShed they are accepted and the oldest queued
+// updates are dropped, all surfaced in the response body.
+func TestServerBackpressure(t *testing.T) {
+	w := testWorkload(t)
+
+	cfg := testServerConfig()
+	cfg.BatchMaxSize = 8
+	cfg.BatchMaxWait = time.Hour // the queue only drains by size cuts
+	cfg.QueueCapacity = 8
+	cfg.OnFull = OverflowReject
+	srv, err := New(w.Initial(), testAlgo(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	big := make([]updateJSON, 9)
+	for i := range big {
+		big[i] = updateJSON{Op: "add", From: 0, To: uint32(i + 1), W: 1}
+	}
+	// 9 > capacity 8: rejected outright no matter the queue's fill level.
+	resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/updates", updatesRequest{Updates: big})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("oversized POST: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	cfg.OnFull = OverflowShed
+	srv2, err := New(w.Initial(), testAlgo(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Drain()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	resp, body := postJSON(t, ts2.Client(), ts2.URL+"/v1/updates", updatesRequest{Updates: big})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("shed POST: status %d: %s", resp.StatusCode, body)
+	}
+	var ur updatesResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Accepted == 0 {
+		t.Errorf("shed POST accepted nothing: %+v", ur)
+	}
+}
