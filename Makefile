@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke serve-smoke experiments
+.PHONY: build test race vet staticcheck bench bench-smoke bench-compare serve-smoke experiments
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,12 @@ race:
 vet:
 	$(GO) vet ./...
 
+## staticcheck: deeper static analysis than vet. Needs the staticcheck
+## binary on PATH (CI installs it with `go install
+## honnef.co/go/tools/cmd/staticcheck@latest`).
+staticcheck:
+	staticcheck ./...
+
 ## bench: full benchmark-regression suite; writes BENCH_<date>.json.
 bench:
 	$(GO) run ./cmd/bench
@@ -22,6 +28,13 @@ bench:
 ## fixed output name for artifact upload.
 bench-smoke:
 	$(GO) run ./cmd/bench -quick -benchtime 10ms -out bench-smoke.json
+
+## bench-compare: run a fresh quick suite and diff it against the newest
+## committed BENCH_*.json baseline. Reduced benchtime makes absolute deltas
+## indicative only — use `make bench` + benchcmp for a real comparison.
+bench-compare:
+	$(GO) run ./cmd/bench -quick -benchtime 10ms -out bench-new.json
+	$(GO) run ./cmd/benchcmp "$$(ls BENCH_*.json | sort | tail -n 1)" bench-new.json
 
 ## serve-smoke: end-to-end serving check — cisgraphd + loadgen over a small
 ## generated stream, with a SIGTERM drain and checkpoint/WAL resume in the

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"cisgraph/internal/bench"
+	"cisgraph/internal/core"
 )
 
 func BenchmarkRelaxPath(b *testing.B)        { bench.RelaxPath(b) }
@@ -20,3 +21,6 @@ func BenchmarkDynamicHasEdge(b *testing.B)   { bench.DynamicHasEdge(b) }
 func BenchmarkDynamicClone(b *testing.B)     { bench.DynamicClone(b) }
 func BenchmarkTopDegree(b *testing.B)        { bench.TopDegree(b) }
 func BenchmarkApplyBatch(b *testing.B)       { bench.ApplyBatch(b) }
+
+func BenchmarkMultiQueryScaleQ16Dense(b *testing.B)  { bench.MultiQueryScale(16, core.StoreDense)(b) }
+func BenchmarkMultiQueryScaleQ16Sparse(b *testing.B) { bench.MultiQueryScale(16, core.StoreSparse)(b) }

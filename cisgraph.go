@@ -159,6 +159,15 @@ type (
 	MultiCISO = core.MultiCISO
 	// MultiOption configures a MultiCISO core.
 	MultiOption = core.MultiOption
+	// StoreKind selects the per-query state representation (dense arrays
+	// or a sparse copy-on-write overlay over a shared baseline).
+	StoreKind = core.StoreKind
+)
+
+// State-store kinds for MultiCISO (see DESIGN.md §11).
+const (
+	StoreDense  = core.StoreDense
+	StoreSparse = core.StoreSparse
 )
 
 // Contribution levels (Algorithm 1).
@@ -168,7 +177,7 @@ const (
 	ClassValuable = core.ClassValuable
 )
 
-// Counter names for Result.Counters and Engine.Counters().
+// Counter names for Result.Counters() and Engine.Counters().
 const (
 	// CntRelax counts ⊕ applications — the paper's "computations".
 	CntRelax = stats.CntRelax
@@ -197,10 +206,14 @@ var (
 	NewPnP = core.NewPnP
 	// NewCISO is CISGraph-O, the contribution-aware software workflow.
 	NewCISO = core.NewCISO
-	// NewMultiCISO answers several queries over one shared stream;
-	// WithParallelQueries processes them on separate goroutines.
+	// NewMultiCISO answers several queries over one shared stream.
+	// WithWorkers bounds the per-query worker pool, WithParallelQueries
+	// sizes it to GOMAXPROCS, WithStore picks the state representation.
 	NewMultiCISO        = core.NewMultiCISO
+	WithWorkers         = core.WithWorkers
 	WithParallelQueries = core.WithParallelQueries
+	WithStore           = core.WithStore
+	ParseStoreKind      = core.ParseStoreKind
 	// LoadCISO restores a CISO engine from a checkpoint written with its
 	// Save method.
 	LoadCISO = core.LoadCISO
@@ -250,7 +263,7 @@ const (
 	SanitizeStrict = resilience.PolicyStrict
 )
 
-// Resilience counter names (Result.Counters / Engine.Counters()).
+// Resilience counter names (Result.Counters() / Engine.Counters()).
 const (
 	CntPanicRecovered    = stats.CntPanicRecovered
 	CntAuditFailed       = stats.CntAuditFailed

@@ -1,0 +1,150 @@
+// Command benchcmp compares two BENCH_*.json baselines written by cmd/bench
+// and reports per-case deltas: ns/op, B/op, allocs/op and every custom
+// metric. It is the comparison half of the benchmark-regression harness —
+// `make bench-compare` runs a fresh quick suite and diffs it against the
+// newest committed baseline.
+//
+//	benchcmp old.json new.json              # report all deltas
+//	benchcmp -threshold 25 old.json new.json  # flag >25% ns/op regressions
+//	benchcmp -fail old.json new.json        # exit 1 if any case regressed
+//
+// Cases present in only one file are listed but never counted as
+// regressions (new benchmarks appear, old ones retire). Without -fail the
+// exit code is always 0: CI wires this in as a non-blocking report, because
+// shared runners are too noisy to gate merges on micro-benchmark deltas.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type record struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Date      string   `json:"date"`
+	Benchtime string   `json:"benchtime"`
+	Quick     bool     `json:"quick"`
+	Results   []record `json:"results"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 25, "flag a case as regressed when ns/op grows more than this percentage")
+	failOnRegress := flag.Bool("fail", false, "exit non-zero when any case regressed past -threshold")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchcmp [flags] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	if oldRep.Benchtime != newRep.Benchtime || oldRep.Quick != newRep.Quick {
+		fmt.Printf("note: comparing benchtime=%s quick=%v (%s) against benchtime=%s quick=%v (%s) — absolute deltas are indicative only\n",
+			oldRep.Benchtime, oldRep.Quick, flag.Arg(0), newRep.Benchtime, newRep.Quick, flag.Arg(1))
+	}
+
+	oldBy := byName(oldRep.Results)
+	newBy := byName(newRep.Results)
+	names := make([]string, 0, len(newBy))
+	for name := range newBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-30s %14s %14s %8s\n", "case", "old ns/op", "new ns/op", "delta")
+	regressed := 0
+	for _, name := range names {
+		n := newBy[name]
+		o, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("%-30s %14s %14.2f %8s\n", name, "-", n.NsPerOp, "new")
+			continue
+		}
+		pct := 0.0
+		if o.NsPerOp > 0 {
+			pct = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		mark := ""
+		if pct > *threshold {
+			mark = "  << regressed"
+			regressed++
+		}
+		fmt.Printf("%-30s %14.2f %14.2f %+7.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, pct, mark)
+		if n.AllocsPerOp != o.AllocsPerOp {
+			fmt.Printf("%-30s   allocs/op %d -> %d\n", "", o.AllocsPerOp, n.AllocsPerOp)
+		}
+		for _, m := range sortedKeys(n.Metrics) {
+			if ov, ok := o.Metrics[m]; ok && ov != n.Metrics[m] {
+				fmt.Printf("%-30s   %s %.1f -> %.1f\n", "", m, ov, n.Metrics[m])
+			}
+		}
+	}
+	for _, r := range oldRep.Results {
+		if _, ok := newBy[r.Name]; !ok {
+			fmt.Printf("%-30s %14.2f %14s %8s\n", r.Name, r.NsPerOp, "-", "gone")
+		}
+	}
+	if regressed > 0 {
+		fmt.Printf("\n%d case(s) regressed more than %.0f%% ns/op\n", regressed, *threshold)
+		if *failOnRegress {
+			os.Exit(1)
+		}
+	}
+}
+
+func load(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return rep, nil
+}
+
+func byName(rs []record) map[string]record {
+	out := make(map[string]record, len(rs))
+	for _, r := range rs {
+		out[r.Name] = r
+	}
+	return out
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

@@ -257,9 +257,10 @@ func run() error {
 				fmt.Printf("  %-10s degraded: %v\n", "", res.Err)
 			}
 			if *verbose {
+				counters := res.Counters()
 				for _, name := range []string{"relax", "activation", "tagged",
 					"update_valuable", "update_delayed", "update_useless", "update_promoted"} {
-					if v, ok := res.Counters[name]; ok && v != 0 {
+					if v, ok := counters[name]; ok && v != 0 {
 						fmt.Printf("    %s=%d", name, v)
 					}
 				}

@@ -63,7 +63,8 @@ func run() error {
 		onFull    = flag.String("on-full", "reject", "queue-full policy: reject (429) or shed (drop oldest)")
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request handler timeout")
 		shards    = flag.Int("shards", 1, "query-pool shards")
-		parallelQ = flag.Bool("parallel-queries", false, "process each shard's queries on their own goroutines")
+		workers   = flag.Int("workers", 0, "per-shard query worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		storeStr  = flag.String("store", "dense", "per-query state store: dense (flat arrays) or sparse (paged deltas over a shared baseline)")
 		maxQ      = flag.Int("max-queries", 1024, "registered-query admission limit")
 
 		sanitize  = flag.String("sanitize", "drop", "ingestion sanitize policy: drop, reject or strict")
@@ -88,6 +89,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	store, err := core.ParseStoreKind(*storeStr)
+	if err != nil {
+		return err
+	}
 	cfg := server.Config{
 		BatchMaxSize:    *batchSize,
 		BatchMaxWait:    *batchWait,
@@ -95,7 +100,8 @@ func run() error {
 		OnFull:          overflow,
 		RequestTimeout:  *timeout,
 		Shards:          *shards,
-		ParallelQueries: *parallelQ,
+		Workers:         *workers,
+		Store:           store,
 		MaxQueries:      *maxQ,
 		Policy:          policy,
 		WALPath:         *walPath,
@@ -162,8 +168,8 @@ func run() error {
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("cisgraphd serving %s (%s) on %s: batch window %d/%v, queue %d (%s), %d shard(s)",
-			a.Name(), *sanitize, *addr, *batchSize, *batchWait, *queueCap, overflow, *shards)
+		log.Printf("cisgraphd serving %s (%s) on %s: batch window %d/%v, queue %d (%s), %d shard(s), %s store",
+			a.Name(), *sanitize, *addr, *batchSize, *batchWait, *queueCap, overflow, *shards, store)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}

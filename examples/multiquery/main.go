@@ -1,8 +1,10 @@
 // Multiquery: a dispatch service tracks the commute times of a whole fleet
 // over one live road network — the multi-query scenario the paper defers to
 // future work. All queries share a single topology stream; only the
-// per-query contribution analysis is repeated, and with parallel mode the
-// queries are processed on separate goroutines.
+// per-query contribution analysis is repeated, on a bounded worker pool
+// (WithParallelQueries sizes it to GOMAXPROCS; WithWorkers sets an explicit
+// bound, and WithStore(StoreSparse) swaps in copy-on-write per-query state
+// for large same-source fleets — see DESIGN.md §11).
 //
 // Run with:
 //

@@ -63,7 +63,7 @@ func main() {
 		res := eng.ApplyBatch(batch)
 		fmt.Printf("tick %d: travel time %3v min  (response %8v; %3d/%d updates dropped as useless)\n",
 			tick, res.Answer, res.Response.Round(0),
-			res.Counters["update_useless"], len(batch))
+			res.Counters()["update_useless"], len(batch))
 	}
 
 	// Cross-check the streamed answer against a from-scratch computation on

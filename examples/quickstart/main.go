@@ -39,10 +39,11 @@ func main() {
 
 	for batch := 0; batch < 5; batch++ {
 		res := eng.ApplyBatch(w.NextBatch())
+		counters := res.Counters()
 		fmt.Printf("batch %d: answer=%-8v response=%-12v  valuable=%d delayed=%d dropped=%d\n",
 			batch, res.Answer, res.Response,
-			res.Counters[cisgraph.CntUpdateValuable],
-			res.Counters[cisgraph.CntUpdateDelayed],
-			res.Counters[cisgraph.CntUpdateUseless])
+			counters[cisgraph.CntUpdateValuable],
+			counters[cisgraph.CntUpdateDelayed],
+			counters[cisgraph.CntUpdateUseless])
 	}
 }

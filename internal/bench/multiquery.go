@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stream"
+)
+
+// multiQuerySources is the number of distinct query sources the scaling
+// cases cluster on — the serving-layer pattern (many clients watching a few
+// origins) that the sparse store's per-source baseline sharing is built for.
+const multiQuerySources = 16
+
+// MultiQueryScale measures shared-snapshot multi-query execution at query
+// count q on the given state store: batch throughput (updates/s across all
+// queries) and the resident per-query state footprint (state-B/query =
+// MultiCISO.StateBytes / q, shared baselines counted once), measured after a
+// fixed six-batch warm stream so the number is comparable across runs and
+// query counts rather than a function of b.N. The q ∈ {16, 256, 4096} ×
+// {dense, sparse} grid in the suite is the memory-scaling experiment of
+// DESIGN.md §11: dense grows at 12·V bytes per query unconditionally, while
+// sparse pays one baseline per distinct source plus only the pages each
+// query's post-registration batches actually touch — at Q=16 every source is
+// distinct and sparse buys nothing, at Q=4096 the 16 baselines amortise to
+// noise and the footprint collapses to the per-query delta.
+func MultiQueryScale(q int, kind core.StoreKind) func(b *testing.B) {
+	return func(b *testing.B) {
+		ds := graph.RMAT("mqscale", 13, 16*(1<<13), graph.DefaultRMAT, 64, 42)
+		w, err := stream.New(ds, stream.Config{
+			LoadFraction: 0.5, AddsPerBatch: 50, DelsPerBatch: 50, Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs := w.QueryPairs(q)
+		qs := make([]core.Query, 0, q)
+		for i := 0; i < q; i++ {
+			s, d := pairs[i%multiQuerySources][0], pairs[i][1]
+			if s == d {
+				d = pairs[i][0]
+			}
+			qs = append(qs, core.Query{S: s, D: d})
+		}
+		batches := w.Batches(6)
+		m := core.NewMultiCISO(core.WithStore(kind))
+		m.Reset(w.Initial(), algo.PPSP{}, qs)
+		for _, batch := range batches {
+			m.ApplyBatch(batch)
+		}
+		resident := m.StateBytes()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var updates int
+		for i := 0; i < b.N; i++ {
+			batch := batches[i%len(batches)]
+			m.ApplyBatch(batch)
+			updates += len(batch)
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(updates)/secs, "updates/s")
+		}
+		b.ReportMetric(float64(resident)/float64(q), "state-B/query")
+	}
+}

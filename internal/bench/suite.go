@@ -46,6 +46,12 @@ func Suite() []Case {
 		{Name: "ApplyBatch", Bench: ApplyBatch},
 		{Name: "ServerIngest", Bench: ServerIngest},
 		{Name: "ServerAnswers", Bench: ServerAnswers},
+		{Name: "MultiQueryScale_Q16_Dense", Bench: MultiQueryScale(16, core.StoreDense)},
+		{Name: "MultiQueryScale_Q16_Sparse", Bench: MultiQueryScale(16, core.StoreSparse)},
+		{Name: "MultiQueryScale_Q256_Dense", Experiment: true, Bench: MultiQueryScale(256, core.StoreDense)},
+		{Name: "MultiQueryScale_Q256_Sparse", Experiment: true, Bench: MultiQueryScale(256, core.StoreSparse)},
+		{Name: "MultiQueryScale_Q4096_Dense", Experiment: true, Bench: MultiQueryScale(4096, core.StoreDense)},
+		{Name: "MultiQueryScale_Q4096_Sparse", Experiment: true, Bench: MultiQueryScale(4096, core.StoreSparse)},
 		{Name: "Fig2_UpdateBreakdown", Experiment: true, Bench: Fig2},
 		{Name: "Table4_PPSP", Experiment: true, Bench: Table4PPSP},
 	}
@@ -136,7 +142,7 @@ func DynamicHasEdge(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.HasEdge(0, 33) // hit
+		g.HasEdge(0, 33)  // hit
 		g.HasEdge(0, 999) // miss
 	}
 }

@@ -50,13 +50,14 @@ func (c *CISO) Save(w io.Writer) error {
 	if c.st == nil {
 		return fmt.Errorf("checkpoint: engine not armed (call Reset first)")
 	}
+	val, parent := c.st.store.CopyState()
 	dto := checkpointDTO{
 		Version: checkpointVersion,
 		Algo:    c.st.a.Name(),
 		Query:   c.st.q,
 		Graph:   c.st.g.EdgeList("checkpoint"),
-		Val:     c.st.val,
-		Parent:  c.st.parent,
+		Val:     val,
+		Parent:  parent,
 	}
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(&dto); err != nil {
@@ -172,8 +173,7 @@ func LoadCISO(r io.Reader, opts ...CISOOption) (*CISO, error) {
 	c := NewCISO(opts...)
 	c.st = newState(g, a, dto.Query, c.cnt)
 	c.onPath = make([]bool, n)
-	copy(c.st.val, dto.Val)
-	copy(c.st.parent, dto.Parent)
+	c.st.store.LoadState(dto.Val, dto.Parent)
 	// Restore must be internally consistent: every parent edge must exist
 	// and supply its child's value (the invariant every recovery relies on).
 	if err := c.st.verifyInvariant(); err != nil {
@@ -215,24 +215,25 @@ func (e *Incremental) CheckInvariants() error {
 // (used by checkpoint restore and the guard audit; tests use their own
 // checker).
 func (st *state) verifyInvariant() error {
-	if st.val[st.q.S] != st.a.Source() {
-		return fmt.Errorf("source state %v != %v", st.val[st.q.S], st.a.Source())
+	if st.value(st.q.S) != st.a.Source() {
+		return fmt.Errorf("source state %v != %v", st.value(st.q.S), st.a.Source())
 	}
-	for v := range st.val {
-		p := st.parent[v]
+	n := st.numVertices()
+	for v := 0; v < n; v++ {
+		p := st.parentOf(graph.VertexID(v))
 		if p == graph.NoVertex {
 			continue
 		}
-		if int(p) >= len(st.val) {
+		if int(p) >= n {
 			return fmt.Errorf("vertex %d: parent %d out of range", v, p)
 		}
 		w, ok := st.g.HasEdge(p, graph.VertexID(v))
 		if !ok {
 			return fmt.Errorf("vertex %d: parent edge %d->%d missing", v, p, v)
 		}
-		if got := st.a.Propagate(st.val[p], st.a.Weight(w)); got != st.val[v] {
+		if got := st.a.Propagate(st.value(p), st.a.Weight(w)); got != st.value(graph.VertexID(v)) {
 			return fmt.Errorf("vertex %d: value %v unsupported by parent %d (edge gives %v)",
-				v, st.val[v], p, got)
+				v, st.value(graph.VertexID(v)), p, got)
 		}
 	}
 	return nil

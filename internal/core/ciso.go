@@ -107,7 +107,7 @@ type pendingDeletion struct {
 // ApplyBatch implements Engine.
 func (c *CISO) ApplyBatch(batch []graph.Update) Result {
 	st := c.st
-	before := c.cnt.Snapshot()
+	before := c.cnt.DenseSnapshot(nil)
 	t0 := time.Now()
 
 	// Reduce the batch to net per-edge effects so the phase split below
@@ -229,13 +229,8 @@ func (c *CISO) ApplyBatch(batch []graph.Update) Result {
 	return c.result(before, response, time.Since(t0))
 }
 
-func (c *CISO) result(before map[string]int64, response, converged time.Duration) Result {
-	return Result{
-		Answer:    c.st.answer(),
-		Response:  response,
-		Converged: converged,
-		Counters:  c.cnt.Diff(before),
-	}
+func (c *CISO) result(before []int64, response, converged time.Duration) Result {
+	return batchResult(c.cnt, before, c.st.answer(), response, converged)
 }
 
 // Answer implements Engine.

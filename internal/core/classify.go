@@ -77,7 +77,7 @@ func (st *state) keyPath(onPath []bool) []graph.VertexID {
 	for i := range onPath {
 		onPath[i] = false
 	}
-	if !algo.Reached(st.a, st.val[st.q.D]) {
+	if !algo.Reached(st.a, st.value(st.q.D)) {
 		return nil
 	}
 	var rev []graph.VertexID
@@ -88,8 +88,8 @@ func (st *state) keyPath(onPath []bool) []graph.VertexID {
 		if v == st.q.S {
 			break
 		}
-		p := st.parent[v]
-		if p == graph.NoVertex || len(rev) > len(st.val) {
+		p := st.parentOf(v)
+		if p == graph.NoVertex || len(rev) > st.numVertices() {
 			// d reached without a complete chain to s: defensive — should
 			// be impossible under the parent invariant.
 			for i := range onPath {
@@ -110,5 +110,5 @@ func (st *state) keyPath(onPath []bool) []graph.VertexID {
 // v is on the path and u supplies v. onPath must hold the marks produced by
 // keyPath.
 func (st *state) edgeOnKeyPath(onPath []bool, u, v graph.VertexID) bool {
-	return onPath[v] && st.parent[v] == u
+	return onPath[v] && st.parentOf(v) == u
 }

@@ -29,17 +29,12 @@ func (c *ColdStart) Reset(g *graph.Dynamic, a algo.Algorithm, q Query) {
 // ApplyBatch implements Engine: mutate the topology, then recompute from
 // scratch — the defining behaviour of the cold-start baseline.
 func (c *ColdStart) ApplyBatch(batch []graph.Update) Result {
-	before := c.cnt.Snapshot()
+	before := c.cnt.DenseSnapshot(nil)
 	d := timed(func() {
 		c.st.g.Apply(batch)
 		c.st.fullCompute()
 	})
-	return Result{
-		Answer:    c.st.answer(),
-		Response:  d,
-		Converged: d,
-		Counters:  c.cnt.Diff(before),
-	}
+	return batchResult(c.cnt, before, c.st.answer(), d, d)
 }
 
 // Answer implements Engine.

@@ -43,14 +43,59 @@ type Result struct {
 	// Converged is the time until the engine's state fully converged on
 	// the new snapshot.
 	Converged time.Duration
-	// Counters holds this batch's counter deltas (relaxations, activations,
-	// classification outcomes, ...).
-	Counters map[string]int64
 	// Err is non-nil when the engine degraded while producing this result —
 	// a recovered per-query panic in MultiCISO, a rejected batch or a
 	// recovery event in resilience.Guard. The Answer is the engine's best
 	// current value; it may be stale until the next clean batch.
 	Err error
+
+	// Lazy counter-delta backing: engines record the batch's movement as a
+	// compact dense-id-ordered slice (cntSrc resolves ids to names); the
+	// name-keyed map is only materialised when Counters() is first called.
+	// The serving hot path never reads it, so it never pays a per-batch
+	// per-query map allocation (DESIGN.md §11).
+	cntSrc   *stats.Counters
+	cntDelta []int64
+	counters map[string]int64
+}
+
+// Counters returns this batch's counter deltas (relaxations, activations,
+// classification outcomes, ...), materialising the name-keyed map on first
+// call and caching it. A zero Result returns nil — reads through it still
+// behave (indexing a nil map yields zero).
+func (r *Result) Counters() map[string]int64 {
+	if r.counters == nil && r.cntSrc != nil {
+		r.counters = r.cntSrc.DeltaMap(r.cntDelta)
+	}
+	return r.counters
+}
+
+// CounterDelta exposes the raw dense delta and its resolving counter set —
+// the allocation-free face of the batch's counter movement (dense ids are
+// registration order on src; see stats.Counters.DeltaMap).
+func (r *Result) CounterDelta() (src *stats.Counters, delta []int64) {
+	return r.cntSrc, r.cntDelta
+}
+
+// SetCounters replaces the result's counter deltas with an explicit map.
+// Engine wrappers outside this package (resilience.Guard, hw/accel) use it
+// to attribute their own measurements.
+func (r *Result) SetCounters(m map[string]int64) {
+	r.counters = m
+	r.cntSrc, r.cntDelta = nil, nil
+}
+
+// batchResult assembles a Result whose counter deltas are captured now (as a
+// cheap dense slice against the pre-batch snapshot) but materialised as a
+// map only on demand.
+func batchResult(cnt *stats.Counters, before []int64, answer algo.Value, response, converged time.Duration) Result {
+	return Result{
+		Answer:    answer,
+		Response:  response,
+		Converged: converged,
+		cntSrc:    cnt,
+		cntDelta:  cnt.DenseDelta(before),
+	}
 }
 
 // Engine is a pairwise streaming query engine. Reset gives the engine

@@ -104,7 +104,7 @@ func TestRepeatedBatchIsIdempotent(t *testing.T) {
 	if again.Answer != first {
 		t.Fatalf("idempotent re-application changed the answer: %v → %v", first, again.Answer)
 	}
-	if got := again.Counters["state_update"]; got != 0 {
+	if got := again.Counters()["state_update"]; got != 0 {
 		t.Fatalf("no-op batch wrote %d states", got)
 	}
 }

@@ -32,8 +32,8 @@ func TestCISOFig3Scenario(t *testing.T) {
 	if res.Answer != 5 {
 		t.Fatalf("answer after v0→v1 = %v, want 5", res.Answer)
 	}
-	if res.Counters[stats.CntUpdateValuable] != 1 {
-		t.Fatalf("v0→v1 should pass the triangle test: %v", res.Counters)
+	if res.Counters()[stats.CntUpdateValuable] != 1 {
+		t.Fatalf("v0→v1 should pass the triangle test: %v", res.Counters())
 	}
 	// Addition v2→v5 (1) is the paper's valuable update: answer drops to 2.
 	res = e.ApplyBatch([]graph.Update{graph.Add(2, 5, 1)})
@@ -47,8 +47,8 @@ func TestCISOFig3Scenario(t *testing.T) {
 	}
 	// A worse parallel route is useless and dropped.
 	res = e.ApplyBatch([]graph.Update{graph.Add(1, 5, 9)})
-	if res.Counters[stats.CntUpdateUseless] != 1 {
-		t.Fatalf("worse addition should be dropped: %v", res.Counters)
+	if res.Counters()[stats.CntUpdateUseless] != 1 {
+		t.Fatalf("worse addition should be dropped: %v", res.Counters())
 	}
 	if res.Answer != 2 {
 		t.Fatalf("useless addition changed the answer to %v", res.Answer)
@@ -101,8 +101,8 @@ func TestCISODeletionClasses(t *testing.T) {
 
 	// Off-path supplier deletion: delayed, answer unchanged.
 	res := e.ApplyBatch([]graph.Update{graph.Del(3, 4, 1)})
-	if res.Counters[stats.CntUpdateDelayed] != 1 {
-		t.Fatalf("off-path supplier should be delayed: %v", res.Counters)
+	if res.Counters()[stats.CntUpdateDelayed] != 1 {
+		t.Fatalf("off-path supplier should be delayed: %v", res.Counters())
 	}
 	if res.Answer != 2 {
 		t.Fatalf("answer changed to %v", res.Answer)
@@ -110,8 +110,8 @@ func TestCISODeletionClasses(t *testing.T) {
 
 	// Key-path deletion: valuable, answer falls back to the backup edge.
 	res = e.ApplyBatch([]graph.Update{graph.Del(1, 2, 1)})
-	if res.Counters[stats.CntUpdateValuable] != 1 {
-		t.Fatalf("key-path deletion should be valuable: %v", res.Counters)
+	if res.Counters()[stats.CntUpdateValuable] != 1 {
+		t.Fatalf("key-path deletion should be valuable: %v", res.Counters())
 	}
 	if res.Answer != 9 {
 		t.Fatalf("answer = %v, want 9", res.Answer)
@@ -119,8 +119,8 @@ func TestCISODeletionClasses(t *testing.T) {
 
 	// Deleting an edge that never supplied anything: useless.
 	res = e.ApplyBatch([]graph.Update{graph.Del(0, 1, 1)})
-	if res.Counters[stats.CntUpdateUseless]+res.Counters[stats.CntUpdateDelayed] == 0 {
-		t.Fatalf("counters: %v", res.Counters)
+	if res.Counters()[stats.CntUpdateUseless]+res.Counters()[stats.CntUpdateDelayed] == 0 {
+		t.Fatalf("counters: %v", res.Counters())
 	}
 	if res.Answer != 9 {
 		t.Fatalf("answer = %v, want 9", res.Answer)
@@ -153,8 +153,8 @@ func TestCISOPromotion(t *testing.T) {
 	if res.Answer != 10 {
 		t.Fatalf("answer = %v, want 10 — delayed deletion must be promoted", res.Answer)
 	}
-	if res.Counters[stats.CntUpdatePromoted] != 1 {
-		t.Fatalf("expected exactly one promotion: %v", res.Counters)
+	if res.Counters()[stats.CntUpdatePromoted] != 1 {
+		t.Fatalf("expected exactly one promotion: %v", res.Counters())
 	}
 }
 
@@ -246,8 +246,8 @@ func TestSGraphChargesHubMaintenance(t *testing.T) {
 	e := NewSGraph(2)
 	e.Reset(g, algo.PPSP{}, Query{S: 0, D: 4})
 	res := e.ApplyBatch([]graph.Update{graph.Add(0, 4, 1), graph.Del(1, 2, 1)})
-	if res.Counters[stats.CntHubRelax] == 0 {
-		t.Fatalf("hub maintenance must be charged: %v", res.Counters)
+	if res.Counters()[stats.CntHubRelax] == 0 {
+		t.Fatalf("hub maintenance must be charged: %v", res.Counters())
 	}
 	if res.Answer != 1 {
 		t.Fatalf("answer = %v", res.Answer)

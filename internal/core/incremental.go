@@ -72,7 +72,7 @@ func (e *Incremental) Reset(g *graph.Dynamic, a algo.Algorithm, q Query) {
 // intermediate snapshot after every step.
 func (e *Incremental) ApplyBatch(batch []graph.Update) Result {
 	st := e.st
-	before := e.cnt.Snapshot()
+	before := e.cnt.DenseSnapshot(nil)
 	total := timed(func() {
 		for i, up := range batch {
 			prevAns := st.answer()
@@ -102,12 +102,7 @@ func (e *Incremental) ApplyBatch(batch []graph.Update) Result {
 			}
 		}
 	})
-	return Result{
-		Answer:    st.answer(),
-		Response:  total,
-		Converged: total,
-		Counters:  e.cnt.Diff(before),
-	}
+	return batchResult(e.cnt, before, st.answer(), total, total)
 }
 
 // Answer implements Engine.

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cisgraph/internal/algo"
@@ -20,6 +22,14 @@ import (
 // contribution-aware classification itself is inherently per-query because
 // each query converges to different states.
 //
+// Per-query state is a pluggable StateStore (DESIGN.md §11). The default
+// dense store costs O(V) per query; WithStore(StoreSparse) switches to
+// copy-on-write overlays over per-source shared baselines, built for high
+// query counts: queries with the same source converge to the same one-to-all
+// state, so registration is O(1) against an existing baseline and each query
+// pays only for the pages its batches actually touch. Worklist and tagging
+// scratch is per worker slot, not per query, in both configurations.
+//
 // Answers are bit-identical to independent CISO engines (enforced by
 // tests): the phase logic is the same, with one benign reordering — all
 // addition edges are inserted before any is relaxed, which converges to the
@@ -29,21 +39,41 @@ import (
 // AddQuery are writers and serialize on an internal lock; Answers, AnswerOf,
 // Queries, NumQueries and Counters are readers and may be called from any
 // goroutine, including while a writer runs — a reader observes either the
-// pre-batch or the post-batch state, never a torn intermediate. Writers must
-// still come from one goroutine at a time per the single-writer discipline
+// pre-batch or the post-batch state, never a torn intermediate. AddQuery
+// performs its O(V+E) initial computation against a topology snapshot
+// WITHOUT holding the lock and only publishes under it, so readers (and the
+// batch writer) are never stalled behind a registration. Writers must still
+// come from one goroutine at a time per the single-writer discipline
 // (the lock enforces safety either way, but interleaved writers make answer
 // attribution meaningless).
 type MultiCISO struct {
-	mu       sync.RWMutex
-	g        *graph.Dynamic
-	a        algo.Algorithm
-	queries  []Query
-	states   []*state
-	onPath   [][]bool
-	cnts     []*stats.Counters // one per query (keeps parallel runs raceless)
-	ch       []classHandles    // per-query classification handles
-	cnt      *stats.Counters   // merged view, maintained from per-batch deltas
-	parallel bool
+	mu      sync.RWMutex
+	g       *graph.Dynamic
+	a       algo.Algorithm
+	queries []Query
+	states  []*state
+	cnts    []*stats.Counters // one per query (keeps parallel runs raceless)
+	ch      []classHandles    // per-query classification handles
+	cnt     *stats.Counters   // merged view, maintained from per-batch deltas
+
+	workers int       // bounded pool width for per-query phases; <=1 is serial
+	kind    StoreKind // per-query state representation
+
+	// epoch counts topology mutations; a baseline (and an AddQuery compute)
+	// is only valid against the epoch it was built for.
+	epoch uint64
+	// bases holds the current-epoch converged baseline per query source
+	// (sparse store only). Overlays registered in earlier epochs keep their
+	// (stale but still correct) baselines via their own references.
+	bases map[graph.VertexID]baseEntry
+
+	scs        []*scratch // per-worker-slot scratch, created on demand
+	beforeBufs [][]int64  // reusable per-query pre-batch counter snapshots
+}
+
+type baseEntry struct {
+	base  *Baseline
+	epoch uint64
 }
 
 // classHandles pre-resolves the per-deletion-event classification counters
@@ -53,18 +83,39 @@ type classHandles struct {
 	valuable, delayed, useless, promoted stats.Handle
 }
 
+func newClassHandles(cnt *stats.Counters) classHandles {
+	return classHandles{
+		valuable: cnt.Handle(stats.CntUpdateValuable),
+		delayed:  cnt.Handle(stats.CntUpdateDelayed),
+		useless:  cnt.Handle(stats.CntUpdateUseless),
+		promoted: cnt.Handle(stats.CntUpdatePromoted),
+	}
+}
+
 // MultiOption configures a MultiCISO engine.
 type MultiOption func(*MultiCISO)
 
-// WithParallelQueries processes each query's phases on its own goroutine.
-// Queries share the topology read-only during processing (all mutation
-// happens between phases on the caller's goroutine), so this is safe and
-// mirrors the multi-core software platforms the paper benchmarks against.
-func WithParallelQueries() MultiOption { return func(m *MultiCISO) { m.parallel = true } }
+// WithWorkers bounds the worker pool that executes per-query phases: n
+// goroutines pull query indices from a shared cursor, so Q queries cost Q/n
+// sequential rounds and exactly n scratch allocations — never Q goroutines.
+// n <= 1 means serial.
+func WithWorkers(n int) MultiOption { return func(m *MultiCISO) { m.workers = n } }
+
+// WithParallelQueries processes per-query phases on a GOMAXPROCS-wide worker
+// pool — shorthand for WithWorkers(runtime.GOMAXPROCS(0)). Queries share the
+// topology read-only during processing (all mutation happens between phases
+// on the caller's goroutine), so this is safe and mirrors the multi-core
+// software platforms the paper benchmarks against.
+func WithParallelQueries() MultiOption {
+	return func(m *MultiCISO) { m.workers = runtime.GOMAXPROCS(0) }
+}
+
+// WithStore selects the per-query state representation (default StoreDense).
+func WithStore(kind StoreKind) MultiOption { return func(m *MultiCISO) { m.kind = kind } }
 
 // NewMultiCISO returns an unarmed multi-query engine; call Reset first.
 func NewMultiCISO(opts ...MultiOption) *MultiCISO {
-	m := &MultiCISO{cnt: stats.NewCounters()}
+	m := &MultiCISO{cnt: stats.NewCounters(), workers: 1}
 	for _, o := range opts {
 		o(m)
 	}
@@ -74,6 +125,9 @@ func NewMultiCISO(opts ...MultiOption) *MultiCISO {
 // Name identifies the engine.
 func (m *MultiCISO) Name() string { return "MultiCISO" }
 
+// Store reports the configured state-store kind.
+func (m *MultiCISO) Store() StoreKind { return m.kind }
+
 // Reset takes ownership of g, arms every query and runs each query's
 // initial full computation. An empty query list is valid: queries can be
 // registered later with AddQuery.
@@ -81,50 +135,130 @@ func (m *MultiCISO) Reset(g *graph.Dynamic, a algo.Algorithm, queries []Query) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.g, m.a = g, a
+	m.epoch++
+	m.bases = make(map[graph.VertexID]baseEntry)
+	m.scs = nil // vertex count / algorithm may have changed
 	m.queries = append([]Query(nil), queries...)
-	m.states = make([]*state, len(queries))
-	m.onPath = make([][]bool, len(queries))
-	m.cnts = make([]*stats.Counters, len(queries))
-	m.ch = make([]classHandles, len(queries))
-	for i, q := range queries {
-		m.cnts[i] = stats.NewCounters()
-		m.ch[i] = classHandles{
-			valuable: m.cnts[i].Handle(stats.CntUpdateValuable),
-			delayed:  m.cnts[i].Handle(stats.CntUpdateDelayed),
-			useless:  m.cnts[i].Handle(stats.CntUpdateUseless),
-			promoted: m.cnts[i].Handle(stats.CntUpdatePromoted),
-		}
-		m.states[i] = newState(g, a, q, m.cnts[i])
-		m.states[i].fullCompute()
-		m.onPath[i] = make([]bool, g.NumVertices())
+	m.states = make([]*state, 0, len(queries))
+	m.cnts = make([]*stats.Counters, 0, len(queries))
+	m.ch = make([]classHandles, 0, len(queries))
+	m.beforeBufs = nil
+	for _, q := range queries {
+		cnt := stats.NewCounters()
+		st := m.buildStateLocked(q, cnt)
+		m.states = append(m.states, st)
+		m.cnts = append(m.cnts, cnt)
+		m.ch = append(m.ch, newClassHandles(cnt))
 	}
 	m.mergeCounters()
 }
 
+// buildStateLocked converges a state for q on the live topology (write lock
+// held). With the sparse store, a same-source query at the current epoch
+// reuses the registered baseline and skips the computation entirely.
+func (m *MultiCISO) buildStateLocked(q Query, cnt *stats.Counters) *state {
+	if m.kind == StoreSparse {
+		if be, ok := m.bases[q.S]; ok && be.epoch == m.epoch {
+			return newStateOn(NewOverlayStore(be.base), nil, m.g, m.a, q, cnt)
+		}
+	}
+	st, base := computeState(m.g, m.a, q, cnt, m.kind)
+	if base != nil {
+		m.bases[q.S] = baseEntry{base: base, epoch: m.epoch}
+	}
+	return st
+}
+
+// computeState runs the initial full computation for q against g (which must
+// not be mutated during the call — callers either hold the write lock or own
+// a private clone). Dense: the converged store backs the state directly.
+// Sparse: the converged arrays become a shareable baseline and the state is
+// an empty overlay over it. Multi-owned states carry no scratch of their
+// own; forEachQuery attaches a worker slot's scratch per execution.
+func computeState(g *graph.Dynamic, a algo.Algorithm, q Query, cnt *stats.Counters, kind StoreKind) (*state, *Baseline) {
+	n := g.NumVertices()
+	ds := NewDenseStore(n)
+	st := newStateOn(ds, newScratch(a, n), g, a, q, cnt)
+	st.fullCompute()
+	st.sc = nil
+	if kind != StoreSparse {
+		return st, nil
+	}
+	base := NewBaseline(ds.val, ds.parent)
+	return newStateOn(NewOverlayStore(base), nil, g, a, q, cnt), base
+}
+
+// addQueryRetries bounds how often AddQuery re-computes against a fresh
+// snapshot after a batch invalidated the previous one, before falling back
+// to computing under the write lock.
+const addQueryRetries = 2
+
 // AddQuery registers one more query against the current topology, runs its
 // initial full computation, and returns its index (stable: answers keep
 // Reset-then-AddQuery order) together with its initial answer. It is a
-// writer under the concurrency contract — safe to call between batches
-// while readers are active.
+// writer under the concurrency contract — but its O(V+E) computation runs
+// against a topology snapshot with NO lock held; only the final publish
+// takes the write lock (epoch-checked, retried if a batch landed in
+// between). Readers are never stalled behind a registration, and with the
+// sparse store a same-source registration at the current epoch skips the
+// computation entirely.
 func (m *MultiCISO) AddQuery(q Query) (int, algo.Value) {
+	cnt := stats.NewCounters()
+	for attempt := 0; attempt < addQueryRetries; attempt++ {
+		m.mu.RLock()
+		epoch := m.epoch
+		a := m.a
+		var st *state
+		var gc *graph.Dynamic
+		if m.kind == StoreSparse {
+			if be, ok := m.bases[q.S]; ok && be.epoch == epoch {
+				// Shared-baseline fast path: the overlay starts exactly at
+				// the already-converged per-source state; nothing to compute.
+				st = newStateOn(NewOverlayStore(be.base), nil, m.g, a, q, cnt)
+			}
+		}
+		if st == nil {
+			gc = m.g.Clone() // arena clone: cheap, and private to this goroutine
+		}
+		m.mu.RUnlock()
+
+		var base *Baseline
+		if st == nil {
+			st, base = computeState(gc, a, q, cnt, m.kind)
+		}
+
+		m.mu.Lock()
+		if m.epoch != epoch {
+			m.mu.Unlock()
+			continue // a batch landed mid-compute; the snapshot is stale
+		}
+		st.g = m.g // rebind from the clone (same epoch ⇒ identical topology)
+		if base != nil {
+			m.bases[q.S] = baseEntry{base: base, epoch: epoch}
+		}
+		i := m.installLocked(q, cnt, st)
+		ans := st.answer()
+		m.mu.Unlock()
+		return i, ans
+	}
+	// Update churn outpaced the optimistic path: compute under the write
+	// lock so registration completes regardless.
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	st := m.buildStateLocked(q, cnt)
+	i := m.installLocked(q, cnt, st)
+	return i, st.answer()
+}
+
+// installLocked appends a converged query state (write lock held).
+func (m *MultiCISO) installLocked(q Query, cnt *stats.Counters, st *state) int {
 	i := len(m.queries)
-	cnt := stats.NewCounters()
 	m.queries = append(m.queries, q)
 	m.cnts = append(m.cnts, cnt)
-	m.ch = append(m.ch, classHandles{
-		valuable: cnt.Handle(stats.CntUpdateValuable),
-		delayed:  cnt.Handle(stats.CntUpdateDelayed),
-		useless:  cnt.Handle(stats.CntUpdateUseless),
-		promoted: cnt.Handle(stats.CntUpdatePromoted),
-	})
-	st := newState(m.g, m.a, q, cnt)
-	st.fullCompute()
+	m.ch = append(m.ch, newClassHandles(cnt))
 	m.states = append(m.states, st)
-	m.onPath = append(m.onPath, make([]bool, m.g.NumVertices()))
 	m.cnt.AddAll(cnt) // fold the initial compute into the merged view
-	return i, st.answer()
+	return i
 }
 
 // mergeCounters rebuilds the combined view from every query's totals — paid
@@ -182,6 +316,43 @@ func (m *MultiCISO) Counters() *stats.Counters {
 	return m.cnt
 }
 
+// StateBytes reports the resident bytes of all per-query state: every
+// query's store plus each distinct shared baseline counted once. Scratch is
+// excluded (see ScratchBytes) — it scales with workers, not queries.
+func (m *MultiCISO) StateBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var seen map[*Baseline]bool
+	var total int64
+	for _, st := range m.states {
+		total += st.store.Bytes()
+		if ov, ok := st.store.(*OverlayStore); ok {
+			if seen == nil {
+				seen = make(map[*Baseline]bool)
+			}
+			if b := ov.BaselineRef(); !seen[b] {
+				seen[b] = true
+				total += b.Bytes()
+			}
+		}
+	}
+	return total
+}
+
+// ScratchBytes reports the resident bytes of the per-worker execution
+// scratch (worklists + tagging buffers) — O(V × workers) by construction.
+func (m *MultiCISO) ScratchBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var total int64
+	for _, sc := range m.scs {
+		if sc != nil {
+			total += sc.bytes()
+		}
+	}
+	return total
+}
+
 // ApplyBatch ingests one batch for every query and returns one Result per
 // query (Reset order). Each query's Response covers the shared
 // normalization/topology span (paid once, needed by every answer) plus that
@@ -195,20 +366,27 @@ func (m *MultiCISO) Counters() *stats.Counters {
 func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	results := make([]Result, len(m.states))
-	befores := make([]map[string]int64, len(m.states))
-	errs := make([]error, len(m.states))
+	nq := len(m.states)
+	results := make([]Result, nq)
+	errs := make([]error, nq)
 	// Snapshot every query's counters on the caller's goroutine, before any
 	// phase runs: the per-batch deltas derived from these drive both the
 	// result attribution and the merged-view maintenance below, so they must
-	// exist even for a query that panics in its first phase.
+	// exist even for a query that panics in its first phase. Dense snapshots
+	// into retained buffers: no per-query map allocation on this path.
+	for len(m.beforeBufs) < nq {
+		m.beforeBufs = append(m.beforeBufs, nil)
+	}
 	for i := range m.states {
-		befores[i] = m.cnts[i].Snapshot()
+		m.beforeBufs[i] = m.cnts[i].DenseSnapshot(m.beforeBufs[i][:0])
 	}
 
 	// Shared, once: normalization and topology for the addition phase.
 	t0 := time.Now()
 	nb := NormalizeBatch(m.g, batch)
+	if len(nb.Adds)+len(nb.Dels)+len(nb.Reweights) > 0 {
+		m.epoch++ // registered baselines are converged for the old snapshot
+	}
 	for _, up := range nb.Adds {
 		m.g.AddEdge(up.From, up.To, up.W)
 	}
@@ -219,9 +397,9 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 	addEvents := append(append([]graph.Update(nil), nb.Adds...), reweightAdds(nb)...)
 	addTopoSpan := time.Since(t0)
 
-	// Phase A per query (parallel when configured: the topology is
-	// read-only from here until the shared deletion pass).
-	addSpans := make([]time.Duration, len(m.states))
+	// Phase A per query on the worker pool (the topology is read-only from
+	// here until the shared deletion pass).
+	addSpans := make([]time.Duration, nq)
 	m.forEachQuery(errs, func(i int) {
 		tq := time.Now()
 		for _, up := range addEvents {
@@ -243,13 +421,13 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 	m.forEachQuery(errs, func(i int) {
 		st := m.states[i]
 		ch := m.ch[i]
-		cnt := m.cnts[i]
+		onPath := st.sc.onPath
 		tq := time.Now()
-		st.keyPath(m.onPath[i])
+		st.keyPath(onPath)
 		var valuable, delayed []pendingDeletion
 		for _, up := range delEvents {
-			class := ClassifyDeletion(m.a, st.val[up.From], st.val[up.To], up.W,
-				st.edgeOnKeyPath(m.onPath[i], up.From, up.To))
+			class := ClassifyDeletion(m.a, st.value(up.From), st.value(up.To), up.W,
+				st.edgeOnKeyPath(onPath, up.From, up.To))
 			pd := pendingDeletion{u: up.From, v: up.To, w: up.W}
 			switch class {
 			case ClassValuable:
@@ -265,10 +443,10 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 		for j := 0; j < len(valuable); j++ {
 			valuable[j].done = true
 			st.repairVertex(valuable[j].v)
-			st.keyPath(m.onPath[i])
+			st.keyPath(onPath)
 			for k := range delayed {
 				pd := &delayed[k]
-				if !pd.done && st.edgeOnKeyPath(m.onPath[i], pd.u, pd.v) {
+				if !pd.done && st.edgeOnKeyPath(onPath, pd.u, pd.v) {
 					pd.done = true
 					ch.promoted.Inc()
 					valuable = append(valuable, *pd)
@@ -289,7 +467,8 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 			Answer:    st.answer(),
 			Response:  response,
 			Converged: converged,
-			Counters:  cnt.Diff(befores[i]),
+			cntSrc:    m.cnts[i],
+			cntDelta:  m.cnts[i].DenseDelta(m.beforeBufs[i]),
 		}
 	})
 	// Degraded queries: recover their state and surface the panic.
@@ -302,7 +481,8 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 		results[i] = Result{
 			Answer:   m.states[i].answer(),
 			Err:      err,
-			Counters: m.cnts[i].Diff(befores[i]),
+			cntSrc:   m.cnts[i],
+			cntDelta: m.cnts[i].DenseDelta(m.beforeBufs[i]),
 		}
 	}
 	// Fold each query's per-batch delta into the merged view. Every counter
@@ -310,48 +490,76 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 	// the result deltas, so this is equivalent to (but much cheaper than) a
 	// full reset-and-re-add across all queries.
 	for i := range results {
-		for k, v := range results[i].Counters {
-			if v != 0 {
-				m.cnt.Add(k, v)
-			}
-		}
+		m.cnt.AddDelta(m.cnts[i], results[i].cntDelta)
 	}
 	return results
 }
 
-// forEachQuery runs f(i) for every query whose errs entry is still nil, on
-// goroutines when parallel mode is enabled. Each query touches only its own
-// state/counters; the shared topology is read-only inside f. A panic inside
-// f is recovered into errs[i]; the WaitGroup always drains.
+// forEachQuery runs f(i) for every query whose errs entry is still nil on a
+// bounded worker pool: min(workers, queries) goroutines pull indices from a
+// shared cursor, each owning one scratch slot which it attaches to a query's
+// state for the duration of f. Each query touches only its own state and
+// counters; the shared topology is read-only inside f. A panic inside f is
+// recovered into errs[i] (and the slot's scratch scrubbed); the pool always
+// drains.
 func (m *MultiCISO) forEachQuery(errs []error, f func(i int)) {
-	run := func(i int) {
+	w := m.workers
+	if w < 1 {
+		w = 1
+	}
+	if w > len(m.states) {
+		w = len(m.states)
+	}
+	m.ensureScratches(w)
+	run := func(slot, i int) {
+		st := m.states[i]
+		st.sc = m.scs[slot]
 		defer func() {
 			if r := recover(); r != nil {
 				errs[i] = fmt.Errorf("multiciso: query %d %v panicked: %v", i, m.queries[i], r)
+				m.scs[slot].clear() // a mid-flight panic leaves marks behind
 			}
+			st.sc = nil
 		}()
 		f(i)
 	}
-	if !m.parallel || len(m.states) == 1 {
+	if w <= 1 {
 		for i := range m.states {
 			if errs[i] == nil {
-				run(i)
+				run(0, i)
 			}
 		}
 		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := range m.states {
-		if errs[i] != nil {
-			continue
-		}
+	for slot := 0; slot < w; slot++ {
 		wg.Add(1)
-		go func(i int) {
+		go func(slot int) {
 			defer wg.Done()
-			run(i)
-		}(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(m.states) {
+					return
+				}
+				if errs[i] == nil {
+					run(slot, i)
+				}
+			}
+		}(slot)
 	}
 	wg.Wait()
+}
+
+// ensureScratches guarantees w armed scratch slots for the current topology.
+func (m *MultiCISO) ensureScratches(w int) {
+	if w < 1 {
+		w = 1
+	}
+	n := m.g.NumVertices()
+	for len(m.scs) < w {
+		m.scs = append(m.scs, newScratch(m.a, n))
+	}
 }
 
 // repairState restores query i to a consistent converged state after a
@@ -362,10 +570,11 @@ func (m *MultiCISO) forEachQuery(errs []error, f func(i int)) {
 // itself panics the state stays degraded; the error remains on the result.
 func (m *MultiCISO) repairState(i int) {
 	defer func() { _ = recover() }()
+	m.ensureScratches(1)
 	st := m.states[i]
-	for j := range st.inSet {
-		st.inSet[j] = false
-	}
+	st.sc = m.scs[0]
+	defer func() { st.sc = nil }()
+	st.sc.clear()
 	st.fullCompute()
 }
 

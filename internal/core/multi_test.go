@@ -361,12 +361,11 @@ func TestMultiCISOConcurrentReaders(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Do-while: at least one full read pass even if the writer
+			// finishes all batches before this goroutine is scheduled
+			// (GOMAXPROCS=1 boxes — the bounded pool runs serially there
+			// and the writer never yields between batches).
 			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
 				ans := m.Answers()
 				if n := m.NumQueries(); len(ans) != n {
 					// Both sides are taken under the same read lock per
@@ -378,6 +377,11 @@ func TestMultiCISOConcurrentReaders(t *testing.T) {
 				m.AnswerOf(0)
 				_ = m.Queries()
 				reads.Add(1)
+				select {
+				case <-stop:
+					return
+				default:
+				}
 			}
 		}()
 	}

@@ -49,17 +49,12 @@ func (p *PnP) Reset(g *graph.Dynamic, a algo.Algorithm, q Query) {
 // ApplyBatch implements Engine: apply the topology and re-answer with the
 // pruned search.
 func (p *PnP) ApplyBatch(batch []graph.Update) Result {
-	before := p.cnt.Snapshot()
+	before := p.cnt.DenseSnapshot(nil)
 	d := timed(func() {
 		p.g.Apply(batch)
 		p.ans = p.prunedSearch()
 	})
-	return Result{
-		Answer:    p.ans,
-		Response:  d,
-		Converged: d,
-		Counters:  p.cnt.Diff(before),
-	}
+	return batchResult(p.cnt, before, p.ans, d, d)
 }
 
 // prunedSearch runs the goal-directed best-first search with upper-bound
@@ -67,10 +62,10 @@ func (p *PnP) ApplyBatch(batch []graph.Update) Result {
 func (p *PnP) prunedSearch() algo.Value {
 	st := p.st
 	st.resetAll()
-	st.wl.reset()
-	st.wl.push(p.q.S, st.val[p.q.S])
-	for st.wl.len() > 0 {
-		v, score := st.wl.pop()
+	st.sc.wl.reset()
+	st.sc.wl.push(p.q.S, st.val[p.q.S])
+	for st.sc.wl.len() > 0 {
+		v, score := st.sc.wl.pop()
 		if st.val[v] != score {
 			continue
 		}

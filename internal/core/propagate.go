@@ -1,0 +1,220 @@
+package core
+
+import (
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+)
+
+// The propagator stage: monotonic best-first propagation (relaxEdge/drain)
+// and KickStarter-style deletion recovery (repairVertex + tagging) over the
+// state store, pulling work from the scheduler's worklist.
+
+// relaxEdge applies ⊕/⊗ to edge u→v with raw weight w. It returns whether
+// v improved (in which case v's new value has been pushed for propagation).
+// The source vertex is pinned and never updated.
+func (st *state) relaxEdge(u, v graph.VertexID, w float64) bool {
+	st.hRelax.Inc()
+	if v == st.q.S {
+		return false
+	}
+	if st.val != nil { // dense fast path: direct array access, no interface calls
+		t := st.a.Propagate(st.val[u], st.a.Weight(w))
+		if !st.a.Better(t, st.val[v]) {
+			return false
+		}
+		st.val[v] = t
+		st.parent[v] = u
+		st.hState.Inc()
+		st.hAct.Inc()
+		st.sc.wl.push(v, t)
+		return true
+	}
+	t := st.a.Propagate(st.store.Value(u), st.a.Weight(w))
+	if !st.a.Better(t, st.store.Value(v)) {
+		return false
+	}
+	st.store.Set(v, t, u)
+	st.hState.Inc()
+	st.hAct.Inc()
+	st.sc.wl.push(v, t)
+	return true
+}
+
+// drain runs best-first propagation until the worklist empties. Stale
+// entries (value no longer current) are skipped lazily.
+func (st *state) drain() {
+	wl := &st.sc.wl
+	for wl.len() > 0 {
+		v, score := wl.pop()
+		if st.value(v) != score {
+			continue // superseded by a better value
+		}
+		for _, e := range st.g.Out(v) {
+			st.relaxEdge(v, e.To, e.W)
+		}
+	}
+}
+
+// processAddition ingests an addition whose topology change has already
+// been applied: relax the new edge and propagate any improvement. It
+// reports whether any state changed — note that the relaxation's Better
+// test is exactly Algorithm 1's valuable-addition check.
+func (st *state) processAddition(u, v graph.VertexID, w float64) bool {
+	if st.relaxEdge(u, v, w) {
+		st.drain()
+		return true
+	}
+	return false
+}
+
+// recomputeVertex re-derives v's value from its current in-edges, refreshing
+// val[v] and parent[v]. It returns the recomputed value.
+func (st *state) recomputeVertex(v graph.VertexID) algo.Value {
+	if v == st.q.S {
+		st.setVertex(v, st.a.Source(), graph.NoVertex)
+		return st.a.Source()
+	}
+	best := st.a.Init()
+	bestParent := graph.NoVertex
+	for _, e := range st.g.In(v) {
+		st.hRelax.Inc()
+		t := st.a.Propagate(st.value(e.To), st.a.Weight(e.W))
+		if st.a.Better(t, best) {
+			best = t
+			bestParent = e.To
+		}
+	}
+	st.setVertex(v, best, bestParent)
+	return best
+}
+
+// repairVertex re-derives v after one of its in-edges was deleted.
+//
+// A cheap shortcut applies when some live in-edge still supplies exactly
+// the old value and its tail is provably not a dependent of v (adopting a
+// dependent would create a self-supporting island). Two certificates are
+// used, in cost order:
+//
+//   - the tail's score is strictly better than v's — a vertex deriving
+//     from v can never score strictly better (monotone ⊕);
+//   - the tail's parent chain reaches the source without passing v — the
+//     chain IS its current derivation. For algebras with massive ties
+//     (Reach: every reached vertex scores 1) this is what keeps supplier
+//     deletions from degenerating into whole-subtree re-computations.
+//
+// Otherwise the region transitively derived from v is tagged through parent
+// pointers, reset, re-seeded from its unaffected boundary and re-converged —
+// the KickStarter-style tagging overhead the paper attributes to deletions.
+// It reports whether any state changed.
+func (st *state) repairVertex(v graph.VertexID) bool {
+	if v == st.q.S {
+		return false // the source is pinned
+	}
+	old := st.value(v)
+	if !algo.Reached(st.a, old) {
+		return false // nothing to lose
+	}
+	best := st.a.Init()
+	for _, e := range st.g.In(v) {
+		st.hRelax.Inc()
+		if t := st.a.Propagate(st.value(e.To), st.a.Weight(e.W)); st.a.Better(t, best) {
+			best = t
+		}
+	}
+	if best == old {
+		for _, e := range st.g.In(v) {
+			y := e.To
+			if st.a.Propagate(st.value(y), st.a.Weight(e.W)) != old {
+				continue
+			}
+			if st.a.Better(st.value(y), old) || !st.chainPasses(y, v) {
+				st.adoptParent(v, y)
+				return false
+			}
+		}
+	}
+	// Full repair with adoption trimming: tag the dependence closure, then
+	// let every region vertex that still derives its exact old value from a
+	// supplier OUTSIDE the region adopt that supplier in place (an outside
+	// vertex's chain provably avoids the whole region — if it passed any
+	// member it would pass v and be a member itself). Only the remaining
+	// broken vertices are reset, re-seeded from the safe boundary and
+	// re-propagated. The region walk runs in dependence (BFS) order, so an
+	// adopted parent is already unmarked when its children are examined and
+	// keeps whole subtrees out of the reset.
+	inSet := st.sc.inSet
+	region := st.tagDependents(v)
+	broken := region[:0:0]
+	for _, x := range region {
+		oldX := st.value(x)
+		bestX := st.a.Init()
+		bestParent := graph.NoVertex
+		for _, e := range st.g.In(x) {
+			if inSet[e.To] {
+				continue // still-suspect supplier
+			}
+			st.hRelax.Inc()
+			if t := st.a.Propagate(st.value(e.To), st.a.Weight(e.W)); st.a.Better(t, bestX) {
+				bestX = t
+				bestParent = e.To
+			}
+		}
+		if bestX == oldX {
+			st.adoptParent(x, bestParent)
+			inSet[x] = false // adopted: value survives untouched
+			continue
+		}
+		broken = append(broken, x)
+	}
+	initV := st.a.Init()
+	for _, x := range broken {
+		st.setVertex(x, initV, graph.NoVertex)
+		inSet[x] = false
+	}
+	st.sc.wl.reset()
+	for _, x := range broken {
+		if st.recomputeVertex(x); algo.Reached(st.a, st.value(x)) {
+			st.hAct.Inc()
+			st.sc.wl.push(x, st.value(x))
+		}
+	}
+	st.drain()
+	return st.value(v) != old
+}
+
+// chainPasses reports whether y's parent chain passes through v (i.e. y's
+// current value derives from v). The walk is bounded by the vertex count;
+// an anomalous overflow is conservatively treated as "passes".
+func (st *state) chainPasses(y, v graph.VertexID) bool {
+	for hops := 0; hops <= st.numVertices(); hops++ {
+		if y == v {
+			return true
+		}
+		y = st.parentOf(y)
+		if y == graph.NoVertex {
+			return false
+		}
+	}
+	return true
+}
+
+// tagDependents collects v plus every vertex whose value transitively
+// depends on v through parent pointers. It marks the region in the scratch's
+// inSet (callers must clear the marks) and counts tagged vertices.
+func (st *state) tagDependents(v graph.VertexID) []graph.VertexID {
+	sc := st.sc
+	sc.buf = sc.buf[:0]
+	sc.buf = append(sc.buf, v)
+	sc.inSet[v] = true
+	for i := 0; i < len(sc.buf); i++ {
+		x := sc.buf[i]
+		st.hTagged.Inc()
+		for _, e := range st.g.Out(x) {
+			if !sc.inSet[e.To] && st.parentOf(e.To) == x {
+				sc.inSet[e.To] = true
+				sc.buf = append(sc.buf, e.To)
+			}
+		}
+	}
+	return sc.buf
+}

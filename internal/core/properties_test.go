@@ -26,18 +26,18 @@ func TestCISOCountersPartitionBatch(t *testing.T) {
 			batch := w.NextBatch()
 			nb := NormalizeBatch(e.st.g, batch)
 			res := e.ApplyBatch(batch)
-			classified := res.Counters[stats.CntUpdateValuable] +
-				res.Counters[stats.CntUpdateDelayed] +
-				res.Counters[stats.CntUpdateUseless]
+			classified := res.Counters()[stats.CntUpdateValuable] +
+				res.Counters()[stats.CntUpdateDelayed] +
+				res.Counters()[stats.CntUpdateUseless]
 			if classified != int64(nb.Size()) {
 				t.Fatalf("%s batch %d: classified %d of %d events",
 					a.Name(), bi, classified, nb.Size())
 			}
 			// Promotions can never exceed the delayed population.
-			if res.Counters[stats.CntUpdatePromoted] > res.Counters[stats.CntUpdateDelayed] {
+			if res.Counters()[stats.CntUpdatePromoted] > res.Counters()[stats.CntUpdateDelayed] {
 				t.Fatalf("%s batch %d: %d promotions from %d delayed",
-					a.Name(), bi, res.Counters[stats.CntUpdatePromoted],
-					res.Counters[stats.CntUpdateDelayed])
+					a.Name(), bi, res.Counters()[stats.CntUpdatePromoted],
+					res.Counters()[stats.CntUpdateDelayed])
 			}
 		}
 	}
@@ -144,7 +144,7 @@ func TestRelaxationsBounded(t *testing.T) {
 	edges := int64(w.Initial().NumEdges())
 	for bi := 0; bi < 4; bi++ {
 		res := e.ApplyBatch(w.NextBatch())
-		relax := res.Counters[stats.CntRelax]
+		relax := res.Counters()[stats.CntRelax]
 		if relax < 0 {
 			t.Fatalf("negative relax count %d", relax)
 		}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+)
+
+// The scheduler stage: the priority worklist that orders propagation work,
+// plus the transient scratch (worklist + tagging buffers) an execution slot
+// carries. In the paper's pipeline this is the scheduling unit between the
+// identification (classifier) and propagation stages.
+
+// scratch is the per-execution working set: the worklist, the tagging buffer
+// and the membership/key-path mark arrays. None of it survives a query's
+// processing — between operations the worklist is empty and every mark is
+// false — so MultiCISO shares one scratch per worker slot across all the
+// queries that slot executes, keeping scratch memory O(V × workers) instead
+// of O(V × queries). Single-query engines own one scratch per state.
+type scratch struct {
+	wl     worklist
+	buf    []graph.VertexID // reusable buffer for tagging
+	inSet  []bool           // reusable membership marks, len N, all false between uses
+	onPath []bool           // key-path marks, len N (multi-query phases B–D)
+}
+
+// newScratch builds a scratch for n vertices, armed for a's worklist order.
+func newScratch(a algo.Algorithm, n int) *scratch {
+	sc := &scratch{inSet: make([]bool, n), onPath: make([]bool, n)}
+	sc.wl.arm(a)
+	return sc
+}
+
+// clear forces every transient mark back to the between-operations state.
+// Only needed after a recovered panic left a query's processing mid-flight;
+// normal operation restores the marks as it goes.
+func (sc *scratch) clear() {
+	sc.wl.reset()
+	sc.buf = sc.buf[:0]
+	for i := range sc.inSet {
+		sc.inSet[i] = false
+	}
+	for i := range sc.onPath {
+		sc.onPath[i] = false
+	}
+}
+
+// bytes returns the scratch's resident size (memory accounting).
+func (sc *scratch) bytes() int64 {
+	return int64(len(sc.inSet)) + int64(len(sc.onPath)) +
+		int64(cap(sc.buf))*4 + int64(cap(sc.wl.items))*16
+}
+
+// worklist is a lazy best-first priority queue over (vertex, score) pairs.
+// Best-first order makes propagation label-setting for monotone algorithms
+// (a generic Dijkstra); stale entries are skipped at pop time.
+//
+// The queue is a monomorphic binary heap over []wlItem — sift-up/sift-down
+// written against the concrete element type, so pushes and pops never box
+// through an interface and the backing array is reused across reset cycles
+// (zero allocations at steady state; tests assert this).
+//
+// For plateau algebras (algo.IsPlateau: every live score ties, e.g. Reach)
+// the heap degenerates to a FIFO ring over the same backing array: when all
+// scores are equal, arrival order IS best-first order, and push/pop become
+// pointer bumps.
+type worklist struct {
+	a     algo.Algorithm
+	fifo  bool
+	items []wlItem
+	head  int // FIFO mode: index of the next pop; always 0 in heap mode
+}
+
+type wlItem struct {
+	v     graph.VertexID
+	score algo.Value
+}
+
+// arm binds the worklist to an algorithm and selects the plateau fast path.
+func (w *worklist) arm(a algo.Algorithm) {
+	w.a = a
+	w.fifo = algo.IsPlateau(a)
+	w.reset()
+}
+
+func (w *worklist) reset() {
+	w.items = w.items[:0]
+	w.head = 0
+}
+
+func (w *worklist) len() int { return len(w.items) - w.head }
+
+func (w *worklist) push(v graph.VertexID, score algo.Value) {
+	w.items = append(w.items, wlItem{v: v, score: score})
+	if !w.fifo {
+		w.siftUp(len(w.items) - 1)
+	}
+}
+
+func (w *worklist) pop() (graph.VertexID, algo.Value) {
+	if w.fifo {
+		it := w.items[w.head]
+		w.head++
+		if w.head == len(w.items) {
+			w.items = w.items[:0]
+			w.head = 0
+		}
+		return it.v, it.score
+	}
+	it := w.items[0]
+	last := len(w.items) - 1
+	w.items[0] = w.items[last]
+	w.items = w.items[:last]
+	if last > 1 {
+		w.siftDown(0)
+	}
+	return it.v, it.score
+}
+
+func (w *worklist) siftUp(i int) {
+	item := w.items[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !w.a.Better(item.score, w.items[p].score) {
+			break
+		}
+		w.items[i] = w.items[p]
+		i = p
+	}
+	w.items[i] = item
+}
+
+func (w *worklist) siftDown(i int) {
+	n := len(w.items)
+	item := w.items[i]
+	for {
+		best := 2*i + 1
+		if best >= n {
+			break
+		}
+		if r := best + 1; r < n && w.a.Better(w.items[r].score, w.items[best].score) {
+			best = r
+		}
+		if !w.a.Better(w.items[best].score, item.score) {
+			break
+		}
+		w.items[i] = w.items[best]
+		i = best
+	}
+	w.items[i] = item
+}

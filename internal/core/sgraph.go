@@ -99,7 +99,7 @@ func reverse(g *graph.Dynamic) *graph.Dynamic {
 // incrementally maintain every hub state (additions relax, deletions
 // repair), then run the pruned goal-directed search.
 func (s *SGraph) ApplyBatch(batch []graph.Update) Result {
-	before := s.cnt.Snapshot()
+	before := s.cnt.DenseSnapshot(nil)
 	d := timed(func() {
 		hubBefore := s.hubCnt.Snapshot()
 		nb := NormalizeBatch(s.g, batch)
@@ -169,12 +169,7 @@ func (s *SGraph) ApplyBatch(batch []graph.Update) Result {
 		s.cnt.Add(stats.CntHubRelax, hubWork[stats.CntRelax])
 		s.ans = s.boundedSearch()
 	})
-	return Result{
-		Answer:    s.ans,
-		Response:  d,
-		Converged: d,
-		Counters:  s.cnt.Diff(before),
-	}
+	return batchResult(s.cnt, before, s.ans, d, d)
 }
 
 // witnessBound returns the best via-hub walk score for the query: an
@@ -193,12 +188,12 @@ func (s *SGraph) witnessBound() algo.Value {
 func (s *SGraph) boundedSearch() algo.Value {
 	st := s.search
 	st.resetAll()
-	st.wl.reset()
+	st.sc.wl.reset()
 	bound := s.witnessBound()
-	st.wl.push(s.q.S, st.val[s.q.S])
+	st.sc.wl.push(s.q.S, st.val[s.q.S])
 	found := s.a.Init()
-	for st.wl.len() > 0 {
-		v, score := st.wl.pop()
+	for st.sc.wl.len() > 0 {
+		v, score := st.sc.wl.pop()
 		if st.val[v] != score {
 			continue
 		}

@@ -6,22 +6,41 @@ import (
 	"cisgraph/internal/stats"
 )
 
-// state is the shared incremental-computation core: per-vertex values, the
-// dependency tree (parent pointers: which in-neighbor supplies each value),
-// monotonic best-first propagation, and KickStarter-style deletion recovery.
+// state binds the stages of the incremental-computation kernel for one query
+// (DESIGN.md §11), mirroring the paper's pipeline (§III-A):
+//
+//   - topology view: g, the shared dynamic graph (read-only inside per-query
+//     phases; mutated only between them by the owning engine);
+//   - state store: store, the per-vertex values and the dependency tree
+//     (parent pointers: which in-neighbor supplies each value) — pluggable,
+//     dense arrays or a sparse overlay over a shared baseline (store.go);
+//   - classifier: the contribution tests and key-path tracking (classify.go),
+//     reading the store;
+//   - scheduler + propagator: the worklist and the relax/drain/repair
+//     machinery (scheduler.go, propagate.go), working over transient scratch
+//     that can be shared across queries executed on the same worker.
 //
 // Invariant maintained between operations: for every vertex x ≠ source with
 // parent[x] != NoVertex, the edge parent[x]→x exists and
-// val[x] == ⊕(val[parent[x]], Weight(w(parent[x]→x))). The source is pinned
-// at Source() with no parent. This invariant is what makes parent-based
+// val[x] == ⊕(val[parent[x]], w(parent[x]→x)). The source is pinned at
+// Source() with no parent. This invariant is what makes parent-based
 // deletion tagging exact (DESIGN.md §3.2); tests assert it.
 type state struct {
-	g      *graph.Dynamic
-	a      algo.Algorithm
-	q      Query
+	g     *graph.Dynamic
+	a     algo.Algorithm
+	q     Query
+	store StateStore
+
+	// Dense fast-path aliases: non-nil iff store is a *DenseStore, in which
+	// case they alias its arrays. The propagation hot path (relaxEdge, drain)
+	// branches on them once and then reads/writes the arrays directly — a
+	// predicted nil-check instead of two interface calls per ⊕ — keeping the
+	// single-query engines at their DESIGN.md §9 cost. Sparse stores leave
+	// them nil and every access goes through the StateStore interface.
 	val    []algo.Value
 	parent []graph.VertexID
-	cnt    *stats.Counters
+
+	cnt *stats.Counters
 
 	// Pre-resolved counter handles: the relax/state-update/activation/tagged
 	// increments sit on the per-⊕ hot path, so each must be a single atomic
@@ -31,347 +50,97 @@ type state struct {
 	hAct    stats.Handle
 	hTagged stats.Handle
 
-	wl      worklist
-	scratch []graph.VertexID // reusable buffer for tagging
-	inSet   []bool           // reusable membership marks, len N, all false between uses
+	// sc is the execution scratch (worklist + tagging buffers). Single-query
+	// engines own one per state; MultiCISO attaches a per-worker scratch
+	// before running a query's phases, so scratch memory scales with worker
+	// count, not query count.
+	sc *scratch
 }
 
+// newState builds a dense-store state with its own scratch — the
+// configuration every single-query engine uses.
 func newState(g *graph.Dynamic, a algo.Algorithm, q Query, cnt *stats.Counters) *state {
-	n := g.NumVertices()
+	st := newStateOn(NewDenseStore(g.NumVertices()), newScratch(a, g.NumVertices()), g, a, q, cnt)
+	st.resetAll()
+	return st
+}
+
+// newStateOn binds a state over an existing store and scratch without
+// touching the store's contents: a store already holding a converged state
+// (an overlay over a shared baseline) stays converged, so the caller can
+// skip resetAll/fullCompute entirely. sc may be nil for states whose owner
+// attaches a scratch per execution (MultiCISO).
+func newStateOn(store StateStore, sc *scratch, g *graph.Dynamic, a algo.Algorithm, q Query, cnt *stats.Counters) *state {
 	st := &state{
 		g:       g,
 		a:       a,
 		q:       q,
-		val:     make([]algo.Value, n),
-		parent:  make([]graph.VertexID, n),
+		store:   store,
 		cnt:     cnt,
 		hRelax:  cnt.Handle(stats.CntRelax),
 		hState:  cnt.Handle(stats.CntStateUpdate),
 		hAct:    cnt.Handle(stats.CntActivation),
 		hTagged: cnt.Handle(stats.CntTagged),
-		inSet:   make([]bool, n),
+		sc:      sc,
 	}
-	st.wl.arm(a)
-	st.resetAll()
+	if ds, ok := store.(*DenseStore); ok {
+		st.val, st.parent = ds.val, ds.parent
+	}
 	return st
 }
+
+// value reads vertex v's state through the fast path when dense.
+func (st *state) value(v graph.VertexID) algo.Value {
+	if st.val != nil {
+		return st.val[v]
+	}
+	return st.store.Value(v)
+}
+
+// parentOf reads vertex v's dependency-tree parent.
+func (st *state) parentOf(v graph.VertexID) graph.VertexID {
+	if st.parent != nil {
+		return st.parent[v]
+	}
+	return st.store.Parent(v)
+}
+
+// setVertex writes v's value and parent together.
+func (st *state) setVertex(v graph.VertexID, val algo.Value, parent graph.VertexID) {
+	if st.val != nil {
+		st.val[v] = val
+		st.parent[v] = parent
+		return
+	}
+	st.store.Set(v, val, parent)
+}
+
+// adoptParent rewrites only v's parent (supplier adoption during repair).
+func (st *state) adoptParent(v, parent graph.VertexID) {
+	if st.parent != nil {
+		st.parent[v] = parent
+		return
+	}
+	st.store.SetParent(v, parent)
+}
+
+// numVertices returns the state's vertex count.
+func (st *state) numVertices() int { return st.store.NumVertices() }
 
 // resetAll puts every vertex back to the unreached state with the source
 // pinned.
 func (st *state) resetAll() {
-	initV := st.a.Init()
-	for i := range st.val {
-		st.val[i] = initV
-		st.parent[i] = graph.NoVertex
-	}
-	st.val[st.q.S] = st.a.Source()
+	st.store.ResetAll(st.a.Init())
+	st.store.Set(st.q.S, st.a.Source(), graph.NoVertex)
 }
 
 // answer returns the current query answer: the destination's state.
-func (st *state) answer() algo.Value { return st.val[st.q.D] }
+func (st *state) answer() algo.Value { return st.value(st.q.D) }
 
 // fullCompute converges from scratch on the current topology.
 func (st *state) fullCompute() {
 	st.resetAll()
-	st.wl.reset()
-	st.wl.push(st.q.S, st.val[st.q.S])
+	st.sc.wl.reset()
+	st.sc.wl.push(st.q.S, st.value(st.q.S))
 	st.drain()
-}
-
-// relaxEdge applies ⊕/⊗ to edge u→v with raw weight w. It returns whether
-// v improved (in which case v's new value has been pushed for propagation).
-// The source vertex is pinned and never updated.
-func (st *state) relaxEdge(u, v graph.VertexID, w float64) bool {
-	st.hRelax.Inc()
-	if v == st.q.S {
-		return false
-	}
-	t := st.a.Propagate(st.val[u], st.a.Weight(w))
-	if !st.a.Better(t, st.val[v]) {
-		return false
-	}
-	st.val[v] = t
-	st.parent[v] = u
-	st.hState.Inc()
-	st.hAct.Inc()
-	st.wl.push(v, t)
-	return true
-}
-
-// drain runs best-first propagation until the worklist empties. Stale
-// entries (value no longer current) are skipped lazily.
-func (st *state) drain() {
-	for st.wl.len() > 0 {
-		v, score := st.wl.pop()
-		if st.val[v] != score {
-			continue // superseded by a better value
-		}
-		for _, e := range st.g.Out(v) {
-			st.relaxEdge(v, e.To, e.W)
-		}
-	}
-}
-
-// processAddition ingests an addition whose topology change has already
-// been applied: relax the new edge and propagate any improvement. It
-// reports whether any state changed — note that the relaxation's Better
-// test is exactly Algorithm 1's valuable-addition check.
-func (st *state) processAddition(u, v graph.VertexID, w float64) bool {
-	if st.relaxEdge(u, v, w) {
-		st.drain()
-		return true
-	}
-	return false
-}
-
-// recomputeVertex re-derives v's value from its current in-edges, refreshing
-// val[v] and parent[v]. It returns the recomputed value.
-func (st *state) recomputeVertex(v graph.VertexID) algo.Value {
-	if v == st.q.S {
-		st.val[v] = st.a.Source()
-		st.parent[v] = graph.NoVertex
-		return st.val[v]
-	}
-	best := st.a.Init()
-	bestParent := graph.NoVertex
-	for _, e := range st.g.In(v) {
-		st.hRelax.Inc()
-		t := st.a.Propagate(st.val[e.To], st.a.Weight(e.W))
-		if st.a.Better(t, best) {
-			best = t
-			bestParent = e.To
-		}
-	}
-	st.val[v] = best
-	st.parent[v] = bestParent
-	return best
-}
-
-// repairVertex re-derives v after one of its in-edges was deleted.
-//
-// A cheap shortcut applies when some live in-edge still supplies exactly
-// the old value and its tail is provably not a dependent of v (adopting a
-// dependent would create a self-supporting island). Two certificates are
-// used, in cost order:
-//
-//   - the tail's score is strictly better than v's — a vertex deriving
-//     from v can never score strictly better (monotone ⊕);
-//   - the tail's parent chain reaches the source without passing v — the
-//     chain IS its current derivation. For algebras with massive ties
-//     (Reach: every reached vertex scores 1) this is what keeps supplier
-//     deletions from degenerating into whole-subtree re-computations.
-//
-// Otherwise the region transitively derived from v is tagged through parent
-// pointers, reset, re-seeded from its unaffected boundary and re-converged —
-// the KickStarter-style tagging overhead the paper attributes to deletions.
-// It reports whether any state changed.
-func (st *state) repairVertex(v graph.VertexID) bool {
-	if v == st.q.S {
-		return false // the source is pinned
-	}
-	old := st.val[v]
-	if !algo.Reached(st.a, old) {
-		return false // nothing to lose
-	}
-	best := st.a.Init()
-	for _, e := range st.g.In(v) {
-		st.hRelax.Inc()
-		if t := st.a.Propagate(st.val[e.To], st.a.Weight(e.W)); st.a.Better(t, best) {
-			best = t
-		}
-	}
-	if best == old {
-		for _, e := range st.g.In(v) {
-			y := e.To
-			if st.a.Propagate(st.val[y], st.a.Weight(e.W)) != old {
-				continue
-			}
-			if st.a.Better(st.val[y], old) || !st.chainPasses(y, v) {
-				st.parent[v] = y
-				return false
-			}
-		}
-	}
-	// Full repair with adoption trimming: tag the dependence closure, then
-	// let every region vertex that still derives its exact old value from a
-	// supplier OUTSIDE the region adopt that supplier in place (an outside
-	// vertex's chain provably avoids the whole region — if it passed any
-	// member it would pass v and be a member itself). Only the remaining
-	// broken vertices are reset, re-seeded from the safe boundary and
-	// re-propagated. The region walk runs in dependence (BFS) order, so an
-	// adopted parent is already unmarked when its children are examined and
-	// keeps whole subtrees out of the reset.
-	region := st.tagDependents(v)
-	broken := region[:0:0]
-	for _, x := range region {
-		oldX := st.val[x]
-		bestX := st.a.Init()
-		bestParent := graph.NoVertex
-		for _, e := range st.g.In(x) {
-			if st.inSet[e.To] {
-				continue // still-suspect supplier
-			}
-			st.hRelax.Inc()
-			if t := st.a.Propagate(st.val[e.To], st.a.Weight(e.W)); st.a.Better(t, bestX) {
-				bestX = t
-				bestParent = e.To
-			}
-		}
-		if bestX == oldX {
-			st.parent[x] = bestParent
-			st.inSet[x] = false // adopted: value survives untouched
-			continue
-		}
-		broken = append(broken, x)
-	}
-	initV := st.a.Init()
-	for _, x := range broken {
-		st.val[x] = initV
-		st.parent[x] = graph.NoVertex
-		st.inSet[x] = false
-	}
-	st.wl.reset()
-	for _, x := range broken {
-		if st.recomputeVertex(x); algo.Reached(st.a, st.val[x]) {
-			st.hAct.Inc()
-			st.wl.push(x, st.val[x])
-		}
-	}
-	st.drain()
-	return st.val[v] != old
-}
-
-// chainPasses reports whether y's parent chain passes through v (i.e. y's
-// current value derives from v). The walk is bounded by the vertex count;
-// an anomalous overflow is conservatively treated as "passes".
-func (st *state) chainPasses(y, v graph.VertexID) bool {
-	for hops := 0; hops <= len(st.val); hops++ {
-		if y == v {
-			return true
-		}
-		y = st.parent[y]
-		if y == graph.NoVertex {
-			return false
-		}
-	}
-	return true
-}
-
-// tagDependents collects v plus every vertex whose value transitively
-// depends on v through parent pointers. It marks the region in st.inSet
-// (callers must clear the marks) and counts tagged vertices.
-func (st *state) tagDependents(v graph.VertexID) []graph.VertexID {
-	st.scratch = st.scratch[:0]
-	st.scratch = append(st.scratch, v)
-	st.inSet[v] = true
-	for i := 0; i < len(st.scratch); i++ {
-		x := st.scratch[i]
-		st.hTagged.Inc()
-		for _, e := range st.g.Out(x) {
-			if !st.inSet[e.To] && st.parent[e.To] == x {
-				st.inSet[e.To] = true
-				st.scratch = append(st.scratch, e.To)
-			}
-		}
-	}
-	return st.scratch
-}
-
-// worklist is a lazy best-first priority queue over (vertex, score) pairs.
-// Best-first order makes propagation label-setting for monotone algorithms
-// (a generic Dijkstra); stale entries are skipped at pop time.
-//
-// The queue is a monomorphic binary heap over []wlItem — sift-up/sift-down
-// written against the concrete element type, so pushes and pops never box
-// through an interface and the backing array is reused across reset cycles
-// (zero allocations at steady state; tests assert this).
-//
-// For plateau algebras (algo.IsPlateau: every live score ties, e.g. Reach)
-// the heap degenerates to a FIFO ring over the same backing array: when all
-// scores are equal, arrival order IS best-first order, and push/pop become
-// pointer bumps.
-type worklist struct {
-	a     algo.Algorithm
-	fifo  bool
-	items []wlItem
-	head  int // FIFO mode: index of the next pop; always 0 in heap mode
-}
-
-type wlItem struct {
-	v     graph.VertexID
-	score algo.Value
-}
-
-// arm binds the worklist to an algorithm and selects the plateau fast path.
-func (w *worklist) arm(a algo.Algorithm) {
-	w.a = a
-	w.fifo = algo.IsPlateau(a)
-	w.reset()
-}
-
-func (w *worklist) reset() {
-	w.items = w.items[:0]
-	w.head = 0
-}
-
-func (w *worklist) len() int { return len(w.items) - w.head }
-
-func (w *worklist) push(v graph.VertexID, score algo.Value) {
-	w.items = append(w.items, wlItem{v: v, score: score})
-	if !w.fifo {
-		w.siftUp(len(w.items) - 1)
-	}
-}
-
-func (w *worklist) pop() (graph.VertexID, algo.Value) {
-	if w.fifo {
-		it := w.items[w.head]
-		w.head++
-		if w.head == len(w.items) {
-			w.items = w.items[:0]
-			w.head = 0
-		}
-		return it.v, it.score
-	}
-	it := w.items[0]
-	last := len(w.items) - 1
-	w.items[0] = w.items[last]
-	w.items = w.items[:last]
-	if last > 1 {
-		w.siftDown(0)
-	}
-	return it.v, it.score
-}
-
-func (w *worklist) siftUp(i int) {
-	item := w.items[i]
-	for i > 0 {
-		p := (i - 1) / 2
-		if !w.a.Better(item.score, w.items[p].score) {
-			break
-		}
-		w.items[i] = w.items[p]
-		i = p
-	}
-	w.items[i] = item
-}
-
-func (w *worklist) siftDown(i int) {
-	n := len(w.items)
-	item := w.items[i]
-	for {
-		best := 2*i + 1
-		if best >= n {
-			break
-		}
-		if r := best + 1; r < n && w.a.Better(w.items[r].score, w.items[best].score) {
-			best = r
-		}
-		if !w.a.Better(w.items[best].score, item.score) {
-			break
-		}
-		w.items[i] = w.items[best]
-		i = best
-	}
-	w.items[i] = item
 }

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+	"cisgraph/internal/stream"
+)
+
+func TestStoreKindParse(t *testing.T) {
+	for _, kind := range []StoreKind{StoreDense, StoreSparse} {
+		got, err := ParseStoreKind(kind.String())
+		if err != nil || got != kind {
+			t.Fatalf("ParseStoreKind(%q) = %v, %v", kind.String(), got, err)
+		}
+	}
+	if _, err := ParseStoreKind("mmap"); err == nil {
+		t.Fatal("ParseStoreKind accepted an unknown kind")
+	}
+}
+
+// TestOverlayStoreCoW exercises the copy-on-write mechanics directly: reads
+// fall through to the baseline, baseline-identical writes stay virtual, a
+// real write materialises exactly one page without disturbing its
+// neighbours, and ResetAll/Rebase drop every page.
+func TestOverlayStoreCoW(t *testing.T) {
+	const n = 3*pageSize + 17 // deliberately not page-aligned
+	val := make([]algo.Value, n)
+	parent := make([]graph.VertexID, n)
+	for i := range val {
+		val[i] = algo.Value(i) * 2
+		parent[i] = graph.VertexID(i % 7)
+	}
+	ov := NewOverlayStore(NewBaseline(val, parent))
+
+	if ov.NumVertices() != n {
+		t.Fatalf("NumVertices = %d, want %d", ov.NumVertices(), n)
+	}
+	for _, v := range []graph.VertexID{0, pageSize - 1, pageSize, n - 1} {
+		if ov.Value(v) != val[v] || ov.Parent(v) != parent[v] {
+			t.Fatalf("vertex %d: read-through (%v,%v), want (%v,%v)",
+				v, ov.Value(v), ov.Parent(v), val[v], parent[v])
+		}
+	}
+
+	// Baseline-identical writes must not materialise anything.
+	ov.Set(5, val[5], parent[5])
+	ov.SetParent(9, parent[9])
+	if ov.LivePages() != 0 {
+		t.Fatalf("identical writes materialised %d pages", ov.LivePages())
+	}
+
+	// A real write materialises its page only; the page's other slots keep
+	// baseline contents and other pages stay virtual.
+	ov.Set(pageSize+3, 1e9, 42)
+	if ov.LivePages() != 1 {
+		t.Fatalf("LivePages = %d after one distinct write, want 1", ov.LivePages())
+	}
+	if ov.Value(pageSize+3) != 1e9 || ov.Parent(pageSize+3) != 42 {
+		t.Fatal("written slot does not read back")
+	}
+	if ov.Value(pageSize+4) != val[pageSize+4] {
+		t.Fatal("materialisation corrupted a neighbouring slot")
+	}
+	if wantBytes := int64(len(val)+pageMask)>>pageShift*8 + storePageBytes + denseHeaderBytes; ov.Bytes() != wantBytes {
+		t.Fatalf("Bytes = %d, want %d", ov.Bytes(), wantBytes)
+	}
+
+	// The last, partial page must materialise and copy without running off
+	// the baseline.
+	ov.Set(graph.VertexID(n-1), 7, graph.NoVertex)
+	if ov.Value(graph.VertexID(n-1)) != 7 || ov.Value(graph.VertexID(n-2)) != val[n-2] {
+		t.Fatal("partial-page materialisation wrong")
+	}
+
+	// Rebase folds the delta into a private baseline: same reads, no pages,
+	// and a new baseline identity.
+	before := ov.BaselineRef()
+	ov.Rebase()
+	if ov.LivePages() != 0 || ov.BaselineRef() == before {
+		t.Fatalf("Rebase left %d pages (baseline changed: %v)",
+			ov.LivePages(), ov.BaselineRef() != before)
+	}
+	if ov.Value(pageSize+3) != 1e9 || ov.Value(graph.VertexID(n-1)) != 7 || ov.Value(0) != val[0] {
+		t.Fatal("Rebase changed observable state")
+	}
+
+	ov.ResetAll(algo.Value(-1))
+	if ov.LivePages() != 0 {
+		t.Fatalf("ResetAll left %d pages", ov.LivePages())
+	}
+	if ov.Value(0) != -1 || ov.Parent(0) != graph.NoVertex || ov.Value(graph.VertexID(n-1)) != -1 {
+		t.Fatal("ResetAll did not reach every vertex")
+	}
+}
+
+// TestStoreCopyLoadRoundTrip pushes a converged engine state through
+// CopyState/LoadState on each store kind — the path checkpoint save and
+// restore take — and requires bit-identical contents back, including after
+// post-load mutation.
+func TestStoreCopyLoadRoundTrip(t *testing.T) {
+	ds := graph.RMAT("roundtrip", 7, 900, graph.DefaultRMAT, 16, 5)
+	w, err := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 40, DelsPerBatch: 40, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.QueryPairs(1)[0]
+	a := algo.PPSP{}
+	e := NewCISO()
+	e.Reset(w.Initial(), a, Query{S: p[0], D: p[1]})
+	e.ApplyBatch(w.NextBatch())
+	val, parent := e.st.store.CopyState()
+	n := len(val)
+
+	mk := map[StoreKind]func() StateStore{
+		StoreDense:  func() StateStore { return NewDenseStore(n) },
+		StoreSparse: func() StateStore { return NewOverlayStore(InitBaseline(n, a.Init())) },
+	}
+	for kind, build := range mk {
+		st := build()
+		st.LoadState(val, parent)
+		for v := 0; v < n; v++ {
+			if st.Value(graph.VertexID(v)) != val[v] || st.Parent(graph.VertexID(v)) != parent[v] {
+				t.Fatalf("%s: vertex %d diverges after LoadState", kind, v)
+			}
+		}
+		// Mutate, then round-trip through a second store of the same kind.
+		st.Set(graph.VertexID(n/2), 123.5, graph.VertexID(1))
+		v2, p2 := st.CopyState()
+		st2 := build()
+		st2.LoadState(v2, p2)
+		for v := 0; v < n; v++ {
+			if st2.Value(graph.VertexID(v)) != st.Value(graph.VertexID(v)) ||
+				st2.Parent(graph.VertexID(v)) != st.Parent(graph.VertexID(v)) {
+				t.Fatalf("%s: vertex %d diverges after second round-trip", kind, v)
+			}
+		}
+	}
+}
+
+// crossStoreQueries builds nq queries clustered on a few distinct sources,
+// so the sparse store's per-source baseline sharing is actually exercised.
+func crossStoreQueries(w *stream.Workload, nq, sources int) []Query {
+	pairs := w.QueryPairs(nq)
+	qs := make([]Query, 0, nq)
+	for i := 0; i < nq; i++ {
+		s, d := pairs[i%sources][0], pairs[i][1]
+		if s == d {
+			d = pairs[i][0]
+		}
+		qs = append(qs, Query{S: s, D: d})
+	}
+	return qs
+}
+
+// TestCrossStoreEquivalence is the store-equivalence property test: the
+// dense and sparse stores must produce identical answers AND identical
+// per-query classification counts for every batch of a randomized stream —
+// the representation must be invisible to the algorithm. It also pins the
+// memory ordering the sparse store exists for: with queries sharing
+// sources, its resident state must stay below dense.
+func TestCrossStoreEquivalence(t *testing.T) {
+	classNames := []string{stats.CntUpdateValuable, stats.CntUpdateDelayed,
+		stats.CntUpdateUseless, stats.CntUpdatePromoted}
+	for _, a := range []algo.Algorithm{algo.PPSP{}, algo.PPWP{}, algo.Reach{}} {
+		for _, seed := range []int64{3, 17} {
+			ds := graph.RMAT("xstore", 7, 900, graph.DefaultRMAT, 16, seed)
+			w, err := stream.New(ds, stream.Config{
+				LoadFraction: 0.5, AddsPerBatch: 40, DelsPerBatch: 40, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs := crossStoreQueries(w, 8, 3)
+			init := w.Initial()
+			dense := NewMultiCISO()
+			sparse := NewMultiCISO(WithStore(StoreSparse))
+			dense.Reset(init.Clone(), a, qs)
+			sparse.Reset(init.Clone(), a, qs)
+
+			for i := range qs {
+				if dense.AnswerOf(i) != sparse.AnswerOf(i) {
+					t.Fatalf("%s seed %d: initial answer of query %d: dense=%v sparse=%v",
+						a.Name(), seed, i, dense.AnswerOf(i), sparse.AnswerOf(i))
+				}
+			}
+			if db, sb := dense.StateBytes(), sparse.StateBytes(); sb >= db {
+				t.Fatalf("%s seed %d: sparse resident %d B >= dense %d B with shared sources",
+					a.Name(), seed, sb, db)
+			}
+
+			for bi := 0; bi < 4; bi++ {
+				batch := w.NextBatch()
+				rd := dense.ApplyBatch(batch)
+				rs := sparse.ApplyBatch(batch)
+				for i := range qs {
+					if rd[i].Answer != rs[i].Answer {
+						t.Fatalf("%s seed %d batch %d query %d: dense=%v sparse=%v",
+							a.Name(), seed, bi, i, rd[i].Answer, rs[i].Answer)
+					}
+					cd, cs := rd[i].Counters(), rs[i].Counters()
+					for _, name := range classNames {
+						if cd[name] != cs[name] {
+							t.Fatalf("%s seed %d batch %d query %d: %s dense=%d sparse=%d",
+								a.Name(), seed, bi, i, name, cd[name], cs[name])
+						}
+					}
+				}
+				if bi == 1 {
+					// Mid-stream registration: the sparse engine takes its
+					// shared-baseline fast path for qs[0].S (same epoch).
+					q := Query{S: qs[0].S, D: qs[1].D}
+					_, ad := dense.AddQuery(q)
+					_, as := sparse.AddQuery(q)
+					if ad != as {
+						t.Fatalf("%s seed %d: AddQuery answers dense=%v sparse=%v",
+							a.Name(), seed, ad, as)
+					}
+					qs = append(qs, q)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiCISOWorkerPoolMatchesSerial pins the bounded-pool execution: for
+// both store kinds, any pool width must produce exactly the answers and
+// merged deterministic counters of the serial engine.
+func TestMultiCISOWorkerPoolMatchesSerial(t *testing.T) {
+	for _, kind := range []StoreKind{StoreDense, StoreSparse} {
+		ds := graph.RMAT("wpool", 7, 900, graph.DefaultRMAT, 16, 31)
+		w, err := stream.New(ds, stream.Config{
+			LoadFraction: 0.5, AddsPerBatch: 40, DelsPerBatch: 40, Seed: 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := crossStoreQueries(w, 6, 2)
+		init := w.Initial()
+		batches := w.Batches(3)
+
+		serial := NewMultiCISO(WithStore(kind))
+		serial.Reset(init.Clone(), algo.PPSP{}, qs)
+		want := make([][]Result, len(batches))
+		for bi, batch := range batches {
+			want[bi] = serial.ApplyBatch(batch)
+		}
+		for _, workers := range []int{2, 4} {
+			pooled := NewMultiCISO(WithStore(kind), WithWorkers(workers))
+			pooled.Reset(init.Clone(), algo.PPSP{}, qs)
+			for bi, batch := range batches {
+				rp := pooled.ApplyBatch(batch)
+				for i := range qs {
+					if rp[i].Answer != want[bi][i].Answer {
+						t.Fatalf("%s workers=%d batch %d query %d: pooled=%v serial=%v",
+							kind, workers, bi, i, rp[i].Answer, want[bi][i].Answer)
+					}
+				}
+			}
+			if pr, sr := pooled.Counters().Get(stats.CntRelax), serial.Counters().Get(stats.CntRelax); pr != sr {
+				t.Fatalf("%s workers=%d: relax %d, serial %d", kind, workers, pr, sr)
+			}
+		}
+	}
+}
+
+// gateAlgo blocks every Propagate call while armed, signalling the first
+// one — it holds AddQuery's off-lock initial computation open so the test
+// can probe what that computation blocks.
+type gateAlgo struct {
+	algo.Algorithm
+	armed   atomic.Bool
+	entered chan struct{}
+	gate    chan struct{}
+	once    sync.Once
+}
+
+func (g *gateAlgo) Propagate(u algo.Value, w float64) algo.Value {
+	if g.armed.Load() {
+		g.once.Do(func() { close(g.entered) })
+		<-g.gate
+	}
+	return g.Algorithm.Propagate(u, w)
+}
+
+// TestAddQueryDoesNotBlockReaders is the registration-contention test: while
+// AddQuery's O(V+E) initial computation is in flight (held open by gateAlgo),
+// every reader of the concurrency contract must complete — the computation
+// runs against a private topology snapshot with no lock held.
+func TestAddQueryDoesNotBlockReaders(t *testing.T) {
+	ds := graph.RMAT("contention", 8, 2000, graph.DefaultRMAT, 16, 13)
+	w, err := stream.New(ds, stream.Config{
+		LoadFraction: 0.6, AddsPerBatch: 20, DelsPerBatch: 20, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := w.QueryPairs(2)
+	ga := &gateAlgo{Algorithm: algo.PPSP{}, entered: make(chan struct{}), gate: make(chan struct{})}
+	var release sync.Once
+	defer release.Do(func() { close(ga.gate) })
+
+	m := NewMultiCISO()
+	m.Reset(w.Initial(), ga, []Query{{S: pairs[0][0], D: pairs[0][1]}})
+	firstAnswer := m.AnswerOf(0)
+	ga.armed.Store(true)
+
+	q := Query{S: pairs[1][0], D: pairs[1][1]}
+	type regResult struct {
+		id  int
+		ans algo.Value
+	}
+	regDone := make(chan regResult, 1)
+	go func() {
+		id, ans := m.AddQuery(q)
+		regDone <- regResult{id, ans}
+	}()
+
+	// Wait until the registration is provably mid-computation.
+	select {
+	case <-ga.entered:
+	case r := <-regDone:
+		t.Fatalf("AddQuery finished without propagating (id=%d): degenerate query pair", r.id)
+	case <-time.After(10 * time.Second):
+		t.Fatal("AddQuery never started propagating")
+	}
+
+	// Every reader must complete while the registration compute is blocked.
+	readsDone := make(chan struct{})
+	go func() {
+		defer close(readsDone)
+		for r := 0; r < 100; r++ {
+			if got := m.AnswerOf(0); got != firstAnswer {
+				t.Errorf("AnswerOf(0) changed during registration: %v != %v", got, firstAnswer)
+				return
+			}
+			if n := m.NumQueries(); n != 1 {
+				t.Errorf("NumQueries = %d during registration, want 1", n)
+				return
+			}
+			_ = m.Answers()
+			_ = m.Queries()
+			m.Counters().Get(stats.CntRelax)
+		}
+	}()
+	select {
+	case <-readsDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("readers stalled behind AddQuery's initial computation")
+	}
+
+	release.Do(func() { close(ga.gate) })
+	var reg regResult
+	select {
+	case reg = <-regDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("AddQuery did not finish after the gate opened")
+	}
+	if reg.id != 1 || m.NumQueries() != 2 {
+		t.Fatalf("registration published id=%d, NumQueries=%d", reg.id, m.NumQueries())
+	}
+	// The off-lock computation must still be correct.
+	single := NewCISO()
+	single.Reset(w.Initial(), algo.PPSP{}, q)
+	if reg.ans != single.Answer() {
+		t.Fatalf("registered answer %v, independent engine %v", reg.ans, single.Answer())
+	}
+}

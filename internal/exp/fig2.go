@@ -115,10 +115,11 @@ func RunFig2(o Options) (*Fig2Result, error) {
 	ciso := core.NewCISO()
 	ciso.Reset(init.Clone(), a, o.queries(w, 1)[0])
 	cr := ciso.ApplyBatch(batch)
-	classified := float64(cr.Counters[stats.CntUpdateUseless] +
-		cr.Counters[stats.CntUpdateValuable] + cr.Counters[stats.CntUpdateDelayed])
-	res.ClassifiedUselessPct = stats.Percent(float64(cr.Counters[stats.CntUpdateUseless]), classified)
-	res.ClassifiedDelayedPct = stats.Percent(float64(cr.Counters[stats.CntUpdateDelayed]), classified)
+	cc := cr.Counters()
+	classified := float64(cc[stats.CntUpdateUseless] +
+		cc[stats.CntUpdateValuable] + cc[stats.CntUpdateDelayed])
+	res.ClassifiedUselessPct = stats.Percent(float64(cc[stats.CntUpdateUseless]), classified)
+	res.ClassifiedDelayedPct = stats.Percent(float64(cc[stats.CntUpdateDelayed]), classified)
 	return res, nil
 }
 

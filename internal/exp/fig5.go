@@ -48,8 +48,10 @@ func RunFig5a(o Options) (*Fig5aResult, error) {
 			cs.Reset(init.Clone(), a, q)
 			cis.Reset(init.Clone(), a, q)
 			for _, b := range batches {
-				csRelax += cs.ApplyBatch(b).Counters[stats.CntRelax]
-				cisRelax += cis.ApplyBatch(b).Counters[stats.CntRelax]
+				csRes := cs.ApplyBatch(b)
+				csRelax += csRes.Counters()[stats.CntRelax]
+				cisRes := cis.ApplyBatch(b)
+				cisRelax += cisRes.Counters()[stats.CntRelax]
 			}
 		}
 		res.Rows = append(res.Rows, Fig5aRow{
@@ -130,7 +132,8 @@ func RunFig5b(o Options) (*Fig5bResult, error) {
 				cis := newAccel(o)
 				cis.Reset(init.Clone(), a, q)
 				for _, b := range batches {
-					c := cis.ApplyBatch(b).Counters
+					cisRes := cis.ApplyBatch(b)
+					c := cisRes.Counters()
 					add += c[core.CntActivationAdd]
 					del += c[core.CntActivationDel]
 				}

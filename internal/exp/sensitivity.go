@@ -154,9 +154,10 @@ func RunSensitivityAdversarial(o Options) (*AdversarialResult, error) {
 			csT += cs.ApplyBatch(b).Response
 			r := ciso.ApplyBatch(b)
 			cisoT += r.Response
-			valuable += r.Counters[stats.CntUpdateValuable]
-			delayed += r.Counters[stats.CntUpdateDelayed]
-			useless += r.Counters[stats.CntUpdateUseless]
+			rc := r.Counters()
+			valuable += rc[stats.CntUpdateValuable]
+			delayed += rc[stats.CntUpdateDelayed]
+			useless += rc[stats.CntUpdateUseless]
 			if cs.Answer() != ciso.Answer() {
 				return nil, fmt.Errorf("adversarial stream broke agreement: CS=%v CISO=%v",
 					cs.Answer(), ciso.Answer())

@@ -158,12 +158,13 @@ func (x *Accel) ApplyBatch(batch []graph.Update) core.Result {
 		return time.Duration(float64(c) / x.cfg.FreqGHz * float64(time.Nanosecond))
 	}
 	x.cnt.Set("cycles", int64(x.k.Now()))
-	return core.Result{
+	res := core.Result{
 		Answer:    x.Answer(),
 		Response:  cycleToDur(resp),
 		Converged: cycleToDur(converged - start),
-		Counters:  x.cnt.Diff(before),
 	}
+	res.SetCounters(x.cnt.Diff(before))
+	return res
 }
 
 // startDeletionPhase applies deletion topology (topoDels only — the

@@ -100,8 +100,8 @@ func TestAccelResponseBeforeConvergence(t *testing.T) {
 	if res.Response > res.Converged {
 		t.Fatalf("response %v after convergence %v", res.Response, res.Converged)
 	}
-	if res.Counters[stats.CntUpdateDelayed] != 1 {
-		t.Fatalf("expected a delayed deletion: %v", res.Counters)
+	if res.Counters()[stats.CntUpdateDelayed] != 1 {
+		t.Fatalf("expected a delayed deletion: %v", res.Counters())
 	}
 	if res.Response >= res.Converged {
 		t.Fatalf("delayed repair should run after the response: resp=%v conv=%v",
@@ -126,8 +126,8 @@ func TestAccelPromotion(t *testing.T) {
 	if res.Answer != 10 {
 		t.Fatalf("answer = %v, want 10", res.Answer)
 	}
-	if res.Counters[stats.CntUpdatePromoted] != 1 {
-		t.Fatalf("want one promotion: %v", res.Counters)
+	if res.Counters()[stats.CntUpdatePromoted] != 1 {
+		t.Fatalf("want one promotion: %v", res.Counters())
 	}
 }
 

@@ -36,8 +36,8 @@ func TestIdentifyThroughput(t *testing.T) {
 	}
 	start := hw.Cycles()
 	res := hw.ApplyBatch(batch)
-	if res.Counters[stats.CntUpdateUseless] != n {
-		t.Fatalf("useless = %d, want %d", res.Counters[stats.CntUpdateUseless], n)
+	if res.Counters()[stats.CntUpdateUseless] != n {
+		t.Fatalf("useless = %d, want %d", res.Counters()[stats.CntUpdateUseless], n)
 	}
 	cycles := int64(hw.Cycles() - start)
 	// II=1 issue plus bounded per-update latency: allow the fixed chain
@@ -89,9 +89,9 @@ func TestAccelCounterConsistency(t *testing.T) {
 	}
 	nb := core.NormalizeBatch(hw.g, batch)
 	res := hw.ApplyBatch(batch)
-	classified := res.Counters[stats.CntUpdateValuable] +
-		res.Counters[stats.CntUpdateDelayed] +
-		res.Counters[stats.CntUpdateUseless]
+	classified := res.Counters()[stats.CntUpdateValuable] +
+		res.Counters()[stats.CntUpdateDelayed] +
+		res.Counters()[stats.CntUpdateUseless]
 	if classified != int64(nb.Size()) {
 		t.Fatalf("classified %d events, normalized batch carries %d", classified, nb.Size())
 	}

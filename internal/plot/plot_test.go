@@ -123,11 +123,11 @@ func TestNiceStep(t *testing.T) {
 
 func TestFormatTickRanges(t *testing.T) {
 	cases := map[float64]string{
-		0:        "0",
+		0:         "0",
 		2_000_000: "2M",
-		5000:     "5k",
-		42:       "42",
-		0.25:     "0.25",
+		5000:      "5k",
+		42:        "42",
+		0.25:      "0.25",
 	}
 	for v, want := range cases {
 		if got := formatTick(v); got != want {

@@ -184,7 +184,9 @@ func (g *Guard) ApplyBatch(batch []graph.Update) core.Result {
 	clean, _, err := g.san.Sanitize(g.shadow, batch)
 	if err != nil {
 		g.lastErr = err
-		return core.Result{Answer: g.safeAnswer(), Counters: g.cnt.Diff(before), Err: err}
+		res := core.Result{Answer: g.safeAnswer(), Err: err}
+		res.SetCounters(g.cnt.Diff(before))
+		return res
 	}
 	var walErr error
 	if g.wal != nil {
@@ -219,14 +221,24 @@ func (g *Guard) ApplyBatch(batch []graph.Update) core.Result {
 	}
 	res.Err = joinNonNil(res.Err, walErr)
 	// Fold the guard's own counter deltas (drops, recoveries) into the
-	// batch result.
-	for k, v := range g.cnt.Diff(before) {
-		if v != 0 {
-			if res.Counters == nil {
-				res.Counters = make(map[string]int64)
-			}
-			res.Counters[k] += v
+	// batch result. Materialising the inner result's map is intentional
+	// here: the guard is the caller that reads counters.
+	guardDelta := g.cnt.Diff(before)
+	var merged map[string]int64
+	for k, v := range guardDelta {
+		if v == 0 {
+			continue
 		}
+		if merged == nil {
+			merged = res.Counters()
+			if merged == nil {
+				merged = make(map[string]int64)
+			}
+		}
+		merged[k] += v
+	}
+	if merged != nil {
+		res.SetCounters(merged)
 	}
 	g.lastErr = res.Err
 	return res

@@ -190,8 +190,8 @@ func TestMalformedBatchesThroughEveryEngine(t *testing.T) {
 	pres, _ := anEdge(t, base)
 	dirty := []graph.Update{
 		graph.Add(abs.From, abs.To, 4),
-		graph.Add(n + 3, 1, 2),               // out of range
-		graph.Add(5, 5, 1),                   // self-loop
+		graph.Add(n+3, 1, 2),                    // out of range
+		graph.Add(5, 5, 1),                      // self-loop
 		graph.Add(abs.To, abs.From, math.NaN()), // NaN weight
 		graph.Del(pres.From, pres.To, pres.W),
 		graph.Del(pres.From, pres.To, pres.W), // absent after first del

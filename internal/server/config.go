@@ -2,8 +2,10 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
+	"cisgraph/internal/core"
 	"cisgraph/internal/resilience"
 )
 
@@ -67,9 +69,16 @@ type Config struct {
 	// spread across them and each shard applies batches on its own
 	// goroutine. Default 1.
 	Shards int
-	// ParallelQueries additionally processes each shard's queries on their
-	// own goroutines (core.WithParallelQueries).
-	ParallelQueries bool
+	// Workers bounds the per-shard worker pool that processes a shard's
+	// queries during batch application (core.WithWorkers). Default
+	// GOMAXPROCS; 1 runs a shard's queries serially.
+	Workers int
+	// Store selects the per-query state representation for every shard
+	// engine (core.WithStore): core.StoreDense (default) keeps O(V) flat
+	// arrays per query; core.StoreSparse overlays paged deltas on a shared
+	// converged baseline, collapsing the footprint when many queries share
+	// sources.
+	Store core.StoreKind
 	// MaxQueries caps registered queries across all shards (admission
 	// control; default 1024).
 	MaxQueries int
@@ -104,6 +113,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Shards <= 0 {
 		c.Shards = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.MaxQueries <= 0 {
 		c.MaxQueries = 1024

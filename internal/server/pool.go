@@ -54,16 +54,15 @@ type Snapshot struct {
 }
 
 // NewQueryPool builds a pool of `shards` MultiCISO engines, each owning a
-// clone of g. Queries are registered later with Register.
-func NewQueryPool(g *graph.Dynamic, a algo.Algorithm, shards int, parallel bool) *QueryPool {
+// clone of g. Queries are registered later with Register. workers bounds
+// each shard's query-processing pool (<=1 runs serially); kind selects the
+// per-query state store shared by every shard engine.
+func NewQueryPool(g *graph.Dynamic, a algo.Algorithm, shards, workers int, kind core.StoreKind) *QueryPool {
 	if shards < 1 {
 		shards = 1
 	}
 	p := &QueryPool{a: a, shards: make([]*poolShard, shards)}
-	var opts []core.MultiOption
-	if parallel {
-		opts = append(opts, core.WithParallelQueries())
-	}
+	opts := []core.MultiOption{core.WithWorkers(workers), core.WithStore(kind)}
 	for i := range p.shards {
 		eng := core.NewMultiCISO(opts...)
 		eng.Reset(g.Clone(), a, nil)
@@ -170,6 +169,21 @@ func (p *QueryPool) Answers() *Snapshot { return p.snap.Load() }
 
 // Batches returns the number of batches applied.
 func (p *QueryPool) Batches() uint64 { return p.batches.Load() }
+
+// StateBytes sums the resident per-query state footprint across all shard
+// engines (store payloads plus shared sparse baselines, each counted once).
+func (p *QueryPool) StateBytes() int64 {
+	var total int64
+	for _, sh := range p.shards {
+		total += sh.eng.StateBytes()
+	}
+	return total
+}
+
+// Store reports the state-store kind the shard engines were built with.
+func (p *QueryPool) Store() core.StoreKind {
+	return p.shards[0].eng.Store()
+}
 
 // Counters returns a merged copy of every shard's engine counters.
 func (p *QueryPool) Counters() *stats.Counters {

@@ -43,7 +43,7 @@ func TestQueryPoolMatchesSingleEngine(t *testing.T) {
 		ref := core.NewMultiCISO()
 		ref.Reset(w.Initial(), a, qs)
 
-		pool := NewQueryPool(w.Initial(), a, shards, false)
+		pool := NewQueryPool(w.Initial(), a, shards, 1, core.StoreDense)
 		for _, q := range qs {
 			pool.Register(q)
 		}
@@ -75,7 +75,7 @@ func TestQueryPoolMatchesSingleEngine(t *testing.T) {
 // Registration spreads queries across shards (least-loaded placement).
 func TestQueryPoolBalancesShards(t *testing.T) {
 	w := testWorkload(t)
-	pool := NewQueryPool(w.Initial(), testAlgo(t), 4, false)
+	pool := NewQueryPool(w.Initial(), testAlgo(t), 4, 1, core.StoreDense)
 	for _, p := range w.QueryPairs(8) {
 		pool.Register(core.Query{S: p[0], D: p[1]})
 	}
@@ -94,7 +94,7 @@ func TestQueryPoolBalancesShards(t *testing.T) {
 // applies batches and new queries register. Run with -race.
 func TestQueryPoolSnapshotUnderLoad(t *testing.T) {
 	w := testWorkload(t)
-	pool := NewQueryPool(w.Initial(), testAlgo(t), 2, false)
+	pool := NewQueryPool(w.Initial(), testAlgo(t), 2, 1, core.StoreDense)
 	pairs := w.QueryPairs(6)
 	for _, p := range pairs[:4] {
 		pool.Register(core.Query{S: p[0], D: p[1]})

@@ -193,7 +193,7 @@ func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uin
 	s := &Server{
 		cfg:    cfg,
 		a:      a,
-		pool:   NewQueryPool(g, a, cfg.Shards, cfg.ParallelQueries),
+		pool:   NewQueryPool(g, a, cfg.Shards, cfg.Workers, cfg.Store),
 		san:    resilience.NewSanitizer(cfg.Policy, cnt),
 		shadow: g.Clone(),
 		cnt:    cnt,
@@ -540,15 +540,17 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 }
 
 type healthzResponse struct {
-	Status    string `json:"status"` // "ok" or "draining"
-	Batches   uint64 `json:"batches"`
-	Pending   int    `json:"pending"`
-	Quiesced  bool   `json:"quiesced"`
-	Queries   int    `json:"queries"`
-	Edges     int64  `json:"edges"`
-	Algorithm string `json:"algorithm"`
-	Shards    int    `json:"shards"`
-	LastError string `json:"last_error,omitempty"`
+	Status    string  `json:"status"` // "ok" or "draining"
+	Batches   uint64  `json:"batches"`
+	Pending   int     `json:"pending"`
+	Quiesced  bool    `json:"quiesced"`
+	Queries   int     `json:"queries"`
+	Edges     int64   `json:"edges"`
+	Algorithm string  `json:"algorithm"`
+	Shards    int     `json:"shards"`
+	Store     string  `json:"store"`
+	StateMB   float64 `json:"state_mb"`
+	LastError string  `json:"last_error,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -565,6 +567,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Edges:     s.edges.Load(),
 		Algorithm: s.a.Name(),
 		Shards:    s.pool.NumShards(),
+		Store:     s.pool.Store().String(),
+		StateMB:   float64(s.pool.StateBytes()) / (1 << 20),
 		LastError: s.LastError(),
 	})
 }
@@ -590,6 +594,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP cisgraph_queries Registered pairwise queries.\n")
 	fmt.Fprintf(w, "# TYPE cisgraph_queries gauge\n")
 	fmt.Fprintf(w, "cisgraph_queries %d\n", s.pool.NumQueries())
+	fmt.Fprintf(w, "# HELP cisgraph_state_bytes Resident per-query state across all shards (store payloads plus shared baselines).\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_state_bytes gauge\n")
+	fmt.Fprintf(w, "cisgraph_state_bytes{store=%q} %d\n", s.pool.Store(), s.pool.StateBytes())
 }
 
 func writeCounterFamily(w http.ResponseWriter, layer string, snap map[string]int64) {

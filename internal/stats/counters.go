@@ -85,9 +85,11 @@ const (
 // Cells are allocated from contiguous arena chunks in registration order, so
 // the counters an engine touches together sit on the same cache lines.
 type Counters struct {
-	mu  sync.RWMutex
-	m   map[string]*atomic.Int64
-	ids map[string]int32 // dense id per name, assigned in registration order
+	mu    sync.RWMutex
+	m     map[string]*atomic.Int64
+	ids   map[string]int32 // dense id per name, assigned in registration order
+	names []string         // id → name (registration order)
+	cells []*atomic.Int64  // id → cell (registration order)
 
 	arena []atomic.Int64 // current chunk; full chunks stay alive via m
 	used  int
@@ -159,6 +161,8 @@ func (c *Counters) cell(name string) *atomic.Int64 {
 			c.ids = make(map[string]int32)
 		}
 		c.ids[name] = int32(len(c.m))
+		c.names = append(c.names, name)
+		c.cells = append(c.cells, v)
 		c.m[name] = v
 	}
 	return v
@@ -224,6 +228,67 @@ func (c *Counters) AddAll(other *Counters) {
 	}
 	for k, v := range other.Snapshot() {
 		c.Add(k, v)
+	}
+}
+
+// DenseSnapshot appends the current value of every registered counter, in
+// dense-id (registration) order, to buf and returns the result. Passing
+// buf[:0] of a retained buffer makes the per-batch "before" capture
+// allocation-free at steady state — the map-shaped Snapshot costs a hash
+// table per call, which is exactly what the lazy Result counters avoid.
+func (c *Counters) DenseSnapshot(buf []int64) []int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, cell := range c.cells {
+		buf = append(buf, cell.Load())
+	}
+	return buf
+}
+
+// DenseDelta returns current − before as a fresh dense-id-ordered slice.
+// before must come from DenseSnapshot on the same Counters; counters
+// registered after the snapshot diff against zero. The slice is safe to
+// retain (it aliases nothing), so a Result can carry it until the caller
+// decides whether to materialise the named map.
+func (c *Counters) DenseDelta(before []int64) []int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]int64, len(c.cells))
+	for i, cell := range c.cells {
+		out[i] = cell.Load()
+		if i < len(before) {
+			out[i] -= before[i]
+		}
+	}
+	return out
+}
+
+// DeltaMap resolves a dense delta (from DenseDelta on this Counters) into a
+// named map — the materialisation step of the lazy Result counters. Zero
+// entries are kept so callers can probe any registered name.
+func (c *Counters) DeltaMap(delta []int64) map[string]int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int64, len(delta))
+	for i, v := range delta {
+		if i < len(c.names) {
+			out[c.names[i]] = v
+		}
+	}
+	return out
+}
+
+// AddDelta folds a dense delta measured on src into c (c += delta), matching
+// counters by name. It replaces per-batch map materialisation when merging
+// per-query deltas into a combined view.
+func (c *Counters) AddDelta(src *Counters, delta []int64) {
+	src.mu.RLock()
+	names := src.names[:min(len(src.names), len(delta))]
+	src.mu.RUnlock()
+	for i, name := range names {
+		if delta[i] != 0 {
+			c.Add(name, delta[i])
+		}
 	}
 }
 
