@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-smoke bench-compare serve-smoke experiments
+.PHONY: build test race vet staticcheck bench bench-smoke bench-compare serve-smoke chaos experiments
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ bench-compare:
 ## middle, verified against an offline engine.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+## chaos: crash-loop chaos harness — SIGKILL a live cisgraphd mid-ingest
+## five times, resume from checkpoint + segmented WAL after each kill, and
+## verify the served answers equal an offline replay of the durable prefix
+## (loadgen -verify-durable). CHAOS_CYCLES overrides the kill count.
+chaos:
+	bash scripts/chaos_loop.sh $${CHAOS_CYCLES:-5}
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -243,6 +243,14 @@ type (
 	WAL = resilience.WAL
 	// WALRecord is one replayed log entry (index + batch).
 	WALRecord = resilience.Record
+	// SegmentedWAL is the segment-per-file WAL with checkpoint-coordinated
+	// retention (DESIGN.md §12.1); SegWALOptions tunes it.
+	SegmentedWAL  = resilience.SegmentedWAL
+	SegWALOptions = resilience.SegWALOptions
+	// FS is the filesystem seam the durability writers run on; FaultFS is
+	// the error-injecting test implementation (DESIGN.md §12.2).
+	FS      = resilience.FS
+	FaultFS = resilience.FaultFS
 	// FaultInjector mangles batches deterministically for resilience tests.
 	FaultInjector = resilience.Injector
 	// FaultConfig sets the injector's per-update fault probabilities.
@@ -288,11 +296,17 @@ var (
 	NewSanitizer        = resilience.NewSanitizer
 	ValidateBatch       = resilience.ValidateBatch
 	ParseSanitizePolicy = resilience.ParsePolicy
-	// CreateWAL / OpenWAL / ReplayWAL manage write-ahead logs; OpenWAL
-	// truncates a torn tail before appending.
+	// CreateWAL / OpenWAL / ReplayWAL manage single-file write-ahead logs;
+	// OpenWAL truncates a torn tail before appending.
 	CreateWAL = resilience.CreateWAL
 	OpenWAL   = resilience.OpenWAL
 	ReplayWAL = resilience.ReplayWAL
+	// Segmented WAL (DESIGN.md §12): a directory of fixed-size segments
+	// with checkpoint-coordinated retention. OpenSegmentedWAL migrates a
+	// legacy single-file log in place; ReplaySegmented reads either layout.
+	CreateSegmentedWAL = resilience.CreateSegmentedWAL
+	OpenSegmentedWAL   = resilience.OpenSegmentedWAL
+	ReplaySegmented    = resilience.ReplaySegmented
 	// Recover rebuilds a CISO engine from checkpoint + WAL after a crash.
 	Recover = resilience.Recover
 	// NewFaultInjector / NewPanicAlgorithm are the deterministic fault

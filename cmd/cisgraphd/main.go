@@ -61,17 +61,22 @@ func run() error {
 		batchWait = flag.Duration("batch-wait", 25*time.Millisecond, "cut a non-empty batch after this long")
 		queueCap  = flag.Int("queue", 65536, "ingest queue capacity (updates)")
 		onFull    = flag.String("on-full", "reject", "queue-full policy: reject (429) or shed (drop oldest)")
-		timeout   = flag.Duration("timeout", 10*time.Second, "per-request handler timeout")
+		timeout   = flag.Duration("timeout", 0, "deprecated alias for -request-timeout")
+		reqTO     = flag.Duration("request-timeout", 10*time.Second, "per-request handler deadline (503 on overrun)")
+		maxBody   = flag.Int64("max-body-bytes", 8<<20, "largest accepted POST body (413 beyond)")
+		maxInfl   = flag.Int("max-inflight", 256, "concurrently executing /v1/* requests before shedding with 429")
 		shards    = flag.Int("shards", 1, "query-pool shards")
 		workers   = flag.Int("workers", 0, "per-shard query worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		storeStr  = flag.String("store", "dense", "per-query state store: dense (flat arrays) or sparse (paged deltas over a shared baseline)")
 		maxQ      = flag.Int("max-queries", 1024, "registered-query admission limit")
 
-		sanitize  = flag.String("sanitize", "drop", "ingestion sanitize policy: drop, reject or strict")
-		walPath   = flag.String("wal", "", "append every sanitized batch to this write-ahead log")
-		ckptPath  = flag.String("checkpoint", "", "write drain (and periodic) checkpoints to this file")
-		ckptEvery = flag.Int("checkpoint-every", 0, "also checkpoint every N applied batches (0 = drain only)")
-		resume    = flag.Bool("resume", false, "restore from -checkpoint and replay the -wal suffix before serving")
+		sanitize   = flag.String("sanitize", "drop", "ingestion sanitize policy: drop, reject or strict")
+		walPath    = flag.String("wal", "", "append every sanitized batch to this segmented write-ahead log directory")
+		walSegment = flag.Int64("wal-segment-bytes", 4<<20, "roll the WAL to a new segment at this size")
+		walRetain  = flag.Int("wal-retain", 0, "keep at least N sealed WAL segments past checkpoint retention")
+		ckptPath   = flag.String("checkpoint", "", "write drain (and periodic) checkpoints to this file")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "also checkpoint every N applied batches (0 = drain only)")
+		resume     = flag.Bool("resume", false, "restore from -checkpoint and replay the -wal suffix before serving")
 
 		queries = flag.String("queries", "", "pre-register comma-separated s:d query pairs (e.g. 3:99,0:7)")
 	)
@@ -93,18 +98,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *timeout > 0 {
+		*reqTO = *timeout // honor the deprecated spelling
+	}
 	cfg := server.Config{
 		BatchMaxSize:    *batchSize,
 		BatchMaxWait:    *batchWait,
 		QueueCapacity:   *queueCap,
 		OnFull:          overflow,
-		RequestTimeout:  *timeout,
+		RequestTimeout:  *reqTO,
+		MaxBodyBytes:    *maxBody,
+		MaxInFlight:     *maxInfl,
 		Shards:          *shards,
 		Workers:         *workers,
 		Store:           store,
 		MaxQueries:      *maxQ,
 		Policy:          policy,
 		WALPath:         *walPath,
+		WALSegmentBytes: *walSegment,
+		WALRetain:       *walRetain,
 		CheckpointPath:  *ckptPath,
 		CheckpointEvery: *ckptEvery,
 	}
@@ -161,10 +173,17 @@ func run() error {
 		log.Printf("query %d: Q(%d->%d) initial answer %v", id, s, d, ans)
 	}
 
+	// Transport-level timeouts bound slow clients (DESIGN.md §12.3): the
+	// handler deadline covers work the server does; these cover bytes the
+	// client never sends. Read/Write leave headroom over the handler budget
+	// so the deadline's 503 reaches the client before the socket dies.
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *reqTO + 5*time.Second,
+		WriteTimeout:      *reqTO + 5*time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() {

@@ -68,8 +68,29 @@ func run() error {
 		sanitize = flag.String("sanitize", "drop", "sanitize policy the daemon uses (for -verify parity)")
 		waitFor  = flag.Duration("quiesce-timeout", 30*time.Second, "how long to wait for the daemon to quiesce")
 		jsonOut  = flag.String("json", "", "also write the report as JSON to this file")
+
+		verifyDurable = flag.Bool("verify-durable", false,
+			"rebuild the daemon's durable state offline (checkpoint + WAL) and compare served answers; needs -wal and/or -checkpoint")
+		walPath  = flag.String("wal", "", "daemon's segmented WAL directory (for -verify-durable)")
+		ckptPath = flag.String("checkpoint", "", "daemon's checkpoint file (for -verify-durable)")
 	)
 	flag.Parse()
+
+	// -verify-durable without a trace is a pure check: compare the running
+	// daemon against its own durable artefacts and exit. The chaos loop
+	// runs this after every SIGKILL/restart cycle.
+	if *trace == "" && *verifyDurable {
+		client := &http.Client{Timeout: 30 * time.Second}
+		if err := waitHealthy(client, *addr, 10*time.Second); err != nil {
+			return err
+		}
+		n, durable, err := verifyDurableState(client, *addr, *walPath, *ckptPath, *initial, *algoStr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("verify-durable: %d batches durable, %d served answers identical to offline replay\n", durable, n)
+		return nil
+	}
 	if *trace == "" {
 		return fmt.Errorf("-trace is required")
 	}
@@ -151,8 +172,11 @@ func run() error {
 	}
 
 	start := time.Now()
-	posted, rejected := 0, 0
-	for at := 0; at < len(replay); at += *postSize {
+	posted, retried429, retried503 := 0, 0, 0
+	rng := rand.New(rand.NewSource(*seed ^ 0xbac0ff))
+	backoff := 10 * time.Millisecond
+	const backoffCap = 2 * time.Second
+	for at := 0; at < len(replay); {
 		end := at + *postSize
 		if end > len(replay) {
 			end = len(replay)
@@ -165,19 +189,36 @@ func run() error {
 			}
 		}
 		t0 := time.Now()
-		status, err := postUpdates(client, *addr, replay[at:end])
+		status, retryAfter, err := postUpdates(client, *addr, replay[at:end])
 		if err != nil {
+			// Transport errors (connection refused, daemon killed) stay
+			// hard: the caller decides whether a dead daemon is expected.
 			return fmt.Errorf("posting updates %d..%d: %w", at, end, err)
 		}
 		postLat = append(postLat, time.Since(t0))
 		switch status {
 		case http.StatusAccepted:
 			posted += end - at
-		case http.StatusTooManyRequests:
-			// Backpressure: retry the same chunk after a beat.
-			rejected++
-			at -= *postSize
-			time.Sleep(20 * time.Millisecond)
+			at = end
+			backoff = 10 * time.Millisecond
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// Backpressure (429: queue/gate full) or degraded mode (503:
+			// disk breaker open): retry the same chunk with jittered
+			// exponential backoff. A Retry-After header overrides the
+			// computed delay — the server knows its own probe cadence.
+			if status == http.StatusTooManyRequests {
+				retried429++
+			} else {
+				retried503++
+			}
+			d := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+			if retryAfter > 0 {
+				d = retryAfter
+			}
+			time.Sleep(d)
+			if backoff *= 2; backoff > backoffCap {
+				backoff = backoffCap
+			}
 		default:
 			return fmt.Errorf("POST /v1/updates: unexpected status %d", status)
 		}
@@ -193,7 +234,8 @@ func run() error {
 		Updates:      posted,
 		Elapsed:      elapsed.Seconds(),
 		UpdatesPerS:  float64(posted) / elapsed.Seconds(),
-		Backpressure: rejected,
+		Backpressure: retried429,
+		Degraded:     retried503,
 		ReaderErrors: int(readerErrs.Load()),
 		PostP50Ms:    ms(percentile(postLat, 0.50)),
 		PostP90Ms:    ms(percentile(postLat, 0.90)),
@@ -203,8 +245,8 @@ func run() error {
 		QueryP90Ms:   ms(queryLat.percentile(0.90)),
 		QueryP99Ms:   ms(queryLat.percentile(0.99)),
 	}
-	fmt.Printf("replayed %d updates in %.2fs (%.0f updates/s), %d backpressure retries\n",
-		rep.Updates, rep.Elapsed, rep.UpdatesPerS, rep.Backpressure)
+	fmt.Printf("replayed %d updates in %.2fs (%.0f updates/s), %d backpressure (429) + %d degraded (503) retries\n",
+		rep.Updates, rep.Elapsed, rep.UpdatesPerS, rep.Backpressure, rep.Degraded)
 	fmt.Printf("update POST latency: p50=%.2fms p90=%.2fms p99=%.2fms (%d posts)\n",
 		rep.PostP50Ms, rep.PostP90Ms, rep.PostP99Ms, len(postLat))
 	fmt.Printf("answer GET latency:  p50=%.2fms p90=%.2fms p99=%.2fms (%d reads)\n",
@@ -235,6 +277,7 @@ type report struct {
 	Elapsed      float64 `json:"elapsed_s"`
 	UpdatesPerS  float64 `json:"updates_per_s"`
 	Backpressure int     `json:"backpressure_retries"`
+	Degraded     int     `json:"degraded_retries"`
 	ReaderErrors int     `json:"reader_errors"`
 	PostP50Ms    float64 `json:"post_p50_ms"`
 	PostP90Ms    float64 `json:"post_p90_ms"`
@@ -307,7 +350,7 @@ type updateJSON struct {
 	W    float64 `json:"w"`
 }
 
-func postUpdates(c *http.Client, addr string, ups []graph.Update) (int, error) {
+func postUpdates(c *http.Client, addr string, ups []graph.Update) (int, time.Duration, error) {
 	wire := make([]updateJSON, len(ups))
 	for i, u := range ups {
 		op := "add"
@@ -319,11 +362,17 @@ func postUpdates(c *http.Client, addr string, ups []graph.Update) (int, error) {
 	body, _ := json.Marshal(map[string]any{"updates": wire})
 	resp, err := c.Post(addr+"/v1/updates", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, nil
+	var retryAfter time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := time.ParseDuration(s + "s"); err == nil {
+			retryAfter = secs
+		}
+	}
+	return resp.StatusCode, retryAfter, nil
 }
 
 func registerQuery(c *http.Client, addr string, s, d graph.VertexID) (int, error) {
@@ -373,6 +422,21 @@ func getAnswers(c *http.Client, addr string) (*answersPayload, error) {
 	return &out, nil
 }
 
+func getAppliedBatches(c *http.Client, addr string) (uint64, error) {
+	resp, err := c.Get(addr + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		Batches uint64 `json:"batches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		return 0, err
+	}
+	return hz.Batches, nil
+}
+
 func waitHealthy(c *http.Client, addr string, d time.Duration) error {
 	deadline := time.Now().Add(d)
 	for {
@@ -403,6 +467,95 @@ func waitQuiesced(c *http.Client, addr string, d time.Duration) error {
 		}
 		time.Sleep(25 * time.Millisecond)
 	}
+}
+
+// verifyDurableState rebuilds the daemon's durable state offline — the
+// checkpoint topology plus the WAL suffix it does not cover — and compares
+// every served answer against an independent MultiCISO over that state.
+// This is the chaos-loop invariant: whatever a SIGKILL interrupted, the
+// answers a restarted daemon serves must equal the replay of its durable
+// prefix, record for record.
+func verifyDurableState(c *http.Client, addr, walDir, ckpt, initial, algoStr string) (int, uint64, error) {
+	if walDir == "" && ckpt == "" {
+		return 0, 0, fmt.Errorf("-verify-durable needs -wal and/or -checkpoint")
+	}
+	a, err := algo.ByName(algoStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	var (
+		g       *graph.Dynamic
+		through uint64
+	)
+	if ckpt != "" {
+		covered, payload, err := resilience.ReadCheckpointFile(ckpt)
+		switch {
+		case err == nil:
+			if g, _, err = server.DecodeCheckpointState(payload); err != nil {
+				return 0, 0, err
+			}
+			through = covered
+		case os.IsNotExist(err):
+			// No checkpoint yet: fall through to -initial below.
+		default:
+			return 0, 0, err
+		}
+	}
+	if g == nil {
+		if initial == "" {
+			return 0, 0, fmt.Errorf("-verify-durable: no checkpoint at %q and no -initial fallback", ckpt)
+		}
+		el, err := graph.LoadFile(initial)
+		if err != nil {
+			return 0, 0, err
+		}
+		g = graph.FromEdgeList(el)
+	}
+	durable := through
+	if walDir != "" {
+		recs, err := resilience.ReplaySegmented(walDir)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, rec := range recs {
+			if rec.Index < through {
+				continue
+			}
+			if rec.Index != durable {
+				return 0, 0, fmt.Errorf("verify-durable: WAL gap: record %d, expected %d", rec.Index, durable)
+			}
+			g.Apply(rec.Batch)
+			durable++
+		}
+	}
+	served, err := getAnswers(c, addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	// healthz's batch count includes checkpoint-restored batches (the
+	// answers endpoint counts only since the pool reset), so it is the one
+	// comparable to the durable prefix length.
+	applied, err := getAppliedBatches(c, addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	if applied != durable {
+		return 0, 0, fmt.Errorf("verify-durable FAILED: daemon at batch %d, durable prefix holds %d", applied, durable)
+	}
+	var qs []core.Query
+	for _, ans := range served.Answers {
+		qs = append(qs, core.Query{S: ans.S, D: ans.D})
+	}
+	eng := core.NewMultiCISO()
+	eng.Reset(g, a, qs)
+	want := eng.Answers()
+	for i, ans := range served.Answers {
+		if float64(ans.Value) != want[i] {
+			return 0, 0, fmt.Errorf("verify-durable FAILED: query %d Q(%d->%d): served %v, durable replay %v",
+				ans.ID, ans.S, ans.D, float64(ans.Value), want[i])
+		}
+	}
+	return len(served.Answers), durable, nil
 }
 
 // verifyAnswers replays updates[0:n] through an offline MultiCISO — batched

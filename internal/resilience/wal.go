@@ -8,7 +8,6 @@ import (
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 
 	"cisgraph/internal/graph"
 )
@@ -163,9 +162,19 @@ func scanWAL(path string) ([]Record, int64, error) {
 	if len(data) < len(walHeader) || !bytes.Equal(data[:len(walHeader)], walHeader) {
 		return nil, 0, fmt.Errorf("wal: %s: bad header (not a WAL file)", path)
 	}
-	var recs []Record
-	off := int64(len(walHeader))
-	rest := data[len(walHeader):]
+	recs, n := scanRecords(data[len(walHeader):], nil)
+	return recs, int64(len(walHeader)) + n, nil
+}
+
+// scanRecords parses the valid record prefix of data (header already
+// stripped), appending to recs — the shared scanner for single-file and
+// segmented logs. recs carries the contiguity context: a record whose index
+// does not follow the previous one ends the scan, as does a torn tail, a
+// checksum failure or an undecodable payload. Returns the extended slice
+// and the number of bytes consumed.
+func scanRecords(data []byte, recs []Record) ([]Record, int64) {
+	var off int64
+	rest := data
 	for len(rest) >= 16 {
 		idx := binary.LittleEndian.Uint64(rest[0:8])
 		plen := binary.LittleEndian.Uint32(rest[8:12])
@@ -188,7 +197,7 @@ func scanWAL(path string) ([]Record, int64, error) {
 		rest = rest[16+plen:]
 		off += 16 + int64(plen)
 	}
-	return recs, off, nil
+	return recs, off
 }
 
 func encodeBatch(batch []graph.Update) []byte {
@@ -244,6 +253,14 @@ var guardCkptMagic = []byte("CGRC")
 // directory, is fsynced, and renamed over path, so a crash mid-write never
 // destroys the previous good checkpoint.
 func WriteCheckpointFile(path string, through uint64, payload []byte) error {
+	return WriteCheckpointFileFS(OsFS{}, path, through, payload)
+}
+
+// WriteCheckpointFileFS is WriteCheckpointFile through an explicit
+// filesystem seam, so disk-fault handling around checkpointing can be
+// tested with a FaultFS. The temp file is <path>.tmp (single-writer: the
+// callers serialize checkpoints).
+func WriteCheckpointFileFS(fsys FS, path string, through uint64, payload []byte) error {
 	var buf bytes.Buffer
 	buf.Write(guardCkptMagic)
 	hdr := make([]byte, 20)
@@ -254,24 +271,30 @@ func WriteCheckpointFile(path string, through uint64, payload []byte) error {
 	buf.Write(hdr)
 	buf.Write(payload)
 
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	tmpPath := path + ".tmp"
+	tmp, err := fsys.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
 		tmp.Close()
+		fsys.Remove(tmpPath)
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
+		fsys.Remove(tmpPath)
 		return fmt.Errorf("checkpoint: sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
+		fsys.Remove(tmpPath)
 		return fmt.Errorf("checkpoint: close: %w", err)
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := fsys.Rename(tmpPath, path); err != nil {
+		fsys.Remove(tmpPath)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
 }
 
 // ReadCheckpointFile loads a checkpoint written by WriteCheckpointFile,

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// diskBreaker is the degraded-mode circuit breaker around the durability
+// path (WAL appends, checkpoint writes). A persistent disk failure trips it
+// open: the server then rejects new writes (503 + Retry-After at the API)
+// while reads keep serving the last consistent answers, and a background
+// retry loop probes the disk with jittered exponential backoff, closing the
+// breaker on the first successful probe.
+//
+// Rationale: a WAL append failure means the batch cannot be made durable.
+// Applying it anyway would desynchronize the served answers from the
+// durable prefix (a later crash-recovery would replay less than was
+// served), so the server degrades — durability over write-availability,
+// full availability for reads.
+type diskBreaker struct {
+	open   atomic.Bool
+	reason atomic.Pointer[string]
+
+	probe func() error  // must be safe from the retry goroutine
+	base  time.Duration // first retry delay
+	max   time.Duration // backoff cap
+
+	trips  atomic.Int64 // times the breaker opened
+	probes atomic.Int64 // disk probes attempted while open
+
+	mu      sync.Mutex
+	stopped bool
+	stop    chan struct{}
+}
+
+// newDiskBreaker builds a closed breaker. probe is called from a background
+// goroutine while the breaker is open; a nil probe return closes it.
+func newDiskBreaker(probe func() error, base, max time.Duration) *diskBreaker {
+	return &diskBreaker{probe: probe, base: base, max: max, stop: make(chan struct{})}
+}
+
+// Trip opens the breaker with err as the reason and starts the retry loop.
+// Re-tripping while open just refreshes the reason.
+func (b *diskBreaker) Trip(err error) {
+	msg := err.Error()
+	b.reason.Store(&msg)
+	if b.open.Swap(true) {
+		return // retry loop already running
+	}
+	b.trips.Add(1)
+	b.mu.Lock()
+	stopped := b.stopped
+	b.mu.Unlock()
+	if stopped {
+		return
+	}
+	go b.retryLoop()
+}
+
+// retryLoop probes the disk with jittered exponential backoff until a probe
+// succeeds (breaker closes) or the server shuts down.
+func (b *diskBreaker) retryLoop() {
+	backoff := b.base
+	for {
+		// Full jitter: sleep uniformly in [backoff/2, backoff), decorrelating
+		// retry storms across instances.
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		select {
+		case <-b.stop:
+			return
+		case <-time.After(d):
+		}
+		b.probes.Add(1)
+		if err := b.probe(); err == nil {
+			b.open.Store(false)
+			return
+		} else {
+			msg := err.Error()
+			b.reason.Store(&msg)
+		}
+		if backoff *= 2; backoff > b.max {
+			backoff = b.max
+		}
+	}
+}
+
+// Open reports whether the breaker is open (durable writes failing).
+func (b *diskBreaker) Open() bool { return b.open.Load() }
+
+// Reason returns the most recent disk error ("" when never tripped).
+func (b *diskBreaker) Reason() string {
+	if p := b.reason.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Trips returns how many times the breaker opened.
+func (b *diskBreaker) Trips() int64 { return b.trips.Load() }
+
+// Probes returns how many disk probes ran while open.
+func (b *diskBreaker) Probes() int64 { return b.probes.Load() }
+
+// Stop terminates the retry loop (server drain). Idempotent.
+func (b *diskBreaker) Stop() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.stopped {
+		b.stopped = true
+		close(b.stop)
+	}
+}

@@ -61,6 +61,15 @@ func encodeState(g *graph.Dynamic, queries []core.Query) []byte {
 	return buf.Bytes()
 }
 
+// DecodeCheckpointState parses a server checkpoint payload (the bytes inside
+// the resilience checkpoint envelope) back into the topology and query set.
+// Exported for offline verification tooling: the chaos harness and
+// loadgen -verify-durable rebuild the durable state independently of a
+// running server and compare answers against what the server acknowledged.
+func DecodeCheckpointState(payload []byte) (*graph.Dynamic, []core.Query, error) {
+	return decodeState(payload)
+}
+
 // decodeState parses a payload written by encodeState.
 func decodeState(payload []byte) (*graph.Dynamic, []core.Query, error) {
 	r := bytes.NewReader(payload)

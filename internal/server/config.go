@@ -64,7 +64,17 @@ type Config struct {
 	// (default OverflowReject).
 	OnFull OverflowPolicy
 	// RequestTimeout bounds each HTTP request's handler time (default 10s).
+	// Every endpoint runs under a context carrying this deadline; a handler
+	// that overruns gets 503 and its context cancelled.
 	RequestTimeout time.Duration
+	// MaxBodyBytes bounds POST request bodies (http.MaxBytesReader; default
+	// 8 MiB). Oversized bodies get 413 without buffering the excess.
+	MaxBodyBytes int64
+	// MaxInFlight bounds concurrently executing /v1/* requests (admission
+	// control; default 256). Requests beyond the gate are shed with 429 +
+	// Retry-After before they can pile onto the batcher. /healthz and
+	// /metrics bypass the gate so operators can always observe the server.
+	MaxInFlight int
 	// Shards is the number of query-pool shards; registered queries are
 	// spread across them and each shard applies batches on its own
 	// goroutine. Default 1.
@@ -86,15 +96,35 @@ type Config struct {
 	// Every batch is validated against the server's shadow topology before
 	// any engine sees it.
 	Policy resilience.Policy
-	// WALPath appends every sanitized batch to a write-ahead log before it
-	// is applied ("" disables durability).
+	// WALPath is the segmented write-ahead log directory: every sanitized
+	// batch is appended (and fsynced) there before it is applied ("" disables
+	// durability). A legacy single-file CGWALOG1 log at this path is
+	// migrated in place on open, so pre-segmentation data dirs keep working.
 	WALPath string
+	// WALSegmentBytes rolls the WAL to a new segment at this size (default
+	// 4 MiB). Smaller segments mean finer-grained retention.
+	WALSegmentBytes int64
+	// WALRetain keeps at least this many sealed WAL segments through
+	// checkpoint-coordinated retention (operator slack; default 0).
+	WALRetain int
 	// CheckpointPath is where drain (and, with CheckpointEvery, periodic)
-	// checkpoints are written ("" disables).
+	// checkpoints are written ("" disables). After a successful checkpoint,
+	// WAL segments wholly covered by it are deleted, bounding disk usage
+	// and crash-recovery replay length.
 	CheckpointPath string
 	// CheckpointEvery writes a checkpoint every N applied batches (0 = only
 	// at drain). Requires CheckpointPath.
 	CheckpointEvery int
+	// DiskRetryBase / DiskRetryMax shape the degraded-mode disk retry loop:
+	// after a durable-write failure trips the breaker, the disk is probed
+	// with jittered exponential backoff from DiskRetryBase up to
+	// DiskRetryMax (defaults 100ms / 5s).
+	DiskRetryBase time.Duration
+	DiskRetryMax  time.Duration
+	// FS is the filesystem seam for WAL and checkpoint writes (default the
+	// real filesystem). Tests inject a resilience.FaultFS to exercise
+	// degraded mode deterministically.
+	FS resilience.FS
 }
 
 // WithDefaults returns a copy of c with every unset field defaulted.
@@ -110,6 +140,24 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.WALSegmentBytes <= 0 {
+		c.WALSegmentBytes = 4 << 20
+	}
+	if c.DiskRetryBase <= 0 {
+		c.DiskRetryBase = 100 * time.Millisecond
+	}
+	if c.DiskRetryMax <= 0 {
+		c.DiskRetryMax = 5 * time.Second
+	}
+	if c.FS == nil {
+		c.FS = resilience.OsFS{}
 	}
 	if c.Shards <= 0 {
 		c.Shards = 1

@@ -52,6 +52,21 @@ const (
 	CntBatchDegraded = "srv_batch_degraded"
 	// CntCheckpoints counts checkpoints written (periodic + drain).
 	CntCheckpoints = "srv_checkpoints"
+	// CntInflightShed counts requests shed with 429 by the in-flight gate.
+	CntInflightShed = "srv_inflight_shed"
+	// CntRequestTimeouts counts requests killed by the per-endpoint deadline.
+	CntRequestTimeouts = "srv_request_timeouts"
+	// CntBodyTooLarge counts POSTs refused with 413 (body over MaxBodyBytes).
+	CntBodyTooLarge = "srv_body_too_large"
+	// CntBatchesDroppedDegraded / CntUpdatesDroppedDegraded count batches
+	// (and the updates inside them) discarded because the disk breaker was
+	// open or the WAL append failed: an un-durable batch is never applied,
+	// keeping served answers consistent with the durable prefix.
+	CntBatchesDroppedDegraded = "srv_batches_dropped_degraded"
+	CntUpdatesDroppedDegraded = "srv_updates_dropped_degraded"
+	// CntWALSegmentsDeleted counts WAL segments removed by
+	// checkpoint-coordinated retention.
+	CntWALSegmentsDeleted = "srv_wal_segments_deleted"
 )
 
 // Server is the cisgraphd serving core: it owns the shadow topology, the
@@ -69,7 +84,9 @@ type Server struct {
 	pool *QueryPool
 	bat  *Batcher
 	san  *resilience.Sanitizer
-	wal  *resilience.WAL
+	wal  *resilience.SegmentedWAL
+	brk  *diskBreaker
+	gate inflightGate
 
 	// shadow is the authoritative topology, mutated only by the applier
 	// goroutine (and by Restore before the batcher starts).
@@ -90,10 +107,14 @@ type Server struct {
 // srvHandles pre-resolves the serving hot-path counters (DESIGN.md §9):
 // accepted/applied move per update, the rest per batch or per request.
 type srvHandles struct {
-	accepted, shed, rejected    stats.Handle
-	batches, updates            stats.Handle
-	cutSize, cutTimer, cutDrain stats.Handle
-	registered, degraded, ckpts stats.Handle
+	accepted, shed, rejected     stats.Handle
+	batches, updates             stats.Handle
+	cutSize, cutTimer, cutDrain  stats.Handle
+	registered, degraded, ckpts  stats.Handle
+	inflightShed, timeouts       stats.Handle
+	bodyTooLarge                 stats.Handle
+	dropBatches, dropUpdates     stats.Handle
+	walSegmentsDeleted           stats.Handle
 }
 
 // New builds a server over an initial topology. The server takes its own
@@ -148,8 +169,8 @@ func Restore(a algo.Algorithm, cfg Config, init func() (*graph.Dynamic, error)) 
 	// restored topology.
 	var replay [][]graph.Update
 	if cfg.WALPath != "" {
-		recs, err := resilience.ReplayWAL(cfg.WALPath)
-		if err != nil && !os.IsNotExist(err) {
+		recs, err := resilience.ReplaySegmentedFS(cfg.FS, cfg.WALPath)
+		if err != nil {
 			return nil, fmt.Errorf("server: restore: %w", err)
 		}
 		for _, rec := range recs {
@@ -198,18 +219,25 @@ func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uin
 		shadow: g.Clone(),
 		cnt:    cnt,
 		h: srvHandles{
-			accepted:   cnt.Handle(CntUpdatesAccepted),
-			shed:       cnt.Handle(CntUpdatesShed),
-			rejected:   cnt.Handle(CntPostsRejected),
-			batches:    cnt.Handle(CntBatchesApplied),
-			updates:    cnt.Handle(CntUpdatesApplied),
-			cutSize:    cnt.Handle(CntCutSize),
-			cutTimer:   cnt.Handle(CntCutTimer),
-			cutDrain:   cnt.Handle(CntCutDrain),
-			registered: cnt.Handle(CntQueriesRegistered),
-			degraded:   cnt.Handle(CntBatchDegraded),
-			ckpts:      cnt.Handle(CntCheckpoints),
+			accepted:           cnt.Handle(CntUpdatesAccepted),
+			shed:               cnt.Handle(CntUpdatesShed),
+			rejected:           cnt.Handle(CntPostsRejected),
+			batches:            cnt.Handle(CntBatchesApplied),
+			updates:            cnt.Handle(CntUpdatesApplied),
+			cutSize:            cnt.Handle(CntCutSize),
+			cutTimer:           cnt.Handle(CntCutTimer),
+			cutDrain:           cnt.Handle(CntCutDrain),
+			registered:         cnt.Handle(CntQueriesRegistered),
+			degraded:           cnt.Handle(CntBatchDegraded),
+			ckpts:              cnt.Handle(CntCheckpoints),
+			inflightShed:       cnt.Handle(CntInflightShed),
+			timeouts:           cnt.Handle(CntRequestTimeouts),
+			bodyTooLarge:       cnt.Handle(CntBodyTooLarge),
+			dropBatches:        cnt.Handle(CntBatchesDroppedDegraded),
+			dropUpdates:        cnt.Handle(CntUpdatesDroppedDegraded),
+			walSegmentsDeleted: cnt.Handle(CntWALSegmentsDeleted),
 		},
+		gate: make(inflightGate, cfg.MaxInFlight),
 	}
 	s.applied.Store(through)
 	s.edges.Store(int64(g.NumEdges()))
@@ -218,23 +246,59 @@ func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uin
 		s.h.registered.Inc()
 	}
 	if cfg.WALPath != "" {
+		opts := resilience.SegWALOptions{
+			SegmentBytes: cfg.WALSegmentBytes,
+			Retain:       cfg.WALRetain,
+			FS:           cfg.FS,
+		}
 		var (
-			wal *resilience.WAL
+			wal *resilience.SegmentedWAL
 			err error
 		)
 		if resumeWAL {
-			wal, err = resilience.OpenWAL(cfg.WALPath)
+			wal, err = resilience.OpenSegmentedWAL(cfg.WALPath, opts)
 		} else {
-			wal, err = resilience.CreateWAL(cfg.WALPath)
+			wal, err = resilience.CreateSegmentedWAL(cfg.WALPath, opts)
 		}
 		if err != nil {
 			return nil, err
 		}
 		s.wal = wal
 	}
+	s.brk = newDiskBreaker(s.probeDisk, cfg.DiskRetryBase, cfg.DiskRetryMax)
 	s.bat = NewBatcher(cfg.BatchMaxSize, cfg.BatchMaxWait, cfg.QueueCapacity, cfg.OnFull, s.applyBatch)
 	s.routes()
 	return s, nil
+}
+
+// probeDisk is the breaker's health check: verify the durability path can
+// take writes again. With a WAL, repairing and fsyncing the active segment
+// is the authoritative probe; otherwise a scratch file next to the
+// checkpoint stands in.
+func (s *Server) probeDisk() error {
+	if s.wal != nil {
+		return s.wal.Probe()
+	}
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	p := s.cfg.CheckpointPath + ".probe"
+	f, err := s.cfg.FS.OpenFile(p, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("probe")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.cfg.FS.Remove(p)
 }
 
 // applyBatch is the single-writer pipeline stage: sanitize against the
@@ -259,11 +323,23 @@ func (s *Server) applyBatch(batch []graph.Update, reason CutReason) {
 	if len(clean) == 0 {
 		return
 	}
+	// Degraded mode (DESIGN.md §12.2): a batch that cannot be made durable
+	// is never applied. Applying it would desynchronize the served answers
+	// from the durable prefix — after a crash, recovery would replay less
+	// than was served. The batch is dropped (counted), the breaker opens,
+	// and /v1/updates rejects with 503 until a background probe heals.
+	if s.brk.Open() {
+		s.h.dropBatches.Inc()
+		s.h.dropUpdates.Add(int64(len(clean)))
+		return
+	}
 	if s.wal != nil {
 		if _, werr := s.wal.Append(clean); werr != nil {
-			// Availability over durability, as in resilience.Guard: keep
-			// serving, surface the failure.
-			s.setLastErr(fmt.Errorf("server: wal append failed (batch applied without durability): %w", werr))
+			s.brk.Trip(werr)
+			s.setLastErr(fmt.Errorf("server: wal append failed (batch dropped, degraded): %w", werr))
+			s.h.dropBatches.Inc()
+			s.h.dropUpdates.Add(int64(len(clean)))
+			return
 		}
 	}
 	s.shadow.Apply(clean)
@@ -290,11 +366,25 @@ func (s *Server) writeCheckpoint() error {
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	through := s.applied.Load()
 	payload := encodeState(s.shadow, s.pool.QueriesSnapshot())
-	if err := resilience.WriteCheckpointFile(s.cfg.CheckpointPath, s.applied.Load(), payload); err != nil {
+	if err := resilience.WriteCheckpointFileFS(s.cfg.FS, s.cfg.CheckpointPath, through, payload); err != nil {
+		s.brk.Trip(err)
 		return fmt.Errorf("server: %w", err)
 	}
 	s.h.ckpts.Inc()
+	// Checkpoint-coordinated retention: the checkpoint now covers every
+	// batch with index < through, so WAL segments wholly below it are dead
+	// weight — delete them (modulo the WALRetain floor).
+	if s.wal != nil {
+		removed, rerr := s.wal.TruncateThrough(through)
+		s.h.walSegmentsDeleted.Add(int64(removed))
+		if rerr != nil {
+			// Retention failure doesn't invalidate the checkpoint; surface it
+			// without degrading.
+			s.setLastErr(fmt.Errorf("server: wal retention: %w", rerr))
+		}
+	}
 	return nil
 }
 
@@ -306,15 +396,18 @@ func (s *Server) writeCheckpoint() error {
 func (s *Server) Drain() error {
 	s.draining.Store(true)
 	s.bat.Drain()
+	s.brk.Stop() // no more disk probes; a closed WAL must stay closed
 	var err error
 	if werr := s.writeCheckpoint(); werr != nil {
 		err = joinNonNil(err, werr)
 	}
 	if s.wal != nil {
+		// Close is idempotent and flips the WAL's closed flag, so a straggling
+		// breaker probe cannot resurrect a segment; s.wal itself stays set for
+		// metrics readers (Segments/Bytes remain valid after close).
 		if cerr := s.wal.Close(); cerr != nil {
 			err = joinNonNil(err, fmt.Errorf("server: wal close: %w", cerr))
 		}
-		s.wal = nil
 	}
 	return err
 }
@@ -351,19 +444,25 @@ func (s *Server) LastError() string {
 
 // ---- HTTP API ----
 
-// Handler returns the server's HTTP handler with the configured per-request
-// timeout applied.
+// Handler returns the server's HTTP handler. Per-endpoint deadlines and the
+// in-flight gate are wired inside routes; the mux is served directly.
 func (s *Server) Handler() http.Handler {
-	return http.TimeoutHandler(s.mux, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	return s.mux
 }
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/updates", s.handleUpdates)
-	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
-	s.mux.HandleFunc("GET /v1/answers", s.handleAnswers)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	d := s.cfg.RequestTimeout
+	v1 := func(h http.HandlerFunc) http.Handler {
+		return s.withGate(s.withDeadline(d, h))
+	}
+	s.mux.Handle("POST /v1/updates", v1(s.handleUpdates))
+	s.mux.Handle("POST /v1/query", v1(s.handleQuery))
+	s.mux.Handle("GET /v1/answers", v1(s.handleAnswers))
+	// Observability endpoints bypass the gate: a saturated or degraded
+	// server must stay observable. They still run under the deadline.
+	s.mux.Handle("GET /healthz", s.withDeadline(d, http.HandlerFunc(s.handleHealthz)))
+	s.mux.Handle("GET /metrics", s.withDeadline(d, http.HandlerFunc(s.handleMetrics)))
 }
 
 // WireValue carries an algo.Value through JSON. Pairwise algorithms use
@@ -420,10 +519,28 @@ type updatesResponse struct {
 }
 
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	if s.brk.Open() {
+		// Degraded mode: the durable-write path is failing, so new updates
+		// are refused at the door while reads keep serving. Retry-After
+		// matches the probe cadence ceiling.
+		s.h.rejected.Inc()
+		retryAfter(w, 1)
+		httpError(w, http.StatusServiceUnavailable,
+			"degraded: durable writes failing ("+s.brk.Reason()+"), retry later")
+		return
+	}
+	s.limitBody(w, r)
 	var req updatesRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			s.h.bodyTooLarge.Inc()
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body over %d bytes", maxErr.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
@@ -478,10 +595,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "draining, not accepting queries")
 		return
 	}
+	s.limitBody(w, r)
 	var req queryRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			s.h.bodyTooLarge.Inc()
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body over %d bytes", maxErr.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
@@ -540,26 +665,25 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 }
 
 type healthzResponse struct {
-	Status    string  `json:"status"` // "ok" or "draining"
-	Batches   uint64  `json:"batches"`
-	Pending   int     `json:"pending"`
-	Quiesced  bool    `json:"quiesced"`
-	Queries   int     `json:"queries"`
-	Edges     int64   `json:"edges"`
-	Algorithm string  `json:"algorithm"`
-	Shards    int     `json:"shards"`
-	Store     string  `json:"store"`
-	StateMB   float64 `json:"state_mb"`
-	LastError string  `json:"last_error,omitempty"`
+	Status         string  `json:"status"` // "ok", "degraded" or "draining"
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+	Batches        uint64  `json:"batches"`
+	Pending        int     `json:"pending"`
+	Quiesced       bool    `json:"quiesced"`
+	Queries        int     `json:"queries"`
+	Edges          int64   `json:"edges"`
+	Algorithm      string  `json:"algorithm"`
+	Shards         int     `json:"shards"`
+	Store          string  `json:"store"`
+	StateMB        float64 `json:"state_mb"`
+	WALSegments    int     `json:"wal_segments,omitempty"`
+	WALBytes       int64   `json:"wal_bytes,omitempty"`
+	LastError      string  `json:"last_error,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
-	if s.draining.Load() {
-		status = "draining"
-	}
-	writeJSON(w, http.StatusOK, healthzResponse{
-		Status:    status,
+	resp := healthzResponse{
+		Status:    "ok",
 		Batches:   s.applied.Load(),
 		Pending:   s.bat.Pending(),
 		Quiesced:  s.Quiesced(),
@@ -570,7 +694,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Store:     s.pool.Store().String(),
 		StateMB:   float64(s.pool.StateBytes()) / (1 << 20),
 		LastError: s.LastError(),
-	})
+	}
+	switch {
+	case s.draining.Load():
+		resp.Status = "draining"
+	case s.brk.Open():
+		resp.Status = "degraded"
+		resp.DegradedReason = s.brk.Reason()
+	}
+	if s.wal != nil {
+		resp.WALSegments = s.wal.Segments()
+		resp.WALBytes = s.wal.Bytes()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics renders every counter — the server's own stats.Handle cells
@@ -597,6 +733,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP cisgraph_state_bytes Resident per-query state across all shards (store payloads plus shared baselines).\n")
 	fmt.Fprintf(w, "# TYPE cisgraph_state_bytes gauge\n")
 	fmt.Fprintf(w, "cisgraph_state_bytes{store=%q} %d\n", s.pool.Store(), s.pool.StateBytes())
+	if s.wal != nil {
+		fmt.Fprintf(w, "# HELP cisgraph_wal_segments Live WAL segment files (sealed + active).\n")
+		fmt.Fprintf(w, "# TYPE cisgraph_wal_segments gauge\n")
+		fmt.Fprintf(w, "cisgraph_wal_segments %d\n", s.wal.Segments())
+		fmt.Fprintf(w, "# HELP cisgraph_wal_bytes Total bytes across live WAL segments.\n")
+		fmt.Fprintf(w, "# TYPE cisgraph_wal_bytes gauge\n")
+		fmt.Fprintf(w, "cisgraph_wal_bytes %d\n", s.wal.Bytes())
+	}
+	degraded := 0
+	if s.brk.Open() {
+		degraded = 1
+	}
+	fmt.Fprintf(w, "# HELP cisgraph_degraded 1 while the disk breaker is open (durable writes failing).\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_degraded gauge\n")
+	fmt.Fprintf(w, "cisgraph_degraded %d\n", degraded)
+	fmt.Fprintf(w, "# HELP cisgraph_disk_breaker_trips Times the disk breaker opened.\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_disk_breaker_trips counter\n")
+	fmt.Fprintf(w, "cisgraph_disk_breaker_trips %d\n", s.brk.Trips())
+	fmt.Fprintf(w, "# HELP cisgraph_disk_breaker_probes Disk probes attempted while degraded.\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_disk_breaker_probes counter\n")
+	fmt.Fprintf(w, "cisgraph_disk_breaker_probes %d\n", s.brk.Probes())
 }
 
 func writeCounterFamily(w http.ResponseWriter, layer string, snap map[string]int64) {
