@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-smoke bench-compare serve-smoke chaos experiments
+.PHONY: build test race vet staticcheck bench bench-smoke bench-compare serve-smoke chaos repl-smoke chaos-partition experiments
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,21 @@ serve-smoke:
 ## (loadgen -verify-durable). CHAOS_CYCLES overrides the kill count.
 chaos:
 	bash scripts/chaos_loop.sh $${CHAOS_CYCLES:-5}
+
+## repl-smoke: replication smoke — a leader plus two WAL-shipping read
+## replicas, loadgen cross-checking every follower answer against the
+## leader, a SIGKILL failover with staleness-bounded reads, and a -resume
+## reconvergence.
+repl-smoke:
+	bash scripts/repl_smoke.sh
+
+## chaos-partition: partition/failover chaos harness — leader + direct
+## follower + proxied follower, cycling SIGKILL/-resume, SIGSTOP/SIGCONT
+## and link drops (replproxy) mid-ingest; after every heal both followers
+## must converge to answers identical to the leader, and the leader's
+## answers to an offline durable replay. CHAOS_CYCLES overrides the count.
+chaos-partition:
+	bash scripts/chaos_partition.sh $${CHAOS_CYCLES:-5}
 
 experiments:
 	$(GO) run ./cmd/experiments

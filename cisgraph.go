@@ -34,6 +34,7 @@ import (
 	"cisgraph/internal/core"
 	"cisgraph/internal/graph"
 	"cisgraph/internal/hw/accel"
+	"cisgraph/internal/replication"
 	"cisgraph/internal/resilience"
 	"cisgraph/internal/stats"
 	"cisgraph/internal/stream"
@@ -257,6 +258,14 @@ type (
 	FaultConfig = resilience.InjectorConfig
 	// PanicAlgorithm wraps an Algorithm with a deterministic injected panic.
 	PanicAlgorithm = resilience.PanicAlgorithm
+	// Replication layer (DESIGN.md §13): ReplTailer streams a leader's WAL
+	// into a follower's apply path; ReplSource serves it; ReplProxy is the
+	// fault-injecting TCP relay the partition chaos harness stands between
+	// them.
+	ReplTailer       = replication.Tailer
+	ReplTailerConfig = replication.TailerConfig
+	ReplSource       = replication.Source
+	ReplProxy        = replication.Proxy
 	// RecoveryConfig names the durable artefacts Recover rebuilds from.
 	RecoveryConfig = resilience.RecoveryConfig
 )
@@ -307,6 +316,13 @@ var (
 	CreateSegmentedWAL = resilience.CreateSegmentedWAL
 	OpenSegmentedWAL   = resilience.OpenSegmentedWAL
 	ReplaySegmented    = resilience.ReplaySegmented
+	// Replication constructors: a follower-side WAL tailer and the chaos
+	// harness's drop/heal TCP proxy. ReplLeaderURL normalizes a -follow
+	// target to scheme+host.
+	NewReplTailer  = replication.NewTailer
+	NewReplProxy   = replication.NewProxy
+	NewReplProxyOn = replication.NewProxyOn
+	ReplLeaderURL  = replication.LeaderURL
 	// Recover rebuilds a CISO engine from checkpoint + WAL after a crash.
 	Recover = resilience.Recover
 	// NewFaultInjector / NewPanicAlgorithm are the deterministic fault

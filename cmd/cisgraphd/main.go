@@ -78,6 +78,11 @@ func run() error {
 		ckptEvery  = flag.Int("checkpoint-every", 0, "also checkpoint every N applied batches (0 = drain only)")
 		resume     = flag.Bool("resume", false, "restore from -checkpoint and replay the -wal suffix before serving")
 
+		follow       = flag.String("follow", "", "run as a read replica of this leader URL (e.g. http://10.0.0.1:8372): bootstrap from its checkpoint, tail its WAL, refuse writes with 421")
+		maxStale     = flag.Duration("max-staleness", 0, "follower degrades (healthz) when its staleness exceeds this (0 = never)")
+		replLongPoll = flag.Duration("repl-longpoll", 10*time.Second, "replication tail long-poll window (leader park time / follower request deadline base)")
+		replSeed     = flag.Int64("repl-seed", 1, "seed for the follower's reconnect-backoff jitter (reproducible chaos runs)")
+
 		queries = flag.String("queries", "", "pre-register comma-separated s:d query pairs (e.g. 3:99,0:7)")
 	)
 	flag.Parse()
@@ -119,6 +124,10 @@ func run() error {
 		WALRetain:       *walRetain,
 		CheckpointPath:  *ckptPath,
 		CheckpointEvery: *ckptEvery,
+		FollowURL:       *follow,
+		MaxStaleness:    *maxStale,
+		ReplLongPoll:    *replLongPoll,
+		ReplSeed:        *replSeed,
 	}
 
 	initTopo := func() (*graph.Dynamic, error) {
@@ -143,7 +152,16 @@ func run() error {
 	}
 
 	var srv *server.Server
-	if *resume {
+	if *follow != "" {
+		if *resume {
+			return errors.New("-follow and -resume are mutually exclusive: a follower is stateless and re-bootstraps from the leader")
+		}
+		if srv, err = server.StartFollower(a, cfg, initTopo); err != nil {
+			return err
+		}
+		log.Printf("following %s: bootstrapped at batch %d, %d queries armed",
+			*follow, srv.Applied(), srv.Pool().NumQueries())
+	} else if *resume {
 		if *ckptPath == "" && *walPath == "" {
 			return errors.New("-resume needs -checkpoint and/or -wal to restore from")
 		}
@@ -177,12 +195,18 @@ func run() error {
 	// handler deadline covers work the server does; these cover bytes the
 	// client never sends. Read/Write leave headroom over the handler budget
 	// so the deadline's 503 reaches the client before the socket dies.
+	writeTO := *reqTO + 5*time.Second
+	if *walPath != "" && *replLongPoll+10*time.Second > writeTO {
+		// Leaders park follower tail requests for the long-poll window and
+		// then stream; the write deadline must outlast both.
+		writeTO = *replLongPoll + 10*time.Second
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       *reqTO + 5*time.Second,
-		WriteTimeout:      *reqTO + 5*time.Second,
+		WriteTimeout:      writeTO,
 		IdleTimeout:       120 * time.Second,
 	}
 	errCh := make(chan error, 1)

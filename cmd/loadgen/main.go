@@ -32,6 +32,8 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,7 +64,8 @@ func run() error {
 		limit    = flag.Int("limit", 0, "replay at most N updates after -offset (0 = rest of trace)")
 		queries  = flag.Int("queries", 0, "register N deterministic query pairs before replaying")
 		readers  = flag.Int("readers", 2, "concurrent GET /v1/answers pollers during replay")
-		seed     = flag.Int64("seed", 42, "seed for query-pair selection")
+		seed     = flag.Int64("seed", 42, "seed for query-pair selection and retry-backoff jitter (reproducible runs)")
+		replicas = flag.String("replicas", "", "comma-separated follower base URLs: fan reads across them during replay, then wait for lag 0 and cross-check every answer against the leader")
 		algoStr  = flag.String("algo", "PPSP", "algorithm the daemon runs (for -verify)")
 		verify   = flag.Bool("verify", false, "compare served answers against an offline engine on the same stream")
 		sanitize = flag.String("sanitize", "drop", "sanitize policy the daemon uses (for -verify parity)")
@@ -121,6 +124,12 @@ func run() error {
 	if err := waitHealthy(client, *addr, 10*time.Second); err != nil {
 		return err
 	}
+	var replicaURLs []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			replicaURLs = append(replicaURLs, r)
+		}
+	}
 
 	// Register queries: deterministic pairs over the initial snapshot so a
 	// daemon restart (or the offline verifier) picks the same set.
@@ -139,7 +148,20 @@ func run() error {
 				return err
 			}
 		}
-		fmt.Printf("registered %d queries\n", len(pairs))
+		// Followers keep their own query registrations (registration is not
+		// WAL-shipped); arming the same pairs in the same order gives every
+		// replica the same ids, so answers cross-check one-to-one.
+		for _, r := range replicaURLs {
+			if err := waitHealthy(client, r, 10*time.Second); err != nil {
+				return err
+			}
+			for _, p := range pairs {
+				if _, err := registerQuery(client, r, p[0], p[1]); err != nil {
+					return fmt.Errorf("replica %s: %w", r, err)
+				}
+			}
+		}
+		fmt.Printf("registered %d queries on %d node(s)\n", len(pairs), 1+len(replicaURLs))
 	}
 
 	// Replay, paced to -rate, with concurrent answer pollers.
@@ -150,6 +172,11 @@ func run() error {
 		readerErrs atomic.Int64
 		wg         sync.WaitGroup
 	)
+	// With -replicas, pollers fan across leader + followers round-robin;
+	// a dead or partitioned node just counts as a reader error (the chaos
+	// harness kills nodes mid-run on purpose) and the poller moves on.
+	readTargets := append([]string{*addr}, replicaURLs...)
+	var readRR atomic.Uint64
 	for i := 0; i < *readers; i++ {
 		wg.Add(1)
 		go func() {
@@ -160,8 +187,9 @@ func run() error {
 					return
 				default:
 				}
+				target := readTargets[readRR.Add(1)%uint64(len(readTargets))]
 				t0 := time.Now()
-				if _, err := getAnswers(client, *addr); err != nil {
+				if _, err := getAnswers(client, target); err != nil {
 					readerErrs.Add(1)
 					time.Sleep(50 * time.Millisecond)
 					continue
@@ -252,6 +280,16 @@ func run() error {
 	fmt.Printf("answer GET latency:  p50=%.2fms p90=%.2fms p99=%.2fms (%d reads)\n",
 		rep.QueryP50Ms, rep.QueryP90Ms, rep.QueryP99Ms, rep.QueryReads)
 
+	if len(replicaURLs) > 0 {
+		n, err := crossCheckReplicas(client, *addr, replicaURLs, *waitFor)
+		if err != nil {
+			return err
+		}
+		rep.ReplicaAnswers = n
+		fmt.Printf("replicas: %d follower(s) caught up (lag 0), %d answers identical to the leader\n",
+			len(replicaURLs), n)
+	}
+
 	if *verify {
 		if *initial == "" {
 			return fmt.Errorf("-verify needs -initial to rebuild the offline baseline")
@@ -273,20 +311,21 @@ func run() error {
 }
 
 type report struct {
-	Updates      int     `json:"updates"`
-	Elapsed      float64 `json:"elapsed_s"`
-	UpdatesPerS  float64 `json:"updates_per_s"`
-	Backpressure int     `json:"backpressure_retries"`
-	Degraded     int     `json:"degraded_retries"`
-	ReaderErrors int     `json:"reader_errors"`
-	PostP50Ms    float64 `json:"post_p50_ms"`
-	PostP90Ms    float64 `json:"post_p90_ms"`
-	PostP99Ms    float64 `json:"post_p99_ms"`
-	QueryReads   int     `json:"query_reads"`
-	QueryP50Ms   float64 `json:"query_p50_ms"`
-	QueryP90Ms   float64 `json:"query_p90_ms"`
-	QueryP99Ms   float64 `json:"query_p99_ms"`
-	Verified     int     `json:"verified,omitempty"`
+	Updates        int     `json:"updates"`
+	Elapsed        float64 `json:"elapsed_s"`
+	UpdatesPerS    float64 `json:"updates_per_s"`
+	Backpressure   int     `json:"backpressure_retries"`
+	Degraded       int     `json:"degraded_retries"`
+	ReaderErrors   int     `json:"reader_errors"`
+	PostP50Ms      float64 `json:"post_p50_ms"`
+	PostP90Ms      float64 `json:"post_p90_ms"`
+	PostP99Ms      float64 `json:"post_p99_ms"`
+	QueryReads     int     `json:"query_reads"`
+	QueryP50Ms     float64 `json:"query_p50_ms"`
+	QueryP90Ms     float64 `json:"query_p90_ms"`
+	QueryP99Ms     float64 `json:"query_p99_ms"`
+	Verified       int     `json:"verified,omitempty"`
+	ReplicaAnswers int     `json:"replica_answers,omitempty"`
 }
 
 // latRecorder accumulates durations from several goroutines.
@@ -366,13 +405,30 @@ func postUpdates(c *http.Client, addr string, ups []graph.Update) (int, time.Dur
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	var retryAfter time.Duration
-	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, err := time.ParseDuration(s + "s"); err == nil {
-			retryAfter = secs
+	return resp.StatusCode, parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()), nil
+}
+
+// parseRetryAfter resolves a Retry-After header into a wait duration. RFC
+// 9110 §10.2.3 allows two forms: delta-seconds ("120") and an HTTP-date
+// ("Fri, 08 Aug 2026 17:00:00 GMT") — the latter is what proxies and
+// managed load balancers tend to emit, so both must work. Unparseable or
+// already-elapsed values yield 0 (caller falls back to its own backoff).
+func parseRetryAfter(s string, now time.Time) time.Duration {
+	if s == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(s); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
 		}
 	}
-	return resp.StatusCode, retryAfter, nil
+	return 0
 }
 
 func registerQuery(c *http.Client, addr string, s, d graph.VertexID) (int, error) {
@@ -467,6 +523,104 @@ func waitQuiesced(c *http.Client, addr string, d time.Duration) error {
 		}
 		time.Sleep(25 * time.Millisecond)
 	}
+}
+
+// replHealthz is the slice of /healthz a replica check needs.
+type replHealthz struct {
+	Role    string `json:"role"`
+	Batches uint64 `json:"batches"`
+	Repl    *struct {
+		LagBatches uint64  `json:"lag_batches"`
+		StalenessS float64 `json:"staleness_s"`
+		Connected  bool    `json:"connected"`
+	} `json:"repl"`
+}
+
+// crossCheckReplicas waits for every follower to report zero replication
+// lag at (or past) the leader's applied batch count, then asserts each
+// follower's answers — matched by (s,d) pair — are identical to the
+// leader's, and that follower reads carry the X-CISGraph-Staleness header.
+func crossCheckReplicas(c *http.Client, leader string, replicas []string, wait time.Duration) (int, error) {
+	leaderBatches, err := getAppliedBatches(c, leader)
+	if err != nil {
+		return 0, err
+	}
+	leaderAns, _, err := getAnswersHdr(c, leader)
+	if err != nil {
+		return 0, err
+	}
+	want := make(map[[2]uint32]float64, len(leaderAns.Answers))
+	for _, a := range leaderAns.Answers {
+		want[[2]uint32{a.S, a.D}] = float64(a.Value)
+	}
+	checked := 0
+	for _, r := range replicas {
+		if err := waitReplicaCaughtUp(c, r, leaderBatches, wait); err != nil {
+			return 0, err
+		}
+		ans, hdr, err := getAnswersHdr(c, r)
+		if err != nil {
+			return 0, fmt.Errorf("replica %s: %w", r, err)
+		}
+		if hdr.Get("X-CISGraph-Staleness") == "" {
+			return 0, fmt.Errorf("replica %s: missing X-CISGraph-Staleness header on /v1/answers", r)
+		}
+		if len(ans.Answers) != len(leaderAns.Answers) {
+			return 0, fmt.Errorf("replica %s serves %d answers, leader %d", r, len(ans.Answers), len(leaderAns.Answers))
+		}
+		for _, a := range ans.Answers {
+			wv, ok := want[[2]uint32{a.S, a.D}]
+			if !ok {
+				return 0, fmt.Errorf("replica %s serves Q(%d->%d) the leader does not have", r, a.S, a.D)
+			}
+			if float64(a.Value) != wv {
+				return 0, fmt.Errorf("replica check FAILED: %s Q(%d->%d): replica %v, leader %v",
+					r, a.S, a.D, float64(a.Value), wv)
+			}
+			checked++
+		}
+	}
+	return checked, nil
+}
+
+// waitReplicaCaughtUp polls a follower's /healthz until it has applied at
+// least the leader's batch count with zero replication lag.
+func waitReplicaCaughtUp(c *http.Client, addr string, leaderBatches uint64, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	var last replHealthz
+	for {
+		resp, err := c.Get(addr + "/healthz")
+		if err == nil {
+			derr := json.NewDecoder(resp.Body).Decode(&last)
+			resp.Body.Close()
+			if derr == nil && last.Repl != nil &&
+				last.Repl.LagBatches == 0 && last.Batches >= leaderBatches {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica %s not caught up after %v (batches %d/%d, repl %+v)",
+				addr, wait, last.Batches, leaderBatches, last.Repl)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// getAnswersHdr is getAnswers plus the response headers (staleness checks).
+func getAnswersHdr(c *http.Client, addr string) (*answersPayload, http.Header, error) {
+	resp, err := c.Get(addr + "/v1/answers")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("GET /v1/answers: status %d", resp.StatusCode)
+	}
+	var out answersPayload
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, nil, err
+	}
+	return &out, resp.Header, nil
 }
 
 // verifyDurableState rebuilds the daemon's durable state offline — the

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"cisgraph/internal/graph"
+)
+
+// Retry-After must honor both RFC 9110 §10.2.3 forms: delta-seconds and
+// HTTP-date. Garbage and elapsed dates fall back to 0 so the client uses
+// its own backoff instead of sleeping on a lie.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 17, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"0", 0},
+		{"2", 2 * time.Second},
+		{"120", 120 * time.Second},
+		{"-5", 0},                                    // negative delta: invalid, ignore
+		{"Fri, 08 Aug 2026 17:00:30 GMT", 30 * time.Second}, // IMF-fixdate in the future
+		{"Fri, 08 Aug 2026 16:59:00 GMT", 0},         // already elapsed
+		{"Friday, 08-Aug-26 17:00:30 GMT", 30 * time.Second}, // obsolete RFC 850 form
+		{"not a date", 0},
+		{"12.5", 0}, // fractional seconds are not in the grammar
+	} {
+		if got := parseRetryAfter(tc.in, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// Pair picking is seeded: the same seed must yield the same query set (the
+// -replicas mode registers the identical list on every replica, in the same
+// order, so ids line up), and a different seed a different one.
+func TestPickPairsDeterministic(t *testing.T) {
+	el := graph.StandInOR.MustBuild(6, 3)
+	a := pickPairs(el, 16, 42)
+	b := pickPairs(el, 16, 42)
+	if len(a) != 16 {
+		t.Fatalf("pickPairs returned %d pairs, want 16", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pair %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+		if a[i][0] == a[i][1] {
+			t.Fatalf("pair %d is degenerate: %v", i, a[i])
+		}
+		if int(a[i][0]) >= el.N || int(a[i][1]) >= el.N {
+			t.Fatalf("pair %d out of vertex range: %v (N=%d)", i, a[i], el.N)
+		}
+	}
+	c := pickPairs(el, 16, 43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical pair sets")
+	}
+}

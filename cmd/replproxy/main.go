@@ -1,0 +1,67 @@
+// Command replproxy is the fault-injecting TCP relay from the partition
+// chaos harness, exposed as a standalone process for shell scripting: it
+// forwards a listen port to a target address and toggles a simulated network
+// partition on POSIX signals.
+//
+//	replproxy -listen 127.0.0.1:9410 -target 127.0.0.1:8372
+//
+//	kill -USR1 <pid>   # drop the link: sever live conns, refuse new ones
+//	kill -USR2 <pid>   # heal the link
+//	kill -TERM <pid>   # exit
+//
+// scripts/chaos_partition.sh places it between a follower and its leader so
+// partitions hit a real socket, not a mock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cisgraph/internal/replication"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "replproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:0", "address to accept follower connections on")
+	target := flag.String("target", "", "leader address to relay to (host:port, required)")
+	flag.Parse()
+	if *target == "" {
+		return fmt.Errorf("-target is required")
+	}
+
+	p, err := replication.NewProxyOn(*listen, *target)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	// The resolved address goes to stdout alone so scripts can capture it.
+	fmt.Println(p.Addr())
+	log.Printf("relaying %s -> %s (USR1 drops, USR2 heals, TERM exits)", p.Addr(), *target)
+
+	sig := make(chan os.Signal, 4)
+	signal.Notify(sig, syscall.SIGUSR1, syscall.SIGUSR2, syscall.SIGTERM, syscall.SIGINT)
+	for got := range sig {
+		switch got {
+		case syscall.SIGUSR1:
+			p.Drop()
+			log.Printf("link dropped (drop #%d)", p.Drops())
+		case syscall.SIGUSR2:
+			p.Heal()
+			log.Printf("link healed")
+		default:
+			log.Printf("%v: exiting after %d drop(s)", got, p.Drops())
+			return nil
+		}
+	}
+	return nil
+}

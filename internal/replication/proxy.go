@@ -1,0 +1,149 @@
+package replication
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Proxy is a fault-injecting TCP relay used by the partition chaos harness:
+// it forwards byte streams to a target address until Drop is called, which
+// severs every live connection and refuses new ones until Heal. It stands in
+// front of the leader's listener so a follower experiences a real network
+// partition — mid-response connection resets included — without touching
+// the leader process.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	dropped atomic.Bool
+	drops   atomic.Uint64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy on an ephemeral localhost port relaying to target.
+func NewProxy(target string) (*Proxy, error) {
+	return NewProxyOn("127.0.0.1:0", target)
+}
+
+// NewProxyOn starts a proxy on a caller-chosen listen address (the replproxy
+// command needs a port the rest of a shell harness can reference).
+func NewProxyOn(listen, target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address ("127.0.0.1:port").
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Drop severs all live connections and rejects new ones until Heal.
+func (p *Proxy) Drop() {
+	p.dropped.Store(true)
+	p.drops.Add(1)
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Heal restores forwarding for new connections.
+func (p *Proxy) Heal() { p.dropped.Store(false) }
+
+// Dropped reports whether the link is currently down.
+func (p *Proxy) Dropped() bool { return p.dropped.Load() }
+
+// Drops counts Drop calls.
+func (p *Proxy) Drops() uint64 { return p.drops.Load() }
+
+// Close shuts the listener and severs all connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if p.dropped.Load() {
+			c.Close()
+			continue
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		if !p.track(c, up) {
+			c.Close()
+			up.Close()
+			return
+		}
+		if p.dropped.Load() {
+			// Drop raced the dial: its close pass may have run before these
+			// conns were tracked, so sever them here.
+			c.Close()
+			up.Close()
+		}
+		p.wg.Add(1)
+		go p.relay(c, up)
+	}
+}
+
+// track registers both halves of a relayed connection; false means the
+// proxy is already closed and the accept loop should stop.
+func (p *Proxy) track(c, up net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	p.conns[up] = struct{}{}
+	return true
+}
+
+func (p *Proxy) relay(c, up net.Conn) {
+	defer p.wg.Done()
+	done := make(chan struct{}, 2)
+	cp := func(dst, src net.Conn) {
+		io.Copy(dst, src)
+		// Half-close keeps the other direction draining until it too ends.
+		if t, ok := dst.(*net.TCPConn); ok {
+			t.CloseWrite()
+		}
+		done <- struct{}{}
+	}
+	go cp(up, c)
+	go cp(c, up)
+	<-done
+	<-done
+	c.Close()
+	up.Close()
+	p.mu.Lock()
+	delete(p.conns, c)
+	delete(p.conns, up)
+	p.mu.Unlock()
+}

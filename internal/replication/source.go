@@ -1,0 +1,158 @@
+package replication
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"cisgraph/internal/resilience"
+)
+
+// Source serves a leader's segmented WAL and checkpoint to followers. It is
+// mounted by the serving layer; every handler is read-only with respect to
+// engine state and safe to call concurrently with ingestion.
+type Source struct {
+	WAL *resilience.SegmentedWAL
+	// CheckpointPath is the leader's checkpoint file; served verbatim so the
+	// follower verifies the same CRC envelope the leader fsynced.
+	CheckpointPath string
+	FS             resilience.FS
+	// LongPoll bounds how long ServeTail parks a caught-up follower before
+	// answering 204. Defaults to 10s.
+	LongPoll time.Duration
+	// MaxBatchBytes bounds one tail response (record payload bytes).
+	// Defaults to 4 MiB; a lagging follower catches up over several polls.
+	MaxBatchBytes int64
+	// Draining, if set, short-circuits long polls during shutdown.
+	Draining func() bool
+}
+
+// segmentsResponse is the JSON body of /v1/repl/segments.
+type segmentsResponse struct {
+	Next     uint64                   `json:"next"`
+	Oldest   uint64                   `json:"oldest"`
+	Segments []resilience.SegmentInfo `json:"segments"`
+}
+
+// ServeSegments answers the live segment listing: next/oldest indexes plus
+// per-segment first-index, size, and sealed state.
+func (s *Source) ServeSegments(w http.ResponseWriter, r *http.Request) {
+	resp := segmentsResponse{
+		Next:     s.WAL.NextIndex(),
+		Oldest:   s.WAL.OldestIndex(),
+		Segments: s.WAL.SegmentInfos(),
+	}
+	w.Header().Set(HeaderNext, strconv.FormatUint(resp.Next, 10))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// ServeCheckpoint streams the leader's checkpoint envelope verbatim.
+// 404 means no checkpoint has been written yet — a follower then starts
+// from the leader's initial topology at index 0.
+func (s *Source) ServeCheckpoint(w http.ResponseWriter, r *http.Request) {
+	data, err := s.fs().ReadFile(s.CheckpointPath)
+	if err != nil {
+		if os.IsNotExist(err) || s.CheckpointPath == "" {
+			http.Error(w, "no checkpoint yet", http.StatusNotFound)
+			return
+		}
+		http.Error(w, fmt.Sprintf("read checkpoint: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set(HeaderNext, strconv.FormatUint(s.WAL.NextIndex(), 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+// ServeTail answers GET /v1/repl/tail?from=N with a stream of CRC-framed
+// records starting at N. Responses:
+//
+//	200  frames from N up to the byte budget, flushed as written
+//	204  caught up — the request long-polled LongPoll without new records
+//	409  from > next: the follower is ahead of this leader's log
+//	410  records at N were deleted by retention — re-bootstrap
+//
+// Every response carries X-CISGraph-Repl-Next. The handler bounds itself
+// (long-poll deadline + request context); mount it WITHOUT a buffering
+// timeout wrapper or flushes will not reach the follower.
+func (s *Source) ServeTail(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad from parameter", http.StatusBadRequest)
+		return
+	}
+	longPoll := s.LongPoll
+	if longPoll <= 0 {
+		longPoll = 10 * time.Second
+	}
+	deadline := time.Now().Add(longPoll)
+	for {
+		next := s.WAL.NextIndex()
+		w.Header().Set(HeaderNext, strconv.FormatUint(next, 10))
+		if from > next {
+			http.Error(w, fmt.Sprintf("follower at %d is ahead of leader log (next %d)", from, next), http.StatusConflict)
+			return
+		}
+		if from < next {
+			break // records available
+		}
+		if s.Draining != nil && s.Draining() {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		if time.Now().After(deadline) {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	maxBytes := s.MaxBatchBytes
+	if maxBytes <= 0 {
+		maxBytes = 4 << 20
+	}
+	recs, err := s.WAL.ReadFrom(from, maxBytes)
+	if err != nil {
+		if errors.Is(err, resilience.ErrCompacted) {
+			http.Error(w, err.Error(), http.StatusGone)
+			return
+		}
+		http.Error(w, fmt.Sprintf("read wal: %v", err), http.StatusInternalServerError)
+		return
+	}
+	if len(recs) == 0 {
+		// Raced retention between NextIndex and ReadFrom.
+		http.Error(w, "records compacted", http.StatusGone)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 0, 64<<10)
+	for _, rec := range recs {
+		buf = AppendFrame(buf[:0], rec)
+		if _, err := w.Write(buf); err != nil {
+			return // follower went away; it will reconnect
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Source) fs() resilience.FS {
+	if s.FS != nil {
+		return s.FS
+	}
+	return resilience.OsFS{}
+}

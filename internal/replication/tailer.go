@@ -1,0 +1,292 @@
+package replication
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"cisgraph/internal/resilience"
+)
+
+// TailerConfig parameterizes a follower's WAL tail loop.
+type TailerConfig struct {
+	// Leader is the leader's base URL, e.g. "http://127.0.0.1:8080".
+	Leader string
+	// LongPoll bounds how long one tail request may idle at the leader
+	// waiting for new records. Defaults to 10s.
+	LongPoll time.Duration
+	// BackoffBase/BackoffMax bound the jittered exponential backoff used
+	// after transport failures. Defaults: 100ms / 5s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed makes backoff jitter reproducible in chaos runs.
+	Seed int64
+	// Client overrides the HTTP client (e.g. to point at a fault proxy).
+	Client *http.Client
+}
+
+// Status is a connectivity observation delivered to OnStatus after every
+// poll attempt, successful or not.
+type Status struct {
+	// LeaderNext is the leader's next WAL index as of the last response
+	// that carried one; zero until first contact.
+	LeaderNext uint64
+	// Connected reports whether the last poll reached the leader.
+	Connected bool
+}
+
+// Tailer streams the leader's WAL into apply callbacks, surviving leader
+// restarts, torn responses, and retention races. Run is single-goroutine;
+// all callbacks fire from that goroutine, so the follower's apply path
+// keeps the engine's single-writer discipline.
+type Tailer struct {
+	cfg TailerConfig
+
+	// Apply consumes one verified record. Records arrive strictly in index
+	// order with no gaps or duplicates. An error stops the tailer.
+	Apply func(rec resilience.Record) error
+	// Rebootstrap is invoked when the leader can no longer serve the
+	// needed records (retention race, or a leader that restarted behind
+	// us). It must reload follower state from the leader's checkpoint and
+	// return the next index to tail from.
+	Rebootstrap func() (uint64, error)
+	// OnStatus, if set, observes connectivity after every poll.
+	OnStatus func(Status)
+
+	client *http.Client
+	rng    *rand.Rand
+
+	// Telemetry, exported on the follower's /metrics.
+	Reconnects   atomic.Uint64
+	Rebootstraps atomic.Uint64
+	Records      atomic.Uint64
+}
+
+// errRebootstrap signals poll → Run that the leader answered 410/409 and
+// the follower must restart from the leader's checkpoint.
+var errRebootstrap = errors.New("repl: leader cannot serve requested records")
+
+// NewTailer builds a tailer; wire Apply/Rebootstrap/OnStatus before Run.
+func NewTailer(cfg TailerConfig) *Tailer {
+	if cfg.LongPoll <= 0 {
+		cfg.LongPoll = 10 * time.Second
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	t := &Tailer{cfg: cfg, client: cfg.Client, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x7a11))}
+	if t.client == nil {
+		t.client = &http.Client{}
+	}
+	return t
+}
+
+// Run tails the leader's WAL from index `from` until ctx is canceled or a
+// callback returns an error. Transport failures reconnect with jittered
+// exponential backoff; 410/409 responses trigger Rebootstrap.
+func (t *Tailer) Run(ctx context.Context, from uint64) error {
+	backoff := t.cfg.BackoffBase
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		next, err := t.poll(ctx, from)
+		from = next
+		switch {
+		case err == nil:
+			backoff = t.cfg.BackoffBase
+			continue
+		case errors.Is(err, errRebootstrap):
+			if t.Rebootstrap == nil {
+				return err
+			}
+			t.Rebootstraps.Add(1)
+			nf, rerr := t.Rebootstrap()
+			if rerr != nil {
+				// Bootstrap source unreachable or corrupt — back off and
+				// retry the tail; a repeated 410 re-triggers this path.
+				t.notify(Status{Connected: false})
+				if serr := t.sleep(ctx, t.jitter(backoff)); serr != nil {
+					return serr
+				}
+				backoff = t.nextBackoff(backoff)
+				continue
+			}
+			from = nf
+			backoff = t.cfg.BackoffBase
+			continue
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case isFatal(err):
+			return err
+		default:
+			// Transport-level failure: leader down, partition, torn
+			// response. Reconnect from the first unverified record.
+			t.Reconnects.Add(1)
+			t.notify(Status{Connected: false})
+			if serr := t.sleep(ctx, t.jitter(backoff)); serr != nil {
+				return serr
+			}
+			backoff = t.nextBackoff(backoff)
+		}
+	}
+}
+
+// poll performs one tail request. It returns the next index to request —
+// already advanced past every record successfully applied, so a mid-stream
+// failure never replays verified work — plus the error that ended the poll
+// (nil when the stream completed cleanly).
+func (t *Tailer) poll(ctx context.Context, from uint64) (uint64, error) {
+	// Self-imposed deadline: the leader parks the request up to LongPoll;
+	// the grace covers response transfer. This also bounds how long a
+	// silent partition can hold the loop hostage.
+	rctx, cancel := context.WithTimeout(ctx, t.cfg.LongPoll+5*time.Second)
+	defer cancel()
+	u := t.cfg.Leader + PathTail + "?from=" + strconv.FormatUint(from, 10)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, u, nil)
+	if err != nil {
+		return from, fmt.Errorf("repl: build tail request: %w", err)
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return from, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+
+	leaderNext := parseNextHeader(resp.Header)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// Stream below.
+	case http.StatusNoContent:
+		// Caught up; the leader parked us for LongPoll and nothing came.
+		t.notify(Status{LeaderNext: leaderNext, Connected: true})
+		return from, nil
+	case http.StatusGone, http.StatusConflict:
+		// 410: retention deleted records we still need. 409: the leader is
+		// behind us (restarted from an older checkpoint / wiped WAL) — our
+		// state no longer extends its log, so only a re-bootstrap is safe.
+		t.notify(Status{LeaderNext: leaderNext, Connected: true})
+		return from, fmt.Errorf("%w (status %d)", errRebootstrap, resp.StatusCode)
+	default:
+		t.notify(Status{LeaderNext: leaderNext, Connected: true})
+		return from, fmt.Errorf("repl: tail: leader answered %s", resp.Status)
+	}
+
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	for {
+		rec, err := ReadFrame(br)
+		if err == io.EOF {
+			t.notify(Status{LeaderNext: leaderNext, Connected: true})
+			return from, nil
+		}
+		if err != nil {
+			// Torn or corrupt frame: everything before it was verified and
+			// applied; reconnect and re-fetch from the unverified suffix.
+			return from, err
+		}
+		if rec.Index < from {
+			continue // duplicate after reconnect — already applied
+		}
+		if rec.Index > from {
+			return from, fmt.Errorf("repl: tail stream gap: want record %d, got %d", from, rec.Index)
+		}
+		if err := t.Apply(rec); err != nil {
+			return from, fatalError{fmt.Errorf("repl: apply record %d: %w", rec.Index, err)}
+		}
+		t.Records.Add(1)
+		from = rec.Index + 1
+		if leaderNext < from {
+			leaderNext = from
+		}
+		t.notify(Status{LeaderNext: leaderNext, Connected: true})
+	}
+}
+
+// fatalError marks errors that must stop Run instead of being retried —
+// an Apply failure means follower state is suspect, not the transport.
+type fatalError struct{ err error }
+
+func (f fatalError) Error() string { return f.err.Error() }
+func (f fatalError) Unwrap() error { return f.err }
+
+func isFatal(err error) bool {
+	var f fatalError
+	return errors.As(err, &f)
+}
+
+func (t *Tailer) notify(s Status) {
+	if t.OnStatus != nil {
+		t.OnStatus(s)
+	}
+}
+
+// jitter spreads reconnects of independent followers across [b/2, b] so a
+// leader restart doesn't see a synchronized stampede.
+func (t *Tailer) jitter(b time.Duration) time.Duration {
+	half := int64(b) / 2
+	return time.Duration(half + t.rng.Int63n(half+1))
+}
+
+func (t *Tailer) nextBackoff(b time.Duration) time.Duration {
+	b *= 2
+	if b > t.cfg.BackoffMax {
+		b = t.cfg.BackoffMax
+	}
+	return b
+}
+
+func (t *Tailer) sleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+func parseNextHeader(h http.Header) uint64 {
+	v := h.Get(HeaderNext)
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// LeaderURL validates and normalizes a leader base URL (scheme + host, no
+// trailing slash). Shared by cisgraphd flag parsing and tests.
+func LeaderURL(raw string) (string, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("repl: leader url: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("repl: leader url %q: scheme must be http or https", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("repl: leader url %q: missing host", raw)
+	}
+	u.Path = ""
+	u.RawQuery = ""
+	u.Fragment = ""
+	return u.String(), nil
+}

@@ -3,6 +3,7 @@ package resilience
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -13,6 +14,12 @@ import (
 
 	"cisgraph/internal/graph"
 )
+
+// ErrCompacted reports that the requested records were deleted by
+// checkpoint-coordinated retention (or are mid-deletion — the retention
+// race). Replication tail readers map it to HTTP 410 and the follower
+// re-bootstraps from the leader's checkpoint instead of the log.
+var ErrCompacted = errors.New("wal: records compacted by retention")
 
 // Segmented write-ahead log: a directory of fixed-size segment files, each
 // named by the index of the first batch it holds. Records use the exact
@@ -425,6 +432,123 @@ func (w *SegmentedWAL) NextIndex() uint64 {
 	return w.next
 }
 
+// OldestIndex returns the first record index still covered by a live
+// segment — the oldest position a tail reader can resume from without a
+// checkpoint re-bootstrap.
+func (w *SegmentedWAL) OldestIndex() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.sealed) > 0 {
+		return w.sealed[0].first
+	}
+	return w.first
+}
+
+// SegmentInfo describes one live segment for observability and the
+// replication /v1/repl/segments endpoint.
+type SegmentInfo struct {
+	First  uint64 `json:"first"` // index of the segment's first record
+	Bytes  int64  `json:"bytes"`
+	Sealed bool   `json:"sealed"`
+}
+
+// SegmentInfos lists the live segments, ascending by first record index.
+func (w *SegmentedWAL) SegmentInfos() []SegmentInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	infos := make([]SegmentInfo, 0, len(w.sealed)+1)
+	for _, s := range w.sealed {
+		infos = append(infos, SegmentInfo{First: s.first, Bytes: s.size, Sealed: true})
+	}
+	if w.active != nil {
+		infos = append(infos, SegmentInfo{First: w.first, Bytes: w.good})
+	}
+	return infos
+}
+
+// ReadFrom returns durable records with index >= from, reading the segment
+// files through the log's filesystem seam while appends continue — records
+// are fsynced before they are acknowledged, so the scanner's valid prefix
+// of the active segment is always trustworthy (a torn in-flight append just
+// ends this read; the record is served once durable). maxBytes bounds the
+// summed payload size of the result (0 = unbounded); the cut lands on a
+// record boundary. Returns ErrCompacted when `from` predates the oldest
+// retained segment, including the race where retention deletes a segment
+// between the snapshot and the file read.
+func (w *SegmentedWAL) ReadFrom(from uint64, maxBytes int64) ([]Record, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("wal: closed")
+	}
+	firsts := make([]uint64, 0, len(w.sealed)+1)
+	for _, s := range w.sealed {
+		firsts = append(firsts, s.first)
+	}
+	if w.active != nil {
+		firsts = append(firsts, w.first)
+	}
+	next := w.next
+	dir, fsys := w.dir, w.fs
+	w.mu.Unlock()
+
+	if from >= next || len(firsts) == 0 {
+		return nil, nil
+	}
+	if from < firsts[0] {
+		return nil, ErrCompacted
+	}
+	start := 0
+	for i, f := range firsts {
+		if f > from {
+			break
+		}
+		start = i
+	}
+	var (
+		out      []Record
+		expected uint64
+		total    int64
+	)
+	for i := start; i < len(firsts); i++ {
+		data, err := fsys.ReadFile(filepath.Join(dir, segName(firsts[i])))
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, ErrCompacted // retention race: segment deleted under us
+			}
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if i > start && firsts[i] != expected {
+			return nil, fmt.Errorf("wal: segment gap: records [%d,%d) missing before %s",
+				expected, firsts[i], segName(firsts[i]))
+		}
+		recs, off := scanSegmentData(data, nil)
+		if len(recs) > 0 && recs[0].Index != firsts[i] {
+			return nil, fmt.Errorf("wal: segment %s disagrees with its contents (first record %d)",
+				segName(firsts[i]), recs[0].Index)
+		}
+		for _, rec := range recs {
+			if rec.Index < from {
+				continue
+			}
+			out = append(out, rec)
+			total += int64(17*len(rec.Batch)) + 20
+			if maxBytes > 0 && total >= maxBytes {
+				return out, nil
+			}
+		}
+		if len(recs) > 0 {
+			expected = recs[len(recs)-1].Index + 1
+		} else {
+			expected = firsts[i]
+		}
+		if off < int64(len(data)) {
+			break // torn tail: later bytes (an in-flight append) are not yet durable
+		}
+	}
+	return out, nil
+}
+
 // Dir returns the log's directory path.
 func (w *SegmentedWAL) Dir() string { return w.dir }
 
@@ -576,22 +700,46 @@ func ReplaySegmentedFS(fsys FS, dir string) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The torn-tail redo rule applies only to the LAST segment: appends only
+	// ever run there, and roll seals (repairs + fsyncs) a segment before the
+	// next one is created. Anything else — a missing middle segment, a torn
+	// record inside a sealed segment, a name that disagrees with its
+	// contents — is not a crash artefact but lost acknowledged data, and
+	// replaying past it would silently serve a shorter history than was
+	// acked. Fail loudly with the gap range instead.
 	var recs []Record
-	for _, first := range firsts {
+	for i, first := range firsts {
 		data, err := fsys.ReadFile(filepath.Join(dir, segName(first)))
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if i > 0 {
+			expected := firsts[i-1]
+			if len(recs) > 0 {
+				expected = recs[len(recs)-1].Index + 1
+			}
+			if first != expected {
+				return nil, fmt.Errorf("wal: missing segment(s): records [%d,%d) lost between %s and %s",
+					expected, first, segName(firsts[i-1]), segName(first))
+			}
 		}
 		before := len(recs)
 		var off int64
 		recs, off = scanSegmentData(data, recs)
 		if len(recs) > before && recs[before].Index != first {
-			// The segment's name disagrees with its contents: corruption.
-			// Everything from here on is untrustworthy.
-			return recs[:before], nil
+			return nil, fmt.Errorf("wal: segment %s disagrees with its contents (first record %d)",
+				segName(first), recs[before].Index)
 		}
 		if off < int64(len(data)) {
-			break // torn tail ends the trustworthy log
+			if i < len(firsts)-1 {
+				lost := first
+				if len(recs) > 0 {
+					lost = recs[len(recs)-1].Index + 1
+				}
+				return nil, fmt.Errorf("wal: sealed segment %s corrupt mid-log: records from %d lost (next segment %s still present)",
+					segName(first), lost, segName(firsts[i+1]))
+			}
+			break // torn tail in the newest segment ends the trustworthy log
 		}
 	}
 	return recs, nil

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"cisgraph/internal/graph"
@@ -372,5 +373,141 @@ func TestCheckpointFaultInjection(t *testing.T) {
 	}
 	if through != 7 || string(payload) != "good payload" {
 		t.Fatalf("failed checkpoint clobbered the good one: through=%d payload=%q", through, payload)
+	}
+}
+
+// A missing middle segment is lost acked data, never a silent skip: replay
+// must fail loudly and name the gap range.
+func TestSegWALMissingMiddleSegmentFails(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w, err := OpenSegmentedWAL(dir, tinySegOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 7) // segments 0-1 | 2-3 | 4-5 | 6
+	w.Close()
+
+	if err := os.Remove(filepath.Join(dir, segName(2))); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReplaySegmented(dir)
+	if err == nil {
+		t.Fatal("replay with a missing middle segment succeeded; want loud failure")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "missing segment") || !strings.Contains(msg, "[2,4)") {
+		t.Fatalf("error %q does not name the gap range [2,4)", msg)
+	}
+}
+
+// A sealed (non-last) segment torn mid-log is also lost acked data — the
+// redo rule only forgives a torn tail in the LAST segment.
+func TestSegWALTornSealedSegmentFails(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w, err := OpenSegmentedWAL(dir, tinySegOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 5) // segments 0-1 | 2-3 | 4
+	w.Close()
+
+	mid := filepath.Join(dir, segName(2))
+	data, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the second record in half: record 2 survives the scan, record 3
+	// is torn — but segment seg-4 still exists after it.
+	if err := os.WriteFile(mid, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReplaySegmented(dir)
+	if err == nil {
+		t.Fatal("replay with a torn sealed segment succeeded; want loud failure")
+	}
+	if !strings.Contains(err.Error(), "corrupt mid-log") {
+		t.Fatalf("error %q does not flag the mid-log tear", err)
+	}
+}
+
+// A segment whose name disagrees with its first record's index is refused.
+func TestSegWALNameContentMismatchFails(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w, err := OpenSegmentedWAL(dir, tinySegOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 5)
+	w.Close()
+
+	if err := os.Rename(filepath.Join(dir, segName(2)), filepath.Join(dir, segName(3))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplaySegmented(dir); err == nil {
+		t.Fatal("replay with a renamed segment succeeded; want loud failure")
+	}
+}
+
+// ReadFrom serves the replication tail: from any index (mid-segment
+// included), respecting the byte budget, and reporting compaction races as
+// ErrCompacted so followers re-bootstrap instead of silently skipping.
+func TestSegWALReadFrom(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w, err := OpenSegmentedWAL(dir, tinySegOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 7) // segments 0-1 | 2-3 | 4-5 | 6
+	defer w.Close()
+
+	if got := w.OldestIndex(); got != 0 {
+		t.Fatalf("OldestIndex=%d, want 0", got)
+	}
+	infos := w.SegmentInfos()
+	if len(infos) != 4 || infos[0].First != 0 || !infos[0].Sealed || infos[3].Sealed {
+		t.Fatalf("SegmentInfos=%+v, want 4 segments, first sealed, last active", infos)
+	}
+
+	// Mid-segment start: index 3 sits in segment seg-2.
+	recs, err := w.ReadFrom(3, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[0].Index != 3 || recs[3].Index != 6 {
+		t.Fatalf("ReadFrom(3): %d records starting at %d", len(recs), recs[0].Index)
+	}
+	for _, rec := range recs {
+		if rec.Batch[0].From != uint32(rec.Index) {
+			t.Fatalf("record %d batch does not encode its index", rec.Index)
+		}
+	}
+
+	// Byte budget cuts on a record boundary but always yields at least one.
+	recs, err = w.ReadFrom(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Index != 0 {
+		t.Fatalf("ReadFrom budget=1: got %d records", len(recs))
+	}
+
+	// Caught up: nil, no error.
+	if recs, err = w.ReadFrom(7, 1<<20); err != nil || len(recs) != 0 {
+		t.Fatalf("ReadFrom(next)=%d recs, err %v; want 0, nil", len(recs), err)
+	}
+
+	// Retention deletes segments below the checkpoint; asking for deleted
+	// records must yield ErrCompacted (the follower's 410 signal).
+	if _, err := w.TruncateThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ReadFrom(0, 1<<20); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadFrom(compacted)=%v, want ErrCompacted", err)
+	}
+	if got := w.OldestIndex(); got != 4 {
+		t.Fatalf("OldestIndex after retention=%d, want 4", got)
+	}
+	if recs, err = w.ReadFrom(4, 1<<20); err != nil || len(recs) != 3 {
+		t.Fatalf("ReadFrom(4) after retention: %d recs, err %v", len(recs), err)
 	}
 }

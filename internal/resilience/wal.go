@@ -200,6 +200,16 @@ func scanRecords(data []byte, recs []Record) ([]Record, int64) {
 	return recs, off
 }
 
+// EncodeBatchPayload exposes the WAL record payload codec (uint32 count,
+// then 17 bytes per update) for the replication wire protocol: a shipped
+// record is byte-identical to the on-disk one, so followers verify the same
+// CRC the leader fsynced.
+func EncodeBatchPayload(batch []graph.Update) []byte { return encodeBatch(batch) }
+
+// DecodeBatchPayload is the inverse of EncodeBatchPayload; ok is false when
+// the payload is malformed.
+func DecodeBatchPayload(payload []byte) ([]graph.Update, bool) { return decodeBatch(payload) }
+
 func encodeBatch(batch []graph.Update) []byte {
 	buf := make([]byte, 4, 4+17*len(batch))
 	binary.LittleEndian.PutUint32(buf, uint32(len(batch)))
@@ -305,8 +315,16 @@ func ReadCheckpointFile(path string) (through uint64, payload []byte, err error)
 	if err != nil {
 		return 0, nil, err
 	}
+	return DecodeCheckpointBytes(data)
+}
+
+// DecodeCheckpointBytes parses a checkpoint envelope already in memory —
+// the replication bootstrap path ships the leader's checkpoint file over
+// HTTP and the follower validates it here, CRC and all, before trusting a
+// byte of it.
+func DecodeCheckpointBytes(data []byte) (through uint64, payload []byte, err error) {
 	if len(data) < len(guardCkptMagic)+20 || !bytes.Equal(data[:4], guardCkptMagic) {
-		return 0, nil, fmt.Errorf("checkpoint: %s: bad header", path)
+		return 0, nil, fmt.Errorf("checkpoint: bad header")
 	}
 	hdr := data[4:24]
 	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != guardCkptVersion {

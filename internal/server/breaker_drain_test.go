@@ -1,0 +1,79 @@
+package server
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cisgraph/internal/resilience"
+)
+
+// SIGTERM drain while the disk breaker is open: Drain must stop the probe
+// loop before the final checkpoint, the checkpoint's own failure (disk still
+// sick) must not respawn a probe goroutine, and Drain must return rather
+// than deadlock. Run with -race: a leaked retryLoop shows up as a goroutine
+// still touching breaker state after Drain returned.
+func TestDrainWithBreakerOpenLeaksNoProbe(t *testing.T) {
+	w := testWorkload(t)
+	ffs := resilience.NewFaultFS(resilience.OsFS{})
+	cfg := faultConfig(t, ffs)
+
+	srv, err := New(w.Initial(), testAlgo(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	// Healthy traffic first so the drain checkpoint has state to write.
+	for i := 0; i < 2; i++ {
+		postUpdatesHTTP(t, client, ts.URL, w.NextBatch())
+	}
+	waitQuiescedSrv(t, srv)
+
+	// Break the disk and open the breaker the way production does: a WAL
+	// append failure inside the applier.
+	ffs.FailWrites(errors.New("injected: disk gone"))
+	postUpdatesHTTP(t, client, ts.URL, w.NextBatch())
+	waitFor(t, 10*time.Second, srv.brk.Open, "breaker to open")
+	ts.Close()
+
+	// Drain with the breaker open and the disk still failing. The final
+	// checkpoint will fail and call Trip on a stopped breaker; that must not
+	// spawn a probe loop, and Drain must not block on one.
+	done := make(chan error, 1)
+	go func() { done <- srv.Drain() }()
+	select {
+	case <-done:
+		// Drain may or may not surface the checkpoint error; either way it
+		// must terminate. The consistency of what it wrote is covered by the
+		// degraded-mode tests.
+	case <-time.After(15 * time.Second):
+		t.Fatal("Drain deadlocked with the breaker open")
+	}
+
+	// No probe goroutine may outlive Drain: the probes counter must be
+	// frozen. A leaked retryLoop at 2–20ms backoff would tick many times in
+	// this window (and trip the race detector against this read).
+	before := srv.brk.Probes()
+	time.Sleep(150 * time.Millisecond)
+	if after := srv.brk.Probes(); after != before {
+		t.Fatalf("probe loop survived Drain: probes went %d -> %d", before, after)
+	}
+
+	// The breaker must still be marked open (the disk never healed), and a
+	// second drain must be safe: Stop's close is idempotent, so this neither
+	// panics nor blocks. It reports the checkpoint failure again — that error
+	// is expected, only termination matters here.
+	if !srv.brk.Open() {
+		t.Error("breaker closed itself during drain with a sick disk")
+	}
+	done2 := make(chan struct{})
+	go func() { defer close(done2); _ = srv.Drain() }()
+	select {
+	case <-done2:
+	case <-time.After(15 * time.Second):
+		t.Fatal("second Drain hung")
+	}
+}

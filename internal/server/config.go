@@ -125,6 +125,28 @@ type Config struct {
 	// real filesystem). Tests inject a resilience.FaultFS to exercise
 	// degraded mode deterministically.
 	FS resilience.FS
+	// FollowURL switches the server into follower mode (DESIGN.md §13): it
+	// bootstraps from this leader's checkpoint, tails its WAL, and serves
+	// reads only — writes are refused with 421 + the leader's location.
+	// Followers are stateless (no WAL/checkpoint of their own).
+	FollowURL string
+	// MaxStaleness is the follower's degraded threshold: when the time since
+	// the follower last confirmed it was caught up exceeds this, /healthz
+	// reports degraded (0 = never degrade on staleness). Reads still serve —
+	// stamped with X-CISGraph-Staleness — unless the client bounds its own
+	// staleness via the X-CISGraph-Max-Staleness request header.
+	MaxStaleness time.Duration
+	// ReplLongPoll bounds how long a leader parks a caught-up follower's
+	// tail request, and the follower's per-request deadline grows from it
+	// (default 10s). Lower values tighten failover detection in tests.
+	ReplLongPoll time.Duration
+	// ReplBackoffBase / ReplBackoffMax shape the follower's jittered
+	// exponential reconnect backoff (defaults 100ms / 5s).
+	ReplBackoffBase time.Duration
+	ReplBackoffMax  time.Duration
+	// ReplSeed seeds the follower's backoff jitter so chaos runs reproduce
+	// (default 1).
+	ReplSeed int64
 }
 
 // WithDefaults returns a copy of c with every unset field defaulted.
@@ -168,6 +190,18 @@ func (c Config) WithDefaults() Config {
 	if c.MaxQueries <= 0 {
 		c.MaxQueries = 1024
 	}
+	if c.ReplLongPoll <= 0 {
+		c.ReplLongPoll = 10 * time.Second
+	}
+	if c.ReplBackoffBase <= 0 {
+		c.ReplBackoffBase = 100 * time.Millisecond
+	}
+	if c.ReplBackoffMax <= 0 {
+		c.ReplBackoffMax = 5 * time.Second
+	}
+	if c.ReplSeed == 0 {
+		c.ReplSeed = 1
+	}
 	return c
 }
 
@@ -179,6 +213,12 @@ func (c Config) Validate() error {
 	if c.BatchMaxSize > c.QueueCapacity {
 		return fmt.Errorf("server: BatchMaxSize %d exceeds QueueCapacity %d",
 			c.BatchMaxSize, c.QueueCapacity)
+	}
+	if c.FollowURL != "" && (c.WALPath != "" || c.CheckpointPath != "") {
+		// A follower's durable state IS the leader's: restarting one
+		// re-bootstraps from the leader. Local artefacts would shadow that
+		// and diverge after a leader re-bootstrap, so they are refused.
+		return fmt.Errorf("server: follower mode (FollowURL) is stateless; WALPath/CheckpointPath must be unset")
 	}
 	return nil
 }

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/replication"
+	"cisgraph/internal/resilience"
+)
+
+// StartFollower builds a read replica (DESIGN.md §13): it bootstraps from
+// the leader's latest checkpoint (or, when the leader has none yet, from
+// init — which must produce the same initial topology the leader started
+// from), then tails the leader's WAL on a background goroutine, applying
+// each verified batch through the shadow and the pool exactly like the
+// leader's applier. The follower serves reads immediately; Drain stops the
+// tail before flushing.
+//
+// The tail goroutine is the follower's single writer. Replica divergence is
+// impossible by construction: every applied record carries the CRC the
+// leader fsynced, and indices are applied strictly in order.
+func StartFollower(a algo.Algorithm, cfg Config, init func() (*graph.Dynamic, error)) (*Server, error) {
+	cfg = cfg.WithDefaults()
+	if cfg.FollowURL == "" {
+		return nil, errors.New("server: StartFollower requires FollowURL")
+	}
+	leader, err := replication.LeaderURL(cfg.FollowURL)
+	if err != nil {
+		return nil, err
+	}
+	cfg.FollowURL = leader
+	client := &http.Client{}
+	g, queries, through, err := fetchBootstrap(client, leader, init, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	s, err := build(g, a, queries, through, cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	s.lastSyncNano.Store(time.Now().UnixNano())
+	tail := replication.NewTailer(replication.TailerConfig{
+		Leader:      leader,
+		LongPoll:    cfg.ReplLongPoll,
+		BackoffBase: cfg.ReplBackoffBase,
+		BackoffMax:  cfg.ReplBackoffMax,
+		Seed:        cfg.ReplSeed,
+		Client:      client,
+	})
+	tail.Apply = s.applyReplicated
+	tail.Rebootstrap = func() (uint64, error) { return s.rebootstrapFromLeader(client, leader) }
+	tail.OnStatus = s.onReplStatus
+	s.tail = tail
+	ctx, cancel := context.WithCancel(context.Background())
+	s.tailStop = cancel
+	s.tailDone = make(chan struct{})
+	go func() {
+		defer close(s.tailDone)
+		if terr := tail.Run(ctx, s.applied.Load()); terr != nil && ctx.Err() == nil {
+			s.setLastErr(fmt.Errorf("server: replication tail stopped: %w", terr))
+		}
+	}()
+	return s, nil
+}
+
+// errNoCheckpoint distinguishes "leader is healthy but has not checkpointed
+// yet" (bootstrap from init at index 0) from transport failures (retry).
+var errNoCheckpoint = errors.New("leader has no checkpoint")
+
+// fetchBootstrap retries the checkpoint fetch until `wait` elapses, so a
+// follower started moments before its leader still comes up.
+func fetchBootstrap(client *http.Client, leader string, init func() (*graph.Dynamic, error), wait time.Duration) (*graph.Dynamic, []core.Query, uint64, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		g, queries, through, err := fetchCheckpoint(client, leader)
+		switch {
+		case err == nil:
+			return g, queries, through, nil
+		case errors.Is(err, errNoCheckpoint):
+			if init == nil {
+				return nil, nil, 0, errors.New("server: leader has no checkpoint and no init topology was supplied")
+			}
+			g, ierr := init()
+			if ierr != nil {
+				return nil, nil, 0, ierr
+			}
+			return g, nil, 0, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, nil, 0, fmt.Errorf("server: bootstrap from %s: %w", leader, err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+// fetchCheckpoint downloads and verifies the leader's checkpoint envelope —
+// the same CRC-checked CGRC format the leader fsyncs to disk.
+func fetchCheckpoint(client *http.Client, leader string) (*graph.Dynamic, []core.Query, uint64, error) {
+	resp, err := client.Get(leader + replication.PathCheckpoint)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil, nil, 0, errNoCheckpoint
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil, nil, 0, fmt.Errorf("checkpoint fetch: leader answered %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	through, payload, err := resilience.DecodeCheckpointBytes(data)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	g, queries, err := decodeState(payload)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return g, queries, through, nil
+}
+
+// applyReplicated is the follower's single-writer apply path, invoked by
+// the tailer for each verified record in strict index order.
+func (s *Server) applyReplicated(rec resilience.Record) error {
+	if want := s.applied.Load(); rec.Index != want {
+		return fmt.Errorf("server: replicated record %d out of order (want %d)", rec.Index, want)
+	}
+	sh := s.shadow.Load()
+	sh.Apply(rec.Batch)
+	if perr := s.pool.ApplyBatch(rec.Batch); perr != nil {
+		s.h.degraded.Inc()
+		s.setLastErr(perr)
+	}
+	s.applied.Add(1)
+	s.edges.Store(int64(sh.NumEdges()))
+	s.h.batches.Inc()
+	s.h.updates.Add(int64(len(rec.Batch)))
+	return nil
+}
+
+// rebootstrapFromLeader reloads follower state from the leader's current
+// checkpoint after a retention race (410) or a leader that restarted
+// behind us (409). The follower's registered query set is preserved —
+// client-held ids stay valid — and every answer recomputes against the
+// checkpoint topology before the tail resumes at the returned index.
+func (s *Server) rebootstrapFromLeader(client *http.Client, leader string) (uint64, error) {
+	g, _, through, err := fetchCheckpoint(client, leader)
+	if err != nil {
+		return 0, fmt.Errorf("server: re-bootstrap: %w", err)
+	}
+	s.shadow.Store(g)
+	s.pool.Rebootstrap(g)
+	s.applied.Store(through)
+	s.edges.Store(int64(g.NumEdges()))
+	s.setLastErr(fmt.Errorf("server: re-bootstrapped from leader checkpoint through batch %d", through))
+	return through, nil
+}
+
+// onReplStatus records connectivity and lag after every tail poll. The
+// staleness clock (lastSyncNano) advances only while connected AND caught
+// up — a partitioned or lagging follower's staleness grows until it heals.
+func (s *Server) onReplStatus(st replication.Status) {
+	if st.LeaderNext > 0 {
+		s.leaderNext.Store(st.LeaderNext)
+	}
+	s.replConnected.Store(st.Connected)
+	if st.Connected && s.applied.Load() >= s.leaderNext.Load() {
+		s.lastSyncNano.Store(time.Now().UnixNano())
+	}
+}

@@ -111,6 +111,29 @@ func (p *QueryPool) Register(q core.Query) (id int, ans algo.Value) {
 	return id, ans
 }
 
+// Rebootstrap swaps every shard engine onto a fresh topology, re-arming
+// the registered queries in place: ids, shard placement, and local order
+// are all preserved, so client-held query ids stay valid while the answers
+// recompute from the new topology. Used by a follower after a checkpoint
+// re-bootstrap (retention race or leader reset). Serializes against
+// Register and ApplyBatch.
+func (p *QueryPool) Rebootstrap(g *graph.Dynamic) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Group queries by their existing shard; refs were appended in id order,
+	// so per-shard append order reproduces each query's local index.
+	perShard := make([][]core.Query, len(p.shards))
+	for id, r := range p.refs {
+		perShard[r.shard] = append(perShard[r.shard], p.queries[id])
+	}
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		sh.eng.Reset(g.Clone(), p.a, perShard[i])
+		sh.mu.Unlock()
+	}
+	p.publishLocked()
+}
+
 // ApplyBatch applies one sanitized batch to every shard in parallel and
 // publishes the refreshed snapshot. The returned error joins any per-query
 // degradations (recovered panics inside a shard engine); answers stay

@@ -17,10 +17,12 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cisgraph/internal/algo"
 	"cisgraph/internal/core"
 	"cisgraph/internal/graph"
+	"cisgraph/internal/replication"
 	"cisgraph/internal/resilience"
 	"cisgraph/internal/stats"
 )
@@ -67,6 +69,10 @@ const (
 	// CntWALSegmentsDeleted counts WAL segments removed by
 	// checkpoint-coordinated retention.
 	CntWALSegmentsDeleted = "srv_wal_segments_deleted"
+	// CntStaleReadsRejected counts follower reads refused with 503 because
+	// the replica's staleness exceeded the client's X-CISGraph-Max-Staleness
+	// bound.
+	CntStaleReadsRejected = "srv_stale_reads_rejected"
 )
 
 // Server is the cisgraphd serving core: it owns the shadow topology, the
@@ -88,9 +94,12 @@ type Server struct {
 	brk  *diskBreaker
 	gate inflightGate
 
-	// shadow is the authoritative topology, mutated only by the applier
-	// goroutine (and by Restore before the batcher starts).
-	shadow *graph.Dynamic
+	// shadow is the authoritative topology. It is mutated only by the
+	// single writer (the batcher's applier goroutine on a leader, the tail
+	// goroutine on a follower); the pointer itself is atomic because a
+	// follower re-bootstrap swaps in a whole new topology while HTTP
+	// readers are live.
+	shadow atomic.Pointer[graph.Dynamic]
 
 	cnt *stats.Counters
 	h   srvHandles
@@ -100,6 +109,17 @@ type Server struct {
 	draining atomic.Bool
 	lastErr  atomic.Pointer[string]
 
+	// Replication (DESIGN.md §13). Leader side: src serves the WAL.
+	// Follower side: tail streams the leader's WAL into the apply path;
+	// leaderNext/replConnected/lastSyncNano track lag and staleness.
+	src           *replication.Source
+	tail          *replication.Tailer
+	tailStop      func()        // cancels the tail loop (follower Drain)
+	tailDone      chan struct{} // closed when the tail goroutine exits
+	leaderNext    atomic.Uint64 // leader's next WAL index, as last observed
+	replConnected atomic.Bool
+	lastSyncNano  atomic.Int64 // wall clock of the last confirmed caught-up poll
+
 	ckptMu sync.Mutex // serializes periodic and drain checkpoints
 	mux    *http.ServeMux
 }
@@ -107,14 +127,15 @@ type Server struct {
 // srvHandles pre-resolves the serving hot-path counters (DESIGN.md §9):
 // accepted/applied move per update, the rest per batch or per request.
 type srvHandles struct {
-	accepted, shed, rejected     stats.Handle
-	batches, updates             stats.Handle
-	cutSize, cutTimer, cutDrain  stats.Handle
-	registered, degraded, ckpts  stats.Handle
-	inflightShed, timeouts       stats.Handle
-	bodyTooLarge                 stats.Handle
-	dropBatches, dropUpdates     stats.Handle
-	walSegmentsDeleted           stats.Handle
+	accepted, shed, rejected    stats.Handle
+	batches, updates            stats.Handle
+	cutSize, cutTimer, cutDrain stats.Handle
+	registered, degraded, ckpts stats.Handle
+	inflightShed, timeouts      stats.Handle
+	bodyTooLarge                stats.Handle
+	dropBatches, dropUpdates    stats.Handle
+	walSegmentsDeleted          stats.Handle
+	staleRejected               stats.Handle
 }
 
 // New builds a server over an initial topology. The server takes its own
@@ -190,14 +211,15 @@ func Restore(a algo.Algorithm, cfg Config, init func() (*graph.Dynamic, error)) 
 	}
 	// WAL-replayed batches were already sanitized by the pre-crash run;
 	// they go straight through the shadow and the pool.
+	sh := s.shadow.Load()
 	for _, b := range replay {
-		s.shadow.Apply(b)
+		sh.Apply(b)
 		if perr := s.pool.ApplyBatch(b); perr != nil {
 			s.setLastErr(perr)
 		}
 		s.applied.Add(1)
 	}
-	s.edges.Store(int64(s.shadow.NumEdges()))
+	s.edges.Store(int64(sh.NumEdges()))
 	return s, nil
 }
 
@@ -212,12 +234,11 @@ func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uin
 	}
 	cnt := stats.NewCounters()
 	s := &Server{
-		cfg:    cfg,
-		a:      a,
-		pool:   NewQueryPool(g, a, cfg.Shards, cfg.Workers, cfg.Store),
-		san:    resilience.NewSanitizer(cfg.Policy, cnt),
-		shadow: g.Clone(),
-		cnt:    cnt,
+		cfg:  cfg,
+		a:    a,
+		pool: NewQueryPool(g, a, cfg.Shards, cfg.Workers, cfg.Store),
+		san:  resilience.NewSanitizer(cfg.Policy, cnt),
+		cnt:  cnt,
 		h: srvHandles{
 			accepted:           cnt.Handle(CntUpdatesAccepted),
 			shed:               cnt.Handle(CntUpdatesShed),
@@ -236,9 +257,11 @@ func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uin
 			dropBatches:        cnt.Handle(CntBatchesDroppedDegraded),
 			dropUpdates:        cnt.Handle(CntUpdatesDroppedDegraded),
 			walSegmentsDeleted: cnt.Handle(CntWALSegmentsDeleted),
+			staleRejected:      cnt.Handle(CntStaleReadsRejected),
 		},
 		gate: make(inflightGate, cfg.MaxInFlight),
 	}
+	s.shadow.Store(g.Clone())
 	s.applied.Store(through)
 	s.edges.Store(int64(g.NumEdges()))
 	for _, q := range queries {
@@ -313,7 +336,8 @@ func (s *Server) applyBatch(batch []graph.Update, reason CutReason) {
 	case CutDrain:
 		s.h.cutDrain.Inc()
 	}
-	clean, _, err := s.san.Sanitize(s.shadow, batch)
+	sh := s.shadow.Load()
+	clean, _, err := s.san.Sanitize(sh, batch)
 	if err != nil {
 		// Reject/strict policy refused the whole batch: nothing reaches the
 		// engines; the rejection is visible via metrics and lastError.
@@ -342,13 +366,13 @@ func (s *Server) applyBatch(batch []graph.Update, reason CutReason) {
 			return
 		}
 	}
-	s.shadow.Apply(clean)
+	sh.Apply(clean)
 	if perr := s.pool.ApplyBatch(clean); perr != nil {
 		s.h.degraded.Inc()
 		s.setLastErr(perr)
 	}
 	applied := s.applied.Add(1)
-	s.edges.Store(int64(s.shadow.NumEdges()))
+	s.edges.Store(int64(sh.NumEdges()))
 	s.h.batches.Inc()
 	s.h.updates.Add(int64(len(clean)))
 	if s.cfg.CheckpointEvery > 0 && applied%uint64(s.cfg.CheckpointEvery) == 0 {
@@ -367,7 +391,7 @@ func (s *Server) writeCheckpoint() error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 	through := s.applied.Load()
-	payload := encodeState(s.shadow, s.pool.QueriesSnapshot())
+	payload := encodeState(s.shadow.Load(), s.pool.QueriesSnapshot())
 	if err := resilience.WriteCheckpointFileFS(s.cfg.FS, s.cfg.CheckpointPath, through, payload); err != nil {
 		s.brk.Trip(err)
 		return fmt.Errorf("server: %w", err)
@@ -395,6 +419,12 @@ func (s *Server) writeCheckpoint() error {
 // exactly. Idempotent.
 func (s *Server) Drain() error {
 	s.draining.Store(true)
+	// Follower: stop tailing before flushing, so the single writer is gone
+	// and the final published snapshot is stable.
+	if s.tailStop != nil {
+		s.tailStop()
+		<-s.tailDone
+	}
 	s.bat.Drain()
 	s.brk.Stop() // no more disk probes; a closed WAL must stay closed
 	var err error
@@ -463,6 +493,109 @@ func (s *Server) routes() {
 	// server must stay observable. They still run under the deadline.
 	s.mux.Handle("GET /healthz", s.withDeadline(d, http.HandlerFunc(s.handleHealthz)))
 	s.mux.Handle("GET /metrics", s.withDeadline(d, http.HandlerFunc(s.handleMetrics)))
+	// Replication source (leaders with a WAL only). Segments/checkpoint are
+	// ordinary bounded requests; the tail endpoint long-polls and streams,
+	// so it must NOT run under the buffering TimeoutHandler — it bounds
+	// itself via the long-poll deadline and the request context.
+	if s.wal != nil {
+		s.src = &replication.Source{
+			WAL:            s.wal,
+			CheckpointPath: s.cfg.CheckpointPath,
+			FS:             s.cfg.FS,
+			LongPoll:       s.cfg.ReplLongPoll,
+			Draining:       s.Draining,
+		}
+		s.mux.Handle("GET "+replication.PathSegments, s.withDeadline(d, http.HandlerFunc(s.src.ServeSegments)))
+		s.mux.Handle("GET "+replication.PathCheckpoint, s.withDeadline(d, http.HandlerFunc(s.src.ServeCheckpoint)))
+		s.mux.Handle("GET "+replication.PathTail, http.HandlerFunc(s.src.ServeTail))
+	}
+}
+
+// ---- Replication role, lag, and staleness (DESIGN.md §13) ----
+
+// isFollower reports whether this server replicates from a leader.
+func (s *Server) isFollower() bool { return s.cfg.FollowURL != "" }
+
+// Role returns "leader" or "follower" for headers and metrics.
+func (s *Server) Role() string {
+	if s.isFollower() {
+		return "follower"
+	}
+	return "leader"
+}
+
+// ReplLagBatches returns how many leader batches this follower has not yet
+// applied (0 on leaders and on caught-up followers).
+func (s *Server) ReplLagBatches() uint64 {
+	next := s.leaderNext.Load()
+	applied := s.applied.Load()
+	if next <= applied {
+		return 0
+	}
+	return next - applied
+}
+
+// Staleness returns how far behind the leader this follower's answers may
+// be: zero while connected and caught up, otherwise the wall-clock time
+// since the follower last confirmed it was caught up. Leaders are never
+// stale.
+func (s *Server) Staleness() time.Duration {
+	if !s.isFollower() {
+		return 0
+	}
+	if s.replConnected.Load() && s.ReplLagBatches() == 0 {
+		return 0
+	}
+	last := s.lastSyncNano.Load()
+	if last == 0 {
+		return 0 // not yet bootstrapped; StartFollower stamps this before serving
+	}
+	return time.Since(time.Unix(0, last))
+}
+
+// replDegraded reports whether the follower has exceeded its configured
+// staleness budget (the PR 5 degraded-mode pattern applied to replication:
+// keep serving, but make the degradation loudly observable).
+func (s *Server) replDegraded() bool {
+	return s.isFollower() && s.cfg.MaxStaleness > 0 && s.Staleness() > s.cfg.MaxStaleness
+}
+
+// stampReplHeaders marks every read response with the node's role and, on
+// followers, the staleness bound clients reason about.
+func (s *Server) stampReplHeaders(w http.ResponseWriter) {
+	w.Header().Set(replication.HeaderRole, s.Role())
+	if s.isFollower() {
+		w.Header().Set(replication.HeaderStaleness,
+			strconv.FormatFloat(s.Staleness().Seconds(), 'f', 3, 64))
+	}
+}
+
+// rejectIfTooStale enforces a client's X-CISGraph-Max-Staleness bound
+// (duration like "2s", or bare seconds). True means the request was
+// answered with 503 + Retry-After and the caller must return.
+func (s *Server) rejectIfTooStale(w http.ResponseWriter, r *http.Request) bool {
+	bound := r.Header.Get(replication.HeaderMaxStaleness)
+	if bound == "" || !s.isFollower() {
+		return false
+	}
+	limit, err := time.ParseDuration(bound)
+	if err != nil {
+		if secs, ferr := strconv.ParseFloat(bound, 64); ferr == nil {
+			limit = time.Duration(secs * float64(time.Second))
+		} else {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("bad %s %q (want a duration like 2s or seconds)", replication.HeaderMaxStaleness, bound))
+			return true
+		}
+	}
+	if stale := s.Staleness(); stale > limit {
+		s.h.staleRejected.Inc()
+		retryAfter(w, 1)
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("replica staleness %.3fs exceeds requested bound %s", stale.Seconds(), bound))
+		return true
+	}
+	return false
 }
 
 // WireValue carries an algo.Value through JSON. Pairwise algorithms use
@@ -519,6 +652,16 @@ type updatesResponse struct {
 }
 
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	if s.isFollower() {
+		// Read replica: the write path lives on the leader. 421 tells the
+		// client it addressed the wrong node; Location points at the leader.
+		s.h.rejected.Inc()
+		s.stampReplHeaders(w)
+		w.Header().Set("Location", s.cfg.FollowURL+"/v1/updates")
+		httpError(w, http.StatusMisdirectedRequest,
+			"read-only follower; send writes to the leader at "+s.cfg.FollowURL)
+		return
+	}
 	if s.brk.Open() {
 		// Degraded mode: the durable-write path is failing, so new updates
 		// are refused at the door while reads keep serving. Retry-After
@@ -595,6 +738,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "draining, not accepting queries")
 		return
 	}
+	s.stampReplHeaders(w)
+	if s.rejectIfTooStale(w, r) {
+		return
+	}
 	s.limitBody(w, r)
 	var req queryRequest
 	dec := json.NewDecoder(r.Body)
@@ -644,8 +791,15 @@ type answersResponse struct {
 }
 
 func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
+	s.stampReplHeaders(w)
+	if s.rejectIfTooStale(w, r) {
+		return
+	}
 	snap := s.pool.Answers()
-	resp := answersResponse{Batches: snap.Batches, Quiesced: s.Quiesced()}
+	// Batches is the global stream position (s.applied), not the pool-local
+	// apply count: a follower's pool starts fresh at its bootstrap
+	// checkpoint, but clients comparing replicas need one coordinate system.
+	resp := answersResponse{Batches: s.applied.Load(), Quiesced: s.Quiesced()}
 	if idStr := r.URL.Query().Get("id"); idStr != "" {
 		id, err := strconv.Atoi(idStr)
 		if err != nil || id < 0 || id >= len(snap.Values) {
@@ -665,25 +819,39 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 }
 
 type healthzResponse struct {
-	Status         string  `json:"status"` // "ok", "degraded" or "draining"
-	DegradedReason string  `json:"degraded_reason,omitempty"`
-	Batches        uint64  `json:"batches"`
-	Pending        int     `json:"pending"`
-	Quiesced       bool    `json:"quiesced"`
-	Queries        int     `json:"queries"`
-	Edges          int64   `json:"edges"`
-	Algorithm      string  `json:"algorithm"`
-	Shards         int     `json:"shards"`
-	Store          string  `json:"store"`
-	StateMB        float64 `json:"state_mb"`
-	WALSegments    int     `json:"wal_segments,omitempty"`
-	WALBytes       int64   `json:"wal_bytes,omitempty"`
-	LastError      string  `json:"last_error,omitempty"`
+	Status         string      `json:"status"` // "ok", "degraded" or "draining"
+	DegradedReason string      `json:"degraded_reason,omitempty"`
+	Role           string      `json:"role"`
+	Leader         string      `json:"leader,omitempty"`
+	Batches        uint64      `json:"batches"`
+	Pending        int         `json:"pending"`
+	Quiesced       bool        `json:"quiesced"`
+	Queries        int         `json:"queries"`
+	Edges          int64       `json:"edges"`
+	Algorithm      string      `json:"algorithm"`
+	Shards         int         `json:"shards"`
+	Store          string      `json:"store"`
+	StateMB        float64     `json:"state_mb"`
+	WALSegments    int         `json:"wal_segments,omitempty"`
+	WALBytes       int64       `json:"wal_bytes,omitempty"`
+	Repl           *replHealth `json:"repl,omitempty"`
+	LastError      string      `json:"last_error,omitempty"`
+}
+
+// replHealth is the follower's replication block in /healthz.
+type replHealth struct {
+	LagBatches   uint64  `json:"lag_batches"`
+	StalenessS   float64 `json:"staleness_s"`
+	Connected    bool    `json:"connected"`
+	Reconnects   uint64  `json:"reconnects"`
+	Rebootstraps uint64  `json:"rebootstraps"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthzResponse{
 		Status:    "ok",
+		Role:      s.Role(),
+		Leader:    s.cfg.FollowURL,
 		Batches:   s.applied.Load(),
 		Pending:   s.bat.Pending(),
 		Quiesced:  s.Quiesced(),
@@ -701,10 +869,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	case s.brk.Open():
 		resp.Status = "degraded"
 		resp.DegradedReason = s.brk.Reason()
+	case s.replDegraded():
+		resp.Status = "degraded"
+		resp.DegradedReason = fmt.Sprintf("replication staleness %.3fs exceeds max %s (lag %d batches)",
+			s.Staleness().Seconds(), s.cfg.MaxStaleness, s.ReplLagBatches())
 	}
 	if s.wal != nil {
 		resp.WALSegments = s.wal.Segments()
 		resp.WALBytes = s.wal.Bytes()
+	}
+	if s.isFollower() && s.tail != nil {
+		resp.Repl = &replHealth{
+			LagBatches:   s.ReplLagBatches(),
+			StalenessS:   s.Staleness().Seconds(),
+			Connected:    s.replConnected.Load(),
+			Reconnects:   s.tail.Reconnects.Load(),
+			Rebootstraps: s.tail.Rebootstraps.Load(),
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -741,11 +922,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE cisgraph_wal_bytes gauge\n")
 		fmt.Fprintf(w, "cisgraph_wal_bytes %d\n", s.wal.Bytes())
 	}
+	fmt.Fprintf(w, "# HELP cisgraph_role 1 for the node's replication role.\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_role gauge\n")
+	fmt.Fprintf(w, "cisgraph_role{role=%q} 1\n", s.Role())
+	if s.isFollower() {
+		connected := 0
+		if s.replConnected.Load() {
+			connected = 1
+		}
+		fmt.Fprintf(w, "# HELP cisgraph_repl_lag_batches Leader batches not yet applied by this follower.\n")
+		fmt.Fprintf(w, "# TYPE cisgraph_repl_lag_batches gauge\n")
+		fmt.Fprintf(w, "cisgraph_repl_lag_batches %d\n", s.ReplLagBatches())
+		fmt.Fprintf(w, "# HELP cisgraph_repl_staleness_seconds Time since this follower last confirmed it was caught up.\n")
+		fmt.Fprintf(w, "# TYPE cisgraph_repl_staleness_seconds gauge\n")
+		fmt.Fprintf(w, "cisgraph_repl_staleness_seconds %.3f\n", s.Staleness().Seconds())
+		fmt.Fprintf(w, "# HELP cisgraph_repl_connected 1 while the WAL tail connection to the leader is healthy.\n")
+		fmt.Fprintf(w, "# TYPE cisgraph_repl_connected gauge\n")
+		fmt.Fprintf(w, "cisgraph_repl_connected %d\n", connected)
+		if s.tail != nil {
+			fmt.Fprintf(w, "# HELP cisgraph_repl_reconnects Tail reconnect attempts after transport failures.\n")
+			fmt.Fprintf(w, "# TYPE cisgraph_repl_reconnects counter\n")
+			fmt.Fprintf(w, "cisgraph_repl_reconnects %d\n", s.tail.Reconnects.Load())
+			fmt.Fprintf(w, "# HELP cisgraph_repl_rebootstraps Checkpoint re-bootstraps forced by retention races or leader resets.\n")
+			fmt.Fprintf(w, "# TYPE cisgraph_repl_rebootstraps counter\n")
+			fmt.Fprintf(w, "cisgraph_repl_rebootstraps %d\n", s.tail.Rebootstraps.Load())
+			fmt.Fprintf(w, "# HELP cisgraph_repl_records WAL records applied from the leader.\n")
+			fmt.Fprintf(w, "# TYPE cisgraph_repl_records counter\n")
+			fmt.Fprintf(w, "cisgraph_repl_records %d\n", s.tail.Records.Load())
+		}
+	}
 	degraded := 0
-	if s.brk.Open() {
+	if s.brk.Open() || s.replDegraded() {
 		degraded = 1
 	}
-	fmt.Fprintf(w, "# HELP cisgraph_degraded 1 while the disk breaker is open (durable writes failing).\n")
+	fmt.Fprintf(w, "# HELP cisgraph_degraded 1 while the disk breaker is open (durable writes failing) or replication staleness exceeds its budget.\n")
 	fmt.Fprintf(w, "# TYPE cisgraph_degraded gauge\n")
 	fmt.Fprintf(w, "cisgraph_degraded %d\n", degraded)
 	fmt.Fprintf(w, "# HELP cisgraph_disk_breaker_trips Times the disk breaker opened.\n")
@@ -767,9 +977,8 @@ func writeCounterFamily(w http.ResponseWriter, layer string, snap map[string]int
 	}
 }
 
-// shadowVertices reads the vertex count — immutable after construction, so
-// safe from any goroutine.
-func (s *Server) shadowVertices() int { return s.shadow.NumVertices() }
+// shadowVertices reads the vertex count of the current shadow topology.
+func (s *Server) shadowVertices() int { return s.shadow.Load().NumVertices() }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
