@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-smoke bench-compare serve-smoke chaos repl-smoke chaos-partition experiments
+.PHONY: build test race vet staticcheck bench bench-smoke bench-compare serve-smoke fastpath-smoke chaos repl-smoke chaos-partition experiments
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,12 @@ bench-compare:
 ## middle, verified against an offline engine.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+## fastpath-smoke: the serve-smoke scenario over the CGBIN/1 binary ingest
+## protocol — per-update fast path, group-committed WAL, SIGTERM drain and
+## checkpoint/WAL resume, verified against an offline engine.
+fastpath-smoke:
+	bash scripts/fastpath_smoke.sh
 
 ## chaos: crash-loop chaos harness — SIGKILL a live cisgraphd mid-ingest
 ## five times, resume from checkpoint + segmented WAL after each kill, and

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -51,6 +52,7 @@ func main() {
 func run() error {
 	var (
 		addr    = flag.String("addr", ":8372", "HTTP listen address")
+		binAddr = flag.String("binary-addr", "", "also serve the binary framed ingest protocol (CGBIN/1) on this TCP address, e.g. :8373 (leader only)")
 		file    = flag.String("file", "", "initial snapshot edge-list file (.el text, .bel binary)")
 		standin = flag.String("standin", "", "serve a generated stand-in dataset instead of -file: OR, LJ or UK")
 		scale   = flag.Int("scale", 10, "stand-in dataset scale (log2 base vertex count)")
@@ -210,6 +212,21 @@ func run() error {
 		IdleTimeout:       120 * time.Second,
 	}
 	errCh := make(chan error, 1)
+	if *binAddr != "" {
+		if *follow != "" {
+			return errors.New("-binary-addr is leader-only: followers refuse writes")
+		}
+		binLn, err := net.Listen("tcp", *binAddr)
+		if err != nil {
+			return fmt.Errorf("binary listener: %w", err)
+		}
+		go func() {
+			log.Printf("binary ingest (CGBIN/1) on %s: per-update fast path with group-committed WAL", *binAddr)
+			if err := srv.ServeBinary(binLn); err != nil {
+				errCh <- fmt.Errorf("binary ingest: %w", err)
+			}
+		}()
+	}
 	go func() {
 		log.Printf("cisgraphd serving %s (%s) on %s: batch window %d/%v, queue %d (%s), %d shard(s), %s store",
 			a.Name(), *sanitize, *addr, *batchSize, *batchWait, *queueCap, overflow, *shards, store)

@@ -4,10 +4,17 @@
 // and asserts the daemon's served answers are identical — the end-to-end
 // correctness check for the serving layer.
 //
-// Updates are posted in order on a single connection (streaming-graph
+// Updates are sent in order on a single connection (streaming-graph
 // updates are ordered: a deletion must not overtake its addition), while
 // -readers concurrent pollers hammer GET /v1/answers to measure read
-// latency under write load.
+// latency under write load. Two wire protocols are supported:
+//
+//   - -proto json (default): POST /v1/updates batches; visibility latency is
+//     sampled by timing POST→quiesced on every Nth request.
+//   - -proto binary: the CGBIN/1 framed protocol against -binary-addr, with
+//     -window frames pipelined; every ack carries the commit position after
+//     the frame became durable AND visible, so the ack round trip IS the
+//     per-update visibility latency.
 //
 // Examples:
 //
@@ -15,6 +22,9 @@
 //	cisgraphd -file or.bel.initial &
 //	loadgen -addr http://localhost:8372 -initial or.bel.initial \
 //	        -trace or.bel.batches -queries 4 -rate 50000 -verify
+//	cisgraphd -file or.bel.initial -binary-addr :8373 &
+//	loadgen -addr http://localhost:8372 -proto binary -binary-addr localhost:8373 \
+//	        -initial or.bel.initial -trace or.bel.batches -queries 4 -verify
 //
 // A drain/restart window can be exercised with -offset/-limit: replay the
 // first half, SIGTERM the daemon, restart it with -resume, then replay the
@@ -23,12 +33,14 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"sort"
@@ -56,9 +68,12 @@ func main() {
 func run() error {
 	var (
 		addr     = flag.String("addr", "http://localhost:8372", "cisgraphd base URL")
+		proto    = flag.String("proto", "json", "ingest protocol: json (POST /v1/updates) or binary (CGBIN/1 framed TCP)")
+		binAddr  = flag.String("binary-addr", "localhost:8373", "cisgraphd binary ingest address (for -proto binary)")
+		window   = flag.Int("window", 64, "frames in flight on the binary connection (for -proto binary)")
 		trace    = flag.String("trace", "", "batch trace file to replay (datagen -split output); required")
 		initial  = flag.String("initial", "", "initial snapshot edge list (required for -verify and -queries)")
-		postSize = flag.Int("post-size", 64, "updates per POST /v1/updates request")
+		postSize = flag.Int("post-size", 64, "updates per POST request or binary frame")
 		rate     = flag.Float64("rate", 0, "target update rate in updates/s (0 = as fast as possible)")
 		offset   = flag.Int("offset", 0, "skip the first N trace updates (already replayed by a previous run)")
 		limit    = flag.Int("limit", 0, "replay at most N updates after -offset (0 = rest of trace)")
@@ -200,56 +215,81 @@ func run() error {
 	}
 
 	start := time.Now()
-	posted, retried429, retried503 := 0, 0, 0
-	rng := rand.New(rand.NewSource(*seed ^ 0xbac0ff))
-	backoff := 10 * time.Millisecond
-	const backoffCap = 2 * time.Second
-	for at := 0; at < len(replay); {
-		end := at + *postSize
-		if end > len(replay) {
-			end = len(replay)
-		}
-		if *rate > 0 {
-			// Pace: sleep until this chunk's scheduled send time.
-			due := start.Add(time.Duration(float64(at) / *rate * float64(time.Second)))
-			if d := time.Until(due); d > 0 {
-				time.Sleep(d)
-			}
-		}
-		t0 := time.Now()
-		status, retryAfter, err := postUpdates(client, *addr, replay[at:end])
+	posted, retried429, retried503, binDropped := 0, 0, 0, 0
+	var visLat []time.Duration
+	switch *proto {
+	case "binary":
+		posted, binDropped, visLat, err = replayBinary(*binAddr, replay, *postSize, *rate, *window)
 		if err != nil {
-			// Transport errors (connection refused, daemon killed) stay
-			// hard: the caller decides whether a dead daemon is expected.
-			return fmt.Errorf("posting updates %d..%d: %w", at, end, err)
+			return err
 		}
-		postLat = append(postLat, time.Since(t0))
-		switch status {
-		case http.StatusAccepted:
-			posted += end - at
-			at = end
-			backoff = 10 * time.Millisecond
-		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-			// Backpressure (429: queue/gate full) or degraded mode (503:
-			// disk breaker open): retry the same chunk with jittered
-			// exponential backoff. A Retry-After header overrides the
-			// computed delay — the server knows its own probe cadence.
-			if status == http.StatusTooManyRequests {
-				retried429++
-			} else {
-				retried503++
+		// The ack round trip covers sanitize → WAL fsync → apply → publish;
+		// it is both the request latency and the visibility latency.
+		postLat = append(postLat, visLat...)
+	case "json":
+		rng := rand.New(rand.NewSource(*seed ^ 0xbac0ff))
+		backoff := 10 * time.Millisecond
+		const backoffCap = 2 * time.Second
+		// Sample visibility on every visEvery-th accepted POST by waiting for
+		// the daemon to quiesce — conservative (it includes the whole batch
+		// window), which is exactly the number the fast path is up against.
+		const visEvery = 25
+		accepted := 0
+		for at := 0; at < len(replay); {
+			end := at + *postSize
+			if end > len(replay) {
+				end = len(replay)
 			}
-			d := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
-			if retryAfter > 0 {
-				d = retryAfter
+			if *rate > 0 {
+				// Pace: sleep until this chunk's scheduled send time.
+				due := start.Add(time.Duration(float64(at) / *rate * float64(time.Second)))
+				if d := time.Until(due); d > 0 {
+					time.Sleep(d)
+				}
 			}
-			time.Sleep(d)
-			if backoff *= 2; backoff > backoffCap {
-				backoff = backoffCap
+			t0 := time.Now()
+			status, retryAfter, err := postUpdates(client, *addr, replay[at:end])
+			if err != nil {
+				// Transport errors (connection refused, daemon killed) stay
+				// hard: the caller decides whether a dead daemon is expected.
+				return fmt.Errorf("posting updates %d..%d: %w", at, end, err)
 			}
-		default:
-			return fmt.Errorf("POST /v1/updates: unexpected status %d", status)
+			postLat = append(postLat, time.Since(t0))
+			switch status {
+			case http.StatusAccepted:
+				posted += end - at
+				at = end
+				backoff = 10 * time.Millisecond
+				if accepted++; accepted%visEvery == 0 {
+					if err := waitQuiesced(client, *addr, *waitFor); err != nil {
+						return err
+					}
+					visLat = append(visLat, time.Since(t0))
+				}
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				// Backpressure (429: queue/gate full) or degraded mode (503:
+				// disk breaker open): retry the same chunk with jittered
+				// exponential backoff. A Retry-After header overrides the
+				// computed delay — the server knows its own probe cadence.
+				if status == http.StatusTooManyRequests {
+					retried429++
+				} else {
+					retried503++
+				}
+				d := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+				if retryAfter > 0 {
+					d = retryAfter
+				}
+				time.Sleep(d)
+				if backoff *= 2; backoff > backoffCap {
+					backoff = backoffCap
+				}
+			default:
+				return fmt.Errorf("POST /v1/updates: unexpected status %d", status)
+			}
 		}
+	default:
+		return fmt.Errorf("unknown -proto %q (want json or binary)", *proto)
 	}
 	if err := waitQuiesced(client, *addr, *waitFor); err != nil {
 		return err
@@ -259,7 +299,9 @@ func run() error {
 	wg.Wait()
 
 	rep := report{
+		Proto:        *proto,
 		Updates:      posted,
+		Dropped:      binDropped,
 		Elapsed:      elapsed.Seconds(),
 		UpdatesPerS:  float64(posted) / elapsed.Seconds(),
 		Backpressure: retried429,
@@ -268,17 +310,26 @@ func run() error {
 		PostP50Ms:    ms(percentile(postLat, 0.50)),
 		PostP90Ms:    ms(percentile(postLat, 0.90)),
 		PostP99Ms:    ms(percentile(postLat, 0.99)),
+		VisSamples:   len(visLat),
+		VisP50Ms:     ms(percentile(visLat, 0.50)),
+		VisP90Ms:     ms(percentile(visLat, 0.90)),
+		VisP99Ms:     ms(percentile(visLat, 0.99)),
 		QueryReads:   queryLat.count(),
 		QueryP50Ms:   ms(queryLat.percentile(0.50)),
 		QueryP90Ms:   ms(queryLat.percentile(0.90)),
 		QueryP99Ms:   ms(queryLat.percentile(0.99)),
 	}
-	fmt.Printf("replayed %d updates in %.2fs (%.0f updates/s), %d backpressure (429) + %d degraded (503) retries\n",
-		rep.Updates, rep.Elapsed, rep.UpdatesPerS, rep.Backpressure, rep.Degraded)
-	fmt.Printf("update POST latency: p50=%.2fms p90=%.2fms p99=%.2fms (%d posts)\n",
+	fmt.Printf("replayed %d updates (%s) in %.2fs (%.0f updates/s), %d backpressure (429) + %d degraded (503) retries\n",
+		rep.Updates, rep.Proto, rep.Elapsed, rep.UpdatesPerS, rep.Backpressure, rep.Degraded)
+	fmt.Printf("update send latency: p50=%.2fms p90=%.2fms p99=%.2fms (%d sends)\n",
 		rep.PostP50Ms, rep.PostP90Ms, rep.PostP99Ms, len(postLat))
+	fmt.Printf("visibility latency:  p50=%.2fms p90=%.2fms p99=%.2fms (%d samples)\n",
+		rep.VisP50Ms, rep.VisP90Ms, rep.VisP99Ms, rep.VisSamples)
 	fmt.Printf("answer GET latency:  p50=%.2fms p90=%.2fms p99=%.2fms (%d reads)\n",
 		rep.QueryP50Ms, rep.QueryP90Ms, rep.QueryP99Ms, rep.QueryReads)
+	if binDropped > 0 {
+		fmt.Printf("binary: %d updates refused by the sanitizer\n", binDropped)
+	}
 
 	if len(replicaURLs) > 0 {
 		n, err := crossCheckReplicas(client, *addr, replicaURLs, *waitFor)
@@ -311,7 +362,9 @@ func run() error {
 }
 
 type report struct {
+	Proto          string  `json:"proto"`
 	Updates        int     `json:"updates"`
+	Dropped        int     `json:"dropped,omitempty"`
 	Elapsed        float64 `json:"elapsed_s"`
 	UpdatesPerS    float64 `json:"updates_per_s"`
 	Backpressure   int     `json:"backpressure_retries"`
@@ -320,12 +373,96 @@ type report struct {
 	PostP50Ms      float64 `json:"post_p50_ms"`
 	PostP90Ms      float64 `json:"post_p90_ms"`
 	PostP99Ms      float64 `json:"post_p99_ms"`
+	VisSamples     int     `json:"visibility_samples"`
+	VisP50Ms       float64 `json:"visibility_p50_ms"`
+	VisP90Ms       float64 `json:"visibility_p90_ms"`
+	VisP99Ms       float64 `json:"visibility_p99_ms"`
 	QueryReads     int     `json:"query_reads"`
 	QueryP50Ms     float64 `json:"query_p50_ms"`
 	QueryP90Ms     float64 `json:"query_p90_ms"`
 	QueryP99Ms     float64 `json:"query_p99_ms"`
 	Verified       int     `json:"verified,omitempty"`
 	ReplicaAnswers int     `json:"replica_answers,omitempty"`
+}
+
+// replayBinary streams the replay slice over one CGBIN/1 connection with up
+// to `window` frames in flight, collecting each frame's ack round trip —
+// the per-update visibility latency, since an ack is only sent after the
+// frame's updates are durable and published. Any non-OK ack is fatal: the
+// load generator's stream is clean, so Draining/Degraded/BadFrame all mean
+// the run cannot measure what it set out to.
+func replayBinary(binAddr string, replay []graph.Update, frameSize int, rate float64, window int) (posted, dropped int, visLat []time.Duration, err error) {
+	conn, err := net.Dial("tcp", binAddr)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("binary dial %s: %w", binAddr, err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(server.BinHello)); err != nil {
+		return 0, 0, nil, err
+	}
+	if window < 1 {
+		window = 1
+	}
+
+	type pend struct{ t0 time.Time }
+	pending := make(chan pend, window)
+	ackErr := make(chan error, 1)
+	var accepted, refused atomic.Int64
+	var mu sync.Mutex // guards visLat against the final append after join
+	go func() {
+		br := bufio.NewReader(conn)
+		for p := range pending {
+			ack, err := server.ReadBinAck(br)
+			if err != nil {
+				ackErr <- fmt.Errorf("binary ack: %w", err)
+				return
+			}
+			if ack.Status != server.BinStatusOK {
+				ackErr <- fmt.Errorf("binary ack status %d at position %d", ack.Status, ack.Pos)
+				return
+			}
+			mu.Lock()
+			visLat = append(visLat, time.Since(p.t0))
+			mu.Unlock()
+			accepted.Add(int64(ack.Accepted))
+			refused.Add(int64(ack.Dropped))
+		}
+		ackErr <- nil
+	}()
+
+	start := time.Now()
+	var buf []byte
+	for at := 0; at < len(replay); {
+		end := at + frameSize
+		if end > len(replay) {
+			end = len(replay)
+		}
+		if rate > 0 {
+			due := start.Add(time.Duration(float64(at) / rate * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		// Admission into the window; the ack reader frees slots. Checking
+		// ackErr here keeps a dead reader from deadlocking the send loop.
+		select {
+		case pending <- pend{t0: time.Now()}:
+		case err := <-ackErr:
+			return 0, 0, nil, err
+		}
+		buf = server.AppendBinFrame(buf[:0], replay[at:end])
+		if _, err := conn.Write(buf); err != nil {
+			return 0, 0, nil, fmt.Errorf("binary send %d..%d: %w", at, end, err)
+		}
+		at = end
+	}
+	close(pending)
+	if err := <-ackErr; err != nil {
+		return 0, 0, nil, err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return int(accepted.Load()), int(refused.Load()), visLat, nil
 }
 
 // latRecorder accumulates durations from several goroutines.

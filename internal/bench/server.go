@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -103,6 +106,140 @@ func ServerIngest(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*chunk)/b.Elapsed().Seconds(), "upd/s")
+}
+
+// benchBinary builds the same serving stack as benchDaemon but fronts it
+// with the CGBIN/1 binary ingest listener instead of HTTP, returning a
+// connected client that has already completed the hello exchange.
+func benchBinary(b *testing.B, queries int) (net.Conn, *bufio.Reader) {
+	b.Helper()
+	g := graph.FromEdgeList(graph.RMAT("srv", 9, 16*(1<<9), graph.DefaultRMAT, 64, 42))
+	srv, err := server.New(g, algo.PPSP{}, server.Config{
+		BatchMaxSize:  64,
+		BatchMaxWait:  time.Millisecond,
+		QueueCapacity: 1 << 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < queries; i++ {
+		srv.Pool().Register(core.Query{S: uint32(i), D: uint32(i + 64)})
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.ServeBinary(ln)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := conn.Write([]byte(server.BinHello)); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		conn.Close()
+		srv.Drain()
+	})
+	return conn, bufio.NewReader(conn)
+}
+
+// benchChunks returns the fixed delete/re-add update pair every ingest bench
+// replays: a 64-edge slice of the initial topology, so alternating chunks
+// keep every update valid on every iteration.
+func benchChunks() (dels, adds []graph.Update) {
+	ds := graph.RMAT("srv", 9, 16*(1<<9), graph.DefaultRMAT, 64, 42)
+	const chunk = 64
+	dels = make([]graph.Update, chunk)
+	adds = make([]graph.Update, chunk)
+	for i, a := range ds.Arcs[:chunk] {
+		dels[i] = graph.Del(a.From, a.To, a.W)
+		adds[i] = graph.Add(a.From, a.To, a.W)
+	}
+	return dels, adds
+}
+
+// ServerIngestBinary measures the binary fast path end to end with the same
+// workload as ServerIngest — 64-update delete/re-add chunks against the same
+// topology with one registered query — so the two upd/s numbers compare the
+// JSON batch pipeline against the CGBIN/1 per-update pipeline directly.
+// Frames are pipelined: a reader goroutine collects the streamed acks while
+// the send loop keeps the connection full, as a real binary client would.
+func ServerIngestBinary(b *testing.B) {
+	conn, br := benchBinary(b, 1)
+	dels, adds := benchChunks()
+	const chunk = 64
+	frames := [2][]byte{
+		server.AppendBinFrame(nil, dels),
+		server.AppendBinFrame(nil, adds),
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < b.N; i++ {
+			ack, err := server.ReadBinAck(br)
+			if err != nil {
+				done <- err
+				return
+			}
+			if ack.Status != server.BinStatusOK {
+				done <- fmt.Errorf("ack status %d", ack.Status)
+				return
+			}
+		}
+		done <- nil
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Write(frames[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*chunk)/b.Elapsed().Seconds(), "upd/s")
+}
+
+// PerUpdateLatency measures single-update visibility latency over the binary
+// fast path: each iteration sends a one-update frame and blocks on its ack,
+// which the server emits only after the update is durable, applied, and
+// published — so the round trip IS the update's visibility latency. Reports
+// p50/p99 in microseconds.
+func PerUpdateLatency(b *testing.B) {
+	conn, br := benchBinary(b, 1)
+	dels, adds := benchChunks()
+	frames := [2][]byte{
+		server.AppendBinFrame(nil, dels[:1]),
+		server.AppendBinFrame(nil, adds[:1]),
+	}
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := conn.Write(frames[i%2]); err != nil {
+			b.Fatal(err)
+		}
+		ack, err := server.ReadBinAck(br)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ack.Status != server.BinStatusOK {
+			b.Fatalf("ack status %d", ack.Status)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	us := func(p float64) float64 {
+		return float64(lat[int(p*float64(len(lat)-1))]) / float64(time.Microsecond)
+	}
+	b.ReportMetric(us(0.50), "p50-us")
+	b.ReportMetric(us(0.99), "p99-us")
 }
 
 // ServerAnswers measures read-side latency: GET /v1/answers against the

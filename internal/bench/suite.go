@@ -45,6 +45,8 @@ func Suite() []Case {
 		{Name: "TopDegree", Bench: TopDegree},
 		{Name: "ApplyBatch", Bench: ApplyBatch},
 		{Name: "ServerIngest", Bench: ServerIngest},
+		{Name: "ServerIngestBinary", Bench: ServerIngestBinary},
+		{Name: "PerUpdateLatency", Bench: PerUpdateLatency},
 		{Name: "ServerAnswers", Bench: ServerAnswers},
 		{Name: "MultiQueryScale_Q16_Dense", Bench: MultiQueryScale(16, core.StoreDense)},
 		{Name: "MultiQueryScale_Q16_Sparse", Bench: MultiQueryScale(16, core.StoreSparse)},

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+)
+
+// Per-update fast path (DESIGN.md §14). ApplyUpdates ingests a group of
+// updates one record at a time — each update is its own stream position —
+// without paying the full batch machinery for updates that cannot change any
+// converged state.
+//
+// An update is SAFE when Algorithm 1 classifies it useless for EVERY
+// registered query: an addition u→v whose triangle check ⊕(state[u], w) does
+// not improve state[v] for any query, or a deletion that supplies no query's
+// state[v] (the triangle equality fails, or v is unreached). A safe update
+// changes topology only — no state write, no key path, no scheduling — so it
+// commits with a plain AddEdge/RemoveEdge. Everything else (including
+// delayed deletions, which repair their head vertex after the response) is
+// UNSAFE and serializes through the regular batch machinery.
+//
+// Correctness of the group protocol:
+//
+//   - Safety is judged against the live converged states. Safe updates do
+//     not write state, so a run of consecutive safe updates cannot
+//     invalidate each other's classification — the whole run commits with
+//     topology writes only.
+//   - Classification also reads topology (to normalize: is this add a
+//     reweight? what stored weight does this del remove?). Two updates in
+//     one un-applied suffix that touch the SAME edge could invalidate each
+//     other that way, so any repeated edge is conservatively marked unsafe;
+//     the batch path normalizes same-edge runs correctly.
+//   - An unsafe update (run) changes state, so every classification after
+//     it is stale: the remaining suffix is re-classified from the live
+//     state before the next run is committed.
+//   - Consecutive unsafe updates commit as ONE call into the batch
+//     machinery. The engine's converged fixpoint is batch-split independent
+//     (relied on throughout the test suite), so answers after the group
+//     equal the batch path's answers over the same updates.
+//
+// The per-update classification scan is O(Q) state reads with no scratch;
+// groups of at least fpParallelMin updates fan the scans out across the
+// engine's worker pool (inter-update parallelism).
+
+// FastStats reports how ApplyUpdates routed a group.
+type FastStats struct {
+	Safe   int // updates committed with a topology-only write
+	Unsafe int // updates serialized through the batch machinery
+}
+
+// fpKind is the normalized shape of one update against the live topology.
+type fpKind uint8
+
+const (
+	fpNoop     fpKind = iota // no topology effect (dup add / absent del)
+	fpAdd                    // new edge
+	fpDel                    // remove existing edge (weight w0)
+	fpReweight               // existing edge, different weight (old weight w0)
+	fpConflict               // same edge touched earlier in the suffix
+)
+
+type fpNorm struct {
+	kind fpKind
+	w0   float64
+}
+
+// fpParallelMin is the suffix length below which classification runs serial:
+// the per-update scan is a handful of state reads, so forking the worker
+// pool only pays off for larger groups.
+const fpParallelMin = 16
+
+// ApplyUpdates ingests ups as len(ups) single-update stream positions,
+// routing each through the safe (topology-only) or unsafe (batch machinery)
+// path. The converged answers after the call are identical to applying each
+// update as its own batch via ApplyBatch. The returned error joins any
+// per-query errors surfaced by unsafe runs (recovered panics); the engine
+// stays consistent either way.
+func (m *MultiCISO) ApplyUpdates(ups []graph.Update) (FastStats, error) {
+	var fs FastStats
+	if len(ups) == 0 {
+		return fs, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var errs []error
+	for len(m.fpSafe) < len(ups) {
+		m.fpSafe = append(m.fpSafe, false)
+		m.fpNorm = append(m.fpNorm, fpNorm{})
+	}
+	base := 0
+	for base < len(ups) {
+		// Classify the remaining suffix against the live state. Results stay
+		// valid through safe commits and go stale at the first unsafe run —
+		// which re-enters this loop and re-classifies what is left.
+		m.classifySuffixLocked(ups[base:])
+		j := base
+		for j < len(ups) && m.fpSafe[j-base] {
+			j++
+		}
+		if j > base {
+			m.applySafeRunLocked(ups[base:j], m.fpNorm[:j-base])
+			fs.Safe += j - base
+		}
+		k := j
+		for k < len(ups) && !m.fpSafe[k-base] {
+			k++
+		}
+		if k > j {
+			for _, r := range m.applyBatchLocked(ups[j:k]) {
+				if r.Err != nil {
+					errs = append(errs, r.Err)
+				}
+			}
+			fs.Unsafe += k - j
+		}
+		base = k
+	}
+	m.cnt.Add(stats.CntUpdateSafe, int64(fs.Safe))
+	m.cnt.Add(stats.CntUpdateUnsafe, int64(fs.Unsafe))
+	return fs, errors.Join(errs...)
+}
+
+// classifySuffixLocked fills m.fpNorm/m.fpSafe[0:len(sub)] for the
+// un-applied suffix sub. Phase 1 normalizes each update against the live
+// topology serially (map of touched edges — a repeated edge is unsafe by
+// fiat). Phase 2 runs the O(Q) state scans, fanning out across the worker
+// pool when the suffix is long enough for that to pay.
+func (m *MultiCISO) classifySuffixLocked(sub []graph.Update) {
+	norm, safe := m.fpNorm, m.fpSafe
+	if m.fpTouched == nil {
+		m.fpTouched = make(map[uint64]struct{}, len(sub))
+	}
+	touched := m.fpTouched
+	clear(touched)
+	for i, u := range sub {
+		key := uint64(u.From)<<32 | uint64(u.To)
+		if _, dup := touched[key]; dup {
+			norm[i] = fpNorm{kind: fpConflict}
+			continue
+		}
+		touched[key] = struct{}{}
+		w0, present := m.g.HasEdge(u.From, u.To)
+		switch {
+		case u.Del && !present:
+			norm[i] = fpNorm{kind: fpNoop}
+		case u.Del:
+			norm[i] = fpNorm{kind: fpDel, w0: w0}
+		case !present:
+			norm[i] = fpNorm{kind: fpAdd}
+		case w0 == u.W:
+			norm[i] = fpNorm{kind: fpNoop}
+		default:
+			norm[i] = fpNorm{kind: fpReweight, w0: w0}
+		}
+	}
+
+	classifyOne := func(i int) {
+		// A plugin panic during the scan must not take the engine down: the
+		// update is routed unsafe, where the batch machinery's per-query
+		// recovery owns the failure.
+		defer func() {
+			if r := recover(); r != nil {
+				safe[i] = false
+			}
+		}()
+		u := sub[i]
+		switch norm[i].kind {
+		case fpNoop:
+			safe[i] = true
+		case fpAdd:
+			safe[i] = m.addUselessAllLocked(u.From, u.To, u.W)
+		case fpDel:
+			safe[i] = m.delUselessAllLocked(u.From, u.To, norm[i].w0)
+		case fpReweight:
+			// Batch path treats a reweight as del(old) + add(new); both
+			// halves must be useless for every query.
+			safe[i] = m.delUselessAllLocked(u.From, u.To, norm[i].w0) &&
+				m.addUselessAllLocked(u.From, u.To, u.W)
+		default: // fpConflict
+			safe[i] = false
+		}
+	}
+
+	w := m.workers
+	if w > len(sub)/8 {
+		w = len(sub) / 8
+	}
+	if len(sub) < fpParallelMin || w <= 1 {
+		for i := range sub {
+			classifyOne(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for slot := 0; slot < w; slot++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sub) {
+					return
+				}
+				classifyOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// addUselessAllLocked reports whether adding edge u→v with weight w is
+// useless (ClassifyAddition) for every registered query.
+func (m *MultiCISO) addUselessAllLocked(u, v graph.VertexID, w float64) bool {
+	a := m.a
+	for _, st := range m.states {
+		if a.Better(a.Propagate(st.value(u), a.Weight(w)), st.value(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+// delUselessAllLocked reports whether deleting edge u→v (stored weight w0)
+// is useless (ClassifyDeletion) for every registered query: the edge
+// supplies no query's state[v]. Delayed deletions count as unsafe — they
+// repair v after the response, which is a state write.
+func (m *MultiCISO) delUselessAllLocked(u, v graph.VertexID, w0 float64) bool {
+	a := m.a
+	for _, st := range m.states {
+		sv := st.value(v)
+		if !algo.Reached(a, sv) {
+			continue
+		}
+		if a.Propagate(st.value(u), a.Weight(w0)) == sv {
+			return false
+		}
+	}
+	return true
+}
+
+// applySafeRunLocked commits a run of safe updates with topology writes
+// only, mirroring each update's normalized form. No state, parent, counter
+// or scratch touch — by the safety proof none would change. The epoch still
+// advances: in-flight AddQuery computations snapshot topology, and a NEW
+// source's converged state may depend on edges that are useless for every
+// registered query.
+func (m *MultiCISO) applySafeRunLocked(sub []graph.Update, norm []fpNorm) {
+	changed := false
+	for i, u := range sub {
+		switch norm[i].kind {
+		case fpAdd:
+			m.g.AddEdge(u.From, u.To, u.W)
+			changed = true
+		case fpDel:
+			m.g.RemoveEdge(u.From, u.To)
+			changed = true
+		case fpReweight:
+			m.g.RemoveEdge(u.From, u.To)
+			m.g.AddEdge(u.From, u.To, u.W)
+			changed = true
+		}
+	}
+	if changed {
+		m.epoch++
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+	"cisgraph/internal/stream"
+)
+
+// TestApplyUpdatesMatchesBatchPath is the fast-path correctness anchor: for
+// every algorithm and store kind, feeding a stream through ApplyUpdates in
+// groups must leave every query's converged answer identical to a reference
+// engine that applies each update as its own batch (the per-update stream
+// semantics the server's position counter promises).
+func TestApplyUpdatesMatchesBatchPath(t *testing.T) {
+	for _, a := range algo.All() {
+		for _, kind := range []StoreKind{StoreDense, StoreSparse} {
+			ds := graph.RMAT("fp", 7, 900, graph.DefaultRMAT, 16, 33)
+			w, err := stream.New(ds, stream.Config{
+				LoadFraction: 0.5, AddsPerBatch: 40, DelsPerBatch: 40, Seed: 33,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var qs []Query
+			for _, p := range w.QueryPairs(4) {
+				qs = append(qs, Query{S: p[0], D: p[1]})
+			}
+			init := w.Initial()
+			fast := NewMultiCISO(WithStore(kind), WithParallelQueries())
+			fast.Reset(init.Clone(), a, qs)
+			ref := NewMultiCISO(WithStore(kind))
+			ref.Reset(init.Clone(), a, qs)
+			for bi := 0; bi < 4; bi++ {
+				group := w.NextBatch()
+				fs, err := fast.ApplyUpdates(group)
+				if err != nil {
+					t.Fatalf("%s/%v group %d: %v", a.Name(), kind, bi, err)
+				}
+				if fs.Safe+fs.Unsafe != len(group) {
+					t.Fatalf("%s/%v group %d: routed %d+%d of %d updates",
+						a.Name(), kind, bi, fs.Safe, fs.Unsafe, len(group))
+				}
+				for _, up := range group {
+					ref.ApplyBatch([]graph.Update{up})
+				}
+				got, want := fast.Answers(), ref.Answers()
+				for i := range qs {
+					if got[i] != want[i] {
+						t.Fatalf("%s/%v group %d query %v: fast=%v ref=%v (safe=%d unsafe=%d)",
+							a.Name(), kind, bi, qs[i], got[i], want[i], fs.Safe, fs.Unsafe)
+					}
+				}
+				if kind == StoreDense {
+					for i := range qs {
+						checkInvariant(t, fast.states[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyUpdatesSameEdgeConflict exercises the conservative conflict rule:
+// repeated touches of one edge inside a group must serialize through the
+// batch machinery and still converge to the reference fixpoint.
+func TestApplyUpdatesSameEdgeConflict(t *testing.T) {
+	el := graph.Grid("fpconf", 6, 6, 9, 2)
+	qs := []Query{{S: 0, D: 35}, {S: 5, D: 30}}
+	fast := NewMultiCISO()
+	fast.Reset(graph.FromEdgeList(el), algo.PPSP{}, qs)
+	ref := NewMultiCISO()
+	ref.Reset(graph.FromEdgeList(el), algo.PPSP{}, qs)
+
+	arc := el.Arcs[0]
+	group := []graph.Update{
+		graph.Add(30, 2, 0.5),                // likely valuable somewhere
+		graph.Del(arc.From, arc.To, arc.W),   // existing edge out
+		graph.Add(arc.From, arc.To, arc.W/2), // same edge back, cheaper: conflict
+		graph.Add(2, 30, 3),
+		graph.Del(2, 30, 3), // add-then-del of a brand new edge: conflict, nets out
+	}
+	fs, err := fast.ApplyUpdates(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Safe+fs.Unsafe != len(group) {
+		t.Fatalf("routed %d+%d of %d", fs.Safe, fs.Unsafe, len(group))
+	}
+	for _, up := range group {
+		ref.ApplyBatch([]graph.Update{up})
+	}
+	got, want := fast.Answers(), ref.Answers()
+	for i := range qs {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: fast=%v ref=%v", i, got[i], want[i])
+		}
+	}
+	if w, ok := fast.g.HasEdge(2, 30); ok {
+		t.Fatalf("add-then-del edge survived with weight %v", w)
+	}
+	if w, ok := fast.g.HasEdge(arc.From, arc.To); !ok || w != arc.W/2 {
+		t.Fatalf("reweighted edge = (%v,%v), want (%v,true)", w, ok, arc.W/2)
+	}
+}
+
+// TestApplyUpdatesRouting pins the safe/unsafe decision on a graph where the
+// classification is known: a heavy parallel edge far above the shortest path
+// is useless for every query (safe); deleting the only path edge is
+// valuable (unsafe).
+func TestApplyUpdatesRouting(t *testing.T) {
+	g := graph.NewDynamic(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	m := NewMultiCISO()
+	m.Reset(g, algo.PPSP{}, []Query{{S: 0, D: 3}})
+
+	fs, err := m.ApplyUpdates([]graph.Update{graph.Add(0, 2, 50)}) // worse than 0→1→2
+	if err != nil || fs.Safe != 1 || fs.Unsafe != 0 {
+		t.Fatalf("useless add: stats=%+v err=%v", fs, err)
+	}
+	fs, err = m.ApplyUpdates([]graph.Update{graph.Del(1, 2, 1)}) // key-path edge
+	if err != nil || fs.Safe != 0 || fs.Unsafe != 1 {
+		t.Fatalf("valuable del: stats=%+v err=%v", fs, err)
+	}
+	// After losing 1→2, the answer must route over the heavy edge.
+	if ans := m.AnswerOf(0); ans != algo.Value(51) {
+		t.Fatalf("answer after repair = %v, want 51", ans)
+	}
+	cnt := m.Counters()
+	if cnt.Get(stats.CntUpdateSafe) != 1 || cnt.Get(stats.CntUpdateUnsafe) != 1 {
+		t.Fatalf("counters safe=%d unsafe=%d, want 1/1",
+			cnt.Get(stats.CntUpdateSafe), cnt.Get(stats.CntUpdateUnsafe))
+	}
+}
+
+// TestApplyUpdatesConcurrentReaders drives ApplyUpdates while readers poll
+// answers and counters — the fast path must honor the engine's reader
+// contract (run with -race).
+func TestApplyUpdatesConcurrentReaders(t *testing.T) {
+	ds := graph.RMAT("fprace", 7, 800, graph.DefaultRMAT, 16, 7)
+	w, err := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 30, DelsPerBatch: 30, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs []Query
+	for _, p := range w.QueryPairs(4) {
+		qs = append(qs, Query{S: p[0], D: p[1]})
+	}
+	m := NewMultiCISO(WithParallelQueries())
+	m.Reset(w.Initial(), algo.PPSP{}, qs)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = m.Answers()
+					_ = m.Counters().Get(stats.CntUpdateSafe)
+					_ = m.NumQueries()
+				}
+			}
+		}()
+	}
+	for bi := 0; bi < 6; bi++ {
+		if _, err := m.ApplyUpdates(w.NextBatch()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestApplyUpdatesEdgeCases covers the degenerate inputs the server can
+// produce: empty groups, engines with no queries, and no-op updates.
+func TestApplyUpdatesEdgeCases(t *testing.T) {
+	g := graph.NewDynamic(3)
+	g.AddEdge(0, 1, 1)
+	m := NewMultiCISO()
+	m.Reset(g, algo.PPSP{}, nil)
+	if fs, err := m.ApplyUpdates(nil); err != nil || fs != (FastStats{}) {
+		t.Fatalf("empty group: %+v %v", fs, err)
+	}
+	// With no registered queries every update is trivially safe.
+	fs, err := m.ApplyUpdates([]graph.Update{graph.Add(1, 2, 1), graph.Del(0, 1, 1)})
+	if err != nil || fs.Safe != 2 {
+		t.Fatalf("no-query group: %+v %v", fs, err)
+	}
+	if _, ok := m.g.HasEdge(1, 2); !ok {
+		t.Fatal("safe add did not land in topology")
+	}
+	if _, ok := m.g.HasEdge(0, 1); ok {
+		t.Fatal("safe del did not land in topology")
+	}
+	// Duplicate add / absent del normalize to no-ops (what NormalizeBatch
+	// would drop) and must not disturb topology.
+	fs, err = m.ApplyUpdates([]graph.Update{graph.Add(1, 2, 1), graph.Del(0, 1, 1)})
+	if err != nil || fs.Safe != 2 {
+		t.Fatalf("noop group: %+v %v", fs, err)
+	}
+	if m.g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", m.g.NumEdges())
+	}
+}

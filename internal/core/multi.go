@@ -69,6 +69,11 @@ type MultiCISO struct {
 
 	scs        []*scratch // per-worker-slot scratch, created on demand
 	beforeBufs [][]int64  // reusable per-query pre-batch counter snapshots
+
+	// Per-update fast-path scratch (fastpath.go), reused across groups.
+	fpNorm    []fpNorm
+	fpSafe    []bool
+	fpTouched map[uint64]struct{}
 }
 
 type baseEntry struct {
@@ -366,6 +371,13 @@ func (m *MultiCISO) ScratchBytes() int64 {
 func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.applyBatchLocked(batch)
+}
+
+// applyBatchLocked is ApplyBatch with the write lock already held; the
+// per-update fast path (ApplyUpdates) routes unsafe runs through it under a
+// single lock hold.
+func (m *MultiCISO) applyBatchLocked(batch []graph.Update) []Result {
 	nq := len(m.states)
 	results := make([]Result, nq)
 	errs := make([]error, nq)

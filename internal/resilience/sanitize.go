@@ -233,6 +233,55 @@ func (s *Sanitizer) Sanitize(g *graph.Dynamic, batch []graph.Update) ([]graph.Up
 	return clean, rep, nil
 }
 
+// StreamSanitizer validates updates one at a time against a fixed pre-group
+// topology snapshot plus the net effect of previously accepted updates — the
+// per-update fast path's equivalent of Sanitize's intra-batch presence
+// tracking. Each accepted update is its own single-update batch downstream,
+// so the batch-level policies degenerate: an invalid update is always
+// refused individually (and counted), never able to poison neighbours.
+type StreamSanitizer struct {
+	s       *Sanitizer
+	g       *graph.Dynamic
+	n       int
+	present map[uint64]bool
+	tracked map[uint64]bool
+}
+
+// Stream starts a per-update validation pass against g's current topology
+// (g must not be mutated until the pass ends).
+func (s *Sanitizer) Stream(g *graph.Dynamic) *StreamSanitizer {
+	return &StreamSanitizer{
+		s:       s,
+		g:       g,
+		n:       g.NumVertices(),
+		present: make(map[uint64]bool),
+		tracked: make(map[uint64]bool),
+	}
+}
+
+// Check validates one update, returning the drop-reason counter name ("" =
+// accepted). An accepted update takes effect for subsequent presence checks;
+// a refused one is counted on the sanitizer's counters and has no effect.
+func (ss *StreamSanitizer) Check(up graph.Update) string {
+	present := false
+	if int(up.From) < ss.n && int(up.To) < ss.n {
+		k := uint64(up.From)<<32 | uint64(up.To)
+		if !ss.tracked[k] {
+			_, ok := ss.g.HasEdge(up.From, up.To)
+			ss.present[k], ss.tracked[k] = ok, true
+		}
+		present = ss.present[k]
+	}
+	reason := check(up, ss.n, present)
+	if reason != "" {
+		ss.s.count(reason)
+		return reason
+	}
+	k := uint64(up.From)<<32 | uint64(up.To)
+	ss.present[k], ss.tracked[k] = !up.Del, true
+	return ""
+}
+
 // ValidateBatch checks batch against g without modifying anything and
 // returns the first validation error (nil when the batch is fully clean) —
 // the strict-policy check as a standalone predicate.

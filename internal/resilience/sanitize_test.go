@@ -223,3 +223,40 @@ func TestMalformedBatchesThroughEveryEngine(t *testing.T) {
 		}
 	}
 }
+
+// StreamSanitizer must agree with Sanitize's intra-batch presence tracking
+// when fed the same updates one at a time.
+func TestStreamSanitizerMatchesBatch(t *testing.T) {
+	g := graph.NewDynamic(4)
+	g.AddEdge(0, 1, 1)
+	batch := []graph.Update{
+		graph.Add(0, 1, 2),          // dup add
+		graph.Del(0, 1, 1),          // ok
+		graph.Add(0, 1, 3),          // ok (made valid by the del)
+		graph.Del(1, 2, 1),          // absent del
+		graph.Add(2, 2, 1),          // self loop
+		graph.Add(0, 99, 1),         // out of range
+		graph.Add(1, 2, math.NaN()), // bad weight
+		graph.Add(1, 2, 0.5),        // ok
+	}
+	san := NewSanitizer(PolicyDrop, nil)
+	clean, rep, err := san.Sanitize(g, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewSanitizer(PolicyDrop, stats.NewCounters()).Stream(g)
+	var streamed []graph.Update
+	for _, up := range batch {
+		if reason := ss.Check(up); reason == "" {
+			streamed = append(streamed, up)
+		}
+	}
+	if len(streamed) != len(clean) || len(streamed) != rep.Kept {
+		t.Fatalf("stream kept %d, batch kept %d", len(streamed), len(clean))
+	}
+	for i := range clean {
+		if streamed[i] != clean[i] {
+			t.Fatalf("update %d: stream %v, batch %v", i, streamed[i], clean[i])
+		}
+	}
+}

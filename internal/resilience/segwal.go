@@ -425,6 +425,67 @@ func (w *SegmentedWAL) Append(batch []graph.Update) (uint64, error) {
 	return idx, nil
 }
 
+// AppendGroup encodes every batch as its own consecutive record — on disk
+// and over replication indistinguishable from len(batches) Append calls —
+// but pays ONE write and ONE fsync for the whole group. This is the
+// per-update fast path's group commit (DESIGN.md §14): each update stays an
+// individually addressable stream position, while the fsync cost amortizes
+// across the group. It returns the first record's index; the group occupies
+// [first, first+len(batches)).
+//
+// Atomicity matches Append: on any error no record of the group is counted,
+// and torn bytes are truncated away before the next write, so a failed
+// group can never corrupt a later good one. The group is deliberately not
+// split across a segment roll — the roll decision is taken once, before the
+// group — which keeps a group's records contiguous in one segment (segments
+// may overshoot SegmentBytes by up to one group, same as one large record).
+func (w *SegmentedWAL) AppendGroup(batches [][]graph.Update) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("wal: closed")
+	}
+	if len(batches) == 0 {
+		return w.next, nil
+	}
+	if w.active == nil || (w.good >= w.opt.SegmentBytes && w.good > int64(len(segHeader))) {
+		if err := w.roll(); err != nil {
+			return 0, err
+		}
+	}
+	if w.dirty {
+		if err := w.repairLocked(); err != nil {
+			return 0, err
+		}
+	}
+	first := w.next
+	var buf []byte
+	for i, batch := range batches {
+		payload := encodeBatch(batch)
+		var hdr [16]byte
+		binary.LittleEndian.PutUint64(hdr[0:8], first+uint64(i))
+		binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+	}
+	if n, err := w.active.Write(buf); err != nil {
+		w.size += int64(n)
+		w.dirty = true
+		return 0, fmt.Errorf("wal: append group: %w", err)
+	}
+	w.size += int64(len(buf))
+	if err := w.active.Sync(); err != nil {
+		// Durability of the whole group is unknown; treat it as not appended
+		// and truncate it on the next write.
+		w.dirty = true
+		return 0, fmt.Errorf("wal: sync: %w", err)
+	}
+	w.good = w.size
+	w.next = first + uint64(len(batches))
+	return first, nil
+}
+
 // NextIndex returns the index the next Append will use.
 func (w *SegmentedWAL) NextIndex() uint64 {
 	w.mu.Lock()

@@ -511,3 +511,93 @@ func TestSegWALReadFrom(t *testing.T) {
 		t.Fatalf("ReadFrom(4) after retention: %d recs, err %v", len(recs), err)
 	}
 }
+
+// groupOf builds a group of n one-update batches encoding indices from..from+n-1.
+func groupOf(from, n int) [][]graph.Update {
+	out := make([][]graph.Update, 0, n)
+	for i := from; i < from+n; i++ {
+		out = append(out, segBatch(i))
+	}
+	return out
+}
+
+// AppendGroup must be on-disk indistinguishable from the same sequence of
+// Append calls — consecutive indices, replayable, interleavable with single
+// appends, tailable with ReadFrom — while paying one write+fsync per group.
+func TestSegWALAppendGroup(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	w, err := OpenSegmentedWAL(dir, tinySegOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 1) // single append first: groups continue its index space
+	first, err := w.AppendGroup(groupOf(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Fatalf("group first index = %d, want 1", first)
+	}
+	if got := w.NextIndex(); got != 6 {
+		t.Fatalf("NextIndex after group = %d, want 6", got)
+	}
+	appendN(t, w, 6, 1) // and single appends continue after a group
+
+	// Empty group: positionally a no-op.
+	if first, err = w.AppendGroup(nil); err != nil || first != 7 {
+		t.Fatalf("empty group: first=%d err=%v", first, err)
+	}
+
+	// A tail reader sees the group as individual records.
+	recs, err := w.ReadFrom(2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || recs[0].Index != 2 {
+		t.Fatalf("ReadFrom(2): %d records, first %d", len(recs), recs[0].Index)
+	}
+	w.Close()
+	checkReplay(t, dir, 0, 7)
+
+	// Reopen resumes past the group.
+	w2, err := OpenSegmentedWAL(dir, tinySegOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.NextIndex(); got != 7 {
+		t.Fatalf("NextIndex after reopen = %d, want 7", got)
+	}
+}
+
+// A failed group append counts no record of the group: after the disk heals
+// the whole group retries at the same indices and the log stays contiguous.
+func TestSegWALAppendGroupFaultAtomicity(t *testing.T) {
+	ffs := NewFaultFS(OsFS{})
+	dir := filepath.Join(t.TempDir(), "wal")
+	opt := tinySegOpts()
+	opt.FS = ffs
+	w, err := OpenSegmentedWAL(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 2)
+
+	ffs.FailWrites(errors.New("injected EIO"))
+	if _, err := w.AppendGroup(groupOf(2, 4)); err == nil {
+		t.Fatal("group append under injection succeeded")
+	}
+	if got := w.NextIndex(); got != 2 {
+		t.Fatalf("NextIndex after failed group = %d, want 2", got)
+	}
+	ffs.Heal()
+	first, err := w.AppendGroup(groupOf(2, 4))
+	if err != nil {
+		t.Fatalf("group retry after heal: %v", err)
+	}
+	if first != 2 {
+		t.Fatalf("retried group first = %d, want 2", first)
+	}
+	w.Close()
+	checkReplay(t, dir, 0, 6)
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"cisgraph/internal/graph"
+)
+
+// Binary framed ingest protocol (DESIGN.md §14). A persistent TCP connection
+// carries updates to the per-update fast path without the JSON/HTTP tax:
+//
+//	client → server   hello: the 8 bytes "CGBIN/1\n"
+//	client → server   frames: uint32 payloadLen | uint32 crc32(payload) | payload
+//	server → client   one ack per frame, in frame order:
+//	                  uint64 position | uint32 accepted | uint32 dropped | uint32 status
+//
+// A frame payload is n × 17-byte update records — the exact per-update
+// layout of WAL record payloads (op | src | dst | weight, little-endian), so
+// a frame's updates are re-framed into WAL records without transcoding:
+//
+//	op(1: 0=add, 1=del) | src(4) | dst(4) | weight(8, IEEE-754 bits)
+//
+// Acks stream back as each group commits: position is the global stream
+// position (batches in /v1/answers) after this frame's accepted updates were
+// applied AND made durable — receiving the ack means the updates are visible
+// to /v1/answers readers. Pipelining is the client's choice: it may keep
+// many frames in flight; acks always arrive in frame order.
+//
+// All integers are little-endian, matching the WAL. A malformed frame
+// (oversized, torn length, CRC mismatch) desynchronizes the stream, so the
+// server acks it with BinStatusBadFrame and closes the connection.
+
+// BinHello is the connection preamble a client must send first.
+const BinHello = "CGBIN/1\n"
+
+// BinUpdateSize is the wire size of one update record.
+const BinUpdateSize = 17
+
+// BinMaxFramePayload bounds one frame's payload (64k updates ≈ 1.1 MiB) —
+// the binary counterpart of MaxBodyBytes.
+const BinMaxFramePayload = 65536 * BinUpdateSize
+
+// Ack status codes.
+const (
+	BinStatusOK       = 0 // accepted updates are durable and visible
+	BinStatusDraining = 1 // server shutting down; nothing applied
+	BinStatusDegraded = 2 // durable writes failing; nothing applied, retry later
+	BinStatusBadFrame = 3 // malformed frame; connection closes after this ack
+)
+
+// BinAckSize is the wire size of one ack.
+const BinAckSize = 20
+
+// BinAck is one per-frame acknowledgement.
+type BinAck struct {
+	Pos      uint64 // global stream position after this frame's commit
+	Accepted uint32 // updates applied (and made durable)
+	Dropped  uint32 // updates refused by the sanitizer
+	Status   uint32 // BinStatus*
+}
+
+// AppendBinFrame appends the framed encoding of ups to buf and returns the
+// extended slice.
+func AppendBinFrame(buf []byte, ups []graph.Update) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, 8)...)
+	for _, up := range ups {
+		var rec [BinUpdateSize]byte
+		if up.Del {
+			rec[0] = 1
+		}
+		binary.LittleEndian.PutUint32(rec[1:5], up.From)
+		binary.LittleEndian.PutUint32(rec[5:9], up.To)
+		binary.LittleEndian.PutUint64(rec[9:17], math.Float64bits(up.W))
+		buf = append(buf, rec[:]...)
+	}
+	payload := buf[start+8:]
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// ReadBinFrame reads one frame from r, verifying length and CRC, and appends
+// the decoded updates to ups (pass a reused slice to avoid allocation). A
+// clean EOF before any header byte returns io.EOF; every other failure is a
+// protocol error the caller must treat as fatal for the connection.
+func ReadBinFrame(r io.Reader, ups []graph.Update, payloadBuf []byte) ([]graph.Update, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("binproto: torn frame header: %w", err)
+		}
+		return ups, payloadBuf, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+	if plen == 0 || plen > BinMaxFramePayload || plen%BinUpdateSize != 0 {
+		return ups, payloadBuf, fmt.Errorf("binproto: bad frame payload length %d", plen)
+	}
+	if cap(payloadBuf) < int(plen) {
+		payloadBuf = make([]byte, plen)
+	}
+	payload := payloadBuf[:plen]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return ups, payloadBuf, fmt.Errorf("binproto: torn frame payload: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return ups, payloadBuf, fmt.Errorf("binproto: frame CRC mismatch (got %08x, want %08x)", got, wantCRC)
+	}
+	for off := 0; off < len(payload); off += BinUpdateSize {
+		rec := payload[off : off+BinUpdateSize]
+		if rec[0] > 1 {
+			return ups, payloadBuf, fmt.Errorf("binproto: bad op byte %d", rec[0])
+		}
+		ups = append(ups, graph.Update{
+			Arc: graph.Arc{
+				From: binary.LittleEndian.Uint32(rec[1:5]),
+				To:   binary.LittleEndian.Uint32(rec[5:9]),
+				W:    math.Float64frombits(binary.LittleEndian.Uint64(rec[9:17])),
+			},
+			Del: rec[0] == 1,
+		})
+	}
+	return ups, payloadBuf, nil
+}
+
+// AppendBinAck appends a's wire encoding to buf.
+func AppendBinAck(buf []byte, a BinAck) []byte {
+	var rec [BinAckSize]byte
+	binary.LittleEndian.PutUint64(rec[0:8], a.Pos)
+	binary.LittleEndian.PutUint32(rec[8:12], a.Accepted)
+	binary.LittleEndian.PutUint32(rec[12:16], a.Dropped)
+	binary.LittleEndian.PutUint32(rec[16:20], a.Status)
+	return append(buf, rec[:]...)
+}
+
+// ReadBinAck reads one ack from r.
+func ReadBinAck(r io.Reader) (BinAck, error) {
+	var rec [BinAckSize]byte
+	if _, err := io.ReadFull(r, rec[:]); err != nil {
+		return BinAck{}, err
+	}
+	return BinAck{
+		Pos:      binary.LittleEndian.Uint64(rec[0:8]),
+		Accepted: binary.LittleEndian.Uint32(rec[8:12]),
+		Dropped:  binary.LittleEndian.Uint32(rec[12:16]),
+		Status:   binary.LittleEndian.Uint32(rec[16:20]),
+	}, nil
+}

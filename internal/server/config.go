@@ -147,6 +147,16 @@ type Config struct {
 	// ReplSeed seeds the follower's backoff jitter so chaos runs reproduce
 	// (default 1).
 	ReplSeed int64
+	// FastGroupMax bounds how many updates the per-update fast path gathers
+	// into one group commit (one WAL fsync); default 512. A lone update
+	// still commits immediately — the bound only caps burst amortization.
+	FastGroupMax int
+	// FastPendingFrames bounds the fast path's admission queue, in frames;
+	// a full queue blocks binary readers (TCP backpressure). Default 1024.
+	FastPendingFrames int
+	// FastPipelineDepth bounds unacked frames per binary connection (the
+	// per-connection ack queue). Default 256.
+	FastPipelineDepth int
 }
 
 // WithDefaults returns a copy of c with every unset field defaulted.
@@ -201,6 +211,15 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.ReplSeed == 0 {
 		c.ReplSeed = 1
+	}
+	if c.FastGroupMax <= 0 {
+		c.FastGroupMax = 512
+	}
+	if c.FastPendingFrames <= 0 {
+		c.FastPendingFrames = 1024
+	}
+	if c.FastPipelineDepth <= 0 {
+		c.FastPipelineDepth = 256
 	}
 	return c
 }

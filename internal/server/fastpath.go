@@ -1,0 +1,360 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"cisgraph/internal/graph"
+)
+
+// fpEntry is one admitted frame: its updates plus the channel its ack is
+// resolved on (buffered 1 — exactly one ack is ever sent).
+type fpEntry struct {
+	ups []graph.Update
+	ack chan BinAck
+}
+
+// fastPath is the per-update admission pipeline (DESIGN.md §14): binary
+// connections submit frames here, a single commit goroutine gathers whatever
+// is queued into one group and commits it — sanitize → group WAL append
+// (one record per update, one fsync) → apply (safe/unsafe routed inside the
+// shard engines) → publish → ack. The sanitize→WAL→apply order and the
+// never-apply-un-durable rule are identical to the batch path; the batch
+// window is what's bypassed.
+type fastPath struct {
+	s    *Server
+	ch   chan *fpEntry
+	quit chan struct{}
+	done chan struct{}
+
+	// pending counts admitted-but-unacked entries; Quiesced needs the fast
+	// path's in-flight work, not just the batcher's.
+	pending  atomic.Int64
+	draining atomic.Bool
+	stopOnce sync.Once
+
+	mu    sync.Mutex
+	lns   map[net.Listener]struct{}
+	conns map[net.Conn]struct{}
+
+	// Commit-goroutine-private scratch, reused across groups.
+	group  []*fpEntry
+	clean  []graph.Update
+	counts []uint32
+	recs   [][]graph.Update
+}
+
+func newFastPath(s *Server) *fastPath {
+	f := &fastPath{
+		s:     s,
+		ch:    make(chan *fpEntry, s.cfg.FastPendingFrames),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+		lns:   make(map[net.Listener]struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	go f.run()
+	return f
+}
+
+// submit admits one entry; false means the server is draining and the entry
+// was not queued (the caller acks BinStatusDraining itself). A full queue
+// blocks — on a persistent connection that is the natural backpressure.
+func (f *fastPath) submit(e *fpEntry) bool {
+	if f.draining.Load() {
+		return false
+	}
+	f.pending.Add(1)
+	select {
+	case f.ch <- e:
+		return true
+	case <-f.quit:
+		f.pending.Add(-1)
+		return false
+	}
+}
+
+func (f *fastPath) quiesced() bool { return f.pending.Load() == 0 }
+
+// run is the commit loop: block for one entry, then gather everything
+// already queued (up to FastGroupMax updates) into the same group commit —
+// group size adapts to load, so a lone update commits immediately while a
+// burst amortizes its fsync across the whole group.
+func (f *fastPath) run() {
+	defer close(f.done)
+	for {
+		var e *fpEntry
+		select {
+		case e = <-f.ch:
+		case <-f.quit:
+			// Drain the remainder; submissions are already refused.
+			for {
+				select {
+				case e := <-f.ch:
+					f.commitGroup(f.gather(e))
+				default:
+					return
+				}
+			}
+		}
+		f.commitGroup(f.gather(e))
+	}
+}
+
+// gather collects e plus whatever else is queued, bounded by FastGroupMax
+// updates, into the reused group slice.
+func (f *fastPath) gather(e *fpEntry) []*fpEntry {
+	f.group = append(f.group[:0], e)
+	n := len(e.ups)
+	for n < f.s.cfg.FastGroupMax {
+		select {
+		case e2 := <-f.ch:
+			f.group = append(f.group, e2)
+			n += len(e2.ups)
+		default:
+			return f.group
+		}
+	}
+	return f.group
+}
+
+// commitGroup runs one group through the durability pipeline under the
+// commit lock (serializing against the batch path's applyBatch) and
+// resolves every entry's ack. Each accepted update is its own WAL record
+// and stream position — replica tailing and crash replay see exactly the
+// records a sequence of single-update batches would have produced.
+func (f *fastPath) commitGroup(entries []*fpEntry) {
+	s := f.s
+	defer f.pending.Add(-int64(len(entries)))
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+
+	ackAll := func(status uint32) {
+		pos := s.applied.Load()
+		for _, e := range entries {
+			e.ack <- BinAck{Pos: pos, Dropped: uint32(len(e.ups)), Status: status}
+		}
+	}
+	// Degraded mode: an un-durable update is never applied (DESIGN.md
+	// §12.2); the whole group is refused while the breaker is open.
+	if s.brk.Open() {
+		for _, e := range entries {
+			s.h.dropUpdates.Add(int64(len(e.ups)))
+		}
+		ackAll(BinStatusDegraded)
+		return
+	}
+
+	// Sanitize per update against the shadow + the group's own net effect,
+	// tracking per-entry accept counts for the acks.
+	sh := s.shadow.Load()
+	ss := s.san.Stream(sh)
+	clean, counts := f.clean[:0], f.counts[:0]
+	for _, e := range entries {
+		acc := uint32(0)
+		for _, up := range e.ups {
+			if ss.Check(up) == "" {
+				clean = append(clean, up)
+				acc++
+			} else {
+				s.h.fastDropped.Inc()
+			}
+		}
+		counts = append(counts, acc)
+	}
+	f.clean, f.counts = clean, counts
+
+	if len(clean) > 0 {
+		if s.wal != nil {
+			recs := f.recs[:0]
+			for i := range clean {
+				recs = append(recs, clean[i:i+1])
+			}
+			f.recs = recs
+			if _, err := s.wal.AppendGroup(recs); err != nil {
+				s.brk.Trip(err)
+				s.setLastErr(fmt.Errorf("server: fastpath wal append failed (group dropped, degraded): %w", err))
+				s.h.dropUpdates.Add(int64(len(clean)))
+				ackAll(BinStatusDegraded)
+				return
+			}
+		}
+		sh.Apply(clean)
+		if _, perr := s.pool.ApplyUpdates(clean); perr != nil {
+			s.h.degraded.Inc()
+			s.setLastErr(perr)
+		}
+		before := s.applied.Load()
+		applied := s.applied.Add(uint64(len(clean)))
+		s.edges.Store(int64(sh.NumEdges()))
+		s.h.accepted.Add(int64(len(clean)))
+		s.h.batches.Add(int64(len(clean))) // each update is one stream position
+		s.h.updates.Add(int64(len(clean)))
+		s.h.fastGroups.Inc()
+		s.h.fastUpdates.Add(int64(len(clean)))
+		if n := uint64(s.cfg.CheckpointEvery); n > 0 && applied/n > before/n {
+			if cerr := s.writeCheckpoint(); cerr != nil {
+				s.setLastErr(cerr)
+			}
+		}
+	}
+
+	// Acks stream back with each entry's cumulative commit position; the
+	// snapshot is published, so receiving the ack means the entry's updates
+	// are visible to /v1/answers readers.
+	pos := s.applied.Load() - uint64(len(clean))
+	for i, e := range entries {
+		pos += uint64(counts[i])
+		e.ack <- BinAck{
+			Pos:      pos,
+			Accepted: counts[i],
+			Dropped:  uint32(len(e.ups)) - counts[i],
+			Status:   BinStatusOK,
+		}
+	}
+}
+
+// shutdown flushes and stops the fast path: refuse new submissions, stop
+// accepting connections, commit everything admitted, then close the
+// remaining connections. Idempotent; called from Server.Drain before the
+// batcher drains so the final checkpoint covers fast-path commits.
+func (f *fastPath) shutdown() {
+	f.stopOnce.Do(func() {
+		f.draining.Store(true)
+		f.mu.Lock()
+		for ln := range f.lns {
+			ln.Close()
+		}
+		f.mu.Unlock()
+		close(f.quit)
+		<-f.done
+		f.mu.Lock()
+		for c := range f.conns {
+			c.Close()
+		}
+		f.mu.Unlock()
+	})
+}
+
+// ServeBinary accepts binary-protocol ingest connections on ln until the
+// listener closes (or Drain begins) and blocks for the duration — run it on
+// its own goroutine. Followers refuse the listener outright: the write path
+// lives on the leader.
+func (s *Server) ServeBinary(ln net.Listener) error {
+	if s.isFollower() {
+		ln.Close()
+		return errors.New("server: binary ingest is leader-only (follower refuses writes)")
+	}
+	f := s.fp
+	f.mu.Lock()
+	if f.draining.Load() {
+		f.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	f.lns[ln] = struct{}{}
+	f.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if f.draining.Load() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go f.handleConn(c)
+	}
+}
+
+// handleConn runs one binary connection: a reader goroutine decodes frames
+// and submits them, a writer goroutine streams acks back in frame order.
+// The bounded ack queue is the per-connection pipeline window.
+func (f *fastPath) handleConn(c net.Conn) {
+	s := f.s
+	f.mu.Lock()
+	f.conns[c] = struct{}{}
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		delete(f.conns, c)
+		f.mu.Unlock()
+		c.Close()
+	}()
+	s.h.binConns.Inc()
+
+	br := bufio.NewReaderSize(c, 64<<10)
+	var hello [len(BinHello)]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil || string(hello[:]) != BinHello {
+		s.h.binBadFrames.Inc()
+		return
+	}
+
+	ackQ := make(chan *fpEntry, s.cfg.FastPipelineDepth)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bw := bufio.NewWriterSize(c, 16<<10)
+		buf := make([]byte, 0, BinAckSize)
+		for e := range ackQ {
+			a := <-e.ack
+			buf = AppendBinAck(buf[:0], a)
+			if _, err := bw.Write(buf); err != nil {
+				for e := range ackQ {
+					<-e.ack // keep commit-side sends from blocking
+				}
+				return
+			}
+			if len(ackQ) == 0 {
+				// No ack ready behind this one: flush so a stop-and-wait
+				// client sees its ack now, not at the next buffer fill.
+				if err := bw.Flush(); err != nil {
+					for e := range ackQ {
+						<-e.ack
+					}
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+
+	var ups []graph.Update
+	var payload []byte
+	for {
+		var err error
+		ups, payload, err = ReadBinFrame(br, ups[:0], payload)
+		if err != nil {
+			if err != io.EOF {
+				// Malformed frame or torn read: the stream is desynced. Ack
+				// the failure so the client can tell, then close.
+				s.h.binBadFrames.Inc()
+				e := &fpEntry{ack: make(chan BinAck, 1)}
+				e.ack <- BinAck{Pos: s.applied.Load(), Status: BinStatusBadFrame}
+				select {
+				case ackQ <- e:
+				default:
+				}
+			}
+			break
+		}
+		s.h.binFrames.Inc()
+		e := &fpEntry{ups: append([]graph.Update(nil), ups...), ack: make(chan BinAck, 1)}
+		if !f.submit(e) {
+			e.ack <- BinAck{Pos: s.applied.Load(), Dropped: uint32(len(e.ups)), Status: BinStatusDraining}
+			select {
+			case ackQ <- e:
+			default:
+			}
+			break
+		}
+		ackQ <- e
+	}
+	close(ackQ)
+	wg.Wait()
+}

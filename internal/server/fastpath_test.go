@@ -1,0 +1,496 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/resilience"
+)
+
+// binTestClient is a minimal binary-protocol client for tests: one frame in
+// flight at a time unless the test pipelines explicitly.
+type binTestClient struct {
+	t    *testing.T
+	conn net.Conn
+	br   *bufio.Reader
+	buf  []byte
+}
+
+func dialBinary(t *testing.T, srv *Server) (*binTestClient, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.ServeBinary(ln)
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte(BinHello)); err != nil {
+		t.Fatal(err)
+	}
+	cl := &binTestClient{t: t, conn: c, br: bufio.NewReader(c)}
+	return cl, func() { c.Close(); ln.Close() }
+}
+
+func (c *binTestClient) send(ups []graph.Update) {
+	c.t.Helper()
+	c.buf = AppendBinFrame(c.buf[:0], ups)
+	if _, err := c.conn.Write(c.buf); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *binTestClient) recv() BinAck {
+	c.t.Helper()
+	c.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	a, err := ReadBinAck(c.br)
+	if err != nil {
+		c.t.Fatalf("read ack: %v", err)
+	}
+	return a
+}
+
+// roundTrip sends one frame and returns its ack.
+func (c *binTestClient) roundTrip(ups []graph.Update) BinAck {
+	c.t.Helper()
+	c.send(ups)
+	return c.recv()
+}
+
+// TestBinaryIngestEndToEnd drives the whole fast path over a real TCP
+// connection: framed updates in, ordered positional acks out, answers
+// identical to an offline engine fed the same accepted updates.
+func TestBinaryIngestEndToEnd(t *testing.T) {
+	w := testWorkload(t)
+	a := testAlgo(t)
+	dir := t.TempDir()
+	cfg := testServerConfig()
+	cfg.WALPath = filepath.Join(dir, "srv.wal")
+	cfg.CheckpointPath = filepath.Join(dir, "srv.ckpt")
+
+	srv, err := New(w.Initial(), a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	var qs []core.Query
+	for _, p := range w.QueryPairsConnected(5) {
+		qs = append(qs, core.Query{S: p[0], D: p[1]})
+	}
+	ref := core.NewMultiCISO()
+	ref.Reset(w.Initial(), a, qs)
+	for _, q := range qs {
+		if resp, body := postJSON(t, client, ts.URL+"/v1/query", queryRequest{S: q.S, D: q.D}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("register query: status %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	bc, closeBin := dialBinary(t, srv)
+	defer closeBin()
+
+	var pos uint64
+	for i := 0; i < 6; i++ {
+		frame := w.NextBatch()
+		ack := bc.roundTrip(frame)
+		if ack.Status != BinStatusOK {
+			t.Fatalf("frame %d: status %d", i, ack.Status)
+		}
+		if int(ack.Accepted+ack.Dropped) != len(frame) {
+			t.Fatalf("frame %d: accepted %d + dropped %d != %d", i, ack.Accepted, ack.Dropped, len(frame))
+		}
+		pos += uint64(ack.Accepted)
+		if ack.Pos != pos {
+			t.Fatalf("frame %d: pos %d, want %d", i, ack.Pos, pos)
+		}
+		// The ack means the frame is visible: mirror it into the reference
+		// (workload batches are clean, so accepted == all).
+		for _, up := range frame {
+			ref.ApplyBatch([]graph.Update{up})
+		}
+	}
+	if !srv.Quiesced() {
+		t.Fatal("acked stream not quiesced")
+	}
+
+	var resp answersResponse
+	getJSON(t, client, ts.URL+"/v1/answers", &resp)
+	if resp.Batches != pos {
+		t.Fatalf("answers at position %d, want %d", resp.Batches, pos)
+	}
+	want := ref.Answers()
+	for i, ans := range resp.Answers {
+		if float64(ans.Value) != float64(want[i]) {
+			t.Fatalf("query %d: served %v, offline %v", i, ans.Value, want[i])
+		}
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinarySanitizeAndBadFrame covers refused updates (positional acks skip
+// them) and a malformed frame (BadFrame ack, then the connection closes).
+func TestBinarySanitizeAndBadFrame(t *testing.T) {
+	g := graph.NewDynamic(8)
+	g.AddEdge(0, 1, 1)
+	srv, err := New(g, testAlgo(t), testServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, closeBin := dialBinary(t, srv)
+	defer closeBin()
+
+	ack := bc.roundTrip([]graph.Update{
+		graph.Add(2, 3, 1),   // valid
+		graph.Add(4, 4, 1),   // self loop: dropped
+		graph.Del(5, 6, 1),   // absent del: dropped
+		graph.Add(0, 1, 2),   // duplicate add: dropped
+		graph.Add(200, 1, 1), // out of range: dropped
+		graph.Add(3, 2, 1),   // valid
+	})
+	if ack.Status != BinStatusOK || ack.Accepted != 2 || ack.Dropped != 4 {
+		t.Fatalf("sanitize ack = %+v, want OK accepted=2 dropped=4", ack)
+	}
+	if ack.Pos != 2 {
+		t.Fatalf("pos %d, want 2 (dropped updates take no position)", ack.Pos)
+	}
+
+	// A frame whose payload length is not a record multiple desyncs the
+	// stream: the server acks BadFrame and closes.
+	if _, err := bc.conn.Write([]byte{5, 0, 0, 0, 1, 2, 3, 4, 9, 9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	ack = bc.recv()
+	if ack.Status != BinStatusBadFrame {
+		t.Fatalf("bad frame ack status %d, want %d", ack.Status, BinStatusBadFrame)
+	}
+	if _, err := ReadBinAck(bc.br); err == nil {
+		t.Fatal("connection still open after bad frame")
+	}
+	if got := srv.Counters().Get(CntBinBadFrames); got != 1 {
+		t.Fatalf("bad-frame counter = %d, want 1", got)
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastPathDifferentialAnswers is the PR's equivalence anchor: the same
+// trace (valid and invalid updates interleaved) replayed through the binary
+// per-update path and through a BatchMaxSize=1 JSON server must yield
+// byte-identical /v1/answers bodies — same answers AND same global stream
+// position, since each accepted update is one position on both paths.
+func TestFastPathDifferentialAnswers(t *testing.T) {
+	w1, w2 := testWorkload(t), testWorkload(t)
+	a := testAlgo(t)
+
+	mk := func(w0 *graph.Dynamic) (*Server, *httptest.Server) {
+		cfg := testServerConfig()
+		cfg.BatchMaxSize = 1 // batch server: one position per update
+		cfg.BatchMaxWait = time.Millisecond
+		srv, err := New(w0, a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, httptest.NewServer(srv.Handler())
+	}
+	fastSrv, fastTS := mk(w1.Initial())
+	defer fastTS.Close()
+	batchSrv, batchTS := mk(w2.Initial())
+	defer batchTS.Close()
+
+	var qs []core.Query
+	for _, p := range w1.QueryPairsConnected(5) {
+		qs = append(qs, core.Query{S: p[0], D: p[1]})
+	}
+	for _, q := range qs {
+		for _, ts := range []*httptest.Server{fastTS, batchTS} {
+			if resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/query", queryRequest{S: q.S, D: q.D}); resp.StatusCode != http.StatusOK {
+				t.Fatalf("register query: status %d: %s", resp.StatusCode, body)
+			}
+		}
+	}
+
+	bc, closeBin := dialBinary(t, fastSrv)
+	defer closeBin()
+
+	// Build one trace with invalid updates salted in, so both paths must
+	// skip the same positions.
+	var trace []graph.Update
+	for i := 0; i < 4; i++ {
+		batch := w1.NextBatch()
+		w2.NextBatch() // keep the workloads' internal bookkeeping in step
+		trace = append(trace, batch...)
+		trace = append(trace,
+			graph.Add(7, 7, 1),                                // self loop
+			graph.Del(1, 2, 0.25),                             // very likely absent
+			graph.Add(1<<31, 0, 1),                            // out of range
+			graph.Add(batch[0].From, batch[0].To, batch[0].W), // dup of an add just applied
+		)
+	}
+
+	for _, up := range trace {
+		ack := bc.roundTrip([]graph.Update{up})
+		if ack.Status != BinStatusOK {
+			t.Fatalf("fast path refused update %v: status %d", up, ack.Status)
+		}
+		// Batch server: one POST per update; one cut per update.
+		postUpdatesHTTP(t, batchTS.Client(), batchTS.URL, []graph.Update{up})
+	}
+	waitQuiescedSrv(t, fastSrv)
+	waitQuiescedSrv(t, batchSrv)
+
+	read := func(ts *httptest.Server) []byte {
+		resp, err := ts.Client().Get(ts.URL + "/v1/answers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	fastBody, batchBody := read(fastTS), read(batchTS)
+	if string(fastBody) != string(batchBody) {
+		t.Fatalf("answers diverge:\nfast:  %s\nbatch: %s", fastBody, batchBody)
+	}
+	if fastSrv.Applied() != batchSrv.Applied() {
+		t.Fatalf("positions diverge: fast %d, batch %d", fastSrv.Applied(), batchSrv.Applied())
+	}
+	if err := fastSrv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := batchSrv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastPathWALRestore proves fast-path commits are as durable as batch
+// commits: updates acked over the binary protocol survive a drain + Restore,
+// with the stream position and every answer intact.
+func TestFastPathWALRestore(t *testing.T) {
+	w := testWorkload(t)
+	a := testAlgo(t)
+	dir := t.TempDir()
+	cfg := testServerConfig()
+	cfg.WALPath = filepath.Join(dir, "srv.wal")
+	cfg.CheckpointPath = filepath.Join(dir, "srv.ckpt")
+
+	srv, err := New(w.Initial(), a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+	var qs []core.Query
+	for _, p := range w.QueryPairsConnected(4) {
+		qs = append(qs, core.Query{S: p[0], D: p[1]})
+	}
+	for _, q := range qs {
+		postJSON(t, client, ts.URL+"/v1/query", queryRequest{S: q.S, D: q.D})
+	}
+
+	bc, closeBin := dialBinary(t, srv)
+	var acked uint64
+	for i := 0; i < 5; i++ {
+		ack := bc.roundTrip(w.NextBatch())
+		if ack.Status != BinStatusOK {
+			t.Fatalf("frame %d: status %d", i, ack.Status)
+		}
+		acked = ack.Pos
+	}
+	var before answersResponse
+	getJSON(t, client, ts.URL+"/v1/answers", &before)
+	closeBin()
+	ts.Close()
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := Restore(a, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.Applied() != acked {
+		t.Fatalf("restored position %d, want %d", srv2.Applied(), acked)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	var after answersResponse
+	getJSON(t, ts2.Client(), ts2.URL+"/v1/answers", &after)
+	if len(after.Answers) != len(before.Answers) {
+		t.Fatalf("restored %d answers, want %d", len(after.Answers), len(before.Answers))
+	}
+	for i := range before.Answers {
+		if before.Answers[i] != after.Answers[i] {
+			t.Fatalf("answer %d: before %+v, after %+v", i, before.Answers[i], after.Answers[i])
+		}
+	}
+	if err := srv2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastPathDegradedAck: when durable writes fail, fast-path frames are
+// refused with a Degraded ack and never applied — the never-apply-un-durable
+// rule holds on the per-update path too.
+func TestFastPathDegradedAck(t *testing.T) {
+	w := testWorkload(t)
+	ffs := resilience.NewFaultFS(resilience.OsFS{})
+	cfg := faultConfig(t, ffs)
+	srv, err := New(w.Initial(), testAlgo(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, closeBin := dialBinary(t, srv)
+	defer closeBin()
+
+	if ack := bc.roundTrip(w.NextBatch()); ack.Status != BinStatusOK {
+		t.Fatalf("healthy frame: status %d", ack.Status)
+	}
+	posBefore := srv.Applied()
+	edgesBefore := srv.edges.Load()
+
+	ffs.FailWrites(errors.New("injected: disk full"))
+	ack := bc.roundTrip(w.NextBatch())
+	if ack.Status != BinStatusDegraded {
+		t.Fatalf("sick-disk frame: status %d, want %d", ack.Status, BinStatusDegraded)
+	}
+	if ack.Accepted != 0 {
+		t.Fatalf("degraded frame accepted %d updates", ack.Accepted)
+	}
+	if srv.Applied() != posBefore || srv.edges.Load() != edgesBefore {
+		t.Fatal("degraded frame mutated server state")
+	}
+	if !srv.brk.Open() {
+		t.Fatal("breaker did not open")
+	}
+	// Subsequent frames are refused at the door while the breaker is open.
+	if ack := bc.roundTrip(w.NextBatch()); ack.Status != BinStatusDegraded {
+		t.Fatalf("breaker-open frame: status %d, want %d", ack.Status, BinStatusDegraded)
+	}
+	ffs.Heal()
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastPathConcurrentCommit hammers both write pipelines at once — JSON
+// batches and several pipelined binary connections — while readers poll.
+// Run under -race: the commit lock is what keeps the two writers exclusive.
+func TestFastPathConcurrentCommit(t *testing.T) {
+	w := testWorkload(t)
+	a := testAlgo(t)
+	cfg := testServerConfig()
+	srv, err := New(w.Initial(), a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	for _, p := range w.QueryPairsConnected(4) {
+		postJSON(t, client, ts.URL+"/v1/query", queryRequest{S: p[0], D: p[1]})
+	}
+
+	// Pre-cut per-goroutine traces (the workload is not goroutine-safe).
+	const conns, frames, perFrame = 3, 20, 8
+	traces := make([][][]graph.Update, conns)
+	var jsonBatches [][]graph.Update
+	for i := range traces {
+		for f := 0; f < frames; f++ {
+			b := w.NextBatch()
+			if len(b) > perFrame {
+				b = b[:perFrame]
+			}
+			traces[i] = append(traces[i], b)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		jsonBatches = append(jsonBatches, w.NextBatch())
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					var resp answersResponse
+					getJSON(t, client, ts.URL+"/v1/answers", &resp)
+				}
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		writers.Add(1)
+		go func(trace [][]graph.Update) {
+			defer writers.Done()
+			bc, closeBin := dialBinary(t, srv)
+			defer closeBin()
+			// Pipeline: send everything, then collect ordered acks.
+			for _, frame := range trace {
+				bc.send(frame)
+			}
+			var last uint64
+			for range trace {
+				ack := bc.recv()
+				if ack.Status != BinStatusOK {
+					t.Errorf("concurrent frame status %d", ack.Status)
+					return
+				}
+				if ack.Pos < last {
+					t.Errorf("ack positions went backwards: %d after %d", ack.Pos, last)
+					return
+				}
+				last = ack.Pos
+			}
+		}(traces[i])
+	}
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for _, b := range jsonBatches {
+			postUpdatesHTTP(t, client, ts.URL, b)
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	waitQuiescedSrv(t, srv)
+	if srv.edges.Load() != int64(srv.shadow.Load().NumEdges()) {
+		t.Fatal("edge gauge diverged from shadow topology")
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-drain frames are refused, not silently queued.
+	if !srv.Quiesced() {
+		t.Fatal("drained server not quiesced")
+	}
+}

@@ -167,6 +167,45 @@ func (p *QueryPool) ApplyBatch(batch []graph.Update) error {
 	return err
 }
 
+// ApplyUpdates runs one fast-path group through every shard's per-update
+// path (core.ApplyUpdates) in parallel and publishes the refreshed
+// snapshot. Each update counts as its own stream position — the published
+// Snapshot.Batches advances by len(ups), exactly as if every update had
+// been its own single-update batch. Error semantics match ApplyBatch:
+// degradations join, answers stay correct, the group still counts.
+func (p *QueryPool) ApplyUpdates(ups []graph.Update) (core.FastStats, error) {
+	errs := make([]error, len(p.shards))
+	fss := make([]core.FastStats, len(p.shards))
+	var wg sync.WaitGroup
+	for i, sh := range p.shards {
+		wg.Add(1)
+		go func(i int, sh *poolShard) {
+			defer wg.Done()
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			fss[i], errs[i] = sh.eng.ApplyUpdates(ups)
+		}(i, sh)
+	}
+	wg.Wait()
+	p.batches.Add(uint64(len(ups)))
+	p.mu.Lock()
+	p.publishLocked()
+	p.mu.Unlock()
+	var fs core.FastStats
+	var err error
+	for i := range p.shards {
+		// Shards disagree only on routing (they hold different query
+		// subsets); report the widest view — the max unsafe count across
+		// shards — so operators see how much of the group serialized.
+		if fss[i].Unsafe > fs.Unsafe {
+			fs.Unsafe = fss[i].Unsafe
+		}
+		err = joinNonNil(err, errs[i])
+	}
+	fs.Safe = len(ups) - fs.Unsafe
+	return fs, err
+}
+
 // publishLocked rebuilds and swaps in the answer snapshot. Callers hold
 // p.mu, which orders publications from the applier and from Register.
 func (p *QueryPool) publishLocked() {

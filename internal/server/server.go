@@ -73,26 +73,45 @@ const (
 	// the replica's staleness exceeded the client's X-CISGraph-Max-Staleness
 	// bound.
 	CntStaleReadsRejected = "srv_stale_reads_rejected"
+	// CntFastGroups / CntFastUpdates count fast-path group commits and the
+	// updates inside them (each update is its own stream position).
+	CntFastGroups  = "srv_fastpath_groups"
+	CntFastUpdates = "srv_fastpath_updates"
+	// CntFastDropped counts fast-path updates refused by the sanitizer.
+	CntFastDropped = "srv_fastpath_dropped"
+	// CntBinConns / CntBinFrames / CntBinBadFrames count binary-protocol
+	// ingest connections, well-formed frames, and protocol violations.
+	CntBinConns     = "srv_binary_conns"
+	CntBinFrames    = "srv_binary_frames"
+	CntBinBadFrames = "srv_binary_bad_frames"
 )
 
 // Server is the cisgraphd serving core: it owns the shadow topology, the
 // ingestion pipeline and the query pool, and exposes them over HTTP.
 //
-// Concurrency model (single-writer/many-reader): the batcher's applier
-// goroutine is the only writer of the shadow topology and the shard
-// engines; HTTP readers consume the pool's atomic answer snapshot and the
-// server's atomic gauges, so GET paths never contend with batch
-// application. Query registration is the one cross-cutting write; it
-// serializes against the applier per shard, between batches.
+// Concurrency model (single-writer/many-reader): the commit lock admits
+// exactly one writer of the shadow topology and the shard engines at a time
+// — the batcher's applier goroutine (JSON/batch path) and the fast path's
+// commit goroutine (binary/per-update path, DESIGN.md §14) take turns on
+// it; on a follower the tail goroutine is the sole writer. HTTP readers
+// consume the pool's atomic answer snapshot and the server's atomic gauges,
+// so GET paths never contend with commit work. Query registration is the
+// one cross-cutting write; it serializes against the writers per shard,
+// between commits.
 type Server struct {
 	cfg  Config
 	a    algo.Algorithm
 	pool *QueryPool
 	bat  *Batcher
+	fp   *fastPath
 	san  *resilience.Sanitizer
 	wal  *resilience.SegmentedWAL
 	brk  *diskBreaker
 	gate inflightGate
+
+	// commitMu serializes the two write pipelines (batch applier and
+	// fast-path commit loop) over the shadow + pool + WAL + position.
+	commitMu sync.Mutex
 
 	// shadow is the authoritative topology. It is mutated only by the
 	// single writer (the batcher's applier goroutine on a leader, the tail
@@ -136,6 +155,10 @@ type srvHandles struct {
 	dropBatches, dropUpdates    stats.Handle
 	walSegmentsDeleted          stats.Handle
 	staleRejected               stats.Handle
+	fastGroups, fastUpdates     stats.Handle
+	fastDropped                 stats.Handle
+	binConns, binFrames         stats.Handle
+	binBadFrames                stats.Handle
 }
 
 // New builds a server over an initial topology. The server takes its own
@@ -258,6 +281,12 @@ func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uin
 			dropUpdates:        cnt.Handle(CntUpdatesDroppedDegraded),
 			walSegmentsDeleted: cnt.Handle(CntWALSegmentsDeleted),
 			staleRejected:      cnt.Handle(CntStaleReadsRejected),
+			fastGroups:         cnt.Handle(CntFastGroups),
+			fastUpdates:        cnt.Handle(CntFastUpdates),
+			fastDropped:        cnt.Handle(CntFastDropped),
+			binConns:           cnt.Handle(CntBinConns),
+			binFrames:          cnt.Handle(CntBinFrames),
+			binBadFrames:       cnt.Handle(CntBinBadFrames),
 		},
 		gate: make(inflightGate, cfg.MaxInFlight),
 	}
@@ -290,6 +319,7 @@ func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uin
 	}
 	s.brk = newDiskBreaker(s.probeDisk, cfg.DiskRetryBase, cfg.DiskRetryMax)
 	s.bat = NewBatcher(cfg.BatchMaxSize, cfg.BatchMaxWait, cfg.QueueCapacity, cfg.OnFull, s.applyBatch)
+	s.fp = newFastPath(s)
 	s.routes()
 	return s, nil
 }
@@ -324,9 +354,10 @@ func (s *Server) probeDisk() error {
 	return s.cfg.FS.Remove(p)
 }
 
-// applyBatch is the single-writer pipeline stage: sanitize against the
-// shadow, append to the WAL, mutate the shadow, fan out to the pool, and
-// checkpoint on schedule. It runs on the batcher's applier goroutine only.
+// applyBatch is the batch-path pipeline stage: sanitize against the shadow,
+// append to the WAL, mutate the shadow, fan out to the pool, and checkpoint
+// on schedule. It runs on the batcher's applier goroutine, holding the
+// commit lock against the fast path's commit loop.
 func (s *Server) applyBatch(batch []graph.Update, reason CutReason) {
 	switch reason {
 	case CutSize:
@@ -336,6 +367,8 @@ func (s *Server) applyBatch(batch []graph.Update, reason CutReason) {
 	case CutDrain:
 		s.h.cutDrain.Inc()
 	}
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
 	sh := s.shadow.Load()
 	clean, _, err := s.san.Sanitize(sh, batch)
 	if err != nil {
@@ -425,6 +458,10 @@ func (s *Server) Drain() error {
 		s.tailStop()
 		<-s.tailDone
 	}
+	// Flush the fast path first (it refuses new frames, commits what was
+	// admitted, then closes its connections) so the final checkpoint covers
+	// both write pipelines.
+	s.fp.shutdown()
 	s.bat.Drain()
 	s.brk.Stop() // no more disk probes; a closed WAL must stay closed
 	var err error
@@ -446,8 +483,8 @@ func (s *Server) Drain() error {
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Quiesced reports that every accepted update is reflected in the published
-// answers (empty queue, no batch in flight).
-func (s *Server) Quiesced() bool { return s.bat.Quiesced() }
+// answers (empty queue, no batch in flight, no fast-path frame pending).
+func (s *Server) Quiesced() bool { return s.bat.Quiesced() && s.fp.quiesced() }
 
 // Pool exposes the query pool (read-side: snapshots, counters).
 func (s *Server) Pool() *QueryPool { return s.pool }
@@ -651,6 +688,20 @@ type updatesResponse struct {
 	Pending  int `json:"pending"`
 }
 
+// Ingest scratch pools: decode buffers and the converted batch slice are the
+// two per-request allocations that dominate ServerIngest profiles (the
+// decoded slice alone is ~24 B/update). Offer copies the batch into the
+// queue, so both are safe to recycle the moment the handler returns.
+var (
+	updatesReqPool  = sync.Pool{New: func() any { return new(updatesRequest) }}
+	ingestBatchPool = sync.Pool{New: func() any { return new([]graph.Update) }}
+)
+
+// jsonBytesPerUpdate is a conservative wire-size estimate for one update
+// object ({"op":"add","from":...}), used to pre-size the decode buffer from
+// Content-Length so slice growth doesn't reallocate mid-decode.
+const jsonBytesPerUpdate = 40
+
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	if s.isFollower() {
 		// Read replica: the write path lives on the leader. 421 tells the
@@ -673,10 +724,20 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.limitBody(w, r)
-	var req updatesRequest
+	req := updatesReqPool.Get().(*updatesRequest)
+	defer func() {
+		req.Updates = req.Updates[:0]
+		updatesReqPool.Put(req)
+	}()
+	req.Updates = req.Updates[:0]
+	if n := r.ContentLength; n > 0 {
+		if est := int(n / jsonBytesPerUpdate); cap(req.Updates) < est {
+			req.Updates = make([]updateJSON, 0, est)
+		}
+	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(req); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
 			s.h.bodyTooLarge.Inc()
@@ -687,7 +748,12 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
-	batch := make([]graph.Update, 0, len(req.Updates))
+	bp := ingestBatchPool.Get().(*[]graph.Update)
+	batch := (*bp)[:0]
+	defer func() {
+		*bp = batch[:0]
+		ingestBatchPool.Put(bp)
+	}()
 	for i, u := range req.Updates {
 		switch u.Op {
 		case "add":
@@ -699,6 +765,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Offer copies batch into the queue; the slice goes back to the pool.
 	accepted, shed, err := s.bat.Offer(batch)
 	switch {
 	case errors.Is(err, ErrDraining):

@@ -29,6 +29,12 @@ const (
 	CntUpdateValuable = "update_valuable"
 	CntUpdateDelayed  = "update_delayed"
 	CntUpdateUseless  = "update_useless"
+	// CntUpdateSafe / CntUpdateUnsafe count the per-update fast path's
+	// routing decision (fastpath.go): safe updates commit with a
+	// topology-only write, unsafe updates serialize through the batch
+	// machinery. Both are per-engine, not per-query.
+	CntUpdateSafe   = "update_safe"
+	CntUpdateUnsafe = "update_unsafe"
 	// CntUpdatePromoted counts delayed deletions promoted to non-delayed
 	// because a key-path change rerouted the query through them.
 	CntUpdatePromoted = "update_promoted"

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Fast-path smoke test: the serve_smoke.sh scenario over the CGBIN/1 binary
+# ingest protocol — generate a small dataset, stream it through a live
+# cisgraphd's per-update fast path in two halves with a SIGTERM drain +
+# checkpoint/WAL resume in between, and verify the served answers are
+# identical to an offline engine over the same stream (loadgen -verify).
+# Exercises the framed wire protocol, group-committed WAL records, and the
+# fast path's restart durability end to end.
+#
+# Usage: scripts/fastpath_smoke.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+ADDR="127.0.0.1:${SMOKE_PORT:-8372}"
+BIN_ADDR="127.0.0.1:${SMOKE_BIN_PORT:-8373}"
+DAEMON_PID=""
+
+cleanup() {
+    if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$WORK/datagen" ./cmd/datagen
+go build -o "$WORK/cisgraphd" ./cmd/cisgraphd
+go build -o "$WORK/loadgen" ./cmd/loadgen
+
+echo "== generate dataset + stream (~1.1k updates across 64 batches)"
+"$WORK/datagen" -gen rmat -scale 9 -out "$WORK/g.bel" -split -batches 64 -seed 7
+
+start_daemon() {
+    "$WORK/cisgraphd" -addr "$ADDR" -binary-addr "$BIN_ADDR" \
+        -file "$WORK/g.bel.initial" \
+        -wal "$WORK/srv.wal" -checkpoint "$WORK/srv.ckpt" \
+        -batch-size 64 -batch-wait 5ms "$@" &
+    DAEMON_PID=$!
+}
+
+echo "== phase 1: first 600 updates over the binary fast path"
+start_daemon
+"$WORK/loadgen" -addr "http://$ADDR" -proto binary -binary-addr "$BIN_ADDR" \
+    -trace "$WORK/g.bel.batches" -initial "$WORK/g.bel.initial" \
+    -queries 4 -limit 600 -post-size 48
+
+echo "== SIGTERM drain"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+DAEMON_PID=""
+
+echo "== phase 2: resume from checkpoint + WAL, stream the rest, verify"
+start_daemon -resume
+"$WORK/loadgen" -addr "http://$ADDR" -proto binary -binary-addr "$BIN_ADDR" \
+    -trace "$WORK/g.bel.batches" -initial "$WORK/g.bel.initial" \
+    -offset 600 -post-size 48 \
+    -verify -json "$WORK/loadgen.json"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+DAEMON_PID=""
+
+echo "== OK: fast-path answers match the offline engine across drain + restart"
+echo "   report: $WORK/loadgen.json"
