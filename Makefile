@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-smoke bench-compare serve-smoke fastpath-smoke chaos repl-smoke chaos-partition experiments
+.PHONY: build test race vet staticcheck bench bench-smoke bench-compare serve-smoke fastpath-smoke watch-smoke chaos repl-smoke chaos-partition experiments
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,13 @@ serve-smoke:
 ## checkpoint/WAL resume, verified against an offline engine.
 fastpath-smoke:
 	bash scripts/fastpath_smoke.sh
+
+## watch-smoke: /v1/watch subscription check — loadgen drives a stream with
+## 16 SSE subscribers whose delta-built views must converge onto the polled
+## answers, then raw-wire checks (init/resync/metrics) and a SIGTERM drain
+## with a live subscriber that must end cleanly with a bye event.
+watch-smoke:
+	bash scripts/watch_smoke.sh
 
 ## chaos: crash-loop chaos harness — SIGKILL a live cisgraphd mid-ingest
 ## five times, resume from checkpoint + segmented WAL after each kill, and

@@ -86,6 +86,10 @@ func run() error {
 		replSeed     = flag.Int64("repl-seed", 1, "seed for the follower's reconnect-backoff jitter (reproducible chaos runs)")
 
 		queries = flag.String("queries", "", "pre-register comma-separated s:d query pairs (e.g. 3:99,0:7)")
+
+		watchQueue  = flag.Int("watch-queue", 64, "per-/v1/watch-subscriber pending-delta queue (messages); a slower consumer is resynced instead of buffered")
+		maxWatchers = flag.Int("max-watchers", 4096, "concurrent /v1/watch subscriptions before shedding with 429")
+		noSkip      = flag.Bool("no-change-skip", false, "disable change-driven query skipping (every query re-evaluates every batch; for differential runs and benchmarks)")
 	)
 	flag.Parse()
 
@@ -109,27 +113,30 @@ func run() error {
 		*reqTO = *timeout // honor the deprecated spelling
 	}
 	cfg := server.Config{
-		BatchMaxSize:    *batchSize,
-		BatchMaxWait:    *batchWait,
-		QueueCapacity:   *queueCap,
-		OnFull:          overflow,
-		RequestTimeout:  *reqTO,
-		MaxBodyBytes:    *maxBody,
-		MaxInFlight:     *maxInfl,
-		Shards:          *shards,
-		Workers:         *workers,
-		Store:           store,
-		MaxQueries:      *maxQ,
-		Policy:          policy,
-		WALPath:         *walPath,
-		WALSegmentBytes: *walSegment,
-		WALRetain:       *walRetain,
-		CheckpointPath:  *ckptPath,
-		CheckpointEvery: *ckptEvery,
-		FollowURL:       *follow,
-		MaxStaleness:    *maxStale,
-		ReplLongPoll:    *replLongPoll,
-		ReplSeed:        *replSeed,
+		BatchMaxSize:      *batchSize,
+		BatchMaxWait:      *batchWait,
+		QueueCapacity:     *queueCap,
+		OnFull:            overflow,
+		RequestTimeout:    *reqTO,
+		MaxBodyBytes:      *maxBody,
+		MaxInFlight:       *maxInfl,
+		Shards:            *shards,
+		Workers:           *workers,
+		Store:             store,
+		MaxQueries:        *maxQ,
+		Policy:            policy,
+		WALPath:           *walPath,
+		WALSegmentBytes:   *walSegment,
+		WALRetain:         *walRetain,
+		CheckpointPath:    *ckptPath,
+		CheckpointEvery:   *ckptEvery,
+		FollowURL:         *follow,
+		MaxStaleness:      *maxStale,
+		ReplLongPoll:      *replLongPoll,
+		ReplSeed:          *replSeed,
+		WatchQueue:        *watchQueue,
+		MaxWatchers:       *maxWatchers,
+		DisableChangeSkip: *noSkip,
 	}
 
 	initTopo := func() (*graph.Dynamic, error) {
@@ -211,6 +218,10 @@ func run() error {
 		WriteTimeout:      writeTO,
 		IdleTimeout:       120 * time.Second,
 	}
+	// Watch streams (/v1/watch SSE) are deliberately unbounded connections;
+	// end them as graceful shutdown begins or they would pin Shutdown to its
+	// deadline.
+	httpSrv.RegisterOnShutdown(srv.CloseWatchers)
 	errCh := make(chan error, 1)
 	if *binAddr != "" {
 		if *follow != "" {

@@ -35,6 +35,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -79,6 +80,7 @@ func run() error {
 		limit    = flag.Int("limit", 0, "replay at most N updates after -offset (0 = rest of trace)")
 		queries  = flag.Int("queries", 0, "register N deterministic query pairs before replaying")
 		readers  = flag.Int("readers", 2, "concurrent GET /v1/answers pollers during replay")
+		watchN   = flag.Int("watch", 0, "concurrent /v1/watch SSE subscribers during replay: report commit->delivery latency (server ts to client receive) and cross-check each subscriber's delta-built view against the final /v1/answers")
 		seed     = flag.Int64("seed", 42, "seed for query-pair selection and retry-backoff jitter (reproducible runs)")
 		replicas = flag.String("replicas", "", "comma-separated follower base URLs: fan reads across them during replay, then wait for lag 0 and cross-check every answer against the leader")
 		algoStr  = flag.String("algo", "PPSP", "algorithm the daemon runs (for -verify)")
@@ -177,6 +179,31 @@ func run() error {
 			}
 		}
 		fmt.Printf("registered %d queries on %d node(s)\n", len(pairs), 1+len(replicaURLs))
+	}
+
+	// Watch subscribers ride along for the whole replay: each holds one
+	// /v1/watch SSE stream open, folds delta events into a private view, and
+	// records commit->delivery latency from the server's ts stamp. The view
+	// is cross-checked against the final polled answers after quiesce — the
+	// end-to-end proof that the push path and the poll path agree.
+	watchCtx, watchCancel := context.WithCancel(context.Background())
+	defer watchCancel()
+	var (
+		watchers []*watchSub
+		watchWG  sync.WaitGroup
+	)
+	if *watchN > 0 {
+		sseClient := &http.Client{} // no timeout: streams live for the run
+		for i := 0; i < *watchN; i++ {
+			ws := &watchSub{view: make(map[int]float64)}
+			watchers = append(watchers, ws)
+			watchWG.Add(1)
+			go func() {
+				defer watchWG.Done()
+				ws.run(watchCtx, sseClient, *addr)
+			}()
+		}
+		fmt.Printf("watch: %d /v1/watch subscriber(s) armed\n", *watchN)
 	}
 
 	// Replay, paced to -rate, with concurrent answer pollers.
@@ -331,6 +358,25 @@ func run() error {
 		fmt.Printf("binary: %d updates refused by the sanitizer\n", binDropped)
 	}
 
+	if *watchN > 0 {
+		checked, stats, err := settleWatchers(client, *addr, watchers, *waitFor)
+		watchCancel()
+		watchWG.Wait()
+		if err != nil {
+			return err
+		}
+		rep.WatchSubs = *watchN
+		rep.WatchDeltas = stats.deltas
+		rep.WatchResyncs = stats.resyncs
+		rep.WatchChecked = checked
+		rep.WatchP50Ms = ms(percentile(stats.lat, 0.50))
+		rep.WatchP90Ms = ms(percentile(stats.lat, 0.90))
+		rep.WatchP99Ms = ms(percentile(stats.lat, 0.99))
+		fmt.Printf("watch: %d subscriber(s), %d delta events, %d resyncs; commit->delivery p50=%.2fms p90=%.2fms p99=%.2fms\n",
+			rep.WatchSubs, rep.WatchDeltas, rep.WatchResyncs, rep.WatchP50Ms, rep.WatchP90Ms, rep.WatchP99Ms)
+		fmt.Printf("watch: %d delta-built view entries identical to polled /v1/answers\n", checked)
+	}
+
 	if len(replicaURLs) > 0 {
 		n, err := crossCheckReplicas(client, *addr, replicaURLs, *waitFor)
 		if err != nil {
@@ -383,6 +429,196 @@ type report struct {
 	QueryP99Ms     float64 `json:"query_p99_ms"`
 	Verified       int     `json:"verified,omitempty"`
 	ReplicaAnswers int     `json:"replica_answers,omitempty"`
+	WatchSubs      int     `json:"watch_subscribers,omitempty"`
+	WatchDeltas    int     `json:"watch_deltas,omitempty"`
+	WatchResyncs   int     `json:"watch_resyncs,omitempty"`
+	WatchChecked   int     `json:"watch_checked,omitempty"`
+	WatchP50Ms     float64 `json:"watch_p50_ms,omitempty"`
+	WatchP90Ms     float64 `json:"watch_p90_ms,omitempty"`
+	WatchP99Ms     float64 `json:"watch_p99_ms,omitempty"`
+}
+
+// ---- /v1/watch subscription ----
+
+// watchEventWire mirrors the server's watch event schema (watch.go): one
+// SSE data frame or long-poll envelope.
+type watchEventWire struct {
+	Pos     uint64 `json:"pos"`
+	Ts      int64  `json:"ts"`
+	Resync  bool   `json:"resync"`
+	Changed []struct {
+		ID    int              `json:"id"`
+		Value server.WireValue `json:"value"`
+	} `json:"changed"`
+}
+
+// watchSub is one SSE subscription: a delta-built partial view of the answer
+// table plus delivery-latency samples. Only ids that moved during the run
+// appear in the view (unless a resync forced a full re-read).
+type watchSub struct {
+	mu      sync.Mutex
+	view    map[int]float64
+	lat     []time.Duration
+	deltas  int
+	resyncs int
+	err     error
+}
+
+func (ws *watchSub) fail(err error) {
+	ws.mu.Lock()
+	if ws.err == nil {
+		ws.err = err
+	}
+	ws.mu.Unlock()
+}
+
+// run holds the SSE stream open until ctx is cancelled or the server says
+// bye. Transport errors after cancellation are the cancellation itself.
+func (ws *watchSub) run(ctx context.Context, c *http.Client, addr string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/watch", nil)
+	if err != nil {
+		ws.fail(err)
+		return
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			ws.fail(err)
+		}
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		ws.fail(fmt.Errorf("GET /v1/watch: status %d", resp.StatusCode))
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	typ := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			typ = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev watchEventWire
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				ws.fail(fmt.Errorf("watch event: %w", err))
+				return
+			}
+			if err := ws.handle(typ, ev, c, addr); err != nil {
+				ws.fail(err)
+				return
+			}
+			if typ == "bye" {
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		ws.fail(fmt.Errorf("watch stream: %w", err))
+	}
+}
+
+func (ws *watchSub) handle(typ string, ev watchEventWire, c *http.Client, addr string) error {
+	now := time.Now()
+	switch typ {
+	case "delta":
+		ws.mu.Lock()
+		ws.deltas++
+		if ev.Ts > 0 {
+			ws.lat = append(ws.lat, now.Sub(time.Unix(0, ev.Ts)))
+		}
+		for _, ch := range ev.Changed {
+			ws.view[ch.ID] = float64(ch.Value)
+		}
+		ws.mu.Unlock()
+	case "init", "resync":
+		if !ev.Resync {
+			return nil // fresh subscription, nothing missed
+		}
+		// A gap (slow consumer, follower re-bootstrap, stale resume): the
+		// stream's contract is "re-read /v1/answers before trusting deltas".
+		// Deltas queued behind this event describe commits at or after the
+		// re-read position, so replaying them over the fresh view is safe.
+		ans, err := getAnswers(c, addr)
+		if err != nil {
+			return fmt.Errorf("watch resync re-read: %w", err)
+		}
+		ws.mu.Lock()
+		ws.resyncs++
+		ws.view = make(map[int]float64, len(ans.Answers))
+		for _, a := range ans.Answers {
+			ws.view[a.ID] = float64(a.Value)
+		}
+		ws.mu.Unlock()
+	}
+	return nil
+}
+
+// matches reports whether every id this subscriber has heard about agrees
+// with the polled answer table, and how many ids that covered.
+func (ws *watchSub) matches(want map[int]float64) (int, bool) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for id, v := range ws.view {
+		if wv, ok := want[id]; !ok || wv != v {
+			return 0, false
+		}
+	}
+	return len(ws.view), true
+}
+
+type watchAgg struct {
+	lat     []time.Duration
+	deltas  int
+	resyncs int
+}
+
+// settleWatchers waits (bounded) for every subscriber's delta-built view to
+// converge onto the final polled answers — in-flight SSE frames land within
+// the window — then aggregates latency samples and counters. Any subscriber
+// error, or a view still disagreeing at the deadline, fails the run.
+func settleWatchers(c *http.Client, addr string, watchers []*watchSub, wait time.Duration) (int, watchAgg, error) {
+	final, err := getAnswers(c, addr)
+	if err != nil {
+		return 0, watchAgg{}, err
+	}
+	want := make(map[int]float64, len(final.Answers))
+	for _, a := range final.Answers {
+		want[a.ID] = float64(a.Value)
+	}
+	deadline := time.Now().Add(wait)
+	checked := 0
+	for i, ws := range watchers {
+		for {
+			ws.mu.Lock()
+			err := ws.err
+			ws.mu.Unlock()
+			if err != nil {
+				return 0, watchAgg{}, fmt.Errorf("watch subscriber %d: %w", i, err)
+			}
+			n, ok := ws.matches(want)
+			if ok {
+				checked += n
+				break
+			}
+			if time.Now().After(deadline) {
+				return 0, watchAgg{}, fmt.Errorf("watch check FAILED: subscriber %d's delta view still disagrees with /v1/answers after %v", i, wait)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	var agg watchAgg
+	for _, ws := range watchers {
+		ws.mu.Lock()
+		agg.lat = append(agg.lat, ws.lat...)
+		agg.deltas += ws.deltas
+		agg.resyncs += ws.resyncs
+		ws.mu.Unlock()
+	}
+	return checked, agg, nil
 }
 
 // replayBinary streams the replay slice over one CGBIN/1 connection with up

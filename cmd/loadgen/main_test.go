@@ -20,9 +20,9 @@ func TestParseRetryAfter(t *testing.T) {
 		{"0", 0},
 		{"2", 2 * time.Second},
 		{"120", 120 * time.Second},
-		{"-5", 0},                                    // negative delta: invalid, ignore
-		{"Fri, 08 Aug 2026 17:00:30 GMT", 30 * time.Second}, // IMF-fixdate in the future
-		{"Fri, 08 Aug 2026 16:59:00 GMT", 0},         // already elapsed
+		{"-5", 0}, // negative delta: invalid, ignore
+		{"Fri, 08 Aug 2026 17:00:30 GMT", 30 * time.Second},  // IMF-fixdate in the future
+		{"Fri, 08 Aug 2026 16:59:00 GMT", 0},                 // already elapsed
 		{"Friday, 08-Aug-26 17:00:30 GMT", 30 * time.Second}, // obsolete RFC 850 form
 		{"not a date", 0},
 		{"12.5", 0}, // fractional seconds are not in the grammar

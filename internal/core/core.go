@@ -48,6 +48,11 @@ type Result struct {
 	// recovery event in resilience.Guard. The Answer is the engine's best
 	// current value; it may be stale until the next clean batch.
 	Err error
+	// Skipped reports that change-driven evaluation proved the batch could
+	// not affect this query (DESIGN.md §15): its per-query phases never ran
+	// and Answer is the (provably unchanged) converged value. Skipped
+	// results carry no counter delta — the query did no work.
+	Skipped bool
 
 	// Lazy counter-delta backing: engines record the batch's movement as a
 	// compact dense-id-ordered slice (cntSrc resolves ids to names); the
@@ -96,6 +101,34 @@ func batchResult(cnt *stats.Counters, before []int64, answer algo.Value, respons
 		cntSrc:    cnt,
 		cntDelta:  cnt.DenseDelta(before),
 	}
+}
+
+// ChangedAnswer reports one query whose answer moved during a batch.
+type ChangedAnswer struct {
+	// Index is the query's registration index (Reset-then-AddQuery order).
+	Index int
+	// Value is the post-batch answer.
+	Value algo.Value
+}
+
+// BatchDelta is the lean per-batch report of the change-driven apply path
+// (MultiCISO.ApplyBatchDelta / ApplyUpdatesDelta): instead of materialising
+// one Result per registered query — O(Q) even when the batch touched three
+// vertices — it enumerates only the queries whose ANSWER actually changed,
+// so serving layers that fan answers out (the query pool, the watch hub)
+// pay O(changed). Err joins any per-query errors recovered during the
+// batch; queries that erred are always counted as changed (their answer may
+// have moved during recovery).
+type BatchDelta struct {
+	// Changed lists the queries whose answer differs from before the batch,
+	// in ascending Index order.
+	Changed []ChangedAnswer
+	// Skipped counts queries proven unaffected and never processed.
+	Skipped int
+	// Processed counts queries whose per-query phases ran.
+	Processed int
+	// Err joins recovered per-query errors (nil when the batch was clean).
+	Err error
 }
 
 // Engine is a pairwise streaming query engine. Reset gives the engine

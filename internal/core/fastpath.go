@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -81,13 +82,29 @@ const fpParallelMin = 16
 // per-query errors surfaced by unsafe runs (recovered panics); the engine
 // stays consistent either way.
 func (m *MultiCISO) ApplyUpdates(ups []graph.Update) (FastStats, error) {
+	fs, _, err := m.applyUpdatesCore(ups, false)
+	return fs, err
+}
+
+// ApplyUpdatesDelta is the lean face of ApplyUpdates: identical routing and
+// state transition, but instead of surfacing only errors it reports the
+// queries whose ANSWER changed across the group (merged over every unsafe
+// run — the last value wins), so serving layers pay O(changed) to refresh
+// their snapshots. Safe updates by definition change no answer.
+func (m *MultiCISO) ApplyUpdatesDelta(ups []graph.Update) (FastStats, BatchDelta, error) {
+	return m.applyUpdatesCore(ups, true)
+}
+
+func (m *MultiCISO) applyUpdatesCore(ups []graph.Update, lean bool) (FastStats, BatchDelta, error) {
 	var fs FastStats
+	var acc BatchDelta
 	if len(ups) == 0 {
-		return fs, nil
+		return fs, acc, nil
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var errs []error
+	var changed map[int]algo.Value // lazy: most groups have no unsafe run
 	for len(m.fpSafe) < len(ups) {
 		m.fpSafe = append(m.fpSafe, false)
 		m.fpNorm = append(m.fpNorm, fpNorm{})
@@ -111,9 +128,24 @@ func (m *MultiCISO) ApplyUpdates(ups []graph.Update) (FastStats, error) {
 			k++
 		}
 		if k > j {
-			for _, r := range m.applyBatchLocked(ups[j:k]) {
-				if r.Err != nil {
-					errs = append(errs, r.Err)
+			if lean {
+				_, d := m.applyBatchCoreLocked(ups[j:k], false)
+				acc.Skipped += d.Skipped
+				acc.Processed += d.Processed
+				if d.Err != nil {
+					errs = append(errs, d.Err)
+				}
+				for _, ca := range d.Changed {
+					if changed == nil {
+						changed = make(map[int]algo.Value, len(d.Changed))
+					}
+					changed[ca.Index] = ca.Value
+				}
+			} else {
+				for _, r := range m.applyBatchLocked(ups[j:k]) {
+					if r.Err != nil {
+						errs = append(errs, r.Err)
+					}
 				}
 			}
 			fs.Unsafe += k - j
@@ -122,7 +154,13 @@ func (m *MultiCISO) ApplyUpdates(ups []graph.Update) (FastStats, error) {
 	}
 	m.cnt.Add(stats.CntUpdateSafe, int64(fs.Safe))
 	m.cnt.Add(stats.CntUpdateUnsafe, int64(fs.Unsafe))
-	return fs, errors.Join(errs...)
+	for i, v := range changed {
+		acc.Changed = append(acc.Changed, ChangedAnswer{Index: i, Value: v})
+	}
+	sort.Slice(acc.Changed, func(a, b int) bool { return acc.Changed[a].Index < acc.Changed[b].Index })
+	err := errors.Join(errs...)
+	acc.Err = err
+	return fs, acc, err
 }
 
 // classifySuffixLocked fills m.fpNorm/m.fpSafe[0:len(sub)] for the
@@ -215,30 +253,79 @@ func (m *MultiCISO) classifySuffixLocked(sub []graph.Update) {
 }
 
 // addUselessAllLocked reports whether adding edge u→v with weight w is
-// useless (ClassifyAddition) for every registered query.
+// useless (ClassifyAddition) for every registered query. With change-driven
+// evaluation the scan covers one representative per source group instead of
+// every query — values are identical across a group (DESIGN.md §15), so the
+// answer is the same at O(sources) instead of O(Q) cost; suspect queries
+// are scanned individually. WithChangeSkip(false) restores the exhaustive
+// scan, which the differential tests compare against.
 func (m *MultiCISO) addUselessAllLocked(u, v graph.VertexID, w float64) bool {
 	a := m.a
-	for _, st := range m.states {
-		if a.Better(a.Propagate(st.value(u), a.Weight(w)), st.value(v)) {
-			return false
+	if !m.skip {
+		for _, st := range m.states {
+			if a.Better(a.Propagate(st.value(u), a.Weight(w)), st.value(v)) {
+				return false
+			}
 		}
+		return true
 	}
-	return true
+	return m.forEachRepState(func(st *state) bool {
+		return !a.Better(a.Propagate(st.value(u), a.Weight(w)), st.value(v))
+	})
 }
 
 // delUselessAllLocked reports whether deleting edge u→v (stored weight w0)
 // is useless (ClassifyDeletion) for every registered query: the edge
 // supplies no query's state[v]. Delayed deletions count as unsafe — they
-// repair v after the response, which is a state write.
+// repair v after the response, which is a state write. Scans one
+// representative per source group like addUselessAllLocked.
 func (m *MultiCISO) delUselessAllLocked(u, v graph.VertexID, w0 float64) bool {
 	a := m.a
-	for _, st := range m.states {
+	test := func(st *state) bool {
 		sv := st.value(v)
 		if !algo.Reached(a, sv) {
-			continue
+			return true
 		}
-		if a.Propagate(st.value(u), a.Weight(w0)) == sv {
+		return a.Propagate(st.value(u), a.Weight(w0)) != sv
+	}
+	if !m.skip {
+		for _, st := range m.states {
+			if !test(st) {
+				return false
+			}
+		}
+		return true
+	}
+	return m.forEachRepState(test)
+}
+
+// forEachRepState evaluates pred over one non-suspect representative state
+// per source group, plus every suspect state individually, returning false
+// on the first failure. Safe to call from the fast path's concurrent
+// classification workers: bySource, suspect and the states are read-only
+// while classification runs.
+func (m *MultiCISO) forEachRepState(pred func(*state) bool) bool {
+	for _, members := range m.bySource {
+		rep := -1
+		if m.nSuspect == 0 {
+			rep = members[0]
+		} else {
+			for _, i := range members {
+				if !m.suspect[i] {
+					rep = i
+					break
+				}
+			}
+		}
+		if rep >= 0 && !pred(m.states[rep]) {
 			return false
+		}
+	}
+	if m.nSuspect > 0 {
+		for i, st := range m.states {
+			if m.suspect[i] && !pred(st) {
+				return false
+			}
 		}
 	}
 	return true

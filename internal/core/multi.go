@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,8 +69,26 @@ type MultiCISO struct {
 	// (stale but still correct) baselines via their own references.
 	bases map[graph.VertexID]baseEntry
 
+	// Change-driven evaluation (DESIGN.md §15). All registered queries with
+	// the same source converge to the same VALUE array (the unique least
+	// fixpoint of the monotone system from that source — parents may differ
+	// on ties, values cannot), and the uselessness tests of Algorithm 1 read
+	// values only. So one scan of a batch against one representative member
+	// decides, for the whole source group, whether the batch can touch the
+	// group's converged state at all; if it provably cannot, every member's
+	// per-query phases are skipped and their answers are served unchanged.
+	skip     bool                     // skipping enabled (default; WithChangeSkip)
+	bySource map[graph.VertexID][]int // query indices per source, reg. order
+	suspect  []bool                   // degraded state: never skip, never represent
+	nSuspect int
+	skipSrc  map[graph.VertexID]bool // per-batch skip decision scratch
+	lastSums []ChangeSummary         // last batch's per-source dirty summaries
+
 	scs        []*scratch // per-worker-slot scratch, created on demand
 	beforeBufs [][]int64  // reusable per-query pre-batch counter snapshots
+	activeBuf  []int      // reusable processed-query index list
+	errsBuf    []error    // reusable per-active-query error slots
+	preAnsBuf  []algo.Value
 
 	// Per-update fast-path scratch (fastpath.go), reused across groups.
 	fpNorm    []fpNorm
@@ -118,9 +138,18 @@ func WithParallelQueries() MultiOption {
 // WithStore selects the per-query state representation (default StoreDense).
 func WithStore(kind StoreKind) MultiOption { return func(m *MultiCISO) { m.kind = kind } }
 
+// WithChangeSkip toggles change-driven query skipping (default on): per
+// batch, each source group of queries is tested once against one
+// representative member's converged values, and groups the batch provably
+// cannot affect never run their per-query phases (DESIGN.md §15). Disabling
+// it restores exhaustive per-query evaluation — the differential tests pin
+// both configurations to identical answers, so the switch exists for that
+// proof and for debugging, not for correctness.
+func WithChangeSkip(enabled bool) MultiOption { return func(m *MultiCISO) { m.skip = enabled } }
+
 // NewMultiCISO returns an unarmed multi-query engine; call Reset first.
 func NewMultiCISO(opts ...MultiOption) *MultiCISO {
-	m := &MultiCISO{cnt: stats.NewCounters(), workers: 1}
+	m := &MultiCISO{cnt: stats.NewCounters(), workers: 1, skip: true}
 	for _, o := range opts {
 		o(m)
 	}
@@ -148,6 +177,13 @@ func (m *MultiCISO) Reset(g *graph.Dynamic, a algo.Algorithm, queries []Query) {
 	m.cnts = make([]*stats.Counters, 0, len(queries))
 	m.ch = make([]classHandles, 0, len(queries))
 	m.beforeBufs = nil
+	m.bySource = make(map[graph.VertexID][]int, len(queries))
+	m.suspect = make([]bool, len(queries))
+	m.nSuspect = 0
+	m.lastSums = nil
+	for i, q := range queries {
+		m.bySource[q.S] = append(m.bySource[q.S], i)
+	}
 	for _, q := range queries {
 		cnt := stats.NewCounters()
 		st := m.buildStateLocked(q, cnt)
@@ -262,8 +298,28 @@ func (m *MultiCISO) installLocked(q Query, cnt *stats.Counters, st *state) int {
 	m.cnts = append(m.cnts, cnt)
 	m.ch = append(m.ch, newClassHandles(cnt))
 	m.states = append(m.states, st)
+	if m.bySource == nil {
+		m.bySource = make(map[graph.VertexID][]int)
+	}
+	m.bySource[q.S] = append(m.bySource[q.S], i)
+	m.suspect = append(m.suspect, false)
 	m.cnt.AddAll(cnt) // fold the initial compute into the merged view
 	return i
+}
+
+// setSuspectLocked flips query i's suspect mark, keeping the count that lets
+// the hot paths skip the suspect sweep entirely when (as almost always)
+// nothing is degraded.
+func (m *MultiCISO) setSuspectLocked(i int, s bool) {
+	if m.suspect[i] == s {
+		return
+	}
+	m.suspect[i] = s
+	if s {
+		m.nSuspect++
+	} else {
+		m.nSuspect--
+	}
 }
 
 // mergeCounters rebuilds the combined view from every query's totals — paid
@@ -374,28 +430,161 @@ func (m *MultiCISO) ApplyBatch(batch []graph.Update) []Result {
 	return m.applyBatchLocked(batch)
 }
 
+// ApplyBatchDelta is the lean face of ApplyBatch for serving layers that
+// fan answers out: it applies the batch exactly like ApplyBatch but reports
+// only the queries whose ANSWER changed, so its cost is O(processed) work
+// plus O(changed) reporting — never an O(Q) result materialisation. With
+// change-driven skipping this is what makes per-batch serving cost track
+// the affected region instead of the registered-query count.
+func (m *MultiCISO) ApplyBatchDelta(batch []graph.Update) BatchDelta {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, d := m.applyBatchCoreLocked(batch, false)
+	return d
+}
+
 // applyBatchLocked is ApplyBatch with the write lock already held; the
 // per-update fast path (ApplyUpdates) routes unsafe runs through it under a
 // single lock hold.
 func (m *MultiCISO) applyBatchLocked(batch []graph.Update) []Result {
+	res, _ := m.applyBatchCoreLocked(batch, true)
+	return res
+}
+
+// dirtyAttach pins one batch's change summary to the representative state
+// recording it, so the recorder can be detached when the batch ends.
+type dirtyAttach struct {
+	st *state
+	cs *ChangeSummary
+}
+
+// applyBatchCoreLocked is the shared batch engine. wantResults selects the
+// classic O(Q) []Result materialisation (ApplyBatch) or the lean BatchDelta
+// report (ApplyBatchDelta); the applied state transition is identical.
+func (m *MultiCISO) applyBatchCoreLocked(batch []graph.Update, wantResults bool) ([]Result, BatchDelta) {
 	nq := len(m.states)
-	results := make([]Result, nq)
-	errs := make([]error, nq)
-	// Snapshot every query's counters on the caller's goroutine, before any
-	// phase runs: the per-batch deltas derived from these drive both the
-	// result attribution and the merged-view maintenance below, so they must
-	// exist even for a query that panics in its first phase. Dense snapshots
-	// into retained buffers: no per-query map allocation on this path.
+	var results []Result
+	if wantResults {
+		results = make([]Result, nq)
+	}
+
+	// Shared, once: normalization against the pre-batch topology.
+	t0 := time.Now()
+	nb := NormalizeBatch(m.g, batch)
+
+	// Change-driven skip decision, per source group, against the pre-batch
+	// converged values. Must happen before any topology mutation. Safety
+	// (DESIGN.md §15): if every normalized event is individually useless
+	// against a group's converged values, the pre-batch fixpoint is still a
+	// fixpoint of the post-batch system — a useless addition introduces an
+	// edge that does not improve its head (its inequality already holds),
+	// and a useless deletion removes an edge that supplies no head (every
+	// remaining derivation is intact, including parent[v], whose edge would
+	// have passed the supplier-equality test and blocked the skip). Since no
+	// member state changes, the per-event tests compose across the whole
+	// batch (normalization guarantees one net event per edge), and values
+	// are identical across a source group, so one representative decides for
+	// all members. Suspect (degraded) queries are never skipped and never
+	// represent.
+	active := m.activeBuf[:0]
+	var attach []dirtyAttach
+	var scanErrs map[int]error // rep query index → panic recovered in the skip scan
+	m.lastSums = m.lastSums[:0]
+	skippedGroups := 0
+	if m.skipSrc == nil {
+		m.skipSrc = make(map[graph.VertexID]bool, len(m.bySource))
+	}
+	clear(m.skipSrc)
+	for src, members := range m.bySource {
+		rep := -1
+		if m.nSuspect == 0 {
+			rep = members[0]
+		} else {
+			for _, i := range members {
+				if !m.suspect[i] {
+					rep = i
+					break
+				}
+			}
+		}
+		if m.skip && rep >= 0 {
+			unaffected, scanErr := m.groupUnaffectedLocked(rep, nb)
+			if unaffected {
+				m.skipSrc[src] = true
+				skippedGroups++
+				continue
+			}
+			if scanErr != nil {
+				// The plugin panicked during the scan: the group runs the
+				// full machinery, and the panic is charged to the
+				// representative exactly like a phase panic — its phases are
+				// suppressed and recovery recomputes its state below.
+				if scanErrs == nil {
+					scanErrs = make(map[int]error, 1)
+				}
+				scanErrs[rep] = scanErr
+			}
+		}
+		// Processed group: one representative member records the region's
+		// dirty set for the batch's change summaries.
+		ri := rep
+		if ri < 0 {
+			ri = members[0]
+		}
+		cs := &ChangeSummary{Source: src}
+		m.states[ri].dirty = cs
+		attach = append(attach, dirtyAttach{st: m.states[ri], cs: cs})
+		if m.nSuspect == 0 {
+			active = append(active, members...)
+		} else {
+			for _, i := range members {
+				active = append(active, i)
+			}
+		}
+	}
+	// Suspect members of skipped groups still process individually.
+	if m.nSuspect > 0 {
+		for i := range m.states {
+			if m.suspect[i] && m.skipSrc[m.queries[i].S] {
+				active = append(active, i)
+			}
+		}
+	}
+	m.activeBuf = active
+	skipped := nq - len(active)
+
+	// Snapshot each processed query's counters on the caller's goroutine,
+	// before any phase runs: the per-batch deltas derived from these drive
+	// both the result attribution and the merged-view maintenance below, so
+	// they must exist even for a query that panics in its first phase.
+	// Dense snapshots into retained buffers: no per-query map allocation on
+	// this path. Skipped queries do no work and carry no delta.
 	for len(m.beforeBufs) < nq {
 		m.beforeBufs = append(m.beforeBufs, nil)
 	}
-	for i := range m.states {
+	for _, i := range active {
 		m.beforeBufs[i] = m.cnts[i].DenseSnapshot(m.beforeBufs[i][:0])
 	}
+	// The lean path reports answer movement: capture processed queries'
+	// pre-batch answers (skipped answers provably cannot move).
+	preAns := m.preAnsBuf[:0]
+	if !wantResults {
+		for _, i := range active {
+			preAns = append(preAns, m.states[i].answer())
+		}
+		m.preAnsBuf = preAns
+	}
+	errs := m.errsBuf[:0]
+	for _, i := range active {
+		if scanErrs != nil {
+			errs = append(errs, scanErrs[i])
+		} else {
+			errs = append(errs, nil)
+		}
+	}
+	m.errsBuf = errs
 
-	// Shared, once: normalization and topology for the addition phase.
-	t0 := time.Now()
-	nb := NormalizeBatch(m.g, batch)
+	// Shared: topology for the addition phase.
 	if len(nb.Adds)+len(nb.Dels)+len(nb.Reweights) > 0 {
 		m.epoch++ // registered baselines are converged for the old snapshot
 	}
@@ -406,18 +595,21 @@ func (m *MultiCISO) applyBatchLocked(batch []graph.Update) []Result {
 		m.g.RemoveEdge(rw.From, rw.To)
 		m.g.AddEdge(rw.From, rw.To, rw.NewW)
 	}
+	for i := range attach {
+		attach[i].cs.Epoch = m.epoch
+	}
 	addEvents := append(append([]graph.Update(nil), nb.Adds...), reweightAdds(nb)...)
 	addTopoSpan := time.Since(t0)
 
-	// Phase A per query on the worker pool (the topology is read-only from
-	// here until the shared deletion pass).
-	addSpans := make([]time.Duration, nq)
-	m.forEachQuery(errs, func(i int) {
+	// Phase A per processed query on the worker pool (the topology is
+	// read-only from here until the shared deletion pass).
+	addSpans := make([]time.Duration, len(active))
+	m.forEachQuery(active, errs, func(k, i int) {
 		tq := time.Now()
 		for _, up := range addEvents {
 			m.states[i].processAddition(up.From, up.To, up.W)
 		}
-		addSpans[i] = time.Since(tq)
+		addSpans[k] = time.Since(tq)
 	})
 
 	// Shared: deletion topology.
@@ -429,8 +621,9 @@ func (m *MultiCISO) applyBatchLocked(batch []graph.Update) []Result {
 	delTopoSpan := time.Since(t1)
 	sharedSpan := addTopoSpan + delTopoSpan
 
-	// Phases B–D per query: classify, prioritise, promote, answer, delayed.
-	m.forEachQuery(errs, func(i int) {
+	// Phases B–D per processed query: classify, prioritise, promote,
+	// answer, delayed.
+	m.forEachQuery(active, errs, func(k, i int) {
 		st := m.states[i]
 		ch := m.ch[i]
 		onPath := st.sc.onPath
@@ -468,77 +661,197 @@ func (m *MultiCISO) applyBatchLocked(batch []graph.Update) []Result {
 		// Every query's response includes the (single) shared topology
 		// span — the batch cannot be answered without it — plus its own
 		// per-query phases.
-		response := sharedSpan + addSpans[i] + time.Since(tq)
+		response := sharedSpan + addSpans[k] + time.Since(tq)
 		for k := range delayed {
 			if !delayed[k].done {
 				st.repairVertex(delayed[k].v)
 			}
 		}
-		converged := sharedSpan + addSpans[i] + time.Since(tq)
-		results[i] = Result{
-			Answer:    st.answer(),
-			Response:  response,
-			Converged: converged,
-			cntSrc:    m.cnts[i],
-			cntDelta:  m.cnts[i].DenseDelta(m.beforeBufs[i]),
+		converged := sharedSpan + addSpans[k] + time.Since(tq)
+		if wantResults {
+			results[i] = Result{
+				Answer:    st.answer(),
+				Response:  response,
+				Converged: converged,
+				cntSrc:    m.cnts[i],
+				cntDelta:  m.cnts[i].DenseDelta(m.beforeBufs[i]),
+			}
 		}
 	})
-	// Degraded queries: recover their state and surface the panic.
-	for i, err := range errs {
+	// Degraded queries: recover their state and surface the panic. A query
+	// whose recovery recompute itself fails is marked suspect — its state
+	// cannot be trusted, so it is never skipped and never represents its
+	// group until a later recovery succeeds.
+	var joinedErrs []error
+	for k, err := range errs {
 		if err == nil {
 			continue
 		}
+		i := active[k]
 		m.cnts[i].Inc(stats.CntQueryPanic)
 		m.repairState(i)
-		results[i] = Result{
-			Answer:   m.states[i].answer(),
-			Err:      err,
-			cntSrc:   m.cnts[i],
-			cntDelta: m.cnts[i].DenseDelta(m.beforeBufs[i]),
+		if wantResults {
+			results[i] = Result{
+				Answer:   m.states[i].answer(),
+				Err:      err,
+				cntSrc:   m.cnts[i],
+				cntDelta: m.cnts[i].DenseDelta(m.beforeBufs[i]),
+			}
+		} else {
+			joinedErrs = append(joinedErrs, err)
 		}
 	}
-	// Fold each query's per-batch delta into the merged view. Every counter
-	// movement of this batch — recovery recomputes included — is captured in
-	// the result deltas, so this is equivalent to (but much cheaper than) a
-	// full reset-and-re-add across all queries.
-	for i := range results {
-		m.cnt.AddDelta(m.cnts[i], results[i].cntDelta)
+	// Detach and finalise the per-source change summaries.
+	for _, at := range attach {
+		at.st.dirty = nil
+		at.cs.finalize()
+		m.lastSums = append(m.lastSums, *at.cs)
 	}
-	return results
+	// Fold each processed query's per-batch delta into the merged view.
+	// Every counter movement of this batch — recovery recomputes included —
+	// is captured in the deltas, so this is equivalent to (but much cheaper
+	// than) a full reset-and-re-add across all queries. Skipped queries
+	// moved nothing.
+	if wantResults {
+		for _, i := range active {
+			m.cnt.AddDelta(m.cnts[i], results[i].cntDelta)
+		}
+	} else {
+		for _, i := range active {
+			m.cnt.AddDelta(m.cnts[i], m.cnts[i].DenseDelta(m.beforeBufs[i]))
+		}
+	}
+	if skipped > 0 {
+		m.cnt.Add(stats.CntUpdateSkipQueries, int64(skipped))
+		m.cnt.Add(stats.CntUpdateSkipGroups, int64(skippedGroups))
+	}
+
+	// Materialise the requested report.
+	var delta BatchDelta
+	if wantResults {
+		// Skipped queries still get a Result — same length, same order, as
+		// every ApplyBatch caller expects — but it is assembled from O(1)
+		// reads: the (unchanged) answer and the shared span.
+		if skipped > 0 {
+			for i := range m.states {
+				if results[i].cntSrc == nil {
+					// Not filled by the processed loops above: skipped.
+					results[i] = Result{
+						Answer:    m.states[i].answer(),
+						Response:  sharedSpan,
+						Converged: sharedSpan,
+						Skipped:   true,
+						cntSrc:    m.cnts[i],
+					}
+				}
+			}
+		}
+		return results, delta
+	}
+	delta.Skipped = skipped
+	delta.Processed = len(active)
+	delta.Err = errors.Join(joinedErrs...)
+	for k, i := range active {
+		if errs[k] != nil || m.states[i].answer() != preAns[k] {
+			delta.Changed = append(delta.Changed, ChangedAnswer{Index: i, Value: m.states[i].answer()})
+		}
+	}
+	sort.Slice(delta.Changed, func(a, b int) bool { return delta.Changed[a].Index < delta.Changed[b].Index })
+	return nil, delta
 }
 
-// forEachQuery runs f(i) for every query whose errs entry is still nil on a
-// bounded worker pool: min(workers, queries) goroutines pull indices from a
-// shared cursor, each owning one scratch slot which it attaches to a query's
-// state for the duration of f. Each query touches only its own state and
-// counters; the shared topology is read-only inside f. A panic inside f is
-// recovered into errs[i] (and the slot's scratch scrubbed); the pool always
-// drains.
-func (m *MultiCISO) forEachQuery(errs []error, f func(i int)) {
+// groupUnaffectedLocked reports whether every normalized event of nb is
+// useless (Algorithm 1) against the converged values of the group's
+// representative query rep — the per-source skip test. A plugin panic
+// during the scan is returned as an error: the group conservatively runs
+// the full machinery and the caller charges the panic to rep, whose
+// recovery path owns the failure.
+func (m *MultiCISO) groupUnaffectedLocked(rep int, nb NormalizedBatch) (unaffected bool, err error) {
+	st := m.states[rep]
+	defer func() {
+		if r := recover(); r != nil {
+			unaffected = false
+			err = fmt.Errorf("multiciso: query %d %v panicked: %v", rep, m.queries[rep], r)
+		}
+	}()
+	a := m.a
+	for _, up := range nb.Adds {
+		if a.Better(a.Propagate(st.value(up.From), a.Weight(up.W)), st.value(up.To)) {
+			return false, nil
+		}
+	}
+	for _, up := range nb.Dels {
+		if !delUseless(a, st, up.From, up.To, up.W) {
+			return false, nil
+		}
+	}
+	for _, rw := range nb.Reweights {
+		if !delUseless(a, st, rw.From, rw.To, rw.OldW) {
+			return false, nil
+		}
+		if a.Better(a.Propagate(st.value(rw.From), a.Weight(rw.NewW)), st.value(rw.To)) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// delUseless is ClassifyDeletion's uselessness test against st's values: the
+// deleted edge u→v (stored weight w0) supplies no state — the head is
+// unreached, or the supplier equality fails.
+func delUseless(a algo.Algorithm, st *state, u, v graph.VertexID, w0 float64) bool {
+	sv := st.value(v)
+	if !algo.Reached(a, sv) {
+		return true
+	}
+	return a.Propagate(st.value(u), a.Weight(w0)) != sv
+}
+
+// ChangeSummaries returns the per-source baseline change summaries of the
+// most recently applied batch: one entry per PROCESSED source group listing
+// which vertices of that group's converged region the batch wrote (sorted,
+// deduplicated, Overflow-capped). Sources absent from the slice were proven
+// unaffected — their regions did not change at all. The slice is a copy.
+func (m *MultiCISO) ChangeSummaries() []ChangeSummary {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]ChangeSummary(nil), m.lastSums...)
+}
+
+// forEachQuery runs f(k, idxs[k]) for every listed query whose errs[k] entry
+// is still nil on a bounded worker pool: min(workers, len(idxs)) goroutines
+// pull positions from a shared cursor, each owning one scratch slot which it
+// attaches to a query's state for the duration of f. Each query touches only
+// its own state and counters; the shared topology is read-only inside f. A
+// panic inside f is recovered into errs[k] (and the slot's scratch
+// scrubbed); the pool always drains. With change-driven skipping, idxs is
+// the batch's processed subset — the pool never touches skipped queries.
+func (m *MultiCISO) forEachQuery(idxs []int, errs []error, f func(k, i int)) {
 	w := m.workers
 	if w < 1 {
 		w = 1
 	}
-	if w > len(m.states) {
-		w = len(m.states)
+	if w > len(idxs) {
+		w = len(idxs)
 	}
 	m.ensureScratches(w)
-	run := func(slot, i int) {
+	run := func(slot, k int) {
+		i := idxs[k]
 		st := m.states[i]
 		st.sc = m.scs[slot]
 		defer func() {
 			if r := recover(); r != nil {
-				errs[i] = fmt.Errorf("multiciso: query %d %v panicked: %v", i, m.queries[i], r)
+				errs[k] = fmt.Errorf("multiciso: query %d %v panicked: %v", i, m.queries[i], r)
 				m.scs[slot].clear() // a mid-flight panic leaves marks behind
 			}
 			st.sc = nil
 		}()
-		f(i)
+		f(k, i)
 	}
 	if w <= 1 {
-		for i := range m.states {
-			if errs[i] == nil {
-				run(0, i)
+		for k := range idxs {
+			if errs[k] == nil {
+				run(0, k)
 			}
 		}
 		return
@@ -550,12 +863,12 @@ func (m *MultiCISO) forEachQuery(errs []error, f func(i int)) {
 		go func(slot int) {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(m.states) {
+				k := int(next.Add(1)) - 1
+				if k >= len(idxs) {
 					return
 				}
-				if errs[i] == nil {
-					run(slot, i)
+				if errs[k] == nil {
+					run(slot, k)
 				}
 			}
 		}(slot)
@@ -579,15 +892,23 @@ func (m *MultiCISO) ensureScratches(w int) {
 // are cleared and the query recomputes from scratch against the shared
 // topology (which only mutates on the caller's goroutine, outside the
 // per-query phases, so it is always consistent here). If the recompute
-// itself panics the state stays degraded; the error remains on the result.
+// itself panics the state stays degraded and the query is marked suspect —
+// excluded from change-driven skipping and from representing its source
+// group — until a later recovery converges; the error remains on the
+// result.
 func (m *MultiCISO) repairState(i int) {
-	defer func() { _ = recover() }()
+	ok := false
+	defer func() {
+		_ = recover()
+		m.setSuspectLocked(i, !ok)
+	}()
 	m.ensureScratches(1)
 	st := m.states[i]
 	st.sc = m.scs[0]
 	defer func() { st.sc = nil }()
 	st.sc.clear()
 	st.fullCompute()
+	ok = true
 }
 
 func reweightAdds(nb NormalizedBatch) []graph.Update {

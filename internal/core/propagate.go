@@ -22,6 +22,9 @@ func (st *state) relaxEdge(u, v graph.VertexID, w float64) bool {
 		if !st.a.Better(t, st.val[v]) {
 			return false
 		}
+		if st.dirty != nil {
+			st.dirty.note(v)
+		}
 		st.val[v] = t
 		st.parent[v] = u
 		st.hState.Inc()
@@ -32,6 +35,9 @@ func (st *state) relaxEdge(u, v graph.VertexID, w float64) bool {
 	t := st.a.Propagate(st.store.Value(u), st.a.Weight(w))
 	if !st.a.Better(t, st.store.Value(v)) {
 		return false
+	}
+	if st.dirty != nil {
+		st.dirty.note(v)
 	}
 	st.store.Set(v, t, u)
 	st.hState.Inc()

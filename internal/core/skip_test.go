@@ -1,0 +1,298 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"cisgraph/internal/algo"
+	"cisgraph/internal/graph"
+	"cisgraph/internal/stats"
+	"cisgraph/internal/stream"
+)
+
+// clusteredQueries builds nq queries drawn from a small pool of sources, so
+// change-driven evaluation has real source groups to decide over.
+func clusteredQueries(w *stream.Workload, nq, sources int) []Query {
+	pairs := w.QueryPairs(sources)
+	var qs []Query
+	for i := 0; i < nq; i++ {
+		s := pairs[i%sources][0]
+		d := pairs[(i+1)%sources][1]
+		if s == d {
+			d = pairs[(i+2)%sources][1]
+		}
+		qs = append(qs, Query{S: s, D: d})
+	}
+	return qs
+}
+
+// encodeAnswers byte-serialises a result set's answers (exact bit pattern
+// per value — ±Inf answers included, which plain JSON cannot carry), so
+// "byte-identical" means exactly that. The server-level differential test
+// compares the real /v1/answers JSON bodies on top of this.
+func encodeAnswers(t *testing.T, rs []Result) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%x;", math.Float64bits(float64(r.Answer)))
+	}
+	return b.Bytes()
+}
+
+// TestChangeSkipDifferential is the engines_test-style differential guard of
+// DESIGN.md §15: with change-driven skipping enabled (the default), every
+// query's answer after every batch — random streams including deletions —
+// must be byte-identical to exhaustive re-evaluation (WithChangeSkip(false)),
+// and the skip counter must prove skipping actually engaged.
+func TestChangeSkipDifferential(t *testing.T) {
+	for _, a := range algo.All() {
+		for _, kind := range []StoreKind{StoreDense, StoreSparse} {
+			for _, workers := range []int{1, 4} {
+				ds := graph.RMAT("skipdiff", 8, 2200, graph.DefaultRMAT, 16, 77)
+				w, err := stream.New(ds, stream.Config{
+					LoadFraction: 0.5, AddsPerBatch: 25, DelsPerBatch: 25, Seed: 77,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				qs := clusteredQueries(w, 24, 6)
+				init := w.Initial()
+				skip := NewMultiCISO(WithStore(kind), WithWorkers(workers))
+				skip.Reset(init.Clone(), a, qs)
+				full := NewMultiCISO(WithStore(kind), WithWorkers(workers), WithChangeSkip(false))
+				full.Reset(init.Clone(), a, qs)
+				for bi := 0; bi < 8; bi++ {
+					batch := w.NextBatch()
+					got := encodeAnswers(t, skip.ApplyBatch(batch))
+					want := encodeAnswers(t, full.ApplyBatch(batch))
+					if string(got) != string(want) {
+						t.Fatalf("%s/%s/w%d batch %d: skip answers %s != full %s",
+							a.Name(), kind, workers, bi, got, want)
+					}
+				}
+				if skip.Counters().Get(stats.CntUpdateSkipQueries) == 0 {
+					t.Fatalf("%s/%s/w%d: change-driven skipping never engaged", a.Name(), kind, workers)
+				}
+				if full.Counters().Get(stats.CntUpdateSkipQueries) != 0 {
+					t.Fatalf("%s/%s/w%d: disabled engine skipped queries", a.Name(), kind, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestChangeSkipApplyUpdatesDifferential pins the per-update fast path: with
+// skipping on, the group-representative classification scans must route and
+// answer identically to the exhaustive per-query scans.
+func TestChangeSkipApplyUpdatesDifferential(t *testing.T) {
+	ds := graph.RMAT("skipfp", 8, 2200, graph.DefaultRMAT, 16, 78)
+	w, err := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 20, DelsPerBatch: 20, Seed: 78,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := clusteredQueries(w, 16, 4)
+	init := w.Initial()
+	skip := NewMultiCISO(WithWorkers(4))
+	skip.Reset(init.Clone(), algo.PPSP{}, qs)
+	full := NewMultiCISO(WithWorkers(4), WithChangeSkip(false))
+	full.Reset(init.Clone(), algo.PPSP{}, qs)
+	for bi := 0; bi < 6; bi++ {
+		batch := w.NextBatch()
+		fsSkip, errS := skip.ApplyUpdates(batch)
+		fsFull, errF := full.ApplyUpdates(batch)
+		if errS != nil || errF != nil {
+			t.Fatalf("batch %d: errs %v / %v", bi, errS, errF)
+		}
+		if fsSkip != fsFull {
+			t.Fatalf("batch %d: routing diverged: skip=%+v full=%+v", bi, fsSkip, fsFull)
+		}
+		ga, wa := skip.Answers(), full.Answers()
+		for i := range ga {
+			if ga[i] != wa[i] {
+				t.Fatalf("batch %d query %d: %v != %v", bi, i, ga[i], wa[i])
+			}
+		}
+	}
+}
+
+// TestApplyBatchDeltaMatchesResults proves the lean report: ApplyBatchDelta
+// must apply the identical state transition as ApplyBatch and enumerate
+// exactly the queries whose answer moved.
+func TestApplyBatchDeltaMatchesResults(t *testing.T) {
+	ds := graph.RMAT("skipdelta", 8, 2000, graph.DefaultRMAT, 16, 79)
+	w, err := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 30, DelsPerBatch: 30, Seed: 79,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := clusteredQueries(w, 20, 5)
+	init := w.Initial()
+	lean := NewMultiCISO(WithWorkers(2))
+	lean.Reset(init.Clone(), algo.PPSP{}, qs)
+	ref := NewMultiCISO(WithWorkers(2))
+	ref.Reset(init.Clone(), algo.PPSP{}, qs)
+	prev := ref.Answers()
+	for bi := 0; bi < 8; bi++ {
+		batch := w.NextBatch()
+		d := lean.ApplyBatchDelta(batch)
+		if d.Err != nil {
+			t.Fatalf("batch %d: %v", bi, d.Err)
+		}
+		ref.ApplyBatch(batch)
+		cur := ref.Answers()
+		// The delta must list exactly the moved answers, in index order.
+		want := make(map[int]algo.Value)
+		for i := range cur {
+			if cur[i] != prev[i] {
+				want[i] = cur[i]
+			}
+		}
+		if len(d.Changed) != len(want) {
+			t.Fatalf("batch %d: %d changed entries, want %d (%+v)", bi, len(d.Changed), len(want), d.Changed)
+		}
+		last := -1
+		for _, ca := range d.Changed {
+			if ca.Index <= last {
+				t.Fatalf("batch %d: Changed not in ascending index order: %+v", bi, d.Changed)
+			}
+			last = ca.Index
+			if v, ok := want[ca.Index]; !ok || v != ca.Value {
+				t.Fatalf("batch %d: changed[%d]=%v, want %v (present=%v)", bi, ca.Index, ca.Value, v, ok)
+			}
+		}
+		if d.Skipped+d.Processed != len(qs) {
+			t.Fatalf("batch %d: skipped %d + processed %d != %d queries", bi, d.Skipped, d.Processed, len(qs))
+		}
+		// And the lean engine's served answers must match the reference.
+		la := lean.Answers()
+		for i := range cur {
+			if la[i] != cur[i] {
+				t.Fatalf("batch %d query %d: lean=%v ref=%v", bi, i, la[i], cur[i])
+			}
+		}
+		prev = cur
+	}
+	if lean.Counters().Get(stats.CntUpdateSkipQueries) == 0 {
+		t.Fatal("lean path never skipped a query")
+	}
+}
+
+// TestApplyUpdatesDeltaMatches pins the lean per-update face against the
+// classic one on a mixed safe/unsafe stream.
+func TestApplyUpdatesDeltaMatches(t *testing.T) {
+	ds := graph.RMAT("skipfpd", 8, 2000, graph.DefaultRMAT, 16, 80)
+	w, err := stream.New(ds, stream.Config{
+		LoadFraction: 0.5, AddsPerBatch: 25, DelsPerBatch: 25, Seed: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := clusteredQueries(w, 12, 3)
+	init := w.Initial()
+	lean := NewMultiCISO(WithWorkers(2))
+	lean.Reset(init.Clone(), algo.PPSP{}, qs)
+	ref := NewMultiCISO(WithWorkers(2))
+	ref.Reset(init.Clone(), algo.PPSP{}, qs)
+	prev := ref.Answers()
+	for bi := 0; bi < 6; bi++ {
+		batch := w.NextBatch()
+		fsL, d, err := lean.ApplyUpdatesDelta(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsR, errR := ref.ApplyUpdates(batch)
+		if errR != nil {
+			t.Fatal(errR)
+		}
+		if fsL != fsR {
+			t.Fatalf("batch %d: routing diverged: %+v vs %+v", bi, fsL, fsR)
+		}
+		cur := ref.Answers()
+		want := make(map[int]algo.Value)
+		for i := range cur {
+			if cur[i] != prev[i] {
+				want[i] = cur[i]
+			}
+		}
+		for _, ca := range d.Changed {
+			if v, ok := want[ca.Index]; !ok || v != ca.Value {
+				t.Fatalf("batch %d: changed[%d]=%v, want %v (present=%v)", bi, ca.Index, ca.Value, v, ok)
+			}
+			delete(want, ca.Index)
+		}
+		if len(want) != 0 {
+			t.Fatalf("batch %d: delta missed moved answers: %v", bi, want)
+		}
+		la := lean.Answers()
+		for i := range cur {
+			if la[i] != cur[i] {
+				t.Fatalf("batch %d query %d: lean=%v ref=%v", bi, i, la[i], cur[i])
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestChangeSummaries checks the per-(source,epoch) baseline change
+// summaries: processed groups report a sorted, deduplicated dirty set at the
+// committed epoch; skipped groups report nothing (their regions provably did
+// not change); a far-away useless update skips everything and marks whole
+// batches as untouched.
+func TestChangeSummaries(t *testing.T) {
+	// A line graph 0→1→…→9 plus an isolated pair 20→21: updates in the pair
+	// can never touch a query rooted in the line.
+	g := graph.NewDynamic(32)
+	for i := 0; i < 9; i++ {
+		g.AddEdge(graph.VertexID(i), graph.VertexID(i+1), 1)
+	}
+	g.AddEdge(20, 21, 1)
+	m := NewMultiCISO()
+	m.Reset(g, algo.PPSP{}, []Query{{S: 0, D: 9}, {S: 0, D: 5}, {S: 20, D: 21}})
+
+	// Batch 1: shorten 0→1. The source-0 group must process and report
+	// dirty vertices; the source-20 group must skip.
+	rs := m.ApplyBatch([]graph.Update{
+		graph.Del(0, 1, 1), graph.Add(0, 1, 0.5),
+	})
+	if rs[0].Skipped || rs[1].Skipped {
+		t.Fatal("source-0 group must process a supplier reweight")
+	}
+	if !rs[2].Skipped {
+		t.Fatal("source-20 group must skip an update outside its region")
+	}
+	sums := m.ChangeSummaries()
+	if len(sums) != 1 || sums[0].Source != 0 {
+		t.Fatalf("summaries = %+v, want exactly source 0", sums)
+	}
+	if len(sums[0].Vertices) == 0 && !sums[0].Overflow {
+		t.Fatalf("source-0 summary empty: %+v", sums[0])
+	}
+	for i := 1; i < len(sums[0].Vertices); i++ {
+		if sums[0].Vertices[i] <= sums[0].Vertices[i-1] {
+			t.Fatalf("summary vertices not sorted/deduped: %v", sums[0].Vertices)
+		}
+	}
+
+	// Batch 2: an addition that improves nothing anywhere (worse parallel
+	// path). Every group must skip and no summaries remain.
+	rs = m.ApplyBatch([]graph.Update{graph.Add(0, 9, 100)})
+	for i, r := range rs {
+		if !r.Skipped {
+			t.Fatalf("query %d processed a useless addition", i)
+		}
+	}
+	if sums := m.ChangeSummaries(); len(sums) != 0 {
+		t.Fatalf("summaries after all-skip batch: %+v", sums)
+	}
+	if got := m.Counters().Get(stats.CntUpdateSkipQueries); got == 0 {
+		t.Fatal("skip counter never moved")
+	}
+	if got := m.Counters().Get(stats.CntUpdateSkipGroups); got == 0 {
+		t.Fatal("skip group counter never moved")
+	}
+}

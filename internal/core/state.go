@@ -55,6 +55,13 @@ type state struct {
 	// before running a query's phases, so scratch memory scales with worker
 	// count, not query count.
 	sc *scratch
+
+	// dirty, when non-nil, records every vertex this state writes into the
+	// batch's per-source change summary (DESIGN.md §15). MultiCISO attaches
+	// it to one representative query per processed source group for the
+	// duration of the batch; single-query engines leave it nil, so the hot
+	// path pays one predicted branch.
+	dirty *ChangeSummary
 }
 
 // newState builds a dense-store state with its own scratch — the
@@ -107,6 +114,9 @@ func (st *state) parentOf(v graph.VertexID) graph.VertexID {
 
 // setVertex writes v's value and parent together.
 func (st *state) setVertex(v graph.VertexID, val algo.Value, parent graph.VertexID) {
+	if st.dirty != nil {
+		st.dirty.note(v)
+	}
 	if st.val != nil {
 		st.val[v] = val
 		st.parent[v] = parent
@@ -117,6 +127,9 @@ func (st *state) setVertex(v graph.VertexID, val algo.Value, parent graph.Vertex
 
 // adoptParent rewrites only v's parent (supplier adoption during repair).
 func (st *state) adoptParent(v, parent graph.VertexID) {
+	if st.dirty != nil {
+		st.dirty.note(v)
+	}
 	if st.parent != nil {
 		st.parent[v] = parent
 		return
@@ -139,6 +152,9 @@ func (st *state) answer() algo.Value { return st.value(st.q.D) }
 
 // fullCompute converges from scratch on the current topology.
 func (st *state) fullCompute() {
+	if st.dirty != nil {
+		st.dirty.noteAll() // a from-scratch rebuild dirties the whole region
+	}
 	st.resetAll()
 	st.sc.wl.reset()
 	st.sc.wl.push(st.q.S, st.value(st.q.S))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"cisgraph/internal/algo"
 	"cisgraph/internal/graph"
@@ -350,4 +351,67 @@ func (s *OverlayStore) LoadState(val []algo.Value, parent []graph.VertexID) {
 func (s *OverlayStore) Rebase() {
 	val, parent := s.CopyState()
 	s.LoadState(val, parent)
+}
+
+// ---- change summaries ----
+
+// changeSummaryCap bounds how many touched vertices one summary records
+// before degrading to Overflow. Converged queries touch tens of vertices per
+// batch (the stable-values observation the sparse store is built on), so the
+// cap is generous for the common case while keeping the summary compact —
+// an overflowed summary still proves "this region changed", it just stops
+// enumerating where.
+const changeSummaryCap = 512
+
+// ChangeSummary is the compact dirty-set one batch leaves behind for one
+// source's baseline region (DESIGN.md §15): which vertices of the converged
+// per-(source,epoch) state the batch actually wrote. A skipped source group
+// gets an empty summary — the batch proved it could not touch the region at
+// all. Summaries are rebuilt per batch; Epoch records the topology epoch the
+// batch committed.
+type ChangeSummary struct {
+	Source graph.VertexID
+	Epoch  uint64
+	// Vertices lists the touched vertices (sorted, deduplicated after the
+	// batch). Empty with Overflow false means the region provably did not
+	// change.
+	Vertices []graph.VertexID
+	// Overflow is set when the batch touched more than changeSummaryCap
+	// vertices; Vertices then holds only a prefix of the dirty set.
+	Overflow bool
+}
+
+// note records a vertex write. Called from the propagation hot path through
+// a nil-checked pointer, so it must stay small; duplicates are tolerated
+// here and squeezed out by finalize.
+func (cs *ChangeSummary) note(v graph.VertexID) {
+	if cs.Overflow {
+		return
+	}
+	if len(cs.Vertices) >= changeSummaryCap {
+		cs.Overflow = true
+		return
+	}
+	cs.Vertices = append(cs.Vertices, v)
+}
+
+// noteAll marks the whole region dirty (a from-scratch recompute).
+func (cs *ChangeSummary) noteAll() {
+	cs.Overflow = true
+	cs.Vertices = cs.Vertices[:0]
+}
+
+// finalize sorts and deduplicates the recorded set (batch end).
+func (cs *ChangeSummary) finalize() {
+	if len(cs.Vertices) < 2 {
+		return
+	}
+	sort.Slice(cs.Vertices, func(i, j int) bool { return cs.Vertices[i] < cs.Vertices[j] })
+	out := cs.Vertices[:1]
+	for _, v := range cs.Vertices[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	cs.Vertices = out
 }

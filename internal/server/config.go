@@ -157,6 +157,18 @@ type Config struct {
 	// FastPipelineDepth bounds unacked frames per binary connection (the
 	// per-connection ack queue). Default 256.
 	FastPipelineDepth int
+	// DisableChangeSkip turns off change-driven query skipping in the shard
+	// engines (DESIGN.md §15), forcing every registered query through the
+	// full per-batch phases. Production keeps it off; differential tests and
+	// benchmarks flip it to compare against exhaustive evaluation.
+	DisableChangeSkip bool
+	// WatchQueue bounds each /v1/watch subscriber's pending-delta queue, in
+	// messages (default 64). A subscriber that falls further behind is
+	// marked lost and receives a resync marker instead of unbounded buffering.
+	WatchQueue int
+	// MaxWatchers caps concurrent /v1/watch subscribers (admission control;
+	// default 4096). Beyond the cap, new subscriptions are shed with 429.
+	MaxWatchers int
 }
 
 // WithDefaults returns a copy of c with every unset field defaulted.
@@ -220,6 +232,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.FastPipelineDepth <= 0 {
 		c.FastPipelineDepth = 256
+	}
+	if c.WatchQueue <= 0 {
+		c.WatchQueue = 64
+	}
+	if c.MaxWatchers <= 0 {
+		c.MaxWatchers = 4096
 	}
 	return c
 }

@@ -185,12 +185,14 @@ func (f *fastPath) commitGroup(entries []*fpEntry) {
 			}
 		}
 		sh.Apply(clean)
-		if _, perr := s.pool.ApplyUpdates(clean); perr != nil {
+		_, changed, perr := s.pool.ApplyUpdates(clean)
+		if perr != nil {
 			s.h.degraded.Inc()
 			s.setLastErr(perr)
 		}
 		before := s.applied.Load()
 		applied := s.applied.Add(uint64(len(clean)))
+		s.publishWatch(applied, changed)
 		s.edges.Store(int64(sh.NumEdges()))
 		s.h.accepted.Add(int64(len(clean)))
 		s.h.batches.Add(int64(len(clean))) // each update is one stream position

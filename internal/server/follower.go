@@ -140,11 +140,13 @@ func (s *Server) applyReplicated(rec resilience.Record) error {
 	}
 	sh := s.shadow.Load()
 	sh.Apply(rec.Batch)
-	if perr := s.pool.ApplyBatch(rec.Batch); perr != nil {
+	changed, perr := s.pool.ApplyBatch(rec.Batch)
+	if perr != nil {
 		s.h.degraded.Inc()
 		s.setLastErr(perr)
 	}
-	s.applied.Add(1)
+	pos := s.applied.Add(1)
+	s.publishWatch(pos, changed)
 	s.edges.Store(int64(sh.NumEdges()))
 	s.h.batches.Inc()
 	s.h.updates.Add(int64(len(rec.Batch)))
@@ -164,6 +166,9 @@ func (s *Server) rebootstrapFromLeader(client *http.Client, leader string) (uint
 	s.shadow.Store(g)
 	s.pool.Rebootstrap(g)
 	s.applied.Store(through)
+	// Every answer may have moved without a per-query delta: watchers must
+	// re-read. The marker carries the re-bootstrap position.
+	s.hub.ResyncAll(through)
 	s.edges.Store(int64(g.NumEdges()))
 	s.setLastErr(fmt.Errorf("server: re-bootstrapped from leader checkpoint through batch %d", through))
 	return through, nil

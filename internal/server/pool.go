@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -18,8 +19,13 @@ import (
 // Write path (single writer — the batcher's applier goroutine): ApplyBatch
 // fans the sanitized batch out to every shard in parallel; each shard
 // serializes on its own lock, so a concurrent Register only delays the one
-// shard it lands on. After the fan-out joins, a fresh Snapshot is built and
-// swapped in atomically.
+// shard it lands on. The shards report per-batch answer deltas
+// (core.ApplyBatchDelta), and the pool folds them into its value table:
+// when answers moved, a fresh Snapshot is built and swapped in; when the
+// batch changed nothing — the common case under change-driven skipping —
+// publication is an O(1) position bump aliasing the previous arrays, so
+// steady-state serving cost tracks the changed set, not the registered
+// query count (DESIGN.md §15). The changed ids feed the watch hub.
 //
 // Read path: Answers loads the current Snapshot pointer — no lock shared
 // with the writer, so queries are served at memory speed even while a batch
@@ -31,6 +37,8 @@ type QueryPool struct {
 	mu      sync.Mutex // registration bookkeeping + snapshot rebuilds
 	refs    []qref     // global query id → shard/local position
 	queries []core.Query
+	locals  [][]int      // shard → local index → global id (inverse of refs)
+	vals    []algo.Value // global id → current answer (guarded by mu)
 
 	snap    atomic.Pointer[Snapshot]
 	batches atomic.Uint64
@@ -56,13 +64,15 @@ type Snapshot struct {
 // NewQueryPool builds a pool of `shards` MultiCISO engines, each owning a
 // clone of g. Queries are registered later with Register. workers bounds
 // each shard's query-processing pool (<=1 runs serially); kind selects the
-// per-query state store shared by every shard engine.
-func NewQueryPool(g *graph.Dynamic, a algo.Algorithm, shards, workers int, kind core.StoreKind) *QueryPool {
+// per-query state store shared by every shard engine. skip toggles
+// change-driven query skipping in the shard engines (on in production;
+// Config.DisableChangeSkip turns it off for differential testing).
+func NewQueryPool(g *graph.Dynamic, a algo.Algorithm, shards, workers int, kind core.StoreKind, skip bool) *QueryPool {
 	if shards < 1 {
 		shards = 1
 	}
-	p := &QueryPool{a: a, shards: make([]*poolShard, shards)}
-	opts := []core.MultiOption{core.WithWorkers(workers), core.WithStore(kind)}
+	p := &QueryPool{a: a, shards: make([]*poolShard, shards), locals: make([][]int, shards)}
+	opts := []core.MultiOption{core.WithWorkers(workers), core.WithStore(kind), core.WithChangeSkip(skip)}
 	for i := range p.shards {
 		eng := core.NewMultiCISO(opts...)
 		eng.Reset(g.Clone(), a, nil)
@@ -90,13 +100,9 @@ func (p *QueryPool) Register(q core.Query) (id int, ans algo.Value) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	// Least-loaded keeps per-shard work balanced as queries come and go.
-	load := make([]int, len(p.shards))
-	for _, r := range p.refs {
-		load[r.shard]++
-	}
 	best := 0
-	for i := 1; i < len(load); i++ {
-		if load[i] < load[best] {
+	for i := 1; i < len(p.locals); i++ {
+		if len(p.locals[i]) < len(p.locals[best]) {
 			best = i
 		}
 	}
@@ -107,6 +113,11 @@ func (p *QueryPool) Register(q core.Query) (id int, ans algo.Value) {
 	id = len(p.refs)
 	p.refs = append(p.refs, qref{shard: best, local: local})
 	p.queries = append(p.queries, q)
+	p.vals = append(p.vals, ans)
+	for len(p.locals[best]) <= local {
+		p.locals[best] = append(p.locals[best], -1)
+	}
+	p.locals[best][local] = id
 	p.publishLocked()
 	return id, ans
 }
@@ -131,16 +142,31 @@ func (p *QueryPool) Rebootstrap(g *graph.Dynamic) {
 		sh.eng.Reset(g.Clone(), p.a, perShard[i])
 		sh.mu.Unlock()
 	}
+	p.reloadValsLocked()
 	p.publishLocked()
 }
 
+// reloadValsLocked rebuilds the whole value table from the shard engines —
+// the full O(Q) pass reserved for re-bootstraps; steady-state batches fold
+// deltas instead.
+func (p *QueryPool) reloadValsLocked() {
+	perShard := make([][]algo.Value, len(p.shards))
+	for i, sh := range p.shards {
+		perShard[i] = sh.eng.Answers()
+	}
+	for id, r := range p.refs {
+		p.vals[id] = perShard[r.shard][r.local]
+	}
+}
+
 // ApplyBatch applies one sanitized batch to every shard in parallel and
-// publishes the refreshed snapshot. The returned error joins any per-query
+// publishes the refreshed snapshot, returning the queries whose answer
+// changed (global ids, ascending). The returned error joins any per-query
 // degradations (recovered panics inside a shard engine); answers stay
 // correct — the degraded query recomputed on the shard's consistent
 // topology — so the batch still counts as applied.
-func (p *QueryPool) ApplyBatch(batch []graph.Update) error {
-	errs := make([]error, len(p.shards))
+func (p *QueryPool) ApplyBatch(batch []graph.Update) ([]core.ChangedAnswer, error) {
+	deltas := make([]core.BatchDelta, len(p.shards))
 	var wg sync.WaitGroup
 	for i, sh := range p.shards {
 		wg.Add(1)
@@ -148,33 +174,30 @@ func (p *QueryPool) ApplyBatch(batch []graph.Update) error {
 			defer wg.Done()
 			sh.mu.Lock()
 			defer sh.mu.Unlock()
-			for _, r := range sh.eng.ApplyBatch(batch) {
-				if r.Err != nil {
-					errs[i] = joinNonNil(errs[i], r.Err)
-				}
-			}
+			deltas[i] = sh.eng.ApplyBatchDelta(batch)
 		}(i, sh)
 	}
 	wg.Wait()
 	p.batches.Add(1)
 	p.mu.Lock()
-	p.publishLocked()
+	changed := p.foldDeltasLocked(deltas)
 	p.mu.Unlock()
 	var err error
-	for _, e := range errs {
-		err = joinNonNil(err, e)
+	for i := range deltas {
+		err = joinNonNil(err, deltas[i].Err)
 	}
-	return err
+	return changed, err
 }
 
 // ApplyUpdates runs one fast-path group through every shard's per-update
-// path (core.ApplyUpdates) in parallel and publishes the refreshed
-// snapshot. Each update counts as its own stream position — the published
-// Snapshot.Batches advances by len(ups), exactly as if every update had
-// been its own single-update batch. Error semantics match ApplyBatch:
-// degradations join, answers stay correct, the group still counts.
-func (p *QueryPool) ApplyUpdates(ups []graph.Update) (core.FastStats, error) {
-	errs := make([]error, len(p.shards))
+// path (core.ApplyUpdatesDelta) in parallel and publishes the refreshed
+// snapshot, returning the changed queries like ApplyBatch. Each update
+// counts as its own stream position — the published Snapshot.Batches
+// advances by len(ups), exactly as if every update had been its own
+// single-update batch. Error semantics match ApplyBatch: degradations
+// join, answers stay correct, the group still counts.
+func (p *QueryPool) ApplyUpdates(ups []graph.Update) (core.FastStats, []core.ChangedAnswer, error) {
+	deltas := make([]core.BatchDelta, len(p.shards))
 	fss := make([]core.FastStats, len(p.shards))
 	var wg sync.WaitGroup
 	for i, sh := range p.shards {
@@ -183,13 +206,13 @@ func (p *QueryPool) ApplyUpdates(ups []graph.Update) (core.FastStats, error) {
 			defer wg.Done()
 			sh.mu.Lock()
 			defer sh.mu.Unlock()
-			fss[i], errs[i] = sh.eng.ApplyUpdates(ups)
+			fss[i], deltas[i], _ = sh.eng.ApplyUpdatesDelta(ups)
 		}(i, sh)
 	}
 	wg.Wait()
 	p.batches.Add(uint64(len(ups)))
 	p.mu.Lock()
-	p.publishLocked()
+	changed := p.foldDeltasLocked(deltas)
 	p.mu.Unlock()
 	var fs core.FastStats
 	var err error
@@ -200,29 +223,45 @@ func (p *QueryPool) ApplyUpdates(ups []graph.Update) (core.FastStats, error) {
 		if fss[i].Unsafe > fs.Unsafe {
 			fs.Unsafe = fss[i].Unsafe
 		}
-		err = joinNonNil(err, errs[i])
+		err = joinNonNil(err, deltas[i].Err)
 	}
 	fs.Safe = len(ups) - fs.Unsafe
-	return fs, err
+	return fs, changed, err
 }
 
-// publishLocked rebuilds and swaps in the answer snapshot. Callers hold
-// p.mu, which orders publications from the applier and from Register.
+// foldDeltasLocked maps each shard's changed local indices to global ids,
+// updates the value table, and publishes. Batches whose answers all held
+// still publish — an O(1) snapshot aliasing the previous arrays with the
+// advanced position — so Snapshot.Batches always reflects the applied
+// stream. Returns the changed set in ascending global-id order.
+func (p *QueryPool) foldDeltasLocked(deltas []core.BatchDelta) []core.ChangedAnswer {
+	var changed []core.ChangedAnswer
+	for si := range deltas {
+		for _, ca := range deltas[si].Changed {
+			id := p.locals[si][ca.Index]
+			p.vals[id] = ca.Value
+			changed = append(changed, core.ChangedAnswer{Index: id, Value: ca.Value})
+		}
+	}
+	if len(changed) == 0 {
+		old := p.snap.Load()
+		p.snap.Store(&Snapshot{Batches: p.batches.Load(), Queries: old.Queries, Values: old.Values})
+		return nil
+	}
+	sort.Slice(changed, func(a, b int) bool { return changed[a].Index < changed[b].Index })
+	p.publishLocked()
+	return changed
+}
+
+// publishLocked rebuilds and swaps in the answer snapshot from the value
+// table. Callers hold p.mu, which orders publications from the applier and
+// from Register.
 func (p *QueryPool) publishLocked() {
-	s := &Snapshot{
+	p.snap.Store(&Snapshot{
 		Batches: p.batches.Load(),
 		Queries: append([]core.Query(nil), p.queries...),
-		Values:  make([]algo.Value, len(p.refs)),
-	}
-	// One Answers() call per shard, not per query.
-	perShard := make([][]algo.Value, len(p.shards))
-	for i, sh := range p.shards {
-		perShard[i] = sh.eng.Answers()
-	}
-	for id, r := range p.refs {
-		s.Values[id] = perShard[r.shard][r.local]
-	}
-	p.snap.Store(s)
+		Values:  append([]algo.Value(nil), p.vals...),
+	})
 }
 
 // Answers returns the current published snapshot. The result is shared and

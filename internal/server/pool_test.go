@@ -43,7 +43,7 @@ func TestQueryPoolMatchesSingleEngine(t *testing.T) {
 		ref := core.NewMultiCISO()
 		ref.Reset(w.Initial(), a, qs)
 
-		pool := NewQueryPool(w.Initial(), a, shards, 1, core.StoreDense)
+		pool := NewQueryPool(w.Initial(), a, shards, 1, core.StoreDense, true)
 		for _, q := range qs {
 			pool.Register(q)
 		}
@@ -54,7 +54,7 @@ func TestQueryPoolMatchesSingleEngine(t *testing.T) {
 		for i := 0; i < 10; i++ {
 			batch := w.NextBatch()
 			ref.ApplyBatch(batch)
-			if err := pool.ApplyBatch(batch); err != nil {
+			if _, err := pool.ApplyBatch(batch); err != nil {
 				t.Fatalf("shards=%d batch %d: %v", shards, i, err)
 			}
 		}
@@ -75,7 +75,7 @@ func TestQueryPoolMatchesSingleEngine(t *testing.T) {
 // Registration spreads queries across shards (least-loaded placement).
 func TestQueryPoolBalancesShards(t *testing.T) {
 	w := testWorkload(t)
-	pool := NewQueryPool(w.Initial(), testAlgo(t), 4, 1, core.StoreDense)
+	pool := NewQueryPool(w.Initial(), testAlgo(t), 4, 1, core.StoreDense, true)
 	for _, p := range w.QueryPairs(8) {
 		pool.Register(core.Query{S: p[0], D: p[1]})
 	}
@@ -94,7 +94,7 @@ func TestQueryPoolBalancesShards(t *testing.T) {
 // applies batches and new queries register. Run with -race.
 func TestQueryPoolSnapshotUnderLoad(t *testing.T) {
 	w := testWorkload(t)
-	pool := NewQueryPool(w.Initial(), testAlgo(t), 2, 1, core.StoreDense)
+	pool := NewQueryPool(w.Initial(), testAlgo(t), 2, 1, core.StoreDense, true)
 	pairs := w.QueryPairs(6)
 	for _, p := range pairs[:4] {
 		pool.Register(core.Query{S: p[0], D: p[1]})
@@ -122,7 +122,7 @@ func TestQueryPoolSnapshotUnderLoad(t *testing.T) {
 		}()
 	}
 	for i := 0; i < 8; i++ {
-		if err := pool.ApplyBatch(w.NextBatch()); err != nil {
+		if _, err := pool.ApplyBatch(w.NextBatch()); err != nil {
 			t.Fatal(err)
 		}
 		if i == 3 {

@@ -337,4 +337,3 @@ func assertFollowerCaughtUpMetrics(t *testing.T, client *http.Client, base strin
 		t.Errorf("cycle %d: follower %d metrics lack the follower role gauge", cycle, idx)
 	}
 }
-

@@ -25,6 +25,7 @@ import (
 	"cisgraph/internal/replication"
 	"cisgraph/internal/resilience"
 	"cisgraph/internal/stats"
+	"cisgraph/internal/watch"
 )
 
 // Server-side counter names, rendered by GET /metrics alongside the merged
@@ -84,6 +85,15 @@ const (
 	CntBinConns     = "srv_binary_conns"
 	CntBinFrames    = "srv_binary_frames"
 	CntBinBadFrames = "srv_binary_bad_frames"
+	// CntWatchConns counts /v1/watch subscriptions accepted (SSE + long-poll).
+	CntWatchConns = "srv_watch_conns"
+	// CntWatchRejected counts /v1/watch subscriptions shed (MaxWatchers cap
+	// or draining).
+	CntWatchRejected = "srv_watch_rejected"
+	// CntAnswersCacheHits / CntAnswersCacheMisses count /v1/answers full
+	// listings served from (or rebuilding) the per-position encoded body.
+	CntAnswersCacheHits   = "srv_answers_cache_hits"
+	CntAnswersCacheMisses = "srv_answers_cache_misses"
 )
 
 // Server is the cisgraphd serving core: it owns the shadow topology, the
@@ -139,8 +149,29 @@ type Server struct {
 	replConnected atomic.Bool
 	lastSyncNano  atomic.Int64 // wall clock of the last confirmed caught-up poll
 
+	// hub fans per-commit answer deltas out to /v1/watch subscribers
+	// (DESIGN.md §15). Publications happen on the commit path AFTER the
+	// pool snapshot and s.applied are updated, so a subscriber that re-reads
+	// /v1/answers on a resync marker can never miss a published change.
+	hub *watch.Hub
+
+	// ansCache memoizes the encoded /v1/answers full-listing body for the
+	// current (snapshot, position, quiesced) triple; any commit, query
+	// registration or re-bootstrap changes the triple and so invalidates it.
+	ansCache atomic.Pointer[ansCacheEntry]
+
 	ckptMu sync.Mutex // serializes periodic and drain checkpoints
 	mux    *http.ServeMux
+}
+
+// ansCacheEntry is one memoized /v1/answers body, keyed by the exact state
+// it was rendered from. The snapshot pointer (not just the position) is part
+// of the key: a re-bootstrap can rebuild answers at an already-seen position.
+type ansCacheEntry struct {
+	snap     *Snapshot
+	pos      uint64
+	quiesced bool
+	body     []byte
 }
 
 // srvHandles pre-resolves the serving hot-path counters (DESIGN.md §9):
@@ -159,6 +190,9 @@ type srvHandles struct {
 	fastDropped                 stats.Handle
 	binConns, binFrames         stats.Handle
 	binBadFrames                stats.Handle
+	watchConns, watchRejected   stats.Handle
+	ansCacheHits                stats.Handle
+	ansCacheMisses              stats.Handle
 }
 
 // New builds a server over an initial topology. The server takes its own
@@ -237,7 +271,9 @@ func Restore(a algo.Algorithm, cfg Config, init func() (*graph.Dynamic, error)) 
 	sh := s.shadow.Load()
 	for _, b := range replay {
 		sh.Apply(b)
-		if perr := s.pool.ApplyBatch(b); perr != nil {
+		// Replay precedes serving — no watch subscriber can exist yet, so
+		// the changed set is discarded.
+		if _, perr := s.pool.ApplyBatch(b); perr != nil {
 			s.setLastErr(perr)
 		}
 		s.applied.Add(1)
@@ -259,9 +295,10 @@ func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uin
 	s := &Server{
 		cfg:  cfg,
 		a:    a,
-		pool: NewQueryPool(g, a, cfg.Shards, cfg.Workers, cfg.Store),
+		pool: NewQueryPool(g, a, cfg.Shards, cfg.Workers, cfg.Store, !cfg.DisableChangeSkip),
 		san:  resilience.NewSanitizer(cfg.Policy, cnt),
 		cnt:  cnt,
+		hub:  watch.New(),
 		h: srvHandles{
 			accepted:           cnt.Handle(CntUpdatesAccepted),
 			shed:               cnt.Handle(CntUpdatesShed),
@@ -287,6 +324,10 @@ func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uin
 			binConns:           cnt.Handle(CntBinConns),
 			binFrames:          cnt.Handle(CntBinFrames),
 			binBadFrames:       cnt.Handle(CntBinBadFrames),
+			watchConns:         cnt.Handle(CntWatchConns),
+			watchRejected:      cnt.Handle(CntWatchRejected),
+			ansCacheHits:       cnt.Handle(CntAnswersCacheHits),
+			ansCacheMisses:     cnt.Handle(CntAnswersCacheMisses),
 		},
 		gate: make(inflightGate, cfg.MaxInFlight),
 	}
@@ -400,11 +441,13 @@ func (s *Server) applyBatch(batch []graph.Update, reason CutReason) {
 		}
 	}
 	sh.Apply(clean)
-	if perr := s.pool.ApplyBatch(clean); perr != nil {
+	changed, perr := s.pool.ApplyBatch(clean)
+	if perr != nil {
 		s.h.degraded.Inc()
 		s.setLastErr(perr)
 	}
 	applied := s.applied.Add(1)
+	s.publishWatch(applied, changed)
 	s.edges.Store(int64(sh.NumEdges()))
 	s.h.batches.Inc()
 	s.h.updates.Add(int64(len(clean)))
@@ -463,6 +506,10 @@ func (s *Server) Drain() error {
 	// both write pipelines.
 	s.fp.shutdown()
 	s.bat.Drain()
+	// Both write pipelines are flushed — every commit has been published to
+	// the hub. Closing it ends each /v1/watch stream after its queued
+	// deltas drain, so subscribers observe the complete stream.
+	s.hub.Close()
 	s.brk.Stop() // no more disk probes; a closed WAL must stay closed
 	var err error
 	if werr := s.writeCheckpoint(); werr != nil {
@@ -478,6 +525,13 @@ func (s *Server) Drain() error {
 	}
 	return err
 }
+
+// CloseWatchers ends every /v1/watch subscription (each stream delivers its
+// queued deltas, then a bye event) and refuses new ones. The daemon calls it
+// from http.Server.RegisterOnShutdown: watch streams are long-lived
+// connections that would otherwise hold a graceful HTTP shutdown open until
+// its deadline. Idempotent; Drain also closes the hub for non-HTTP embeds.
+func (s *Server) CloseWatchers() { s.hub.Close() }
 
 // Draining reports whether the server has begun shutting down.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -526,6 +580,11 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /v1/updates", v1(s.handleUpdates))
 	s.mux.Handle("POST /v1/query", v1(s.handleQuery))
 	s.mux.Handle("GET /v1/answers", v1(s.handleAnswers))
+	// /v1/watch streams (SSE) or parks (long-poll), so like the replication
+	// tail it must not run under the buffering TimeoutHandler or occupy an
+	// in-flight-gate slot for its whole lifetime; it bounds itself via the
+	// MaxWatchers cap, per-subscriber queues, and the request context.
+	s.mux.Handle("GET /v1/watch", http.HandlerFunc(s.handleWatch))
 	// Observability endpoints bypass the gate: a saturated or degraded
 	// server must stay observable. They still run under the deadline.
 	s.mux.Handle("GET /healthz", s.withDeadline(d, http.HandlerFunc(s.handleHealthz)))
@@ -878,11 +937,31 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	// Full listing: serve the memoized body when nothing that feeds it has
+	// moved since the last render. Between commits every poller hits the
+	// cache, so polling cost no longer scales with Q × poll rate; any
+	// commit, registration or re-bootstrap changes the key.
+	if e := s.ansCache.Load(); e != nil &&
+		e.snap == snap && e.pos == resp.Batches && e.quiesced == resp.Quiesced {
+		s.h.ansCacheHits.Inc()
+		writeJSONBody(w, http.StatusOK, e.body)
+		return
+	}
+	s.h.ansCacheMisses.Inc()
 	resp.Answers = make([]answerJSON, len(snap.Values))
 	for i, q := range snap.Queries {
 		resp.Answers[i] = answerJSON{ID: i, S: q.S, D: q.D, Value: WireValue(snap.Values[i])}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	body, err := json.Marshal(resp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	body = append(body, '\n')
+	s.ansCache.Store(&ansCacheEntry{
+		snap: snap, pos: resp.Batches, quiesced: resp.Quiesced, body: body,
+	})
+	writeJSONBody(w, http.StatusOK, body)
 }
 
 type healthzResponse struct {
@@ -989,6 +1068,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE cisgraph_wal_bytes gauge\n")
 		fmt.Fprintf(w, "cisgraph_wal_bytes %d\n", s.wal.Bytes())
 	}
+	fmt.Fprintf(w, "# HELP cisgraph_watch_subscribers Active /v1/watch subscriptions.\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_watch_subscribers gauge\n")
+	fmt.Fprintf(w, "cisgraph_watch_subscribers %d\n", s.hub.Subscribers())
+	fmt.Fprintf(w, "# HELP cisgraph_watch_deltas Delta messages enqueued to watch subscribers.\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_watch_deltas counter\n")
+	fmt.Fprintf(w, "cisgraph_watch_deltas %d\n", s.hub.Delivered())
+	fmt.Fprintf(w, "# HELP cisgraph_watch_drops Watch messages dropped on slow consumers.\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_watch_drops counter\n")
+	fmt.Fprintf(w, "cisgraph_watch_drops %d\n", s.hub.Dropped())
+	fmt.Fprintf(w, "# HELP cisgraph_watch_resyncs Resync markers enqueued to watch subscribers.\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_watch_resyncs counter\n")
+	fmt.Fprintf(w, "cisgraph_watch_resyncs %d\n", s.hub.Resynced())
 	fmt.Fprintf(w, "# HELP cisgraph_role 1 for the node's replication role.\n")
 	fmt.Fprintf(w, "# TYPE cisgraph_role gauge\n")
 	fmt.Fprintf(w, "cisgraph_role{role=%q} 1\n", s.Role())
@@ -1051,6 +1142,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONBody writes an already-encoded JSON body (the answers cache).
+func writeJSONBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {

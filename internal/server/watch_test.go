@@ -1,0 +1,500 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cisgraph/internal/core"
+	"cisgraph/internal/graph"
+)
+
+// sseEvent is one parsed `event:`/`data:` frame.
+type sseEvent struct {
+	typ  string
+	body watchEventJSON
+}
+
+// openWatch subscribes to /v1/watch and returns a channel of parsed events
+// (closed at stream end) plus a cancel func. A background goroutine owns the
+// blocking reads so tests can apply their own timeouts.
+func openWatch(t *testing.T, client *http.Client, url string) (<-chan sseEvent, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("watch content type %q", ct)
+	}
+	events := make(chan sseEvent, 256)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<16), 1<<20)
+		var ev sseEvent
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				ev.typ = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev.body); err != nil {
+					return
+				}
+			case line == "":
+				if ev.typ != "" {
+					select {
+					case events <- ev:
+					case <-ctx.Done():
+						return
+					}
+					ev = sseEvent{}
+				}
+			}
+		}
+	}()
+	return events, func() {
+		cancel()
+		resp.Body.Close()
+	}
+}
+
+// nextEvent receives one event with a timeout; ok=false means the stream
+// ended or nothing arrived in time.
+func nextEvent(events <-chan sseEvent, timeout time.Duration) (sseEvent, bool) {
+	select {
+	case ev, ok := <-events:
+		return ev, ok
+	case <-time.After(timeout):
+		return sseEvent{}, false
+	}
+}
+
+// Watch subscribers see an init event, then every subsequent commit that
+// moved an answer, in order; replaying the deltas over the initial answers
+// reproduces the polled /v1/answers state exactly.
+func TestWatchSSEDeltasMatchAnswers(t *testing.T) {
+	w := testWorkload(t)
+	srv, err := New(w.Initial(), testAlgo(t), testServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	var qs []core.Query
+	for _, p := range w.QueryPairsConnected(6) {
+		qs = append(qs, core.Query{S: p[0], D: p[1]})
+	}
+	view := make(map[int]float64)
+	for i, q := range qs {
+		var qr queryResponse
+		resp, body := postJSON(t, client, ts.URL+"/v1/query", queryRequest{S: q.S, D: q.D})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /v1/query: status %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		view[i] = float64(qr.Answer)
+	}
+
+	events, stop := openWatch(t, client, ts.URL+"/v1/watch")
+	defer stop()
+	ev, ok := nextEvent(events, 5*time.Second)
+	if !ok || ev.typ != "init" || ev.body.Resync {
+		t.Fatalf("first event %+v ok=%v, want clean init", ev, ok)
+	}
+
+	for i := 0; i < 8; i++ {
+		postUpdatesHTTP(t, client, ts.URL, w.NextBatch())
+	}
+	waitQuiescedSrv(t, srv)
+	var ans answersResponse
+	getJSON(t, client, ts.URL+"/v1/answers", &ans)
+
+	// Drain deltas until replaying them over the registration-time answers
+	// reproduces the polled state. A commit that moved nothing produces no
+	// event, so the exit condition is view convergence, not position.
+	matches := func() bool {
+		for _, a := range ans.Answers {
+			if view[a.ID] != float64(a.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	lastPos := ev.body.Pos
+	for !matches() {
+		ev, ok := nextEvent(events, 10*time.Second)
+		if !ok {
+			t.Fatalf("watch stream dried up before converging on polled answers (pos %d, answers at %d)",
+				lastPos, ans.Batches)
+		}
+		if ev.typ != "delta" {
+			t.Fatalf("unexpected %s event mid-stream: %+v", ev.typ, ev.body)
+		}
+		if ev.body.Pos <= lastPos {
+			t.Fatalf("positions not increasing: %d after %d", ev.body.Pos, lastPos)
+		}
+		if ev.body.Ts <= 0 {
+			t.Fatalf("delta missing commit timestamp: %+v", ev.body)
+		}
+		if ev.body.Pos > ans.Batches {
+			t.Fatalf("delta at pos %d beyond the polled snapshot %d without converging", ev.body.Pos, ans.Batches)
+		}
+		lastPos = ev.body.Pos
+		for _, d := range ev.body.Changed {
+			view[d.ID] = float64(d.Value)
+		}
+	}
+	if got := srv.Counters().Get(CntWatchConns); got < 1 {
+		t.Errorf("%s=%d, want >=1", CntWatchConns, got)
+	}
+
+	// Metrics expose the watch gauges/counters.
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, m := range []string{"cisgraph_watch_subscribers", "cisgraph_watch_deltas"} {
+		if !bytes.Contains(mb, []byte(m)) {
+			t.Errorf("/metrics missing %s", m)
+		}
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Long-poll mode: an up-to-date client parks until a commit moves an answer;
+// a client resuming from a stale position is told to resync immediately.
+func TestWatchLongPoll(t *testing.T) {
+	w := testWorkload(t)
+	srv, err := New(w.Initial(), testAlgo(t), testServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	p := w.QueryPairsConnected(1)[0]
+	postJSON(t, client, ts.URL+"/v1/query", queryRequest{S: p[0], D: p[1]})
+
+	done := make(chan watchEventJSON, 1)
+	go func() {
+		var ev watchEventJSON
+		getJSON(t, client, ts.URL+"/v1/watch?mode=poll&wait=2s", &ev)
+		done <- ev
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poller park
+	for i := 0; i < 4; i++ {
+		postUpdatesHTTP(t, client, ts.URL, w.NextBatch())
+	}
+	waitQuiescedSrv(t, srv)
+	select {
+	case ev := <-done:
+		if ev.Resync {
+			t.Fatalf("unexpected resync: %+v", ev)
+		}
+		if ev.Pos == 0 && len(ev.Changed) > 0 {
+			t.Fatalf("delta without position: %+v", ev)
+		}
+	case <-time.After(6 * time.Second):
+		t.Fatal("long-poll never returned")
+	}
+
+	if srv.Applied() == 0 {
+		t.Fatal("no batch committed")
+	}
+	// from=0 is behind any committed position: the client must resync.
+	var stale watchEventJSON
+	getJSON(t, client, ts.URL+"/v1/watch?mode=poll&from=0", &stale)
+	if !stale.Resync {
+		t.Fatalf("stale resume got %+v, want resync", stale)
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// End-to-end differential guard for change-driven skipping: two servers —
+// production (skip on) and DisableChangeSkip — fed the identical batch
+// sequence must serve byte-identical /v1/answers bodies (including the
+// global position) after every batch, while only the skip server's
+// update_skipped_queries counter moves.
+func TestServerChangeSkipDifferentialHTTP(t *testing.T) {
+	w1, w2 := testWorkload(t), testWorkload(t)
+	a := testAlgo(t)
+	mk := func(w0 *graph.Dynamic, disable bool) (*Server, *httptest.Server) {
+		cfg := testServerConfig()
+		cfg.DisableChangeSkip = disable
+		srv, err := New(w0, a, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, httptest.NewServer(srv.Handler())
+	}
+	skipSrv, skipTS := mk(w1.Initial(), false)
+	defer skipTS.Close()
+	fullSrv, fullTS := mk(w2.Initial(), true)
+	defer fullTS.Close()
+
+	// Clustered sources so source groups exist (the skip unit of proof).
+	pairs := w1.QueryPairsConnected(4)
+	var qs []core.Query
+	for _, p := range pairs {
+		for _, p2 := range pairs {
+			if p[0] != p2[1] {
+				qs = append(qs, core.Query{S: p[0], D: p2[1]})
+			}
+		}
+	}
+	for _, q := range qs {
+		for _, ts := range []*httptest.Server{skipTS, fullTS} {
+			resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/query", queryRequest{S: q.S, D: q.D})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("POST /v1/query: status %d: %s", resp.StatusCode, body)
+			}
+		}
+	}
+
+	readBody := func(ts *httptest.Server) []byte {
+		resp, err := ts.Client().Get(ts.URL + "/v1/answers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	// Drive both pipelines with identical, deterministic batch boundaries
+	// (the exported ingest path cuts its own windows, which would desync the
+	// position counters between the two servers). Small batches keep their
+	// dirty regions bounded so skipping has room to engage.
+	var chunks [][]graph.Update
+	for i := 0; i < 3; i++ {
+		b := w1.NextBatch()
+		w2.NextBatch() // keep the twin workload in lockstep
+		for len(b) > 0 {
+			n := min(8, len(b))
+			chunks = append(chunks, b[:n])
+			b = b[n:]
+		}
+	}
+	for i, c := range chunks {
+		skipSrv.applyBatch(c, CutSize)
+		fullSrv.applyBatch(c, CutSize)
+		sb, fb := readBody(skipTS), readBody(fullTS)
+		if !bytes.Equal(sb, fb) {
+			t.Fatalf("chunk %d: /v1/answers bodies diverged\nskip: %s\nfull: %s", i, sb, fb)
+		}
+	}
+	if got := skipSrv.Pool().Counters().Get("update_skipped_queries"); got == 0 {
+		t.Error("skip server never skipped a query (update_skipped_queries=0)")
+	}
+	if got := fullSrv.Pool().Counters().Get("update_skipped_queries"); got != 0 {
+		t.Errorf("DisableChangeSkip server skipped %d queries, want 0", got)
+	}
+	if err := skipSrv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fullSrv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Followers push the same delta stream their leader committed, and a
+// checkpoint re-bootstrap surfaces as a resync marker after which deltas
+// resume.
+func TestFollowerWatchDeltasAndRebootstrapResync(t *testing.T) {
+	w := testWorkload(t)
+	a := testAlgo(t)
+	dir := t.TempDir()
+	lcfg := testServerConfig()
+	lcfg.WALPath = filepath.Join(dir, "wal")
+	lcfg.CheckpointPath = filepath.Join(dir, "ckpt")
+	leader, err := New(w.Initial(), a, lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsrv := httptest.NewServer(leader.Handler())
+	defer lsrv.Close()
+
+	fcfg := Config{FollowURL: lsrv.URL, ReplLongPoll: 250 * time.Millisecond,
+		ReplBackoffBase: 10 * time.Millisecond, ReplBackoffMax: 100 * time.Millisecond}
+	fol, err := StartFollower(a, fcfg, func() (*graph.Dynamic, error) { return w.Initial(), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv := httptest.NewServer(fol.Handler())
+	defer fsrv.Close()
+
+	// Watch deltas come from the watching node's own pool: register the
+	// queries on the follower (reads are follower-local; only writes are
+	// leader-only).
+	for _, q := range w.QueryPairsConnected(3) {
+		resp, body := postJSON(t, fsrv.Client(), fsrv.URL+"/v1/query", queryRequest{S: q[0], D: q[1]})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("follower POST /v1/query: status %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	events, stop := openWatch(t, fsrv.Client(), fsrv.URL+"/v1/watch")
+	defer stop()
+	if ev, ok := nextEvent(events, 5*time.Second); !ok || ev.typ != "init" {
+		t.Fatalf("follower watch first event %+v ok=%v", ev, ok)
+	}
+
+	// Stream until the watched queries provably move: the leader's own pool
+	// reports changed answers, so once leader deltas exist the follower must
+	// fan out the same changes.
+	sawDelta := false
+	for i := 0; i < 40 && !sawDelta; i++ {
+		postUpdatesHTTP(t, lsrv.Client(), lsrv.URL, w.NextBatch())
+		waitQuiescedSrv(t, leader)
+		waitFollowerAt(t, fol, leader.Applied())
+		for {
+			ev, ok := nextEvent(events, 50*time.Millisecond)
+			if !ok {
+				break
+			}
+			if ev.typ == "delta" && len(ev.body.Changed) > 0 {
+				sawDelta = true
+			}
+		}
+	}
+	if !sawDelta {
+		t.Fatal("no delta arrived on the follower watch stream")
+	}
+
+	// Force the re-bootstrap path the retention race takes: reload from the
+	// leader's checkpoint. Watchers must see a resync marker.
+	if err := leader.writeCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fol.rebootstrapFromLeader(fsrv.Client(), lsrv.URL); err != nil {
+		t.Fatal(err)
+	}
+	gotResync := false
+	for !gotResync {
+		ev, ok := nextEvent(events, 10*time.Second)
+		if !ok {
+			t.Fatal("no resync marker after re-bootstrap")
+		}
+		if ev.typ == "resync" {
+			gotResync = true
+		}
+	}
+
+	// Deltas resume after the marker.
+	sawDelta = false
+	for i := 0; i < 40 && !sawDelta; i++ {
+		postUpdatesHTTP(t, lsrv.Client(), lsrv.URL, w.NextBatch())
+		waitQuiescedSrv(t, leader)
+		waitFollowerAt(t, fol, leader.Applied())
+		for {
+			ev, ok := nextEvent(events, 50*time.Millisecond)
+			if !ok {
+				break
+			}
+			if ev.typ == "delta" {
+				sawDelta = true
+			}
+		}
+	}
+	if !sawDelta {
+		t.Fatal("no delta after re-bootstrap resync")
+	}
+	if err := fol.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The /v1/answers body cache serves identical bytes between commits and
+// invalidates on registration and commit.
+func TestAnswersBodyCache(t *testing.T) {
+	w := testWorkload(t)
+	srv, err := New(w.Initial(), testAlgo(t), testServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	pairs := w.QueryPairsConnected(2)
+	postJSON(t, client, ts.URL+"/v1/query", queryRequest{S: pairs[0][0], D: pairs[0][1]})
+
+	read := func() []byte {
+		resp, err := client.Get(ts.URL + "/v1/answers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return b
+	}
+	b1, b2 := read(), read()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("idle re-read changed body:\n%s\n%s", b1, b2)
+	}
+	if hits := srv.Counters().Get(CntAnswersCacheHits); hits < 1 {
+		t.Errorf("%s=%d, want >=1", CntAnswersCacheHits, hits)
+	}
+
+	// Registration invalidates (new query must appear immediately).
+	postJSON(t, client, ts.URL+"/v1/query", queryRequest{S: pairs[1][0], D: pairs[1][1]})
+	var ans answersResponse
+	if err := json.Unmarshal(read(), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Answers) != 2 {
+		t.Fatalf("post-registration listing has %d answers, want 2", len(ans.Answers))
+	}
+
+	// Commit invalidates (position must advance).
+	before := ans.Batches
+	postUpdatesHTTP(t, client, ts.URL, w.NextBatch())
+	waitQuiescedSrv(t, srv)
+	if err := json.Unmarshal(read(), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Batches <= before {
+		t.Fatalf("position stuck at %d after commit", ans.Batches)
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,6 +38,15 @@ const (
 	// CntUpdatePromoted counts delayed deletions promoted to non-delayed
 	// because a key-path change rerouted the query through them.
 	CntUpdatePromoted = "update_promoted"
+	// CntUpdateSkipQueries / CntUpdateSkipGroups count change-driven
+	// multi-query skipping (DESIGN.md §15): queries whose source group a
+	// batch provably cannot affect never run their per-query phases.
+	// SkipQueries is the per-query tally (the O(changed)-not-O(Q) proof);
+	// SkipGroups counts the per-source decisions behind it. Both are
+	// per-engine, not per-query — a skipped query does no work, so it
+	// accrues nothing.
+	CntUpdateSkipQueries = "update_skipped_queries"
+	CntUpdateSkipGroups  = "update_skip_groups"
 	// CntTagged counts vertices visited by deletion-recovery tagging.
 	CntTagged = "tagged"
 	// CntHubRelax counts relaxations spent maintaining SGraph hub distances

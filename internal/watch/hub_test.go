@@ -1,0 +1,252 @@
+package watch
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func collect(s *Sub, n int, t *testing.T) []Msg {
+	t.Helper()
+	var out []Msg
+	for len(out) < n {
+		select {
+		case m, ok := <-s.C:
+			if !ok {
+				t.Fatalf("channel closed after %d messages, want %d", len(out), n)
+			}
+			out = append(out, m)
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out after %d messages, want %d", len(out), n)
+		}
+	}
+	return out
+}
+
+func TestHubDeliversInCommitOrder(t *testing.T) {
+	h := New()
+	s := h.Subscribe(8, nil)
+	h.Publish(1, 100, []Event{{ID: 0, Value: 1}})
+	h.Publish(2, 200, []Event{{ID: 1, Value: 2}, {ID: 3, Value: 4}})
+	got := collect(s, 2, t)
+	if got[0].Pos != 1 || got[0].TsNano != 100 || len(got[0].Events) != 1 {
+		t.Fatalf("first message %+v", got[0])
+	}
+	if got[1].Pos != 2 || len(got[1].Events) != 2 || got[1].Events[1].ID != 3 {
+		t.Fatalf("second message %+v", got[1])
+	}
+	if h.Delivered() != 2 || h.Dropped() != 0 {
+		t.Fatalf("delivered=%d dropped=%d", h.Delivered(), h.Dropped())
+	}
+	s.Cancel()
+	if _, ok := <-s.C; ok {
+		t.Fatal("channel still open after Cancel")
+	}
+	if h.Subscribers() != 0 {
+		t.Fatalf("subscribers=%d after cancel", h.Subscribers())
+	}
+}
+
+func TestHubFilter(t *testing.T) {
+	h := New()
+	odd := h.Subscribe(8, func(id int) bool { return id%2 == 1 })
+	all := h.Subscribe(8, nil)
+	h.Publish(1, 0, []Event{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}})
+	h.Publish(2, 0, []Event{{ID: 4}}) // invisible to odd
+	h.Publish(3, 0, []Event{{ID: 5}})
+
+	am := collect(all, 3, t)
+	if len(am[0].Events) != 4 {
+		t.Fatalf("all subscriber saw %d events in first commit", len(am[0].Events))
+	}
+	om := collect(odd, 2, t)
+	if om[0].Pos != 1 || len(om[0].Events) != 2 || om[0].Events[0].ID != 1 || om[0].Events[1].ID != 3 {
+		t.Fatalf("odd subscriber first message %+v", om[0])
+	}
+	if om[1].Pos != 3 || len(om[1].Events) != 1 || om[1].Events[0].ID != 5 {
+		t.Fatalf("odd subscriber skipped-commit handling wrong: %+v", om[1])
+	}
+	odd.Cancel()
+	all.Cancel()
+}
+
+// A subscriber that stops draining overflows its queue, loses messages, and
+// is handed a resync marker as soon as there is room — after which deltas
+// resume. Positions never go backwards and the marker precedes resumed
+// deltas.
+func TestHubSlowConsumerResync(t *testing.T) {
+	h := New()
+	s := h.Subscribe(2, nil)
+	// Fill the queue (2), then overflow (3,4): both dropped, sub marked lost.
+	for pos := uint64(1); pos <= 4; pos++ {
+		h.Publish(pos, 0, []Event{{ID: int(pos)}})
+	}
+	if h.Dropped() != 2 {
+		t.Fatalf("dropped=%d, want 2", h.Dropped())
+	}
+	// Drain one slot; the next publish must deliver a resync marker, NOT the
+	// new delta (the re-read covers it).
+	m1 := collect(s, 1, t)[0]
+	if m1.Pos != 1 || m1.Resync {
+		t.Fatalf("first drained message %+v", m1)
+	}
+	h.Publish(5, 0, []Event{{ID: 5}})
+	got := collect(s, 2, t)
+	if got[0].Pos != 2 || got[0].Resync {
+		t.Fatalf("queued delta %+v", got[0])
+	}
+	if !got[1].Resync || got[1].Pos != 5 {
+		t.Fatalf("expected resync marker at pos 5, got %+v", got[1])
+	}
+	if h.Resynced() != 1 {
+		t.Fatalf("resyncs=%d, want 1", h.Resynced())
+	}
+	// After the marker, deltas flow again.
+	h.Publish(6, 0, []Event{{ID: 6}})
+	m := collect(s, 1, t)[0]
+	if m.Resync || m.Pos != 6 {
+		t.Fatalf("post-resync delta %+v", m)
+	}
+	s.Cancel()
+}
+
+func TestHubResyncAllAndClose(t *testing.T) {
+	h := New()
+	a := h.Subscribe(4, nil)
+	b := h.Subscribe(4, nil)
+	h.ResyncAll(7)
+	for _, s := range []*Sub{a, b} {
+		m := collect(s, 1, t)[0]
+		if !m.Resync || m.Pos != 7 {
+			t.Fatalf("resync-all message %+v", m)
+		}
+	}
+	h.Publish(8, 0, []Event{{ID: 1}})
+	h.Close()
+	// Queued delta drains, then the channel closes.
+	m := collect(a, 1, t)[0]
+	if m.Pos != 8 {
+		t.Fatalf("queued delta after close %+v", m)
+	}
+	if _, ok := <-a.C; ok {
+		t.Fatal("channel open after Close")
+	}
+	if h.Subscribe(1, nil) != nil {
+		t.Fatal("Subscribe succeeded on closed hub")
+	}
+	h.Close()  // idempotent
+	a.Cancel() // idempotent with Close
+	b.Cancel()
+}
+
+// Concurrent subscribe/cancel/publish must be race-free (run with -race) and
+// every delivered message must be internally consistent.
+func TestHubConcurrency(t *testing.T) {
+	h := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Subscribe(4, func(id int) bool { return id%8 == g })
+				for j := 0; j < 4; j++ {
+					select {
+					case m, ok := <-s.C:
+						if ok && !m.Resync {
+							for _, e := range m.Events {
+								if e.ID%8 != g {
+									t.Errorf("filter leak: id %d on subscriber %d", e.ID, g)
+								}
+							}
+						}
+					case <-time.After(time.Millisecond):
+					}
+				}
+				s.Cancel()
+			}
+		}(g)
+	}
+	events := make([]Event, 64)
+	for i := range events {
+		events[i] = Event{ID: i}
+	}
+	for pos := uint64(1); pos <= 2000; pos++ {
+		h.Publish(pos, int64(pos), events)
+	}
+	close(stop)
+	wg.Wait()
+	h.Close()
+}
+
+// Fan-out latency: with 1000 subscribers draining concurrently, the p99
+// commit→receive latency of a delta must stay under 5ms (ISSUE 8 acceptance
+// bar). The publisher stamps TsNano; each subscriber measures on receipt.
+func TestHubFanoutLatency1k(t *testing.T) {
+	const subs = 1000
+	const commits = 50
+	h := New()
+	lat := make([][]time.Duration, subs)
+	var wg sync.WaitGroup
+	var ready sync.WaitGroup
+	for i := 0; i < subs; i++ {
+		s := h.Subscribe(commits+8, nil)
+		wg.Add(1)
+		ready.Add(1)
+		go func(i int, s *Sub) {
+			defer wg.Done()
+			ready.Done()
+			for m := range s.C {
+				if !m.Resync {
+					lat[i] = append(lat[i], time.Duration(time.Now().UnixNano()-m.TsNano))
+				}
+			}
+		}(i, s)
+	}
+	ready.Wait()
+	// A handful of deliberately slow consumers must not stall the rest:
+	// subscribe a few with tiny queues that nobody drains.
+	for i := 0; i < 10; i++ {
+		h.Subscribe(1, nil)
+	}
+	for pos := uint64(1); pos <= commits; pos++ {
+		h.Publish(pos, time.Now().UnixNano(), []Event{{ID: 1, Value: float64(pos)}})
+		time.Sleep(time.Millisecond)
+	}
+	h.Close()
+	wg.Wait()
+
+	var all []time.Duration
+	for i := range lat {
+		all = append(all, lat[i]...)
+	}
+	if len(all) < subs*commits/2 {
+		t.Fatalf("only %d deliveries recorded, want >= %d", len(all), subs*commits/2)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	p50 := all[len(all)/2]
+	p99 := all[len(all)*99/100]
+	t.Logf("fan-out latency across %d deliveries: p50=%v p99=%v max=%v",
+		len(all), p50, p99, all[len(all)-1])
+	// 5ms is the acceptance bar; -race slows everything, so give it 10x
+	// headroom there by keying on the measured p50 staying sane too.
+	if p99 > 50*time.Millisecond {
+		t.Fatalf("p99 fan-out latency %v implausibly slow", p99)
+	}
+	if testing.Short() {
+		return
+	}
+	if raceEnabled {
+		return // timing bar enforced only on the non-instrumented build
+	}
+	if p99 > 5*time.Millisecond {
+		t.Errorf("p99 fan-out latency %v exceeds 5ms bar (p50=%v)", p99, p50)
+	}
+}

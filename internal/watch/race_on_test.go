@@ -1,0 +1,7 @@
+//go:build race
+
+package watch
+
+// raceEnabled lets timing-sensitive tests relax their bars under the race
+// detector's ~10x slowdown.
+const raceEnabled = true
