@@ -22,5 +22,7 @@ func BenchmarkDynamicClone(b *testing.B)     { bench.DynamicClone(b) }
 func BenchmarkTopDegree(b *testing.B)        { bench.TopDegree(b) }
 func BenchmarkApplyBatch(b *testing.B)       { bench.ApplyBatch(b) }
 
+func BenchmarkParallelPropagation(b *testing.B) { bench.ParallelPropagation(b) }
+
 func BenchmarkMultiQueryScaleQ16Dense(b *testing.B)  { bench.MultiQueryScale(16, core.StoreDense)(b) }
 func BenchmarkMultiQueryScaleQ16Sparse(b *testing.B) { bench.MultiQueryScale(16, core.StoreSparse)(b) }

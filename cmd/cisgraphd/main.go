@@ -69,6 +69,8 @@ func run() error {
 		maxInfl   = flag.Int("max-inflight", 256, "concurrently executing /v1/* requests before shedding with 429")
 		shards    = flag.Int("shards", 1, "query-pool shards")
 		workers   = flag.Int("workers", 0, "per-shard query worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		propWork  = flag.Int("propagate-workers", 0, "intra-query parallel-propagation worker budget per shard (0/1 = serial drains; answers are identical either way)")
+		parMin    = flag.Int("parallel-frontier-min", 0, "propagation-frontier size that triggers a parallel drain (0 = default 256; needs -propagate-workers >= 2)")
 		storeStr  = flag.String("store", "dense", "per-query state store: dense (flat arrays) or sparse (paged deltas over a shared baseline)")
 		maxQ      = flag.Int("max-queries", 1024, "registered-query admission limit")
 
@@ -113,30 +115,32 @@ func run() error {
 		*reqTO = *timeout // honor the deprecated spelling
 	}
 	cfg := server.Config{
-		BatchMaxSize:      *batchSize,
-		BatchMaxWait:      *batchWait,
-		QueueCapacity:     *queueCap,
-		OnFull:            overflow,
-		RequestTimeout:    *reqTO,
-		MaxBodyBytes:      *maxBody,
-		MaxInFlight:       *maxInfl,
-		Shards:            *shards,
-		Workers:           *workers,
-		Store:             store,
-		MaxQueries:        *maxQ,
-		Policy:            policy,
-		WALPath:           *walPath,
-		WALSegmentBytes:   *walSegment,
-		WALRetain:         *walRetain,
-		CheckpointPath:    *ckptPath,
-		CheckpointEvery:   *ckptEvery,
-		FollowURL:         *follow,
-		MaxStaleness:      *maxStale,
-		ReplLongPoll:      *replLongPoll,
-		ReplSeed:          *replSeed,
-		WatchQueue:        *watchQueue,
-		MaxWatchers:       *maxWatchers,
-		DisableChangeSkip: *noSkip,
+		BatchMaxSize:        *batchSize,
+		BatchMaxWait:        *batchWait,
+		QueueCapacity:       *queueCap,
+		OnFull:              overflow,
+		RequestTimeout:      *reqTO,
+		MaxBodyBytes:        *maxBody,
+		MaxInFlight:         *maxInfl,
+		Shards:              *shards,
+		Workers:             *workers,
+		Store:               store,
+		PropagateWorkers:    *propWork,
+		ParallelFrontierMin: *parMin,
+		MaxQueries:          *maxQ,
+		Policy:              policy,
+		WALPath:             *walPath,
+		WALSegmentBytes:     *walSegment,
+		WALRetain:           *walRetain,
+		CheckpointPath:      *ckptPath,
+		CheckpointEvery:     *ckptEvery,
+		FollowURL:           *follow,
+		MaxStaleness:        *maxStale,
+		ReplLongPoll:        *replLongPoll,
+		ReplSeed:            *replSeed,
+		WatchQueue:          *watchQueue,
+		MaxWatchers:         *maxWatchers,
+		DisableChangeSkip:   *noSkip,
 	}
 
 	initTopo := func() (*graph.Dynamic, error) {

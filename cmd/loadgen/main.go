@@ -354,6 +354,14 @@ func run() error {
 		rep.VisP50Ms, rep.VisP90Ms, rep.VisP99Ms, rep.VisSamples)
 	fmt.Printf("answer GET latency:  p50=%.2fms p90=%.2fms p99=%.2fms (%d reads)\n",
 		rep.QueryP50Ms, rep.QueryP90Ms, rep.QueryP99Ms, rep.QueryReads)
+	if al, err := getApplyLatency(client, *addr); err == nil && len(al) > 0 {
+		rep.ApplyLatency = al
+		fmt.Printf("engine apply latency by batch size:\n")
+		for _, b := range al {
+			fmt.Printf("  %12s updates: p50=%.3fms p90=%.3fms p99=%.3fms max=%.3fms (%d batches)\n",
+				b.Sizes, b.P50Ms, b.P90Ms, b.P99Ms, b.MaxMs, b.Count)
+		}
+	}
 	if binDropped > 0 {
 		fmt.Printf("binary: %d updates refused by the sanitizer\n", binDropped)
 	}
@@ -436,6 +444,9 @@ type report struct {
 	WatchP50Ms     float64 `json:"watch_p50_ms,omitempty"`
 	WatchP90Ms     float64 `json:"watch_p90_ms,omitempty"`
 	WatchP99Ms     float64 `json:"watch_p99_ms,omitempty"`
+	// ApplyLatency mirrors the daemon's engine-side apply-latency
+	// percentiles, split by batch-size class (/healthz "apply_latency").
+	ApplyLatency []server.ApplyLatBucket `json:"apply_latency,omitempty"`
 }
 
 // ---- /v1/watch subscription ----
@@ -849,6 +860,24 @@ func getAnswers(c *http.Client, addr string) (*answersPayload, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// getApplyLatency reads the daemon's engine-side apply-latency report: per
+// batch-size class, the p50/p90/p99 of how long the shard engines took to
+// apply recent batches of that size (sanitize/WAL/publication excluded).
+func getApplyLatency(c *http.Client, addr string) ([]server.ApplyLatBucket, error) {
+	resp, err := c.Get(addr + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		ApplyLatency []server.ApplyLatBucket `json:"apply_latency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		return nil, err
+	}
+	return hz.ApplyLatency, nil
 }
 
 func getAppliedBatches(c *http.Client, addr string) (uint64, error) {

@@ -61,6 +61,17 @@ type MultiCISO struct {
 	workers int       // bounded pool width for per-query phases; <=1 is serial
 	kind    StoreKind // per-query state representation
 
+	// Intra-query parallel propagation (DESIGN.md §16). propWorkers is the
+	// total relax-worker budget across the engine (0 = off); parMin the
+	// frontier size that triggers a parallel drain. coldPP is the
+	// full-budget propagator cold starts use (immutable after construction,
+	// so the lock-free AddQuery path may read it); parProps caches one
+	// propagator per policy width (write lock held at every access).
+	propWorkers int
+	parMin      int
+	coldPP      propagator
+	parProps    map[int]*parallelPropagator
+
 	// epoch counts topology mutations; a baseline (and an AddQuery compute)
 	// is only valid against the epoch it was built for.
 	epoch uint64
@@ -147,13 +158,58 @@ func WithStore(kind StoreKind) MultiOption { return func(m *MultiCISO) { m.kind 
 // proof and for debugging, not for correctness.
 func WithChangeSkip(enabled bool) MultiOption { return func(m *MultiCISO) { m.skip = enabled } }
 
+// WithPropagateWorkers sets the engine's total intra-query relax-worker
+// budget (DESIGN.md §16): cold-start convergences drain with the full
+// budget, and each apply splits it across the queries actually processed —
+// a wide batch keeps per-query serial drains (inter-query parallelism
+// already saturates the budget), a narrow batch flips the processed states
+// to bucketed parallel drains. n < 2 disables intra-query parallelism
+// (the default). Answers are bit-identical either way.
+func WithPropagateWorkers(n int) MultiOption { return func(m *MultiCISO) { m.propWorkers = n } }
+
+// WithParallelFrontierMin sets the frontier size below which a parallel-
+// armed drain stays serial (≤ 0 selects DefaultParallelFrontierMin).
+// Meaningful only together with WithPropagateWorkers.
+func WithParallelFrontierMin(n int) MultiOption { return func(m *MultiCISO) { m.parMin = n } }
+
 // NewMultiCISO returns an unarmed multi-query engine; call Reset first.
 func NewMultiCISO(opts ...MultiOption) *MultiCISO {
 	m := &MultiCISO{cnt: stats.NewCounters(), workers: 1, skip: true}
 	for _, o := range opts {
 		o(m)
 	}
+	if m.propWorkers >= 2 {
+		m.coldPP = newParallelPropagator(m.propWorkers, m.parMin)
+		m.parProps = map[int]*parallelPropagator{m.propWorkers: m.coldPP.(*parallelPropagator)}
+	}
 	return m
+}
+
+// intraPropLocked applies the nested-parallelism policy for an apply that
+// processes nActive queries: the relax-worker budget divides across the
+// query-level worker slots actually running, and only a per-slot share of
+// at least 2 is worth the coordination. Returns nil for "stay serial".
+func (m *MultiCISO) intraPropLocked(nActive int) propagator {
+	if m.propWorkers < 2 || nActive == 0 {
+		return nil
+	}
+	slots := m.workers
+	if slots > nActive {
+		slots = nActive
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	width := m.propWorkers / slots
+	if width < 2 {
+		return nil
+	}
+	pp, ok := m.parProps[width]
+	if !ok {
+		pp = newParallelPropagator(width, m.parMin)
+		m.parProps[width] = pp
+	}
+	return pp
 }
 
 // Name identifies the engine.
@@ -203,7 +259,7 @@ func (m *MultiCISO) buildStateLocked(q Query, cnt *stats.Counters) *state {
 			return newStateOn(NewOverlayStore(be.base), nil, m.g, m.a, q, cnt)
 		}
 	}
-	st, base := computeState(m.g, m.a, q, cnt, m.kind)
+	st, base := computeState(m.g, m.a, q, cnt, m.kind, m.coldPP)
 	if base != nil {
 		m.bases[q.S] = baseEntry{base: base, epoch: m.epoch}
 	}
@@ -215,12 +271,19 @@ func (m *MultiCISO) buildStateLocked(q Query, cnt *stats.Counters) *state {
 // a private clone). Dense: the converged store backs the state directly.
 // Sparse: the converged arrays become a shareable baseline and the state is
 // an empty overlay over it. Multi-owned states carry no scratch of their
-// own; forEachQuery attaches a worker slot's scratch per execution.
-func computeState(g *graph.Dynamic, a algo.Algorithm, q Query, cnt *stats.Counters, kind StoreKind) (*state, *Baseline) {
+// own; forEachQuery attaches a worker slot's scratch per execution. A
+// non-nil prop drains the cold-start convergence through it (intra-query
+// parallel cold starts, DESIGN.md §16) and is detached afterwards — batch
+// applies re-attach per the nested-parallelism policy.
+func computeState(g *graph.Dynamic, a algo.Algorithm, q Query, cnt *stats.Counters, kind StoreKind, prop propagator) (*state, *Baseline) {
 	n := g.NumVertices()
 	ds := NewDenseStore(n)
 	st := newStateOn(ds, newScratch(a, n), g, a, q, cnt)
+	if prop != nil {
+		st.prop = prop
+	}
 	st.fullCompute()
+	st.prop = serialProp
 	st.sc = nil
 	if kind != StoreSparse {
 		return st, nil
@@ -265,7 +328,7 @@ func (m *MultiCISO) AddQuery(q Query) (int, algo.Value) {
 
 		var base *Baseline
 		if st == nil {
-			st, base = computeState(gc, a, q, cnt, m.kind)
+			st, base = computeState(gc, a, q, cnt, m.kind, m.coldPP)
 		}
 
 		m.mu.Lock()
@@ -552,6 +615,23 @@ func (m *MultiCISO) applyBatchCoreLocked(batch []graph.Update, wantResults bool)
 	}
 	m.activeBuf = active
 	skipped := nq - len(active)
+
+	// Nested-parallelism policy (DESIGN.md §16): flip the processed states
+	// to intra-query parallel drains when the relax-worker budget is not
+	// already consumed by query-level parallelism — i.e. narrow processed
+	// sets and big frontiers; wide sets keep the per-query serial drains.
+	// Restored on every exit path so states sit serial between batches
+	// (recovery recomputes inside this call still drain parallel).
+	if pp := m.intraPropLocked(len(active)); pp != nil {
+		for _, i := range active {
+			m.states[i].prop = pp
+		}
+		defer func() {
+			for _, i := range active {
+				m.states[i].prop = serialProp
+			}
+		}()
+	}
 
 	// Snapshot each processed query's counters on the caller's goroutine,
 	// before any phase runs: the per-batch deltas derived from these drive

@@ -46,9 +46,30 @@ func (st *state) relaxEdge(u, v graph.VertexID, w float64) bool {
 	return true
 }
 
-// drain runs best-first propagation until the worklist empties. Stale
+// propagator is the drain strategy of the propagation stage: it runs the
+// state's worklist to convergence. The serial implementation below is the
+// classic single-threaded best-first drain; propagate_parallel.go adds the
+// bucketed intra-query parallel one. Engines select a propagator per state
+// (or, for MultiCISO, per apply — the nested-parallelism policy).
+type propagator interface {
+	drain(st *state)
+}
+
+// serialPropagator drains single-threaded, best-first. It is stateless; all
+// states share the serialProp singleton.
+type serialPropagator struct{}
+
+var serialProp propagator = serialPropagator{}
+
+func (serialPropagator) drain(st *state) { st.serialDrain() }
+
+// drain runs propagation until the worklist empties, through the state's
+// configured propagator.
+func (st *state) drain() { st.prop.drain(st) }
+
+// serialDrain is best-first propagation on the caller's goroutine. Stale
 // entries (value no longer current) are skipped lazily.
-func (st *state) drain() {
+func (st *state) serialDrain() {
 	wl := &st.sc.wl
 	for wl.len() > 0 {
 		v, score := wl.pop()
@@ -120,19 +141,25 @@ func (st *state) repairVertex(v graph.VertexID) bool {
 	if !algo.Reached(st.a, old) {
 		return false // nothing to lose
 	}
+	// One pass derives the best replacement value AND remembers, in in-edge
+	// order, every supplier still offering exactly the old value — the
+	// shortcut's candidates. (Previously the shortcut re-scanned In(v) and
+	// re-paid a ⊕ per edge after this loop had already visited every edge.)
+	cand := st.sc.buf[:0]
 	best := st.a.Init()
 	for _, e := range st.g.In(v) {
 		st.hRelax.Inc()
-		if t := st.a.Propagate(st.value(e.To), st.a.Weight(e.W)); st.a.Better(t, best) {
+		t := st.a.Propagate(st.value(e.To), st.a.Weight(e.W))
+		if st.a.Better(t, best) {
 			best = t
 		}
+		if t == old {
+			cand = append(cand, e.To)
+		}
 	}
+	st.sc.buf = cand
 	if best == old {
-		for _, e := range st.g.In(v) {
-			y := e.To
-			if st.a.Propagate(st.value(y), st.a.Weight(e.W)) != old {
-				continue
-			}
+		for _, y := range cand {
 			if st.a.Better(st.value(y), old) || !st.chainPasses(y, v) {
 				st.adoptParent(v, y)
 				return false

@@ -21,6 +21,12 @@ type scratch struct {
 	buf    []graph.VertexID // reusable buffer for tagging
 	inSet  []bool           // reusable membership marks, len N, all false between uses
 	onPath []bool           // key-path marks, len N (multi-query phases B–D)
+
+	// par holds the parallel propagator's working set (pending set, bucket
+	// frontier, per-worker sub-worklists and claim lists — DESIGN.md §16).
+	// Built lazily on the first parallel drain this slot executes, so slots
+	// that only ever drain serially pay nothing.
+	par *parScratch
 }
 
 // newScratch builds a scratch for n vertices, armed for a's worklist order.
@@ -42,12 +48,19 @@ func (sc *scratch) clear() {
 	for i := range sc.onPath {
 		sc.onPath[i] = false
 	}
+	if sc.par != nil {
+		sc.par.clear()
+	}
 }
 
 // bytes returns the scratch's resident size (memory accounting).
 func (sc *scratch) bytes() int64 {
-	return int64(len(sc.inSet)) + int64(len(sc.onPath)) +
+	b := int64(len(sc.inSet)) + int64(len(sc.onPath)) +
 		int64(cap(sc.buf))*4 + int64(cap(sc.wl.items))*16
+	if sc.par != nil {
+		b += sc.par.bytes()
+	}
+	return b
 }
 
 // worklist is a lazy best-first priority queue over (vertex, score) pairs.
@@ -82,8 +95,19 @@ func (w *worklist) arm(a algo.Algorithm) {
 	w.reset()
 }
 
+// worklistShrinkCap is the high-water mark on the worklist's backing array:
+// reset drops anything larger instead of pinning the worst batch's capacity
+// in every scratch slot forever. 64Ki items is 1 MiB — far above any
+// steady-state frontier (the zero-alloc guards run at size 64), so the
+// shrink only ever fires after a genuinely exceptional batch.
+const worklistShrinkCap = 1 << 16
+
 func (w *worklist) reset() {
-	w.items = w.items[:0]
+	if cap(w.items) > worklistShrinkCap {
+		w.items = nil // next push reallocates at append's default growth
+	} else {
+		w.items = w.items[:0]
+	}
 	w.head = 0
 }
 

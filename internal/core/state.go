@@ -56,6 +56,17 @@ type state struct {
 	// count, not query count.
 	sc *scratch
 
+	// prop is the drain strategy (DESIGN.md §16): serialProp by default;
+	// engines swap in a parallelPropagator for intra-query parallelism.
+	// MultiCISO flips it per apply under its nested-parallelism policy.
+	prop propagator
+
+	// Parallel-propagation counter handles, resolved eagerly like the hot
+	// ones above (only the parallel propagator touches them).
+	hCASRetry    stats.Handle
+	hParBuckets  stats.Handle
+	hParFallback stats.Handle
+
 	// dirty, when non-nil, records every vertex this state writes into the
 	// batch's per-source change summary (DESIGN.md §15). MultiCISO attaches
 	// it to one representative query per processed source group for the
@@ -79,16 +90,20 @@ func newState(g *graph.Dynamic, a algo.Algorithm, q Query, cnt *stats.Counters) 
 // attaches a scratch per execution (MultiCISO).
 func newStateOn(store StateStore, sc *scratch, g *graph.Dynamic, a algo.Algorithm, q Query, cnt *stats.Counters) *state {
 	st := &state{
-		g:       g,
-		a:       a,
-		q:       q,
-		store:   store,
-		cnt:     cnt,
-		hRelax:  cnt.Handle(stats.CntRelax),
-		hState:  cnt.Handle(stats.CntStateUpdate),
-		hAct:    cnt.Handle(stats.CntActivation),
-		hTagged: cnt.Handle(stats.CntTagged),
-		sc:      sc,
+		g:            g,
+		a:            a,
+		q:            q,
+		store:        store,
+		cnt:          cnt,
+		hRelax:       cnt.Handle(stats.CntRelax),
+		hState:       cnt.Handle(stats.CntStateUpdate),
+		hAct:         cnt.Handle(stats.CntActivation),
+		hTagged:      cnt.Handle(stats.CntTagged),
+		hCASRetry:    cnt.Handle(stats.CntRelaxCASRetries),
+		hParBuckets:  cnt.Handle(stats.CntParallelBuckets),
+		hParFallback: cnt.Handle(stats.CntParallelFallbacks),
+		sc:           sc,
+		prop:         serialProp,
 	}
 	if ds, ok := store.(*DenseStore); ok {
 		st.val, st.parent = ds.val, ds.parent

@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
+	"unsafe"
 
 	"cisgraph/internal/algo"
 	"cisgraph/internal/graph"
@@ -133,6 +136,26 @@ func (s *DenseStore) Bytes() int64 { return int64(len(s.val))*12 + denseHeaderBy
 
 // denseHeaderBytes approximates the struct + two slice headers.
 const denseHeaderBytes = 64
+
+// loadValue atomically reads v's value. Required for every value read that
+// can race with a concurrent casSet — i.e. inside the parallel propagator's
+// relax phase (DESIGN.md §16). Outside that phase (all writers joined) plain
+// reads through Value/state.value are fine.
+func (s *DenseStore) loadValue(v graph.VertexID) algo.Value {
+	return math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(&s.val[v]))))
+}
+
+// casSet atomically replaces v's value old→new, failing if the cell no
+// longer holds old — the commit primitive of the parallel propagator's
+// min-CAS protocol. Values are compared as raw float64 bits: the algebras
+// never produce NaN, and every zero they produce is +0, so bit equality is
+// value equality here. Parents are NOT written by casSet — parent choice on
+// ties must be deterministic, so the propagator stages parent claims and
+// resolves them single-threaded after the relax phase (DESIGN.md §16).
+func (s *DenseStore) casSet(v graph.VertexID, old, new algo.Value) bool {
+	return atomic.CompareAndSwapUint64((*uint64)(unsafe.Pointer(&s.val[v])),
+		math.Float64bits(old), math.Float64bits(new))
+}
 
 // CopyState implements StateStore.
 func (s *DenseStore) CopyState() ([]algo.Value, []graph.VertexID) {

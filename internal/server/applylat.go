@@ -1,0 +1,111 @@
+package server
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Engine-side apply-latency tracking. Every committed batch records how long
+// the shard engines took to apply it (pool.ApplyBatch only — sanitize, WAL
+// fsync and watch publication are excluded), keyed by the batch's size
+// bucket. Small trickle batches and full-size cuts stress completely
+// different parts of the kernel (per-update repair vs bucketed propagation),
+// so one merged distribution would hide regressions in either; the split
+// lets loadgen and operators see both (/healthz "apply_latency").
+
+// applyLatRing bounds the retained samples per size bucket: percentiles are
+// over the most recent applyLatRing batches of that size class.
+const applyLatRing = 512
+
+// applyLatBuckets covers batch sizes up to 2^31: bucket k holds sizes
+// [2^k, 2^(k+1)).
+const applyLatBuckets = 32
+
+// ApplyLatBucket is one size class of the engine apply-latency report.
+type ApplyLatBucket struct {
+	// Sizes is the half-open batch-size range, e.g. "4-7" or "512-1023".
+	Sizes string `json:"sizes"`
+	// Count is the total batches applied in this class (not capped by the
+	// sample ring).
+	Count uint64 `json:"count"`
+	// Percentiles over the most recent samples, in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"` // worst retained sample
+}
+
+type applyLatBucket struct {
+	count uint64
+	ring  []time.Duration
+	next  int // ring write position once len(ring) == applyLatRing
+}
+
+// applyLatRecorder is the concurrency-safe recorder. All three apply paths
+// (batcher, WAL replay, follower tail) record through it; the per-batch
+// mutex is noise next to an engine apply.
+type applyLatRecorder struct {
+	mu      sync.Mutex
+	buckets [applyLatBuckets]applyLatBucket
+}
+
+// record files one engine apply of a batch of n updates.
+func (r *applyLatRecorder) record(n int, d time.Duration) {
+	if n <= 0 {
+		return
+	}
+	k := bits.Len(uint(n)) - 1 // floor(log2 n)
+	if k >= applyLatBuckets {
+		k = applyLatBuckets - 1
+	}
+	r.mu.Lock()
+	b := &r.buckets[k]
+	b.count++
+	if len(b.ring) < applyLatRing {
+		b.ring = append(b.ring, d)
+	} else {
+		b.ring[b.next] = d
+		b.next = (b.next + 1) % applyLatRing
+	}
+	r.mu.Unlock()
+}
+
+// report renders the non-empty size classes in ascending size order.
+func (r *applyLatRecorder) report() []ApplyLatBucket {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []ApplyLatBucket
+	scratch := make([]time.Duration, 0, applyLatRing)
+	for k := range r.buckets {
+		b := &r.buckets[k]
+		if b.count == 0 {
+			continue
+		}
+		scratch = append(scratch[:0], b.ring...)
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+		out = append(out, ApplyLatBucket{
+			Sizes: fmt.Sprintf("%d-%d", 1<<k, 1<<(k+1)-1),
+			Count: b.count,
+			P50Ms: msOf(latPercentile(scratch, 0.50)),
+			P90Ms: msOf(latPercentile(scratch, 0.90)),
+			P99Ms: msOf(latPercentile(scratch, 0.99)),
+			MaxMs: msOf(scratch[len(scratch)-1]),
+		})
+	}
+	return out
+}
+
+// latPercentile reads the p-quantile of an ascending-sorted sample set
+// (nearest-rank).
+func latPercentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cisgraph/internal/core"
+)
+
+// The recorder must bucket by floor(log2 size), bound its per-bucket sample
+// ring, and report ordered percentiles.
+func TestApplyLatRecorder(t *testing.T) {
+	var r applyLatRecorder
+	r.record(0, time.Second) // ignored: empty batches never reach the engines
+	for i := 0; i < applyLatRing+100; i++ {
+		r.record(6, time.Duration(i)*time.Microsecond) // bucket 4-7
+	}
+	r.record(1, 5*time.Millisecond) // bucket 1-1
+	rep := r.report()
+	if len(rep) != 2 {
+		t.Fatalf("report has %d buckets, want 2: %+v", len(rep), rep)
+	}
+	if rep[0].Sizes != "1-1" || rep[0].Count != 1 {
+		t.Fatalf("bucket 0 = %+v, want sizes 1-1 count 1", rep[0])
+	}
+	b := rep[1]
+	if b.Sizes != "4-7" || b.Count != applyLatRing+100 {
+		t.Fatalf("bucket 1 = %+v, want sizes 4-7 count %d", b, applyLatRing+100)
+	}
+	if !(b.P50Ms <= b.P90Ms && b.P90Ms <= b.P99Ms && b.P99Ms <= b.MaxMs) {
+		t.Fatalf("percentiles out of order: %+v", b)
+	}
+	// The ring retains only the newest applyLatRing samples, so the oldest
+	// (fastest) 100 must have been evicted: the minimum retained sample is
+	// 100µs, hence p50 ≥ that.
+	if b.P50Ms < 0.1 {
+		t.Fatalf("p50 %.4fms implies evicted samples were reported", b.P50Ms)
+	}
+}
+
+// End to end: applied batches must surface engine apply-latency percentiles
+// in /healthz, split by batch size — and a server running with intra-query
+// parallel propagation must serve the same answers as a serial one.
+func TestApplyLatencyHealthzAndParallelConfig(t *testing.T) {
+	w := testWorkload(t)
+	cfgSerial := testServerConfig()
+	cfgPar := testServerConfig()
+	cfgPar.PropagateWorkers = 4
+	cfgPar.ParallelFrontierMin = 1 // force parallel drains even on the tiny test graph
+
+	srvS, err := New(w.Initial(), testAlgo(t), cfgSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvS.Drain()
+	srvP, err := New(w.Initial(), testAlgo(t), cfgPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvP.Drain()
+
+	tsS := httptest.NewServer(srvS.Handler())
+	defer tsS.Close()
+	tsP := httptest.NewServer(srvP.Handler())
+	defer tsP.Close()
+
+	qs := []core.Query{{S: 0, D: 3}, {S: 1, D: 5}}
+	for _, q := range qs {
+		postJSON(t, tsS.Client(), tsS.URL+"/v1/query", queryRequest{S: uint32(q.S), D: uint32(q.D)})
+		postJSON(t, tsP.Client(), tsP.URL+"/v1/query", queryRequest{S: uint32(q.S), D: uint32(q.D)})
+	}
+	for i := 0; i < 3; i++ {
+		batch := w.NextBatch()
+		postUpdatesHTTP(t, tsS.Client(), tsS.URL, batch)
+		postUpdatesHTTP(t, tsP.Client(), tsP.URL, batch)
+	}
+	waitQuiescedSrv(t, srvS)
+	waitQuiescedSrv(t, srvP)
+
+	var ansS, ansP answersResponse
+	getJSON(t, tsS.Client(), tsS.URL+"/v1/answers", &ansS)
+	getJSON(t, tsP.Client(), tsP.URL+"/v1/answers", &ansP)
+	if len(ansS.Answers) != len(ansP.Answers) {
+		t.Fatalf("answer counts differ: %d vs %d", len(ansS.Answers), len(ansP.Answers))
+	}
+	for i := range ansS.Answers {
+		if ansS.Answers[i].Value != ansP.Answers[i].Value {
+			t.Fatalf("query %d: parallel server answered %v, serial %v",
+				i, ansP.Answers[i].Value, ansS.Answers[i].Value)
+		}
+	}
+
+	var hz healthzResponse
+	getJSON(t, tsP.Client(), tsP.URL+"/healthz", &hz)
+	if len(hz.ApplyLatency) == 0 {
+		t.Fatal("healthz apply_latency empty after applied batches")
+	}
+	var total uint64
+	for _, b := range hz.ApplyLatency {
+		if b.Sizes == "" || b.Count == 0 {
+			t.Fatalf("malformed apply-latency bucket %+v", b)
+		}
+		if b.P50Ms > b.P90Ms || b.P90Ms > b.P99Ms || b.P99Ms > b.MaxMs {
+			t.Fatalf("apply-latency percentiles out of order: %+v", b)
+		}
+		total += b.Count
+	}
+	if total != hz.Batches {
+		t.Fatalf("apply-latency counts %d != applied batches %d", total, hz.Batches)
+	}
+}

@@ -140,7 +140,9 @@ func (s *Server) applyReplicated(rec resilience.Record) error {
 	}
 	sh := s.shadow.Load()
 	sh.Apply(rec.Batch)
+	tEng := time.Now()
 	changed, perr := s.pool.ApplyBatch(rec.Batch)
+	s.applyLat.record(len(rec.Batch), time.Since(tEng))
 	if perr != nil {
 		s.h.degraded.Inc()
 		s.setLastErr(perr)

@@ -66,13 +66,16 @@ type Snapshot struct {
 // each shard's query-processing pool (<=1 runs serially); kind selects the
 // per-query state store shared by every shard engine. skip toggles
 // change-driven query skipping in the shard engines (on in production;
-// Config.DisableChangeSkip turns it off for differential testing).
-func NewQueryPool(g *graph.Dynamic, a algo.Algorithm, shards, workers int, kind core.StoreKind, skip bool) *QueryPool {
+// Config.DisableChangeSkip turns it off for differential testing). Any
+// extra options (e.g. core.WithPropagateWorkers for intra-query parallel
+// propagation) are passed through to every shard engine.
+func NewQueryPool(g *graph.Dynamic, a algo.Algorithm, shards, workers int, kind core.StoreKind, skip bool, extra ...core.MultiOption) *QueryPool {
 	if shards < 1 {
 		shards = 1
 	}
 	p := &QueryPool{a: a, shards: make([]*poolShard, shards), locals: make([][]int, shards)}
 	opts := []core.MultiOption{core.WithWorkers(workers), core.WithStore(kind), core.WithChangeSkip(skip)}
+	opts = append(opts, extra...)
 	for i := range p.shards {
 		eng := core.NewMultiCISO(opts...)
 		eng.Reset(g.Clone(), a, nil)

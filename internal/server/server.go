@@ -130,6 +130,11 @@ type Server struct {
 	// readers are live.
 	shadow atomic.Pointer[graph.Dynamic]
 
+	// applyLat records engine-side apply latency per batch-size class
+	// (applylat.go); every write pipeline (batcher, WAL replay, follower
+	// tail) feeds it and /healthz reports the percentiles.
+	applyLat applyLatRecorder
+
 	cnt *stats.Counters
 	h   srvHandles
 
@@ -273,9 +278,11 @@ func Restore(a algo.Algorithm, cfg Config, init func() (*graph.Dynamic, error)) 
 		sh.Apply(b)
 		// Replay precedes serving — no watch subscriber can exist yet, so
 		// the changed set is discarded.
+		tEng := time.Now()
 		if _, perr := s.pool.ApplyBatch(b); perr != nil {
 			s.setLastErr(perr)
 		}
+		s.applyLat.record(len(b), time.Since(tEng))
 		s.applied.Add(1)
 	}
 	s.edges.Store(int64(sh.NumEdges()))
@@ -292,10 +299,16 @@ func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uin
 		return nil, err
 	}
 	cnt := stats.NewCounters()
+	var poolOpts []core.MultiOption
+	if cfg.PropagateWorkers >= 2 {
+		poolOpts = append(poolOpts,
+			core.WithPropagateWorkers(cfg.PropagateWorkers),
+			core.WithParallelFrontierMin(cfg.ParallelFrontierMin))
+	}
 	s := &Server{
 		cfg:  cfg,
 		a:    a,
-		pool: NewQueryPool(g, a, cfg.Shards, cfg.Workers, cfg.Store, !cfg.DisableChangeSkip),
+		pool: NewQueryPool(g, a, cfg.Shards, cfg.Workers, cfg.Store, !cfg.DisableChangeSkip, poolOpts...),
 		san:  resilience.NewSanitizer(cfg.Policy, cnt),
 		cnt:  cnt,
 		hub:  watch.New(),
@@ -441,7 +454,9 @@ func (s *Server) applyBatch(batch []graph.Update, reason CutReason) {
 		}
 	}
 	sh.Apply(clean)
+	tEng := time.Now()
 	changed, perr := s.pool.ApplyBatch(clean)
+	s.applyLat.record(len(clean), time.Since(tEng))
 	if perr != nil {
 		s.h.degraded.Inc()
 		s.setLastErr(perr)
@@ -981,7 +996,10 @@ type healthzResponse struct {
 	WALSegments    int         `json:"wal_segments,omitempty"`
 	WALBytes       int64       `json:"wal_bytes,omitempty"`
 	Repl           *replHealth `json:"repl,omitempty"`
-	LastError      string      `json:"last_error,omitempty"`
+	// ApplyLatency is the engine-side apply-latency distribution split by
+	// batch-size class (applylat.go), in ascending size order.
+	ApplyLatency []ApplyLatBucket `json:"apply_latency,omitempty"`
+	LastError    string           `json:"last_error,omitempty"`
 }
 
 // replHealth is the follower's replication block in /healthz.
@@ -995,19 +1013,20 @@ type replHealth struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthzResponse{
-		Status:    "ok",
-		Role:      s.Role(),
-		Leader:    s.cfg.FollowURL,
-		Batches:   s.applied.Load(),
-		Pending:   s.bat.Pending(),
-		Quiesced:  s.Quiesced(),
-		Queries:   s.pool.NumQueries(),
-		Edges:     s.edges.Load(),
-		Algorithm: s.a.Name(),
-		Shards:    s.pool.NumShards(),
-		Store:     s.pool.Store().String(),
-		StateMB:   float64(s.pool.StateBytes()) / (1 << 20),
-		LastError: s.LastError(),
+		Status:       "ok",
+		Role:         s.Role(),
+		Leader:       s.cfg.FollowURL,
+		Batches:      s.applied.Load(),
+		Pending:      s.bat.Pending(),
+		Quiesced:     s.Quiesced(),
+		Queries:      s.pool.NumQueries(),
+		Edges:        s.edges.Load(),
+		Algorithm:    s.a.Name(),
+		Shards:       s.pool.NumShards(),
+		Store:        s.pool.Store().String(),
+		StateMB:      float64(s.pool.StateBytes()) / (1 << 20),
+		ApplyLatency: s.applyLat.report(),
+		LastError:    s.LastError(),
 	}
 	switch {
 	case s.draining.Load():
