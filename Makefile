@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-smoke bench-compare serve-smoke fastpath-smoke watch-smoke chaos repl-smoke chaos-partition experiments
+.PHONY: build test race vet staticcheck govulncheck bench bench-smoke bench-compare serve-smoke fastpath-smoke watch-smoke chaos repl-smoke chaos-partition chaos-failover experiments
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,17 @@ vet:
 ## honnef.co/go/tools/cmd/staticcheck@latest`).
 staticcheck:
 	staticcheck ./...
+
+## govulncheck: known-vulnerability scan over the module's call graph.
+## Needs the govulncheck binary on PATH (CI installs it with `go install
+## golang.org/x/vuln/cmd/govulncheck@latest`); skipped with a notice when
+## it is absent so offline runs stay green.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 ## bench: full benchmark-regression suite; writes BENCH_<date>.json.
 bench:
@@ -76,6 +87,14 @@ repl-smoke:
 ## answers to an offline durable replay. CHAOS_CYCLES overrides the count.
 chaos-partition:
 	bash scripts/chaos_partition.sh $${CHAOS_CYCLES:-5}
+
+## chaos-failover: leader-failover chaos harness — 3-node cluster with a
+## live CGBIN/2 exactly-once ingest session, SIGKILL of the leader,
+## explicit promotion, epoch-fence assertions (/healthz, /metrics,
+## X-CISGraph-Epoch), 421 write handoff, deposed-leader demotion on
+## rejoin, and a byte-identical answers cross-check on all 3 nodes.
+chaos-failover:
+	bash scripts/chaos_failover.sh
 
 experiments:
 	$(GO) run ./cmd/experiments

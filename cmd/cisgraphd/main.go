@@ -23,9 +23,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -82,10 +84,18 @@ func run() error {
 		ckptEvery  = flag.Int("checkpoint-every", 0, "also checkpoint every N applied batches (0 = drain only)")
 		resume     = flag.Bool("resume", false, "restore from -checkpoint and replay the -wal suffix before serving")
 
-		follow       = flag.String("follow", "", "run as a read replica of this leader URL (e.g. http://10.0.0.1:8372): bootstrap from its checkpoint, tail its WAL, refuse writes with 421")
+		follow       = flag.String("follow", "", "run as a read replica of this leader URL (e.g. http://10.0.0.1:8372): bootstrap from its checkpoint, tail its WAL, refuse writes with 421; with -wal the replica is promotable")
 		maxStale     = flag.Duration("max-staleness", 0, "follower degrades (healthz) when its staleness exceeds this (0 = never)")
 		replLongPoll = flag.Duration("repl-longpoll", 10*time.Second, "replication tail long-poll window (leader park time / follower request deadline base)")
 		replSeed     = flag.Int64("repl-seed", 1, "seed for the follower's reconnect-backoff jitter (reproducible chaos runs)")
+
+		peers        = flag.String("peers", "", "comma-separated base URLs of every cluster node (shared, ordered list; used for failover leader discovery and promotion ranking)")
+		advertise    = flag.String("advertise", "", "this node's own base URL as it appears in -peers")
+		promoteLoss  = flag.Bool("promote-on-leader-loss", false, "follower watchdog: self-promote (or re-point to a promoted sibling) after the leader is unreachable for -promote-after scaled by peer rank")
+		promoteAfter = flag.Duration("promote-after", 2*time.Second, "base leader-loss patience for -promote-on-leader-loss")
+		syncFoll     = flag.Int("sync-followers", 0, "gate fast-path acks until this many followers have the commit durable (0 = ack on local fsync)")
+		syncAckTO    = flag.Duration("sync-ack-timeout", 5*time.Second, "degrade replication-gated acks after this long without follower coverage")
+		dedupSess    = flag.Int("dedup-sessions", 0, "exactly-once ingest session table capacity (0 = default 1024)")
 
 		queries = flag.String("queries", "", "pre-register comma-separated s:d query pairs (e.g. 3:99,0:7)")
 
@@ -138,6 +148,13 @@ func run() error {
 		MaxStaleness:        *maxStale,
 		ReplLongPoll:        *replLongPoll,
 		ReplSeed:            *replSeed,
+		Peers:               splitPeers(*peers),
+		AdvertiseURL:        *advertise,
+		PromoteOnLeaderLoss: *promoteLoss,
+		PromoteAfter:        *promoteAfter,
+		SyncFollowers:       *syncFoll,
+		SyncAckTimeout:      *syncAckTO,
+		DedupSessions:       *dedupSess,
 		WatchQueue:          *watchQueue,
 		MaxWatchers:         *maxWatchers,
 		DisableChangeSkip:   *noSkip,
@@ -161,6 +178,25 @@ func run() error {
 			return graph.FromEdgeList(el), nil
 		default:
 			return nil, errors.New("one of -file or -standin is required")
+		}
+	}
+
+	// Epoch-fenced rejoin (DESIGN.md §17): a node configured as leader that
+	// finds a peer already serving as leader at a HIGHER epoch than its own
+	// durable state was deposed while it was down — starting as leader would
+	// split the brain. It starts as a follower of the winner instead.
+	if *follow == "" && len(cfg.Peers) > 0 {
+		localEpoch := uint64(0)
+		if *ckptPath != "" {
+			if _, e, _, err := resilience.ReadCheckpointMeta(*ckptPath); err == nil {
+				localEpoch = e
+			}
+		}
+		if leader, epoch, ok := probeClusterLeader(cfg.Peers, *advertise); ok && epoch > localEpoch {
+			log.Printf("peer %s is leader at epoch %d (ours %d): deposed, rejoining as follower", leader, epoch, localEpoch)
+			*follow = leader
+			cfg.FollowURL = leader
+			*resume = false
 		}
 	}
 
@@ -228,15 +264,14 @@ func run() error {
 	httpSrv.RegisterOnShutdown(srv.CloseWatchers)
 	errCh := make(chan error, 1)
 	if *binAddr != "" {
-		if *follow != "" {
-			return errors.New("-binary-addr is leader-only: followers refuse writes")
-		}
+		// Followers run the listener too: they answer hellos with NotLeader
+		// acks until promoted, at which point the same socket takes writes.
 		binLn, err := net.Listen("tcp", *binAddr)
 		if err != nil {
 			return fmt.Errorf("binary listener: %w", err)
 		}
 		go func() {
-			log.Printf("binary ingest (CGBIN/1) on %s: per-update fast path with group-committed WAL", *binAddr)
+			log.Printf("binary ingest (CGBIN/1-2) on %s: per-update fast path with group-committed WAL", *binAddr)
 			if err := srv.ServeBinary(binLn); err != nil {
 				errCh <- fmt.Errorf("binary ingest: %w", err)
 			}
@@ -268,4 +303,49 @@ func run() error {
 	}
 	log.Printf("drained: %d batches applied, %d queries, final answers durable", srv.Applied(), srv.Pool().NumQueries())
 	return nil
+}
+
+// splitPeers parses the shared -peers list, dropping empties so a trailing
+// comma is harmless.
+func splitPeers(raw string) []string {
+	var out []string
+	for _, p := range strings.Split(raw, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// probeClusterLeader asks each peer's /healthz who it thinks it is and
+// returns the highest-epoch node claiming leadership. Unreachable peers are
+// skipped — at boot, being unable to disprove leadership cannot block
+// startup (the epoch fence catches late discoveries).
+func probeClusterLeader(peers []string, self string) (string, uint64, bool) {
+	client := &http.Client{Timeout: time.Second}
+	var bestURL string
+	var bestEpoch uint64
+	found := false
+	for _, peer := range peers {
+		if peer == self {
+			continue
+		}
+		resp, err := client.Get(peer + "/healthz")
+		if err != nil {
+			continue
+		}
+		var h struct {
+			Role  string `json:"role"`
+			Epoch uint64 `json:"epoch"`
+		}
+		derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h)
+		resp.Body.Close()
+		if derr != nil || h.Role != "leader" {
+			continue
+		}
+		if !found || h.Epoch > bestEpoch {
+			bestURL, bestEpoch, found = peer, h.Epoch, true
+		}
+	}
+	return bestURL, bestEpoch, found
 }

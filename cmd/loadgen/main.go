@@ -14,7 +14,15 @@
 //   - -proto binary: the CGBIN/1 framed protocol against -binary-addr, with
 //     -window frames pipelined; every ack carries the commit position after
 //     the frame became durable AND visible, so the ack round trip IS the
-//     per-update visibility latency.
+//     per-update visibility latency. With -session (and optionally
+//     -binary-addrs for a failover list) the stream upgrades to CGBIN/2:
+//     every update carries (session, seq) and un-acked updates are replayed
+//     across reconnects — the server dedups, so a leader kill mid-stream
+//     loses nothing and duplicates nothing.
+//
+// JSON writes follow 421 write-handoffs: when the target demotes to follower
+// mid-run, the Location header re-points the stream at the new leader and the
+// redirect count lands in the summary.
 //
 // Examples:
 //
@@ -43,6 +51,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -69,8 +78,10 @@ func main() {
 func run() error {
 	var (
 		addr     = flag.String("addr", "http://localhost:8372", "cisgraphd base URL")
-		proto    = flag.String("proto", "json", "ingest protocol: json (POST /v1/updates) or binary (CGBIN/1 framed TCP)")
+		proto    = flag.String("proto", "json", "ingest protocol: json (POST /v1/updates) or binary (CGBIN/1-2 framed TCP)")
 		binAddr  = flag.String("binary-addr", "localhost:8373", "cisgraphd binary ingest address (for -proto binary)")
+		binAddrs = flag.String("binary-addrs", "", "comma-separated failover list of binary ingest addresses (for -proto binary with -session); reconnects cycle through it until a leader acks")
+		session  = flag.Uint64("session", 0, "CGBIN/2 session id (nonzero): stamp every update with (session, seq) and replay un-acked updates across reconnects and leader failover — the server dedups, so each lands exactly once")
 		window   = flag.Int("window", 64, "frames in flight on the binary connection (for -proto binary)")
 		trace    = flag.String("trace", "", "batch trace file to replay (datagen -split output); required")
 		initial  = flag.String("initial", "", "initial snapshot edge list (required for -verify and -queries)")
@@ -243,10 +254,19 @@ func run() error {
 
 	start := time.Now()
 	posted, retried429, retried503, binDropped := 0, 0, 0, 0
+	redirects, reconnects := 0, 0
 	var visLat []time.Duration
 	switch *proto {
 	case "binary":
-		posted, binDropped, visLat, err = replayBinary(*binAddr, replay, *postSize, *rate, *window)
+		if *session != 0 {
+			addrs := splitAddrs(*binAddrs)
+			if len(addrs) == 0 {
+				addrs = []string{*binAddr}
+			}
+			posted, binDropped, reconnects, visLat, err = replayBinarySession(addrs, *session, uint64(*offset), replay, *postSize, *rate, *window)
+		} else {
+			posted, binDropped, visLat, err = replayBinary(*binAddr, replay, *postSize, *rate, *window)
+		}
 		if err != nil {
 			return err
 		}
@@ -262,6 +282,7 @@ func run() error {
 		// window), which is exactly the number the fast path is up against.
 		const visEvery = 25
 		accepted := 0
+		writeAddr := *addr
 		for at := 0; at < len(replay); {
 			end := at + *postSize
 			if end > len(replay) {
@@ -275,7 +296,7 @@ func run() error {
 				}
 			}
 			t0 := time.Now()
-			status, retryAfter, err := postUpdates(client, *addr, replay[at:end])
+			status, retryAfter, location, err := postUpdates(client, writeAddr, replay[at:end])
 			if err != nil {
 				// Transport errors (connection refused, daemon killed) stay
 				// hard: the caller decides whether a dead daemon is expected.
@@ -311,6 +332,23 @@ func run() error {
 				if backoff *= 2; backoff > backoffCap {
 					backoff = backoffCap
 				}
+			case http.StatusMisdirectedRequest:
+				// Write handoff (DESIGN.md §17): the node we targeted is (now)
+				// a follower. Follow its Location to the leader and retry the
+				// same chunk there; without one (the follower hasn't located a
+				// leader yet, mid-failover) back off and re-probe.
+				redirects++
+				if next := baseURL(location); next != "" && next != writeAddr {
+					writeAddr = next
+				} else {
+					time.Sleep(backoff)
+					if backoff *= 2; backoff > backoffCap {
+						backoff = backoffCap
+					}
+				}
+				if redirects > 100 {
+					return fmt.Errorf("POST /v1/updates: giving up after %d write redirects (421)", redirects)
+				}
 			default:
 				return fmt.Errorf("POST /v1/updates: unexpected status %d", status)
 			}
@@ -333,6 +371,8 @@ func run() error {
 		UpdatesPerS:  float64(posted) / elapsed.Seconds(),
 		Backpressure: retried429,
 		Degraded:     retried503,
+		Redirects:    redirects,
+		Reconnects:   reconnects,
 		ReaderErrors: int(readerErrs.Load()),
 		PostP50Ms:    ms(percentile(postLat, 0.50)),
 		PostP90Ms:    ms(percentile(postLat, 0.90)),
@@ -348,6 +388,10 @@ func run() error {
 	}
 	fmt.Printf("replayed %d updates (%s) in %.2fs (%.0f updates/s), %d backpressure (429) + %d degraded (503) retries\n",
 		rep.Updates, rep.Proto, rep.Elapsed, rep.UpdatesPerS, rep.Backpressure, rep.Degraded)
+	if rep.Redirects > 0 || rep.Reconnects > 0 {
+		fmt.Printf("failover: %d write redirects (421) followed, %d binary reconnects\n",
+			rep.Redirects, rep.Reconnects)
+	}
 	fmt.Printf("update send latency: p50=%.2fms p90=%.2fms p99=%.2fms (%d sends)\n",
 		rep.PostP50Ms, rep.PostP90Ms, rep.PostP99Ms, len(postLat))
 	fmt.Printf("visibility latency:  p50=%.2fms p90=%.2fms p99=%.2fms (%d samples)\n",
@@ -423,6 +467,8 @@ type report struct {
 	UpdatesPerS    float64 `json:"updates_per_s"`
 	Backpressure   int     `json:"backpressure_retries"`
 	Degraded       int     `json:"degraded_retries"`
+	Redirects      int     `json:"redirects,omitempty"`
+	Reconnects     int     `json:"binary_reconnects,omitempty"`
 	ReaderErrors   int     `json:"reader_errors"`
 	PostP50Ms      float64 `json:"post_p50_ms"`
 	PostP90Ms      float64 `json:"post_p90_ms"`
@@ -712,6 +758,156 @@ func replayBinary(binAddr string, replay []graph.Update, frameSize int, rate flo
 	return int(accepted.Load()), int(refused.Load()), visLat, nil
 }
 
+// replayBinarySession is the failover-aware CGBIN/2 client (DESIGN.md §17):
+// every update carries (sid, seq) with seq = seqBase + stream position + 1,
+// and the client only advances past a frame once its ack arrives. On any
+// transport error or non-OK ack it reconnects — cycling through addrs until
+// one answers as leader — and resends every un-acked update with the SAME
+// sequence numbers. The server's dedup window turns that at-least-once
+// delivery into exactly-once application, so acked counts stay exact across
+// leader kills.
+func replayBinarySession(addrs []string, sid, seqBase uint64, replay []graph.Update, frameSize int, rate float64, window int) (posted, dropped, reconnects int, visLat []time.Duration, err error) {
+	if window < 1 {
+		window = 1
+	}
+	start := time.Now()
+	at := 0 // first un-acked update index
+	addrIdx := 0
+	backoff := 50 * time.Millisecond
+	const backoffCap = 2 * time.Second
+	for at < len(replay) {
+		addr := addrs[addrIdx%len(addrs)]
+		next, lat, acc, drop, cerr := runSessionConn(addr, sid, seqBase, replay, at, frameSize, rate, window, start)
+		visLat = append(visLat, lat...)
+		posted += acc
+		dropped += drop
+		if next > at { // progress resets the failover backoff
+			at = next
+			backoff = 50 * time.Millisecond
+		}
+		if cerr == nil && at >= len(replay) {
+			break
+		}
+		reconnects++
+		addrIdx++
+		if reconnects > 500 {
+			return posted, dropped, reconnects, visLat, fmt.Errorf("binary failover: giving up at update %d after %d reconnects: %w", at, reconnects, cerr)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > backoffCap {
+			backoff = backoffCap
+		}
+	}
+	return posted, dropped, reconnects, visLat, nil
+}
+
+// runSessionConn drives one CGBIN/2 connection from replay[from:] until the
+// stream completes or the connection dies, returning the index just past the
+// last ACKED frame — the resume point. NotLeader acks surface as errors so
+// the caller rotates to the next address.
+func runSessionConn(addr string, sid, seqBase uint64, replay []graph.Update, from, frameSize int, rate float64, window int, start time.Time) (acked int, visLat []time.Duration, accepted, dropped int, err error) {
+	acked = from
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return acked, nil, 0, 0, fmt.Errorf("binary dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(server.BinHello2)); err != nil {
+		return acked, nil, 0, 0, err
+	}
+
+	type pend struct {
+		t0  time.Time
+		end int
+	}
+	pending := make(chan pend, window)
+	ackDone := make(chan error, 1)
+	var mu sync.Mutex
+	go func() {
+		br := bufio.NewReader(conn)
+		for p := range pending {
+			ack, rerr := server.ReadBinAck(br)
+			if rerr == nil && ack.Status != server.BinStatusOK {
+				rerr = fmt.Errorf("binary ack status %d at position %d", ack.Status, ack.Pos)
+			}
+			if rerr != nil {
+				// Kill the conn so the sender's Write fails, then drain the
+				// window until the sender closes it.
+				conn.Close()
+				for range pending {
+				}
+				ackDone <- rerr
+				return
+			}
+			mu.Lock()
+			acked = p.end
+			visLat = append(visLat, time.Since(p.t0))
+			accepted += int(ack.Accepted)
+			dropped += int(ack.Dropped)
+			mu.Unlock()
+		}
+		ackDone <- nil
+	}()
+
+	var buf []byte
+	var sendErr error
+	for at := from; at < len(replay); {
+		end := at + frameSize
+		if end > len(replay) {
+			end = len(replay)
+		}
+		if rate > 0 {
+			// Pace by GLOBAL stream position — a reconnect resumes the
+			// original schedule instead of bursting.
+			due := start.Add(time.Duration(float64(at) / rate * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		pending <- pend{t0: time.Now(), end: end}
+		// seq of replay[i] is seqBase+i+1 (seq 0 never used): stable across
+		// retries, which is what lets the server recognise replays.
+		buf = server.AppendBinFrameSession(buf[:0], sid, seqBase+uint64(at)+1, replay[at:end])
+		if _, werr := conn.Write(buf); werr != nil {
+			sendErr = fmt.Errorf("binary send %d..%d: %w", at, end, werr)
+			break
+		}
+		at = end
+	}
+	close(pending)
+	err = <-ackDone
+	if err == nil {
+		err = sendErr
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return acked, visLat, accepted, dropped, err
+}
+
+// splitAddrs parses the -binary-addrs comma list, dropping empties.
+func splitAddrs(raw string) []string {
+	var out []string
+	for _, p := range strings.Split(raw, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// baseURL reduces a Location like "http://host:port/v1/updates" to its
+// scheme://host origin for use as the next write target.
+func baseURL(location string) string {
+	if location == "" {
+		return ""
+	}
+	u, err := url.Parse(location)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return ""
+	}
+	return u.Scheme + "://" + u.Host
+}
+
 // latRecorder accumulates durations from several goroutines.
 type latRecorder struct {
 	mu   sync.Mutex
@@ -773,7 +969,10 @@ type updateJSON struct {
 	W    float64 `json:"w"`
 }
 
-func postUpdates(c *http.Client, addr string, ups []graph.Update) (int, time.Duration, error) {
+// postUpdates sends one chunk and reports (status, Retry-After, Location).
+// Location is only meaningful on 421: a follower answering a write points at
+// the leader it is tailing, and the caller re-targets there.
+func postUpdates(c *http.Client, addr string, ups []graph.Update) (int, time.Duration, string, error) {
 	wire := make([]updateJSON, len(ups))
 	for i, u := range ups {
 		op := "add"
@@ -785,11 +984,11 @@ func postUpdates(c *http.Client, addr string, ups []graph.Update) (int, time.Dur
 	body, _ := json.Marshal(map[string]any{"updates": wire})
 	resp, err := c.Post(addr+"/v1/updates", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, "", err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()), nil
+	return resp.StatusCode, parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()), resp.Header.Get("Location"), nil
 }
 
 // parseRetryAfter resolves a Retry-After header into a wait duration. RFC

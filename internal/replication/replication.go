@@ -56,6 +56,11 @@ const (
 	HeaderMaxStaleness = "X-CISGraph-Max-Staleness"
 	// HeaderRole identifies the responding node's role (leader/follower).
 	HeaderRole = "X-CISGraph-Role"
+	// HeaderEpoch carries a node's leadership epoch — the fencing token of
+	// DESIGN.md §17. Sources stamp it on every replication response;
+	// tailers send their own epoch on every request, so both sides can
+	// detect a deposed peer and refuse to serve or apply across the fence.
+	HeaderEpoch = "X-CISGraph-Epoch"
 )
 
 // maxFramePayload mirrors the WAL's record bound so a corrupt or hostile
@@ -74,7 +79,7 @@ var ErrCorruptFrame = errors.New("repl: frame failed verification")
 // AppendFrame appends rec's wire frame to buf and returns the extended
 // slice. The bytes are identical to the record's on-disk form.
 func AppendFrame(buf []byte, rec resilience.Record) []byte {
-	payload := resilience.EncodeBatchPayload(rec.Batch)
+	payload := resilience.EncodeRecordPayload(rec)
 	var hdr [16]byte
 	binary.LittleEndian.PutUint64(hdr[0:8], rec.Index)
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
@@ -107,9 +112,9 @@ func ReadFrame(br *bufio.Reader) (resilience.Record, error) {
 	if crc32.ChecksumIEEE(payload) != want {
 		return resilience.Record{}, fmt.Errorf("%w: record %d checksum mismatch", ErrCorruptFrame, idx)
 	}
-	batch, ok := resilience.DecodeBatchPayload(payload)
+	batch, sid, seq, ok := resilience.DecodeRecordPayload(payload)
 	if !ok {
 		return resilience.Record{}, fmt.Errorf("%w: record %d payload undecodable", ErrCorruptFrame, idx)
 	}
-	return resilience.Record{Index: idx, Batch: batch}, nil
+	return resilience.Record{Index: idx, Batch: batch, SID: sid, Seq: seq}, nil
 }

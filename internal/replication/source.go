@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"strconv"
@@ -29,6 +30,56 @@ type Source struct {
 	MaxBatchBytes int64
 	// Draining, if set, short-circuits long polls during shutdown.
 	Draining func() bool
+	// Epoch reports this node's leadership epoch; stamped on every
+	// response. Nil means epoch 0 (pre-epoch deployments).
+	Epoch func() uint64
+	// OnPeerEpoch, if set, is told the epoch a requesting peer advertised
+	// when it is HIGHER than ours — the signal that this node was deposed
+	// while it was not looking. The serving layer demotes on it.
+	OnPeerEpoch func(peer uint64)
+	// OnTailFrom, if set, observes each tail request's resume position: a
+	// follower asking for records from N has everything below N durable
+	// locally (promotable followers fsync before applying). The serving
+	// layer uses these marks to gate sync-replicated acks. peer identifies
+	// the follower by the host of its remote address.
+	OnTailFrom func(peer string, from uint64)
+}
+
+// epoch returns the node's current leadership epoch.
+func (s *Source) epoch() uint64 {
+	if s.Epoch == nil {
+		return 0
+	}
+	return s.Epoch()
+}
+
+// fence stamps the response with our epoch and rejects requests from peers
+// fenced AHEAD of us: a follower that has seen epoch E refuses to tail a
+// leader still at E-1 — and symmetrically, a deposed leader must not serve
+// its stale log as authoritative. The 412 carries our epoch so the peer
+// can prove the comparison; OnPeerEpoch lets the serving layer demote.
+// Returns false when the request was rejected.
+func (s *Source) fence(w http.ResponseWriter, r *http.Request) bool {
+	own := s.epoch()
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(own, 10))
+	hdr := r.Header.Get(HeaderEpoch)
+	if hdr == "" {
+		return true
+	}
+	peer, err := strconv.ParseUint(hdr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad "+HeaderEpoch+" header", http.StatusBadRequest)
+		return false
+	}
+	if peer > own {
+		if s.OnPeerEpoch != nil {
+			s.OnPeerEpoch(peer)
+		}
+		http.Error(w, fmt.Sprintf("peer epoch %d fences this node (epoch %d): deposed leader", peer, own),
+			http.StatusPreconditionFailed)
+		return false
+	}
+	return true
 }
 
 // segmentsResponse is the JSON body of /v1/repl/segments.
@@ -41,6 +92,9 @@ type segmentsResponse struct {
 // ServeSegments answers the live segment listing: next/oldest indexes plus
 // per-segment first-index, size, and sealed state.
 func (s *Source) ServeSegments(w http.ResponseWriter, r *http.Request) {
+	if !s.fence(w, r) {
+		return
+	}
 	resp := segmentsResponse{
 		Next:     s.WAL.NextIndex(),
 		Oldest:   s.WAL.OldestIndex(),
@@ -55,6 +109,9 @@ func (s *Source) ServeSegments(w http.ResponseWriter, r *http.Request) {
 // 404 means no checkpoint has been written yet — a follower then starts
 // from the leader's initial topology at index 0.
 func (s *Source) ServeCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !s.fence(w, r) {
+		return
+	}
 	data, err := s.fs().ReadFile(s.CheckpointPath)
 	if err != nil {
 		if os.IsNotExist(err) || s.CheckpointPath == "" {
@@ -77,15 +134,27 @@ func (s *Source) ServeCheckpoint(w http.ResponseWriter, r *http.Request) {
 //	204  caught up — the request long-polled LongPoll without new records
 //	409  from > next: the follower is ahead of this leader's log
 //	410  records at N were deleted by retention — re-bootstrap
+//	412  the requester's epoch fences this node — it was deposed
 //
-// Every response carries X-CISGraph-Repl-Next. The handler bounds itself
-// (long-poll deadline + request context); mount it WITHOUT a buffering
-// timeout wrapper or flushes will not reach the follower.
+// Every response carries X-CISGraph-Repl-Next and X-CISGraph-Epoch. The
+// handler bounds itself (long-poll deadline + request context); mount it
+// WITHOUT a buffering timeout wrapper or flushes will not reach the
+// follower.
 func (s *Source) ServeTail(w http.ResponseWriter, r *http.Request) {
+	if !s.fence(w, r) {
+		return
+	}
 	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
 	if err != nil {
 		http.Error(w, "bad from parameter", http.StatusBadRequest)
 		return
+	}
+	if s.OnTailFrom != nil {
+		host := r.RemoteAddr
+		if h, _, splitErr := net.SplitHostPort(host); splitErr == nil {
+			host = h
+		}
+		s.OnTailFrom(host, from)
 	}
 	longPoll := s.LongPoll
 	if longPoll <= 0 {

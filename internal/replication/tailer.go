@@ -39,6 +39,9 @@ type Status struct {
 	// LeaderNext is the leader's next WAL index as of the last response
 	// that carried one; zero until first contact.
 	LeaderNext uint64
+	// LeaderEpoch is the leadership epoch the leader advertised on the
+	// last response that carried one (X-CISGraph-Epoch).
+	LeaderEpoch uint64
 	// Connected reports whether the last poll reached the leader.
 	Connected bool
 }
@@ -60,19 +63,44 @@ type Tailer struct {
 	Rebootstrap func() (uint64, error)
 	// OnStatus, if set, observes connectivity after every poll.
 	OnStatus func(Status)
+	// Epoch reports this follower's leadership epoch, sent on every tail
+	// request (X-CISGraph-Epoch) so a deposed leader learns it was fenced.
+	// Nil means epoch 0.
+	Epoch func() uint64
+	// OnStaleLeader is consulted when the leader turns out to be fenced
+	// BEHIND this follower (its advertised epoch is lower than ours, or it
+	// answered 412 acknowledging the fence). It may return the URL of the
+	// real leader — typically discovered by probing a peer list — and the
+	// tailer re-points there; returning ok=false keeps the tailer backing
+	// off against the stale leader (it may itself re-point or restart).
+	OnStaleLeader func(leaderEpoch uint64) (newLeader string, ok bool)
+	// OnRepoint observes every leader-URL change (421 handoff or
+	// OnStaleLeader), so the serving layer can update redirect targets.
+	OnRepoint func(leader string)
 
 	client *http.Client
 	rng    *rand.Rand
+
+	leader atomic.Pointer[string]
 
 	// Telemetry, exported on the follower's /metrics.
 	Reconnects   atomic.Uint64
 	Rebootstraps atomic.Uint64
 	Records      atomic.Uint64
+	Repoints     atomic.Uint64
 }
 
 // errRebootstrap signals poll → Run that the leader answered 410/409 and
 // the follower must restart from the leader's checkpoint.
 var errRebootstrap = errors.New("repl: leader cannot serve requested records")
+
+// staleLeaderError signals poll → Run that the peer we are tailing is
+// fenced behind us — a deposed leader. Records from it must not be applied.
+type staleLeaderError struct{ epoch uint64 }
+
+func (e staleLeaderError) Error() string {
+	return fmt.Sprintf("repl: leader is deposed (epoch %d is behind ours)", e.epoch)
+}
 
 // NewTailer builds a tailer; wire Apply/Rebootstrap/OnStatus before Run.
 func NewTailer(cfg TailerConfig) *Tailer {
@@ -89,7 +117,40 @@ func NewTailer(cfg TailerConfig) *Tailer {
 	if t.client == nil {
 		t.client = &http.Client{}
 	}
+	t.leader.Store(&cfg.Leader)
 	return t
+}
+
+// Leader returns the URL the tailer currently polls — the configured leader
+// until a 421 handoff or OnStaleLeader re-points it.
+func (t *Tailer) Leader() string { return *t.leader.Load() }
+
+// repoint atomically switches the tailed leader and tells the serving layer.
+func (t *Tailer) repoint(leader string) {
+	t.leader.Store(&leader)
+	if t.OnRepoint != nil {
+		t.OnRepoint(leader)
+	}
+}
+
+// Repoint switches the tailed leader from outside the tail loop — the
+// promotion watchdog calls it when it discovers a freshly promoted peer.
+// The next poll's epoch exchange vets the target; a bogus URL just fails
+// that poll and backs off.
+func (t *Tailer) Repoint(leader string) {
+	if leader == "" || leader == t.Leader() {
+		return
+	}
+	t.Repoints.Add(1)
+	t.repoint(leader)
+}
+
+// epoch returns the follower's own leadership epoch.
+func (t *Tailer) epoch() uint64 {
+	if t.Epoch == nil {
+		return 0
+	}
+	return t.Epoch()
 }
 
 // Run tails the leader's WAL from index `from` until ctx is canceled or a
@@ -126,6 +187,25 @@ func (t *Tailer) Run(ctx context.Context, from uint64) error {
 			from = nf
 			backoff = t.cfg.BackoffBase
 			continue
+		case errors.As(err, new(staleLeaderError)):
+			// The peer we tail is fenced behind us — a deposed leader. Ask
+			// the serving layer where the real leader went; until it knows,
+			// back off (applying a deposed leader's records would fork us).
+			var stale staleLeaderError
+			errors.As(err, &stale)
+			if t.OnStaleLeader != nil {
+				if nl, ok := t.OnStaleLeader(stale.epoch); ok && nl != "" && nl != t.Leader() {
+					t.Repoints.Add(1)
+					t.repoint(nl)
+					backoff = t.cfg.BackoffBase
+					continue
+				}
+			}
+			t.notify(Status{Connected: false})
+			if serr := t.sleep(ctx, t.jitter(backoff)); serr != nil {
+				return serr
+			}
+			backoff = t.nextBackoff(backoff)
 		case ctx.Err() != nil:
 			return ctx.Err()
 		case isFatal(err):
@@ -153,11 +233,13 @@ func (t *Tailer) poll(ctx context.Context, from uint64) (uint64, error) {
 	// silent partition can hold the loop hostage.
 	rctx, cancel := context.WithTimeout(ctx, t.cfg.LongPoll+5*time.Second)
 	defer cancel()
-	u := t.cfg.Leader + PathTail + "?from=" + strconv.FormatUint(from, 10)
+	u := t.Leader() + PathTail + "?from=" + strconv.FormatUint(from, 10)
 	req, err := http.NewRequestWithContext(rctx, http.MethodGet, u, nil)
 	if err != nil {
 		return from, fmt.Errorf("repl: build tail request: %w", err)
 	}
+	own := t.epoch()
+	req.Header.Set(HeaderEpoch, strconv.FormatUint(own, 10))
 	resp, err := t.client.Do(req)
 	if err != nil {
 		return from, err
@@ -168,21 +250,44 @@ func (t *Tailer) poll(ctx context.Context, from uint64) (uint64, error) {
 	}()
 
 	leaderNext := parseNextHeader(resp.Header)
+	leaderEpoch := parseEpochHeader(resp.Header)
+	// Fencing: never apply records from a peer whose epoch is behind ours —
+	// it was deposed, and its log may diverge from the epoch we follow. An
+	// absent header reads as epoch 0 (pre-epoch leader), fenced the moment
+	// we have ever seen a higher epoch.
+	if leaderEpoch < own {
+		return from, staleLeaderError{epoch: leaderEpoch}
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 		// Stream below.
 	case http.StatusNoContent:
 		// Caught up; the leader parked us for LongPoll and nothing came.
-		t.notify(Status{LeaderNext: leaderNext, Connected: true})
+		t.notify(Status{LeaderNext: leaderNext, LeaderEpoch: leaderEpoch, Connected: true})
 		return from, nil
 	case http.StatusGone, http.StatusConflict:
 		// 410: retention deleted records we still need. 409: the leader is
 		// behind us (restarted from an older checkpoint / wiped WAL) — our
 		// state no longer extends its log, so only a re-bootstrap is safe.
-		t.notify(Status{LeaderNext: leaderNext, Connected: true})
+		t.notify(Status{LeaderNext: leaderNext, LeaderEpoch: leaderEpoch, Connected: true})
 		return from, fmt.Errorf("%w (status %d)", errRebootstrap, resp.StatusCode)
+	case http.StatusPreconditionFailed:
+		// The peer acknowledges our epoch fences it: deposed leader.
+		return from, staleLeaderError{epoch: leaderEpoch}
+	case http.StatusMisdirectedRequest:
+		// The peer is itself a follower now and hands us its leader. Verify
+		// and re-point; the next poll's epoch exchange vets the target.
+		if loc := resp.Header.Get("Location"); loc != "" {
+			if nl, lerr := LeaderURL(loc); lerr == nil && nl != t.Leader() {
+				t.Repoints.Add(1)
+				t.repoint(nl)
+				return from, nil
+			}
+		}
+		t.notify(Status{LeaderNext: leaderNext, LeaderEpoch: leaderEpoch, Connected: true})
+		return from, fmt.Errorf("repl: tail: peer is a follower and supplied no usable Location")
 	default:
-		t.notify(Status{LeaderNext: leaderNext, Connected: true})
+		t.notify(Status{LeaderNext: leaderNext, LeaderEpoch: leaderEpoch, Connected: true})
 		return from, fmt.Errorf("repl: tail: leader answered %s", resp.Status)
 	}
 
@@ -190,7 +295,7 @@ func (t *Tailer) poll(ctx context.Context, from uint64) (uint64, error) {
 	for {
 		rec, err := ReadFrame(br)
 		if err == io.EOF {
-			t.notify(Status{LeaderNext: leaderNext, Connected: true})
+			t.notify(Status{LeaderNext: leaderNext, LeaderEpoch: leaderEpoch, Connected: true})
 			return from, nil
 		}
 		if err != nil {
@@ -212,7 +317,7 @@ func (t *Tailer) poll(ctx context.Context, from uint64) (uint64, error) {
 		if leaderNext < from {
 			leaderNext = from
 		}
-		t.notify(Status{LeaderNext: leaderNext, Connected: true})
+		t.notify(Status{LeaderNext: leaderNext, LeaderEpoch: leaderEpoch, Connected: true})
 	}
 }
 
@@ -262,6 +367,18 @@ func (t *Tailer) sleep(ctx context.Context, d time.Duration) error {
 
 func parseNextHeader(h http.Header) uint64 {
 	v := h.Get(HeaderNext)
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func parseEpochHeader(h http.Header) uint64 {
+	v := h.Get(HeaderEpoch)
 	if v == "" {
 		return 0
 	}

@@ -39,9 +39,12 @@ var ErrCompacted = errors.New("wal: records compacted by retention")
 //	<dir>/seg-00000000000000000017.wal   records [17, 31)
 //	<dir>/seg-00000000000000000031.wal   active segment (appends go here)
 //
-// Each segment starts with the 8-byte magic "CGWALOG2". Readers also accept
-// "CGWALOG1" so a legacy single-file log, renamed into the directory by the
-// migration shim in OpenSegmentedWAL, replays without rewriting a byte.
+// Each segment starts with the 8-byte magic "CGWALOG2", or — once the log
+// carries a nonzero leadership epoch (DESIGN.md §17) — the 16-byte header
+// "CGWALOG3" | uint64 epoch. Readers accept all three generations
+// ("CGWALOG1" covers a legacy single-file log renamed into the directory by
+// the migration shim in OpenSegmentedWAL), so pre-epoch data directories
+// replay without rewriting a byte and read back as epoch 0.
 //
 // Crash anatomy, same redo-log rule as the single-file WAL: a torn or
 // bit-flipped record ends the trustworthy log. Only the *last* segment can
@@ -52,9 +55,39 @@ var ErrCompacted = errors.New("wal: records compacted by retention")
 // disk can never be followed by a good one.
 
 var segHeader = []byte("CGWALOG2")
+var segHeaderV3 = []byte("CGWALOG3")
+
+const segHeaderV3Len = 16 // 8-byte magic + uint64 epoch
 
 const segPrefix = "seg-"
 const segSuffix = ".wal"
+
+// segHeaderFor renders the header a new segment gets: the legacy epochless
+// magic at epoch 0 (byte-compatible with pre-epoch readers), the v3 header
+// once the log has been fenced to a nonzero epoch.
+func segHeaderFor(epoch uint64) []byte {
+	if epoch == 0 {
+		return segHeader
+	}
+	hdr := make([]byte, segHeaderV3Len)
+	copy(hdr, segHeaderV3)
+	binary.LittleEndian.PutUint64(hdr[8:16], epoch)
+	return hdr
+}
+
+// parseSegHeader recognises any segment-header generation, returning the
+// epoch it carries and the header length; ok is false for a torn or foreign
+// header.
+func parseSegHeader(data []byte) (epoch uint64, hdrLen int, ok bool) {
+	if len(data) >= segHeaderV3Len && bytes.Equal(data[:8], segHeaderV3) {
+		return binary.LittleEndian.Uint64(data[8:16]), segHeaderV3Len, true
+	}
+	if len(data) >= len(segHeader) &&
+		(bytes.Equal(data[:len(segHeader)], segHeader) || bytes.Equal(data[:len(walHeader)], walHeader)) {
+		return 0, len(segHeader), true
+	}
+	return 0, 0, false
+}
 
 // segName renders the file name of the segment whose first record is idx.
 func segName(idx uint64) string {
@@ -87,6 +120,14 @@ type SegWALOptions struct {
 	// TruncateThrough even when the checkpoint covers them (operator slack
 	// for debugging/backup tooling; default 0).
 	Retain int
+	// Epoch stamps newly created logs with this leadership epoch (see
+	// BumpEpoch). Ignored by OpenSegmentedWAL when the directory already
+	// holds segments — the active segment's header wins.
+	Epoch uint64
+	// StartIndex makes a freshly created log start at this record index
+	// instead of 0 — a promoted follower's WAL begins at the batch index
+	// its bootstrap checkpoint covers.
+	StartIndex uint64
 	// FS is the filesystem seam (default OsFS{}); tests inject a FaultFS.
 	FS FS
 }
@@ -126,10 +167,12 @@ type SegmentedWAL struct {
 	sealed []segMeta // ascending by first
 	active File      // nil when the last roll/create failed; retried on Append
 	first  uint64    // first index of the active segment
+	hdrLen int64     // length of the active segment's header
 	size   int64     // bytes written to the active segment (incl. torn tail)
 	good   int64     // bytes up to the last durable record (truncation target)
 	dirty  bool      // a failed append may have left torn bytes past good
 	next   uint64    // index the next Append will use
+	epoch  uint64    // leadership epoch stamped into new segments
 	closed bool      // Close was called; Append/Probe refuse
 }
 
@@ -155,7 +198,8 @@ func OpenSegmentedWAL(dir string, opt SegWALOptions) (*SegmentedWAL, error) {
 		return nil, err
 	}
 	if len(firsts) == 0 {
-		if err := w.createSegment(0); err != nil {
+		w.epoch = opt.Epoch
+		if err := w.createSegment(opt.StartIndex); err != nil {
 			return nil, err
 		}
 		return w, nil
@@ -198,8 +242,8 @@ func CreateSegmentedWAL(dir string, opt SegWALOptions) (*SegmentedWAL, error) {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
 	}
-	w := &SegmentedWAL{dir: dir, opt: opt, fs: fsys}
-	if err := w.createSegment(0); err != nil {
+	w := &SegmentedWAL{dir: dir, opt: opt, fs: fsys, epoch: opt.Epoch}
+	if err := w.createSegment(opt.StartIndex); err != nil {
 		return nil, err
 	}
 	return w, nil
@@ -280,8 +324,8 @@ func (w *SegmentedWAL) openActive(first uint64) error {
 	}
 	var good int64
 	var recs []Record
-	if len(data) >= len(segHeader) &&
-		(bytes.Equal(data[:len(segHeader)], segHeader) || bytes.Equal(data[:len(walHeader)], walHeader)) {
+	epoch, hdrLen, hdrOK := parseSegHeader(data)
+	if hdrOK {
 		recs, good = scanSegmentData(data, nil)
 	}
 	f, err := w.fs.OpenFile(path, os.O_RDWR, 0o644)
@@ -289,16 +333,21 @@ func (w *SegmentedWAL) openActive(first uint64) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if good == 0 {
-		// Torn header: rebuild the segment empty under its own name.
+		// Torn header: rebuild the segment empty under its own name, at the
+		// newest epoch still on disk (the last sealed segment's; a lower
+		// epoch must never follow a higher one in the same log).
+		epoch = w.sealedEpoch()
+		hdr := segHeaderFor(epoch)
+		hdrLen = len(hdr)
 		if err := f.Truncate(0); err != nil {
 			f.Close()
 			return fmt.Errorf("wal: truncate torn segment: %w", err)
 		}
-		if _, err := f.Write(segHeader); err != nil {
+		if _, err := f.Write(hdr); err != nil {
 			f.Close()
 			return fmt.Errorf("wal: rewrite segment header: %w", err)
 		}
-		good = int64(len(segHeader))
+		good = int64(hdrLen)
 	} else if err := f.Truncate(good); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: truncate torn tail: %w", err)
@@ -308,6 +357,8 @@ func (w *SegmentedWAL) openActive(first uint64) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	w.active, w.first, w.size, w.good = f, first, good, good
+	w.hdrLen = int64(hdrLen)
+	w.epoch = epoch
 	w.next = first
 	if len(recs) > 0 {
 		w.next = recs[len(recs)-1].Index + 1
@@ -315,13 +366,30 @@ func (w *SegmentedWAL) openActive(first uint64) error {
 	return nil
 }
 
-// createSegment starts a new active segment whose first record will be idx.
+// sealedEpoch reads the newest sealed segment's header epoch (0 when there
+// are no sealed segments or the header is unreadable). Called with w.mu
+// conventions of open — single-threaded setup.
+func (w *SegmentedWAL) sealedEpoch() uint64 {
+	if len(w.sealed) == 0 {
+		return 0
+	}
+	data, err := w.fs.ReadFile(filepath.Join(w.dir, segName(w.sealed[len(w.sealed)-1].first)))
+	if err != nil {
+		return 0
+	}
+	epoch, _, _ := parseSegHeader(data)
+	return epoch
+}
+
+// createSegment starts a new active segment whose first record will be idx,
+// stamped with the log's current epoch.
 func (w *SegmentedWAL) createSegment(idx uint64) error {
 	f, err := w.fs.OpenFile(filepath.Join(w.dir, segName(idx)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
-	if _, err := f.Write(segHeader); err != nil {
+	hdr := segHeaderFor(w.epoch)
+	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: segment header: %w", err)
 	}
@@ -330,7 +398,8 @@ func (w *SegmentedWAL) createSegment(idx uint64) error {
 		return fmt.Errorf("wal: segment sync: %w", err)
 	}
 	w.active, w.first = f, idx
-	w.size, w.good = int64(len(segHeader)), int64(len(segHeader))
+	w.hdrLen = int64(len(hdr))
+	w.size, w.good = int64(len(hdr)), int64(len(hdr))
 	w.dirty = false
 	w.next = idx
 	return nil
@@ -387,7 +456,7 @@ func (w *SegmentedWAL) Append(batch []graph.Update) (uint64, error) {
 	if w.closed {
 		return 0, fmt.Errorf("wal: closed")
 	}
-	if w.active == nil || (w.good >= w.opt.SegmentBytes && w.good > int64(len(segHeader))) {
+	if w.active == nil || (w.good >= w.opt.SegmentBytes && w.good > w.hdrLen) {
 		if err := w.roll(); err != nil {
 			return 0, err
 		}
@@ -440,15 +509,27 @@ func (w *SegmentedWAL) Append(batch []graph.Update) (uint64, error) {
 // group — which keeps a group's records contiguous in one segment (segments
 // may overshoot SegmentBytes by up to one group, same as one large record).
 func (w *SegmentedWAL) AppendGroup(batches [][]graph.Update) (uint64, error) {
+	recs := make([]Record, len(batches))
+	for i, b := range batches {
+		recs[i] = Record{Batch: b}
+	}
+	return w.AppendRecords(recs)
+}
+
+// AppendRecords is AppendGroup over full records: each record's batch AND
+// session tag (SID/Seq) are encoded, so the fast path's exactly-once tags
+// and a follower's inherited tags reach disk byte-identical to the wire.
+// Record indices are assigned by the log (rec.Index inputs are ignored).
+func (w *SegmentedWAL) AppendRecords(recs []Record) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return 0, fmt.Errorf("wal: closed")
 	}
-	if len(batches) == 0 {
+	if len(recs) == 0 {
 		return w.next, nil
 	}
-	if w.active == nil || (w.good >= w.opt.SegmentBytes && w.good > int64(len(segHeader))) {
+	if w.active == nil || (w.good >= w.opt.SegmentBytes && w.good > w.hdrLen) {
 		if err := w.roll(); err != nil {
 			return 0, err
 		}
@@ -460,8 +541,8 @@ func (w *SegmentedWAL) AppendGroup(batches [][]graph.Update) (uint64, error) {
 	}
 	first := w.next
 	var buf []byte
-	for i, batch := range batches {
-		payload := encodeBatch(batch)
+	for i, rec := range recs {
+		payload := encodeBatchTagged(rec.Batch, rec.SID, rec.Seq)
 		var hdr [16]byte
 		binary.LittleEndian.PutUint64(hdr[0:8], first+uint64(i))
 		binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
@@ -482,8 +563,75 @@ func (w *SegmentedWAL) AppendGroup(batches [][]graph.Update) (uint64, error) {
 		return 0, fmt.Errorf("wal: sync: %w", err)
 	}
 	w.good = w.size
-	w.next = first + uint64(len(batches))
+	w.next = first + uint64(len(recs))
 	return first, nil
+}
+
+// Epoch returns the leadership epoch stamped into the active segment.
+func (w *SegmentedWAL) Epoch() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epoch
+}
+
+// BumpEpoch fences the log to a strictly higher leadership epoch: the
+// active segment is sealed and a fresh one opens stamped with the new
+// epoch, so every record the new leadership appends is attributable to it
+// and a deposed writer's log is distinguishable on disk. No-op records are
+// not written — an empty new segment is the fence.
+func (w *SegmentedWAL) BumpEpoch(epoch uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: closed")
+	}
+	if epoch <= w.epoch {
+		return fmt.Errorf("wal: epoch %d does not advance current epoch %d", epoch, w.epoch)
+	}
+	w.epoch = epoch
+	if w.active != nil && w.next == w.first && !w.dirty {
+		// The active segment holds no records: rewrite it in place under the
+		// new epoch instead of sealing an empty file (roll would recreate the
+		// same segment name and double-book it).
+		if err := w.active.Close(); err != nil {
+			w.active = nil
+			return fmt.Errorf("wal: epoch reseal: %w", err)
+		}
+		w.active = nil
+		return w.createSegment(w.first)
+	}
+	return w.roll()
+}
+
+// ResetTo discards every record and restarts the log at startIndex under
+// epoch — the promotable follower's re-bootstrap path: after a retention
+// race its local log no longer extends the leader's, so it is rebuilt at
+// the new bootstrap position. The receiver stays valid (same pointer, same
+// filesystem seam), which matters because the serving layer hands the WAL
+// to its replication source once, at route time.
+func (w *SegmentedWAL) ResetTo(startIndex, epoch uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: closed")
+	}
+	if w.active != nil {
+		w.active.Close()
+		w.active = nil
+	}
+	firsts, err := listSegments(w.fs, w.dir)
+	if err != nil {
+		return err
+	}
+	for _, first := range firsts {
+		if err := w.fs.Remove(filepath.Join(w.dir, segName(first))); err != nil {
+			return fmt.Errorf("wal: reset: %w", err)
+		}
+	}
+	w.sealed = nil
+	w.dirty = false
+	w.epoch = epoch
+	return w.createSegment(startIndex)
 }
 
 // NextIndex returns the index the next Append will use.
@@ -720,14 +868,12 @@ func (w *SegmentedWAL) Close() error {
 // extended slice and the offset where the valid prefix ends; a missing or
 // torn header yields offset 0.
 func scanSegmentData(data []byte, recs []Record) ([]Record, int64) {
-	if len(data) < len(segHeader) {
+	_, hdrLen, ok := parseSegHeader(data)
+	if !ok {
 		return recs, 0
 	}
-	if !bytes.Equal(data[:len(segHeader)], segHeader) && !bytes.Equal(data[:len(walHeader)], walHeader) {
-		return recs, 0
-	}
-	recs, n := scanRecords(data[len(segHeader):], recs)
-	return recs, int64(len(segHeader)) + n
+	recs, n := scanRecords(data[hdrLen:], recs)
+	return recs, int64(hdrLen) + n
 }
 
 // ReplaySegmented reads every valid record from the segmented WAL at dir,

@@ -38,10 +38,17 @@ var walHeader = []byte("CGWALOG1")
 // a huge allocation.
 const maxWALRecord = 1 << 28
 
-// Record is one WAL entry: a batch and its position in the stream.
+// Record is one WAL entry: a batch and its position in the stream. SID/Seq
+// carry the optional ingest-session tag (DESIGN.md §17): when SID is
+// nonzero, the record's payload ends with a 20-byte "CGSS" trailer binding
+// the batch to a client session id and per-session sequence number, so the
+// exactly-once dedup window can be rebuilt from the log after a crash or a
+// leader failover. SID == 0 means untagged (HTTP batch path, legacy logs).
 type Record struct {
 	Index uint64
 	Batch []graph.Update
+	SID   uint64
+	Seq   uint64
 }
 
 // WAL is an append-only write-ahead log of update batches.
@@ -186,14 +193,14 @@ func scanRecords(data []byte, recs []Record) ([]Record, int64) {
 		if crc32.ChecksumIEEE(payload) != want {
 			break // bit flip: end of trustworthy log
 		}
-		batch, ok := decodeBatch(payload)
+		batch, sid, seq, ok := decodeBatchTagged(payload)
 		if !ok {
 			break
 		}
 		if len(recs) > 0 && idx != recs[len(recs)-1].Index+1 {
 			break // non-contiguous index: treat as corruption
 		}
-		recs = append(recs, Record{Index: idx, Batch: batch})
+		recs = append(recs, Record{Index: idx, Batch: batch, SID: sid, Seq: seq})
 		rest = rest[16+plen:]
 		off += 16 + int64(plen)
 	}
@@ -210,8 +217,35 @@ func EncodeBatchPayload(batch []graph.Update) []byte { return encodeBatch(batch)
 // the payload is malformed.
 func DecodeBatchPayload(payload []byte) ([]graph.Update, bool) { return decodeBatch(payload) }
 
-func encodeBatch(batch []graph.Update) []byte {
-	buf := make([]byte, 4, 4+17*len(batch))
+// EncodeRecordPayload encodes a record's payload including its session
+// trailer (when tagged), so replication frames stay byte-identical to the
+// on-disk record and followers inherit the dedup tags the leader fsynced.
+func EncodeRecordPayload(rec Record) []byte {
+	return encodeBatchTagged(rec.Batch, rec.SID, rec.Seq)
+}
+
+// DecodeRecordPayload is the inverse of EncodeRecordPayload.
+func DecodeRecordPayload(payload []byte) (batch []graph.Update, sid, seq uint64, ok bool) {
+	return decodeBatchTagged(payload)
+}
+
+// Session trailer: an optional 20-byte suffix on a record payload binding
+// the batch to an ingest session — magic "CGSS" | uint64 session id |
+// uint64 sequence. The base payload layout (uint32 count + 17 bytes per
+// update) is unchanged, so the count disambiguates: a payload is either
+// exactly 4+17n bytes (untagged) or 4+17n+20 with the trailer magic.
+var sessTrailerMagic = []byte("CGSS")
+
+const sessTrailerSize = 20
+
+func encodeBatch(batch []graph.Update) []byte { return encodeBatchTagged(batch, 0, 0) }
+
+func encodeBatchTagged(batch []graph.Update, sid, seq uint64) []byte {
+	size := 4 + 17*len(batch)
+	if sid != 0 {
+		size += sessTrailerSize
+	}
+	buf := make([]byte, 4, size)
 	binary.LittleEndian.PutUint32(buf, uint32(len(batch)))
 	var rec [17]byte
 	for _, up := range batch {
@@ -224,18 +258,43 @@ func encodeBatch(batch []graph.Update) []byte {
 		binary.LittleEndian.PutUint64(rec[9:17], math.Float64bits(up.W))
 		buf = append(buf, rec[:]...)
 	}
+	if sid != 0 {
+		var tr [sessTrailerSize]byte
+		copy(tr[0:4], sessTrailerMagic)
+		binary.LittleEndian.PutUint64(tr[4:12], sid)
+		binary.LittleEndian.PutUint64(tr[12:20], seq)
+		buf = append(buf, tr[:]...)
+	}
 	return buf
 }
 
 func decodeBatch(payload []byte) ([]graph.Update, bool) {
+	batch, _, _, ok := decodeBatchTagged(payload)
+	return batch, ok
+}
+
+func decodeBatchTagged(payload []byte) (batch []graph.Update, sid, seq uint64, ok bool) {
 	if len(payload) < 4 {
-		return nil, false
+		return nil, 0, 0, false
 	}
 	n := binary.LittleEndian.Uint32(payload)
-	if uint64(len(payload)) != 4+17*uint64(n) {
-		return nil, false
+	base := 4 + 17*uint64(n)
+	switch uint64(len(payload)) {
+	case base:
+	case base + sessTrailerSize:
+		tr := payload[base:]
+		if !bytes.Equal(tr[0:4], sessTrailerMagic) {
+			return nil, 0, 0, false
+		}
+		sid = binary.LittleEndian.Uint64(tr[4:12])
+		seq = binary.LittleEndian.Uint64(tr[12:20])
+		if sid == 0 {
+			return nil, 0, 0, false // tagged trailer with the untagged sentinel id
+		}
+	default:
+		return nil, 0, 0, false
 	}
-	batch := make([]graph.Update, 0, n)
+	batch = make([]graph.Update, 0, n)
 	rest := payload[4:]
 	for i := uint32(0); i < n; i++ {
 		rec := rest[17*i : 17*i+17]
@@ -245,16 +304,26 @@ func decodeBatch(payload []byte) ([]graph.Update, bool) {
 		up.W = math.Float64frombits(binary.LittleEndian.Uint64(rec[9:17]))
 		batch = append(batch, up)
 	}
-	return batch, true
+	return batch, sid, seq, true
 }
 
 // Guard checkpoint files pair an engine snapshot with the WAL position it
 // covers, in a checksummed envelope:
 //
-//	magic "CGRC" | uint32 version | uint64 through (number of batches the
-//	snapshot includes — recovery replays WAL records with index ≥ through) |
-//	uint32 payload length | uint32 CRC-32 of the payload | payload
-const guardCkptVersion = 1
+//	v1: magic "CGRC" | uint32 version=1 | uint64 through (number of batches
+//	    the snapshot includes — recovery replays WAL records with index ≥
+//	    through) | uint32 payload length | uint32 CRC-32 of the payload |
+//	    payload
+//	v2: magic "CGRC" | uint32 version=2 | uint64 through | uint64 epoch |
+//	    uint32 payload length | uint32 CRC-32 of the payload | payload
+//
+// Version 2 adds the leadership epoch (DESIGN.md §17) so a restarting node
+// recovers the fencing token alongside its state. Readers accept both;
+// a v1 envelope reads back with epoch 0.
+const (
+	guardCkptVersion  = 1
+	guardCkptVersion2 = 2
+)
 
 var guardCkptMagic = []byte("CGRC")
 
@@ -271,14 +340,31 @@ func WriteCheckpointFile(path string, through uint64, payload []byte) error {
 // tested with a FaultFS. The temp file is <path>.tmp (single-writer: the
 // callers serialize checkpoints).
 func WriteCheckpointFileFS(fsys FS, path string, through uint64, payload []byte) error {
+	return WriteCheckpointMetaFS(fsys, path, through, 0, payload)
+}
+
+// WriteCheckpointMetaFS persists a checkpoint stamped with the writer's
+// leadership epoch. Epoch 0 writes the legacy v1 envelope (byte-identical
+// to pre-epoch checkpoints); a nonzero epoch writes v2.
+func WriteCheckpointMetaFS(fsys FS, path string, through, epoch uint64, payload []byte) error {
 	var buf bytes.Buffer
 	buf.Write(guardCkptMagic)
-	hdr := make([]byte, 20)
-	binary.LittleEndian.PutUint32(hdr[0:4], guardCkptVersion)
-	binary.LittleEndian.PutUint64(hdr[4:12], through)
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(payload))
-	buf.Write(hdr)
+	if epoch == 0 {
+		hdr := make([]byte, 20)
+		binary.LittleEndian.PutUint32(hdr[0:4], guardCkptVersion)
+		binary.LittleEndian.PutUint64(hdr[4:12], through)
+		binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[16:20], crc32.ChecksumIEEE(payload))
+		buf.Write(hdr)
+	} else {
+		hdr := make([]byte, 28)
+		binary.LittleEndian.PutUint32(hdr[0:4], guardCkptVersion2)
+		binary.LittleEndian.PutUint64(hdr[4:12], through)
+		binary.LittleEndian.PutUint64(hdr[12:20], epoch)
+		binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[24:28], crc32.ChecksumIEEE(payload))
+		buf.Write(hdr)
+	}
 	buf.Write(payload)
 
 	tmpPath := path + ".tmp"
@@ -323,22 +409,52 @@ func ReadCheckpointFile(path string) (through uint64, payload []byte, err error)
 // HTTP and the follower validates it here, CRC and all, before trusting a
 // byte of it.
 func DecodeCheckpointBytes(data []byte) (through uint64, payload []byte, err error) {
+	through, _, payload, err = DecodeCheckpointMeta(data)
+	return through, payload, err
+}
+
+// ReadCheckpointMeta loads a checkpoint file and returns its position AND
+// the leadership epoch it was written under (0 for v1 envelopes).
+func ReadCheckpointMeta(path string) (through, epoch uint64, payload []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return DecodeCheckpointMeta(data)
+}
+
+// DecodeCheckpointMeta is DecodeCheckpointBytes plus the epoch stamp,
+// accepting both v1 (epoch 0) and v2 envelopes.
+func DecodeCheckpointMeta(data []byte) (through, epoch uint64, payload []byte, err error) {
 	if len(data) < len(guardCkptMagic)+20 || !bytes.Equal(data[:4], guardCkptMagic) {
-		return 0, nil, fmt.Errorf("checkpoint: bad header")
+		return 0, 0, nil, fmt.Errorf("checkpoint: bad header")
 	}
-	hdr := data[4:24]
-	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != guardCkptVersion {
-		return 0, nil, fmt.Errorf("checkpoint: unsupported version %d", v)
+	var plen, want uint32
+	switch v := binary.LittleEndian.Uint32(data[4:8]); v {
+	case guardCkptVersion:
+		hdr := data[8:24]
+		through = binary.LittleEndian.Uint64(hdr[0:8])
+		plen = binary.LittleEndian.Uint32(hdr[8:12])
+		want = binary.LittleEndian.Uint32(hdr[12:16])
+		payload = data[24:]
+	case guardCkptVersion2:
+		if len(data) < len(guardCkptMagic)+28 {
+			return 0, 0, nil, fmt.Errorf("checkpoint: truncated v2 header")
+		}
+		hdr := data[8:32]
+		through = binary.LittleEndian.Uint64(hdr[0:8])
+		epoch = binary.LittleEndian.Uint64(hdr[8:16])
+		plen = binary.LittleEndian.Uint32(hdr[16:20])
+		want = binary.LittleEndian.Uint32(hdr[20:24])
+		payload = data[32:]
+	default:
+		return 0, 0, nil, fmt.Errorf("checkpoint: unsupported version %d", v)
 	}
-	through = binary.LittleEndian.Uint64(hdr[4:12])
-	plen := binary.LittleEndian.Uint32(hdr[12:16])
-	want := binary.LittleEndian.Uint32(hdr[16:20])
-	payload = data[24:]
 	if uint64(len(payload)) != uint64(plen) {
-		return 0, nil, fmt.Errorf("checkpoint: truncated (payload %d bytes, header says %d)", len(payload), plen)
+		return 0, 0, nil, fmt.Errorf("checkpoint: truncated (payload %d bytes, header says %d)", len(payload), plen)
 	}
 	if got := crc32.ChecksumIEEE(payload); got != want {
-		return 0, nil, fmt.Errorf("checkpoint: payload checksum mismatch (got %08x, want %08x)", got, want)
+		return 0, 0, nil, fmt.Errorf("checkpoint: payload checksum mismatch (got %08x, want %08x)", got, want)
 	}
-	return through, payload, nil
+	return through, epoch, payload, nil
 }

@@ -33,23 +33,45 @@ import (
 // All integers are little-endian, matching the WAL. A malformed frame
 // (oversized, torn length, CRC mismatch) desynchronizes the stream, so the
 // server acks it with BinStatusBadFrame and closes the connection.
+//
+// CGBIN/2 (DESIGN.md §17) adds exactly-once resume across reconnects and
+// leader failover: the hello becomes "CGBIN/2\n" and every frame payload is
+// prefixed with the client's session identity —
+//
+//	uint64 session id (nonzero) | uint64 seq of the frame's FIRST update |
+//	n × 17-byte update records
+//
+// Updates in a frame are consecutively numbered seq, seq+1, …; the pair is
+// carried into each update's WAL record, so a client that replays un-acked
+// updates against the same — or a newly promoted — leader can never
+// double-apply one: already-accepted (sid, seq) pairs are skipped (counted
+// in srv_dedup_hits) and acked as accepted, because they are durable.
 
-// BinHello is the connection preamble a client must send first.
+// BinHello is the CGBIN/1 connection preamble (untagged frames).
 const BinHello = "CGBIN/1\n"
+
+// BinHello2 is the CGBIN/2 connection preamble (session-tagged frames).
+const BinHello2 = "CGBIN/2\n"
 
 // BinUpdateSize is the wire size of one update record.
 const BinUpdateSize = 17
 
-// BinMaxFramePayload bounds one frame's payload (64k updates ≈ 1.1 MiB) —
-// the binary counterpart of MaxBodyBytes.
+// BinSessionOverhead is the CGBIN/2 per-frame session prefix (sid + seq).
+const BinSessionOverhead = 16
+
+// BinMaxFramePayload bounds one frame's record payload (64k updates ≈ 1.1
+// MiB) — the binary counterpart of MaxBodyBytes, and the allocation bound a
+// wire-controlled length field can never exceed (a CGBIN/2 frame may add
+// BinSessionOverhead on top).
 const BinMaxFramePayload = 65536 * BinUpdateSize
 
 // Ack status codes.
 const (
-	BinStatusOK       = 0 // accepted updates are durable and visible
-	BinStatusDraining = 1 // server shutting down; nothing applied
-	BinStatusDegraded = 2 // durable writes failing; nothing applied, retry later
-	BinStatusBadFrame = 3 // malformed frame; connection closes after this ack
+	BinStatusOK        = 0 // accepted updates are durable and visible
+	BinStatusDraining  = 1 // server shutting down; nothing applied
+	BinStatusDegraded  = 2 // durable writes failing; nothing applied, retry later
+	BinStatusBadFrame  = 3 // malformed frame; connection closes after this ack
+	BinStatusNotLeader = 4 // node is a follower; nothing applied, find the leader
 )
 
 // BinAckSize is the wire size of one ack.
@@ -84,37 +106,54 @@ func AppendBinFrame(buf []byte, ups []graph.Update) []byte {
 	return buf
 }
 
-// ReadBinFrame reads one frame from r, verifying length and CRC, and appends
-// the decoded updates to ups (pass a reused slice to avoid allocation). A
-// clean EOF before any header byte returns io.EOF; every other failure is a
-// protocol error the caller must treat as fatal for the connection.
-func ReadBinFrame(r io.Reader, ups []graph.Update, payloadBuf []byte) ([]graph.Update, []byte, error) {
-	var hdr [8]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			err = fmt.Errorf("binproto: torn frame header: %w", err)
+// AppendBinFrameSession appends the CGBIN/2 framed encoding of ups — tagged
+// with the client session id and the first update's sequence number — to
+// buf and returns the extended slice.
+func AppendBinFrameSession(buf []byte, sid, seq uint64, ups []graph.Update) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, 8+BinSessionOverhead)...)
+	binary.LittleEndian.PutUint64(buf[start+8:start+16], sid)
+	binary.LittleEndian.PutUint64(buf[start+16:start+24], seq)
+	for _, up := range ups {
+		var rec [BinUpdateSize]byte
+		if up.Del {
+			rec[0] = 1
 		}
-		return ups, payloadBuf, err
+		binary.LittleEndian.PutUint32(rec[1:5], up.From)
+		binary.LittleEndian.PutUint32(rec[5:9], up.To)
+		binary.LittleEndian.PutUint64(rec[9:17], math.Float64bits(up.W))
+		buf = append(buf, rec[:]...)
 	}
-	plen := binary.LittleEndian.Uint32(hdr[0:4])
-	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
-	if plen == 0 || plen > BinMaxFramePayload || plen%BinUpdateSize != 0 {
-		return ups, payloadBuf, fmt.Errorf("binproto: bad frame payload length %d", plen)
-	}
+	payload := buf[start+8:]
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// readBinPayload reads and CRC-verifies one frame payload of plen bytes,
+// bounding the allocation: plen comes off the wire, so it is validated by
+// the caller against the protocol maximum BEFORE any buffer is sized from
+// it. The reusable payloadBuf caps steady-state allocation at one frame.
+func readBinPayload(r io.Reader, payloadBuf []byte, plen, wantCRC uint32) ([]byte, error) {
 	if cap(payloadBuf) < int(plen) {
 		payloadBuf = make([]byte, plen)
 	}
 	payload := payloadBuf[:plen]
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return ups, payloadBuf, fmt.Errorf("binproto: torn frame payload: %w", err)
+		return payloadBuf, fmt.Errorf("binproto: torn frame payload: %w", err)
 	}
 	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
-		return ups, payloadBuf, fmt.Errorf("binproto: frame CRC mismatch (got %08x, want %08x)", got, wantCRC)
+		return payloadBuf, fmt.Errorf("binproto: frame CRC mismatch (got %08x, want %08x)", got, wantCRC)
 	}
+	return payload, nil
+}
+
+// decodeBinUpdates appends the 17-byte update records in payload to ups.
+func decodeBinUpdates(ups []graph.Update, payload []byte) ([]graph.Update, error) {
 	for off := 0; off < len(payload); off += BinUpdateSize {
 		rec := payload[off : off+BinUpdateSize]
 		if rec[0] > 1 {
-			return ups, payloadBuf, fmt.Errorf("binproto: bad op byte %d", rec[0])
+			return ups, fmt.Errorf("binproto: bad op byte %d", rec[0])
 		}
 		ups = append(ups, graph.Update{
 			Arc: graph.Arc{
@@ -125,7 +164,69 @@ func ReadBinFrame(r io.Reader, ups []graph.Update, payloadBuf []byte) ([]graph.U
 			Del: rec[0] == 1,
 		})
 	}
-	return ups, payloadBuf, nil
+	return ups, nil
+}
+
+// readBinHeader reads the 8-byte frame header. A clean EOF before any byte
+// returns io.EOF; a partial header is a torn-read protocol error.
+func readBinHeader(r io.Reader) (plen, wantCRC uint32, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("binproto: torn frame header: %w", err)
+		}
+		return 0, 0, err
+	}
+	return binary.LittleEndian.Uint32(hdr[0:4]), binary.LittleEndian.Uint32(hdr[4:8]), nil
+}
+
+// ReadBinFrame reads one CGBIN/1 frame from r, verifying length and CRC, and
+// appends the decoded updates to ups (pass a reused slice to avoid
+// allocation). A clean EOF before any header byte returns io.EOF; every
+// other failure is a protocol error the caller must treat as fatal for the
+// connection. An oversized or misaligned length field is rejected before
+// any buffer is sized from it.
+func ReadBinFrame(r io.Reader, ups []graph.Update, payloadBuf []byte) ([]graph.Update, []byte, error) {
+	plen, wantCRC, err := readBinHeader(r)
+	if err != nil {
+		return ups, payloadBuf, err
+	}
+	if plen == 0 || plen > BinMaxFramePayload || plen%BinUpdateSize != 0 {
+		return ups, payloadBuf, fmt.Errorf("binproto: bad frame payload length %d", plen)
+	}
+	payload, err := readBinPayload(r, payloadBuf, plen, wantCRC)
+	if err != nil {
+		return ups, payload, err
+	}
+	payloadBuf = payload[:cap(payload)]
+	ups, err = decodeBinUpdates(ups, payload)
+	return ups, payloadBuf, err
+}
+
+// ReadBinFrameSession reads one CGBIN/2 frame: the session prefix (sid,
+// first seq) plus the update records. Contract matches ReadBinFrame; a zero
+// session id is a protocol error (0 is the untagged sentinel).
+func ReadBinFrameSession(r io.Reader, ups []graph.Update, payloadBuf []byte) ([]graph.Update, []byte, uint64, uint64, error) {
+	plen, wantCRC, err := readBinHeader(r)
+	if err != nil {
+		return ups, payloadBuf, 0, 0, err
+	}
+	if plen < BinSessionOverhead+BinUpdateSize || plen > BinMaxFramePayload+BinSessionOverhead ||
+		(plen-BinSessionOverhead)%BinUpdateSize != 0 {
+		return ups, payloadBuf, 0, 0, fmt.Errorf("binproto: bad session frame payload length %d", plen)
+	}
+	payload, err := readBinPayload(r, payloadBuf, plen, wantCRC)
+	if err != nil {
+		return ups, payload, 0, 0, err
+	}
+	payloadBuf = payload[:cap(payload)]
+	sid := binary.LittleEndian.Uint64(payload[0:8])
+	seq := binary.LittleEndian.Uint64(payload[8:16])
+	if sid == 0 {
+		return ups, payloadBuf, 0, 0, fmt.Errorf("binproto: session id 0 is reserved")
+	}
+	ups, err = decodeBinUpdates(ups, payload[BinSessionOverhead:])
+	return ups, payloadBuf, sid, seq, err
 }
 
 // AppendBinAck appends a's wire encoding to buf.

@@ -29,14 +29,32 @@ import (
 //	M ×     uint32 from | uint32 to | uint64 weight bits (IEEE-754)
 //	uint32  query count Q
 //	Q ×     uint32 source | uint32 destination
+//
+// Version 2 ("CGSRVS2\n") appends the exactly-once session table
+// (DESIGN.md §17) so a restored or promoted node refuses the same replayed
+// updates the pre-crash leader would have:
+//
+//	uint32  session count S
+//	S ×     uint64 session id | uint64 highest accepted seq
+//
+// Sessions are written least-recently-advanced first, making the restored
+// table's eviction order identical to the live one. A node with an empty
+// session table writes v1 byte-identically to pre-session deployments;
+// readers accept both.
 
 var srvStateHeader = []byte("CGSRVS1\n")
+var srvStateHeaderV2 = []byte("CGSRVS2\n")
 
-// encodeState serializes the shadow topology and query set.
-func encodeState(g *graph.Dynamic, queries []core.Query) []byte {
+// encodeState serializes the shadow topology, query set, and exactly-once
+// session table.
+func encodeState(g *graph.Dynamic, queries []core.Query, sessions []dedupSession) []byte {
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
-	w.Write(srvStateHeader)
+	if len(sessions) == 0 {
+		w.Write(srvStateHeader)
+	} else {
+		w.Write(srvStateHeaderV2)
+	}
 	var scratch [16]byte
 	binary.LittleEndian.PutUint32(scratch[:4], uint32(g.NumVertices()))
 	w.Write(scratch[:4])
@@ -57,6 +75,15 @@ func encodeState(g *graph.Dynamic, queries []core.Query) []byte {
 		binary.LittleEndian.PutUint32(scratch[4:8], q.D)
 		w.Write(scratch[:8])
 	}
+	if len(sessions) > 0 {
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(sessions)))
+		w.Write(scratch[:4])
+		for _, s := range sessions {
+			binary.LittleEndian.PutUint64(scratch[0:8], s.SID)
+			binary.LittleEndian.PutUint64(scratch[8:16], s.Seq)
+			w.Write(scratch[:16])
+		}
+	}
 	w.Flush()
 	return buf.Bytes()
 }
@@ -67,61 +94,87 @@ func encodeState(g *graph.Dynamic, queries []core.Query) []byte {
 // loadgen -verify-durable rebuild the durable state independently of a
 // running server and compare answers against what the server acknowledged.
 func DecodeCheckpointState(payload []byte) (*graph.Dynamic, []core.Query, error) {
-	return decodeState(payload)
+	g, queries, _, err := decodeState(payload)
+	return g, queries, err
 }
 
-// decodeState parses a payload written by encodeState.
-func decodeState(payload []byte) (*graph.Dynamic, []core.Query, error) {
+// decodeState parses a payload written by encodeState, accepting both the
+// v1 (no session table) and v2 layouts.
+func decodeState(payload []byte) (*graph.Dynamic, []core.Query, []dedupSession, error) {
 	r := bytes.NewReader(payload)
 	header := make([]byte, len(srvStateHeader))
-	if _, err := io.ReadFull(r, header); err != nil || !bytes.Equal(header, srvStateHeader) {
-		return nil, nil, fmt.Errorf("server: checkpoint payload: bad header")
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, nil, nil, fmt.Errorf("server: checkpoint payload: bad header")
+	}
+	v2 := bytes.Equal(header, srvStateHeaderV2)
+	if !v2 && !bytes.Equal(header, srvStateHeader) {
+		return nil, nil, nil, fmt.Errorf("server: checkpoint payload: bad header")
 	}
 	var scratch [16]byte
 	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
-		return nil, nil, fmt.Errorf("server: checkpoint payload: %w", err)
+		return nil, nil, nil, fmt.Errorf("server: checkpoint payload: %w", err)
 	}
 	n := int(binary.LittleEndian.Uint32(scratch[:4]))
 	if _, err := io.ReadFull(r, scratch[:8]); err != nil {
-		return nil, nil, fmt.Errorf("server: checkpoint payload: %w", err)
+		return nil, nil, nil, fmt.Errorf("server: checkpoint payload: %w", err)
 	}
 	m := binary.LittleEndian.Uint64(scratch[:8])
 	if m > uint64(r.Len())/16 {
-		return nil, nil, fmt.Errorf("server: checkpoint payload: edge count %d exceeds payload", m)
+		return nil, nil, nil, fmt.Errorf("server: checkpoint payload: edge count %d exceeds payload", m)
 	}
 	g := graph.NewDynamic(n)
 	for i := uint64(0); i < m; i++ {
 		if _, err := io.ReadFull(r, scratch[:16]); err != nil {
-			return nil, nil, fmt.Errorf("server: checkpoint payload: edge %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("server: checkpoint payload: edge %d: %w", i, err)
 		}
 		from := binary.LittleEndian.Uint32(scratch[0:4])
 		to := binary.LittleEndian.Uint32(scratch[4:8])
 		w := math.Float64frombits(binary.LittleEndian.Uint64(scratch[8:16]))
 		if int(from) >= n || int(to) >= n {
-			return nil, nil, fmt.Errorf("server: checkpoint payload: edge %d (%d->%d) out of range N=%d", i, from, to, n)
+			return nil, nil, nil, fmt.Errorf("server: checkpoint payload: edge %d (%d->%d) out of range N=%d", i, from, to, n)
 		}
 		g.AddEdge(from, to, w)
 	}
 	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
-		return nil, nil, fmt.Errorf("server: checkpoint payload: %w", err)
+		return nil, nil, nil, fmt.Errorf("server: checkpoint payload: %w", err)
 	}
 	nq := int(binary.LittleEndian.Uint32(scratch[:4]))
 	if nq > r.Len()/8 {
-		return nil, nil, fmt.Errorf("server: checkpoint payload: query count %d exceeds payload", nq)
+		return nil, nil, nil, fmt.Errorf("server: checkpoint payload: query count %d exceeds payload", nq)
 	}
 	queries := make([]core.Query, 0, nq)
 	for i := 0; i < nq; i++ {
 		if _, err := io.ReadFull(r, scratch[:8]); err != nil {
-			return nil, nil, fmt.Errorf("server: checkpoint payload: query %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("server: checkpoint payload: query %d: %w", i, err)
 		}
 		q := core.Query{
 			S: binary.LittleEndian.Uint32(scratch[0:4]),
 			D: binary.LittleEndian.Uint32(scratch[4:8]),
 		}
 		if int(q.S) >= n || int(q.D) >= n {
-			return nil, nil, fmt.Errorf("server: checkpoint payload: query %d (%d->%d) out of range N=%d", i, q.S, q.D, n)
+			return nil, nil, nil, fmt.Errorf("server: checkpoint payload: query %d (%d->%d) out of range N=%d", i, q.S, q.D, n)
 		}
 		queries = append(queries, q)
 	}
-	return g, queries, nil
+	if !v2 {
+		return g, queries, nil, nil
+	}
+	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+		return nil, nil, nil, fmt.Errorf("server: checkpoint payload: %w", err)
+	}
+	ns := int(binary.LittleEndian.Uint32(scratch[:4]))
+	if ns > r.Len()/16 {
+		return nil, nil, nil, fmt.Errorf("server: checkpoint payload: session count %d exceeds payload", ns)
+	}
+	sessions := make([]dedupSession, 0, ns)
+	for i := 0; i < ns; i++ {
+		if _, err := io.ReadFull(r, scratch[:16]); err != nil {
+			return nil, nil, nil, fmt.Errorf("server: checkpoint payload: session %d: %w", i, err)
+		}
+		sessions = append(sessions, dedupSession{
+			SID: binary.LittleEndian.Uint64(scratch[0:8]),
+			Seq: binary.LittleEndian.Uint64(scratch[8:16]),
+		})
+	}
+	return g, queries, sessions, nil
 }

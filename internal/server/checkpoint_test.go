@@ -15,7 +15,7 @@ func TestCheckpointStateRoundTrip(t *testing.T) {
 	g.AddEdge(4, 5, 9)
 	queries := []core.Query{{S: 0, D: 2}, {S: 4, D: 5}}
 
-	got, gotQ, err := decodeState(encodeState(g, queries))
+	got, gotQ, _, err := decodeState(encodeState(g, queries, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestCheckpointStateRoundTrip(t *testing.T) {
 }
 
 func TestCheckpointStateEmpty(t *testing.T) {
-	g, q, err := decodeState(encodeState(graph.NewDynamic(3), nil))
+	g, q, _, err := decodeState(encodeState(graph.NewDynamic(3), nil, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestCheckpointStateEmpty(t *testing.T) {
 func TestCheckpointStateRejectsCorruption(t *testing.T) {
 	g := graph.NewDynamic(4)
 	g.AddEdge(0, 1, 1)
-	good := encodeState(g, []core.Query{{S: 0, D: 1}})
+	good := encodeState(g, []core.Query{{S: 0, D: 1}}, nil)
 
 	cases := map[string][]byte{
 		"empty":       nil,
@@ -62,7 +62,7 @@ func TestCheckpointStateRejectsCorruption(t *testing.T) {
 	cases["edge overcount"] = overflow
 
 	for name, payload := range cases {
-		if _, _, err := decodeState(payload); err == nil {
+		if _, _, _, err := decodeState(payload); err == nil {
 			t.Errorf("%s: decode succeeded, want error", name)
 		}
 	}

@@ -128,8 +128,43 @@ type Config struct {
 	// FollowURL switches the server into follower mode (DESIGN.md §13): it
 	// bootstraps from this leader's checkpoint, tails its WAL, and serves
 	// reads only — writes are refused with 421 + the leader's location.
-	// Followers are stateless (no WAL/checkpoint of their own).
+	// A follower without WALPath is stateless; setting WALPath (and usually
+	// CheckpointPath) makes it PROMOTABLE (DESIGN.md §17): every replicated
+	// record is written to its own durable log, so /v1/admin/promote can
+	// seal the log at the durable prefix and take over as leader.
 	FollowURL string
+	// Peers lists every cluster member's base URL in deterministic promotion
+	// priority order (highest priority first). The promote-on-leader-loss
+	// watchdog ranks candidates by it, and deposed or orphaned nodes probe it
+	// to locate the current leader by epoch.
+	Peers []string
+	// AdvertiseURL is this node's own base URL as it appears in Peers; the
+	// watchdog needs it to know the node's promotion rank, and peer probes
+	// skip it.
+	AdvertiseURL string
+	// PromoteOnLeaderLoss arms the follower watchdog: when the leader stays
+	// unreachable for PromoteAfter scaled by the node's rank in Peers, the
+	// follower promotes itself — unless a higher-epoch leader is discovered
+	// among Peers first, in which case it re-points its tail there. Requires
+	// a promotable follower (FollowURL + WALPath).
+	PromoteOnLeaderLoss bool
+	// PromoteAfter is the watchdog's base leader-loss patience (default 2s).
+	// Rank r in Peers waits PromoteAfter × (r+1), so candidates promote in a
+	// deterministic order instead of racing.
+	PromoteAfter time.Duration
+	// SyncFollowers gates fast-path (binary ingest) acks on replication: an
+	// update is acked OK only once at least this many follower tail positions
+	// have passed its commit — "acked means durable on the serving leader,
+	// across failover". 0 (the default) acks on local fsync alone.
+	SyncFollowers int
+	// SyncAckTimeout bounds how long a replication-gated ack may wait for
+	// followers before it is refused with a Degraded status (the client
+	// retries; session dedup absorbs the replay). Default 5s.
+	SyncAckTimeout time.Duration
+	// DedupSessions bounds the exactly-once session table (session id →
+	// highest accepted seq); least-recently-advanced sessions are evicted
+	// beyond it. Default 1024.
+	DedupSessions int
 	// MaxStaleness is the follower's degraded threshold: when the time since
 	// the follower last confirmed it was caught up exceeds this, /healthz
 	// reports degraded (0 = never degrade on staleness). Reads still serve —
@@ -244,6 +279,15 @@ func (c Config) WithDefaults() Config {
 	if c.FastPipelineDepth <= 0 {
 		c.FastPipelineDepth = 256
 	}
+	if c.PromoteAfter <= 0 {
+		c.PromoteAfter = 2 * time.Second
+	}
+	if c.SyncAckTimeout <= 0 {
+		c.SyncAckTimeout = 5 * time.Second
+	}
+	if c.DedupSessions <= 0 {
+		c.DedupSessions = 1024
+	}
 	if c.WatchQueue <= 0 {
 		c.WatchQueue = 64
 	}
@@ -262,11 +306,21 @@ func (c Config) Validate() error {
 		return fmt.Errorf("server: BatchMaxSize %d exceeds QueueCapacity %d",
 			c.BatchMaxSize, c.QueueCapacity)
 	}
-	if c.FollowURL != "" && (c.WALPath != "" || c.CheckpointPath != "") {
-		// A follower's durable state IS the leader's: restarting one
-		// re-bootstraps from the leader. Local artefacts would shadow that
-		// and diverge after a leader re-bootstrap, so they are refused.
-		return fmt.Errorf("server: follower mode (FollowURL) is stateless; WALPath/CheckpointPath must be unset")
+	if c.FollowURL != "" && c.CheckpointPath != "" && c.WALPath == "" {
+		// A promotable follower's checkpoint is only meaningful together with
+		// the local log it coordinates retention against; a checkpoint alone
+		// would shadow the leader's state without being resumable.
+		return fmt.Errorf("server: promotable follower needs WALPath alongside CheckpointPath")
+	}
+	if c.PromoteOnLeaderLoss && c.WALPath == "" {
+		// The watchdog only runs on followers, but the flag is legal on a
+		// leader: cluster nodes share one flag set, and a deposed leader
+		// restarts as a follower with it armed. A local WAL is what makes
+		// promotion possible at all, so that part stays required.
+		return fmt.Errorf("server: PromoteOnLeaderLoss requires a local WAL (WALPath) to be promotable")
+	}
+	if c.SyncFollowers > 0 && c.WALPath == "" {
+		return fmt.Errorf("server: SyncFollowers requires WALPath (followers replicate the WAL)")
 	}
 	return nil
 }

@@ -8,15 +8,29 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cisgraph/internal/graph"
+	"cisgraph/internal/resilience"
 )
 
-// fpEntry is one admitted frame: its updates plus the channel its ack is
+// fpEntry is one admitted frame: its updates, the CGBIN/2 session tag of the
+// first update (sid 0 = untagged CGBIN/1 frame), and the channel its ack is
 // resolved on (buffered 1 — exactly one ack is ever sent).
 type fpEntry struct {
-	ups []graph.Update
-	ack chan BinAck
+	ups      []graph.Update
+	sid, seq uint64
+	ack      chan BinAck
+}
+
+// pendingAck is one group commit whose acks are gated on sync-follower
+// durability (Config.SyncFollowers): the acks release when the k-th highest
+// follower tail mark passes `need`, or degrade at `expires`.
+type pendingAck struct {
+	need    uint64
+	expires time.Time
+	entries []*fpEntry
+	acks    []BinAck
 }
 
 // fastPath is the per-update admission pipeline (DESIGN.md §14): binary
@@ -32,6 +46,11 @@ type fastPath struct {
 	quit chan struct{}
 	done chan struct{}
 
+	// Sync-ack resolver (nil channels when SyncFollowers == 0).
+	syncCh   chan *pendingAck
+	syncQuit chan struct{}
+	syncDone chan struct{}
+
 	// pending counts admitted-but-unacked entries; Quiesced needs the fast
 	// path's in-flight work, not just the batcher's.
 	pending  atomic.Int64
@@ -46,7 +65,8 @@ type fastPath struct {
 	group  []*fpEntry
 	clean  []graph.Update
 	counts []uint32
-	recs   [][]graph.Update
+	dups   []uint32
+	wrecs  []resilience.Record
 }
 
 func newFastPath(s *Server) *fastPath {
@@ -57,6 +77,12 @@ func newFastPath(s *Server) *fastPath {
 		done:  make(chan struct{}),
 		lns:   make(map[net.Listener]struct{}),
 		conns: make(map[net.Conn]struct{}),
+	}
+	if s.cfg.SyncFollowers > 0 {
+		f.syncCh = make(chan *pendingAck, 64)
+		f.syncQuit = make(chan struct{})
+		f.syncDone = make(chan struct{})
+		go f.runSyncResolver()
 	}
 	go f.run()
 	return f
@@ -128,6 +154,13 @@ func (f *fastPath) gather(e *fpEntry) []*fpEntry {
 // resolves every entry's ack. Each accepted update is its own WAL record
 // and stream position — replica tailing and crash replay see exactly the
 // records a sequence of single-update batches would have produced.
+//
+// Exactly-once (DESIGN.md §17): a session-tagged update whose (sid, seq)
+// the dedup table already holds is a client replay of something durable —
+// it is skipped (no new record, no position) but counted in the ack's
+// Accepted, because from the client's perspective it IS accepted. The table
+// advances only after the WAL append succeeds, in commit order, so the live
+// table always matches what a crash replay rebuilds.
 func (f *fastPath) commitGroup(entries []*fpEntry) {
 	s := f.s
 	defer f.pending.Add(-int64(len(entries)))
@@ -140,6 +173,12 @@ func (f *fastPath) commitGroup(entries []*fpEntry) {
 			e.ack <- BinAck{Pos: pos, Dropped: uint32(len(e.ups)), Status: status}
 		}
 	}
+	// A node deposed after these frames were admitted must not commit them:
+	// the client re-sends to the new leader (dedup makes that safe).
+	if s.isFollower() {
+		ackAll(BinStatusNotLeader)
+		return
+	}
 	// Degraded mode: an un-durable update is never applied (DESIGN.md
 	// §12.2); the whole group is refused while the breaker is open.
 	if s.brk.Open() {
@@ -151,38 +190,56 @@ func (f *fastPath) commitGroup(entries []*fpEntry) {
 	}
 
 	// Sanitize per update against the shadow + the group's own net effect,
-	// tracking per-entry accept counts for the acks.
+	// tracking per-entry accept/duplicate counts for the acks. Session tags
+	// ride along into the WAL records.
 	sh := s.shadow.Load()
 	ss := s.san.Stream(sh)
-	clean, counts := f.clean[:0], f.counts[:0]
+	clean, counts, dups := f.clean[:0], f.counts[:0], f.dups[:0]
+	recs := f.wrecs[:0]
 	for _, e := range entries {
-		acc := uint32(0)
-		for _, up := range e.ups {
+		acc, dup := uint32(0), uint32(0)
+		for i, up := range e.ups {
+			var sid, seq uint64
+			if e.sid != 0 {
+				sid, seq = e.sid, e.seq+uint64(i)
+				if s.dedup.dup(sid, seq) {
+					dup++
+					s.h.dedupHits.Inc()
+					continue
+				}
+			}
 			if ss.Check(up) == "" {
 				clean = append(clean, up)
+				recs = append(recs, resilience.Record{SID: sid, Seq: seq})
 				acc++
 			} else {
 				s.h.fastDropped.Inc()
 			}
 		}
 		counts = append(counts, acc)
+		dups = append(dups, dup)
 	}
-	f.clean, f.counts = clean, counts
+	f.clean, f.counts, f.dups = clean, counts, dups
+	// Batch slices must point into clean's FINAL backing array — the appends
+	// above may have reallocated it — so they are filled in a second pass.
+	for i := range recs {
+		recs[i].Batch = clean[i : i+1]
+	}
+	f.wrecs = recs
 
 	if len(clean) > 0 {
 		if s.wal != nil {
-			recs := f.recs[:0]
-			for i := range clean {
-				recs = append(recs, clean[i:i+1])
-			}
-			f.recs = recs
-			if _, err := s.wal.AppendGroup(recs); err != nil {
+			if _, err := s.wal.AppendRecords(recs); err != nil {
 				s.brk.Trip(err)
 				s.setLastErr(fmt.Errorf("server: fastpath wal append failed (group dropped, degraded): %w", err))
 				s.h.dropUpdates.Add(int64(len(clean)))
 				ackAll(BinStatusDegraded)
 				return
 			}
+		}
+		// Durable: the dedup table may now advance (commit order).
+		for _, rec := range recs {
+			s.dedup.advance(rec.SID, rec.Seq)
 		}
 		sh.Apply(clean)
 		_, changed, perr := s.pool.ApplyUpdates(clean)
@@ -208,22 +265,120 @@ func (f *fastPath) commitGroup(entries []*fpEntry) {
 
 	// Acks stream back with each entry's cumulative commit position; the
 	// snapshot is published, so receiving the ack means the entry's updates
-	// are visible to /v1/answers readers.
+	// are visible to /v1/answers readers. Duplicates count as accepted (they
+	// are durable) without advancing the position.
 	pos := s.applied.Load() - uint64(len(clean))
+	if s.cfg.SyncFollowers > 0 && s.wal != nil {
+		// Replication-gated acks: hold them until SyncFollowers followers
+		// prove (via their tail positions) that every record in this commit —
+		// including the originals behind any duplicates — is durable off-box.
+		p := &pendingAck{
+			need:    s.wal.NextIndex(),
+			expires: time.Now().Add(s.cfg.SyncAckTimeout),
+			entries: append([]*fpEntry(nil), entries...),
+			acks:    make([]BinAck, len(entries)),
+		}
+		for i, e := range entries {
+			pos += uint64(counts[i])
+			p.acks[i] = BinAck{
+				Pos:      pos,
+				Accepted: counts[i] + dups[i],
+				Dropped:  uint32(len(e.ups)) - counts[i] - dups[i],
+				Status:   BinStatusOK,
+			}
+		}
+		f.syncCh <- p
+		return
+	}
 	for i, e := range entries {
 		pos += uint64(counts[i])
 		e.ack <- BinAck{
 			Pos:      pos,
-			Accepted: counts[i],
-			Dropped:  uint32(len(e.ups)) - counts[i],
+			Accepted: counts[i] + dups[i],
+			Dropped:  uint32(len(e.ups)) - counts[i] - dups[i],
 			Status:   BinStatusOK,
 		}
 	}
 }
 
+// runSyncResolver releases replication-gated acks. Pending groups form a
+// FIFO — commit order makes both `need` and `expires` monotone — so only the
+// head ever needs examining. A group whose deadline passes without enough
+// follower coverage degrades: the client treats the updates as not applied
+// and replays them (locally they ARE durable; the dedup table absorbs the
+// replay), which converts "leader committed but replication stalled" into
+// at-least-once delivery with exactly-once application.
+func (f *fastPath) runSyncResolver() {
+	s := f.s
+	defer close(f.syncDone)
+	var queue []*pendingAck
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	release := func(p *pendingAck) {
+		for i, e := range p.entries {
+			e.ack <- p.acks[i]
+		}
+	}
+	degrade := func(p *pendingAck, timedOut bool) {
+		if timedOut {
+			s.h.syncAckTimeouts.Inc()
+		}
+		for _, e := range p.entries {
+			e.ack <- BinAck{
+				Pos:     p.acks[len(p.acks)-1].Pos,
+				Dropped: uint32(len(e.ups)),
+				Status:  BinStatusDegraded,
+			}
+		}
+	}
+	for {
+		k := s.cfg.SyncFollowers
+		for len(queue) > 0 && s.marks.kth(k) >= queue[0].need {
+			release(queue[0])
+			queue[0] = nil
+			queue = queue[1:]
+		}
+		now := time.Now()
+		for len(queue) > 0 && now.After(queue[0].expires) {
+			degrade(queue[0], true)
+			queue[0] = nil
+			queue = queue[1:]
+		}
+		if len(queue) > 0 {
+			timer.Reset(time.Until(queue[0].expires))
+		} else {
+			timer.Reset(time.Hour)
+		}
+		select {
+		case p := <-f.syncCh:
+			queue = append(queue, p)
+		case <-s.marks.notify:
+		case <-timer.C:
+		case <-f.syncQuit:
+			// Shutdown: the commit loop has exited, so syncCh receives no
+			// more sends; degrade everything still gated (clients replay to
+			// the successor; dedup absorbs).
+			for {
+				select {
+				case p := <-f.syncCh:
+					queue = append(queue, p)
+					continue
+				default:
+				}
+				break
+			}
+			for _, p := range queue {
+				degrade(p, false)
+			}
+			return
+		}
+	}
+}
+
 // shutdown flushes and stops the fast path: refuse new submissions, stop
-// accepting connections, commit everything admitted, then close the
-// remaining connections. Idempotent; called from Server.Drain before the
+// accepting connections, commit everything admitted, release or degrade
+// gated acks, then close the remaining connections (whose writer goroutines
+// are by then unblocked). Idempotent; called from Server.Drain before the
 // batcher drains so the final checkpoint covers fast-path commits.
 func (f *fastPath) shutdown() {
 	f.stopOnce.Do(func() {
@@ -235,6 +390,10 @@ func (f *fastPath) shutdown() {
 		f.mu.Unlock()
 		close(f.quit)
 		<-f.done
+		if f.syncQuit != nil {
+			close(f.syncQuit)
+			<-f.syncDone
+		}
 		f.mu.Lock()
 		for c := range f.conns {
 			c.Close()
@@ -245,13 +404,10 @@ func (f *fastPath) shutdown() {
 
 // ServeBinary accepts binary-protocol ingest connections on ln until the
 // listener closes (or Drain begins) and blocks for the duration — run it on
-// its own goroutine. Followers refuse the listener outright: the write path
-// lives on the leader.
+// its own goroutine. Followers accept connections too, answering each hello
+// with a single NotLeader ack — a failover-aware client cycles through its
+// address list instead of hanging, so the daemon always runs the listener.
 func (s *Server) ServeBinary(ln net.Listener) error {
-	if s.isFollower() {
-		ln.Close()
-		return errors.New("server: binary ingest is leader-only (follower refuses writes)")
-	}
 	f := s.fp
 	f.mu.Lock()
 	if f.draining.Load() {
@@ -291,8 +447,22 @@ func (f *fastPath) handleConn(c net.Conn) {
 
 	br := bufio.NewReaderSize(c, 64<<10)
 	var hello [len(BinHello)]byte
-	if _, err := io.ReadFull(br, hello[:]); err != nil || string(hello[:]) != BinHello {
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
 		s.h.binBadFrames.Inc()
+		return
+	}
+	var v2 bool
+	switch string(hello[:]) {
+	case BinHello:
+	case BinHello2:
+		v2 = true
+	default:
+		s.h.binBadFrames.Inc()
+		return
+	}
+	if s.isFollower() {
+		buf := AppendBinAck(nil, BinAck{Pos: s.applied.Load(), Status: BinStatusNotLeader})
+		c.Write(buf)
 		return
 	}
 
@@ -328,9 +498,15 @@ func (f *fastPath) handleConn(c net.Conn) {
 
 	var ups []graph.Update
 	var payload []byte
+	var sid, seq uint64
 	for {
 		var err error
-		ups, payload, err = ReadBinFrame(br, ups[:0], payload)
+		if v2 {
+			ups, payload, sid, seq, err = ReadBinFrameSession(br, ups[:0], payload)
+		} else {
+			ups, payload, err = ReadBinFrame(br, ups[:0], payload)
+			sid, seq = 0, 0
+		}
 		if err != nil {
 			if err != io.EOF {
 				// Malformed frame or torn read: the stream is desynced. Ack
@@ -346,7 +522,7 @@ func (f *fastPath) handleConn(c net.Conn) {
 			break
 		}
 		s.h.binFrames.Inc()
-		e := &fpEntry{ups: append([]graph.Update(nil), ups...), ack: make(chan BinAck, 1)}
+		e := &fpEntry{ups: append([]graph.Update(nil), ups...), sid: sid, seq: seq, ack: make(chan BinAck, 1)}
 		if !f.submit(e) {
 			e.ack <- BinAck{Pos: s.applied.Load(), Dropped: uint32(len(e.ups)), Status: BinStatusDraining}
 			select {

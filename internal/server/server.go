@@ -94,6 +94,16 @@ const (
 	// listings served from (or rebuilding) the per-position encoded body.
 	CntAnswersCacheHits   = "srv_answers_cache_hits"
 	CntAnswersCacheMisses = "srv_answers_cache_misses"
+	// CntDedupHits counts fast-path updates recognized as duplicates of
+	// already-accepted (session, seq) records and skipped — the exactly-once
+	// resume path absorbing a client replay (DESIGN.md §17).
+	CntDedupHits = "srv_dedup_hits"
+	// CntSyncAckTimeouts counts replication-gated fast-path acks refused
+	// Degraded because no follower passed the commit within SyncAckTimeout.
+	CntSyncAckTimeouts = "srv_sync_ack_timeouts"
+	// CntPromotions / CntDemotions count leadership transitions on this node.
+	CntPromotions = "srv_promotions"
+	CntDemotions  = "srv_demotions"
 )
 
 // Server is the cisgraphd serving core: it owns the shadow topology, the
@@ -142,6 +152,19 @@ type Server struct {
 	edges    atomic.Int64  // shadow edge count, published after each batch
 	draining atomic.Bool
 	lastErr  atomic.Pointer[string]
+
+	// Leadership (DESIGN.md §17). epoch is the fencing token: stamped into
+	// WAL segment headers and checkpoints, exchanged on every replication
+	// request, bumped by promotion. The role is DYNAMIC — a follower becomes
+	// leader via Promote, and a deposed leader demotes when a peer proves a
+	// higher epoch — so it lives in atomics, not in cfg.
+	epoch        atomic.Uint64
+	followerFlag atomic.Bool             // true while following (refusing writes)
+	curLeader    atomic.Pointer[string]  // current leader base URL ("" when unknown / self)
+	maxPeerEpoch atomic.Uint64           // highest epoch any peer has advertised
+	promoteMu    sync.Mutex              // serializes Promote/demote transitions
+	dedup        *dedupTable             // exactly-once ingest session table
+	marks        *followerMarks          // follower tail positions (sync acks)
 
 	// Replication (DESIGN.md §13). Leader side: src serves the WAL.
 	// Follower side: tail streams the leader's WAL into the apply path;
@@ -198,6 +221,9 @@ type srvHandles struct {
 	watchConns, watchRejected   stats.Handle
 	ansCacheHits                stats.Handle
 	ansCacheMisses              stats.Handle
+	dedupHits                   stats.Handle
+	syncAckTimeouts             stats.Handle
+	promotions, demotions       stats.Handle
 }
 
 // New builds a server over an initial topology. The server takes its own
@@ -205,7 +231,7 @@ type srvHandles struct {
 // WAL is created (truncating any previous one — use Restore to continue a
 // previous stream).
 func New(g *graph.Dynamic, a algo.Algorithm, cfg Config) (*Server, error) {
-	return build(g, a, nil, 0, cfg, false)
+	return build(g, a, nil, 0, cfg, false, 0)
 }
 
 // Restore rebuilds a server from the durable artefacts of a previous run —
@@ -217,18 +243,21 @@ func New(g *graph.Dynamic, a algo.Algorithm, cfg Config) (*Server, error) {
 func Restore(a algo.Algorithm, cfg Config, init func() (*graph.Dynamic, error)) (*Server, error) {
 	cfg = cfg.WithDefaults()
 	var (
-		g       *graph.Dynamic
-		queries []core.Query
-		through uint64
+		g        *graph.Dynamic
+		queries  []core.Query
+		sessions []dedupSession
+		through  uint64
+		epoch    uint64
 	)
 	if cfg.CheckpointPath != "" {
-		covered, payload, err := resilience.ReadCheckpointFile(cfg.CheckpointPath)
+		covered, ckptEpoch, payload, err := resilience.ReadCheckpointMeta(cfg.CheckpointPath)
 		switch {
 		case err == nil:
-			if g, queries, err = decodeState(payload); err != nil {
+			if g, queries, sessions, err = decodeState(payload); err != nil {
 				return nil, err
 			}
 			through = covered
+			epoch = ckptEpoch
 		case os.IsNotExist(err) && init != nil:
 			// Fall through to init below.
 		default:
@@ -250,7 +279,7 @@ func Restore(a algo.Algorithm, cfg Config, init func() (*graph.Dynamic, error)) 
 	// Replay the WAL suffix the checkpoint does not cover, exactly like
 	// resilience.Recover: indices below `through` are already inside the
 	// restored topology.
-	var replay [][]graph.Update
+	var replay []resilience.Record
 	if cfg.WALPath != "" {
 		recs, err := resilience.ReplaySegmentedFS(cfg.FS, cfg.WALPath)
 		if err != nil {
@@ -264,26 +293,30 @@ func Restore(a algo.Algorithm, cfg Config, init func() (*graph.Dynamic, error)) 
 				return nil, fmt.Errorf("server: restore: WAL gap (record %d, expected %d)",
 					rec.Index, through+uint64(len(replay)))
 			}
-			replay = append(replay, rec.Batch)
+			replay = append(replay, rec)
 		}
 	}
-	s, err := build(g, a, queries, through, cfg, true)
+	s, err := build(g, a, queries, through, cfg, true, epoch)
 	if err != nil {
 		return nil, err
 	}
+	// The exactly-once session table rebuilds exactly as it was: checkpoint
+	// sessions first, then the replayed records' session tags in log order.
+	s.dedup.load(sessions)
 	// WAL-replayed batches were already sanitized by the pre-crash run;
 	// they go straight through the shadow and the pool.
 	sh := s.shadow.Load()
-	for _, b := range replay {
-		sh.Apply(b)
+	for _, rec := range replay {
+		sh.Apply(rec.Batch)
 		// Replay precedes serving — no watch subscriber can exist yet, so
 		// the changed set is discarded.
 		tEng := time.Now()
-		if _, perr := s.pool.ApplyBatch(b); perr != nil {
+		if _, perr := s.pool.ApplyBatch(rec.Batch); perr != nil {
 			s.setLastErr(perr)
 		}
-		s.applyLat.record(len(b), time.Since(tEng))
+		s.applyLat.record(len(rec.Batch), time.Since(tEng))
 		s.applied.Add(1)
+		s.dedup.advance(rec.SID, rec.Seq)
 	}
 	s.edges.Store(int64(sh.NumEdges()))
 	return s, nil
@@ -292,8 +325,10 @@ func Restore(a algo.Algorithm, cfg Config, init func() (*graph.Dynamic, error)) 
 // build assembles the server around an already-positioned topology.
 // resumeWAL keeps an existing WAL and appends to it (the Restore path —
 // truncating would discard the very records just replayed); a fresh start
-// truncates.
-func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uint64, cfg Config, resumeWAL bool) (*Server, error) {
+// truncates. bootEpoch seeds the leadership epoch (checkpoint stamp on
+// restore, the leader's epoch on follower bootstrap); an existing WAL's
+// segment-header epoch wins when higher.
+func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uint64, cfg Config, resumeWAL bool, bootEpoch uint64) (*Server, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -341,12 +376,21 @@ func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uin
 			watchRejected:      cnt.Handle(CntWatchRejected),
 			ansCacheHits:       cnt.Handle(CntAnswersCacheHits),
 			ansCacheMisses:     cnt.Handle(CntAnswersCacheMisses),
+			dedupHits:          cnt.Handle(CntDedupHits),
+			syncAckTimeouts:    cnt.Handle(CntSyncAckTimeouts),
+			promotions:         cnt.Handle(CntPromotions),
+			demotions:          cnt.Handle(CntDemotions),
 		},
 		gate: make(inflightGate, cfg.MaxInFlight),
 	}
 	s.shadow.Store(g.Clone())
 	s.applied.Store(through)
 	s.edges.Store(int64(g.NumEdges()))
+	s.dedup = newDedupTable(cfg.DedupSessions)
+	s.marks = newFollowerMarks()
+	s.followerFlag.Store(cfg.FollowURL != "")
+	s.setLeader(cfg.FollowURL)
+	s.epoch.Store(bootEpoch)
 	for _, q := range queries {
 		s.pool.Register(q)
 		s.h.registered.Inc()
@@ -356,6 +400,8 @@ func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uin
 			SegmentBytes: cfg.WALSegmentBytes,
 			Retain:       cfg.WALRetain,
 			FS:           cfg.FS,
+			Epoch:        bootEpoch,
+			StartIndex:   through,
 		}
 		var (
 			wal *resilience.SegmentedWAL
@@ -370,6 +416,12 @@ func build(g *graph.Dynamic, a algo.Algorithm, queries []core.Query, through uin
 			return nil, err
 		}
 		s.wal = wal
+		// A resumed log's active-segment epoch is authoritative when it is
+		// ahead of the checkpoint's stamp (epoch bumped after the last
+		// checkpoint).
+		if we := wal.Epoch(); we > s.epoch.Load() {
+			s.epoch.Store(we)
+		}
 	}
 	s.brk = newDiskBreaker(s.probeDisk, cfg.DiskRetryBase, cfg.DiskRetryMax)
 	s.bat = NewBatcher(cfg.BatchMaxSize, cfg.BatchMaxWait, cfg.QueueCapacity, cfg.OnFull, s.applyBatch)
@@ -423,6 +475,13 @@ func (s *Server) applyBatch(batch []graph.Update, reason CutReason) {
 	}
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
+	// A node deposed while this batch sat in the queue must not commit it:
+	// followers take writes only from the replication tail.
+	if s.isFollower() {
+		s.h.dropBatches.Inc()
+		s.h.dropUpdates.Add(int64(len(batch)))
+		return
+	}
 	sh := s.shadow.Load()
 	clean, _, err := s.san.Sanitize(sh, batch)
 	if err != nil {
@@ -473,8 +532,9 @@ func (s *Server) applyBatch(batch []graph.Update, reason CutReason) {
 	}
 }
 
-// writeCheckpoint persists the shadow topology + query set through the PR 1
-// atomic checkpoint envelope, positioned at the applied batch count.
+// writeCheckpoint persists the shadow topology + query set + exactly-once
+// session table through the PR 1 atomic checkpoint envelope, positioned at
+// the applied batch count and stamped with the leadership epoch.
 func (s *Server) writeCheckpoint() error {
 	if s.cfg.CheckpointPath == "" {
 		return nil
@@ -482,8 +542,8 @@ func (s *Server) writeCheckpoint() error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 	through := s.applied.Load()
-	payload := encodeState(s.shadow.Load(), s.pool.QueriesSnapshot())
-	if err := resilience.WriteCheckpointFileFS(s.cfg.FS, s.cfg.CheckpointPath, through, payload); err != nil {
+	payload := encodeState(s.shadow.Load(), s.pool.QueriesSnapshot(), s.dedup.snapshot())
+	if err := resilience.WriteCheckpointMetaFS(s.cfg.FS, s.cfg.CheckpointPath, through, s.Epoch(), payload); err != nil {
 		s.brk.Trip(err)
 		return fmt.Errorf("server: %w", err)
 	}
@@ -604,10 +664,15 @@ func (s *Server) routes() {
 	// server must stay observable. They still run under the deadline.
 	s.mux.Handle("GET /healthz", s.withDeadline(d, http.HandlerFunc(s.handleHealthz)))
 	s.mux.Handle("GET /metrics", s.withDeadline(d, http.HandlerFunc(s.handleMetrics)))
-	// Replication source (leaders with a WAL only). Segments/checkpoint are
-	// ordinary bounded requests; the tail endpoint long-polls and streams,
-	// so it must NOT run under the buffering TimeoutHandler — it bounds
-	// itself via the long-poll deadline and the request context.
+	// Promotion is an operator/watchdog action, not a data-plane request: it
+	// bypasses the in-flight gate so a saturated follower can still fail
+	// over, but keeps the deadline.
+	s.mux.Handle("POST /v1/admin/promote", s.withDeadline(d, http.HandlerFunc(s.handlePromote)))
+	// Replication source (nodes with a WAL: leaders, and promotable
+	// followers — whose log a sibling tails after THEY promote). Segments/
+	// checkpoint are ordinary bounded requests; the tail endpoint long-polls
+	// and streams, so it must NOT run under the buffering TimeoutHandler —
+	// it bounds itself via the long-poll deadline and the request context.
 	if s.wal != nil {
 		s.src = &replication.Source{
 			WAL:            s.wal,
@@ -615,6 +680,9 @@ func (s *Server) routes() {
 			FS:             s.cfg.FS,
 			LongPoll:       s.cfg.ReplLongPoll,
 			Draining:       s.Draining,
+			Epoch:          s.Epoch,
+			OnPeerEpoch:    s.onPeerEpoch,
+			OnTailFrom:     s.marks.observe,
 		}
 		s.mux.Handle("GET "+replication.PathSegments, s.withDeadline(d, http.HandlerFunc(s.src.ServeSegments)))
 		s.mux.Handle("GET "+replication.PathCheckpoint, s.withDeadline(d, http.HandlerFunc(s.src.ServeCheckpoint)))
@@ -624,8 +692,10 @@ func (s *Server) routes() {
 
 // ---- Replication role, lag, and staleness (DESIGN.md §13) ----
 
-// isFollower reports whether this server replicates from a leader.
-func (s *Server) isFollower() bool { return s.cfg.FollowURL != "" }
+// isFollower reports whether this server currently refuses writes and (when
+// wired) replicates from a leader. Unlike cfg.FollowURL this is DYNAMIC:
+// Promote clears it, and a fencing peer epoch sets it (demotion).
+func (s *Server) isFollower() bool { return s.followerFlag.Load() }
 
 // Role returns "leader" or "follower" for headers and metrics.
 func (s *Server) Role() string {
@@ -671,10 +741,11 @@ func (s *Server) replDegraded() bool {
 	return s.isFollower() && s.cfg.MaxStaleness > 0 && s.Staleness() > s.cfg.MaxStaleness
 }
 
-// stampReplHeaders marks every read response with the node's role and, on
-// followers, the staleness bound clients reason about.
+// stampReplHeaders marks every read response with the node's role and
+// epoch and, on followers, the staleness bound clients reason about.
 func (s *Server) stampReplHeaders(w http.ResponseWriter) {
 	w.Header().Set(replication.HeaderRole, s.Role())
+	w.Header().Set(replication.HeaderEpoch, strconv.FormatUint(s.Epoch(), 10))
 	if s.isFollower() {
 		w.Header().Set(replication.HeaderStaleness,
 			strconv.FormatFloat(s.Staleness().Seconds(), 'f', 3, 64))
@@ -778,13 +849,21 @@ const jsonBytesPerUpdate = 40
 
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	if s.isFollower() {
-		// Read replica: the write path lives on the leader. 421 tells the
-		// client it addressed the wrong node; Location points at the leader.
+		// Read replica (or deposed leader): the write path lives on the
+		// leader. 421 tells the client it addressed the wrong node; Location
+		// points at the current leader when one is known — after a failover
+		// the tailer's 421/epoch handoff keeps this fresh.
 		s.h.rejected.Inc()
 		s.stampReplHeaders(w)
-		w.Header().Set("Location", s.cfg.FollowURL+"/v1/updates")
+		leader := s.LeaderURL()
+		if leader != "" {
+			w.Header().Set("Location", leader+"/v1/updates")
+			httpError(w, http.StatusMisdirectedRequest,
+				"read-only follower; send writes to the leader at "+leader)
+			return
+		}
 		httpError(w, http.StatusMisdirectedRequest,
-			"read-only follower; send writes to the leader at "+s.cfg.FollowURL)
+			"read-only follower; leader currently unknown (probe peers)")
 		return
 	}
 	if s.brk.Open() {
@@ -983,6 +1062,7 @@ type healthzResponse struct {
 	Status         string      `json:"status"` // "ok", "degraded" or "draining"
 	DegradedReason string      `json:"degraded_reason,omitempty"`
 	Role           string      `json:"role"`
+	Epoch          uint64      `json:"epoch"`
 	Leader         string      `json:"leader,omitempty"`
 	Batches        uint64      `json:"batches"`
 	Pending        int         `json:"pending"`
@@ -1015,7 +1095,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthzResponse{
 		Status:       "ok",
 		Role:         s.Role(),
-		Leader:       s.cfg.FollowURL,
+		Epoch:        s.Epoch(),
+		Leader:       s.LeaderURL(),
 		Batches:      s.applied.Load(),
 		Pending:      s.bat.Pending(),
 		Quiesced:     s.Quiesced(),
@@ -1102,6 +1183,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP cisgraph_role 1 for the node's replication role.\n")
 	fmt.Fprintf(w, "# TYPE cisgraph_role gauge\n")
 	fmt.Fprintf(w, "cisgraph_role{role=%q} 1\n", s.Role())
+	fmt.Fprintf(w, "# HELP cisgraph_epoch Leadership epoch (fencing token); bumped by every promotion.\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_epoch gauge\n")
+	fmt.Fprintf(w, "cisgraph_epoch %d\n", s.Epoch())
+	fmt.Fprintf(w, "# HELP cisgraph_dedup_sessions Live exactly-once ingest sessions in the dedup table.\n")
+	fmt.Fprintf(w, "# TYPE cisgraph_dedup_sessions gauge\n")
+	fmt.Fprintf(w, "cisgraph_dedup_sessions %d\n", s.dedup.size())
 	if s.isFollower() {
 		connected := 0
 		if s.replConnected.Load() {
@@ -1126,6 +1213,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "# HELP cisgraph_repl_records WAL records applied from the leader.\n")
 			fmt.Fprintf(w, "# TYPE cisgraph_repl_records counter\n")
 			fmt.Fprintf(w, "cisgraph_repl_records %d\n", s.tail.Records.Load())
+			fmt.Fprintf(w, "# HELP cisgraph_repl_repoints Leader-URL changes (421 handoffs and watchdog discoveries).\n")
+			fmt.Fprintf(w, "# TYPE cisgraph_repl_repoints counter\n")
+			fmt.Fprintf(w, "cisgraph_repl_repoints %d\n", s.tail.Repoints.Load())
 		}
 	}
 	degraded := 0

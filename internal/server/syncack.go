@@ -1,0 +1,85 @@
+package server
+
+import (
+	"sync"
+)
+
+// followerMarks tracks, per follower, the highest WAL index the follower has
+// proven durable. The proof is the replication tail request itself: a
+// promotable follower appends-and-fsyncs records locally BEFORE applying
+// them, so asking for records from N implies everything below N is on its
+// disk. The leader's Source reports each tail's resume position here
+// (Source.OnTailFrom), and the fast path gates sync-replicated acks on the
+// k-th highest mark (Config.SyncFollowers).
+//
+// Followers are keyed by the host of their remote address — an
+// approximation that is exact for the single-sync-follower deployments the
+// chaos harness exercises, and documented as such in DESIGN.md §17. Two
+// followers behind one NAT would share a key and could over-count; deploy
+// sync followers on distinct hosts.
+type followerMarks struct {
+	mu    sync.Mutex
+	marks map[string]uint64
+
+	// notify wakes the sync-ack resolver when any mark advances. 1-buffered:
+	// a pending wakeup coalesces concurrent advances.
+	notify chan struct{}
+}
+
+func newFollowerMarks() *followerMarks {
+	return &followerMarks{
+		marks:  make(map[string]uint64),
+		notify: make(chan struct{}, 1),
+	}
+}
+
+// observe records that peer has everything below `from` durable. Marks only
+// advance — a follower re-bootstrapping from an older checkpoint does not
+// un-prove what it already fsynced.
+func (f *followerMarks) observe(peer string, from uint64) {
+	f.mu.Lock()
+	advanced := from > f.marks[peer]
+	if advanced {
+		f.marks[peer] = from
+	}
+	f.mu.Unlock()
+	if advanced {
+		select {
+		case f.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// kth returns the k-th highest mark: the WAL index below which at least k
+// followers have proven durability. Zero when fewer than k followers have
+// ever tailed.
+func (f *followerMarks) kth(k int) uint64 {
+	if k <= 0 {
+		return ^uint64(0)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.marks) < k {
+		return 0
+	}
+	// Tiny map (one entry per follower); selection by repeated max-scan.
+	picked := make(map[string]bool, k)
+	var kthBest uint64
+	for i := 0; i < k; i++ {
+		var bestPeer string
+		var best uint64
+		found := false
+		for peer, m := range f.marks {
+			if picked[peer] {
+				continue
+			}
+			if !found || m > best {
+				best, bestPeer, found = m, peer, true
+			}
+		}
+		picked[bestPeer] = true
+		kthBest = best
+	}
+	return kthBest
+}

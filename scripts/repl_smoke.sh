@@ -76,6 +76,12 @@ done
 wait_healthy "$FOL_A"
 wait_healthy "$FOL_B"
 
+echo "== epoch fencing surfaced: /healthz field + replication header"
+curl -fsS "http://$LEADER/healthz" | grep -q '"epoch":' \
+    || { echo "FAIL: /healthz does not surface the leadership epoch"; curl -fsS "http://$LEADER/healthz"; exit 1; }
+curl -fsSi "http://$LEADER/v1/repl/segments" | grep -qi '^X-CISGraph-Epoch:' \
+    || { echo "FAIL: replication response missing X-CISGraph-Epoch"; exit 1; }
+
 echo "== phase 1: stream against the leader, reads fanned across replicas,"
 echo "   then cross-check every follower answer against the leader"
 "$WORK/loadgen" -addr "http://$LEADER" -replicas "http://$FOL_A,http://$FOL_B" \
